@@ -1,0 +1,120 @@
+// Package repro_test hosts the repository-level benchmark suite: one
+// benchmark per table and figure in the paper's evaluation (Section 5).
+//
+//	Figure 10  -> BenchmarkServiceLevelBridging/*
+//	Section 5.2 -> BenchmarkDeviceLevelBridging/*
+//	Figure 11  -> BenchmarkTransportLevelBridging/*
+//	Table 1    -> BenchmarkDesignSpaceChart (the chart itself is a unit
+//	              test; the benchmark covers the compatibility predicate)
+//
+// Each benchmark reports the metric in the paper's own unit via
+// b.ReportMetric: instances/s for Figure 10, ms/op for Section 5.2, and
+// Mbps for Figure 11. cmd/benchharness prints the side-by-side
+// paper-vs-measured tables; see EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// benchFig10 runs the mapping experiment for one device and reports the
+// instantiation rate.
+func benchFig10(b *testing.B, device string) {
+	b.Helper()
+	row, err := bench.RunFigure10Device(device, b.N)
+	if err != nil {
+		b.Fatalf("figure 10 %s: %v", device, err)
+	}
+	b.ReportMetric(row.MeasuredInstancesPerSec, "instances/s")
+	b.ReportMetric(float64(row.MeasuredMean.Microseconds())/1000, "ms/mapping")
+}
+
+// BenchmarkServiceLevelBridging reproduces Figure 10: translator
+// generation time per device type after native discovery.
+func BenchmarkServiceLevelBridging(b *testing.B) {
+	b.Run("UPnP_Clock", func(b *testing.B) { benchFig10(b, bench.DeviceClock) })
+	b.Run("UPnP_AirConditioner", func(b *testing.B) { benchFig10(b, bench.DeviceAirCon) })
+	b.Run("UPnP_Light", func(b *testing.B) { benchFig10(b, bench.DeviceLight) })
+	b.Run("Bluetooth_HIDMouse", func(b *testing.B) { benchFig10(b, bench.DeviceHIDMouse) })
+}
+
+// BenchmarkDeviceLevelBridging reproduces the Section 5.2 in-text
+// measurements: UPnP light-switch control latency (paper: 160 ms total,
+// 150 ms in the UPnP domain) and Bluetooth mouse-click translation
+// (paper: 23 ms).
+func BenchmarkDeviceLevelBridging(b *testing.B) {
+	b.Run("UPnP_LightSwitch", func(b *testing.B) {
+		row, err := bench.RunSec52UPnP(b.N)
+		if err != nil {
+			b.Fatalf("sec 5.2 upnp: %v", err)
+		}
+		b.ReportMetric(float64(row.MeasuredTotal.Microseconds())/1000, "ms/action")
+		b.ReportMetric(float64(row.MeasuredNative.Microseconds())/1000, "ms-native/action")
+		b.ReportMetric(float64(row.MeasuredUMiddle.Microseconds())/1000, "ms-umiddle/action")
+	})
+	b.Run("Bluetooth_MouseClick", func(b *testing.B) {
+		row, err := bench.RunSec52Bluetooth(b.N)
+		if err != nil {
+			b.Fatalf("sec 5.2 bluetooth: %v", err)
+		}
+		b.ReportMetric(float64(row.MeasuredTotal.Microseconds())/1000, "ms/click")
+	})
+}
+
+// benchFig11 runs one transport configuration with at least minMsgs
+// messages and reports throughput.
+func benchFig11(b *testing.B, minMsgs int, run func(msgs int) (bench.Figure11Row, error)) {
+	b.Helper()
+	msgs := b.N
+	if msgs < minMsgs {
+		msgs = minMsgs
+	}
+	row, err := run(msgs)
+	if err != nil {
+		b.Fatalf("figure 11: %v", err)
+	}
+	b.ReportMetric(row.MeasuredMbps, "Mbps")
+}
+
+// BenchmarkTransportLevelBridging reproduces Figure 11: 1400-byte
+// message throughput on the emulated 10 Mbps three-node testbed.
+func BenchmarkTransportLevelBridging(b *testing.B) {
+	b.Run("TCP_Baseline", func(b *testing.B) { benchFig11(b, 500, bench.RunFigure11TCP) })
+	b.Run("MB", func(b *testing.B) { benchFig11(b, 400, bench.RunFigure11MB) })
+	b.Run("RMI", func(b *testing.B) { benchFig11(b, 200, bench.RunFigure11RMI) })
+	b.Run("RMI_MB", func(b *testing.B) { benchFig11(b, 200, bench.RunFigure11RMIMB) })
+}
+
+// BenchmarkDesignSpaceChart covers Table 1's compatibility predicate
+// (the chart's correctness is asserted by
+// core.TestDesignSpaceCompatibilityChart).
+func BenchmarkDesignSpaceChart(b *testing.B) {
+	choices := core.AllChoices()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range choices {
+			for _, y := range choices {
+				core.ChoicesCompatible(x, y)
+			}
+		}
+	}
+}
+
+// BenchmarkQoSAblation runs the Section 5.3 bottleneck ablation: a fast
+// producer into a slow consumer under each translation-buffer policy.
+// It reports the mean staleness of delivered messages — the
+// "accumulation in the translation buffer" the paper warns about.
+func BenchmarkQoSAblation(b *testing.B) {
+	rows, err := bench.RunQoSAblation(500*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		b.Fatalf("qos ablation: %v", err)
+	}
+	for _, row := range rows {
+		b.ReportMetric(float64(row.MeanStaleness.Microseconds())/1000, "ms-staleness-"+row.Policy.String())
+	}
+	_ = b.N
+}

@@ -1,0 +1,186 @@
+// Command benchharness regenerates every table and figure of the
+// paper's evaluation (Section 5) and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	benchharness [-exp all|fig10|sec52|fig11|table1] [-iters N] [-msgs N]
+//
+// See EXPERIMENTS.md for the recorded results and the shape criteria.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos")
+	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
+	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		switch *exp {
+		case "all", name:
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchharness: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	run("table1", func() error { return printTable1() })
+	run("fig10", func() error { return printFig10(*iters) })
+	run("sec52", func() error { return printSec52(*iters) })
+	run("fig11", func() error { return printFig11(*msgs) })
+	run("qos", func() error { return printQoS() })
+}
+
+func printTable1() error {
+	fmt.Println("== Table 1: mutual compatibility of design choices ==")
+	fmt.Println("(O = the two choices can coexist, - = they cannot)")
+	choices := core.AllChoices()
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 1, ' ', 0)
+	fmt.Fprint(w, "\t")
+	for _, c := range choices {
+		fmt.Fprintf(w, "%s\t", c)
+	}
+	fmt.Fprintln(w)
+	for _, x := range choices {
+		fmt.Fprintf(w, "%s\t", x)
+		for _, y := range choices {
+			switch {
+			case x == y:
+				fmt.Fprint(w, "·\t")
+			case core.ChoicesCompatible(x, y):
+				fmt.Fprint(w, "O\t")
+			default:
+				fmt.Fprint(w, "-\t")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nuMiddle's design point (must be pairwise compatible):")
+	for _, c := range core.UMiddleDesign() {
+		fmt.Printf("  %s  %s\n", c, c.Label())
+	}
+	if !core.DesignValid(core.UMiddleDesign()) {
+		return fmt.Errorf("uMiddle design point is inconsistent")
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig10(iters int) error {
+	fmt.Printf("== Figure 10: service-level bridging (translator generation), %d mappings per device ==\n", iters)
+	rows, err := bench.RunFigure10(iters)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "device\tports\tpaper inst/s\tmeasured inst/s\tmeasured mean\tsamples")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%v\t%d\n",
+			r.Device, r.Ports, r.PaperInstancesPerSec, r.MeasuredInstancesPerSec,
+			r.MeasuredMean.Round(time.Microsecond*100), r.Samples)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("shape check: the clock (14 ports, 3 services) must map slowest among UPnP devices.")
+	fmt.Println()
+	return nil
+}
+
+func printSec52(iters int) error {
+	if iters < 10 {
+		iters = 10
+	}
+	fmt.Printf("== Section 5.2: device-level bridging, %d operations per case ==\n", iters)
+	upnpRow, err := bench.RunSec52UPnP(iters)
+	if err != nil {
+		return err
+	}
+	btRow, err := bench.RunSec52Bluetooth(iters)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "case\tpaper total\tpaper native\tmeasured total\tmeasured native\tmeasured uMiddle")
+	for _, r := range []bench.Sec52Row{upnpRow, btRow} {
+		native := "-"
+		if r.PaperNative > 0 {
+			native = r.PaperNative.String()
+		}
+		mNative := "-"
+		if r.MeasuredNative > 0 {
+			mNative = r.MeasuredNative.Round(time.Microsecond * 100).String()
+		}
+		fmt.Fprintf(w, "%s\t%v\t%s\t%v\t%s\t%v\n",
+			r.Case, r.PaperTotal, native,
+			r.MeasuredTotal.Round(time.Microsecond*100), mNative,
+			r.MeasuredUMiddle.Round(time.Microsecond*100))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("shape check: the infrastructure itself contributes little to the overhead (paper Section 5.2).")
+	fmt.Println()
+	return nil
+}
+
+func printFig11(msgs int) error {
+	fmt.Println("== Figure 11: transport-level bridging throughput (1400-byte messages, 10 Mbps links) ==")
+	rows, err := bench.RunFigure11(msgs)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "test\tpaper Mbps\tmeasured Mbps\tmessages\telapsed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%d\t%v\n",
+			r.Test, r.PaperMbps, r.MeasuredMbps, r.Messages, r.Elapsed.Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("shape check: TCP > MB > RMI > RMI-MB, bridged paths pay marshal/unmarshal twice.")
+	fmt.Println()
+	return nil
+}
+
+func printQoS() error {
+	fmt.Println("== QoS ablation (paper Section 5.3 / future work): fast producer, slow consumer ==")
+	rows, err := bench.RunQoSAblation(time.Second, 20*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tproduced\tdelivered\tdropped\tbuffer high-water\tmean staleness")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%d\t%v\n",
+			r.Policy, r.Produced, r.Delivered, r.Dropped, r.HighWater,
+			r.MeanStaleness.Round(time.Microsecond*100))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("shape check: block accumulates (stale, no drops); dropping policies bound staleness;")
+	fmt.Println("latest-only is freshest. This is the QoS control the paper names as major future work.")
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,185 @@
+// Command g2ui is the CLI edition of G2 UI, the paper's Geographical
+// User Interface (Section 4.2). Gadgets — a Bluetooth camera, a UPnP
+// MediaRenderer TV, and a native media store — are placed at coordinates
+// in a geographic space; co-locating them triggers geoplay (the paper's
+// headline demo: "if a user co-locates a Bluetooth digital camera and a
+// UPnP MediaRenderer TV, the images in the camera serve as the source
+// for the TV") or geostore.
+//
+// Usage:
+//
+//	g2ui [-script 'cmd; cmd; ...'] [-radius 5]
+//
+// Commands:
+//
+//	list                 show gadgets, roles, and positions
+//	place <name> x y     place a gadget (by profile-name substring)
+//	move <name> x y      move a gadget
+//	quit                 exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/g2"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/upnp"
+	"repro/umiddle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "g2ui:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	script := flag.String("script", "", "semicolon-separated commands instead of a REPL")
+	radius := flag.Float64("radius", 5, "co-location radius in coordinate units")
+	settle := flag.Duration("settle", 2*time.Second, "discovery settle time")
+	flag.Parse()
+
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+	rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "g2-node", Network: net})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if err := rt.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 300 * time.Millisecond}); err != nil {
+		return err
+	}
+	if err := rt.AddBluetoothMapper(umiddle.BluetoothMapperConfig{
+		InquiryInterval: 300 * time.Millisecond,
+		InquiryWindow:   150 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+
+	tv := upnp.NewMediaRenderer(net.MustAddHost("tv-dev"), "tv-1", "Living Room TV", upnp.DeviceOptions{})
+	if err := tv.Publish(); err != nil {
+		return err
+	}
+	defer tv.Unpublish()
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer camAdapter.Close()
+	cam, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Camera")
+	if err != nil {
+		return err
+	}
+	defer cam.Close()
+	cam.Capture("vacation.jpg", []byte("vacation-photo-bytes"))
+
+	// A native media store gadget.
+	storeShape, err := umiddle.NewShape(
+		umiddle.Port{Name: "media-in", Kind: umiddle.Digital, Direction: umiddle.Input, Type: "image/jpeg"},
+	)
+	if err != nil {
+		return err
+	}
+	store, err := rt.NewService("Media Store", storeShape, map[string]string{"g2.role": "storage"})
+	if err != nil {
+		return err
+	}
+	stored := 0
+	store.HandleInput("media-in", func(msg umiddle.Message) error { //nolint:errcheck
+		stored++
+		fmt.Printf("  [store] archived %d bytes (total %d objects)\n", len(msg.Payload), stored)
+		return nil
+	})
+
+	space := g2.NewSpace(rt.Internal(), *radius)
+	space.OnEvent(func(e g2.Event) {
+		fmt.Printf("  [g2] %s: %s -> %s\n", e.Kind, e.Src, e.Dst)
+	})
+
+	time.Sleep(*settle)
+
+	resolve := func(name string) (umiddle.TranslatorID, error) {
+		got := rt.Lookup(umiddle.Query{NameContains: name})
+		if len(got) == 0 {
+			return "", fmt.Errorf("no gadget matching %q", name)
+		}
+		return got[0].ID, nil
+	}
+
+	exec := func(line string) bool {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			return true
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return false
+		case "list":
+			for _, gdt := range space.Gadgets() {
+				fmt.Printf("  %-28s %-8s at (%.1f, %.1f)\n",
+					gdt.Profile.Name, gdt.Role, gdt.Pos.X, gdt.Pos.Y)
+			}
+			fmt.Printf("  active co-location compositions: %d\n", space.Links())
+		case "place", "move":
+			if len(fields) != 4 {
+				fmt.Println("usage:", fields[0], "<name> x y")
+				return true
+			}
+			x, errX := strconv.ParseFloat(fields[2], 64)
+			y, errY := strconv.ParseFloat(fields[3], 64)
+			if errX != nil || errY != nil {
+				fmt.Println("bad coordinates")
+				return true
+			}
+			id, err := resolve(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+			pos := g2.Point{X: x, Y: y}
+			if fields[0] == "place" {
+				err = space.Place(id, pos)
+			} else {
+				err = space.Move(id, pos)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+		return true
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			fmt.Printf("g2> %s\n", strings.TrimSpace(line))
+			if !exec(line) {
+				break
+			}
+			time.Sleep(300 * time.Millisecond) // let compositions fire
+		}
+		time.Sleep(time.Second)
+		if len(tv.Rendered()) > 0 {
+			fmt.Printf("  [tv] rendered %d image(s)\n", len(tv.Rendered()))
+		}
+		return nil
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("g2> ")
+	for scanner.Scan() {
+		if !exec(scanner.Text()) {
+			return nil
+		}
+		fmt.Print("g2> ")
+	}
+	return scanner.Err()
+}

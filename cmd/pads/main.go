@@ -1,0 +1,167 @@
+// Command pads is the CLI edition of uMiddle Pads (paper Section 4.1):
+// a device-composition application generator with cross-platform
+// "virtual cabling". It boots a demo world (UPnP TV and light, Bluetooth
+// camera and printer, plus native uMiddle services), shows the
+// intermediary semantic space as a board of pads, and interprets wiring
+// commands from a script or stdin.
+//
+// Usage:
+//
+//	pads [-script 'cmd; cmd; ...'] [-settle 2s]
+//
+// Commands:
+//
+//	list                          show pads and wires
+//	wire padN#port padM#port      draw a cable between two ports
+//	wire padN#port accepting <mime> [physical]
+//	                              draw a template cable (dynamic binding)
+//	unwire <wireID>               remove a cable
+//	send padN#port <text>         emit a message from a local pad
+//	quit                          exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/pads"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/upnp"
+	"repro/umiddle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pads:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	script := flag.String("script", "", "semicolon-separated commands to run instead of a REPL")
+	settle := flag.Duration("settle", 2*time.Second, "time to wait for device discovery before starting")
+	flag.Parse()
+
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+	rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "pads-node", Network: net})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if err := rt.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 300 * time.Millisecond}); err != nil {
+		return err
+	}
+	if err := rt.AddBluetoothMapper(umiddle.BluetoothMapperConfig{
+		InquiryInterval: 300 * time.Millisecond,
+		InquiryWindow:   150 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+
+	// Demo devices, as in the paper's Figure 8 population (scaled down).
+	tv := upnp.NewMediaRenderer(net.MustAddHost("tv-dev"), "tv-1", "Living Room TV", upnp.DeviceOptions{})
+	if err := tv.Publish(); err != nil {
+		return err
+	}
+	defer tv.Unpublish()
+	light := upnp.NewBinaryLight(net.MustAddHost("light-dev"), "light-1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		return err
+	}
+	defer light.Unpublish()
+
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer camAdapter.Close()
+	cam, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Camera")
+	if err != nil {
+		return err
+	}
+	defer cam.Close()
+	cam.Capture("demo.jpg", []byte("demo-image"))
+
+	prAdapter, err := bluetooth.NewAdapter(net.MustAddHost("printer-dev"), "printer-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer prAdapter.Close()
+	printer, err := bluetooth.NewBIPPrinter(prAdapter, "Photo Printer")
+	if err != nil {
+		return err
+	}
+	defer printer.Close()
+
+	// Native uMiddle services round out the board.
+	shape, err := umiddle.NewShape(
+		umiddle.Port{Name: "out", Kind: umiddle.Digital, Direction: umiddle.Output, Type: "control/trigger"},
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := rt.NewService("Shutter Button", shape, nil); err != nil {
+		return err
+	}
+	textShape, err := umiddle.NewShape(
+		umiddle.Port{Name: "out", Kind: umiddle.Digital, Direction: umiddle.Output, Type: "text/plain"},
+		umiddle.Port{Name: "in", Kind: umiddle.Digital, Direction: umiddle.Input, Type: "text/plain"},
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := rt.NewService("Note Pad", textShape, nil); err != nil {
+		return err
+	}
+
+	board := pads.NewBoard(rt.Internal())
+	time.Sleep(*settle)
+	fmt.Print(board.Render())
+
+	exec := func(line string) bool {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return true
+		}
+		if line == "quit" || line == "exit" {
+			return false
+		}
+		out, err := board.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		return true
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			fmt.Printf("pads> %s\n", strings.TrimSpace(line))
+			if !exec(line) {
+				return nil
+			}
+		}
+		// Give asynchronous deliveries a moment, then show the result.
+		time.Sleep(time.Second)
+		fmt.Print(board.Render())
+		return nil
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("pads> ")
+	for scanner.Scan() {
+		if !exec(scanner.Text()) {
+			return nil
+		}
+		fmt.Print("pads> ")
+	}
+	return scanner.Err()
+}

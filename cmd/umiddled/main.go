@@ -1,0 +1,198 @@
+// Command umiddled boots a complete uMiddle deployment in one process:
+// an emulated network, one or more runtime nodes with platform mappers,
+// and a population of emulated native devices. It then logs directory
+// events as devices are mapped and unmapped and prints a final snapshot
+// of the intermediary semantic space.
+//
+// Usage:
+//
+//	umiddled [-nodes N] [-duration 5s] [-verbose]
+//
+// The default scenario is the paper's smart room: UPnP light, clock and
+// MediaRenderer TV; Bluetooth BIP camera and HID mouse; a Berkeley mote;
+// an RMI echo service; and an XML web service — spread across the
+// runtime nodes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/motes"
+	"repro/internal/platform/rmi"
+	"repro/internal/platform/upnp"
+	"repro/internal/platform/webservice"
+	"repro/umiddle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "umiddled:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	nodes := flag.Int("nodes", 2, "number of uMiddle runtime nodes")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run")
+	verbose := flag.Bool("verbose", false, "log runtime internals")
+	flag.Parse()
+	if *nodes < 1 {
+		return fmt.Errorf("need at least one node")
+	}
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+
+	runtimes := make([]*umiddle.Runtime, *nodes)
+	for i := range runtimes {
+		rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{
+			Node:    fmt.Sprintf("h%d", i+1),
+			Network: net,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		runtimes[i] = rt
+	}
+	h1 := runtimes[0]
+	h2 := h1
+	if len(runtimes) > 1 {
+		h2 = runtimes[1]
+	}
+
+	// Event log: every mapping/unmapping as seen from h1.
+	h1.OnMapped(func(p umiddle.Profile) {
+		fmt.Printf("%s  + mapped   %-28s %-12s %s\n",
+			time.Now().Format("15:04:05.000"), p.Name, p.Platform, p.ID)
+	})
+	h1.OnUnmapped(func(id umiddle.TranslatorID) {
+		fmt.Printf("%s  - unmapped %s\n", time.Now().Format("15:04:05.000"), id)
+	})
+
+	// Mappers: UPnP + Bluetooth + motes on h1; RMI + MediaBroker + web
+	// services on h2.
+	if err := h1.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 500 * time.Millisecond}); err != nil {
+		return err
+	}
+	if err := h1.AddBluetoothMapper(umiddle.BluetoothMapperConfig{
+		InquiryInterval: 500 * time.Millisecond,
+		InquiryWindow:   200 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+	if err := h1.AddMotesMapper(umiddle.MotesMapperConfig{}); err != nil {
+		return err
+	}
+
+	// Native devices.
+	lightHost := net.MustAddHost("light-dev")
+	light := upnp.NewBinaryLight(lightHost, "light-1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		return err
+	}
+	defer light.Unpublish()
+
+	clockHost := net.MustAddHost("clock-dev")
+	clock := upnp.NewClock(clockHost, "clock-1", "Wall Clock", upnp.DeviceOptions{})
+	if err := clock.Publish(); err != nil {
+		return err
+	}
+	defer clock.Unpublish()
+
+	tvHost := net.MustAddHost("tv-dev")
+	tv := upnp.NewMediaRenderer(tvHost, "tv-1", "Living Room TV", upnp.DeviceOptions{})
+	if err := tv.Publish(); err != nil {
+		return err
+	}
+	defer tv.Unpublish()
+
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer camAdapter.Close()
+	cam, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Camera")
+	if err != nil {
+		return err
+	}
+	defer cam.Close()
+	cam.Capture("demo.jpg", []byte("demo-image-bytes"))
+
+	mouseAdapter, err := bluetooth.NewAdapter(net.MustAddHost("mouse-dev"), "mouse-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer mouseAdapter.Close()
+	mouse, err := bluetooth.NewHIDMouse(mouseAdapter, "Travel Mouse")
+	if err != nil {
+		return err
+	}
+	defer mouse.Close()
+
+	mote, err := motes.StartMote(net.MustAddHost("mote-1"), h1.Node(), 1, motes.MoteOptions{})
+	if err != nil {
+		return err
+	}
+	defer mote.Stop()
+
+	// RMI + web service on h2's side of the network.
+	rmiHost := net.MustAddHost("rmi-dev")
+	reg, err := rmi.NewRegistry(rmiHost)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	srv, err := rmi.NewServer(rmiHost, 0)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	rc := rmi.NewRegistryClient(rmiHost, "rmi-dev")
+	if err := rc.Bind(context.Background(), "echo", rmi.ExportEcho(srv)); err != nil {
+		return err
+	}
+	if err := h2.AddRMIMapper(umiddle.RMIMapperConfig{RegistryHost: "rmi-dev"}); err != nil {
+		return err
+	}
+
+	wsHost, err := webservice.NewHost(net.MustAddHost("ws-dev"), 0)
+	if err != nil {
+		return err
+	}
+	defer wsHost.Close()
+	wsHost.Register("greeter", "xml-rpc", func(method string, params map[string]string) (map[string]string, error) {
+		return map[string]string{"greeting": "hello " + params["name"]}, nil
+	})
+	if err := h2.AddWebServiceMapper(umiddle.WebServiceMapperConfig{BaseURLs: []string{wsHost.URL()}}); err != nil {
+		return err
+	}
+
+	fmt.Printf("umiddled: %d runtime node(s) up; running for %v\n", *nodes, *duration)
+	time.Sleep(*duration)
+
+	// Final snapshot of the intermediary semantic space.
+	profiles := h1.Lookup(umiddle.Query{})
+	sort.Slice(profiles, func(i, j int) bool { return profiles[i].ID < profiles[j].ID })
+	fmt.Printf("\nintermediary semantic space (%d translators):\n", len(profiles))
+	for _, p := range profiles {
+		fmt.Printf("  %-34s %-12s node=%-3s ports=%d\n", p.Name, p.Platform, p.Node, p.Shape.Len())
+		for _, port := range p.Shape.Ports() {
+			fmt.Printf("      %-14s %-8s %-6s %s\n", port.Name, port.Kind, port.Direction, port.Type)
+		}
+	}
+	return nil
+}

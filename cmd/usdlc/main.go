@@ -1,0 +1,120 @@
+// Command usdlc validates and summarizes USDL documents (Universal
+// Service Description Language, paper Section 3.4).
+//
+// Usage:
+//
+//	usdlc file.xml [file2.xml ...]   validate files and print shapes
+//	usdlc -builtin                   list the built-in device vocabulary
+//	usdlc -dump <name-substring>     print a built-in document's XML
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/usdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "usdlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	builtin := flag.Bool("builtin", false, "list built-in USDL documents")
+	dump := flag.String("dump", "", "print the built-in document whose service name contains the substring")
+	flag.Parse()
+
+	switch {
+	case *builtin:
+		return listBuiltins()
+	case *dump != "":
+		return dumpBuiltin(*dump)
+	case flag.NArg() == 0:
+		flag.Usage()
+		return fmt.Errorf("no input files")
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := checkFile(path); err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d file(s) invalid", failed)
+	}
+	return nil
+}
+
+func checkFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := usdl.Parse(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK (%d service(s))\n", path, len(doc.Services))
+	for i := range doc.Services {
+		printService(&doc.Services[i])
+	}
+	return nil
+}
+
+func listBuiltins() error {
+	reg, err := usdl.DefaultRegistry()
+	if err != nil {
+		return err
+	}
+	for _, svc := range reg.Services() {
+		svc := svc
+		printService(&svc)
+	}
+	return nil
+}
+
+func printService(svc *usdl.Service) {
+	fmt.Printf("  service %q platform=%s match=%s\n", svc.Name, svc.Platform, svc.Match.Key())
+	shape, err := svc.Shape()
+	if err != nil {
+		fmt.Printf("    shape error: %v\n", err)
+		return
+	}
+	for _, p := range shape.Ports() {
+		bound := ""
+		if def, ok := svc.PortDef(p.Name); ok && def.Bind != nil {
+			bound = "  -> " + def.Bind.Action
+			if def.Bind.Result != "" {
+				bound += " (result on " + def.Bind.Result + ")"
+			}
+		}
+		fmt.Printf("    %-14s %-8s %-6s %-24s%s\n", p.Name, p.Kind, p.Direction, p.Type, bound)
+	}
+	for _, e := range svc.Events {
+		fmt.Printf("    event %-22s -> %s\n", e.Native, e.Port)
+	}
+}
+
+func dumpBuiltin(substr string) error {
+	for _, text := range usdl.BuiltinDocuments() {
+		doc, err := usdl.ParseString(text)
+		if err != nil {
+			return err
+		}
+		for _, svc := range doc.Services {
+			if strings.Contains(strings.ToLower(svc.Name), strings.ToLower(substr)) {
+				fmt.Println(text)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("no built-in document matching %q", substr)
+}

@@ -1,0 +1,138 @@
+// Clicker: an event-and-control-oriented composition (the application
+// class the paper's Pads section motivates): a Bluetooth HID mouse
+// toggles a UPnP light.
+//
+// The mouse's clicks arrive in the intermediary semantic space as
+// Vector Markup Language documents (exactly the translation the paper's
+// Section 5.2 measures); a ten-line native "toggle" service converts
+// each click into a control/power message; the light's translator turns
+// that into a SOAP SetPower action. Two incompatible radio/wire
+// protocols, one working light switch, zero platform code in the
+// application.
+//
+// Run with:
+//
+//	go run ./examples/clicker
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/upnp"
+	"repro/umiddle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clicker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+	rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "h1", Network: net})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if err := rt.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 300 * time.Millisecond}); err != nil {
+		return err
+	}
+	if err := rt.AddBluetoothMapper(umiddle.BluetoothMapperConfig{
+		InquiryInterval: 300 * time.Millisecond,
+		InquiryWindow:   150 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+
+	// The devices: a Bluetooth mouse and a UPnP light.
+	mouseAdapter, err := bluetooth.NewAdapter(net.MustAddHost("mouse-dev"), "mouse-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer mouseAdapter.Close()
+	mouse, err := bluetooth.NewHIDMouse(mouseAdapter, "Travel Mouse")
+	if err != nil {
+		return err
+	}
+	defer mouse.Close()
+
+	light := upnp.NewBinaryLight(net.MustAddHost("light-dev"), "light-1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		return err
+	}
+	defer light.Unpublish()
+
+	mouseProfiles, err := rt.WaitFor(umiddle.Query{DeviceType: "HID-Mouse"}, 1, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	lightProfiles, err := rt.WaitFor(umiddle.Query{Platform: "upnp"}, 1, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("bridged:", mouseProfiles[0].Name, "and", lightProfiles[0].Name)
+
+	// The glue: a native service with a text/vml input and two control
+	// outputs; each click flips the light's state.
+	shape, err := umiddle.NewShape(
+		umiddle.Port{Name: "clicks", Kind: umiddle.Digital, Direction: umiddle.Input, Type: "text/vml"},
+		umiddle.Port{Name: "on", Kind: umiddle.Digital, Direction: umiddle.Output, Type: "control/power"},
+		umiddle.Port{Name: "off", Kind: umiddle.Digital, Direction: umiddle.Output, Type: "control/power"},
+	)
+	if err != nil {
+		return err
+	}
+	toggle, err := rt.NewService("Click Toggle", shape, nil)
+	if err != nil {
+		return err
+	}
+	on := false
+	if err := toggle.HandleInput("clicks", func(umiddle.Message) error {
+		on = !on
+		port := "off"
+		if on {
+			port = "on"
+		}
+		toggle.Emit(port, umiddle.Message{})
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Virtual cabling: mouse clicks -> toggle -> light.
+	mouseClicks := umiddle.PortRef{Translator: mouseProfiles[0].ID, Port: "click-out"}
+	if _, err := rt.Connect(mouseClicks, toggle.Port("clicks")); err != nil {
+		return err
+	}
+	if _, err := rt.Connect(toggle.Port("on"),
+		umiddle.PortRef{Translator: lightProfiles[0].ID, Port: "power-on"}); err != nil {
+		return err
+	}
+	if _, err := rt.Connect(toggle.Port("off"),
+		umiddle.PortRef{Translator: lightProfiles[0].ID, Port: "power-off"}); err != nil {
+		return err
+	}
+
+	// Click three times: on, off, on.
+	time.Sleep(300 * time.Millisecond) // HID connection settles
+	for i := 1; i <= 3; i++ {
+		mouse.Click(1)
+		want := i%2 == 1
+		deadline := time.Now().Add(5 * time.Second)
+		for light.Power() != want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("click %d: light = %v, want %v", i, light.Power(), want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Printf("click %d: light is now %v\n", i, light.Power())
+	}
+	fmt.Println("clicker: OK")
+	return nil
+}

@@ -1,0 +1,135 @@
+// Geoplay: the G2 UI scenario of the paper's Section 4.2.
+//
+// Gadgets are registered at coordinates in a geographical space. When
+// the user carries the Bluetooth camera next to the UPnP TV, geoplay
+// fires: the camera's images play on the TV. When the camera is carried
+// to the media store instead, geostore fires: the store archives the
+// camera's captures. All compositions cross platforms through the
+// intermediary semantic space.
+//
+// Run with:
+//
+//	go run ./examples/geoplay
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/g2"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/upnp"
+	"repro/umiddle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geoplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+	rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "atlas", Network: net})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if err := rt.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 300 * time.Millisecond}); err != nil {
+		return err
+	}
+	if err := rt.AddBluetoothMapper(umiddle.BluetoothMapperConfig{
+		InquiryInterval: 300 * time.Millisecond,
+		InquiryWindow:   150 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+
+	// The gadgets: camera (capture), TV (player), media store (storage).
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam-dev", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	defer camAdapter.Close()
+	camera, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Camera")
+	if err != nil {
+		return err
+	}
+	defer camera.Close()
+	camera.Capture("shot-1.jpg", []byte("first-shot"))
+
+	tv := upnp.NewMediaRenderer(net.MustAddHost("tv-dev"), "tv-1", "Living Room TV", upnp.DeviceOptions{})
+	if err := tv.Publish(); err != nil {
+		return err
+	}
+	defer tv.Unpublish()
+
+	storeShape, err := umiddle.NewShape(
+		umiddle.Port{Name: "media-in", Kind: umiddle.Digital, Direction: umiddle.Input, Type: "image/jpeg"},
+	)
+	if err != nil {
+		return err
+	}
+	store, err := rt.NewService("Media Store", storeShape, map[string]string{"g2.role": "storage"})
+	if err != nil {
+		return err
+	}
+	archived := make(chan int, 16)
+	if err := store.HandleInput("media-in", func(msg umiddle.Message) error {
+		archived <- len(msg.Payload)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	camProfiles, err := rt.WaitFor(umiddle.Query{DeviceType: "BIP-Camera"}, 1, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	tvProfiles, err := rt.WaitFor(umiddle.Query{Platform: "upnp"}, 1, 15*time.Second)
+	if err != nil {
+		return err
+	}
+
+	// The geographic space: TV in the living room, store in the study.
+	space := g2.NewSpace(rt.Internal(), 5)
+	space.OnEvent(func(e g2.Event) { fmt.Printf("  [g2] %s: %s -> %s\n", e.Kind, e.Src, e.Dst) })
+	if err := space.Place(tvProfiles[0].ID, g2.Point{X: 0, Y: 0}); err != nil {
+		return err
+	}
+	if err := space.Place(store.ID(), g2.Point{X: 50, Y: 0}); err != nil {
+		return err
+	}
+	if err := space.Place(camProfiles[0].ID, g2.Point{X: 25, Y: 25}); err != nil {
+		return err
+	}
+
+	// Carry the camera to the TV: geoplay.
+	fmt.Println("carrying the camera to the living room...")
+	if err := space.Move(camProfiles[0].ID, g2.Point{X: 1, Y: 1}); err != nil {
+		return err
+	}
+	if err := tv.WaitRendered(10 * time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("  [tv] playing %q\n", tv.Rendered()[0])
+
+	// Carry the camera to the study: the TV link tears down, geostore
+	// fires against the media store.
+	fmt.Println("carrying the camera to the study...")
+	camera.Capture("shot-2.jpg", []byte("second-shot-larger-bytes"))
+	if err := space.Move(camProfiles[0].ID, g2.Point{X: 49, Y: 1}); err != nil {
+		return err
+	}
+	select {
+	case n := <-archived:
+		fmt.Printf("  [store] archived a %d-byte capture\n", n)
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("geostore never archived")
+	}
+	fmt.Println("geoplay: OK")
+	return nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+)
+
+// QoSRow is one row of the QoS ablation: how one translation-buffer
+// policy behaves when a fast producer feeds a slow (narrow-bandwidth)
+// consumer — the exact situation the paper's Section 5.3 diagnoses
+// ("the service would be a bottleneck that causes the data sent from
+// other services to accumulate in the uMiddle's translation buffer.
+// Therefore, the universal interoperability layer should provide some
+// QoS control mechanism").
+type QoSRow struct {
+	// Policy is the buffer policy under test.
+	Policy qos.Policy
+	// Produced counts messages the producer managed to emit in the
+	// window (backpressure throttles it under Block).
+	Produced int
+	// Delivered counts messages the slow consumer processed.
+	Delivered int
+	// Dropped counts messages discarded by the policy.
+	Dropped uint64
+	// HighWater is the deepest the translation buffer got.
+	HighWater int
+	// MeanStaleness is the mean emit-to-delivery age of delivered
+	// messages: the accumulation effect made visible.
+	MeanStaleness time.Duration
+}
+
+// RunQoSAblation drives a producer at full speed into a consumer that
+// handles one message per consumerDelay, for the given window, once per
+// policy. Buffer capacity is fixed at 16.
+func RunQoSAblation(window, consumerDelay time.Duration) ([]QoSRow, error) {
+	if window <= 0 {
+		window = time.Second
+	}
+	if consumerDelay <= 0 {
+		consumerDelay = 20 * time.Millisecond
+	}
+	policies := []qos.Policy{qos.Block, qos.DropOldest, qos.DropNewest, qos.LatestOnly}
+	rows := make([]QoSRow, 0, len(policies))
+	for _, policy := range policies {
+		row, err := runQoSPolicy(policy, window, consumerDelay)
+		if err != nil {
+			return nil, fmt.Errorf("bench: qos %v: %w", policy, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runQoSPolicy(policy qos.Policy, window, consumerDelay time.Duration) (QoSRow, error) {
+	row := QoSRow{Policy: policy}
+	rt, err := newRuntime(nil, "qos-node") // standalone: the bottleneck is the consumer, not the wire
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+
+	src := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("qos-node", "umiddle", "fast-src"),
+		Name:     "fast source",
+		Platform: "umiddle",
+		Node:     "qos-node",
+		Shape: core.MustShape(
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+		),
+	})
+	if err := rt.Register(src); err != nil {
+		return row, err
+	}
+
+	var mu sync.Mutex
+	var delivered int
+	var totalStaleness time.Duration
+	slow := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("qos-node", "umiddle", "slow-sink"),
+		Name:     "slow sink",
+		Platform: "umiddle",
+		Node:     "qos-node",
+		Shape: core.MustShape(
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+		),
+	})
+	slow.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		time.Sleep(consumerDelay)
+		mu.Lock()
+		delivered++
+		totalStaleness += time.Since(msg.Time)
+		mu.Unlock()
+		return nil
+	})
+	if err := rt.Register(slow); err != nil {
+		return row, err
+	}
+
+	id, err := rt.Transport().ConnectClass(
+		core.PortRef{Translator: src.ID(), Port: "out"},
+		core.PortRef{Translator: slow.ID(), Port: "in"},
+		qos.Class{BufferCapacity: 16, Policy: policy},
+	)
+	if err != nil {
+		return row, err
+	}
+
+	// Produce as fast as the policy admits (Block throttles via
+	// backpressure; the dropping policies never block).
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		src.Emit("out", core.Message{Payload: []byte("reading"), Time: time.Now()})
+		row.Produced++
+		time.Sleep(time.Millisecond)
+	}
+	// Let the consumer drain what is still buffered.
+	time.Sleep(20*consumerDelay + 100*time.Millisecond)
+
+	stats, _ := rt.Transport().PathStats(id)
+	mu.Lock()
+	row.Delivered = delivered
+	if delivered > 0 {
+		row.MeanStaleness = totalStaleness / time.Duration(delivered)
+	}
+	mu.Unlock()
+	row.Dropped = stats.Buffer.Dropped
+	row.HighWater = stats.Buffer.HighWater
+	return row, nil
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The experiment runners get small smoke tests here; the full
+// configurations run from the repository root's bench_test.go and
+// cmd/benchharness.
+
+func TestRunFigure10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rows, err := RunFigure10(1)
+	if err != nil {
+		t.Fatalf("RunFigure10: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byDevice := map[string]Figure10Row{}
+	for _, r := range rows {
+		if r.Samples != 1 || r.MeasuredMean <= 0 {
+			t.Errorf("row %+v has no samples", r)
+		}
+		byDevice[r.Device] = r
+	}
+	// Shape criterion: the clock (14 ports, 3 services) maps slower
+	// than the light (4 ports, 1 service).
+	if byDevice["UPnP Clock"].MeasuredMean <= byDevice["UPnP Light"].MeasuredMean {
+		t.Errorf("clock (%v) should map slower than light (%v)",
+			byDevice["UPnP Clock"].MeasuredMean, byDevice["UPnP Light"].MeasuredMean)
+	}
+	if PortCountOf(rows, "UPnP Clock") != 14 {
+		t.Errorf("clock ports = %d, want 14", PortCountOf(rows, "UPnP Clock"))
+	}
+}
+
+func TestRunSec52UPnPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	row, err := RunSec52UPnP(4)
+	if err != nil {
+		t.Fatalf("RunSec52UPnP: %v", err)
+	}
+	// The actuation delay dominates both paths.
+	if row.MeasuredNative < UPnPActuationDelay {
+		t.Errorf("native = %v, want >= actuation delay", row.MeasuredNative)
+	}
+	// uMiddle's own overhead is sub-millisecond here, so total and
+	// native differ only within noise; allow a small negative slack.
+	if row.MeasuredTotal < row.MeasuredNative-5*time.Millisecond {
+		t.Errorf("total %v < native %v beyond noise", row.MeasuredTotal, row.MeasuredNative)
+	}
+	// Shape criterion: the infrastructure contributes little — well
+	// under half the native-domain cost.
+	if row.MeasuredUMiddle > row.MeasuredNative/2 {
+		t.Errorf("uMiddle overhead %v too large vs native %v", row.MeasuredUMiddle, row.MeasuredNative)
+	}
+}
+
+func TestRunSec52BluetoothSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	row, err := RunSec52Bluetooth(5)
+	if err != nil {
+		t.Fatalf("RunSec52Bluetooth: %v", err)
+	}
+	if row.MeasuredTotal <= 0 {
+		t.Fatalf("no latency measured: %+v", row)
+	}
+	// Shape criterion: tens of milliseconds, not hundreds (the shaped
+	// 5 ms radio latency appears twice in the click+release pair).
+	if row.MeasuredTotal > 200*time.Millisecond {
+		t.Errorf("click translation = %v, want well under 200ms", row.MeasuredTotal)
+	}
+}
+
+func TestRunFigure11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tcp, err := RunFigure11TCP(200)
+	if err != nil {
+		t.Fatalf("tcp: %v", err)
+	}
+	mb, err := RunFigure11MB(200)
+	if err != nil {
+		t.Fatalf("mb: %v", err)
+	}
+	rmiRow, err := RunFigure11RMI(100)
+	if err != nil {
+		t.Fatalf("rmi: %v", err)
+	}
+	// Shape criteria from the paper: everything sits below the TCP
+	// baseline; MB (streaming) beats RMI (synchronous RPC).
+	if !(tcp.MeasuredMbps > mb.MeasuredMbps) {
+		t.Errorf("tcp %.2f should beat mb %.2f", tcp.MeasuredMbps, mb.MeasuredMbps)
+	}
+	if !(mb.MeasuredMbps > rmiRow.MeasuredMbps) {
+		t.Errorf("mb %.2f should beat rmi %.2f", mb.MeasuredMbps, rmiRow.MeasuredMbps)
+	}
+	if tcp.MeasuredMbps > 11 {
+		t.Errorf("tcp baseline %.2f exceeds the 10 Mbps link", tcp.MeasuredMbps)
+	}
+}
+
+func TestMbpsHelper(t *testing.T) {
+	got := mbps(1_250_000, time.Second) // 10 Mbit in 1s
+	if got < 9.99 || got > 10.01 {
+		t.Fatalf("mbps = %f, want 10", got)
+	}
+	if mbps(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestRunQoSAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rows, err := RunQoSAblation(400*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("RunQoSAblation: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[string]QoSRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy.String()] = r
+	}
+	block := byPolicy["block"]
+	dropOldest := byPolicy["drop-oldest"]
+	latest := byPolicy["latest-only"]
+	// Block never drops; backpressure throttles the producer instead.
+	if block.Dropped != 0 {
+		t.Errorf("block dropped %d", block.Dropped)
+	}
+	if block.Produced >= dropOldest.Produced {
+		t.Errorf("backpressure did not throttle: block produced %d >= drop-oldest %d",
+			block.Produced, dropOldest.Produced)
+	}
+	// Dropping policies drop under overload.
+	if dropOldest.Dropped == 0 || latest.Dropped == 0 {
+		t.Errorf("dropping policies did not drop: %+v / %+v", dropOldest, latest)
+	}
+	// The accumulation effect: block's delivered messages are the most
+	// stale; latest-only's the freshest.
+	if block.MeanStaleness <= latest.MeanStaleness {
+		t.Errorf("staleness ordering wrong: block %v <= latest %v",
+			block.MeanStaleness, latest.MeanStaleness)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/netemu"
+	"repro/internal/platform/upnp"
+)
+
+// Device identifiers accepted by RunFigure10Device.
+const (
+	DeviceClock    = "clock"
+	DeviceLight    = "light"
+	DeviceAirCon   = "aircon"
+	DeviceHIDMouse = "hid-mouse"
+)
+
+// RunFigure10Device runs the Figure 10 mapping experiment for a single
+// device type; the testing.B benchmarks drive this per-device entry
+// point.
+func RunFigure10Device(device string, iters int) (Figure10Row, error) {
+	switch device {
+	case DeviceClock:
+		return runFigure10UPnP("UPnP Clock", 0.7, iters, func(h *netemu.Host, uuid string) (interface{ Unpublish() error }, error) {
+			d := upnp.NewClock(h, uuid, "Bench Clock", upnp.DeviceOptions{})
+			return d, d.Publish()
+		})
+	case DeviceLight:
+		return runFigure10UPnP("UPnP Light", 4.0, iters, func(h *netemu.Host, uuid string) (interface{ Unpublish() error }, error) {
+			d := upnp.NewBinaryLight(h, uuid, "Bench Light", upnp.DeviceOptions{})
+			return d, d.Publish()
+		})
+	case DeviceAirCon:
+		return runFigure10UPnP("UPnP Air Conditioner", 4.0, iters, func(h *netemu.Host, uuid string) (interface{ Unpublish() error }, error) {
+			d := upnp.NewAirConditioner(h, uuid, "Bench AC", upnp.DeviceOptions{})
+			return d, d.Publish()
+		})
+	case DeviceHIDMouse:
+		return runFigure10Bluetooth(iters)
+	default:
+		return Figure10Row{}, fmt.Errorf("bench: unknown device %q", device)
+	}
+}

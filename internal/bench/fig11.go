@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mappers/mbmap"
+	"repro/internal/mappers/rmimap"
+	"repro/internal/netemu"
+	"repro/internal/platform/mediabroker"
+	"repro/internal/platform/rmi"
+)
+
+// Figure11Row is one bar of the paper's Figure 11: throughput of
+// 1400-byte messages through the bridging layer on a 10 Mbps network.
+type Figure11Row struct {
+	// Test labels the configuration (TCP baseline, MB, RMI, RMI-MB).
+	Test string
+	// PaperMbps is the throughput the paper reports.
+	PaperMbps float64
+	// MeasuredMbps is the measured throughput.
+	MeasuredMbps float64
+	// Messages and Bytes describe the workload actually run.
+	Messages int
+	Bytes    int64
+	// Elapsed is the measured transfer time.
+	Elapsed time.Duration
+}
+
+// MessageSize is the paper's benchmark message size.
+const MessageSize = 1400
+
+// fig11Net builds the paper's three-node 10 Mbps topology: node1 hosts
+// the MediaBroker server, node2 the uMiddle runtime, node3 the RMI
+// registry and service. The hosts hang off a shared half-duplex hub —
+// the paper's "10Mbps Ethernet hub" — so concurrent and bidirectional
+// flows contend for the same 10 Mbps and every frame pays Ethernet/IP/
+// TCP framing overhead.
+func fig11Net() (*netemu.Network, error) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	net.SetSharedMedium(10_000_000, netemu.EthernetHubOverheadBytes)
+	for _, h := range []string{"node1", "node2", "node3"} {
+		if _, err := net.AddHost(h); err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// RunFigure11TCP measures the raw stream baseline: msgs 1400-byte
+// messages over one netemu connection between node1 and node2.
+func RunFigure11TCP(msgs int) (Figure11Row, error) {
+	if msgs <= 0 {
+		msgs = 2000
+	}
+	row := Figure11Row{Test: "TCP baseline", PaperMbps: 7.9, Messages: msgs}
+	net, err := fig11Net()
+	if err != nil {
+		return row, err
+	}
+	defer net.Close()
+
+	l, err := net.Host("node2").Listen(9000)
+	if err != nil {
+		return row, err
+	}
+	total := int64(msgs) * MessageSize
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = io.CopyN(io.Discard, conn, total)
+		done <- err
+	}()
+
+	conn, err := net.Host("node1").Dial(context.Background(), "node2:9000")
+	if err != nil {
+		return row, err
+	}
+	defer conn.Close()
+	buf := make([]byte, MessageSize)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if _, err := conn.Write(buf); err != nil {
+			return row, err
+		}
+	}
+	if err := <-done; err != nil {
+		return row, err
+	}
+	row.Elapsed = time.Since(start)
+	row.Bytes = total
+	row.MeasuredMbps = mbps(total, row.Elapsed)
+	return row, nil
+}
+
+// RunFigure11MB reproduces the MB test: the MediaBroker service on
+// node1 sends 1400-byte messages to its translator on node2, which
+// echoes them back to the same service through uMiddle.
+func RunFigure11MB(msgs int) (Figure11Row, error) {
+	if msgs <= 0 {
+		msgs = 1500
+	}
+	row := Figure11Row{Test: "MB", PaperMbps: 6.2, Messages: msgs}
+	net, err := fig11Net()
+	if err != nil {
+		return row, err
+	}
+	defer net.Close()
+
+	broker, err := mediabroker.NewBroker(net.Host("node1"))
+	if err != nil {
+		return row, err
+	}
+	defer broker.Close()
+
+	rt, err := newRuntime(net, "node2")
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	if err := rt.AddMapper(mbmap.New(rt.Host(), mbmap.Options{
+		BrokerHost:   "node1",
+		PollInterval: 100 * time.Millisecond,
+	})); err != nil {
+		return row, err
+	}
+
+	ctx := context.Background()
+	prod, err := mediabroker.NewProducer(ctx, net.Host("node1"), "node1", "bench", "application/octet-stream")
+	if err != nil {
+		return row, err
+	}
+	defer prod.Close()
+
+	var profile core.Profile
+	if err := waitCond(10*time.Second, func() bool {
+		got := rt.Lookup(core.Query{Platform: "mediabroker"})
+		if len(got) == 1 {
+			profile = got[0]
+			return true
+		}
+		return false
+	}); err != nil {
+		return row, err
+	}
+	// Echo: the translator's output wired straight back to its input.
+	if _, err := rt.Connect(
+		core.PortRef{Translator: profile.ID, Port: "media-out"},
+		core.PortRef{Translator: profile.ID, Port: "media-in"},
+	); err != nil {
+		return row, err
+	}
+
+	// Prime the return stream so the consumer can attach before the
+	// measured run.
+	if err := prod.Send(make([]byte, MessageSize)); err != nil {
+		return row, err
+	}
+	var cons *mediabroker.Consumer
+	if err := waitCond(10*time.Second, func() bool {
+		c, err := mediabroker.NewConsumer(ctx, net.Host("node1"), "node1", "bench"+mbmap.ReturnSuffix)
+		if err != nil {
+			return false
+		}
+		cons = c
+		return true
+	}); err != nil {
+		return row, err
+	}
+	defer cons.Close()
+	// The first priming frame predates the consumer and is lost (frames
+	// are not buffered); a second one verifies the full echo loop.
+	if err := prod.Send(make([]byte, MessageSize)); err != nil {
+		return row, err
+	}
+	if _, err := cons.Recv(); err != nil {
+		return row, err
+	}
+
+	frame := make([]byte, MessageSize)
+	errs := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := prod.Send(frame); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	var received int64
+	for i := 0; i < msgs; i++ {
+		f, err := cons.Recv()
+		if err != nil {
+			return row, fmt.Errorf("bench: mb recv: %w", err)
+		}
+		received += int64(len(f))
+	}
+	row.Elapsed = time.Since(start)
+	if err := <-errs; err != nil {
+		return row, err
+	}
+	row.Bytes = received
+	row.MeasuredMbps = mbps(received, row.Elapsed)
+	return row, nil
+}
+
+// RunFigure11RMI reproduces the RMI test: 1400-byte messages travel
+// from the intermediary space into the RMI echo service on node3 and
+// back — one synchronous gob-marshaled invocation per message.
+func RunFigure11RMI(msgs int) (Figure11Row, error) {
+	if msgs <= 0 {
+		msgs = 600
+	}
+	row := Figure11Row{Test: "RMI", PaperMbps: 3.2, Messages: msgs}
+	net, err := fig11Net()
+	if err != nil {
+		return row, err
+	}
+	defer net.Close()
+
+	reg, err := rmi.NewRegistry(net.Host("node3"))
+	if err != nil {
+		return row, err
+	}
+	defer reg.Close()
+	srv, err := rmi.NewServer(net.Host("node3"), 0)
+	if err != nil {
+		return row, err
+	}
+	defer srv.Close()
+	echoRef := rmi.ExportEcho(srv)
+	rc := rmi.NewRegistryClient(net.Host("node3"), "node3")
+	if err := rc.Bind(context.Background(), "echo", echoRef); err != nil {
+		return row, err
+	}
+
+	rt, err := newRuntime(net, "node2")
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	if err := rt.AddMapper(rmimap.New(rt.Host(), rmimap.Options{
+		RegistryHost: "node3",
+		PollInterval: 100 * time.Millisecond,
+	})); err != nil {
+		return row, err
+	}
+
+	var profile core.Profile
+	if err := waitCond(10*time.Second, func() bool {
+		got := rt.Lookup(core.Query{Platform: "rmi"})
+		if len(got) == 1 {
+			profile = got[0]
+			return true
+		}
+		return false
+	}); err != nil {
+		return row, err
+	}
+
+	received := make(chan int, 1024)
+	sink := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("node2", "umiddle", "rmi-sink"),
+		Name:     "rmi sink",
+		Platform: "umiddle",
+		Node:     "node2",
+		Shape: core.MustShape(
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "application/octet-stream"},
+		),
+	})
+	sink.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		received <- len(msg.Payload)
+		return nil
+	})
+	if err := rt.Register(sink); err != nil {
+		return row, err
+	}
+	pump := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("node2", "umiddle", "rmi-pump"),
+		Name:     "rmi pump",
+		Platform: "umiddle",
+		Node:     "node2",
+		Shape: core.MustShape(
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "application/octet-stream"},
+		),
+	})
+	if err := rt.Register(pump); err != nil {
+		return row, err
+	}
+	if _, err := rt.Connect(
+		core.PortRef{Translator: pump.ID(), Port: "out"},
+		core.PortRef{Translator: profile.ID, Port: "echo-in"},
+	); err != nil {
+		return row, err
+	}
+	if _, err := rt.Connect(
+		core.PortRef{Translator: profile.ID, Port: "echo-out"},
+		core.PortRef{Translator: sink.ID(), Port: "in"},
+	); err != nil {
+		return row, err
+	}
+
+	payload := make([]byte, MessageSize)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			pump.Emit("out", core.Message{Payload: payload})
+		}
+	}()
+	var total int64
+	for i := 0; i < msgs; i++ {
+		select {
+		case n := <-received:
+			total += int64(n)
+		case <-time.After(60 * time.Second):
+			return row, fmt.Errorf("bench: rmi echo %d never arrived", i)
+		}
+	}
+	row.Elapsed = time.Since(start)
+	wg.Wait()
+	row.Bytes = total
+	row.MeasuredMbps = mbps(total, row.Elapsed)
+	return row, nil
+}
+
+// RunFigure11RMIMB reproduces the RMI-MB test: the MB service on node1
+// sends messages through uMiddle to the RMI service on node3 and the
+// results flow back to node1 — transport-level bridging between two
+// platforms.
+func RunFigure11RMIMB(msgs int) (Figure11Row, error) {
+	if msgs <= 0 {
+		msgs = 600
+	}
+	row := Figure11Row{Test: "RMI-MB", PaperMbps: 2.9, Messages: msgs}
+	net, err := fig11Net()
+	if err != nil {
+		return row, err
+	}
+	defer net.Close()
+
+	broker, err := mediabroker.NewBroker(net.Host("node1"))
+	if err != nil {
+		return row, err
+	}
+	defer broker.Close()
+	reg, err := rmi.NewRegistry(net.Host("node3"))
+	if err != nil {
+		return row, err
+	}
+	defer reg.Close()
+	srv, err := rmi.NewServer(net.Host("node3"), 0)
+	if err != nil {
+		return row, err
+	}
+	defer srv.Close()
+	echoRef := rmi.ExportEcho(srv)
+	rc := rmi.NewRegistryClient(net.Host("node3"), "node3")
+	if err := rc.Bind(context.Background(), "echo", echoRef); err != nil {
+		return row, err
+	}
+
+	rt, err := newRuntime(net, "node2")
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	if err := rt.AddMapper(mbmap.New(rt.Host(), mbmap.Options{
+		BrokerHost:   "node1",
+		PollInterval: 100 * time.Millisecond,
+	})); err != nil {
+		return row, err
+	}
+	if err := rt.AddMapper(rmimap.New(rt.Host(), rmimap.Options{
+		RegistryHost: "node3",
+		PollInterval: 100 * time.Millisecond,
+	})); err != nil {
+		return row, err
+	}
+
+	ctx := context.Background()
+	prod, err := mediabroker.NewProducer(ctx, net.Host("node1"), "node1", "bench", "application/octet-stream")
+	if err != nil {
+		return row, err
+	}
+	defer prod.Close()
+
+	var mbProfile, rmiProfile core.Profile
+	if err := waitCond(10*time.Second, func() bool {
+		mb := rt.Lookup(core.Query{Platform: "mediabroker"})
+		rm := rt.Lookup(core.Query{Platform: "rmi"})
+		if len(mb) == 1 && len(rm) == 1 {
+			mbProfile, rmiProfile = mb[0], rm[0]
+			return true
+		}
+		return false
+	}); err != nil {
+		return row, err
+	}
+
+	// MB frames -> RMI echo -> back into MB's return stream.
+	if _, err := rt.Connect(
+		core.PortRef{Translator: mbProfile.ID, Port: "media-out"},
+		core.PortRef{Translator: rmiProfile.ID, Port: "echo-in"},
+	); err != nil {
+		return row, err
+	}
+	if _, err := rt.Connect(
+		core.PortRef{Translator: rmiProfile.ID, Port: "echo-out"},
+		core.PortRef{Translator: mbProfile.ID, Port: "media-in"},
+	); err != nil {
+		return row, err
+	}
+
+	if err := prod.Send(make([]byte, MessageSize)); err != nil {
+		return row, err
+	}
+	var cons *mediabroker.Consumer
+	if err := waitCond(15*time.Second, func() bool {
+		c, err := mediabroker.NewConsumer(ctx, net.Host("node1"), "node1", "bench"+mbmap.ReturnSuffix)
+		if err != nil {
+			return false
+		}
+		cons = c
+		return true
+	}); err != nil {
+		return row, err
+	}
+	defer cons.Close()
+	// As in the MB test, re-prime after the consumer attaches.
+	if err := prod.Send(make([]byte, MessageSize)); err != nil {
+		return row, err
+	}
+	if _, err := cons.Recv(); err != nil {
+		return row, err
+	}
+
+	frame := make([]byte, MessageSize)
+	errs := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := prod.Send(frame); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	var received int64
+	for i := 0; i < msgs; i++ {
+		f, err := cons.Recv()
+		if err != nil {
+			return row, fmt.Errorf("bench: rmi-mb recv: %w", err)
+		}
+		received += int64(len(f))
+	}
+	row.Elapsed = time.Since(start)
+	if err := <-errs; err != nil {
+		return row, err
+	}
+	row.Bytes = received
+	row.MeasuredMbps = mbps(received, row.Elapsed)
+	return row, nil
+}
+
+// RunFigure11 runs all four transport-level configurations.
+func RunFigure11(msgs int) ([]Figure11Row, error) {
+	var rows []Figure11Row
+	tcp, err := RunFigure11TCP(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: tcp baseline: %w", err)
+	}
+	rows = append(rows, tcp)
+	mb, err := RunFigure11MB(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mb test: %w", err)
+	}
+	rows = append(rows, mb)
+	rmiRow, err := RunFigure11RMI(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: rmi test: %w", err)
+	}
+	rows = append(rows, rmiRow)
+	rmimbRow, err := RunFigure11RMIMB(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: rmi-mb test: %w", err)
+	}
+	rows = append(rows, rmimbRow)
+	return rows, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// This file models Section 2 of the paper: the four architectural
+// dimensions of middleware bridging and the mutual-compatibility chart
+// (Table 1). It exists so the paper's one table is reproduced as
+// executable, tested knowledge rather than prose, and it is used by the
+// benchmark harness to print the chart.
+
+// Dimension is one of the four architectural dimensions.
+type Dimension int
+
+// The four dimensions (paper Section 2.2).
+const (
+	// TranslationModel: direct (a) vs mediated (b) translation.
+	TranslationModel Dimension = iota + 1
+	// SemanticDistribution: scattered (a) vs aggregated (b) proxies.
+	SemanticDistribution
+	// SemanticsGranularity: coarse-grained (a) vs fine-grained (b).
+	SemanticsGranularity
+	// InteroperabilityLocation: at-the-edge (a) vs infrastructure (b).
+	InteroperabilityLocation
+)
+
+// Choice is one option on one dimension, e.g. {TranslationModel, 'b'} is
+// mediated translation.
+type Choice struct {
+	Dimension Dimension
+	Option    byte // 'a' or 'b'
+}
+
+// String renders the paper's "1-a".."4-b" notation.
+func (c Choice) String() string {
+	return fmt.Sprintf("%d-%c", int(c.Dimension), c.Option)
+}
+
+// Label returns the paper's name for the choice.
+func (c Choice) Label() string {
+	names := map[Choice]string{
+		{TranslationModel, 'a'}:         "direct translation",
+		{TranslationModel, 'b'}:         "mediated translation",
+		{SemanticDistribution, 'a'}:     "scattered proxies",
+		{SemanticDistribution, 'b'}:     "aggregated proxies",
+		{SemanticsGranularity, 'a'}:     "coarse-grained representation",
+		{SemanticsGranularity, 'b'}:     "fine-grained representation",
+		{InteroperabilityLocation, 'a'}: "at-the-edge",
+		{InteroperabilityLocation, 'b'}: "in-the-infrastructure",
+	}
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return c.String()
+}
+
+// AllChoices lists the eight design choices in paper order.
+func AllChoices() []Choice {
+	return []Choice{
+		{TranslationModel, 'a'}, {TranslationModel, 'b'},
+		{SemanticDistribution, 'a'}, {SemanticDistribution, 'b'},
+		{SemanticsGranularity, 'a'}, {SemanticsGranularity, 'b'},
+		{InteroperabilityLocation, 'a'}, {InteroperabilityLocation, 'b'},
+	}
+}
+
+// ChoicesCompatible reproduces Table 1: whether two design choices can
+// coexist in one bridging-framework design.
+//
+// Rules from the paper (Section 2.3): options on the same dimension are
+// alternatives (never combined); aggregated visibility (2-b),
+// coarse-grained (3-a), and fine-grained (3-b) representations are
+// specific to mediated translation, hence incompatible with direct
+// translation (1-a). Everything else coexists.
+func ChoicesCompatible(x, y Choice) bool {
+	if x.Dimension == y.Dimension {
+		return x.Option == y.Option
+	}
+	direct := Choice{TranslationModel, 'a'}
+	mediatedOnly := map[Choice]bool{
+		{SemanticDistribution, 'b'}: true,
+		{SemanticsGranularity, 'a'}: true,
+		{SemanticsGranularity, 'b'}: true,
+	}
+	if (x == direct && mediatedOnly[y]) || (y == direct && mediatedOnly[x]) {
+		return false
+	}
+	return true
+}
+
+// UMiddleDesign returns the paper's chosen design point (Section 3.1):
+// mediated translation, aggregated visibility, fine-grained
+// representation, in-the-infrastructure.
+func UMiddleDesign() []Choice {
+	return []Choice{
+		{TranslationModel, 'b'},
+		{SemanticDistribution, 'b'},
+		{SemanticsGranularity, 'b'},
+		{InteroperabilityLocation, 'b'},
+	}
+}
+
+// DesignValid reports whether a full set of choices is internally
+// consistent (pairwise compatible, one option per dimension).
+func DesignValid(choices []Choice) bool {
+	seen := make(map[Dimension]bool, len(choices))
+	for i, c := range choices {
+		if seen[c.Dimension] {
+			return false
+		}
+		seen[c.Dimension] = true
+		for _, d := range choices[i+1:] {
+			if !ChoicesCompatible(c, d) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package core
+
+import "testing"
+
+// TestDesignSpaceCompatibilityChart reproduces Table 1 of the paper as an
+// executable check: the full 8x8 chart of pairwise design-choice
+// compatibility.
+func TestDesignSpaceCompatibilityChart(t *testing.T) {
+	choices := AllChoices()
+	for _, x := range choices {
+		for _, y := range choices {
+			got := ChoicesCompatible(x, y)
+			want := expectedCompat(x, y)
+			if got != want {
+				t.Errorf("ChoicesCompatible(%s, %s) = %v, want %v", x, y, got, want)
+			}
+			// Symmetry.
+			if got != ChoicesCompatible(y, x) {
+				t.Errorf("ChoicesCompatible(%s, %s) not symmetric", x, y)
+			}
+		}
+	}
+}
+
+// expectedCompat restates the paper's rules independently of the
+// implementation.
+func expectedCompat(x, y Choice) bool {
+	if x.Dimension == y.Dimension {
+		return x.Option == y.Option
+	}
+	isDirect := func(c Choice) bool { return c.Dimension == TranslationModel && c.Option == 'a' }
+	mediatedOnly := func(c Choice) bool {
+		switch c {
+		case Choice{SemanticDistribution, 'b'},
+			Choice{SemanticsGranularity, 'a'},
+			Choice{SemanticsGranularity, 'b'}:
+			return true
+		}
+		return false
+	}
+	if isDirect(x) && mediatedOnly(y) || isDirect(y) && mediatedOnly(x) {
+		return false
+	}
+	return true
+}
+
+func TestUMiddleDesignIsValid(t *testing.T) {
+	design := UMiddleDesign()
+	if len(design) != 4 {
+		t.Fatalf("design has %d choices, want 4", len(design))
+	}
+	if !DesignValid(design) {
+		t.Fatal("uMiddle's own design point must be internally consistent")
+	}
+}
+
+func TestDirectTranslationConstraints(t *testing.T) {
+	// "When taking the direct translation approach, the only design
+	// choice is between at-the-edge (4-a) and in the infrastructure
+	// (4-b)" — paper Section 2.3.
+	direct := Choice{TranslationModel, 'a'}
+	valid := 0
+	for _, c := range AllChoices() {
+		if c.Dimension == TranslationModel {
+			continue
+		}
+		if ChoicesCompatible(direct, c) {
+			valid++
+		}
+	}
+	// Compatible companions: 2-a, 4-a, 4-b.
+	if valid != 3 {
+		t.Fatalf("direct translation compatible with %d other choices, want 3", valid)
+	}
+
+	if DesignValid([]Choice{direct, {SemanticDistribution, 'b'}}) {
+		t.Error("direct + aggregated must be invalid")
+	}
+	if DesignValid([]Choice{direct, {SemanticsGranularity, 'b'}}) {
+		t.Error("direct + fine-grained must be invalid")
+	}
+	if !DesignValid([]Choice{direct, {SemanticDistribution, 'a'}, {InteroperabilityLocation, 'b'}}) {
+		t.Error("direct + scattered + infrastructure should be valid")
+	}
+}
+
+func TestDesignValidRejectsDuplicateDimension(t *testing.T) {
+	if DesignValid([]Choice{{TranslationModel, 'a'}, {TranslationModel, 'b'}}) {
+		t.Fatal("two options on one dimension accepted")
+	}
+}
+
+func TestChoiceLabels(t *testing.T) {
+	for _, c := range AllChoices() {
+		if c.Label() == c.String() {
+			t.Errorf("choice %s has no label", c)
+		}
+	}
+	unknown := Choice{Dimension: 9, Option: 'z'}
+	if unknown.Label() != unknown.String() {
+		t.Error("unknown choice should fall back to String()")
+	}
+}
+
+// TestFineGrainedComposesMoreThanCoarse quantifies the paper's Section
+// 2.2.3 argument for fine-grained representation: under coarse-grained
+// matching two devices compose only when their device types are equal,
+// while Service Shaping composes any output/input pair with matching
+// data types — so fine-grained admits strictly more compositions over a
+// realistic device population.
+func TestFineGrainedComposesMoreThanCoarse(t *testing.T) {
+	// A population modeled on the paper's examples.
+	devices := []Profile{
+		{ID: "n/bt/cam", Name: "BIP camera", Platform: "bluetooth", DeviceType: "BIP-Camera", Node: "n",
+			Shape: MustShape(Port{Name: "image-out", Kind: Digital, Direction: Output, Type: "image/jpeg"})},
+		{ID: "n/bt/printer", Name: "BIP printer", Platform: "bluetooth", DeviceType: "BIP-Printer", Node: "n",
+			Shape: MustShape(
+				Port{Name: "image-in", Kind: Digital, Direction: Input, Type: "image/jpeg"},
+				Port{Name: "paper", Kind: Physical, Direction: Output, Type: "visible/paper"})},
+		{ID: "n/upnp/tv", Name: "MediaRenderer", Platform: "upnp", DeviceType: "urn:...:MediaRenderer:1", Node: "n",
+			Shape: MustShape(
+				Port{Name: "image-in", Kind: Digital, Direction: Input, Type: "image/jpeg"},
+				Port{Name: "screen", Kind: Physical, Direction: Output, Type: "visible/screen"})},
+		{ID: "n/um/store", Name: "media store", Platform: "umiddle", DeviceType: "store", Node: "n",
+			Shape: MustShape(Port{Name: "in", Kind: Digital, Direction: Input, Type: "image/jpeg"})},
+		{ID: "n/upnp/clock", Name: "clock", Platform: "upnp", DeviceType: "urn:...:Clock:1", Node: "n",
+			Shape: MustShape(Port{Name: "time-out", Kind: Digital, Direction: Output, Type: "text/time"})},
+	}
+	finePairs := 0
+	coarsePairs := 0
+	for i, a := range devices {
+		for j, b := range devices {
+			if i >= j {
+				continue
+			}
+			if a.Shape.CompatibleWith(b.Shape) {
+				finePairs++
+			}
+			if a.DeviceType == b.DeviceType {
+				coarsePairs++
+			}
+		}
+	}
+	// Fine-grained: camera->printer, camera->TV, camera->store all
+	// compose; coarse-grained composes none (all types differ).
+	if finePairs < 3 {
+		t.Fatalf("fine-grained pairs = %d, want >= 3", finePairs)
+	}
+	if coarsePairs != 0 {
+		t.Fatalf("coarse-grained pairs = %d, want 0", coarsePairs)
+	}
+}
+
+// TestTranslatorScalingArgument encodes the paper's Section 2.2.1
+// scaling analysis: direct translation needs a translator for every
+// ordered device-type pair — n(n-1) for n types — while mediated
+// translation needs "at most one translator per device type". This
+// repository's own vocabulary demonstrates the gap.
+func TestTranslatorScalingArgument(t *testing.T) {
+	directCount := func(n int) int { return n * (n - 1) }
+	mediatedCount := func(n int) int { return n }
+
+	// The built-in vocabulary currently has 12 device types; the paper's
+	// broader point holds for any n > 2.
+	for _, n := range []int{3, 12, 50} {
+		d, m := directCount(n), mediatedCount(n)
+		if d <= m {
+			t.Fatalf("n=%d: direct %d should exceed mediated %d", n, d, m)
+		}
+	}
+	// Adding one device type costs 1 translator under mediation but 2n
+	// under direct translation (paper: "any new device type requires a
+	// new translator for each existing device type").
+	n := 12
+	if directCount(n+1)-directCount(n) != 2*n {
+		t.Fatalf("direct marginal cost = %d, want %d", directCount(n+1)-directCount(n), 2*n)
+	}
+	if mediatedCount(n+1)-mediatedCount(n) != 1 {
+		t.Fatal("mediated marginal cost must be 1")
+	}
+}

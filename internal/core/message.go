@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Message is the unit of communication in the intermediary semantic
+// space: a typed payload traveling from an output port to one or more
+// input ports.
+type Message struct {
+	// Type is the payload's data type; it must match (or be matched by)
+	// the carrying port's type.
+	Type DataType `json:"type"`
+	// Payload is the message body.
+	Payload []byte `json:"payload"`
+	// Headers carries message metadata (native protocol headers survive
+	// translation here, minimizing semantic loss).
+	Headers map[string]string `json:"headers,omitempty"`
+	// Source identifies the emitting port; set by the transport module.
+	Source PortRef `json:"source,omitempty"`
+	// Seq is a per-path sequence number assigned by the transport module.
+	Seq uint64 `json:"seq,omitempty"`
+	// Time is the emission timestamp.
+	Time time.Time `json:"time,omitempty"`
+}
+
+// NewMessage builds a message with the given type and payload.
+func NewMessage(t DataType, payload []byte) Message {
+	return Message{Type: t, Payload: payload, Time: time.Now()}
+}
+
+// TextMessage builds a "text/plain" message.
+func TextMessage(s string) Message {
+	return NewMessage("text/plain", []byte(s))
+}
+
+// Header returns a header value ("" when absent).
+func (m Message) Header(key string) string { return m.Headers[key] }
+
+// WithHeader returns a copy of the message with the header set.
+func (m Message) WithHeader(key, value string) Message {
+	h := make(map[string]string, len(m.Headers)+1)
+	for k, v := range m.Headers {
+		h[k] = v
+	}
+	h[key] = value
+	m.Headers = h
+	return m
+}
+
+// Clone deep-copies the message (payload and headers).
+func (m Message) Clone() Message {
+	cp := m
+	if m.Payload != nil {
+		cp.Payload = make([]byte, len(m.Payload))
+		copy(cp.Payload, m.Payload)
+	}
+	if m.Headers != nil {
+		cp.Headers = make(map[string]string, len(m.Headers))
+		for k, v := range m.Headers {
+			cp.Headers[k] = v
+		}
+	}
+	return cp
+}
+
+// String renders a short summary (type and size, not the payload).
+func (m Message) String() string {
+	return fmt.Sprintf("msg{%s %dB seq=%d from=%s}", m.Type, len(m.Payload), m.Seq, m.Source)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// printerShape models the paper's PostScript printer example: a "text/ps"
+// digital input and a "visible/paper" physical output.
+func printerShape() Shape {
+	return MustShape(
+		Port{Name: "doc-in", Kind: Digital, Direction: Input, Type: "text/ps"},
+		Port{Name: "paper-out", Kind: Physical, Direction: Output, Type: "visible/paper"},
+	)
+}
+
+func cameraShape() Shape {
+	return MustShape(
+		Port{Name: "image-out", Kind: Digital, Direction: Output, Type: "image/jpeg"},
+	)
+}
+
+func tvShape() Shape {
+	return MustShape(
+		Port{Name: "image-in", Kind: Digital, Direction: Input, Type: "image/jpeg"},
+		Port{Name: "screen", Kind: Physical, Direction: Output, Type: "visible/screen"},
+		Port{Name: "sound", Kind: Physical, Direction: Output, Type: "audible/air"},
+	)
+}
+
+func TestPortValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		port    Port
+		wantErr string
+	}{
+		{"valid digital", Port{Name: "p", Kind: Digital, Direction: Input, Type: "image/jpeg"}, ""},
+		{"valid physical", Port{Name: "p", Kind: Physical, Direction: Output, Type: "visible/paper"}, ""},
+		{"empty name", Port{Kind: Digital, Direction: Input, Type: "a/b"}, "empty name"},
+		{"bad kind", Port{Name: "p", Kind: 0, Direction: Input, Type: "a/b"}, "invalid kind"},
+		{"bad direction", Port{Name: "p", Kind: Digital, Direction: 0, Type: "a/b"}, "invalid direction"},
+		{"malformed type", Port{Name: "p", Kind: Digital, Direction: Input, Type: "nope"}, "malformed type"},
+		{"bad perception", Port{Name: "p", Kind: Physical, Direction: Output, Type: "smellable/air"}, "unknown perception"},
+		{"wildcard perception ok", Port{Name: "p", Kind: Physical, Direction: Output, Type: "*/*"}, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.port.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewShapeRejectsDuplicates(t *testing.T) {
+	_, err := NewShape(
+		Port{Name: "p", Kind: Digital, Direction: Input, Type: "a/b"},
+		Port{Name: "p", Kind: Digital, Direction: Output, Type: "a/b"},
+	)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate error", err)
+	}
+}
+
+func TestShapeLookup(t *testing.T) {
+	s := tvShape()
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	p, ok := s.Port("image-in")
+	if !ok || p.Type != "image/jpeg" {
+		t.Fatalf("Port(image-in) = %v, %v", p, ok)
+	}
+	if _, ok := s.Port("nope"); ok {
+		t.Fatal("Port(nope) found")
+	}
+}
+
+func TestShapeFilters(t *testing.T) {
+	s := tvShape()
+	if got := len(s.Inputs(Digital)); got != 1 {
+		t.Errorf("Inputs(Digital) = %d, want 1", got)
+	}
+	if got := len(s.Outputs(Physical)); got != 2 {
+		t.Errorf("Outputs(Physical) = %d, want 2", got)
+	}
+	if got := len(s.Outputs(0)); got != 2 {
+		t.Errorf("Outputs(any) = %d, want 2", got)
+	}
+	if got := len(s.Inputs(Physical)); got != 0 {
+		t.Errorf("Inputs(Physical) = %d, want 0", got)
+	}
+}
+
+func TestFirstMatching(t *testing.T) {
+	s := printerShape()
+	// The paper's scenario: "If the user wants to print it, the
+	// application specifies visible/paper".
+	p, ok := s.FirstMatching(Output, Physical, "visible/paper")
+	if !ok || p.Name != "paper-out" {
+		t.Fatalf("FirstMatching = %v, %v", p, ok)
+	}
+	// "visible/*" also selects the printer.
+	if _, ok := s.FirstMatching(Output, Physical, "visible/*"); !ok {
+		t.Fatal("visible/* did not match printer")
+	}
+	if _, ok := s.FirstMatching(Output, Physical, "audible/*"); ok {
+		t.Fatal("audible/* matched printer")
+	}
+}
+
+func TestShapeSatisfies(t *testing.T) {
+	viewTemplate := MustShape(
+		Port{Name: "in", Kind: Digital, Direction: Input, Type: "image/jpeg"},
+		Port{Name: "out", Kind: Physical, Direction: Output, Type: "visible/*"},
+	)
+	if !tvShape().Satisfies(viewTemplate) {
+		t.Error("TV should satisfy view template")
+	}
+	if cameraShape().Satisfies(viewTemplate) {
+		t.Error("camera should not satisfy view template")
+	}
+	// Printer renders visibly but does not accept jpeg.
+	if printerShape().Satisfies(viewTemplate) {
+		t.Error("printer should not satisfy jpeg view template")
+	}
+	// Empty template matches everything.
+	if !cameraShape().Satisfies(Shape{}) {
+		t.Error("empty template should match")
+	}
+}
+
+func TestShapeCompatibleWith(t *testing.T) {
+	// The BIP camera and the MediaRenderer TV are compatible because
+	// image/jpeg flows between them (paper Section 3.5).
+	if !cameraShape().CompatibleWith(tvShape()) {
+		t.Error("camera and TV should be compatible")
+	}
+	if !tvShape().CompatibleWith(cameraShape()) {
+		t.Error("compatibility should be symmetric")
+	}
+	if cameraShape().CompatibleWith(printerShape()) {
+		t.Error("jpeg camera and ps printer should be incompatible")
+	}
+}
+
+func TestShapePortsIsCopy(t *testing.T) {
+	s := cameraShape()
+	ports := s.Ports()
+	ports[0].Name = "mutated"
+	if p, _ := s.Port("image-out"); p.Name != "image-out" {
+		t.Fatal("Ports() aliases internal state")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	got := cameraShape().String()
+	if !strings.Contains(got, "image-out") || !strings.Contains(got, "image/jpeg") {
+		t.Fatalf("String() = %q", got)
+	}
+}

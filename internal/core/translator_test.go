@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTVBase(t *testing.T) *Base {
+	t.Helper()
+	b, err := NewBase(tvProfile())
+	if err != nil {
+		t.Fatalf("NewBase: %v", err)
+	}
+	return b
+}
+
+func TestBaseDeliverRouting(t *testing.T) {
+	b := newTVBase(t)
+	var got Message
+	b.MustHandle("image-in", func(_ context.Context, msg Message) error {
+		got = msg
+		return nil
+	})
+	msg := NewMessage("image/jpeg", []byte{0xff, 0xd8})
+	if err := b.Deliver(context.Background(), "image-in", msg); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	if string(got.Payload) != string(msg.Payload) {
+		t.Fatal("handler did not receive the payload")
+	}
+}
+
+func TestBaseDeliverErrors(t *testing.T) {
+	b := newTVBase(t)
+	b.MustHandle("image-in", func(context.Context, Message) error { return nil })
+	ctx := context.Background()
+
+	if err := b.Deliver(ctx, "nope", Message{}); !errors.Is(err, ErrNoSuchPort) {
+		t.Errorf("unknown port err = %v, want ErrNoSuchPort", err)
+	}
+	if err := b.Deliver(ctx, "screen", Message{}); !errors.Is(err, ErrNotInputPort) {
+		t.Errorf("output port err = %v, want ErrNotInputPort", err)
+	}
+	if err := b.Deliver(ctx, "image-in", NewMessage("text/plain", nil)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type mismatch err = %v, want ErrTypeMismatch", err)
+	}
+	// Wildcard message types pass.
+	if err := b.Deliver(ctx, "image-in", NewMessage("image/*", nil)); err != nil {
+		t.Errorf("wildcard deliver err = %v", err)
+	}
+	// Untyped messages pass (type inherited from port).
+	if err := b.Deliver(ctx, "image-in", Message{}); err != nil {
+		t.Errorf("untyped deliver err = %v", err)
+	}
+}
+
+func TestBaseDeliverNoHandler(t *testing.T) {
+	b := newTVBase(t)
+	err := b.Deliver(context.Background(), "image-in", Message{})
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v, want no-handler error", err)
+	}
+}
+
+func TestBaseHandleValidation(t *testing.T) {
+	b := newTVBase(t)
+	if err := b.Handle("nope", nil); !errors.Is(err, ErrNoSuchPort) {
+		t.Errorf("err = %v, want ErrNoSuchPort", err)
+	}
+	if err := b.Handle("screen", nil); !errors.Is(err, ErrNotInputPort) {
+		t.Errorf("err = %v, want ErrNotInputPort", err)
+	}
+}
+
+func TestBaseEmit(t *testing.T) {
+	camera := MustBase(cameraProfile())
+	var mu sync.Mutex
+	var emissions []PortRef
+	camera.Bind(SinkFunc(func(src PortRef, _ Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		emissions = append(emissions, src)
+	}))
+	camera.Emit("image-out", NewMessage("image/jpeg", []byte("img")))
+	// Emissions to unknown or input ports are dropped silently.
+	camera.Emit("nope", Message{})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(emissions) != 1 {
+		t.Fatalf("emissions = %d, want 1", len(emissions))
+	}
+	want := PortRef{Translator: camera.ID(), Port: "image-out"}
+	if emissions[0] != want {
+		t.Fatalf("src = %v, want %v", emissions[0], want)
+	}
+}
+
+func TestBaseEmitWithoutSinkDropped(t *testing.T) {
+	camera := MustBase(cameraProfile())
+	camera.Emit("image-out", Message{}) // must not panic
+}
+
+func TestBaseEmitFillsType(t *testing.T) {
+	camera := MustBase(cameraProfile())
+	var got Message
+	camera.Bind(SinkFunc(func(_ PortRef, msg Message) { got = msg }))
+	camera.Emit("image-out", Message{Payload: []byte("x")})
+	if got.Type != "image/jpeg" {
+		t.Fatalf("emitted type = %q, want port type", got.Type)
+	}
+}
+
+func TestBaseClose(t *testing.T) {
+	b := newTVBase(t)
+	b.MustHandle("image-in", func(context.Context, Message) error { return nil })
+	order := []string{}
+	b.OnClose(func() error { order = append(order, "first"); return nil })
+	b.OnClose(func() error { order = append(order, "second"); return errors.New("boom") })
+
+	if err := b.Close(); err == nil || err.Error() != "boom" {
+		t.Fatalf("Close err = %v, want boom", err)
+	}
+	// Reverse order: last registered runs first.
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("cleanup order = %v", order)
+	}
+	if !b.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close err = %v, want nil", err)
+	}
+	if err := b.Deliver(context.Background(), "image-in", Message{}); !errors.Is(err, ErrTranslatorClosed) {
+		t.Fatalf("Deliver after close err = %v", err)
+	}
+}
+
+func TestNewBaseRejectsInvalidProfile(t *testing.T) {
+	if _, err := NewBase(Profile{}); err == nil {
+		t.Fatal("NewBase accepted empty profile")
+	}
+}
+
+func TestProfileCloneIsolation(t *testing.T) {
+	p := tvProfile()
+	c := p.Clone()
+	c.Attributes["room"] = "kitchen"
+	if p.Attributes["room"] != "living" {
+		t.Fatal("Clone aliases attributes")
+	}
+}
+
+func TestProfileWithAttr(t *testing.T) {
+	p := cameraProfile()
+	q := p.WithAttr("room", "studio")
+	if p.Attr("room") != "" {
+		t.Fatal("WithAttr mutated the receiver")
+	}
+	if q.Attr("room") != "studio" {
+		t.Fatal("WithAttr did not set attribute")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := tvProfile()
+	p.SyncShapePorts()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q Profile
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := q.RestoreShape(); err != nil {
+		t.Fatalf("RestoreShape: %v", err)
+	}
+	if q.ID != p.ID || q.Shape.Len() != p.Shape.Len() {
+		t.Fatalf("round trip lost data: %v vs %v", q, p)
+	}
+	if _, ok := q.Shape.Port("image-in"); !ok {
+		t.Fatal("round trip lost ports")
+	}
+}
+
+func TestTranslatorIDNode(t *testing.T) {
+	id := MakeTranslatorID("h1", "upnp", "x")
+	if id.Node() != "h1" {
+		t.Fatalf("Node() = %q", id.Node())
+	}
+	if TranslatorID("plain").Node() != "" {
+		t.Fatal("Node() of unstructured ID should be empty")
+	}
+}
+
+func TestMessageHelpers(t *testing.T) {
+	m := TextMessage("hi").WithHeader("k", "v")
+	if m.Type != "text/plain" || m.Header("k") != "v" {
+		t.Fatalf("message = %v", m)
+	}
+	c := m.Clone()
+	c.Payload[0] = 'X'
+	c.Headers["k"] = "w"
+	if string(m.Payload) != "hi" || m.Header("k") != "v" {
+		t.Fatal("Clone aliases state")
+	}
+	if s := m.String(); !strings.Contains(s, "text/plain") {
+		t.Fatalf("String() = %q", s)
+	}
+}

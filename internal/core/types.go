@@ -1,0 +1,160 @@
+// Package core implements uMiddle's intermediary semantic space: the
+// Service Shaping device model from the paper (Section 3.3).
+//
+// A native device is represented by a Translator that owns a set of typed
+// communication endpoints called ports. Digital ports carry data between
+// devices and are tagged with MIME types; physical ports describe the
+// user-perceptible effects of the device in the physical world and are
+// tagged with a perception/media type pair (e.g. "visible/paper"). The
+// full set of ports of a translator is its Shape. Two devices are
+// compatible when an output port of one and an input port of the other
+// carry the same data type — fine-grained representation, design choice
+// (3-b) in the paper.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PortKind distinguishes digital from physical ports.
+type PortKind int
+
+// Port kinds.
+const (
+	// Digital ports transmit digital information to and from the network.
+	Digital PortKind = iota + 1
+	// Physical ports cause or sense a perceptible change in the physical
+	// world.
+	Physical
+)
+
+// String renders the kind for USDL documents and logs.
+func (k PortKind) String() string {
+	switch k {
+	case Digital:
+		return "digital"
+	case Physical:
+		return "physical"
+	default:
+		return fmt.Sprintf("PortKind(%d)", int(k))
+	}
+}
+
+// ParsePortKind parses "digital" or "physical".
+func ParsePortKind(s string) (PortKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "digital":
+		return Digital, nil
+	case "physical":
+		return Physical, nil
+	default:
+		return 0, fmt.Errorf("core: unknown port kind %q", s)
+	}
+}
+
+// Direction tells whether a port accepts or produces data.
+type Direction int
+
+// Port directions.
+const (
+	// Input ports accept data (or physical stimuli).
+	Input Direction = iota + 1
+	// Output ports produce data (or physical effects).
+	Output
+)
+
+// String renders the direction for USDL documents and logs.
+func (d Direction) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// ParseDirection parses "input" or "output".
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "input", "in":
+		return Input, nil
+	case "output", "out":
+		return Output, nil
+	default:
+		return 0, fmt.Errorf("core: unknown direction %q", s)
+	}
+}
+
+// DataType is the type tag of a port. For digital ports it is a MIME type
+// such as "image/jpeg" or "text/ps"; for physical ports it is a
+// perception/media pair such as "visible/paper" or "audible/air", where
+// the perception component is one of "visible", "audible", "tangible".
+// Either component may be the wildcard "*" when the DataType is used as a
+// template.
+type DataType string
+
+// Wildcard data type templates.
+const (
+	// AnyType matches every data type.
+	AnyType DataType = "*/*"
+)
+
+// Perception types for physical ports (paper Section 3.3).
+const (
+	PerceptionVisible  = "visible"
+	PerceptionAudible  = "audible"
+	PerceptionTangible = "tangible"
+)
+
+// Split returns the major and minor components of the type. A missing
+// separator yields the whole string as major and "*" as minor.
+func (t DataType) Split() (major, minor string) {
+	s := string(t)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, "*"
+}
+
+// IsWildcard reports whether the type contains a wildcard component.
+func (t DataType) IsWildcard() bool {
+	major, minor := t.Split()
+	return major == "*" || minor == "*"
+}
+
+// Valid reports whether the type is syntactically well-formed: non-empty
+// major/minor components with exactly one separator.
+func (t DataType) Valid() bool {
+	s := string(t)
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return false
+	}
+	return strings.IndexByte(s[i+1:], '/') < 0
+}
+
+// Matches reports whether the concrete type t satisfies the template
+// pattern. Wildcards are honored on the pattern side only: "visible/*"
+// matches "visible/paper"; "image/jpeg" does not match "image/*" unless
+// the pattern itself carries the wildcard.
+func (t DataType) Matches(pattern DataType) bool {
+	pMajor, pMinor := pattern.Split()
+	tMajor, tMinor := t.Split()
+	if pMajor != "*" && !strings.EqualFold(pMajor, tMajor) {
+		return false
+	}
+	if pMinor != "*" && !strings.EqualFold(pMinor, tMinor) {
+		return false
+	}
+	return true
+}
+
+// Compatible reports whether a producer of type out can feed a consumer
+// accepting type in, treating wildcards on either side as templates. This
+// is the port-level compatibility predicate of Service Shaping.
+func Compatible(out, in DataType) bool {
+	return out.Matches(in) || in.Matches(out)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPortKindString(t *testing.T) {
+	tests := []struct {
+		kind PortKind
+		want string
+	}{
+		{Digital, "digital"},
+		{Physical, "physical"},
+		{PortKind(9), "PortKind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestParsePortKind(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    PortKind
+		wantErr bool
+	}{
+		{"digital", Digital, false},
+		{"Physical", Physical, false},
+		{"  digital  ", Digital, false},
+		{"analog", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePortKind(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePortKind(%q) err = %v, wantErr = %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParsePortKind(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Direction
+		wantErr bool
+	}{
+		{"input", Input, false},
+		{"in", Input, false},
+		{"OUTPUT", Output, false},
+		{"out", Output, false},
+		{"sideways", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseDirection(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseDirection(%q) err = %v, wantErr = %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseDirection(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDataTypeSplit(t *testing.T) {
+	tests := []struct {
+		in           DataType
+		major, minor string
+	}{
+		{"image/jpeg", "image", "jpeg"},
+		{"visible/paper", "visible", "paper"},
+		{"*/*", "*", "*"},
+		{"noslash", "noslash", "*"},
+		{"", "", "*"},
+	}
+	for _, tt := range tests {
+		major, minor := tt.in.Split()
+		if major != tt.major || minor != tt.minor {
+			t.Errorf("Split(%q) = %q/%q, want %q/%q", tt.in, major, minor, tt.major, tt.minor)
+		}
+	}
+}
+
+func TestDataTypeValid(t *testing.T) {
+	valid := []DataType{"image/jpeg", "text/plain", "visible/paper", "a/b"}
+	invalid := []DataType{"", "image", "/jpeg", "image/", "a/b/c"}
+	for _, d := range valid {
+		if !d.Valid() {
+			t.Errorf("Valid(%q) = false, want true", d)
+		}
+	}
+	for _, d := range invalid {
+		if d.Valid() {
+			t.Errorf("Valid(%q) = true, want false", d)
+		}
+	}
+}
+
+func TestDataTypeMatches(t *testing.T) {
+	tests := []struct {
+		t       DataType
+		pattern DataType
+		want    bool
+	}{
+		{"image/jpeg", "image/jpeg", true},
+		{"image/jpeg", "image/*", true},
+		{"image/jpeg", "*/*", true},
+		{"image/jpeg", "*/jpeg", true},
+		{"image/jpeg", "image/png", false},
+		{"image/jpeg", "text/*", false},
+		{"IMAGE/JPEG", "image/jpeg", true}, // case-insensitive
+		{"visible/paper", "visible/*", true},
+		{"audible/air", "visible/*", false},
+		// Wildcards on the value side don't satisfy concrete patterns.
+		{"image/*", "image/jpeg", false},
+		{"image/*", "image/*", true},
+	}
+	for _, tt := range tests {
+		if got := tt.t.Matches(tt.pattern); got != tt.want {
+			t.Errorf("%q.Matches(%q) = %v, want %v", tt.t, tt.pattern, got, tt.want)
+		}
+	}
+}
+
+func TestCompatibleSymmetricOnConcrete(t *testing.T) {
+	// Property: for concrete (non-wildcard) types, Compatible is exactly
+	// case-insensitive equality, and is symmetric.
+	f := func(a, b uint8) bool {
+		majors := []string{"image", "text", "audio", "video"}
+		minors := []string{"jpeg", "png", "plain", "mpeg"}
+		x := DataType(majors[int(a)%len(majors)] + "/" + minors[int(a/4)%len(minors)])
+		y := DataType(majors[int(b)%len(majors)] + "/" + minors[int(b/4)%len(minors)])
+		want := strings.EqualFold(string(x), string(y))
+		return Compatible(x, y) == want && Compatible(x, y) == Compatible(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompatibleWildcard(t *testing.T) {
+	if !Compatible("image/jpeg", "image/*") {
+		t.Error("concrete vs wildcard should be compatible")
+	}
+	if !Compatible("image/*", "image/jpeg") {
+		t.Error("wildcard vs concrete should be compatible")
+	}
+	if Compatible("image/jpeg", "text/*") {
+		t.Error("disjoint majors should not be compatible")
+	}
+}
+
+func TestIsWildcard(t *testing.T) {
+	if !DataType("image/*").IsWildcard() || !DataType("*/*").IsWildcard() {
+		t.Error("wildcard types not detected")
+	}
+	if DataType("image/jpeg").IsWildcard() {
+		t.Error("concrete type detected as wildcard")
+	}
+}

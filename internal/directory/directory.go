@@ -1,0 +1,488 @@
+// Package directory implements uMiddle's directory module: "the exchange
+// of device advertisements among hosts ... a discovery mechanism that
+// allows notification about the presence of devices, across uMiddle
+// runtimes, independent of the actual discovery protocols used by
+// particular devices" (paper Section 3.2).
+//
+// Each runtime announces its local translators on a multicast group;
+// peers integrate the announcements into their view of the intermediary
+// semantic space. Announcements repeat periodically; a node that stays
+// silent for several periods has its translators expired, which handles
+// node crashes and partitions.
+package directory
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+// Group is the multicast group used for advertisement exchange.
+const Group = "umiddle-directory"
+
+// Default timing parameters.
+const (
+	// DefaultAnnounceInterval is how often the full local state is
+	// re-announced.
+	DefaultAnnounceInterval = 500 * time.Millisecond
+	// DefaultExpiryFactor times the announce interval gives the remote
+	// profile time-to-live.
+	DefaultExpiryFactor = 4
+)
+
+// ErrNotFound is returned when resolving an unknown translator.
+var ErrNotFound = errors.New("directory: translator not found")
+
+// Listener receives notifications when translators are mapped to or
+// unmapped from the intermediary semantic space — the paper's
+// DirectoryListener (Figure 6-(2)).
+type Listener interface {
+	// TranslatorMapped is called when a new translator (local or remote)
+	// becomes visible.
+	TranslatorMapped(p core.Profile)
+	// TranslatorUnmapped is called when a translator disappears.
+	TranslatorUnmapped(id core.TranslatorID)
+}
+
+// ListenerFuncs adapts two functions to the Listener interface.
+type ListenerFuncs struct {
+	Mapped   func(p core.Profile)
+	Unmapped func(id core.TranslatorID)
+}
+
+// TranslatorMapped calls Mapped if non-nil.
+func (l ListenerFuncs) TranslatorMapped(p core.Profile) {
+	if l.Mapped != nil {
+		l.Mapped(p)
+	}
+}
+
+// TranslatorUnmapped calls Unmapped if non-nil.
+func (l ListenerFuncs) TranslatorUnmapped(id core.TranslatorID) {
+	if l.Unmapped != nil {
+		l.Unmapped(id)
+	}
+}
+
+// advert is the wire format of a directory announcement.
+type advert struct {
+	// Type is "announce" (full local state), "bye" (node leaving), or
+	// "remove" (single translator unmapped).
+	Type string `json:"type"`
+	// Node is the announcing runtime.
+	Node string `json:"node"`
+	// Profiles carries the announced translators.
+	Profiles []core.Profile `json:"profiles,omitempty"`
+	// Removed carries unmapped translator IDs for "remove".
+	Removed []core.TranslatorID `json:"removed,omitempty"`
+}
+
+// Options configures a Directory.
+type Options struct {
+	// AnnounceInterval overrides DefaultAnnounceInterval.
+	AnnounceInterval time.Duration
+	// ExpiryFactor overrides DefaultExpiryFactor.
+	ExpiryFactor int
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.AnnounceInterval <= 0 {
+		o.AnnounceInterval = DefaultAnnounceInterval
+	}
+	if o.ExpiryFactor <= 0 {
+		o.ExpiryFactor = DefaultExpiryFactor
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// localEntry pairs a profile with its live translator.
+type localEntry struct {
+	profile    core.Profile
+	translator core.Translator
+}
+
+// remoteEntry tracks a profile learned from another node.
+type remoteEntry struct {
+	profile core.Profile
+	seen    time.Time
+}
+
+// Directory is one runtime's view of the intermediary semantic space.
+type Directory struct {
+	node string
+	host *netemu.Host
+	opts Options
+
+	mu        sync.RWMutex
+	local     map[core.TranslatorID]localEntry
+	remote    map[core.TranslatorID]remoteEntry
+	listeners []Listener
+	started   bool
+	closed    bool
+
+	group  *netemu.GroupConn
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New creates a directory for the given node. host may be nil for a
+// standalone (single-node) directory that performs no advertisement
+// exchange.
+func New(node string, host *netemu.Host, opts Options) *Directory {
+	return &Directory{
+		node:   node,
+		host:   host,
+		opts:   opts.withDefaults(),
+		local:  make(map[core.TranslatorID]localEntry),
+		remote: make(map[core.TranslatorID]remoteEntry),
+	}
+}
+
+// Node returns the owning runtime's node name.
+func (d *Directory) Node() string { return d.node }
+
+// Start begins advertisement exchange. It is a no-op for standalone
+// directories.
+func (d *Directory) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("directory: %w", netemu.ErrClosed)
+	}
+	if d.started || d.host == nil {
+		d.started = true
+		return nil
+	}
+	group, err := d.host.JoinGroup(Group)
+	if err != nil {
+		return fmt.Errorf("directory: join group: %w", err)
+	}
+	d.group = group
+	ctx, cancel := context.WithCancel(context.Background())
+	d.cancel = cancel
+	d.started = true
+	d.wg.Add(2)
+	go func() {
+		defer d.wg.Done()
+		d.receiveLoop()
+	}()
+	go func() {
+		defer d.wg.Done()
+		d.announceLoop(ctx)
+	}()
+	return nil
+}
+
+// Close stops advertisement exchange, sends a bye, and clears state.
+func (d *Directory) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	group := d.group
+	cancel := d.cancel
+	d.mu.Unlock()
+
+	if group != nil {
+		d.send(advert{Type: "bye", Node: d.node})
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if group != nil {
+		group.Close()
+	}
+	d.wg.Wait()
+	return nil
+}
+
+// AddLocal registers a local translator and announces it.
+func (d *Directory) AddLocal(tr core.Translator) error {
+	p := tr.Profile()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Node != d.node {
+		return fmt.Errorf("directory: profile node %q != directory node %q", p.Node, d.node)
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("directory: %w", netemu.ErrClosed)
+	}
+	if _, dup := d.local[p.ID]; dup {
+		d.mu.Unlock()
+		return fmt.Errorf("directory: translator %q already registered", p.ID)
+	}
+	d.local[p.ID] = localEntry{profile: p.Clone(), translator: tr}
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+
+	for _, l := range listeners {
+		l.TranslatorMapped(p.Clone())
+	}
+	d.announceNow()
+	return nil
+}
+
+// RemoveLocal unregisters a local translator and propagates the removal.
+func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
+	d.mu.Lock()
+	entry, ok := d.local[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(d.local, id)
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+
+	for _, l := range listeners {
+		l.TranslatorUnmapped(id)
+	}
+	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}})
+	return entry.translator, nil
+}
+
+// Local resolves a locally hosted translator.
+func (d *Directory) Local(id core.TranslatorID) (core.Translator, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.local[id]
+	if !ok {
+		return nil, false
+	}
+	return e.translator, true
+}
+
+// Lookup returns profiles of translators matching the query — the
+// paper's Figure 6-(1) API. Both local and remote translators are
+// returned.
+func (d *Directory) Lookup(q core.Query) []core.Profile {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []core.Profile
+	for _, e := range d.local {
+		if q.Matches(e.profile) {
+			out = append(out, e.profile.Clone())
+		}
+	}
+	for _, e := range d.remote {
+		if q.Matches(e.profile) {
+			out = append(out, e.profile.Clone())
+		}
+	}
+	return out
+}
+
+// Resolve returns the profile for a translator ID, local or remote.
+func (d *Directory) Resolve(id core.TranslatorID) (core.Profile, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if e, ok := d.local[id]; ok {
+		return e.profile.Clone(), nil
+	}
+	if e, ok := d.remote[id]; ok {
+		return e.profile.Clone(), nil
+	}
+	return core.Profile{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+}
+
+// AddListener registers a notification listener — the paper's Figure
+// 6-(2) API. The listener immediately receives TranslatorMapped for
+// every currently known translator, so callers need not race discovery.
+func (d *Directory) AddListener(l Listener) {
+	d.mu.Lock()
+	d.listeners = append(d.listeners, l)
+	known := make([]core.Profile, 0, len(d.local)+len(d.remote))
+	for _, e := range d.local {
+		known = append(known, e.profile.Clone())
+	}
+	for _, e := range d.remote {
+		known = append(known, e.profile.Clone())
+	}
+	d.mu.Unlock()
+	for _, p := range known {
+		l.TranslatorMapped(p)
+	}
+}
+
+// Size returns the numbers of local and remote translators known.
+func (d *Directory) Size() (local, remote int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.local), len(d.remote)
+}
+
+// announceNow broadcasts the full local state immediately.
+func (d *Directory) announceNow() {
+	d.mu.RLock()
+	profiles := make([]core.Profile, 0, len(d.local))
+	for _, e := range d.local {
+		p := e.profile.Clone()
+		p.SyncShapePorts()
+		profiles = append(profiles, p)
+	}
+	d.mu.RUnlock()
+	d.send(advert{Type: "announce", Node: d.node, Profiles: profiles})
+}
+
+func (d *Directory) send(a advert) {
+	d.mu.RLock()
+	group := d.group
+	d.mu.RUnlock()
+	if group == nil {
+		return
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		d.opts.Logger.Error("directory: marshal advert", "err", err)
+		return
+	}
+	if err := group.Send(data); err != nil && !errors.Is(err, netemu.ErrClosed) {
+		d.opts.Logger.Warn("directory: send advert", "err", err)
+	}
+}
+
+func (d *Directory) announceLoop(ctx context.Context) {
+	ticker := time.NewTicker(d.opts.AnnounceInterval)
+	defer ticker.Stop()
+	d.announceNow()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			d.announceNow()
+			d.expireStale()
+		}
+	}
+}
+
+func (d *Directory) receiveLoop() {
+	for {
+		dg, err := d.group.Recv()
+		if err != nil {
+			return // closed
+		}
+		if dg.From == d.host.Name() {
+			continue // our own announcement
+		}
+		var a advert
+		if err := json.Unmarshal(dg.Payload, &a); err != nil {
+			d.opts.Logger.Warn("directory: bad advert", "from", dg.From, "err", err)
+			continue
+		}
+		d.handleAdvert(a)
+	}
+}
+
+func (d *Directory) handleAdvert(a advert) {
+	switch a.Type {
+	case "announce":
+		for i := range a.Profiles {
+			p := a.Profiles[i]
+			if err := p.RestoreShape(); err != nil {
+				d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
+				continue
+			}
+			d.integrate(p)
+		}
+	case "remove":
+		for _, id := range a.Removed {
+			d.dropRemote(id)
+		}
+	case "bye":
+		d.dropNode(a.Node)
+	default:
+		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
+	}
+}
+
+func (d *Directory) integrate(p core.Profile) {
+	if p.Node == d.node {
+		return // don't learn our own state back
+	}
+	d.mu.Lock()
+	_, known := d.remote[p.ID]
+	d.remote[p.ID] = remoteEntry{profile: p.Clone(), seen: time.Now()}
+	var listeners []Listener
+	if !known {
+		listeners = append([]Listener(nil), d.listeners...)
+	}
+	d.mu.Unlock()
+	for _, l := range listeners {
+		l.TranslatorMapped(p.Clone())
+	}
+}
+
+func (d *Directory) dropRemote(id core.TranslatorID) {
+	d.mu.Lock()
+	_, known := d.remote[id]
+	if known {
+		delete(d.remote, id)
+	}
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+	if !known {
+		return
+	}
+	for _, l := range listeners {
+		l.TranslatorUnmapped(id)
+	}
+}
+
+func (d *Directory) dropNode(node string) {
+	d.mu.Lock()
+	var dropped []core.TranslatorID
+	for id, e := range d.remote {
+		if e.profile.Node == node {
+			dropped = append(dropped, id)
+			delete(d.remote, id)
+		}
+	}
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+	for _, id := range dropped {
+		for _, l := range listeners {
+			l.TranslatorUnmapped(id)
+		}
+	}
+}
+
+// expireStale drops remote translators whose node has been silent past
+// the TTL.
+func (d *Directory) expireStale() {
+	ttl := time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+	cutoff := time.Now().Add(-ttl)
+	d.mu.Lock()
+	var dropped []core.TranslatorID
+	for id, e := range d.remote {
+		if e.seen.Before(cutoff) {
+			dropped = append(dropped, id)
+			delete(d.remote, id)
+		}
+	}
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+	for _, id := range dropped {
+		d.opts.Logger.Info("directory: expired", "id", id)
+		for _, l := range listeners {
+			l.TranslatorUnmapped(id)
+		}
+	}
+}

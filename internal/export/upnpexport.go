@@ -1,0 +1,214 @@
+// Package export implements scattered visibility (the paper's design
+// choice 2-a) as an opt-in extension on top of uMiddle's aggregated
+// intermediary space.
+//
+// The paper chooses aggregated visibility (2-b): "native applications
+// (for example UPnP applications) cannot use the devices from the other
+// peer platforms" (Section 2.2.2), and notes that scattering is what the
+// direct-translation alternative implies. Because uMiddle's mediated
+// core already holds a platform-neutral representation of every device,
+// scattering becomes a *projection*: this package publishes a uMiddle
+// translator back out as a native UPnP device, one SOAP action per
+// digital input port and one evented state variable per digital output
+// port. A stock UPnP control point can then drive, say, a Bluetooth
+// camera — without the n×(n-1) translator blow-up the paper warns about,
+// since the projection reuses the single mediated translator.
+package export
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+	"repro/internal/platform/upnp"
+	"repro/internal/runtime"
+)
+
+// ExportedDeviceType is the UPnP device type under which projections
+// are published.
+const ExportedDeviceType = "urn:umiddle-org:device:Exported:1"
+
+// exportedServiceType is the single service carrying the projected
+// ports.
+const exportedServiceType = "urn:umiddle-org:service:Ports:1"
+
+// UPnPExport projects one uMiddle translator as a native UPnP device.
+type UPnPExport struct {
+	rt      *runtime.Runtime
+	device  *upnp.Device
+	service *upnp.Service
+	id      core.TranslatorID
+
+	mu     sync.Mutex
+	paths  []corePathID
+	closed bool
+}
+
+type corePathID = string
+
+// exportSeq disambiguates concurrent exports on one host.
+var exportSeq struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ExportUPnP publishes the translator identified by id (which must be
+// visible in rt's directory) as a UPnP device on the given host and
+// port (0 = default). Digital input ports become SOAP actions named
+// "Send-<port>" taking a single "Payload" argument; digital output
+// ports become evented state variables "Out-<port>" updated with each
+// emission.
+func ExportUPnP(rt *runtime.Runtime, id core.TranslatorID, host *netemu.Host, port int) (*UPnPExport, error) {
+	profile, err := rt.Directory().Resolve(id)
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+
+	scpd := upnp.SCPD{SpecVersion: upnp.SpecVersion{Major: 1, Minor: 0}}
+	for _, p := range profile.Shape.Inputs(core.Digital) {
+		scpd.Actions = append(scpd.Actions, upnp.SCPDAction{
+			Name: actionName(p.Name),
+			Arguments: []upnp.SCPDArgument{
+				{Name: "Payload", Direction: "in", RelatedStateVar: stateVarName(p.Name)},
+			},
+		})
+		scpd.StateVars = append(scpd.StateVars, upnp.StateVar{
+			SendEvents: "no", Name: stateVarName(p.Name), DataType: "string",
+		})
+	}
+	for _, p := range profile.Shape.Outputs(core.Digital) {
+		scpd.StateVars = append(scpd.StateVars, upnp.StateVar{
+			SendEvents: "yes", Name: outVarName(p.Name), DataType: "string",
+		})
+	}
+	svc := upnp.NewService(exportedServiceType, "urn:umiddle-org:serviceId:Ports", scpd)
+
+	exportSeq.mu.Lock()
+	exportSeq.n++
+	uuid := fmt.Sprintf("umiddle-export-%d", exportSeq.n)
+	exportSeq.mu.Unlock()
+	dev := upnp.NewDevice(host, uuid, ExportedDeviceType, profile.Name+" (via uMiddle)", port, svc)
+
+	e := &UPnPExport{rt: rt, device: dev, service: svc, id: id}
+
+	// Inbound: SOAP action -> translator input port. Local translators
+	// are delivered directly; remote ones would need a relay service,
+	// which this extension intentionally keeps out of scope (the paper's
+	// infrastructure nodes host the mappers and their projections).
+	for _, p := range profile.Shape.Inputs(core.Digital) {
+		portName := p.Name
+		portType := p.Type
+		svc.Handle(actionName(portName), func(args map[string]string) (map[string]string, error) {
+			tr, ok := rt.Directory().Local(id)
+			if !ok {
+				return nil, &upnp.SOAPFault{Code: 501, Description: "translator not hosted here"}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			err := tr.Deliver(ctx, portName, core.Message{
+				Type:    portType,
+				Payload: []byte(args["Payload"]),
+			})
+			if err != nil {
+				return nil, &upnp.SOAPFault{Code: 501, Description: err.Error()}
+			}
+			return map[string]string{}, nil
+		})
+	}
+
+	// Outbound: translator emissions -> evented state variables, carried
+	// by ordinary uMiddle paths into a sink service that feeds GENA.
+	outputs := profile.Shape.Outputs(core.Digital)
+	if len(outputs) > 0 {
+		sinkPorts := make([]core.Port, 0, len(outputs))
+		for _, p := range outputs {
+			sinkPorts = append(sinkPorts, core.Port{
+				Name: p.Name, Kind: core.Digital, Direction: core.Input, Type: p.Type,
+			})
+		}
+		shape, err := core.NewShape(sinkPorts...)
+		if err != nil {
+			return nil, err
+		}
+		sink, err := core.NewBase(core.Profile{
+			ID:       core.MakeTranslatorID(rt.Node(), "umiddle", "export-"+uuid),
+			Name:     "export sink " + uuid,
+			Platform: "umiddle",
+			Node:     rt.Node(),
+			Shape:    shape,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range outputs {
+			outPort := p.Name
+			sink.MustHandle(outPort, func(_ context.Context, msg core.Message) error {
+				svc.SetState(outVarName(outPort), string(msg.Payload))
+				return nil
+			})
+		}
+		if err := rt.Register(sink); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.paths = append(e.paths, string(sink.ID()))
+		e.mu.Unlock()
+		for _, p := range outputs {
+			if _, err := rt.Connect(
+				core.PortRef{Translator: id, Port: p.Name},
+				core.PortRef{Translator: sink.ID(), Port: p.Name},
+			); err != nil {
+				rt.RemoveTranslator(sink.ID()) //nolint:errcheck
+				return nil, fmt.Errorf("export: wire %s: %w", p.Name, err)
+			}
+		}
+	}
+
+	if err := dev.Publish(); err != nil {
+		return nil, fmt.Errorf("export: publish: %w", err)
+	}
+	return e, nil
+}
+
+// Location returns the projected device's description URL.
+func (e *UPnPExport) Location() string { return e.device.Location() }
+
+// Close unpublishes the projection and removes its sink service.
+func (e *UPnPExport) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	sinks := e.paths
+	e.mu.Unlock()
+	for _, sinkID := range sinks {
+		e.rt.RemoveTranslator(core.TranslatorID(sinkID)) //nolint:errcheck // sink may be gone with the runtime
+	}
+	return e.device.Unpublish()
+}
+
+// actionName derives the SOAP action name for an input port.
+func actionName(port string) string { return "Send-" + sanitize(port) }
+
+// stateVarName derives the related state variable for an action.
+func stateVarName(port string) string { return "In-" + sanitize(port) }
+
+// outVarName derives the evented variable for an output port.
+func outVarName(port string) string { return "Out-" + sanitize(port) }
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,238 @@
+package export
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mappers/btmap"
+	"repro/internal/netemu"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/upnp"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+func newWorld(t *testing.T) (*netemu.Network, *runtime.Runtime) {
+	t.Helper()
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	t.Cleanup(func() { net.Close() })
+	rt, err := runtime.New(runtime.Config{
+		Node:      "h1",
+		Host:      net.MustAddHost("h1"),
+		Directory: directory.Options{AnnounceInterval: 20 * time.Millisecond},
+		Transport: transport.Options{DeliverTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("runtime.New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return net, rt
+}
+
+// echoService is a native uMiddle service with an input and output port.
+func echoService(t *testing.T, rt *runtime.Runtime) *core.Base {
+	t.Helper()
+	tr := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("h1", "umiddle", "echo"),
+		Name:     "Echo",
+		Platform: "umiddle",
+		Node:     "h1",
+		Shape: core.MustShape(
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+		),
+	})
+	tr.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		tr.Emit("out", core.NewMessage("text/plain", append([]byte("echo:"), msg.Payload...)))
+		return nil
+	})
+	if err := rt.Register(tr); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return tr
+}
+
+func TestExportedDeviceIsNativelyDiscoverable(t *testing.T) {
+	net, rt := newWorld(t)
+	echo := echoService(t, rt)
+	exp, err := ExportUPnP(rt, echo.ID(), net.MustAddHost("export-host"), 0)
+	if err != nil {
+		t.Fatalf("ExportUPnP: %v", err)
+	}
+	defer exp.Close()
+
+	// A plain UPnP control point — no uMiddle anywhere — finds it.
+	cp := upnp.NewControlPoint(net.MustAddHost("native-cp"), 0)
+	if err := cp.Start(); err != nil {
+		t.Fatalf("cp.Start: %v", err)
+	}
+	defer cp.Close()
+
+	found := make(chan upnp.SSDPMessage, 8)
+	cp.OnAdvertisement(func(m upnp.SSDPMessage) {
+		if m.NT() == ExportedDeviceType {
+			found <- m
+		}
+	})
+	if err := cp.Search(ExportedDeviceType, 1); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	select {
+	case m := <-found:
+		desc, err := cp.FetchDescription(context.Background(), m.Location())
+		if err != nil {
+			t.Fatalf("FetchDescription: %v", err)
+		}
+		if desc.Device.FriendlyName != "Echo (via uMiddle)" {
+			t.Fatalf("name = %q", desc.Device.FriendlyName)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("projection never discovered")
+	}
+}
+
+func TestNativeControlPointDrivesUMiddleService(t *testing.T) {
+	net, rt := newWorld(t)
+	echo := echoService(t, rt)
+	exp, err := ExportUPnP(rt, echo.ID(), net.MustAddHost("export-host"), 0)
+	if err != nil {
+		t.Fatalf("ExportUPnP: %v", err)
+	}
+	defer exp.Close()
+
+	cp := upnp.NewControlPoint(net.MustAddHost("native-cp"), 0)
+	if err := cp.Start(); err != nil {
+		t.Fatalf("cp.Start: %v", err)
+	}
+	defer cp.Close()
+	ctx := context.Background()
+	desc, err := cp.FetchDescription(ctx, exp.Location())
+	if err != nil {
+		t.Fatalf("FetchDescription: %v", err)
+	}
+	svc := desc.Device.Services[0]
+
+	// Subscribe to the projected output, invoke the projected input.
+	events := make(chan string, 8)
+	if _, err := cp.Subscribe(ctx, exp.Location(), svc.EventSubURL, func(name, value string) {
+		if name == "Out-out" {
+			events <- value
+		}
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if _, err := cp.Invoke(ctx, exp.Location(), svc.ControlURL, upnp.ActionCall{
+		ServiceType: svc.ServiceType,
+		Action:      "Send-in",
+		Args:        map[string]string{"Payload": "hello"},
+	}); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	select {
+	case v := <-events:
+		if v != "echo:hello" {
+			t.Fatalf("event = %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("projected output event never arrived")
+	}
+}
+
+func TestScatteredBluetoothCameraToNativeUPnP(t *testing.T) {
+	// The full scattered-visibility story: a Bluetooth BIP camera,
+	// bridged into uMiddle, projected back out as a UPnP device, and
+	// pulled by a stock UPnP control point. Native UPnP drives native
+	// Bluetooth.
+	net, rt := newWorld(t)
+	if err := rt.AddMapper(func() *btmap.Mapper {
+		adapter, err := bluetooth.NewAdapter(rt.Host(), "h1-bt", bluetooth.AdapterOptions{
+			ScanInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewAdapter: %v", err)
+		}
+		t.Cleanup(func() { adapter.Close() })
+		return btmap.New(adapter, btmap.Options{
+			InquiryInterval: 150 * time.Millisecond,
+			InquiryWindow:   80 * time.Millisecond,
+		})
+	}()); err != nil {
+		t.Fatalf("AddMapper: %v", err)
+	}
+
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam-dev", bluetooth.AdapterOptions{
+		ScanInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAdapter: %v", err)
+	}
+	defer camAdapter.Close()
+	cam, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+	cam.Capture("shot.jpg", []byte("bt-jpeg"))
+
+	var camID core.TranslatorID
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := rt.Lookup(core.Query{DeviceType: "BIP-Camera"})
+		if len(got) == 1 {
+			camID = got[0].ID
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("camera never bridged")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	exp, err := ExportUPnP(rt, camID, net.MustAddHost("export-host"), 0)
+	if err != nil {
+		t.Fatalf("ExportUPnP: %v", err)
+	}
+	defer exp.Close()
+
+	cp := upnp.NewControlPoint(net.MustAddHost("native-cp"), 0)
+	if err := cp.Start(); err != nil {
+		t.Fatalf("cp.Start: %v", err)
+	}
+	defer cp.Close()
+	ctx := context.Background()
+	desc, err := cp.FetchDescription(ctx, exp.Location())
+	if err != nil {
+		t.Fatalf("FetchDescription: %v", err)
+	}
+	svc := desc.Device.Services[0]
+	images := make(chan string, 4)
+	if _, err := cp.Subscribe(ctx, exp.Location(), svc.EventSubURL, func(name, value string) {
+		if name == "Out-image-out" {
+			images <- value
+		}
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	// Fire the shutter over SOAP: the projection delivers to the BT
+	// translator, which runs an OBEX GET against the real camera.
+	if _, err := cp.Invoke(ctx, exp.Location(), svc.ControlURL, upnp.ActionCall{
+		ServiceType: svc.ServiceType,
+		Action:      "Send-capture",
+	}); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	select {
+	case img := <-images:
+		if img != "bt-jpeg" {
+			t.Fatalf("image = %q", img)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("image never crossed UPnP<-uMiddle<-Bluetooth")
+	}
+}

@@ -1,0 +1,437 @@
+// Package g2 implements the engine behind G2 UI, the paper's
+// "Geographical User Interface" (Section 4.2): gadgets — media storage,
+// player, and capture devices — are registered at coordinates in a
+// geographical space, and co-location of devices triggers *geoplay*
+// (playback of media from a co-located storage or capture device on a
+// player) or *geostore* (a storage device storing data from a co-located
+// capture device). Because the engine is built on the common semantic
+// space, the compositions work across platforms — the paper's example
+// co-locates a Bluetooth camera with a UPnP MediaRenderer TV.
+package g2
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Role classifies a gadget by its shape.
+type Role int
+
+// Gadget roles.
+const (
+	// RoleCapture produces media (camera: digital media output).
+	RoleCapture Role = iota + 1
+	// RolePlayer renders media (TV: digital media input + physical
+	// output).
+	RolePlayer
+	// RoleStorage stores media (digital media input, no physical
+	// output; may also replay through a media output).
+	RoleStorage
+	// RoleOther takes no part in geoplay/geostore.
+	RoleOther
+)
+
+// String renders the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleCapture:
+		return "capture"
+	case RolePlayer:
+		return "player"
+	case RoleStorage:
+		return "storage"
+	case RoleOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// mediaMajors are the payload classes G2 treats as media.
+var mediaMajors = map[string]bool{"image": true, "audio": true, "video": true}
+
+func isMediaType(t core.DataType) bool {
+	major, _ := t.Split()
+	return mediaMajors[strings.ToLower(major)]
+}
+
+// Classify infers a gadget's role from its shape. An explicit
+// "g2.role" profile attribute overrides the inference.
+func Classify(p core.Profile) Role {
+	switch p.Attr("g2.role") {
+	case "capture":
+		return RoleCapture
+	case "player":
+		return RolePlayer
+	case "storage":
+		return RoleStorage
+	}
+	var mediaOut, mediaIn, physOut bool
+	for _, port := range p.Shape.Ports() {
+		switch {
+		case port.Kind == core.Digital && port.Direction == core.Output && isMediaType(port.Type):
+			mediaOut = true
+		case port.Kind == core.Digital && port.Direction == core.Input && isMediaType(port.Type):
+			mediaIn = true
+		case port.Kind == core.Physical && port.Direction == core.Output:
+			physOut = true
+		}
+	}
+	switch {
+	case mediaIn && physOut:
+		return RolePlayer
+	case mediaIn:
+		return RoleStorage
+	case mediaOut:
+		return RoleCapture
+	default:
+		return RoleOther
+	}
+}
+
+// Point is a position in the geographic coordinate system.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to another point.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// EventKind labels a space event.
+type EventKind string
+
+// Space events.
+const (
+	// EventGeoplay fires when a composition for playback is established.
+	EventGeoplay EventKind = "geoplay"
+	// EventGeostore fires when a capture-to-storage composition is
+	// established.
+	EventGeostore EventKind = "geostore"
+	// EventSeparated fires when co-located gadgets move apart and their
+	// compositions are torn down.
+	EventSeparated EventKind = "separated"
+)
+
+// Event describes one composition change.
+type Event struct {
+	Kind EventKind
+	Src  core.TranslatorID
+	Dst  core.TranslatorID
+	Path transport.PathID
+}
+
+// EventFunc receives space events.
+type EventFunc func(Event)
+
+// gadget is one placed device.
+type gadget struct {
+	profile core.Profile
+	role    Role
+	pos     Point
+}
+
+type pairKey struct{ a, b core.TranslatorID }
+
+func makePairKey(x, y core.TranslatorID) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{a: x, b: y}
+}
+
+// Space is a G2 coordinate space bound to a uMiddle runtime.
+type Space struct {
+	rt     *runtime.Runtime
+	radius float64
+
+	mu      sync.Mutex
+	gadgets map[core.TranslatorID]*gadget
+	links   map[pairKey][]transport.PathID
+	events  []EventFunc
+	trigger *core.Base
+}
+
+// NewSpace creates a space with the given co-location radius.
+func NewSpace(rt *runtime.Runtime, radius float64) *Space {
+	return &Space{
+		rt:      rt,
+		radius:  radius,
+		gadgets: make(map[core.TranslatorID]*gadget),
+		links:   make(map[pairKey][]transport.PathID),
+	}
+}
+
+// OnEvent registers an event callback.
+func (s *Space) OnEvent(fn EventFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, fn)
+}
+
+func (s *Space) emit(e Event) {
+	s.mu.Lock()
+	fns := append([]EventFunc(nil), s.events...)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(e)
+	}
+}
+
+// Place registers a gadget at a position. The translator must be
+// visible in the runtime's directory.
+func (s *Space) Place(id core.TranslatorID, pos Point) error {
+	profile, err := s.rt.Directory().Resolve(id)
+	if err != nil {
+		return fmt.Errorf("g2: %w", err)
+	}
+	s.mu.Lock()
+	s.gadgets[id] = &gadget{profile: profile, role: Classify(profile), pos: pos}
+	s.mu.Unlock()
+	s.recompose(id)
+	return nil
+}
+
+// Move repositions a gadget, recomputing co-locations.
+func (s *Space) Move(id core.TranslatorID, pos Point) error {
+	s.mu.Lock()
+	g, ok := s.gadgets[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("g2: gadget %q not placed", id)
+	}
+	g.pos = pos
+	s.mu.Unlock()
+	s.recompose(id)
+	return nil
+}
+
+// Remove takes a gadget off the map, tearing down its compositions.
+func (s *Space) Remove(id core.TranslatorID) {
+	s.mu.Lock()
+	delete(s.gadgets, id)
+	var torn []pairKey
+	for key := range s.links {
+		if key.a == id || key.b == id {
+			torn = append(torn, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, key := range torn {
+		s.teardown(key)
+	}
+}
+
+// Gadgets returns the placed gadgets sorted by ID.
+type PlacedGadget struct {
+	Profile core.Profile
+	Role    Role
+	Pos     Point
+}
+
+// Gadgets lists placements.
+func (s *Space) Gadgets() []PlacedGadget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PlacedGadget, 0, len(s.gadgets))
+	for _, g := range s.gadgets {
+		out = append(out, PlacedGadget{Profile: g.profile.Clone(), Role: g.role, Pos: g.pos})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Profile.ID < out[j].Profile.ID })
+	return out
+}
+
+// recompose re-evaluates the moved gadget against every other gadget.
+func (s *Space) recompose(id core.TranslatorID) {
+	s.mu.Lock()
+	moved, ok := s.gadgets[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	type pairState struct {
+		key    pairKey
+		other  *gadget
+		close  bool
+		linked bool
+	}
+	var pairs []pairState
+	for otherID, other := range s.gadgets {
+		if otherID == id {
+			continue
+		}
+		key := makePairKey(id, otherID)
+		_, linked := s.links[key]
+		pairs = append(pairs, pairState{
+			key:    key,
+			other:  other,
+			close:  moved.pos.Distance(other.pos) <= s.radius,
+			linked: linked,
+		})
+	}
+	movedCopy := *moved
+	s.mu.Unlock()
+
+	for _, p := range pairs {
+		switch {
+		case p.close && !p.linked:
+			s.compose(&movedCopy, p.other, p.key)
+		case !p.close && p.linked:
+			s.teardown(p.key)
+		}
+	}
+}
+
+// compose establishes every applicable composition for a newly
+// co-located pair.
+func (s *Space) compose(a, b *gadget, key pairKey) {
+	var paths []transport.PathID
+	connect := func(src, dst *gadget) {
+		srcPort, dstPort, ok := mediaPath(src.profile, dst.profile)
+		if !ok {
+			return
+		}
+		id, err := s.rt.Connect(srcPort, dstPort)
+		if err != nil {
+			return
+		}
+		paths = append(paths, id)
+		kind := EventGeoplay
+		if dst.role == RoleStorage {
+			kind = EventGeostore
+		}
+		s.emit(Event{Kind: kind, Src: src.profile.ID, Dst: dst.profile.ID, Path: id})
+		s.poke(src.profile)
+	}
+	connect(a, b)
+	connect(b, a)
+	if len(paths) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.links[key] = paths
+	s.mu.Unlock()
+}
+
+// mediaPath finds a compatible media output->input port pair.
+func mediaPath(src, dst core.Profile) (core.PortRef, core.PortRef, bool) {
+	for _, out := range src.Shape.Outputs(core.Digital) {
+		if !isMediaType(out.Type) {
+			continue
+		}
+		for _, in := range dst.Shape.Inputs(core.Digital) {
+			if core.Compatible(out.Type, in.Type) {
+				return core.PortRef{Translator: src.ID, Port: out.Name},
+					core.PortRef{Translator: dst.ID, Port: in.Name}, true
+			}
+		}
+	}
+	return core.PortRef{}, core.PortRef{}, false
+}
+
+// poke triggers acquisition on a source gadget: if it has a control
+// input port ("control/*" family: the camera's shutter, a storage
+// device's replay trigger), a trigger message is delivered so the
+// geoplay actually plays. Failures are ignored — not every source needs
+// poking (streams flow on their own).
+func (s *Space) poke(src core.Profile) {
+	for _, port := range src.Shape.Inputs(core.Digital) {
+		major, _ := port.Type.Split()
+		if !strings.EqualFold(major, "control") {
+			continue
+		}
+		dst := core.PortRef{Translator: src.ID, Port: port.Name}
+		if tr, ok := s.rt.Directory().Local(src.ID); ok {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			go func() {
+				defer cancel()
+				tr.Deliver(ctx, dst.Port, core.Message{Type: port.Type}) //nolint:errcheck
+			}()
+		} else {
+			// Remote gadget: route the trigger through a transient path
+			// from the space's trigger service.
+			go s.remotePoke(dst, port.Type)
+		}
+		return
+	}
+}
+
+// remotePoke delivers a trigger to a remote gadget through a one-shot
+// message path from the space's trigger service — the transport module
+// forwards the delivery to the gadget's hosting node.
+func (s *Space) remotePoke(dst core.PortRef, t core.DataType) {
+	src := s.ensureTrigger()
+	if src == nil {
+		return
+	}
+	id, err := s.rt.Connect(core.PortRef{Translator: src.Profile().ID, Port: "out"}, dst)
+	if err != nil {
+		return
+	}
+	src.Emit("out", core.Message{Type: t})
+	// Leave the path up until the buffered trigger drains, then tear it
+	// down.
+	go func() {
+		defer s.rt.Disconnect(id) //nolint:errcheck
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			stats, ok := s.rt.Transport().PathStats(id)
+			if !ok || stats.Delivered+stats.Errors >= 1 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+}
+
+// ensureTrigger lazily registers the space's trigger service.
+func (s *Space) ensureTrigger() *core.Base {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trigger != nil {
+		return s.trigger
+	}
+	tr := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID(s.rt.Node(), "umiddle", "g2-trigger"),
+		Name:     "G2 trigger",
+		Platform: "umiddle",
+		Node:     s.rt.Node(),
+		Shape: core.MustShape(
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "control/*"},
+		),
+	})
+	if err := s.rt.Register(tr); err != nil {
+		return nil
+	}
+	s.trigger = tr
+	return tr
+}
+
+// teardown removes a pair's compositions.
+func (s *Space) teardown(key pairKey) {
+	s.mu.Lock()
+	paths := s.links[key]
+	delete(s.links, key)
+	s.mu.Unlock()
+	for _, id := range paths {
+		s.rt.Disconnect(id) //nolint:errcheck // path may already be gone
+	}
+	if len(paths) > 0 {
+		s.emit(Event{Kind: EventSeparated, Src: key.a, Dst: key.b})
+	}
+}
+
+// Links returns the number of active co-location compositions.
+func (s *Space) Links() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.links)
+}

@@ -1,0 +1,260 @@
+package g2
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+func newTestRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.Config{
+		Node:      "g2-node",
+		Directory: directory.Options{AnnounceInterval: 20 * time.Millisecond},
+		Transport: transport.Options{DeliverTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("runtime.New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// gadgetDef builds and registers a test gadget.
+func gadgetDef(t *testing.T, rt *runtime.Runtime, name string, ports ...core.Port) *core.Base {
+	t.Helper()
+	tr := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID(rt.Node(), "umiddle", name),
+		Name:     name,
+		Platform: "umiddle",
+		Node:     rt.Node(),
+		Shape:    core.MustShape(ports...),
+	})
+	if err := rt.Register(tr); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return tr
+}
+
+func cameraPorts() []core.Port {
+	return []core.Port{
+		{Name: "image-out", Kind: core.Digital, Direction: core.Output, Type: "image/jpeg"},
+		{Name: "capture", Kind: core.Digital, Direction: core.Input, Type: "control/trigger"},
+	}
+}
+
+func playerPorts() []core.Port {
+	return []core.Port{
+		{Name: "image-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+		{Name: "screen", Kind: core.Physical, Direction: core.Output, Type: "visible/screen"},
+	}
+}
+
+func storagePorts() []core.Port {
+	return []core.Port{
+		{Name: "media-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name  string
+		ports []core.Port
+		attrs map[string]string
+		want  Role
+	}{
+		{"camera", cameraPorts(), nil, RoleCapture},
+		{"player", playerPorts(), nil, RolePlayer},
+		{"storage", storagePorts(), nil, RoleStorage},
+		{"other", []core.Port{{Name: "x", Kind: core.Digital, Direction: core.Input, Type: "text/plain"}}, nil, RoleOther},
+		{"override", cameraPorts(), map[string]string{"g2.role": "storage"}, RoleStorage},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := core.Profile{
+				ID: "x", Platform: "umiddle", Node: "n",
+				Shape:      core.MustShape(tt.ports...),
+				Attributes: tt.attrs,
+			}
+			if got := Classify(p); got != tt.want {
+				t.Fatalf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for _, r := range []Role{RoleCapture, RolePlayer, RoleStorage, RoleOther} {
+		if r.String() == "" || r.String()[0] == 'R' {
+			t.Errorf("Role %d has bad name %q", int(r), r.String())
+		}
+	}
+	if Role(99).String() != "Role(99)" {
+		t.Error("unknown role name")
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Fatalf("distance = %f", d)
+	}
+}
+
+func TestGeoplayOnCoLocation(t *testing.T) {
+	rt := newTestRuntime(t)
+	camera := gadgetDef(t, rt, "camera", cameraPorts()...)
+	player := gadgetDef(t, rt, "player", playerPorts()...)
+	received := make(chan core.Message, 8)
+	player.MustHandle("image-in", func(_ context.Context, msg core.Message) error {
+		received <- msg
+		return nil
+	})
+	// The camera answers pokes on its capture port by emitting.
+	camera.MustHandle("capture", func(context.Context, core.Message) error {
+		camera.Emit("image-out", core.NewMessage("image/jpeg", []byte("snap")))
+		return nil
+	})
+
+	space := NewSpace(rt, 5)
+	var mu sync.Mutex
+	var events []Event
+	space.OnEvent(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, e)
+	})
+
+	if err := space.Place(camera.ID(), Point{0, 0}); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if err := space.Place(player.ID(), Point{100, 100}); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if space.Links() != 0 {
+		t.Fatal("composition before co-location")
+	}
+
+	// Move the player next to the camera: geoplay fires and the poke
+	// causes an actual image to flow.
+	if err := space.Move(player.ID(), Point{1, 1}); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	select {
+	case msg := <-received:
+		if string(msg.Payload) != "snap" {
+			t.Fatalf("payload = %q", msg.Payload)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("geoplay never delivered an image")
+	}
+	mu.Lock()
+	if len(events) == 0 || events[0].Kind != EventGeoplay {
+		t.Fatalf("events = %v", events)
+	}
+	mu.Unlock()
+
+	// Moving apart tears the composition down.
+	if err := space.Move(player.ID(), Point{100, 100}); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if space.Links() != 0 {
+		t.Fatal("composition survived separation")
+	}
+	mu.Lock()
+	last := events[len(events)-1]
+	mu.Unlock()
+	if last.Kind != EventSeparated {
+		t.Fatalf("last event = %v", last)
+	}
+}
+
+func TestGeostoreKind(t *testing.T) {
+	rt := newTestRuntime(t)
+	camera := gadgetDef(t, rt, "camera", cameraPorts()...)
+	camera.MustHandle("capture", func(context.Context, core.Message) error { return nil })
+	storeProfile := core.Profile{
+		ID:       core.MakeTranslatorID(rt.Node(), "umiddle", "store"),
+		Name:     "store",
+		Platform: "umiddle",
+		Node:     rt.Node(),
+		Shape:    core.MustShape(storagePorts()...),
+	}
+	store := core.MustBase(storeProfile)
+	store.MustHandle("media-in", func(context.Context, core.Message) error { return nil })
+	if err := rt.Register(store); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	space := NewSpace(rt, 5)
+	events := make(chan Event, 8)
+	space.OnEvent(func(e Event) { events <- e })
+	space.Place(camera.ID(), Point{0, 0})
+	space.Place(store.ID(), Point{1, 1})
+	select {
+	case e := <-events:
+		if e.Kind != EventGeostore {
+			t.Fatalf("kind = %v, want geostore", e.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no composition event")
+	}
+}
+
+func TestRemoveTearsDown(t *testing.T) {
+	rt := newTestRuntime(t)
+	camera := gadgetDef(t, rt, "camera", cameraPorts()...)
+	camera.MustHandle("capture", func(context.Context, core.Message) error { return nil })
+	player := gadgetDef(t, rt, "player", playerPorts()...)
+	player.MustHandle("image-in", func(context.Context, core.Message) error { return nil })
+
+	space := NewSpace(rt, 5)
+	space.Place(camera.ID(), Point{0, 0})
+	space.Place(player.ID(), Point{1, 1})
+	if space.Links() != 1 {
+		t.Fatalf("links = %d", space.Links())
+	}
+	space.Remove(camera.ID())
+	if space.Links() != 0 {
+		t.Fatal("links survived removal")
+	}
+	if got := len(space.Gadgets()); got != 1 {
+		t.Fatalf("gadgets = %d", got)
+	}
+}
+
+func TestPlaceUnknownGadget(t *testing.T) {
+	rt := newTestRuntime(t)
+	space := NewSpace(rt, 5)
+	if err := space.Place("ghost", Point{}); err == nil {
+		t.Fatal("placing unknown gadget succeeded")
+	}
+	if err := space.Move("ghost", Point{}); err == nil {
+		t.Fatal("moving unplaced gadget succeeded")
+	}
+}
+
+func TestIncompatibleGadgetsNoComposition(t *testing.T) {
+	rt := newTestRuntime(t)
+	camera := gadgetDef(t, rt, "camera", cameraPorts()...)
+	// A printer that only accepts PostScript: media types don't match.
+	printer := gadgetDef(t, rt, "printer",
+		core.Port{Name: "doc-in", Kind: core.Digital, Direction: core.Input, Type: "text/ps"},
+		core.Port{Name: "paper", Kind: core.Physical, Direction: core.Output, Type: "visible/paper"})
+	_ = printer
+
+	space := NewSpace(rt, 5)
+	space.Place(camera.ID(), Point{0, 0})
+	space.Place(printer.ID(), Point{1, 1})
+	if space.Links() != 0 {
+		t.Fatal("incompatible gadgets composed")
+	}
+}

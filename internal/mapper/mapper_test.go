@@ -1,0 +1,84 @@
+package mapper
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Sample{Platform: "upnp", DeviceType: "light", Duration: 10 * time.Millisecond, Ports: 4})
+	r.Record(Sample{Platform: "upnp", DeviceType: "light", Duration: 30 * time.Millisecond, Ports: 4})
+	if got := len(r.Samples()); got != 2 {
+		t.Fatalf("samples = %d", got)
+	}
+	// Samples returns a copy.
+	s := r.Samples()
+	s[0].Platform = "mutated"
+	if r.Samples()[0].Platform != "upnp" {
+		t.Fatal("Samples aliases internal state")
+	}
+	r.Reset()
+	if len(r.Samples()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Sample{}) // must not panic
+	if r.Samples() != nil {
+		t.Fatal("nil recorder returned samples")
+	}
+	r.Reset()
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(Sample{Platform: "p", Duration: time.Millisecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Samples()); got != 800 {
+		t.Fatalf("samples = %d, want 800", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []Sample{
+		{Platform: "upnp", DeviceType: "light", Duration: 10 * time.Millisecond},
+		{Platform: "upnp", DeviceType: "light", Duration: 30 * time.Millisecond},
+		{Platform: "upnp", DeviceType: "clock", Duration: 100 * time.Millisecond},
+		{Platform: "bluetooth", DeviceType: "mouse", Duration: 50 * time.Millisecond},
+	}
+	sums := Summarize(samples)
+	if len(sums) != 3 {
+		t.Fatalf("groups = %d, want 3", len(sums))
+	}
+	// Sorted by platform then device type.
+	if sums[0].Platform != "bluetooth" || sums[1].DeviceType != "clock" || sums[2].DeviceType != "light" {
+		t.Fatalf("order = %v", sums)
+	}
+	light := sums[2]
+	if light.Count != 2 || light.Mean != 20*time.Millisecond ||
+		light.Min != 10*time.Millisecond || light.Max != 30*time.Millisecond {
+		t.Fatalf("light summary = %+v", light)
+	}
+	if light.PerSecond < 49 || light.PerSecond > 51 {
+		t.Fatalf("light rate = %f, want ~50", light.PerSecond)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Fatalf("Summarize(nil) = %v", got)
+	}
+}

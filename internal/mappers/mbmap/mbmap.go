@@ -1,0 +1,318 @@
+// Package mbmap implements uMiddle's MediaBroker mapper: it polls a
+// broker's stream table and imports a translator per stream. The
+// translator consumes the native stream and emits each frame on its
+// media-out port; deliveries to media-in are published back through the
+// broker on a companion "<stream>-return" stream, which is how echoed
+// or transformed media reaches the native MediaBroker service (the MB
+// and RMI-MB tests of the paper's Figure 11).
+package mbmap
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/platform/mediabroker"
+	"repro/internal/usdl"
+)
+
+// Platform is the platform name this mapper bridges.
+const Platform = "mediabroker"
+
+// ReturnSuffix names the companion stream used for media flowing back
+// into the native platform.
+const ReturnSuffix = "-return"
+
+// Options configures the mapper.
+type Options struct {
+	// BrokerHost names the host running the broker.
+	BrokerHost string
+	// PollInterval is the stream-table poll cadence (default 500ms).
+	PollInterval time.Duration
+	// Recorder receives service-level bridging samples.
+	Recorder *mapper.Recorder
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// mappedStream tracks one imported stream.
+type mappedStream struct {
+	id       core.TranslatorID
+	consumer *mediabroker.Consumer
+
+	mu       sync.Mutex
+	producer *mediabroker.Producer
+}
+
+// Mapper is the MediaBroker platform mapper.
+type Mapper struct {
+	host *netemu.Host
+	opts Options
+
+	mu     sync.Mutex
+	imp    mapper.Importer
+	mapped map[string]*mappedStream
+	nextID int
+	closed bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+var _ mapper.Mapper = (*Mapper)(nil)
+
+// New creates a MediaBroker mapper on the given host.
+func New(host *netemu.Host, opts Options) *Mapper {
+	return &Mapper{
+		host:   host,
+		opts:   opts.withDefaults(),
+		mapped: make(map[string]*mappedStream),
+	}
+}
+
+// Platform implements mapper.Mapper.
+func (m *Mapper) Platform() string { return Platform }
+
+// Start implements mapper.Mapper.
+func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("mbmap: closed")
+	}
+	m.imp = imp
+	runCtx, cancel := context.WithCancel(ctx)
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.opts.PollInterval)
+		defer ticker.Stop()
+		m.sweep(runCtx)
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				m.sweep(runCtx)
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements mapper.Mapper.
+func (m *Mapper) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cancel := m.cancel
+	streams := make([]*mappedStream, 0, len(m.mapped))
+	for _, s := range m.mapped {
+		if s != nil {
+			streams = append(streams, s)
+		}
+	}
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	for _, s := range streams {
+		s.close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (s *mappedStream) close() {
+	s.consumer.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.producer != nil {
+		s.producer.Close()
+		s.producer = nil
+	}
+}
+
+func (m *Mapper) sweep(ctx context.Context) {
+	streams, err := mediabroker.ListStreams(ctx, m.host, m.opts.BrokerHost)
+	if err != nil {
+		if ctx.Err() == nil {
+			m.opts.Logger.Warn("mbmap: broker poll failed", "err", err)
+		}
+		return
+	}
+	present := make(map[string]bool, len(streams))
+	for _, info := range streams {
+		// Return streams are uMiddle's own; never map them back.
+		if len(info.Name) > len(ReturnSuffix) && info.Name[len(info.Name)-len(ReturnSuffix):] == ReturnSuffix {
+			continue
+		}
+		present[info.Name] = true
+		m.mapStream(ctx, info)
+	}
+	m.mu.Lock()
+	var victims []*mappedStream
+	var victimIDs []core.TranslatorID
+	for name, s := range m.mapped {
+		if s != nil && !present[name] {
+			victims = append(victims, s)
+			victimIDs = append(victimIDs, s.id)
+			delete(m.mapped, name)
+		}
+	}
+	imp := m.imp
+	m.mu.Unlock()
+	for i, s := range victims {
+		s.close()
+		if err := imp.RemoveTranslator(victimIDs[i]); err != nil {
+			m.opts.Logger.Warn("mbmap: unmap failed", "id", victimIDs[i], "err", err)
+		}
+	}
+}
+
+func (m *Mapper) mapStream(ctx context.Context, info mediabroker.StreamInfo) {
+	m.mu.Lock()
+	if _, known := m.mapped[info.Name]; known || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mapped[info.Name] = nil // reserve
+	m.mu.Unlock()
+
+	start := time.Now()
+	svcDef, ok := m.imp.USDL().Find(Platform, "stream")
+	if !ok {
+		m.opts.Logger.Warn("mbmap: no USDL document for streams")
+		m.unreserve(info.Name)
+		return
+	}
+	consumer, err := mediabroker.NewConsumer(ctx, m.host, m.opts.BrokerHost, info.Name)
+	if err != nil {
+		m.opts.Logger.Warn("mbmap: consume failed", "stream", info.Name, "err", err)
+		m.unreserve(info.Name)
+		return
+	}
+	m.mu.Lock()
+	m.nextID++
+	localID := fmt.Sprintf("stream-%d", m.nextID)
+	m.mu.Unlock()
+	profile := core.Profile{
+		ID:         core.MakeTranslatorID(m.imp.Node(), Platform, localID),
+		Name:       info.Name,
+		Platform:   Platform,
+		DeviceType: "stream",
+		Node:       m.imp.Node(),
+		Attributes: map[string]string{
+			"broker":    m.opts.BrokerHost,
+			"mediaType": info.MediaType,
+			"producer":  info.Producer,
+		},
+	}
+	ms := &mappedStream{consumer: consumer}
+	host := m.host
+	brokerHost := m.opts.BrokerHost
+	driver := usdl.DriverFunc(func(ctx context.Context, action string, _ map[string]string, payload []byte) ([]byte, error) {
+		if action != "publish" {
+			return nil, fmt.Errorf("mbmap: unknown action %q", action)
+		}
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		if ms.producer == nil {
+			p, err := mediabroker.NewProducer(ctx, host, brokerHost, info.Name+ReturnSuffix, info.MediaType)
+			if err != nil {
+				return nil, err
+			}
+			ms.producer = p
+		}
+		if err := ms.producer.Send(payload); err != nil {
+			ms.producer.Close()
+			ms.producer = nil
+			return nil, err
+		}
+		return nil, nil
+	})
+	gt, err := usdl.NewGenericTranslator(profile, svcDef, driver)
+	if err != nil {
+		consumer.Close()
+		m.unreserve(info.Name)
+		return
+	}
+	ms.id = profile.ID
+	if err := m.imp.ImportTranslator(gt); err != nil {
+		consumer.Close()
+		gt.Close()
+		m.unreserve(info.Name)
+		return
+	}
+	m.mu.Lock()
+	m.mapped[info.Name] = ms
+	m.mu.Unlock()
+
+	// Pump native frames into the intermediary space.
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			frame, err := consumer.Recv()
+			if err != nil {
+				return
+			}
+			// The port's declared type is used for the emission; the
+			// native media type travels as a header so it survives
+			// translation without breaking port-type checks.
+			gt.NativeEvent("Frame", core.Message{
+				Payload: frame,
+				Headers: map[string]string{"mediaType": info.MediaType},
+			})
+		}
+	}()
+
+	m.opts.Recorder.Record(mapper.Sample{
+		Platform:   Platform,
+		DeviceType: "stream",
+		Duration:   time.Since(start),
+		Ports:      gt.Profile().Shape.Len(),
+	})
+	m.opts.Logger.Info("mbmap: mapped", "stream", info.Name, "id", profile.ID)
+}
+
+func (m *Mapper) unreserve(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.mapped[name]; ok && s == nil {
+		delete(m.mapped, name)
+	}
+}
+
+// MappedCount returns the number of currently mapped streams.
+func (m *Mapper) MappedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.mapped {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}

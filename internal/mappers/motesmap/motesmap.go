@@ -1,0 +1,256 @@
+// Package motesmap implements uMiddle's Berkeley Motes mapper: it hosts
+// the sensor network's base station and imports a translator per mote
+// the moment its first packet arrives. Sensor readings become native
+// events on the translator's light-out and temp-out ports; motes silent
+// beyond a liveness window are unmapped.
+package motesmap
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/platform/motes"
+	"repro/internal/usdl"
+)
+
+// Platform is the platform name this mapper bridges.
+const Platform = "motes"
+
+// Options configures the mapper.
+type Options struct {
+	// LivenessWindow is how long a mote may stay silent before being
+	// unmapped (default 3s).
+	LivenessWindow time.Duration
+	// Recorder receives service-level bridging samples.
+	Recorder *mapper.Recorder
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.LivenessWindow <= 0 {
+		o.LivenessWindow = 3 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// mappedMote tracks one imported mote.
+type mappedMote struct {
+	id         core.TranslatorID
+	translator *usdl.GenericTranslator
+	lastSeen   time.Time
+}
+
+// Mapper is the Motes platform mapper.
+type Mapper struct {
+	host *netemu.Host
+	opts Options
+
+	mu     sync.Mutex
+	base   *motes.BaseStation
+	imp    mapper.Importer
+	mapped map[uint16]*mappedMote
+	closed bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+var _ mapper.Mapper = (*Mapper)(nil)
+
+// New creates a Motes mapper; the base station it hosts listens on the
+// runtime's host.
+func New(host *netemu.Host, opts Options) *Mapper {
+	return &Mapper{
+		host:   host,
+		opts:   opts.withDefaults(),
+		mapped: make(map[uint16]*mappedMote),
+	}
+}
+
+// Platform implements mapper.Mapper.
+func (m *Mapper) Platform() string { return Platform }
+
+// Start implements mapper.Mapper: it boots the base station and begins
+// importing motes as they report.
+func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("motesmap: closed")
+	}
+	m.imp = imp
+	m.mu.Unlock()
+
+	base, err := motes.NewBaseStation(m.host)
+	if err != nil {
+		return fmt.Errorf("motesmap: %w", err)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	m.base = base
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	base.OnPacket(m.handlePacket)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.opts.LivenessWindow / 2)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				m.reapSilent()
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements mapper.Mapper.
+func (m *Mapper) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cancel := m.cancel
+	base := m.base
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if base != nil {
+		base.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Mapper) handlePacket(p motes.Packet) {
+	m.mu.Lock()
+	mm, known := m.mapped[p.MoteID]
+	if known && mm != nil {
+		mm.lastSeen = time.Now()
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return
+	}
+	if !known {
+		mm = m.mapMote(p.MoteID)
+		if mm == nil {
+			return
+		}
+	}
+	if mm == nil {
+		return // mapping in progress on another goroutine
+	}
+	native := "Light"
+	if p.Sensor == motes.SensorTemperature {
+		native = "Temperature"
+	}
+	mm.translator.NativeEvent(native, core.Message{
+		Payload: []byte(strconv.Itoa(int(p.Value))),
+		Headers: map[string]string{
+			"mote":   strconv.Itoa(int(p.MoteID)),
+			"sensor": p.Sensor.String(),
+			"seq":    strconv.Itoa(int(p.Seq)),
+		},
+	})
+}
+
+func (m *Mapper) mapMote(id uint16) *mappedMote {
+	m.mu.Lock()
+	if _, known := m.mapped[id]; known || m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mapped[id] = nil // reserve
+	m.mu.Unlock()
+
+	start := time.Now()
+	svcDef, ok := m.imp.USDL().Find(Platform, "sensor-mote")
+	if !ok {
+		m.opts.Logger.Warn("motesmap: no USDL document for motes")
+		return nil
+	}
+	profile := core.Profile{
+		ID:         core.MakeTranslatorID(m.imp.Node(), Platform, fmt.Sprintf("mote-%d", id)),
+		Name:       fmt.Sprintf("Mote %d", id),
+		Platform:   Platform,
+		DeviceType: "sensor-mote",
+		Node:       m.imp.Node(),
+		Attributes: map[string]string{"moteId": strconv.Itoa(int(id))},
+	}
+	// Motes are sense-only: no actions, so the driver is never invoked.
+	gt, err := usdl.NewGenericTranslator(profile, svcDef, usdl.DriverFunc(nil))
+	if err != nil {
+		m.opts.Logger.Warn("motesmap: translator failed", "mote", id, "err", err)
+		return nil
+	}
+	if err := m.imp.ImportTranslator(gt); err != nil {
+		gt.Close()
+		m.opts.Logger.Warn("motesmap: import failed", "mote", id, "err", err)
+		return nil
+	}
+	mm := &mappedMote{id: profile.ID, translator: gt, lastSeen: time.Now()}
+	m.mu.Lock()
+	m.mapped[id] = mm
+	m.mu.Unlock()
+	m.opts.Recorder.Record(mapper.Sample{
+		Platform:   Platform,
+		DeviceType: "sensor-mote",
+		Duration:   time.Since(start),
+		Ports:      gt.Profile().Shape.Len(),
+	})
+	m.opts.Logger.Info("motesmap: mapped", "mote", id)
+	return mm
+}
+
+// reapSilent unmaps motes that have stopped reporting.
+func (m *Mapper) reapSilent() {
+	cutoff := time.Now().Add(-m.opts.LivenessWindow)
+	m.mu.Lock()
+	var victims []*mappedMote
+	for id, mm := range m.mapped {
+		if mm != nil && mm.lastSeen.Before(cutoff) {
+			victims = append(victims, mm)
+			delete(m.mapped, id)
+		}
+	}
+	imp := m.imp
+	m.mu.Unlock()
+	for _, mm := range victims {
+		if err := imp.RemoveTranslator(mm.id); err != nil {
+			m.opts.Logger.Warn("motesmap: unmap failed", "id", mm.id, "err", err)
+		}
+	}
+}
+
+// MappedCount returns the number of currently mapped motes.
+func (m *Mapper) MappedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, mm := range m.mapped {
+		if mm != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package motesmap
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/mapper/mappertest"
+	"repro/internal/netemu"
+	"repro/internal/platform/motes"
+)
+
+func startMapper(t *testing.T, net *netemu.Network) (*Mapper, *mappertest.Importer) {
+	t.Helper()
+	imp := mappertest.New("gateway")
+	m := New(net.MustAddHost("gateway"), Options{LivenessWindow: 500 * time.Millisecond})
+	if err := m.Start(context.Background(), imp); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, imp
+}
+
+func TestMapsMotesOnFirstPacket(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	m, imp := startMapper(t, net)
+
+	m1, err := motes.StartMote(net.MustAddHost("mote-1"), "gateway", 1, motes.MoteOptions{
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer m1.Stop()
+	m2, err := motes.StartMote(net.MustAddHost("mote-2"), "gateway", 2, motes.MoteOptions{
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer m2.Stop()
+
+	if err := imp.WaitCount(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.MappedCount() != 2 {
+		t.Fatalf("MappedCount = %d", m.MappedCount())
+	}
+	for _, p := range imp.Profiles() {
+		if p.DeviceType != "sensor-mote" || p.Shape.Len() != 4 {
+			t.Fatalf("profile = %v", p)
+		}
+	}
+
+	// Readings flow as typed emissions with mote metadata.
+	e, err := imp.WaitEmission("light-out", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Msg.Type != "text/sensor-reading" {
+		t.Fatalf("type = %v", e.Msg.Type)
+	}
+	if _, err := strconv.Atoi(string(e.Msg.Payload)); err != nil {
+		t.Fatalf("payload = %q", e.Msg.Payload)
+	}
+	if e.Msg.Header("mote") == "" || e.Msg.Header("sensor") != "light" {
+		t.Fatalf("headers = %v", e.Msg.Headers)
+	}
+	if _, err := imp.WaitEmission("temp-out", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentMoteUnmapped(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	_, imp := startMapper(t, net)
+	m1, err := motes.StartMote(net.MustAddHost("mote-1"), "gateway", 1, motes.MoteOptions{
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	if err := imp.WaitCount(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m1.Stop() // battery died
+	if err := imp.WaitCount(0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoteRebootRemaps(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	_, imp := startMapper(t, net)
+	m1, err := motes.StartMote(net.MustAddHost("mote-1"), "gateway", 1, motes.MoteOptions{
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	if err := imp.WaitCount(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m1.Stop()
+	if err := imp.WaitCount(0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh battery: the mote reports again and is re-imported.
+	m2, err := motes.StartMote(net.MustAddHost("mote-1b"), "gateway", 1, motes.MoteOptions{
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer m2.Stop()
+	if err := imp.WaitCount(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package rmimap implements uMiddle's RMI mapper: it polls an RMI
+// registry for bound names and imports a generic translator per remote
+// object whose interface has a USDL document. Deliveries to the
+// translator's input ports become synchronous remote invocations — the
+// transport-level bridge benchmarked in the paper's Figure 11 (RMI and
+// RMI-MB tests).
+package rmimap
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/platform/rmi"
+	"repro/internal/usdl"
+)
+
+// Platform is the platform name this mapper bridges.
+const Platform = "rmi"
+
+// Options configures the mapper.
+type Options struct {
+	// RegistryHost names the host running the RMI registry.
+	RegistryHost string
+	// PollInterval is the registry poll cadence (default 500ms).
+	PollInterval time.Duration
+	// Recorder receives service-level bridging samples.
+	Recorder *mapper.Recorder
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// Mapper is the RMI platform mapper.
+type Mapper struct {
+	host *netemu.Host
+	opts Options
+
+	client   *rmi.Client
+	registry *rmi.RegistryClient
+
+	mu     sync.Mutex
+	imp    mapper.Importer
+	mapped map[string]core.TranslatorID // registry name -> translator
+	nextID int
+	closed bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+var _ mapper.Mapper = (*Mapper)(nil)
+
+// New creates an RMI mapper on the given host.
+func New(host *netemu.Host, opts Options) *Mapper {
+	opts = opts.withDefaults()
+	return &Mapper{
+		host:     host,
+		opts:     opts,
+		client:   rmi.NewClient(host),
+		registry: rmi.NewRegistryClient(host, opts.RegistryHost),
+		mapped:   make(map[string]core.TranslatorID),
+	}
+}
+
+// Platform implements mapper.Mapper.
+func (m *Mapper) Platform() string { return Platform }
+
+// Start implements mapper.Mapper.
+func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("rmimap: closed")
+	}
+	m.imp = imp
+	runCtx, cancel := context.WithCancel(ctx)
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.opts.PollInterval)
+		defer ticker.Stop()
+		m.sweep(runCtx)
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				m.sweep(runCtx)
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements mapper.Mapper.
+func (m *Mapper) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+	return m.client.Close()
+}
+
+// sweep reconciles translators with the registry's bindings.
+func (m *Mapper) sweep(ctx context.Context) {
+	names, err := m.registry.List(ctx)
+	if err != nil {
+		if ctx.Err() == nil {
+			m.opts.Logger.Warn("rmimap: registry poll failed", "err", err)
+		}
+		return
+	}
+	present := make(map[string]bool, len(names))
+	for _, name := range names {
+		present[name] = true
+		m.mapName(ctx, name)
+	}
+	// Unmap withdrawn names.
+	m.mu.Lock()
+	var victims []core.TranslatorID
+	for name, id := range m.mapped {
+		if !present[name] {
+			victims = append(victims, id)
+			delete(m.mapped, name)
+		}
+	}
+	imp := m.imp
+	m.mu.Unlock()
+	for _, id := range victims {
+		if err := imp.RemoveTranslator(id); err != nil {
+			m.opts.Logger.Warn("rmimap: unmap failed", "id", id, "err", err)
+		}
+	}
+}
+
+func (m *Mapper) mapName(ctx context.Context, name string) {
+	m.mu.Lock()
+	if _, known := m.mapped[name]; known || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mapped[name] = "" // reserve
+	m.mu.Unlock()
+
+	start := time.Now()
+	ref, err := m.registry.Lookup(ctx, name)
+	if err != nil {
+		m.unreserve(name)
+		return
+	}
+	svcDef, ok := m.imp.USDL().Find(Platform, ref.Interface)
+	if !ok {
+		m.opts.Logger.Warn("rmimap: no USDL document", "interface", ref.Interface)
+		m.unreserve(name)
+		return
+	}
+	m.mu.Lock()
+	m.nextID++
+	localID := fmt.Sprintf("obj-%d", m.nextID)
+	m.mu.Unlock()
+	profile := core.Profile{
+		ID:         core.MakeTranslatorID(m.imp.Node(), Platform, localID),
+		Name:       name,
+		Platform:   Platform,
+		DeviceType: ref.Interface,
+		Node:       m.imp.Node(),
+		Attributes: map[string]string{
+			"registry": m.opts.RegistryHost,
+			"host":     ref.Host,
+		},
+	}
+	client := m.client
+	driver := usdl.DriverFunc(func(ctx context.Context, action string, _ map[string]string, payload []byte) ([]byte, error) {
+		results, err := client.Call(ctx, ref, action, [][]byte{payload})
+		if err != nil {
+			return nil, err
+		}
+		if len(results) > 0 {
+			return results[0], nil
+		}
+		return nil, nil
+	})
+	gt, err := usdl.NewGenericTranslator(profile, svcDef, driver)
+	if err != nil {
+		m.unreserve(name)
+		return
+	}
+	if err := m.imp.ImportTranslator(gt); err != nil {
+		gt.Close()
+		m.unreserve(name)
+		return
+	}
+	m.mu.Lock()
+	m.mapped[name] = profile.ID
+	m.mu.Unlock()
+	m.opts.Recorder.Record(mapper.Sample{
+		Platform:   Platform,
+		DeviceType: ref.Interface,
+		Duration:   time.Since(start),
+		Ports:      gt.Profile().Shape.Len(),
+	})
+	m.opts.Logger.Info("rmimap: mapped", "name", name, "id", profile.ID)
+}
+
+func (m *Mapper) unreserve(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.mapped[name]; ok && id == "" {
+		delete(m.mapped, name)
+	}
+}
+
+// MappedCount returns the number of currently mapped objects.
+func (m *Mapper) MappedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, id := range m.mapped {
+		if id != "" {
+			n++
+		}
+	}
+	return n
+}

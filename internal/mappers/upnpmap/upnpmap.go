@@ -1,0 +1,355 @@
+// Package upnpmap implements uMiddle's UPnP mapper: it discovers native
+// UPnP devices over SSDP, fetches their descriptions and SCPDs, locates
+// the USDL document matching the device type, and imports a
+// USDL-parameterized generic translator whose driver speaks SOAP and
+// whose GENA subscriptions feed native events into the intermediary
+// semantic space.
+//
+// The paper built this mapper on the CyberLink Java library; here it is
+// built on the emulated UPnP stack in internal/platform/upnp, consuming
+// only the wire protocols.
+package upnpmap
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/platform/upnp"
+	"repro/internal/usdl"
+)
+
+// Platform is the platform name this mapper bridges.
+const Platform = "upnp"
+
+// Options configures the mapper.
+type Options struct {
+	// SearchInterval is how often an M-SEARCH sweep runs (default 2s).
+	SearchInterval time.Duration
+	// EventPort is the control point's GENA callback port (0 = default).
+	EventPort int
+	// Recorder receives service-level bridging samples for Figure 10.
+	Recorder *mapper.Recorder
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.SearchInterval <= 0 {
+		o.SearchInterval = 2 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// mappedDevice tracks one imported native device.
+type mappedDevice struct {
+	id         core.TranslatorID
+	translator *usdl.GenericTranslator
+}
+
+// Mapper is the UPnP platform mapper.
+type Mapper struct {
+	host *netemu.Host
+	opts Options
+
+	mu      sync.Mutex
+	cp      *upnp.ControlPoint
+	imp     mapper.Importer
+	devices map[string]*mappedDevice // keyed by USN
+	nextID  int
+	closed  bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+var _ mapper.Mapper = (*Mapper)(nil)
+
+// New creates a UPnP mapper on the given host (normally the runtime's
+// host).
+func New(host *netemu.Host, opts Options) *Mapper {
+	return &Mapper{
+		host:    host,
+		opts:    opts.withDefaults(),
+		devices: make(map[string]*mappedDevice),
+	}
+}
+
+// Platform implements mapper.Mapper.
+func (m *Mapper) Platform() string { return Platform }
+
+// Start implements mapper.Mapper: it begins SSDP discovery and imports
+// translators for every device found.
+func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("upnpmap: closed")
+	}
+	m.imp = imp
+	cp := upnp.NewControlPoint(m.host, m.opts.EventPort)
+	m.cp = cp
+	m.mu.Unlock()
+
+	if err := cp.Start(); err != nil {
+		return fmt.Errorf("upnpmap: %w", err)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	cp.OnAdvertisement(func(msg upnp.SSDPMessage) {
+		switch {
+		case msg.IsAlive() || msg.Method == upnp.MethodResponse:
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.handleAlive(runCtx, msg)
+			}()
+		case msg.IsByeBye():
+			m.handleByeBye(msg)
+		}
+	})
+
+	// Periodic sweeps pick up devices that predate the mapper.
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.opts.SearchInterval)
+		defer ticker.Stop()
+		cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements mapper.Mapper.
+func (m *Mapper) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cancel := m.cancel
+	cp := m.cp
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if cp != nil {
+		cp.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// handleAlive maps a newly advertised device: this is the service-level
+// bridging operation Figure 10 benchmarks.
+func (m *Mapper) handleAlive(ctx context.Context, msg upnp.SSDPMessage) {
+	usn := msg.USN()
+	location := msg.Location()
+	if usn == "" || location == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if _, known := m.devices[usn]; known {
+		m.mu.Unlock()
+		return
+	}
+	// Reserve the slot so concurrent adverts do not double-map.
+	m.devices[usn] = nil
+	m.mu.Unlock()
+
+	start := time.Now()
+	dev, err := m.mapDevice(ctx, usn, location)
+	if err != nil {
+		m.opts.Logger.Warn("upnpmap: mapping failed", "usn", usn, "err", err)
+		m.mu.Lock()
+		delete(m.devices, usn)
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	m.devices[usn] = dev
+	m.mu.Unlock()
+	profile := dev.translator.Profile()
+	m.opts.Recorder.Record(mapper.Sample{
+		Platform:   Platform,
+		DeviceType: profile.DeviceType,
+		Duration:   time.Since(start),
+		Ports:      profile.Shape.Len(),
+	})
+	m.opts.Logger.Info("upnpmap: mapped", "id", dev.id, "took", time.Since(start))
+}
+
+// mapDevice performs the full import: description fetch, USDL lookup,
+// SCPD fetches, translator instantiation, GENA subscriptions, directory
+// registration.
+func (m *Mapper) mapDevice(ctx context.Context, usn, location string) (*mappedDevice, error) {
+	fetchCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	desc, err := m.cp.FetchDescription(fetchCtx, location)
+	if err != nil {
+		return nil, err
+	}
+	deviceType := desc.Device.DeviceType
+
+	svcDef, ok := m.imp.USDL().Find(Platform, deviceType)
+	if !ok {
+		return nil, fmt.Errorf("upnpmap: no USDL document for %q", deviceType)
+	}
+
+	// Build the action table: action name -> (service info, service type)
+	// from every service's SCPD.
+	type actionTarget struct {
+		info upnp.ServiceInfo
+	}
+	actions := make(map[string]actionTarget)
+	for _, info := range desc.Device.Services {
+		scpd, err := m.cp.FetchSCPD(fetchCtx, location, info.SCPDURL)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range scpd.Actions {
+			actions[a.Name] = actionTarget{info: info}
+		}
+	}
+
+	cp := m.cp
+	driver := usdl.DriverFunc(func(ctx context.Context, action string, args map[string]string, _ []byte) ([]byte, error) {
+		target, ok := actions[action]
+		if !ok {
+			return nil, fmt.Errorf("upnpmap: device %s has no action %q", deviceType, action)
+		}
+		out, err := cp.Invoke(ctx, location, target.info.ControlURL, upnp.ActionCall{
+			ServiceType: target.info.ServiceType,
+			Action:      action,
+			Args:        args,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Single out-argument becomes the result payload.
+		if len(out) == 1 {
+			for _, v := range out {
+				return []byte(v), nil
+			}
+		}
+		return nil, nil
+	})
+
+	m.mu.Lock()
+	m.nextID++
+	localID := fmt.Sprintf("dev-%d", m.nextID)
+	m.mu.Unlock()
+	profile := core.Profile{
+		ID:         core.MakeTranslatorID(m.imp.Node(), Platform, localID),
+		Name:       desc.Device.FriendlyName,
+		Platform:   Platform,
+		DeviceType: deviceType,
+		Node:       m.imp.Node(),
+		Attributes: map[string]string{
+			"usn":      usn,
+			"location": location,
+		},
+	}
+	gt, err := usdl.NewGenericTranslator(profile, svcDef, driver)
+	if err != nil {
+		return nil, err
+	}
+
+	// GENA subscriptions: state-variable changes become native events
+	// "<Var>Changed" routed by the USDL event table.
+	for _, info := range desc.Device.Services {
+		info := info
+		_, err := cp.Subscribe(fetchCtx, location, info.EventSubURL, func(variable, value string) {
+			gt.NativeEvent(variable+"Changed", core.Message{
+				Type:    "text/event",
+				Payload: []byte(value),
+				Headers: map[string]string{"variable": variable, "service": info.ServiceID},
+			})
+		})
+		if err != nil {
+			gt.Close()
+			return nil, fmt.Errorf("upnpmap: subscribe %s: %w", info.ServiceID, err)
+		}
+	}
+
+	if err := m.imp.ImportTranslator(gt); err != nil {
+		gt.Close()
+		return nil, err
+	}
+	return &mappedDevice{id: profile.ID, translator: gt}, nil
+}
+
+// handleByeBye unmaps a departed device.
+func (m *Mapper) handleByeBye(msg upnp.SSDPMessage) {
+	usn := msg.USN()
+	// byebye USNs may use the bare uuid form; match by prefix.
+	m.mu.Lock()
+	var victim *mappedDevice
+	var victimUSN string
+	for knownUSN, dev := range m.devices {
+		if dev == nil {
+			continue
+		}
+		if knownUSN == usn || strings.HasPrefix(knownUSN, usn) || strings.HasPrefix(usn, uuidOf(knownUSN)) {
+			victim = dev
+			victimUSN = knownUSN
+			break
+		}
+	}
+	if victim != nil {
+		delete(m.devices, victimUSN)
+	}
+	imp := m.imp
+	m.mu.Unlock()
+	if victim == nil || imp == nil {
+		return
+	}
+	if err := imp.RemoveTranslator(victim.id); err != nil {
+		m.opts.Logger.Warn("upnpmap: unmap failed", "id", victim.id, "err", err)
+	}
+}
+
+// uuidOf extracts the uuid component of a USN ("uuid:x::type" -> "uuid:x").
+func uuidOf(usn string) string {
+	if i := strings.Index(usn, "::"); i >= 0 {
+		return usn[:i]
+	}
+	return usn
+}
+
+// MappedCount returns the number of currently mapped devices.
+func (m *Mapper) MappedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, d := range m.devices {
+		if d != nil {
+			n++
+		}
+	}
+	return n
+}

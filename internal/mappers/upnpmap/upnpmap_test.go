@@ -1,0 +1,153 @@
+package upnpmap
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/mapper/mappertest"
+	"repro/internal/netemu"
+	"repro/internal/platform/upnp"
+)
+
+func startMapper(t *testing.T, net *netemu.Network, rec *mapper.Recorder) (*Mapper, *mappertest.Importer) {
+	t.Helper()
+	host := net.MustAddHost("mapper-host")
+	imp := mappertest.New("mapper-host")
+	m := New(host, Options{SearchInterval: 100 * time.Millisecond, Recorder: rec})
+	if err := m.Start(context.Background(), imp); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, imp
+}
+
+func TestMapsLightOnAlive(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	defer net.Close()
+	rec := mapper.NewRecorder()
+	m, imp := startMapper(t, net, rec)
+
+	light := upnp.NewBinaryLight(net.MustAddHost("dev"), "l1", "Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+
+	if err := imp.WaitCount(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p := imp.Profiles()[0]
+	if p.Platform != Platform || p.DeviceType != upnp.DeviceTypeBinaryLight {
+		t.Fatalf("profile = %v", p)
+	}
+	if p.Attr("usn") == "" || p.Attr("location") == "" {
+		t.Fatalf("attributes missing: %v", p.Attributes)
+	}
+	if m.MappedCount() != 1 {
+		t.Fatalf("MappedCount = %d", m.MappedCount())
+	}
+	samples := rec.Samples()
+	if len(samples) != 1 || samples[0].Ports != 4 {
+		t.Fatalf("samples = %v", samples)
+	}
+	// Re-announcing the same device must not double-map.
+	time.Sleep(300 * time.Millisecond)
+	if imp.Count() != 1 {
+		t.Fatalf("device double-mapped: %d", imp.Count())
+	}
+}
+
+func TestDeliveryInvokesSOAP(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	defer net.Close()
+	_, imp := startMapper(t, net, nil)
+	light := upnp.NewBinaryLight(net.MustAddHost("dev"), "l1", "Lamp", upnp.DeviceOptions{})
+	light.Publish()
+	defer light.Unpublish()
+	if err := imp.WaitCount(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := imp.Translator(core.Query{})
+	if err := tr.Deliver(context.Background(), "power-on", core.Message{}); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	if !light.Power() {
+		t.Fatal("SOAP action did not reach the device")
+	}
+	// GENA event flows back as a status emission.
+	if _, err := imp.WaitEmission("status-out", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownDeviceTypeSkipped(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	defer net.Close()
+	_, imp := startMapper(t, net, nil)
+
+	// A device type with no USDL document: published but never mapped.
+	svc := upnp.NewService("urn:example:service:Mystery:1", "urn:example:serviceId:Mystery", upnp.SCPD{})
+	dev := upnp.NewDevice(net.MustAddHost("dev"), "x1", "urn:example:device:Mystery:1", "Mystery", 0, svc)
+	if err := dev.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer dev.Unpublish()
+
+	time.Sleep(500 * time.Millisecond)
+	if imp.Count() != 0 {
+		t.Fatalf("unknown device type was mapped: %v", imp.Profiles())
+	}
+}
+
+func TestByeByeUnmaps(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	defer net.Close()
+	m, imp := startMapper(t, net, nil)
+	light := upnp.NewBinaryLight(net.MustAddHost("dev"), "l1", "Lamp", upnp.DeviceOptions{})
+	light.Publish()
+	if err := imp.WaitCount(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	light.Unpublish()
+	if err := imp.WaitCount(0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.MappedCount() != 0 {
+		t.Fatalf("MappedCount = %d after byebye", m.MappedCount())
+	}
+}
+
+func TestCloseStopsDiscovery(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	defer net.Close()
+	m, imp := startMapper(t, net, nil)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	light := upnp.NewBinaryLight(net.MustAddHost("dev"), "l1", "Lamp", upnp.DeviceOptions{})
+	light.Publish()
+	defer light.Unpublish()
+	time.Sleep(300 * time.Millisecond)
+	if imp.Count() != 0 {
+		t.Fatal("closed mapper still mapping")
+	}
+	// Idempotent close; Start after close refuses.
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := m.Start(context.Background(), imp); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestUUIDOf(t *testing.T) {
+	if uuidOf("uuid:x::urn:type") != "uuid:x" {
+		t.Fatal("uuidOf with type suffix")
+	}
+	if uuidOf("uuid:x") != "uuid:x" {
+		t.Fatal("uuidOf bare")
+	}
+}

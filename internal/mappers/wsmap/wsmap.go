@@ -1,0 +1,246 @@
+// Package wsmap implements uMiddle's web-services mapper: it polls the
+// service indexes of configured web-service hosts and imports a generic
+// translator per service. A delivery on the translator's request-in
+// port carries an XML request document; the driver unwraps it, performs
+// the HTTP invocation, and the XML response is emitted on response-out.
+package wsmap
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/platform/webservice"
+	"repro/internal/usdl"
+)
+
+// Platform is the platform name this mapper bridges.
+const Platform = "webservice"
+
+// Options configures the mapper.
+type Options struct {
+	// BaseURLs lists the web-service hosts to watch
+	// ("http://ws-host:7400").
+	BaseURLs []string
+	// PollInterval is the index poll cadence (default 1s).
+	PollInterval time.Duration
+	// Recorder receives service-level bridging samples.
+	Recorder *mapper.Recorder
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// Mapper is the web-services platform mapper.
+type Mapper struct {
+	host   *netemu.Host
+	opts   Options
+	client *webservice.Client
+
+	mu     sync.Mutex
+	imp    mapper.Importer
+	mapped map[string]core.TranslatorID // baseURL+"/"+name -> translator
+	nextID int
+	closed bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+var _ mapper.Mapper = (*Mapper)(nil)
+
+// New creates a web-services mapper on the given host.
+func New(host *netemu.Host, opts Options) *Mapper {
+	return &Mapper{
+		host:   host,
+		opts:   opts.withDefaults(),
+		client: webservice.NewClient(host),
+		mapped: make(map[string]core.TranslatorID),
+	}
+}
+
+// Platform implements mapper.Mapper.
+func (m *Mapper) Platform() string { return Platform }
+
+// Start implements mapper.Mapper.
+func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("wsmap: closed")
+	}
+	m.imp = imp
+	runCtx, cancel := context.WithCancel(ctx)
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.opts.PollInterval)
+		defer ticker.Stop()
+		m.sweep(runCtx)
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				m.sweep(runCtx)
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements mapper.Mapper.
+func (m *Mapper) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Mapper) sweep(ctx context.Context) {
+	present := make(map[string]bool)
+	for _, baseURL := range m.opts.BaseURLs {
+		services, err := m.client.Index(ctx, baseURL)
+		if err != nil {
+			if ctx.Err() == nil {
+				m.opts.Logger.Warn("wsmap: index failed", "base", baseURL, "err", err)
+			}
+			continue
+		}
+		for _, svc := range services {
+			key := baseURL + "/" + svc.Name
+			present[key] = true
+			m.mapService(baseURL, svc)
+		}
+	}
+	m.mu.Lock()
+	var victims []core.TranslatorID
+	for key, id := range m.mapped {
+		if id != "" && !present[key] {
+			victims = append(victims, id)
+			delete(m.mapped, key)
+		}
+	}
+	imp := m.imp
+	m.mu.Unlock()
+	for _, id := range victims {
+		if err := imp.RemoveTranslator(id); err != nil {
+			m.opts.Logger.Warn("wsmap: unmap failed", "id", id, "err", err)
+		}
+	}
+}
+
+func (m *Mapper) mapService(baseURL string, svc webservice.ServiceDecl) {
+	key := baseURL + "/" + svc.Name
+	m.mu.Lock()
+	if _, known := m.mapped[key]; known || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mapped[key] = "" // reserve
+	m.mu.Unlock()
+
+	start := time.Now()
+	svcDef, ok := m.imp.USDL().Find(Platform, svc.Interface)
+	if !ok {
+		m.opts.Logger.Warn("wsmap: no USDL document", "interface", svc.Interface)
+		return
+	}
+	m.mu.Lock()
+	m.nextID++
+	localID := fmt.Sprintf("svc-%d", m.nextID)
+	m.mu.Unlock()
+	profile := core.Profile{
+		ID:         core.MakeTranslatorID(m.imp.Node(), Platform, localID),
+		Name:       svc.Name,
+		Platform:   Platform,
+		DeviceType: svc.Interface,
+		Node:       m.imp.Node(),
+		Attributes: map[string]string{"base": baseURL},
+	}
+	client := m.client
+	serviceName := svc.Name
+	driver := usdl.DriverFunc(func(ctx context.Context, action string, args map[string]string, payload []byte) ([]byte, error) {
+		if action != "invoke" {
+			return nil, fmt.Errorf("wsmap: unknown action %q", action)
+		}
+		body := args["Body"]
+		if body == "" {
+			body = string(payload)
+		}
+		var req webservice.Request
+		if err := xml.Unmarshal([]byte(body), &req); err != nil {
+			return nil, fmt.Errorf("wsmap: bad request document: %w", err)
+		}
+		params := make(map[string]string, len(req.Params))
+		for _, p := range req.Params {
+			params[p.Name] = p.Value
+		}
+		out, err := client.Invoke(ctx, baseURL, serviceName, req.Method, params)
+		if err != nil {
+			return nil, err
+		}
+		resp := webservice.Response{}
+		for k, v := range out {
+			resp.Results = append(resp.Results, webservice.Param{Name: k, Value: v})
+		}
+		return xml.Marshal(resp)
+	})
+	gt, err := usdl.NewGenericTranslator(profile, svcDef, driver)
+	if err != nil {
+		return
+	}
+	if err := m.imp.ImportTranslator(gt); err != nil {
+		gt.Close()
+		return
+	}
+	m.mu.Lock()
+	m.mapped[key] = profile.ID
+	m.mu.Unlock()
+	m.opts.Recorder.Record(mapper.Sample{
+		Platform:   Platform,
+		DeviceType: svc.Interface,
+		Duration:   time.Since(start),
+		Ports:      gt.Profile().Shape.Len(),
+	})
+	m.opts.Logger.Info("wsmap: mapped", "service", key, "id", profile.ID)
+}
+
+// MappedCount returns the number of currently mapped services.
+func (m *Mapper) MappedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, id := range m.mapped {
+		if id != "" {
+			n++
+		}
+	}
+	return n
+}

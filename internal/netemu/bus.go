@@ -1,0 +1,208 @@
+package netemu
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Datagram is a message received from a multicast group.
+type Datagram struct {
+	// From names the sending host.
+	From string
+	// Group is the group the datagram was sent to.
+	Group string
+	// Payload is the message body. The slice is owned by the receiver.
+	Payload []byte
+}
+
+// GroupConn is a host's endpoint on a multicast group. It has UDP-like
+// semantics: sends are unreliable (subject to LossRate and receiver
+// buffer overflow) and delivered to every member of the group after the
+// pairwise link latency.
+type GroupConn struct {
+	host  *Host
+	group string
+	net   *Network
+
+	mu       sync.Mutex
+	closed   bool
+	inbox    chan Datagram
+	deadline time.Time
+}
+
+// groupInboxSize bounds each member's receive queue; datagrams beyond it
+// are dropped, as a real UDP socket would.
+const groupInboxSize = 512
+
+func (n *Network) joinGroup(h *Host, group string) (*GroupConn, error) {
+	if group == "" {
+		return nil, fmt.Errorf("netemu: empty group name")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	gc := &GroupConn{
+		host:  h,
+		group: group,
+		net:   n,
+		inbox: make(chan Datagram, groupInboxSize),
+	}
+	members, ok := n.groups[group]
+	if !ok {
+		members = make(map[*GroupConn]struct{})
+		n.groups[group] = members
+	}
+	members[gc] = struct{}{}
+	return gc, nil
+}
+
+// Host returns the owning host's name.
+func (gc *GroupConn) Host() string { return gc.host.name }
+
+// Group returns the group name.
+func (gc *GroupConn) Group() string { return gc.group }
+
+// Send multicasts payload to every member of the group, including the
+// sender (matching IP multicast loopback, which SSDP relies on).
+// Delivery is asynchronous; Send never blocks on receivers.
+func (gc *GroupConn) Send(payload []byte) error {
+	gc.mu.Lock()
+	if gc.closed {
+		gc.mu.Unlock()
+		return ErrClosed
+	}
+	gc.mu.Unlock()
+
+	n := gc.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	members := make([]*GroupConn, 0, len(n.groups[gc.group]))
+	for m := range n.groups[gc.group] {
+		members = append(members, m)
+	}
+	n.mu.Unlock()
+
+	for _, m := range members {
+		profile, down := n.linkBetween(gc.host.name, m.host.name)
+		if m.host.name != gc.host.name {
+			if down {
+				continue
+			}
+			if n.rng.chance(profile.LossRate) {
+				continue
+			}
+		}
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		d := Datagram{From: gc.host.name, Group: gc.group, Payload: data}
+		delay := profile.Latency + profile.transmitDuration(len(payload))
+		if m.host.name == gc.host.name {
+			delay = 0
+		}
+		m.deliverAfter(d, delay)
+	}
+	return nil
+}
+
+func (gc *GroupConn) deliverAfter(d Datagram, delay time.Duration) {
+	deliver := func() {
+		gc.mu.Lock()
+		defer gc.mu.Unlock()
+		if gc.closed {
+			return
+		}
+		select {
+		case gc.inbox <- d:
+		default: // receiver buffer full: drop, like UDP
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}
+
+// Recv blocks for the next datagram, honoring the deadline set with
+// SetDeadline. It returns ErrClosed after Close.
+func (gc *GroupConn) Recv() (Datagram, error) {
+	gc.mu.Lock()
+	deadline := gc.deadline
+	inbox := gc.inbox
+	closed := gc.closed
+	gc.mu.Unlock()
+	if closed && len(inbox) == 0 {
+		return Datagram{}, ErrClosed
+	}
+
+	if deadline.IsZero() {
+		d, ok := <-inbox
+		if !ok {
+			return Datagram{}, ErrClosed
+		}
+		return d, nil
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		select {
+		case d, ok := <-inbox:
+			if !ok {
+				return Datagram{}, ErrClosed
+			}
+			return d, nil
+		default:
+			return Datagram{}, os.ErrDeadlineExceeded
+		}
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case d, ok := <-inbox:
+		if !ok {
+			return Datagram{}, ErrClosed
+		}
+		return d, nil
+	case <-t.C:
+		return Datagram{}, os.ErrDeadlineExceeded
+	}
+}
+
+// SetDeadline sets the deadline for future Recv calls. A zero value
+// blocks indefinitely.
+func (gc *GroupConn) SetDeadline(t time.Time) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.deadline = t
+}
+
+// Close leaves the group and unblocks pending Recv calls.
+func (gc *GroupConn) Close() error {
+	n := gc.net
+	n.mu.Lock()
+	if members, ok := n.groups[gc.group]; ok {
+		delete(members, gc)
+		if len(members) == 0 {
+			delete(n.groups, gc.group)
+		}
+	}
+	n.mu.Unlock()
+	gc.closeLocked()
+	return nil
+}
+
+func (gc *GroupConn) closeLocked() {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.closed {
+		return
+	}
+	gc.closed = true
+	close(gc.inbox)
+}

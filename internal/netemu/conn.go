@@ -1,0 +1,299 @@
+package netemu
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// segment is a paced chunk of stream data queued for delivery.
+type segment struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// stream is one direction of a shaped duplex connection. Writers pace
+// their data through a token-bucket-equivalent "busy until" model and
+// block when the in-flight buffer is full; readers block until the head
+// segment's delivery time has passed.
+type stream struct {
+	profile LinkProfile
+	net     *Network
+	from    string
+	to      string
+
+	mu       sync.Mutex
+	rCond    *sync.Cond
+	wCond    *sync.Cond
+	queue    []segment
+	queued   int
+	nextFree time.Time
+	closed   bool // write side closed: readers drain then see EOF
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+	rTimer        *time.Timer
+	wTimer        *time.Timer
+}
+
+func newStream(n *Network, from, to string, p LinkProfile) *stream {
+	s := &stream{profile: p.normalized(), net: n, from: from, to: to}
+	s.rCond = sync.NewCond(&s.mu)
+	s.wCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Write paces b onto the link in MTU-sized segments.
+func (s *stream) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		chunk := b
+		if len(chunk) > s.profile.MTU {
+			chunk = chunk[:s.profile.MTU]
+		}
+		n, err := s.writeSegment(chunk)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+	}
+	return total, nil
+}
+
+func (s *stream) writeSegment(chunk []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return 0, net.ErrClosed
+		}
+		if !s.writeDeadline.IsZero() && !time.Now().Before(s.writeDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if s.queued+len(chunk) <= s.profile.BufferBytes || s.queued == 0 {
+			break
+		}
+		s.wCond.Wait()
+	}
+	if s.net != nil && s.net.linkDown(s.from, s.to) {
+		return 0, ErrLinkDown
+	}
+	var txEnd time.Time
+	if hub := s.hub(); hub != nil {
+		// Hub mode: the whole collision domain carries this segment.
+		txEnd = hub.reserve(len(chunk))
+	} else {
+		now := time.Now()
+		txStart := s.nextFree
+		if txStart.Before(now) {
+			txStart = now
+		}
+		txEnd = txStart.Add(s.profile.transmitDuration(len(chunk)))
+		s.nextFree = txEnd
+	}
+	data := make([]byte, len(chunk))
+	copy(data, chunk)
+	s.queue = append(s.queue, segment{data: data, deliverAt: txEnd.Add(s.profile.Latency)})
+	s.queued += len(data)
+	s.rCond.Signal()
+	return len(chunk), nil
+}
+
+// Read blocks until data is deliverable, the stream is closed (EOF after
+// drain), or the read deadline expires.
+func (s *stream) Read(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if !s.readDeadline.IsZero() && !time.Now().Before(s.readDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if len(s.queue) > 0 {
+			head := &s.queue[0]
+			now := time.Now()
+			if wait := head.deliverAt.Sub(now); wait > 0 {
+				s.wakeReaderAt(head.deliverAt)
+				s.rCond.Wait()
+				continue
+			}
+			n := copy(b, head.data)
+			head.data = head.data[n:]
+			s.queued -= n
+			if len(head.data) == 0 {
+				s.queue = s.queue[1:]
+				if len(s.queue) == 0 {
+					s.queue = nil
+				}
+			}
+			s.wCond.Signal()
+			return n, nil
+		}
+		if s.closed {
+			return 0, io.EOF
+		}
+		s.rCond.Wait()
+	}
+}
+
+// wakeReaderAt arms a timer to broadcast to blocked readers at t.
+// Caller holds s.mu.
+func (s *stream) wakeReaderAt(t time.Time) {
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	if s.rTimer != nil {
+		s.rTimer.Stop()
+	}
+	s.rTimer = time.AfterFunc(d, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.rCond.Broadcast()
+	})
+}
+
+// hub returns the network's shared medium when hub mode applies to this
+// stream (inter-host traffic only; loopback is exempt).
+func (s *stream) hub() *medium {
+	if s.net == nil || s.from == s.to {
+		return nil
+	}
+	return s.net.sharedMedium()
+}
+
+func (s *stream) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.rCond.Broadcast()
+	s.wCond.Broadcast()
+}
+
+func (s *stream) setReadDeadline(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readDeadline = t
+	if s.rTimer != nil {
+		s.rTimer.Stop()
+		s.rTimer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		s.rTimer = time.AfterFunc(d, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.rCond.Broadcast()
+		})
+	}
+	s.rCond.Broadcast()
+}
+
+func (s *stream) setWriteDeadline(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeDeadline = t
+	if s.wTimer != nil {
+		s.wTimer.Stop()
+		s.wTimer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		s.wTimer = time.AfterFunc(d, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.wCond.Broadcast()
+		})
+	}
+	s.wCond.Broadcast()
+}
+
+// Conn is a shaped stream connection between two hosts.
+type Conn struct {
+	local  Addr
+	remote Addr
+	host   *Host
+	read   *stream // data flowing toward us
+	write  *stream // data we send
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// newConnPair builds the two endpoints of a connection from dialer d to
+// listener host p on the given port.
+func newConnPair(d, p *Host, port int, profile LinkProfile) (client, server *Conn) {
+	toServer := newStream(d.net, d.name, p.name, profile)
+	toClient := newStream(d.net, p.name, d.name, profile)
+	clientAddr := Addr{Host: d.name, Port: ephemeralPort(d)}
+	serverAddr := Addr{Host: p.name, Port: port}
+	client = &Conn{local: clientAddr, remote: serverAddr, host: d, read: toClient, write: toServer}
+	server = &Conn{local: serverAddr, remote: clientAddr, host: p, read: toServer, write: toClient}
+	return client, server
+}
+
+func ephemeralPort(h *Host) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.nextPort == 0 {
+		h.nextPort = 49152
+	}
+	h.nextPort++
+	return h.nextPort
+}
+
+// Read reads data from the connection.
+func (c *Conn) Read(b []byte) (int, error) { return c.read.Read(b) }
+
+// Write writes data to the connection, subject to shaping and
+// backpressure.
+func (c *Conn) Write(b []byte) (int, error) { return c.write.Write(b) }
+
+// Close closes both directions.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.read.close()
+		c.write.close()
+		if c.host != nil {
+			c.host.untrack(c)
+		}
+	})
+	return nil
+}
+
+// LocalAddr returns the local endpoint address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the remote endpoint address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.read.setReadDeadline(t)
+	c.write.setWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.read.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.write.setWriteDeadline(t)
+	return nil
+}

@@ -1,0 +1,53 @@
+package netemu
+
+import (
+	"net"
+	"sync"
+)
+
+// ConnSet tracks a server's accepted connections so shutdown can close
+// them all, unblocking per-connection handler goroutines that would
+// otherwise wait forever on idle peers.
+type ConnSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Add registers a connection. It returns false when the set is already
+// closed, in which case the caller must close the connection itself and
+// bail out.
+func (s *ConnSet) Add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// Remove forgets a connection (typically deferred by its handler).
+func (s *ConnSet) Remove(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// CloseAll marks the set closed and closes every tracked connection.
+func (s *ConnSet) CloseAll() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,340 @@
+// Package pads implements the engine behind uMiddle Pads (paper Section
+// 4.1): a device-composition application generator providing
+// cross-platform "virtual cabling". The paper's version is a Swing GUI;
+// this engine drives the same three functions — (1) a view of the
+// intermediary semantic space, (2) hot-wiring of device connections, and
+// (3) the runtime causing end-to-end communication — behind a scriptable
+// command interface consumed by the cmd/pads CLI and the tests.
+package pads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/qos"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Pad is one icon on the board: a translator visible in the intermediary
+// semantic space.
+type Pad struct {
+	// Profile is the translator's advertised profile.
+	Profile core.Profile
+	// Alias is the short name assigned for command-line reference
+	// ("pad3").
+	Alias string
+}
+
+// Wire is one established connection.
+type Wire struct {
+	ID    transport.PathID
+	Src   core.PortRef
+	Dst   *core.PortRef
+	Query *core.Query
+}
+
+// Board is the Pads model: the live population of translators plus the
+// wires drawn between them.
+type Board struct {
+	rt *runtime.Runtime
+
+	mu      sync.Mutex
+	pads    map[core.TranslatorID]*Pad
+	byAlias map[string]core.TranslatorID
+	wires   map[transport.PathID]*Wire
+	nextPad int
+}
+
+// NewBoard attaches a board to a runtime; the board tracks the directory
+// from then on.
+func NewBoard(rt *runtime.Runtime) *Board {
+	b := &Board{
+		rt:      rt,
+		pads:    make(map[core.TranslatorID]*Pad),
+		byAlias: make(map[string]core.TranslatorID),
+		wires:   make(map[transport.PathID]*Wire),
+	}
+	rt.Directory().AddListener(directory.ListenerFuncs{
+		Mapped:   b.onMapped,
+		Unmapped: b.onUnmapped,
+	})
+	return b
+}
+
+func (b *Board) onMapped(p core.Profile) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, known := b.pads[p.ID]; known {
+		return
+	}
+	b.nextPad++
+	alias := fmt.Sprintf("pad%d", b.nextPad)
+	b.pads[p.ID] = &Pad{Profile: p, Alias: alias}
+	b.byAlias[alias] = p.ID
+}
+
+func (b *Board) onUnmapped(id core.TranslatorID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pad, ok := b.pads[id]
+	if !ok {
+		return
+	}
+	delete(b.byAlias, pad.Alias)
+	delete(b.pads, id)
+}
+
+// Pads returns the board's pads sorted by alias number.
+func (b *Board) Pads() []Pad {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Pad, 0, len(b.pads))
+	for _, p := range b.pads {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return padNum(out[i].Alias) < padNum(out[j].Alias) })
+	return out
+}
+
+func padNum(alias string) int {
+	n := 0
+	fmt.Sscanf(alias, "pad%d", &n) //nolint:errcheck // zero on mismatch is fine
+	return n
+}
+
+// Resolve maps a pad reference (alias or full translator ID) to its
+// profile.
+func (b *Board) Resolve(padRef string) (core.Profile, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id, ok := b.byAlias[padRef]; ok {
+		return b.pads[id].Profile, nil
+	}
+	if pad, ok := b.pads[core.TranslatorID(padRef)]; ok {
+		return pad.Profile, nil
+	}
+	return core.Profile{}, fmt.Errorf("pads: unknown pad %q", padRef)
+}
+
+// Wire draws a cable between two ports given as "padRef#port".
+func (b *Board) Wire(src, dst string) (transport.PathID, error) {
+	srcRef, err := b.parseEndpoint(src)
+	if err != nil {
+		return "", err
+	}
+	dstRef, err := b.parseEndpoint(dst)
+	if err != nil {
+		return "", err
+	}
+	id, err := b.rt.Connect(srcRef, dstRef)
+	if err != nil {
+		return "", err
+	}
+	b.mu.Lock()
+	b.wires[id] = &Wire{ID: id, Src: srcRef, Dst: &dstRef}
+	b.mu.Unlock()
+	return id, nil
+}
+
+// WireTemplate draws a dynamic cable from a port to every device
+// matching a query.
+func (b *Board) WireTemplate(src string, q core.Query) (transport.PathID, error) {
+	srcRef, err := b.parseEndpoint(src)
+	if err != nil {
+		return "", err
+	}
+	id, err := b.rt.ConnectQuery(srcRef, q)
+	if err != nil {
+		return "", err
+	}
+	b.mu.Lock()
+	b.wires[id] = &Wire{ID: id, Src: srcRef, Query: &q}
+	b.mu.Unlock()
+	return id, nil
+}
+
+// Unwire removes a cable.
+func (b *Board) Unwire(id transport.PathID) error {
+	if err := b.rt.Disconnect(id); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	delete(b.wires, id)
+	b.mu.Unlock()
+	return nil
+}
+
+// Wires lists the board's cables.
+func (b *Board) Wires() []Wire {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Wire, 0, len(b.wires))
+	for _, w := range b.wires {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Send emits a message from a native-uMiddle pad's output port; Pads
+// uses it to poke device compositions ("press the button on the GUI").
+// Only translators hosted on this board's runtime can emit.
+func (b *Board) Send(endpoint string, msg core.Message) error {
+	ref, err := b.parseEndpoint(endpoint)
+	if err != nil {
+		return err
+	}
+	tr, ok := b.rt.Directory().Local(ref.Translator)
+	if !ok {
+		return fmt.Errorf("pads: %s is not hosted on this runtime", ref.Translator)
+	}
+	base, ok := tr.(interface {
+		Emit(port string, msg core.Message)
+	})
+	if !ok {
+		return fmt.Errorf("pads: %s cannot emit directly", ref.Translator)
+	}
+	base.Emit(ref.Port, msg)
+	return nil
+}
+
+// parseEndpoint parses "padRef#port".
+func (b *Board) parseEndpoint(s string) (core.PortRef, error) {
+	i := strings.LastIndexByte(s, '#')
+	if i <= 0 || i == len(s)-1 {
+		return core.PortRef{}, fmt.Errorf("pads: endpoint %q must be pad#port", s)
+	}
+	profile, err := b.Resolve(s[:i])
+	if err != nil {
+		return core.PortRef{}, err
+	}
+	port := s[i+1:]
+	if _, ok := profile.Shape.Port(port); !ok {
+		return core.PortRef{}, fmt.Errorf("pads: pad %q has no port %q", s[:i], port)
+	}
+	return core.PortRef{Translator: profile.ID, Port: port}, nil
+}
+
+// Render draws the board as text: the CLI's stand-in for the paper's
+// Figure 8 screenshot.
+func (b *Board) Render() string {
+	var sb strings.Builder
+	pads := b.Pads()
+	fmt.Fprintf(&sb, "uMiddle Pads — %d translators, %d wires\n", len(pads), len(b.Wires()))
+	for _, p := range pads {
+		fmt.Fprintf(&sb, "  [%s] %s (%s", p.Alias, p.Profile.Name, p.Profile.Platform)
+		if p.Profile.DeviceType != "" {
+			fmt.Fprintf(&sb, ", %s", shortType(p.Profile.DeviceType))
+		}
+		fmt.Fprintf(&sb, ") @%s\n", p.Profile.Node)
+		for _, port := range p.Profile.Shape.Ports() {
+			fmt.Fprintf(&sb, "      %-14s %-8s %-6s %s\n", port.Name, port.Kind, port.Direction, port.Type)
+		}
+	}
+	for _, w := range b.Wires() {
+		if w.Dst != nil {
+			fmt.Fprintf(&sb, "  wire %s: %s --> %s\n", w.ID, b.endpointName(w.Src), b.endpointName(*w.Dst))
+		} else {
+			fmt.Fprintf(&sb, "  wire %s: %s --> %s\n", w.ID, b.endpointName(w.Src), w.Query)
+		}
+		if stats, ok := b.rt.Transport().PathStats(w.ID); ok {
+			fmt.Fprintf(&sb, "      delivered=%d bytes=%d bound=%d dropped=%d\n",
+				stats.Delivered, stats.Bytes, stats.Bound, stats.Buffer.Dropped)
+		}
+	}
+	return sb.String()
+}
+
+func (b *Board) endpointName(r core.PortRef) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if pad, ok := b.pads[r.Translator]; ok {
+		return pad.Alias + "#" + r.Port
+	}
+	return r.String()
+}
+
+// shortType trims a URN device type to its tail ("MediaRenderer:1").
+func shortType(t string) string {
+	if i := strings.LastIndex(t, "device:"); i >= 0 {
+		return t[i+len("device:"):]
+	}
+	return t
+}
+
+// Exec interprets one Pads command line and returns its output. The
+// command set backs the cmd/pads REPL:
+//
+//	list                          show the board
+//	wire <pad#port> <pad#port>    draw a cable
+//	wire <pad#port> accepting <type> [physical]
+//	                              draw a template cable
+//	unwire <wireID>               remove a cable
+//	send <pad#port> <text>        emit a message from a local pad
+func (b *Board) Exec(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	switch fields[0] {
+	case "list":
+		return b.Render(), nil
+	case "wire":
+		switch {
+		case len(fields) == 3:
+			id, err := b.Wire(fields[1], fields[2])
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("wired %s", id), nil
+		case len(fields) >= 4 && fields[2] == "accepting":
+			physical := core.DataType("")
+			if len(fields) >= 5 {
+				physical = core.DataType(fields[4])
+			}
+			q := core.QueryAccepting(core.DataType(fields[3]), physical)
+			id, err := b.WireTemplate(fields[1], q)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("wired %s (template)", id), nil
+		default:
+			return "", fmt.Errorf("pads: usage: wire <pad#port> <pad#port> | wire <pad#port> accepting <type> [physical]")
+		}
+	case "unwire":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("pads: usage: unwire <wireID>")
+		}
+		if err := b.Unwire(transport.PathID(fields[1])); err != nil {
+			return "", err
+		}
+		return "unwired " + fields[1], nil
+	case "send":
+		if len(fields) < 3 {
+			return "", fmt.Errorf("pads: usage: send <pad#port> <text>")
+		}
+		payload := strings.Join(fields[2:], " ")
+		if err := b.Send(fields[1], core.Message{Payload: []byte(payload)}); err != nil {
+			return "", err
+		}
+		return "sent", nil
+	default:
+		return "", fmt.Errorf("pads: unknown command %q", fields[0])
+	}
+}
+
+// QoSFor exposes per-wire QoS classes for future hot-editing from the
+// GUI; currently informational.
+func (b *Board) QoSFor(id transport.PathID) (qos.Class, bool) {
+	for _, info := range b.rt.Transport().Paths() {
+		if info.ID == id {
+			return info.Class, true
+		}
+	}
+	return qos.Class{}, false
+}

@@ -1,0 +1,236 @@
+package pads
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+func newTestRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.Config{
+		Node:      "pads-node",
+		Directory: directory.Options{AnnounceInterval: 20 * time.Millisecond},
+		Transport: transport.Options{DeliverTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("runtime.New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+func addService(t *testing.T, rt *runtime.Runtime, name string, ports ...core.Port) *core.Base {
+	t.Helper()
+	tr := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID(rt.Node(), "umiddle", name),
+		Name:     name,
+		Platform: "umiddle",
+		Node:     rt.Node(),
+		Shape:    core.MustShape(ports...),
+	})
+	if err := rt.Register(tr); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return tr
+}
+
+func TestBoardTracksDirectory(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	a := addService(t, rt, "svc-a",
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"})
+	addService(t, rt, "svc-b",
+		core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"})
+
+	padsList := board.Pads()
+	if len(padsList) != 2 {
+		t.Fatalf("pads = %d, want 2", len(padsList))
+	}
+	if padsList[0].Alias != "pad1" || padsList[1].Alias != "pad2" {
+		t.Fatalf("aliases = %s, %s", padsList[0].Alias, padsList[1].Alias)
+	}
+
+	// Unmapping removes the pad.
+	if _, err := rt.Directory().RemoveLocal(a.ID()); err != nil {
+		t.Fatalf("RemoveLocal: %v", err)
+	}
+	if got := len(board.Pads()); got != 1 {
+		t.Fatalf("pads after removal = %d, want 1", got)
+	}
+}
+
+func TestBoardResolve(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	tr := addService(t, rt, "svc-a",
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"})
+
+	byAlias, err := board.Resolve("pad1")
+	if err != nil || byAlias.ID != tr.ID() {
+		t.Fatalf("Resolve alias = %v, %v", byAlias, err)
+	}
+	byID, err := board.Resolve(string(tr.ID()))
+	if err != nil || byID.ID != tr.ID() {
+		t.Fatalf("Resolve ID = %v, %v", byID, err)
+	}
+	if _, err := board.Resolve("pad99"); err == nil {
+		t.Fatal("unknown pad resolved")
+	}
+}
+
+func TestBoardWireAndSend(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	addService(t, rt, "src",
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"})
+	dst := addService(t, rt, "dst",
+		core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"})
+	got := make(chan string, 8)
+	dst.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		got <- string(msg.Payload)
+		return nil
+	})
+
+	id, err := board.Wire("pad1#out", "pad2#in")
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if len(board.Wires()) != 1 {
+		t.Fatal("wire not recorded")
+	}
+	if err := board.Send("pad1#out", core.Message{Payload: []byte("hello")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("delivered %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("nothing delivered")
+	}
+
+	if err := board.Unwire(id); err != nil {
+		t.Fatalf("Unwire: %v", err)
+	}
+	if len(board.Wires()) != 0 {
+		t.Fatal("wire not removed")
+	}
+}
+
+func TestBoardWireErrors(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	addService(t, rt, "src",
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"})
+
+	if _, err := board.Wire("pad1#out", "pad9#in"); err == nil {
+		t.Error("wiring to unknown pad succeeded")
+	}
+	if _, err := board.Wire("pad1#ghost", "pad1#out"); err == nil {
+		t.Error("wiring unknown port succeeded")
+	}
+	if _, err := board.Wire("malformed", "pad1#out"); err == nil {
+		t.Error("malformed endpoint accepted")
+	}
+	if err := board.Send("pad1#ghost", core.Message{}); err == nil {
+		t.Error("send to unknown port succeeded")
+	}
+}
+
+func TestBoardExecCommands(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	addService(t, rt, "camera",
+		core.Port{Name: "image-out", Kind: core.Digital, Direction: core.Output, Type: "image/jpeg"})
+	addService(t, rt, "tv",
+		core.Port{Name: "image-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+		core.Port{Name: "screen", Kind: core.Physical, Direction: core.Output, Type: "visible/screen"})
+
+	out, err := board.Exec("list")
+	if err != nil || !strings.Contains(out, "camera") {
+		t.Fatalf("list = %q, %v", out, err)
+	}
+	out, err = board.Exec("wire pad1#image-out pad2#image-in")
+	if err != nil || !strings.Contains(out, "wired") {
+		t.Fatalf("wire = %q, %v", out, err)
+	}
+	out, err = board.Exec("wire pad1#image-out accepting image/jpeg visible/*")
+	if err != nil || !strings.Contains(out, "template") {
+		t.Fatalf("template wire = %q, %v", out, err)
+	}
+	wires := board.Wires()
+	if len(wires) != 2 {
+		t.Fatalf("wires = %d", len(wires))
+	}
+	if _, err := board.Exec(fmt.Sprintf("unwire %s", wires[0].ID)); err != nil {
+		t.Fatalf("unwire: %v", err)
+	}
+	if _, err := board.Exec("bogus"); err == nil {
+		t.Fatal("bogus command accepted")
+	}
+	if _, err := board.Exec(""); err != nil {
+		t.Fatal("empty line should be a no-op")
+	}
+	if _, err := board.Exec("wire onlyone"); err == nil {
+		t.Fatal("bad wire usage accepted")
+	}
+	if _, err := board.Exec("unwire"); err == nil {
+		t.Fatal("bad unwire usage accepted")
+	}
+	if _, err := board.Exec("send pad1#image-out"); err == nil {
+		t.Fatal("bad send usage accepted")
+	}
+}
+
+// TestPadsPaperScenario reproduces the Figure 8 population: twenty-two
+// translators — eighteen native uMiddle services plus bridged devices —
+// and virtual cabling among them.
+func TestPadsPaperScenario(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	// Eighteen native uMiddle services.
+	for i := 0; i < 18; i++ {
+		addService(t, rt, fmt.Sprintf("native-%d", i),
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"})
+	}
+	// Four stand-ins for the bridged devices (1 Bluetooth + 3 UPnP in
+	// the screenshot), registered with those platform tags.
+	for i, platform := range []string{"bluetooth", "upnp", "upnp", "upnp"} {
+		tr := core.MustBase(core.Profile{
+			ID:       core.MakeTranslatorID(rt.Node(), platform, fmt.Sprintf("dev-%d", i)),
+			Name:     fmt.Sprintf("%s-device-%d", platform, i),
+			Platform: platform,
+			Node:     rt.Node(),
+			Shape: core.MustShape(
+				core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+			),
+		})
+		if err := rt.Register(tr); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	if got := len(board.Pads()); got != 22 {
+		t.Fatalf("pads = %d, want 22 (Figure 8)", got)
+	}
+	// Hot-wire a native service to a bridged device.
+	if _, err := board.Wire("pad1#out", "pad19#in"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	render := board.Render()
+	if !strings.Contains(render, "22 translators") || !strings.Contains(render, "1 wires") {
+		t.Fatalf("render header wrong:\n%s", render[:120])
+	}
+}

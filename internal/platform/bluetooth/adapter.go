@@ -1,0 +1,350 @@
+// Package bluetooth implements an emulated Bluetooth stack: baseband
+// inquiry over a shared radio bus, SDP service discovery, RFCOMM
+// channels, the OBEX session protocol, and on top of those the Basic
+// Imaging Profile (camera, printer) and HID (mouse) devices used by the
+// paper.
+//
+// The paper's testbed used BlueZ with real radios. Here each emulated
+// device owns a netemu host; inquiry travels a multicast group standing
+// in for the 2.4 GHz inquiry scan, and ACL links are netemu streams the
+// caller shapes with netemu.Bluetooth1_2 (~723 kbps, 5 ms) to match
+// Bluetooth 1.2 characteristics. Piconet membership is enforced: an
+// adapter accepts at most seven concurrent ACL connections, the
+// Bluetooth limit the paper's Section 5.1 discussion leans on.
+package bluetooth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// Radio constants.
+const (
+	// InquiryGroup is the multicast group standing in for the inquiry
+	// channel.
+	InquiryGroup = "bt-inquiry"
+	// SDPPort is the emulated L2CAP PSM 0x0001 (SDP).
+	SDPPort = 6001
+	// rfcommBase maps RFCOMM channel N to netemu port rfcommBase+N.
+	rfcommBase = 6100
+	// MaxPiconetSlaves is the ACL connection limit per adapter.
+	MaxPiconetSlaves = 7
+	// DefaultInquiryScanInterval is the emulated delay before an adapter
+	// answers an inquiry (real inquiry scanning is periodic; devices are
+	// not instantly visible).
+	DefaultInquiryScanInterval = 40 * time.Millisecond
+)
+
+// Errors returned by the adapter.
+var (
+	// ErrPiconetFull is returned when an eighth ACL connection is
+	// attempted.
+	ErrPiconetFull = errors.New("bluetooth: piconet full (7 active slaves)")
+	// ErrNotDiscoverable marks adapters that ignore inquiries.
+	ErrNotDiscoverable = errors.New("bluetooth: adapter not discoverable")
+)
+
+// DeviceInfo is the result of an inquiry: one remote device.
+type DeviceInfo struct {
+	// Addr is the device address (the netemu host name stands in for
+	// the BD_ADDR).
+	Addr string `json:"addr"`
+	// Name is the human-readable device name.
+	Name string `json:"name"`
+	// Class is the Class-of-Device code (major/minor device class).
+	Class uint32 `json:"class"`
+}
+
+// inquiryMsg is the wire form of inquiry requests and responses.
+type inquiryMsg struct {
+	Kind string     `json:"kind"` // "inquiry" or "response"
+	From string     `json:"from"`
+	Info DeviceInfo `json:"info,omitempty"`
+}
+
+// Adapter is one emulated Bluetooth controller.
+type Adapter struct {
+	host  *netemu.Host
+	name  string
+	class uint32
+
+	scanInterval time.Duration
+
+	mu           sync.Mutex
+	discoverable bool
+	records      []Record
+	nextHandle   uint32
+	acl          int // active ACL connections
+	group        *netemu.GroupConn
+	sdpListener  *netemu.Listener
+	sdpConns     netemu.ConnSet
+	listeners    []*netemu.Listener
+	closed       bool
+	wg           sync.WaitGroup
+}
+
+// AdapterOptions tunes an adapter.
+type AdapterOptions struct {
+	// Class is the Class-of-Device code.
+	Class uint32
+	// ScanInterval overrides DefaultInquiryScanInterval.
+	ScanInterval time.Duration
+	// NotDiscoverable hides the adapter from inquiries.
+	NotDiscoverable bool
+}
+
+// NewAdapter creates and powers an adapter on a host: it joins the
+// inquiry channel and starts the SDP server.
+func NewAdapter(host *netemu.Host, name string, opts AdapterOptions) (*Adapter, error) {
+	scan := opts.ScanInterval
+	if scan <= 0 {
+		scan = DefaultInquiryScanInterval
+	}
+	a := &Adapter{
+		host:         host,
+		name:         name,
+		class:        opts.Class,
+		scanInterval: scan,
+		discoverable: !opts.NotDiscoverable,
+	}
+	group, err := host.JoinGroup(InquiryGroup)
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth: join inquiry channel: %w", err)
+	}
+	a.group = group
+	sdpL, err := host.Listen(SDPPort)
+	if err != nil {
+		group.Close()
+		return nil, fmt.Errorf("bluetooth: sdp listen: %w", err)
+	}
+	a.sdpListener = sdpL
+	a.wg.Add(2)
+	go func() {
+		defer a.wg.Done()
+		a.inquiryLoop()
+	}()
+	go func() {
+		defer a.wg.Done()
+		a.sdpServer(sdpL)
+	}()
+	return a, nil
+}
+
+// Addr returns the adapter's address.
+func (a *Adapter) Addr() string { return a.host.Name() }
+
+// Name returns the adapter's device name.
+func (a *Adapter) Name() string { return a.name }
+
+// Close powers the adapter off.
+func (a *Adapter) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	listeners := append([]*netemu.Listener(nil), a.listeners...)
+	a.mu.Unlock()
+
+	a.group.Close()
+	a.sdpListener.Close()
+	a.sdpConns.CloseAll()
+	for _, l := range listeners {
+		l.Close()
+	}
+	a.wg.Wait()
+	return nil
+}
+
+// SetDiscoverable toggles inquiry-scan mode.
+func (a *Adapter) SetDiscoverable(v bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.discoverable = v
+}
+
+// inquiryLoop answers inquiries from other adapters.
+func (a *Adapter) inquiryLoop() {
+	for {
+		dg, err := a.group.Recv()
+		if err != nil {
+			return
+		}
+		if dg.From == a.host.Name() {
+			continue
+		}
+		var msg inquiryMsg
+		if err := json.Unmarshal(dg.Payload, &msg); err != nil || msg.Kind != "inquiry" {
+			continue
+		}
+		a.mu.Lock()
+		discoverable := a.discoverable
+		closed := a.closed
+		a.mu.Unlock()
+		if !discoverable || closed {
+			continue
+		}
+		// Inquiry-scan latency: devices answer after their scan window
+		// comes around, not instantly.
+		time.Sleep(a.scanInterval)
+		resp := inquiryMsg{
+			Kind: "response",
+			From: a.host.Name(),
+			Info: DeviceInfo{Addr: a.host.Name(), Name: a.name, Class: a.class},
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			continue
+		}
+		a.group.Send(data) //nolint:errcheck // best effort, like a radio
+	}
+}
+
+// Inquiry performs device discovery for the given window and returns
+// every device that answered.
+func (a *Adapter) Inquiry(ctx context.Context, window time.Duration) ([]DeviceInfo, error) {
+	// A dedicated group connection isolates this inquiry's responses
+	// from the adapter's scan loop.
+	g, err := a.host.JoinGroup(InquiryGroup)
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth: inquiry: %w", err)
+	}
+	defer g.Close()
+	req, err := json.Marshal(inquiryMsg{Kind: "inquiry", From: a.host.Name()})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Send(req); err != nil {
+		return nil, fmt.Errorf("bluetooth: inquiry send: %w", err)
+	}
+	deadline := time.Now().Add(window)
+	seen := make(map[string]bool)
+	var out []DeviceInfo
+	for {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		g.SetDeadline(deadline)
+		dg, err := g.Recv()
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return out, nil
+			}
+			return out, err
+		}
+		var msg inquiryMsg
+		if err := json.Unmarshal(dg.Payload, &msg); err != nil || msg.Kind != "response" {
+			continue
+		}
+		if msg.From == a.host.Name() || seen[msg.From] {
+			continue
+		}
+		seen[msg.From] = true
+		out = append(out, msg.Info)
+	}
+}
+
+// reserveACL claims a piconet slot.
+func (a *Adapter) reserveACL() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return netemu.ErrClosed
+	}
+	if a.acl >= MaxPiconetSlaves {
+		return ErrPiconetFull
+	}
+	a.acl++
+	return nil
+}
+
+func (a *Adapter) releaseACL() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.acl > 0 {
+		a.acl--
+	}
+}
+
+// ActiveConnections returns the number of active ACL connections.
+func (a *Adapter) ActiveConnections() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acl
+}
+
+// aclConn releases the piconet slot when closed.
+type aclConn struct {
+	net.Conn
+	adapter   *Adapter
+	closeOnce sync.Once
+}
+
+// Close releases the ACL slot.
+func (c *aclConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.Conn.Close()
+		c.adapter.releaseACL()
+	})
+	return err
+}
+
+// DialRFCOMM opens an RFCOMM channel to a remote device, consuming one
+// ACL slot on this adapter.
+func (a *Adapter) DialRFCOMM(ctx context.Context, addr string, channel int) (net.Conn, error) {
+	if err := a.reserveACL(); err != nil {
+		return nil, err
+	}
+	conn, err := a.host.Dial(ctx, addr+":"+strconv.Itoa(rfcommBase+channel))
+	if err != nil {
+		a.releaseACL()
+		return nil, fmt.Errorf("bluetooth: rfcomm dial %s ch%d: %w", addr, channel, err)
+	}
+	return &aclConn{Conn: conn, adapter: a}, nil
+}
+
+// ListenRFCOMM binds an RFCOMM server channel. Each accepted connection
+// consumes one ACL slot until closed; beyond the piconet limit,
+// connections are refused (closed immediately).
+func (a *Adapter) ListenRFCOMM(channel int) (net.Listener, error) {
+	l, err := a.host.Listen(rfcommBase + channel)
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth: rfcomm listen ch%d: %w", channel, err)
+	}
+	a.mu.Lock()
+	a.listeners = append(a.listeners, l)
+	a.mu.Unlock()
+	return &rfcommListener{Listener: l, adapter: a}, nil
+}
+
+// rfcommListener enforces the piconet limit on accept.
+type rfcommListener struct {
+	net.Listener
+	adapter *Adapter
+}
+
+// Accept waits for a connection within the piconet limit.
+func (l *rfcommListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if err := l.adapter.reserveACL(); err != nil {
+			conn.Close() // piconet full: refuse
+			continue
+		}
+		return &aclConn{Conn: conn, adapter: l.adapter}, nil
+	}
+}

@@ -1,0 +1,282 @@
+package bluetooth
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"repro/internal/netemu"
+)
+
+// BIP RFCOMM channels.
+const (
+	// BIPChannel is the RFCOMM channel BIP responders listen on.
+	BIPChannel = 5
+)
+
+// BIPCamera is an emulated Basic Imaging Profile digital still camera:
+// an OBEX responder that serves its stored images over GET and accepts
+// pushed images, matching the paper's "BIP camera device transmits
+// images through its translator to destination devices" scenario.
+type BIPCamera struct {
+	adapter *Adapter
+
+	mu       sync.Mutex
+	images   map[string][]byte
+	order    []string
+	listener net.Listener
+	sessions netemu.ConnSet
+	handle   uint32
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewBIPCamera creates a camera on an adapter: it registers the BIP SDP
+// record and starts the OBEX responder.
+func NewBIPCamera(adapter *Adapter, deviceName string) (*BIPCamera, error) {
+	c := &BIPCamera{
+		adapter: adapter,
+		images:  make(map[string][]byte),
+	}
+	l, err := adapter.ListenRFCOMM(BIPChannel)
+	if err != nil {
+		return nil, err
+	}
+	c.listener = l
+	c.handle = adapter.RegisterService(Record{
+		ServiceClasses: []string{UUIDBasicImaging, UUIDImagingResponder},
+		ProfileName:    "BIP-Camera",
+		ServiceName:    deviceName,
+		RFCOMMChannel:  BIPChannel,
+		Attributes:     map[string]string{"supported-formats": "image/jpeg"},
+	})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.serve(l)
+	}()
+	return c, nil
+}
+
+func (c *BIPCamera) serve(l net.Listener) {
+	var sessions sync.WaitGroup
+	defer sessions.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !c.sessions.Add(conn) {
+			conn.Close()
+			return
+		}
+		sessions.Add(1)
+		go func() {
+			defer sessions.Done()
+			defer c.sessions.Remove(conn)
+			defer conn.Close()
+			ServeObex(conn, c) //nolint:errcheck // session errors end the session
+		}()
+	}
+}
+
+// PutObject implements ObexObjectStore: a pushed image is stored.
+func (c *BIPCamera) PutObject(name, mimeType string, data []byte) error {
+	c.store(name, data)
+	return nil
+}
+
+// GetObject implements ObexObjectStore. The special name "latest.jpg"
+// returns the most recent capture.
+func (c *BIPCamera) GetObject(name, mimeType string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "latest.jpg" || name == "" {
+		if len(c.order) == 0 {
+			return nil, false
+		}
+		name = c.order[len(c.order)-1]
+	}
+	data, ok := c.images[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Capture stores a new image on the camera, as if the shutter fired.
+func (c *BIPCamera) Capture(name string, jpeg []byte) {
+	c.store(name, jpeg)
+}
+
+func (c *BIPCamera) store(name string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.images[name]; !exists {
+		c.order = append(c.order, name)
+	}
+	c.images[name] = append([]byte(nil), data...)
+}
+
+// ImageCount returns the number of stored images.
+func (c *BIPCamera) ImageCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.images)
+}
+
+// Close stops the responder and unregisters the SDP record.
+func (c *BIPCamera) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.adapter.UnregisterService(c.handle)
+	c.listener.Close()
+	c.sessions.CloseAll()
+	c.wg.Wait()
+	return nil
+}
+
+// BIPPrinter is an emulated BIP photo printer: the same profile as the
+// camera parameterized for a different role (paper Section 3.4).
+type BIPPrinter struct {
+	adapter *Adapter
+
+	mu       sync.Mutex
+	printed  [][]byte
+	notify   chan struct{}
+	listener net.Listener
+	sessions netemu.ConnSet
+	handle   uint32
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewBIPPrinter creates a printer on an adapter.
+func NewBIPPrinter(adapter *Adapter, deviceName string) (*BIPPrinter, error) {
+	p := &BIPPrinter{adapter: adapter, notify: make(chan struct{}, 64)}
+	l, err := adapter.ListenRFCOMM(BIPChannel)
+	if err != nil {
+		return nil, err
+	}
+	p.listener = l
+	p.handle = adapter.RegisterService(Record{
+		ServiceClasses: []string{UUIDBasicImaging, UUIDImagingResponder},
+		ProfileName:    "BIP-Printer",
+		ServiceName:    deviceName,
+		RFCOMMChannel:  BIPChannel,
+	})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.serve(l)
+	}()
+	return p, nil
+}
+
+func (p *BIPPrinter) serve(l net.Listener) {
+	var sessions sync.WaitGroup
+	defer sessions.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !p.sessions.Add(conn) {
+			conn.Close()
+			return
+		}
+		sessions.Add(1)
+		go func() {
+			defer sessions.Done()
+			defer p.sessions.Remove(conn)
+			defer conn.Close()
+			ServeObex(conn, p) //nolint:errcheck
+		}()
+	}
+}
+
+// PutObject implements ObexObjectStore: pushed images are "printed".
+func (p *BIPPrinter) PutObject(name, mimeType string, data []byte) error {
+	p.mu.Lock()
+	p.printed = append(p.printed, append([]byte(nil), data...))
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// GetObject implements ObexObjectStore; printers serve nothing.
+func (p *BIPPrinter) GetObject(name, mimeType string) ([]byte, bool) { return nil, false }
+
+// Printed returns copies of all printed images.
+func (p *BIPPrinter) Printed() [][]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([][]byte, len(p.printed))
+	for i, img := range p.printed {
+		out[i] = append([]byte(nil), img...)
+	}
+	return out
+}
+
+// Notify returns a channel signaled on each print.
+func (p *BIPPrinter) Notify() <-chan struct{} { return p.notify }
+
+// Close stops the responder.
+func (p *BIPPrinter) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.adapter.UnregisterService(p.handle)
+	p.listener.Close()
+	p.sessions.CloseAll()
+	p.wg.Wait()
+	return nil
+}
+
+// FetchImage is a client helper: connect to a BIP responder, GET one
+// image, and disconnect. name "latest.jpg" retrieves the newest capture.
+func FetchImage(ctx context.Context, adapter *Adapter, addr string, channel int, name string) ([]byte, error) {
+	conn, err := adapter.DialRFCOMM(ctx, addr, channel)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	client := NewObexClient(conn)
+	if err := client.Connect(); err != nil {
+		return nil, err
+	}
+	defer client.Disconnect() //nolint:errcheck
+	data, err := client.Get(name, "image/jpeg")
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// PushImage is a client helper: connect to a BIP responder and PUT one
+// image.
+func PushImage(ctx context.Context, adapter *Adapter, addr string, channel int, name string, jpeg []byte) error {
+	conn, err := adapter.DialRFCOMM(ctx, addr, channel)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	client := NewObexClient(conn)
+	if err := client.Connect(); err != nil {
+		return err
+	}
+	defer client.Disconnect() //nolint:errcheck
+	return client.Put(name, "image/jpeg", jpeg)
+}

@@ -1,0 +1,351 @@
+package bluetooth
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// newPiconet builds a network whose links have Bluetooth 1.2 shaping.
+func newPiconet(t *testing.T) *netemu.Network {
+	t.Helper()
+	n := netemu.NewNetwork(netemu.Bluetooth1_2())
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func newAdapter(t *testing.T, n *netemu.Network, name string, opts AdapterOptions) *Adapter {
+	t.Helper()
+	if opts.ScanInterval == 0 {
+		opts.ScanInterval = 5 * time.Millisecond
+	}
+	a, err := NewAdapter(n.MustAddHost(name), name, opts)
+	if err != nil {
+		t.Fatalf("NewAdapter(%s): %v", name, err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func TestInquiryDiscoversDevices(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	newAdapter(t, n, "camera", AdapterOptions{Class: 0x0500})
+	newAdapter(t, n, "mouse", AdapterOptions{Class: 0x2580})
+
+	found, err := host.Inquiry(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Inquiry: %v", err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found %d devices, want 2: %v", len(found), found)
+	}
+	names := map[string]uint32{}
+	for _, d := range found {
+		names[d.Addr] = d.Class
+	}
+	if names["camera"] != 0x0500 || names["mouse"] != 0x2580 {
+		t.Fatalf("classes = %v", names)
+	}
+}
+
+func TestInquirySkipsNotDiscoverable(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	hidden := newAdapter(t, n, "hidden", AdapterOptions{NotDiscoverable: true})
+
+	found, err := host.Inquiry(context.Background(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Inquiry: %v", err)
+	}
+	if len(found) != 0 {
+		t.Fatalf("found %v, want none", found)
+	}
+	hidden.SetDiscoverable(true)
+	found, err = host.Inquiry(context.Background(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Inquiry: %v", err)
+	}
+	if len(found) != 1 {
+		t.Fatalf("found %v, want hidden", found)
+	}
+}
+
+func TestSDPQueryFiltersByUUID(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	dev := newAdapter(t, n, "dev", AdapterOptions{})
+	dev.RegisterService(Record{
+		ServiceClasses: []string{UUIDBasicImaging},
+		ProfileName:    "BIP-Camera",
+		ServiceName:    "Cam",
+		RFCOMMChannel:  BIPChannel,
+	})
+	dev.RegisterService(Record{
+		ServiceClasses: []string{UUIDHID},
+		ProfileName:    "HID-Mouse",
+		ServiceName:    "Mouse",
+		RFCOMMChannel:  HIDChannel,
+	})
+
+	ctx := context.Background()
+	all, err := host.SDPQuery(ctx, "dev", "")
+	if err != nil {
+		t.Fatalf("SDPQuery: %v", err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("all records = %d, want 2", len(all))
+	}
+	bip, err := host.SDPQuery(ctx, "dev", UUIDBasicImaging)
+	if err != nil {
+		t.Fatalf("SDPQuery: %v", err)
+	}
+	if len(bip) != 1 || bip[0].ProfileName != "BIP-Camera" {
+		t.Fatalf("bip records = %v", bip)
+	}
+	if bip[0].Handle == 0 {
+		t.Fatal("record handle not assigned")
+	}
+}
+
+func TestUnregisterService(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	dev := newAdapter(t, n, "dev", AdapterOptions{})
+	h := dev.RegisterService(Record{
+		ServiceClasses: []string{UUIDSerialPort},
+		ProfileName:    "SPP",
+		ServiceName:    "Serial",
+		RFCOMMChannel:  3,
+	})
+	dev.UnregisterService(h)
+	recs, err := host.SDPQuery(context.Background(), "dev", "")
+	if err != nil {
+		t.Fatalf("SDPQuery: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("records = %v, want none", recs)
+	}
+}
+
+func TestPiconetLimit(t *testing.T) {
+	n := newPiconet(t)
+	dialer := newAdapter(t, n, "laptop", AdapterOptions{})
+	target := newAdapter(t, n, "hub", AdapterOptions{})
+	l, err := target.ListenRFCOMM(3)
+	if err != nil {
+		t.Fatalf("ListenRFCOMM: %v", err)
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	var conns []net.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < MaxPiconetSlaves; i++ {
+		c, err := dialer.DialRFCOMM(ctx, "hub", 3)
+		if err != nil {
+			t.Fatalf("DialRFCOMM #%d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	if _, err := dialer.DialRFCOMM(ctx, "hub", 3); !errors.Is(err, ErrPiconetFull) {
+		t.Fatalf("8th connection err = %v, want ErrPiconetFull", err)
+	}
+	// Releasing one slot admits a new connection.
+	conns[0].Close()
+	conns = conns[1:]
+	c, err := dialer.DialRFCOMM(ctx, "hub", 3)
+	if err != nil {
+		t.Fatalf("DialRFCOMM after release: %v", err)
+	}
+	conns = append(conns, c)
+	if got := dialer.ActiveConnections(); got != MaxPiconetSlaves {
+		t.Fatalf("active = %d, want %d", got, MaxPiconetSlaves)
+	}
+}
+
+func TestObexPutGetRoundTrip(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	camAdapter := newAdapter(t, n, "camera", AdapterOptions{})
+	cam, err := NewBIPCamera(camAdapter, "Pocket Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+
+	ctx := context.Background()
+	img := bytes.Repeat([]byte{0xff, 0xd8, 0x42}, 11000) // 33 kB, forces chunking
+	if err := PushImage(ctx, host, "camera", BIPChannel, "shot-1.jpg", img); err != nil {
+		t.Fatalf("PushImage: %v", err)
+	}
+	if cam.ImageCount() != 1 {
+		t.Fatalf("images = %d", cam.ImageCount())
+	}
+	got, err := FetchImage(ctx, host, "camera", BIPChannel, "shot-1.jpg")
+	if err != nil {
+		t.Fatalf("FetchImage: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatalf("fetched %d bytes, want %d", len(got), len(img))
+	}
+}
+
+func TestObexGetLatest(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	camAdapter := newAdapter(t, n, "camera", AdapterOptions{})
+	cam, err := NewBIPCamera(camAdapter, "Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+
+	cam.Capture("a.jpg", []byte("first"))
+	cam.Capture("b.jpg", []byte("second"))
+	got, err := FetchImage(context.Background(), host, "camera", BIPChannel, "latest.jpg")
+	if err != nil {
+		t.Fatalf("FetchImage: %v", err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("latest = %q", got)
+	}
+}
+
+func TestObexGetNotFound(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	camAdapter := newAdapter(t, n, "camera", AdapterOptions{})
+	cam, err := NewBIPCamera(camAdapter, "Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+	_, err = FetchImage(context.Background(), host, "camera", BIPChannel, "ghost.jpg")
+	if err == nil {
+		t.Fatal("fetching a missing image succeeded")
+	}
+}
+
+func TestBIPPrinterReceivesPush(t *testing.T) {
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	prAdapter := newAdapter(t, n, "printer", AdapterOptions{})
+	printer, err := NewBIPPrinter(prAdapter, "Photo Printer")
+	if err != nil {
+		t.Fatalf("NewBIPPrinter: %v", err)
+	}
+	defer printer.Close()
+
+	if err := PushImage(context.Background(), host, "printer", BIPChannel, "photo.jpg", []byte("pixels")); err != nil {
+		t.Fatalf("PushImage: %v", err)
+	}
+	printed := printer.Printed()
+	if len(printed) != 1 || string(printed[0]) != "pixels" {
+		t.Fatalf("printed = %v", printed)
+	}
+}
+
+func TestHIDMouseReports(t *testing.T) {
+	n := newPiconet(t)
+	hostAdapter := newAdapter(t, n, "laptop", AdapterOptions{})
+	mouseAdapter := newAdapter(t, n, "mouse", AdapterOptions{})
+	mouse, err := NewHIDMouse(mouseAdapter, "Travel Mouse")
+	if err != nil {
+		t.Fatalf("NewHIDMouse: %v", err)
+	}
+	defer mouse.Close()
+
+	host, err := ConnectHID(context.Background(), hostAdapter, "mouse", HIDChannel)
+	if err != nil {
+		t.Fatalf("ConnectHID: %v", err)
+	}
+	defer host.Close()
+	// Give the accept loop a beat to register the connection.
+	time.Sleep(20 * time.Millisecond)
+
+	mouse.Click(1)
+	press, err := host.ReadReport()
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if !press.IsClick() || press.Buttons != 1 {
+		t.Fatalf("press = %+v", press)
+	}
+	release, err := host.ReadReport()
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if release.IsClick() {
+		t.Fatalf("release = %+v", release)
+	}
+
+	mouse.Move(-5, 7)
+	motion, err := host.ReadReport()
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if motion.DX != -5 || motion.DY != 7 {
+		t.Fatalf("motion = %+v", motion)
+	}
+}
+
+func TestHIDReportCodec(t *testing.T) {
+	r := HIDReport{Buttons: 2, DX: -128, DY: 127, Wheel: -1}
+	got, err := DecodeHIDReport(r.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != r {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+	if _, err := DecodeHIDReport([]byte{1, 2}); err == nil {
+		t.Fatal("short report accepted")
+	}
+}
+
+func TestBluetoothBandwidthShaping(t *testing.T) {
+	// Transferring 90 kB over a ~723 kbps link should take ~1s — the
+	// narrow-bandwidth bottleneck the paper's Section 5.3 discusses.
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	n := newPiconet(t)
+	host := newAdapter(t, n, "laptop", AdapterOptions{})
+	camAdapter := newAdapter(t, n, "camera", AdapterOptions{})
+	cam, err := NewBIPCamera(camAdapter, "Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+	img := bytes.Repeat([]byte{1}, 90_000)
+	cam.Capture("big.jpg", img)
+
+	start := time.Now()
+	got, err := FetchImage(context.Background(), host, "camera", BIPChannel, "big.jpg")
+	if err != nil {
+		t.Fatalf("FetchImage: %v", err)
+	}
+	elapsed := time.Since(start)
+	if len(got) != len(img) {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	if elapsed < 700*time.Millisecond {
+		t.Fatalf("90kB over 723kbps took %v, want ~1s (shaping not applied?)", elapsed)
+	}
+}

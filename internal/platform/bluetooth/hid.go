@@ -1,0 +1,188 @@
+package bluetooth
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// HIDChannel is the RFCOMM channel standing in for the HID interrupt
+// L2CAP channel.
+const HIDChannel = 17
+
+// HIDReport is one mouse input report (modeled on the boot-protocol
+// mouse report: buttons, dx, dy, wheel).
+type HIDReport struct {
+	Buttons byte
+	DX      int8
+	DY      int8
+	Wheel   int8
+}
+
+// Encode renders the 4-byte wire form.
+func (r HIDReport) Encode() []byte {
+	return []byte{r.Buttons, byte(r.DX), byte(r.DY), byte(r.Wheel)}
+}
+
+// DecodeHIDReport parses a 4-byte report.
+func DecodeHIDReport(b []byte) (HIDReport, error) {
+	if len(b) != 4 {
+		return HIDReport{}, fmt.Errorf("bluetooth: hid report must be 4 bytes, got %d", len(b))
+	}
+	return HIDReport{Buttons: b[0], DX: int8(b[1]), DY: int8(b[2]), Wheel: int8(b[3])}, nil
+}
+
+// IsClick reports whether any button is pressed.
+func (r HIDReport) IsClick() bool { return r.Buttons != 0 }
+
+// HIDMouse is an emulated Bluetooth HID mouse. Hosts connect to its
+// interrupt channel and read input reports; the test/benchmark harness
+// injects clicks and motion with Click and Move, standing in for the
+// physical device.
+type HIDMouse struct {
+	adapter *Adapter
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	listener net.Listener
+	handle   uint32
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewHIDMouse creates a mouse on an adapter: it registers the HID SDP
+// record and starts the interrupt-channel server.
+func NewHIDMouse(adapter *Adapter, deviceName string) (*HIDMouse, error) {
+	m := &HIDMouse{
+		adapter: adapter,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	l, err := adapter.ListenRFCOMM(HIDChannel)
+	if err != nil {
+		return nil, err
+	}
+	m.listener = l
+	m.handle = adapter.RegisterService(Record{
+		ServiceClasses: []string{UUIDHID},
+		ProfileName:    "HID-Mouse",
+		ServiceName:    deviceName,
+		RFCOMMChannel:  HIDChannel,
+		Attributes:     map[string]string{"hid-device-subclass": "mouse"},
+	})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.acceptLoop(l)
+	}()
+	return m, nil
+}
+
+func (m *HIDMouse) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+	}
+}
+
+// send pushes a report to every connected host.
+func (m *HIDMouse) send(r HIDReport) {
+	frame := make([]byte, 6)
+	binary.BigEndian.PutUint16(frame[:2], 4)
+	copy(frame[2:], r.Encode())
+	m.mu.Lock()
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	for _, c := range conns {
+		if _, err := c.Write(frame); err != nil {
+			m.mu.Lock()
+			delete(m.conns, c)
+			m.mu.Unlock()
+			c.Close()
+		}
+	}
+}
+
+// Click emits a press-and-release pair for a button (1 = left).
+func (m *HIDMouse) Click(button byte) {
+	m.send(HIDReport{Buttons: button})
+	m.send(HIDReport{})
+}
+
+// Move emits a relative motion report.
+func (m *HIDMouse) Move(dx, dy int8) {
+	m.send(HIDReport{DX: dx, DY: dy})
+}
+
+// Close disconnects all hosts and unregisters the SDP record.
+func (m *HIDMouse) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.conns = make(map[net.Conn]struct{})
+	m.mu.Unlock()
+
+	m.adapter.UnregisterService(m.handle)
+	m.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// HIDHost reads input reports from a remote HID device.
+type HIDHost struct {
+	conn net.Conn
+}
+
+// ConnectHID connects a host adapter to a mouse's interrupt channel.
+func ConnectHID(ctx context.Context, adapter *Adapter, addr string, channel int) (*HIDHost, error) {
+	conn, err := adapter.DialRFCOMM(ctx, addr, channel)
+	if err != nil {
+		return nil, err
+	}
+	return &HIDHost{conn: conn}, nil
+}
+
+// ReadReport blocks for the next input report.
+func (h *HIDHost) ReadReport() (HIDReport, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(h.conn, lenBuf[:]); err != nil {
+		return HIDReport{}, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n > 64 {
+		return HIDReport{}, fmt.Errorf("bluetooth: oversized hid frame (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(h.conn, buf); err != nil {
+		return HIDReport{}, err
+	}
+	return DecodeHIDReport(buf)
+}
+
+// Close disconnects from the device.
+func (h *HIDHost) Close() error { return h.conn.Close() }

@@ -1,0 +1,391 @@
+package bluetooth
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// OBEX operation codes (final-bit set where applicable).
+const (
+	obexConnect    = 0x80
+	obexDisconnect = 0x81
+	obexPut        = 0x02
+	obexPutFinal   = 0x82
+	obexGet        = 0x83
+	obexSuccess    = 0xA0
+	obexContinue   = 0x90
+	obexNotFound   = 0xC4
+	obexBadRequest = 0xC0
+)
+
+// OBEX header identifiers.
+const (
+	obexHdrName    = 0x01 // text (UTF-8 here; real OBEX uses UTF-16)
+	obexHdrType    = 0x42 // byte sequence
+	obexHdrBody    = 0x48
+	obexHdrEndBody = 0x49
+	obexHdrLength  = 0xC3 // 4-byte quantity
+	obexHdrConnID  = 0xCB // 4-byte quantity
+)
+
+// obexMaxPacket is the negotiated maximum OBEX packet size.
+const obexMaxPacket = 32 << 10
+
+// ObexHeaders is the decoded header set of one OBEX packet.
+type ObexHeaders struct {
+	Name   string
+	Type   string
+	Length uint32
+	Body   []byte
+	// Final marks the End-of-Body header (transfer complete).
+	Final bool
+}
+
+// obexPacket is one OBEX request or response.
+type obexPacket struct {
+	opcode  byte
+	headers ObexHeaders
+}
+
+// writeObexPacket frames and sends one OBEX packet.
+func writeObexPacket(w io.Writer, p obexPacket) error {
+	var hdrs []byte
+	appendText := func(id byte, s string) {
+		b := []byte(s)
+		h := make([]byte, 3+len(b))
+		h[0] = id
+		binary.BigEndian.PutUint16(h[1:3], uint16(3+len(b)))
+		copy(h[3:], b)
+		hdrs = append(hdrs, h...)
+	}
+	append4 := func(id byte, v uint32) {
+		h := make([]byte, 5)
+		h[0] = id
+		binary.BigEndian.PutUint32(h[1:5], v)
+		hdrs = append(hdrs, h...)
+	}
+	appendBytes := func(id byte, b []byte) {
+		h := make([]byte, 3)
+		h[0] = id
+		binary.BigEndian.PutUint16(h[1:3], uint16(3+len(b)))
+		hdrs = append(hdrs, h...)
+		hdrs = append(hdrs, b...)
+	}
+	if p.headers.Name != "" {
+		appendText(obexHdrName, p.headers.Name)
+	}
+	if p.headers.Type != "" {
+		appendBytes(obexHdrType, []byte(p.headers.Type))
+	}
+	if p.headers.Length > 0 {
+		append4(obexHdrLength, p.headers.Length)
+	}
+	if p.headers.Body != nil {
+		id := byte(obexHdrBody)
+		if p.headers.Final {
+			id = obexHdrEndBody
+		}
+		appendBytes(id, p.headers.Body)
+	}
+
+	total := 3 + len(hdrs)
+	if p.opcode == obexConnect {
+		total += 4 // version, flags, max packet size
+	}
+	if total > obexMaxPacket {
+		return fmt.Errorf("bluetooth: obex packet too large (%d)", total)
+	}
+	buf := make([]byte, 0, total)
+	buf = append(buf, p.opcode)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(total))
+	if p.opcode == obexConnect {
+		buf = append(buf, 0x10, 0x00) // version 1.0, flags
+		buf = binary.BigEndian.AppendUint16(buf, obexMaxPacket)
+	}
+	buf = append(buf, hdrs...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readObexPacket reads one OBEX packet.
+func readObexPacket(r io.Reader) (obexPacket, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return obexPacket{}, err
+	}
+	opcode := hdr[0]
+	total := binary.BigEndian.Uint16(hdr[1:3])
+	if total < 3 || int(total) > obexMaxPacket {
+		return obexPacket{}, fmt.Errorf("bluetooth: bad obex packet length %d", total)
+	}
+	rest := make([]byte, total-3)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return obexPacket{}, err
+	}
+	if len(rest) >= 4 && (opcode == obexConnect || opcode == obexSuccess && looksLikeConnectResponse(rest)) {
+		// Skip version/flags/mtu of connect packets.
+		rest = rest[4:]
+	}
+	p := obexPacket{opcode: opcode}
+	for len(rest) > 0 {
+		id := rest[0]
+		switch id & 0xC0 {
+		case 0xC0: // 4-byte quantity
+			if len(rest) < 5 {
+				return obexPacket{}, fmt.Errorf("bluetooth: truncated obex header")
+			}
+			v := binary.BigEndian.Uint32(rest[1:5])
+			if id == obexHdrLength {
+				p.headers.Length = v
+			}
+			rest = rest[5:]
+		default: // length-prefixed
+			if len(rest) < 3 {
+				return obexPacket{}, fmt.Errorf("bluetooth: truncated obex header")
+			}
+			hl := binary.BigEndian.Uint16(rest[1:3])
+			if int(hl) < 3 || int(hl) > len(rest) {
+				return obexPacket{}, fmt.Errorf("bluetooth: bad obex header length")
+			}
+			val := rest[3:hl]
+			switch id {
+			case obexHdrName:
+				p.headers.Name = string(val)
+			case obexHdrType:
+				p.headers.Type = string(val)
+			case obexHdrBody:
+				p.headers.Body = append(p.headers.Body, val...)
+			case obexHdrEndBody:
+				p.headers.Body = append(p.headers.Body, val...)
+				p.headers.Final = true
+			}
+			rest = rest[hl:]
+		}
+	}
+	return p, nil
+}
+
+// looksLikeConnectResponse sniffs the 4 connect-specific bytes.
+func looksLikeConnectResponse(rest []byte) bool {
+	// Version 0x10, flags 0x00, then a plausible MTU.
+	return rest[0] == 0x10 && rest[1] == 0x00
+}
+
+// ObexClient drives an OBEX session over an RFCOMM connection.
+type ObexClient struct {
+	conn      net.Conn
+	connected bool
+}
+
+// NewObexClient wraps a connection.
+func NewObexClient(conn net.Conn) *ObexClient { return &ObexClient{conn: conn} }
+
+// Connect performs the OBEX CONNECT handshake.
+func (c *ObexClient) Connect() error {
+	if err := writeObexPacket(c.conn, obexPacket{opcode: obexConnect}); err != nil {
+		return fmt.Errorf("bluetooth: obex connect: %w", err)
+	}
+	resp, err := readObexPacket(c.conn)
+	if err != nil {
+		return fmt.Errorf("bluetooth: obex connect response: %w", err)
+	}
+	if resp.opcode != obexSuccess {
+		return fmt.Errorf("bluetooth: obex connect refused (0x%02x)", resp.opcode)
+	}
+	c.connected = true
+	return nil
+}
+
+// Put transfers an object to the server, chunked over multiple PUT
+// packets as real OBEX does.
+func (c *ObexClient) Put(name, mimeType string, data []byte) error {
+	if !c.connected {
+		return fmt.Errorf("bluetooth: obex session not connected")
+	}
+	const chunk = 16 << 10
+	offset := 0
+	first := true
+	for {
+		remaining := len(data) - offset
+		n := remaining
+		final := true
+		if n > chunk {
+			n = chunk
+			final = false
+		}
+		p := obexPacket{opcode: obexPut, headers: ObexHeaders{
+			Body:  data[offset : offset+n],
+			Final: final,
+		}}
+		if final {
+			p.opcode = obexPutFinal
+		}
+		if first {
+			p.headers.Name = name
+			p.headers.Type = mimeType
+			p.headers.Length = uint32(len(data))
+			first = false
+		}
+		if err := writeObexPacket(c.conn, p); err != nil {
+			return fmt.Errorf("bluetooth: obex put: %w", err)
+		}
+		resp, err := readObexPacket(c.conn)
+		if err != nil {
+			return fmt.Errorf("bluetooth: obex put response: %w", err)
+		}
+		if final {
+			if resp.opcode != obexSuccess {
+				return fmt.Errorf("bluetooth: obex put failed (0x%02x)", resp.opcode)
+			}
+			return nil
+		}
+		if resp.opcode != obexContinue {
+			return fmt.Errorf("bluetooth: obex put interrupted (0x%02x)", resp.opcode)
+		}
+		offset += n
+	}
+}
+
+// Get retrieves an object by name from the server.
+func (c *ObexClient) Get(name, mimeType string) ([]byte, error) {
+	if !c.connected {
+		return nil, fmt.Errorf("bluetooth: obex session not connected")
+	}
+	if err := writeObexPacket(c.conn, obexPacket{opcode: obexGet, headers: ObexHeaders{
+		Name: name, Type: mimeType,
+	}}); err != nil {
+		return nil, fmt.Errorf("bluetooth: obex get: %w", err)
+	}
+	var body []byte
+	for {
+		resp, err := readObexPacket(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("bluetooth: obex get response: %w", err)
+		}
+		switch resp.opcode {
+		case obexSuccess:
+			return append(body, resp.headers.Body...), nil
+		case obexContinue:
+			body = append(body, resp.headers.Body...)
+			// Request the next chunk.
+			if err := writeObexPacket(c.conn, obexPacket{opcode: obexGet}); err != nil {
+				return nil, err
+			}
+		case obexNotFound:
+			return nil, fmt.Errorf("bluetooth: obex object %q not found", name)
+		default:
+			return nil, fmt.Errorf("bluetooth: obex get failed (0x%02x)", resp.opcode)
+		}
+	}
+}
+
+// Disconnect ends the OBEX session.
+func (c *ObexClient) Disconnect() error {
+	if !c.connected {
+		return nil
+	}
+	c.connected = false
+	if err := writeObexPacket(c.conn, obexPacket{opcode: obexDisconnect}); err != nil {
+		return err
+	}
+	_, err := readObexPacket(c.conn)
+	return err
+}
+
+// ObexObjectStore is the server-side object callback set.
+type ObexObjectStore interface {
+	// PutObject stores an object pushed by a client.
+	PutObject(name, mimeType string, data []byte) error
+	// GetObject retrieves an object; returning nil, false yields
+	// NotFound.
+	GetObject(name, mimeType string) ([]byte, bool)
+}
+
+// ServeObex handles one OBEX server session over a connection,
+// returning when the client disconnects.
+func ServeObex(conn net.Conn, store ObexObjectStore) error {
+	var putName, putType string
+	var putBuf []byte
+	getState := struct {
+		data   []byte
+		offset int
+		active bool
+	}{}
+	for {
+		p, err := readObexPacket(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch p.opcode {
+		case obexConnect:
+			if err := writeObexPacket(conn, obexPacket{opcode: obexSuccess}); err != nil {
+				return err
+			}
+		case obexDisconnect:
+			writeObexPacket(conn, obexPacket{opcode: obexSuccess}) //nolint:errcheck
+			return nil
+		case obexPut, obexPutFinal:
+			if p.headers.Name != "" {
+				putName = p.headers.Name
+				putType = p.headers.Type
+				putBuf = nil
+			}
+			putBuf = append(putBuf, p.headers.Body...)
+			if p.opcode == obexPutFinal {
+				status := byte(obexSuccess)
+				if err := store.PutObject(putName, putType, putBuf); err != nil {
+					status = obexBadRequest
+				}
+				putBuf = nil
+				if err := writeObexPacket(conn, obexPacket{opcode: status}); err != nil {
+					return err
+				}
+			} else {
+				if err := writeObexPacket(conn, obexPacket{opcode: obexContinue}); err != nil {
+					return err
+				}
+			}
+		case obexGet:
+			if !getState.active {
+				data, ok := store.GetObject(p.headers.Name, p.headers.Type)
+				if !ok {
+					if err := writeObexPacket(conn, obexPacket{opcode: obexNotFound}); err != nil {
+						return err
+					}
+					continue
+				}
+				getState.data = data
+				getState.offset = 0
+				getState.active = true
+			}
+			const chunk = 16 << 10
+			remaining := len(getState.data) - getState.offset
+			if remaining <= chunk {
+				p := obexPacket{opcode: obexSuccess, headers: ObexHeaders{
+					Body: getState.data[getState.offset:], Final: true,
+				}}
+				getState.active = false
+				if err := writeObexPacket(conn, p); err != nil {
+					return err
+				}
+			} else {
+				p := obexPacket{opcode: obexContinue, headers: ObexHeaders{
+					Body: getState.data[getState.offset : getState.offset+chunk],
+				}}
+				getState.offset += chunk
+				if err := writeObexPacket(conn, p); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := writeObexPacket(conn, obexPacket{opcode: obexBadRequest}); err != nil {
+				return err
+			}
+		}
+	}
+}

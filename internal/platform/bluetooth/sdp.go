@@ -1,0 +1,212 @@
+package bluetooth
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// Well-known profile UUIDs (16-bit Bluetooth SIG assigned numbers,
+// rendered as strings).
+const (
+	UUIDBasicImaging     = "0x111A" // Basic Imaging Profile
+	UUIDImagingResponder = "0x111B"
+	UUIDHID              = "0x1124" // Human Interface Device
+	UUIDSerialPort       = "0x1101"
+)
+
+// Record is one SDP service record.
+type Record struct {
+	// Handle is the record handle assigned by the SDP server.
+	Handle uint32 `json:"handle"`
+	// ServiceClasses lists the service class UUIDs.
+	ServiceClasses []string `json:"serviceClasses"`
+	// ProfileName is the uMiddle-facing profile key ("BIP-Camera",
+	// "HID-Mouse") matched against USDL documents.
+	ProfileName string `json:"profileName"`
+	// ServiceName is the human-readable service name.
+	ServiceName string `json:"serviceName"`
+	// RFCOMMChannel is the channel the service listens on.
+	RFCOMMChannel int `json:"rfcommChannel"`
+	// Attributes carries additional attributes.
+	Attributes map[string]string `json:"attributes,omitempty"`
+}
+
+// HasClass reports whether the record advertises a service class UUID.
+func (r Record) HasClass(uuid string) bool {
+	for _, c := range r.ServiceClasses {
+		if c == uuid {
+			return true
+		}
+	}
+	return false
+}
+
+// SDP PDU identifiers (the subset used: ServiceSearchAttribute
+// transactions, as real stacks use for one-shot discovery).
+const (
+	pduServiceSearchAttrRequest  = 0x06
+	pduServiceSearchAttrResponse = 0x07
+	pduErrorResponse             = 0x01
+)
+
+// sdpRequest is the body of a ServiceSearchAttributeRequest. Real SDP
+// encodes data elements in a TLV scheme; the body here is JSON inside a
+// faithful PDU envelope (1-byte PDU ID, 2-byte transaction ID, 2-byte
+// length), a documented simplification.
+type sdpRequest struct {
+	// UUID filters records by service class; empty matches all.
+	UUID string `json:"uuid,omitempty"`
+}
+
+type sdpResponse struct {
+	Records []Record `json:"records"`
+}
+
+// RegisterService adds an SDP record and returns its handle.
+func (a *Adapter) RegisterService(r Record) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextHandle++
+	r.Handle = 0x10000 + a.nextHandle
+	a.records = append(a.records, r)
+	return r.Handle
+}
+
+// UnregisterService removes a record by handle.
+func (a *Adapter) UnregisterService(handle uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, r := range a.records {
+		if r.Handle == handle {
+			a.records = append(a.records[:i:i], a.records[i+1:]...)
+			return
+		}
+	}
+}
+
+// Records returns a copy of the registered records.
+func (a *Adapter) Records() []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Record, len(a.records))
+	copy(out, a.records)
+	return out
+}
+
+// sdpServer answers SDP queries.
+func (a *Adapter) sdpServer(l net.Listener) {
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !a.sdpConns.Add(conn) {
+			conn.Close()
+			return
+		}
+		handlerWG.Add(1)
+		go func() {
+			defer handlerWG.Done()
+			defer a.sdpConns.Remove(conn)
+			defer conn.Close()
+			a.serveSDPConn(conn)
+		}()
+	}
+}
+
+func (a *Adapter) serveSDPConn(conn net.Conn) {
+	for {
+		pduID, txID, body, err := readPDU(conn)
+		if err != nil {
+			return
+		}
+		if pduID != pduServiceSearchAttrRequest {
+			writePDU(conn, pduErrorResponse, txID, []byte(`{"error":"unsupported pdu"}`)) //nolint:errcheck
+			continue
+		}
+		var req sdpRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writePDU(conn, pduErrorResponse, txID, []byte(`{"error":"bad request"}`)) //nolint:errcheck
+			continue
+		}
+		resp := sdpResponse{}
+		for _, r := range a.Records() {
+			if req.UUID == "" || r.HasClass(req.UUID) {
+				resp.Records = append(resp.Records, r)
+			}
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := writePDU(conn, pduServiceSearchAttrResponse, txID, data); err != nil {
+			return
+		}
+	}
+}
+
+// SDPQuery connects to a remote device's SDP server and returns the
+// records matching the UUID ("" = all).
+func (a *Adapter) SDPQuery(ctx context.Context, addr, uuid string) ([]Record, error) {
+	conn, err := a.host.Dial(ctx, addr+":"+strconv.Itoa(SDPPort))
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth: sdp dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	body, err := json.Marshal(sdpRequest{UUID: uuid})
+	if err != nil {
+		return nil, err
+	}
+	if err := writePDU(conn, pduServiceSearchAttrRequest, 1, body); err != nil {
+		return nil, fmt.Errorf("bluetooth: sdp request: %w", err)
+	}
+	pduID, _, respBody, err := readPDU(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bluetooth: sdp response: %w", err)
+	}
+	if pduID != pduServiceSearchAttrResponse {
+		return nil, fmt.Errorf("bluetooth: sdp error response")
+	}
+	var resp sdpResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, fmt.Errorf("bluetooth: sdp decode: %w", err)
+	}
+	return resp.Records, nil
+}
+
+// writePDU frames one SDP PDU: [1B pduID][2B txID][2B length][body].
+func writePDU(w io.Writer, pduID byte, txID uint16, body []byte) error {
+	if len(body) > 0xFFFF {
+		return fmt.Errorf("bluetooth: sdp pdu too large")
+	}
+	hdr := make([]byte, 5, 5+len(body))
+	hdr[0] = pduID
+	binary.BigEndian.PutUint16(hdr[1:3], txID)
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(body)))
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// readPDU reads one SDP PDU.
+func readPDU(r io.Reader) (pduID byte, txID uint16, body []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	pduID = hdr[0]
+	txID = binary.BigEndian.Uint16(hdr[1:3])
+	n := binary.BigEndian.Uint16(hdr[3:5])
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return pduID, txID, body, nil
+}

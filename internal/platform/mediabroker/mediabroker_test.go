@@ -1,0 +1,189 @@
+package mediabroker
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+func newMBNet(t *testing.T) (*netemu.Network, *netemu.Host, *netemu.Host, *netemu.Host) {
+	t.Helper()
+	n := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	t.Cleanup(func() { n.Close() })
+	return n, n.MustAddHost("broker"), n.MustAddHost("producer"), n.MustAddHost("consumer")
+}
+
+func TestProduceConsume(t *testing.T) {
+	_, brokerHost, prodHost, consHost := newMBNet(t)
+	broker, err := NewBroker(brokerHost)
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	defer broker.Close()
+
+	ctx := context.Background()
+	prod, err := NewProducer(ctx, prodHost, "broker", "cam-feed", "video/mjpeg")
+	if err != nil {
+		t.Fatalf("NewProducer: %v", err)
+	}
+	defer prod.Close()
+	cons, err := NewConsumer(ctx, consHost, "broker", "cam-feed")
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer cons.Close()
+
+	frames := [][]byte{[]byte("frame-1"), []byte("frame-2"), bytes.Repeat([]byte{7}, 1400)}
+	for _, f := range frames {
+		if err := prod.Send(f); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for _, want := range frames {
+		got, err := cons.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDuplicateStreamRejected(t *testing.T) {
+	_, brokerHost, prodHost, _ := newMBNet(t)
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	ctx := context.Background()
+	p1, err := NewProducer(ctx, prodHost, "broker", "s", "a/b")
+	if err != nil {
+		t.Fatalf("NewProducer: %v", err)
+	}
+	defer p1.Close()
+	if _, err := NewProducer(ctx, prodHost, "broker", "s", "a/b"); !errors.Is(err, ErrStreamExists) {
+		t.Fatalf("duplicate producer err = %v", err)
+	}
+}
+
+func TestConsumeUnknownStream(t *testing.T) {
+	_, brokerHost, _, consHost := newMBNet(t)
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	if _, err := NewConsumer(context.Background(), consHost, "broker", "ghost"); !errors.Is(err, ErrNoStream) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListStreams(t *testing.T) {
+	_, brokerHost, prodHost, consHost := newMBNet(t)
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	ctx := context.Background()
+	prod, err := NewProducer(ctx, prodHost, "broker", "feed", "audio/pcm")
+	if err != nil {
+		t.Fatalf("NewProducer: %v", err)
+	}
+	defer prod.Close()
+
+	streams, err := ListStreams(ctx, consHost, "broker")
+	if err != nil {
+		t.Fatalf("ListStreams: %v", err)
+	}
+	if len(streams) != 1 || streams[0].Name != "feed" || streams[0].MediaType != "audio/pcm" || streams[0].Producer != "producer" {
+		t.Fatalf("streams = %+v", streams)
+	}
+}
+
+func TestTransformerApplied(t *testing.T) {
+	_, brokerHost, prodHost, consHost := newMBNet(t)
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	ctx := context.Background()
+	prod, _ := NewProducer(ctx, prodHost, "broker", "s", "text/plain")
+	defer prod.Close()
+	if err := broker.SetTransformer("s", func(f []byte) []byte {
+		return bytes.ToUpper(f)
+	}); err != nil {
+		t.Fatalf("SetTransformer: %v", err)
+	}
+	cons, _ := NewConsumer(ctx, consHost, "broker", "s")
+	defer cons.Close()
+
+	prod.Send([]byte("hello"))
+	got, err := cons.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(got) != "HELLO" {
+		t.Fatalf("frame = %q", got)
+	}
+	if err := broker.SetTransformer("ghost", nil); !errors.Is(err, ErrNoStream) {
+		t.Fatalf("SetTransformer(ghost) err = %v", err)
+	}
+}
+
+func TestMultipleConsumersFanOut(t *testing.T) {
+	n, brokerHost, prodHost, consHost := newMBNet(t)
+	cons2Host := n.MustAddHost("consumer2")
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	ctx := context.Background()
+	prod, _ := NewProducer(ctx, prodHost, "broker", "s", "text/plain")
+	defer prod.Close()
+	c1, _ := NewConsumer(ctx, consHost, "broker", "s")
+	defer c1.Close()
+	c2, _ := NewConsumer(ctx, cons2Host, "broker", "s")
+	defer c2.Close()
+
+	prod.Send([]byte("x"))
+	for i, c := range []*Consumer{c1, c2} {
+		got, err := c.Recv()
+		if err != nil || string(got) != "x" {
+			t.Fatalf("consumer %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestProducerCloseWithdrawsStream(t *testing.T) {
+	_, brokerHost, prodHost, consHost := newMBNet(t)
+	broker, _ := NewBroker(brokerHost)
+	defer broker.Close()
+	ctx := context.Background()
+	prod, _ := NewProducer(ctx, prodHost, "broker", "s", "text/plain")
+	cons, _ := NewConsumer(ctx, consHost, "broker", "s")
+	defer cons.Close()
+
+	prod.Close()
+	// The consumer's Recv unblocks with an error once the producer is
+	// gone.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cons.Recv()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv succeeded after producer close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	// And the stream becomes re-registerable.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p2, err := NewProducer(ctx, prodHost, "broker", "s", "text/plain")
+		if err == nil {
+			p2.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never withdrawn: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

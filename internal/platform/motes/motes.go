@@ -1,0 +1,294 @@
+// Package motes emulates a Berkeley Motes sensor network: battery-
+// powered nodes periodically reporting sensor readings to a base
+// station over a framed serial-style protocol modeled on TinyOS Active
+// Messages.
+//
+// The paper lists the Berkeley Motes platform among those uMiddle
+// bridges. Real motes and their radios are unavailable here, so motes
+// are goroutines producing deterministic synthetic readings; the wire
+// protocol (framed AM-style packets into a base station) is real, and
+// the uMiddle Motes mapper consumes only that protocol.
+package motes
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// BaseStationPort is the base station's listen port (the serial
+// forwarder's 9002 in TinyOS, renumbered).
+const BaseStationPort = 7300
+
+// SensorKind identifies a sensor channel.
+type SensorKind uint8
+
+// Sensor kinds.
+const (
+	// SensorLight is the photodiode channel.
+	SensorLight SensorKind = iota + 1
+	// SensorTemperature is the thermistor channel.
+	SensorTemperature
+)
+
+// String renders the sensor name.
+func (k SensorKind) String() string {
+	switch k {
+	case SensorLight:
+		return "light"
+	case SensorTemperature:
+		return "temperature"
+	default:
+		return fmt.Sprintf("SensorKind(%d)", uint8(k))
+	}
+}
+
+// Packet is one Active-Message-style reading.
+type Packet struct {
+	// MoteID identifies the source mote.
+	MoteID uint16
+	// Sensor is the reporting channel.
+	Sensor SensorKind
+	// Value is the raw ADC reading.
+	Value uint16
+	// Seq is the mote's packet sequence number.
+	Seq uint16
+}
+
+// packet wire size: moteID(2) sensor(1) value(2) seq(2).
+const packetSize = 7
+
+// Encode renders the packet's wire form, length-prefixed.
+func (p Packet) Encode() []byte {
+	buf := make([]byte, 2+packetSize)
+	binary.BigEndian.PutUint16(buf[0:2], packetSize)
+	binary.BigEndian.PutUint16(buf[2:4], p.MoteID)
+	buf[4] = byte(p.Sensor)
+	binary.BigEndian.PutUint16(buf[5:7], p.Value)
+	binary.BigEndian.PutUint16(buf[7:9], p.Seq)
+	return buf
+}
+
+// ReadPacket reads one packet from a stream.
+func ReadPacket(r io.Reader) (Packet, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Packet{}, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n != packetSize {
+		return Packet{}, fmt.Errorf("motes: bad packet size %d", n)
+	}
+	var body [packetSize]byte
+	if _, err := io.ReadFull(r, body[:]); err != nil {
+		return Packet{}, err
+	}
+	return Packet{
+		MoteID: binary.BigEndian.Uint16(body[0:2]),
+		Sensor: SensorKind(body[2]),
+		Value:  binary.BigEndian.Uint16(body[3:5]),
+		Seq:    binary.BigEndian.Uint16(body[5:7]),
+	}, nil
+}
+
+// PacketFunc receives packets arriving at a base station.
+type PacketFunc func(p Packet)
+
+// BaseStation collects packets from motes.
+type BaseStation struct {
+	host *netemu.Host
+
+	mu       sync.Mutex
+	listener *netemu.Listener
+	conns    netemu.ConnSet
+	handlers []PacketFunc
+	lastSeen map[uint16]time.Time
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewBaseStation starts a base station on a host.
+func NewBaseStation(host *netemu.Host) (*BaseStation, error) {
+	l, err := host.Listen(BaseStationPort)
+	if err != nil {
+		return nil, fmt.Errorf("motes: base station listen: %w", err)
+	}
+	b := &BaseStation{host: host, listener: l, lastSeen: make(map[uint16]time.Time)}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.serve(l)
+	}()
+	return b, nil
+}
+
+// OnPacket registers a packet callback.
+func (b *BaseStation) OnPacket(fn PacketFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers = append(b.handlers, fn)
+}
+
+// Motes returns the IDs of motes heard from within the window.
+func (b *BaseStation) Motes(window time.Duration) []uint16 {
+	cutoff := time.Now().Add(-window)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []uint16
+	for id, seen := range b.lastSeen {
+		if seen.After(cutoff) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Close stops the base station.
+func (b *BaseStation) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.listener.Close()
+	b.conns.CloseAll()
+	b.wg.Wait()
+	return nil
+}
+
+func (b *BaseStation) serve(l net.Listener) {
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !b.conns.Add(conn) {
+			conn.Close()
+			return
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer b.conns.Remove(conn)
+			defer conn.Close()
+			for {
+				p, err := ReadPacket(conn)
+				if err != nil {
+					return
+				}
+				b.mu.Lock()
+				b.lastSeen[p.MoteID] = time.Now()
+				handlers := append([]PacketFunc(nil), b.handlers...)
+				b.mu.Unlock()
+				for _, fn := range handlers {
+					fn(p)
+				}
+			}
+		}()
+	}
+}
+
+// MoteOptions tunes an emulated mote.
+type MoteOptions struct {
+	// Interval between readings (default 200 ms).
+	Interval time.Duration
+	// Sensors lists the channels the mote reports (default light +
+	// temperature).
+	Sensors []SensorKind
+}
+
+// Mote is one emulated sensor node.
+type Mote struct {
+	id   uint16
+	host *netemu.Host
+	opts MoteOptions
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartMote boots a mote that connects to the base station and reports
+// until Stop.
+func StartMote(host *netemu.Host, baseHost string, id uint16, opts MoteOptions) (*Mote, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 200 * time.Millisecond
+	}
+	if len(opts.Sensors) == 0 {
+		opts.Sensors = []SensorKind{SensorLight, SensorTemperature}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	conn, err := host.Dial(ctx, baseHost+":"+strconv.Itoa(BaseStationPort))
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("motes: mote %d dial: %w", id, err)
+	}
+	m := &Mote{id: id, host: host, opts: opts, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		defer conn.Close()
+		m.run(ctx, conn)
+	}()
+	return m, nil
+}
+
+// run emits deterministic synthetic readings: slow sinusoids per
+// channel, seeded by the mote ID, resembling diurnal light and ambient
+// temperature curves.
+func (m *Mote) run(ctx context.Context, conn net.Conn) {
+	ticker := time.NewTicker(m.opts.Interval)
+	defer ticker.Stop()
+	var seq uint16
+	tick := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, s := range m.opts.Sensors {
+			seq++
+			tick++
+			p := Packet{
+				MoteID: m.id,
+				Sensor: s,
+				Value:  syntheticReading(m.id, s, tick),
+				Seq:    seq,
+			}
+			if _, err := conn.Write(p.Encode()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// syntheticReading produces a deterministic 10-bit ADC-like value.
+func syntheticReading(id uint16, s SensorKind, tick int) uint16 {
+	phase := float64(id)*0.7 + float64(s)*1.3
+	base := 512.0 + 300.0*math.Sin(float64(tick)/20.0+phase)
+	return uint16(base)
+}
+
+// ID returns the mote's identifier.
+func (m *Mote) ID() uint16 { return m.id }
+
+// Stop powers the mote off.
+func (m *Mote) Stop() {
+	m.cancel()
+	<-m.done
+}
+
+// ErrStopped is returned by operations on a stopped mote.
+var ErrStopped = errors.New("motes: stopped")

@@ -1,0 +1,162 @@
+package motes
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+func newMoteNet(t *testing.T) (*netemu.Network, *netemu.Host) {
+	t.Helper()
+	n := netemu.NewNetwork(netemu.Unlimited())
+	t.Cleanup(func() { n.Close() })
+	return n, n.MustAddHost("base")
+}
+
+func TestPacketCodec(t *testing.T) {
+	p := Packet{MoteID: 42, Sensor: SensorTemperature, Value: 777, Seq: 3}
+	got, err := ReadPacket(bytes.NewReader(p.Encode()))
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	if got != p {
+		t.Fatalf("round trip = %+v, want %+v", got, p)
+	}
+}
+
+func TestPacketCodecRejectsBadSize(t *testing.T) {
+	if _, err := ReadPacket(bytes.NewReader([]byte{0, 99, 1, 2})); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestSensorKindString(t *testing.T) {
+	if SensorLight.String() != "light" || SensorTemperature.String() != "temperature" {
+		t.Fatal("sensor names wrong")
+	}
+	if SensorKind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestMoteReportsToBaseStation(t *testing.T) {
+	n, baseHost := newMoteNet(t)
+	base, err := NewBaseStation(baseHost)
+	if err != nil {
+		t.Fatalf("NewBaseStation: %v", err)
+	}
+	defer base.Close()
+
+	var mu sync.Mutex
+	byMoteSensor := map[uint16]map[SensorKind]int{}
+	base.OnPacket(func(p Packet) {
+		mu.Lock()
+		defer mu.Unlock()
+		if byMoteSensor[p.MoteID] == nil {
+			byMoteSensor[p.MoteID] = map[SensorKind]int{}
+		}
+		byMoteSensor[p.MoteID][p.Sensor]++
+	})
+
+	m1, err := StartMote(n.MustAddHost("mote-1"), "base", 1, MoteOptions{Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer m1.Stop()
+	m2, err := StartMote(n.MustAddHost("mote-2"), "base", 2, MoteOptions{
+		Interval: 20 * time.Millisecond,
+		Sensors:  []SensorKind{SensorLight},
+	})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer m2.Stop()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		ok := byMoteSensor[1][SensorLight] >= 2 &&
+			byMoteSensor[1][SensorTemperature] >= 2 &&
+			byMoteSensor[2][SensorLight] >= 2
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("readings = %v", byMoteSensor)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Mote 2 reports only light.
+	mu.Lock()
+	if byMoteSensor[2][SensorTemperature] != 0 {
+		t.Errorf("mote 2 reported temperature: %v", byMoteSensor)
+	}
+	mu.Unlock()
+
+	motes := base.Motes(time.Second)
+	if len(motes) != 2 {
+		t.Fatalf("live motes = %v", motes)
+	}
+}
+
+func TestMoteStop(t *testing.T) {
+	n, baseHost := newMoteNet(t)
+	base, _ := NewBaseStation(baseHost)
+	defer base.Close()
+
+	var mu sync.Mutex
+	count := 0
+	base.OnPacket(func(Packet) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	m, err := StartMote(n.MustAddHost("mote-1"), "base", 1, MoteOptions{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no packets")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+	mu.Lock()
+	after := count
+	mu.Unlock()
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	final := count
+	mu.Unlock()
+	if final > after+2 { // allow in-flight packets
+		t.Fatalf("packets kept flowing after Stop: %d -> %d", after, final)
+	}
+}
+
+func TestSyntheticReadingDeterministic(t *testing.T) {
+	a := syntheticReading(1, SensorLight, 10)
+	b := syntheticReading(1, SensorLight, 10)
+	if a != b {
+		t.Fatal("synthetic readings not deterministic")
+	}
+	if a > 1023 {
+		t.Fatalf("reading %d exceeds 10-bit ADC range", a)
+	}
+	// Different motes and sensors diverge.
+	if syntheticReading(2, SensorLight, 10) == a && syntheticReading(1, SensorTemperature, 10) == a {
+		t.Fatal("synthetic readings do not vary")
+	}
+}

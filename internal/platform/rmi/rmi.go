@@ -1,0 +1,495 @@
+// Package rmi implements a Java-RMI analogue in Go: a registry naming
+// service, exported remote objects, and synchronous remote method
+// invocation with gob-marshaled arguments over a stream connection.
+//
+// The paper's Section 5.3 benchmark drives a Java RMI service through
+// uMiddle; RMI's cost structure — per-call marshaling plus a synchronous
+// request/response round trip — is what makes its bridged throughput
+// (3.2 Mbps) trail MediaBroker's streaming 6.2 Mbps on the same link.
+// This package reproduces that structure: every Call pays one gob
+// encode, one round trip, and one gob decode.
+package rmi
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/netemu"
+)
+
+// Well-known ports.
+const (
+	// RegistryPort is where the naming service listens (Java's 1099).
+	RegistryPort = 7099
+	// DefaultObjectPort is where exported objects listen.
+	DefaultObjectPort = 7100
+)
+
+// Errors returned by the RMI layer.
+var (
+	// ErrNotBound is returned when looking up an unbound name.
+	ErrNotBound = errors.New("rmi: name not bound")
+	// ErrAlreadyBound is returned when binding a taken name.
+	ErrAlreadyBound = errors.New("rmi: name already bound")
+	// ErrNoSuchObject is returned when invoking a stale object reference.
+	ErrNoSuchObject = errors.New("rmi: no such object")
+	// ErrNoSuchMethod is returned when invoking an unknown method.
+	ErrNoSuchMethod = errors.New("rmi: no such method")
+)
+
+// ObjRef is a serializable remote-object reference.
+type ObjRef struct {
+	// Host and Port locate the exporting server.
+	Host string
+	Port int
+	// ObjID identifies the object within the server.
+	ObjID uint64
+	// Interface names the remote interface ("EchoService"); uMiddle's
+	// USDL documents match on it.
+	Interface string
+}
+
+// registry wire messages.
+type regRequest struct {
+	Op   string // "bind", "lookup", "unbind", "list"
+	Name string
+	Ref  ObjRef
+}
+
+type regResponse struct {
+	Err   string
+	Ref   ObjRef
+	Names []string
+}
+
+// callRequest is one remote invocation.
+type callRequest struct {
+	ObjID  uint64
+	Method string
+	Args   [][]byte
+}
+
+type callResponse struct {
+	Results [][]byte
+	Err     string
+}
+
+// Registry is the naming service.
+type Registry struct {
+	host *netemu.Host
+
+	mu       sync.Mutex
+	bindings map[string]ObjRef
+	listener *netemu.Listener
+	conns    netemu.ConnSet
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewRegistry starts a registry on a host.
+func NewRegistry(host *netemu.Host) (*Registry, error) {
+	l, err := host.Listen(RegistryPort)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: registry listen: %w", err)
+	}
+	r := &Registry{host: host, bindings: make(map[string]ObjRef), listener: l}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.serve(l)
+	}()
+	return r, nil
+}
+
+// Close stops the registry.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.listener.Close()
+	r.conns.CloseAll()
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Registry) serve(l net.Listener) {
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !r.conns.Add(conn) {
+			conn.Close()
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer r.conns.Remove(conn)
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req regRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := r.handle(req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (r *Registry) handle(req regRequest) regResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch req.Op {
+	case "bind":
+		if _, taken := r.bindings[req.Name]; taken {
+			return regResponse{Err: ErrAlreadyBound.Error()}
+		}
+		r.bindings[req.Name] = req.Ref
+		return regResponse{}
+	case "rebind":
+		r.bindings[req.Name] = req.Ref
+		return regResponse{}
+	case "lookup":
+		ref, ok := r.bindings[req.Name]
+		if !ok {
+			return regResponse{Err: ErrNotBound.Error()}
+		}
+		return regResponse{Ref: ref}
+	case "unbind":
+		if _, ok := r.bindings[req.Name]; !ok {
+			return regResponse{Err: ErrNotBound.Error()}
+		}
+		delete(r.bindings, req.Name)
+		return regResponse{}
+	case "list":
+		names := make([]string, 0, len(r.bindings))
+		for n := range r.bindings {
+			names = append(names, n)
+		}
+		return regResponse{Names: names}
+	default:
+		return regResponse{Err: "rmi: unknown registry op " + req.Op}
+	}
+}
+
+// RegistryClient talks to a remote registry.
+type RegistryClient struct {
+	host *netemu.Host
+	addr string
+}
+
+// NewRegistryClient creates a client for the registry on registryHost.
+func NewRegistryClient(host *netemu.Host, registryHost string) *RegistryClient {
+	return &RegistryClient{host: host, addr: registryHost + ":" + strconv.Itoa(RegistryPort)}
+}
+
+func (c *RegistryClient) roundTrip(ctx context.Context, req regRequest) (regResponse, error) {
+	conn, err := c.host.Dial(ctx, c.addr)
+	if err != nil {
+		return regResponse{}, fmt.Errorf("rmi: registry dial: %w", err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return regResponse{}, fmt.Errorf("rmi: registry request: %w", err)
+	}
+	var resp regResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return regResponse{}, fmt.Errorf("rmi: registry response: %w", err)
+	}
+	if resp.Err != "" {
+		return regResponse{}, mapError(resp.Err)
+	}
+	return resp, nil
+}
+
+func mapError(s string) error {
+	switch s {
+	case ErrNotBound.Error():
+		return ErrNotBound
+	case ErrAlreadyBound.Error():
+		return ErrAlreadyBound
+	case ErrNoSuchObject.Error():
+		return ErrNoSuchObject
+	case ErrNoSuchMethod.Error():
+		return ErrNoSuchMethod
+	default:
+		return errors.New(s)
+	}
+}
+
+// Bind registers a name.
+func (c *RegistryClient) Bind(ctx context.Context, name string, ref ObjRef) error {
+	_, err := c.roundTrip(ctx, regRequest{Op: "bind", Name: name, Ref: ref})
+	return err
+}
+
+// Rebind registers a name, replacing any existing binding.
+func (c *RegistryClient) Rebind(ctx context.Context, name string, ref ObjRef) error {
+	_, err := c.roundTrip(ctx, regRequest{Op: "rebind", Name: name, Ref: ref})
+	return err
+}
+
+// Lookup resolves a name.
+func (c *RegistryClient) Lookup(ctx context.Context, name string) (ObjRef, error) {
+	resp, err := c.roundTrip(ctx, regRequest{Op: "lookup", Name: name})
+	return resp.Ref, err
+}
+
+// Unbind removes a name.
+func (c *RegistryClient) Unbind(ctx context.Context, name string) error {
+	_, err := c.roundTrip(ctx, regRequest{Op: "unbind", Name: name})
+	return err
+}
+
+// List returns all bound names.
+func (c *RegistryClient) List(ctx context.Context) ([]string, error) {
+	resp, err := c.roundTrip(ctx, regRequest{Op: "list"})
+	return resp.Names, err
+}
+
+// Method is one remotely invocable method.
+type Method func(args [][]byte) ([][]byte, error)
+
+// Server exports remote objects on a host.
+type Server struct {
+	host *netemu.Host
+	port int
+
+	mu       sync.Mutex
+	objects  map[uint64]map[string]Method
+	ifaces   map[uint64]string
+	nextID   uint64
+	listener *netemu.Listener
+	conns    netemu.ConnSet
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer starts an object server on a host. port 0 selects
+// DefaultObjectPort.
+func NewServer(host *netemu.Host, port int) (*Server, error) {
+	if port == 0 {
+		port = DefaultObjectPort
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: server listen: %w", err)
+	}
+	s := &Server{
+		host:     host,
+		port:     port,
+		objects:  make(map[uint64]map[string]Method),
+		ifaces:   make(map[uint64]string),
+		listener: l,
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(l)
+	}()
+	return s, nil
+}
+
+// Export publishes an object and returns its reference.
+func (s *Server) Export(iface string, methods map[string]Method) ObjRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.objects[s.nextID] = methods
+	s.ifaces[s.nextID] = iface
+	return ObjRef{Host: s.host.Name(), Port: s.port, ObjID: s.nextID, Interface: iface}
+}
+
+// Unexport withdraws an object.
+func (s *Server) Unexport(objID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, objID)
+	delete(s.ifaces, objID)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.listener.Close()
+	s.conns.CloseAll()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serve(l net.Listener) {
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !s.conns.Add(conn) {
+			conn.Close()
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer s.conns.Remove(conn)
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req callRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := s.dispatch(req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (s *Server) dispatch(req callRequest) callResponse {
+	s.mu.Lock()
+	methods, ok := s.objects[req.ObjID]
+	s.mu.Unlock()
+	if !ok {
+		return callResponse{Err: ErrNoSuchObject.Error()}
+	}
+	m, ok := methods[req.Method]
+	if !ok {
+		return callResponse{Err: ErrNoSuchMethod.Error()}
+	}
+	results, err := m(req.Args)
+	if err != nil {
+		return callResponse{Err: err.Error()}
+	}
+	return callResponse{Results: results}
+}
+
+// Client invokes remote objects. It keeps one connection per server
+// endpoint, matching JRMP connection reuse.
+type Client struct {
+	host *netemu.Host
+
+	mu    sync.Mutex
+	conns map[string]*clientConn
+}
+
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewClient creates an RMI client on a host.
+func NewClient(host *netemu.Host) *Client {
+	return &Client{host: host, conns: make(map[string]*clientConn)}
+}
+
+// Call invokes a method on a remote object and returns its results.
+func (c *Client) Call(ctx context.Context, ref ObjRef, method string, args [][]byte) ([][]byte, error) {
+	cc, err := c.connFor(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := cc.enc.Encode(callRequest{ObjID: ref.ObjID, Method: method, Args: args}); err != nil {
+		c.drop(ref)
+		return nil, fmt.Errorf("rmi: call %s: %w", method, err)
+	}
+	var resp callResponse
+	if err := cc.dec.Decode(&resp); err != nil {
+		c.drop(ref)
+		return nil, fmt.Errorf("rmi: call %s: %w", method, err)
+	}
+	if resp.Err != "" {
+		return nil, mapError(resp.Err)
+	}
+	return resp.Results, nil
+}
+
+func (c *Client) connFor(ctx context.Context, ref ObjRef) (*clientConn, error) {
+	key := ref.Host + ":" + strconv.Itoa(ref.Port)
+	c.mu.Lock()
+	if cc, ok := c.conns[key]; ok {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.host.Dial(ctx, key)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: dial %s: %w", key, err)
+	}
+	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.mu.Lock()
+	if existing, ok := c.conns[key]; ok {
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conns[key] = cc
+	c.mu.Unlock()
+	return cc, nil
+}
+
+func (c *Client) drop(ref ObjRef) {
+	key := ref.Host + ":" + strconv.Itoa(ref.Port)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.conns[key]; ok {
+		cc.conn.Close()
+		delete(c.conns, key)
+	}
+}
+
+// Close releases all client connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, cc := range c.conns {
+		cc.conn.Close()
+		delete(c.conns, k)
+	}
+	return nil
+}
+
+// ExportEcho exports the EchoService used by the paper's transport
+// benchmark: echo(data) returns data unchanged.
+func ExportEcho(s *Server) ObjRef {
+	return s.Export("EchoService", map[string]Method{
+		"echo": func(args [][]byte) ([][]byte, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("rmi: echo expects 1 argument")
+			}
+			return [][]byte{args[0]}, nil
+		},
+	})
+}

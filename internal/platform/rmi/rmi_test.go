@@ -1,0 +1,177 @@
+package rmi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/netemu"
+)
+
+func newRMINet(t *testing.T) (*netemu.Network, *netemu.Host, *netemu.Host) {
+	t.Helper()
+	n := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	t.Cleanup(func() { n.Close() })
+	return n, n.MustAddHost("server"), n.MustAddHost("client")
+}
+
+func TestRegistryBindLookupUnbind(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	reg, err := NewRegistry(serverHost)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	defer reg.Close()
+
+	ctx := context.Background()
+	rc := NewRegistryClient(clientHost, "server")
+	ref := ObjRef{Host: "server", Port: DefaultObjectPort, ObjID: 1, Interface: "EchoService"}
+
+	if err := rc.Bind(ctx, "echo", ref); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := rc.Bind(ctx, "echo", ref); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("duplicate bind err = %v", err)
+	}
+	got, err := rc.Lookup(ctx, "echo")
+	if err != nil || got != ref {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	names, err := rc.List(ctx)
+	if err != nil || len(names) != 1 || names[0] != "echo" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := rc.Unbind(ctx, "echo"); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if _, err := rc.Lookup(ctx, "echo"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("Lookup after unbind err = %v", err)
+	}
+	if err := rc.Unbind(ctx, "echo"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("double unbind err = %v", err)
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	reg, _ := NewRegistry(serverHost)
+	defer reg.Close()
+	ctx := context.Background()
+	rc := NewRegistryClient(clientHost, "server")
+	r1 := ObjRef{Host: "server", Port: 1, ObjID: 1, Interface: "A"}
+	r2 := ObjRef{Host: "server", Port: 2, ObjID: 2, Interface: "B"}
+	rc.Bind(ctx, "x", r1)
+	if err := rc.Rebind(ctx, "x", r2); err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	got, _ := rc.Lookup(ctx, "x")
+	if got != r2 {
+		t.Fatalf("Lookup = %v, want %v", got, r2)
+	}
+}
+
+func TestRemoteInvocation(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	srv, err := NewServer(serverHost, 0)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	ref := ExportEcho(srv)
+
+	client := NewClient(clientHost)
+	defer client.Close()
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("x"), 1400) // the paper's message size
+	results, err := client.Call(ctx, ref, "echo", [][]byte{payload})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if len(results) != 1 || !bytes.Equal(results[0], payload) {
+		t.Fatalf("echo returned %d results", len(results))
+	}
+}
+
+func TestInvocationErrors(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	srv, _ := NewServer(serverHost, 0)
+	defer srv.Close()
+	ref := ExportEcho(srv)
+	client := NewClient(clientHost)
+	defer client.Close()
+	ctx := context.Background()
+
+	if _, err := client.Call(ctx, ref, "explode", nil); !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("unknown method err = %v", err)
+	}
+	stale := ref
+	stale.ObjID = 999
+	if _, err := client.Call(ctx, stale, "echo", nil); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("stale ref err = %v", err)
+	}
+	// Application errors propagate.
+	if _, err := client.Call(ctx, ref, "echo", [][]byte{[]byte("a"), []byte("b")}); err == nil {
+		t.Fatal("echo with 2 args succeeded")
+	}
+	// The connection survives application errors.
+	if _, err := client.Call(ctx, ref, "echo", [][]byte{[]byte("ok")}); err != nil {
+		t.Fatalf("Call after app error: %v", err)
+	}
+}
+
+func TestUnexport(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	srv, _ := NewServer(serverHost, 0)
+	defer srv.Close()
+	ref := ExportEcho(srv)
+	srv.Unexport(ref.ObjID)
+	client := NewClient(clientHost)
+	defer client.Close()
+	if _, err := client.Call(context.Background(), ref, "echo", [][]byte{nil}); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, serverHost, clientHost := newRMINet(t)
+	srv, _ := NewServer(serverHost, 0)
+	defer srv.Close()
+	ref := srv.Export("Adder", map[string]Method{
+		"add": func(args [][]byte) ([][]byte, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("want 2 args")
+			}
+			return [][]byte{append(args[0], args[1]...)}, nil
+		},
+	})
+	client := NewClient(clientHost)
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := []byte(fmt.Sprintf("a%d-", i))
+			b := []byte(fmt.Sprintf("b%d", i))
+			results, err := client.Call(context.Background(), ref, "add", [][]byte{a, b})
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := string(a) + string(b)
+			if string(results[0]) != want {
+				errs <- fmt.Errorf("got %q, want %q", results[0], want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

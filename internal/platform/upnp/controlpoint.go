@@ -1,0 +1,360 @@
+package upnp
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// DefaultEventPort is the port a control point listens on for GENA
+// callbacks.
+const DefaultEventPort = 5999
+
+// EventFunc receives one GENA state-variable change.
+type EventFunc func(variable, value string)
+
+// AdvertFunc receives SSDP advertisements (alive, byebye, and search
+// responses).
+type AdvertFunc func(msg SSDPMessage)
+
+// ControlPoint is a UPnP control point: it discovers devices via SSDP,
+// fetches descriptions, invokes SOAP actions, and subscribes to GENA
+// events. The uMiddle UPnP mapper is built on it.
+type ControlPoint struct {
+	host   *netemu.Host
+	client *http.Client
+	port   int
+
+	mu       sync.Mutex
+	group    *netemu.GroupConn
+	listener *netemu.Listener
+	server   *http.Server
+	adverts  []AdvertFunc
+	subs     map[string]EventFunc // SID -> callback
+	nextPath int
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewControlPoint creates a control point on a host. eventPort 0 selects
+// DefaultEventPort.
+func NewControlPoint(host *netemu.Host, eventPort int) *ControlPoint {
+	if eventPort == 0 {
+		eventPort = DefaultEventPort
+	}
+	return &ControlPoint{
+		host:   host,
+		client: newHTTPClient(host),
+		port:   eventPort,
+		subs:   make(map[string]EventFunc),
+	}
+}
+
+// Start joins the SSDP group and begins serving GENA callbacks.
+func (cp *ControlPoint) Start() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return fmt.Errorf("upnp: control point closed")
+	}
+	if cp.started {
+		return nil
+	}
+	group, err := cp.host.JoinGroup(SSDPGroup)
+	if err != nil {
+		return fmt.Errorf("upnp: join ssdp: %w", err)
+	}
+	cp.group = group
+
+	l, err := cp.host.Listen(cp.port)
+	if err != nil {
+		group.Close()
+		return fmt.Errorf("upnp: event listen: %w", err)
+	}
+	cp.listener = l
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gena", cp.handleNotify)
+	cp.server = &http.Server{Handler: mux}
+
+	cp.wg.Add(2)
+	go func() {
+		defer cp.wg.Done()
+		cp.server.Serve(l) //nolint:errcheck
+	}()
+	go func() {
+		defer cp.wg.Done()
+		cp.ssdpLoop(group)
+	}()
+	cp.started = true
+	return nil
+}
+
+// Close stops discovery and the event endpoint.
+func (cp *ControlPoint) Close() error {
+	cp.mu.Lock()
+	if cp.closed {
+		cp.mu.Unlock()
+		return nil
+	}
+	cp.closed = true
+	group := cp.group
+	server := cp.server
+	listener := cp.listener
+	cp.mu.Unlock()
+
+	if group != nil {
+		group.Close()
+	}
+	if server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		server.Shutdown(ctx) //nolint:errcheck
+	}
+	if listener != nil {
+		listener.Close()
+	}
+	cp.wg.Wait()
+	return nil
+}
+
+// OnAdvertisement registers a callback receiving every SSDP
+// advertisement seen on the bus.
+func (cp *ControlPoint) OnAdvertisement(fn AdvertFunc) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.adverts = append(cp.adverts, fn)
+}
+
+func (cp *ControlPoint) ssdpLoop(group *netemu.GroupConn) {
+	for {
+		dg, err := group.Recv()
+		if err != nil {
+			return
+		}
+		if dg.From == cp.host.Name() {
+			continue // our own M-SEARCH
+		}
+		msg, err := ParseSSDP(dg.Payload)
+		if err != nil || msg.Method == MethodMSearch {
+			continue
+		}
+		cp.mu.Lock()
+		fns := append([]AdvertFunc(nil), cp.adverts...)
+		cp.mu.Unlock()
+		for _, fn := range fns {
+			fn(msg)
+		}
+	}
+}
+
+// Search issues an M-SEARCH for a search target. Responses arrive via
+// OnAdvertisement callbacks (Method == RESPONSE).
+func (cp *ControlPoint) Search(st string, mxSeconds int) error {
+	cp.mu.Lock()
+	group := cp.group
+	cp.mu.Unlock()
+	if group == nil {
+		return fmt.Errorf("upnp: control point not started")
+	}
+	return group.Send(FormatSSDP(MSearchMessage(st, mxSeconds)))
+}
+
+// FetchDescription downloads and parses a device description.
+func (cp *ControlPoint) FetchDescription(ctx context.Context, location string) (DeviceDescription, error) {
+	data, err := cp.get(ctx, location)
+	if err != nil {
+		return DeviceDescription{}, err
+	}
+	return ParseDescription(data)
+}
+
+// FetchSCPD downloads and parses a service's SCPD, resolving the SCPD
+// URL against the description location.
+func (cp *ControlPoint) FetchSCPD(ctx context.Context, location, scpdURL string) (SCPD, error) {
+	u, err := resolveURL(location, scpdURL)
+	if err != nil {
+		return SCPD{}, err
+	}
+	data, err := cp.get(ctx, u)
+	if err != nil {
+		return SCPD{}, err
+	}
+	return ParseSCPD(data)
+}
+
+func (cp *ControlPoint) get(ctx context.Context, rawURL string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: %w", err)
+	}
+	resp, err := cp.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: get %s: %w", rawURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("upnp: get %s: status %d", rawURL, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Invoke performs a SOAP action against a control URL (resolved against
+// the description location).
+func (cp *ControlPoint) Invoke(ctx context.Context, location, controlURL string, call ActionCall) (map[string]string, error) {
+	u, err := resolveURL(location, controlURL)
+	if err != nil {
+		return nil, err
+	}
+	body := EncodeActionCall(call)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("upnp: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPACTION", fmt.Sprintf("%q", call.ServiceType+"#"+call.Action))
+	resp, err := cp.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: invoke %s: %w", call.Action, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: invoke %s: %w", call.Action, err)
+	}
+	return ParseActionResult(data)
+}
+
+// Subscribe establishes a GENA subscription on a service's event URL;
+// fn receives each state-variable change. It returns the SID.
+func (cp *ControlPoint) Subscribe(ctx context.Context, location, eventURL string, fn EventFunc) (string, error) {
+	u, err := resolveURL(location, eventURL)
+	if err != nil {
+		return "", err
+	}
+	callback := fmt.Sprintf("http://%s:%d/gena", cp.host.Name(), cp.port)
+	req, err := http.NewRequestWithContext(ctx, "SUBSCRIBE", u, nil)
+	if err != nil {
+		return "", fmt.Errorf("upnp: %w", err)
+	}
+	req.Header.Set("CALLBACK", "<"+callback+">")
+	req.Header.Set("NT", "upnp:event")
+	req.Header.Set("TIMEOUT", "Second-1800")
+	resp, err := cp.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("upnp: subscribe: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("upnp: subscribe: status %d", resp.StatusCode)
+	}
+	sid := resp.Header.Get("SID")
+	if sid == "" {
+		return "", fmt.Errorf("upnp: subscribe: no SID")
+	}
+	cp.mu.Lock()
+	cp.subs[sid] = fn
+	cp.mu.Unlock()
+	return sid, nil
+}
+
+// Unsubscribe cancels a GENA subscription by SID.
+func (cp *ControlPoint) Unsubscribe(ctx context.Context, location, eventURL, sid string) error {
+	u, err := resolveURL(location, eventURL)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, "UNSUBSCRIBE", u, nil)
+	if err != nil {
+		return fmt.Errorf("upnp: %w", err)
+	}
+	req.Header.Set("SID", sid)
+	resp, err := cp.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("upnp: unsubscribe: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("upnp: unsubscribe: status %d", resp.StatusCode)
+	}
+	cp.mu.Lock()
+	delete(cp.subs, sid)
+	cp.mu.Unlock()
+	return nil
+}
+
+// handleNotify receives GENA NOTIFY callbacks.
+func (cp *ControlPoint) handleNotify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != "NOTIFY" {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sid := r.Header.Get("SID")
+	cp.mu.Lock()
+	fn := cp.subs[sid]
+	cp.mu.Unlock()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if fn == nil {
+		return
+	}
+	variable, value, err := parseEventXML(body)
+	if err == nil {
+		fn(variable, value)
+	}
+}
+
+// parseEventXML extracts the first property from a GENA propertyset.
+func parseEventXML(data []byte) (variable, value string, err error) {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", "", fmt.Errorf("upnp: bad event xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 3 { // propertyset > property > <var>
+				variable = t.Name.Local
+			}
+		case xml.CharData:
+			if depth == 3 && variable != "" {
+				value += string(t)
+			}
+		case xml.EndElement:
+			if depth == 3 && variable != "" {
+				return variable, value, nil
+			}
+			depth--
+		}
+	}
+}
+
+// resolveURL resolves ref against base.
+func resolveURL(base, ref string) (string, error) {
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("upnp: bad base url %q: %w", base, err)
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return "", fmt.Errorf("upnp: bad url %q: %w", ref, err)
+	}
+	return b.ResolveReference(r).String(), nil
+}

@@ -1,0 +1,112 @@
+package upnp
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// DeviceDescription is the UPnP device description document served at
+// the SSDP LOCATION URL.
+type DeviceDescription struct {
+	XMLName     xml.Name    `xml:"urn:schemas-upnp-org:device-1-0 root"`
+	SpecVersion SpecVersion `xml:"specVersion"`
+	Device      DeviceInfo  `xml:"device"`
+}
+
+// SpecVersion is the UPnP architecture version.
+type SpecVersion struct {
+	Major int `xml:"major"`
+	Minor int `xml:"minor"`
+}
+
+// DeviceInfo describes the root device.
+type DeviceInfo struct {
+	DeviceType   string        `xml:"deviceType"`
+	FriendlyName string        `xml:"friendlyName"`
+	Manufacturer string        `xml:"manufacturer"`
+	ModelName    string        `xml:"modelName"`
+	UDN          string        `xml:"UDN"`
+	Services     []ServiceInfo `xml:"serviceList>service"`
+}
+
+// ServiceInfo describes one service of a device.
+type ServiceInfo struct {
+	ServiceType string `xml:"serviceType"`
+	ServiceID   string `xml:"serviceId"`
+	SCPDURL     string `xml:"SCPDURL"`
+	ControlURL  string `xml:"controlURL"`
+	EventSubURL string `xml:"eventSubURL"`
+}
+
+// EncodeDescription renders the description document.
+func EncodeDescription(d DeviceDescription) ([]byte, error) {
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("upnp: encode description: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ParseDescription parses a description document.
+func ParseDescription(data []byte) (DeviceDescription, error) {
+	var d DeviceDescription
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return DeviceDescription{}, fmt.Errorf("upnp: parse description: %w", err)
+	}
+	if d.Device.DeviceType == "" {
+		return DeviceDescription{}, fmt.Errorf("upnp: description missing deviceType")
+	}
+	return d, nil
+}
+
+// SCPD is the Service Control Protocol Description document: the actions
+// and state variables of one service.
+type SCPD struct {
+	XMLName     xml.Name     `xml:"urn:schemas-upnp-org:service-1-0 scpd"`
+	SpecVersion SpecVersion  `xml:"specVersion"`
+	Actions     []SCPDAction `xml:"actionList>action"`
+	StateVars   []StateVar   `xml:"serviceStateTable>stateVariable"`
+}
+
+// SCPDAction declares one action and its arguments.
+type SCPDAction struct {
+	Name      string         `xml:"name"`
+	Arguments []SCPDArgument `xml:"argumentList>argument"`
+}
+
+// SCPDArgument declares one action argument.
+type SCPDArgument struct {
+	Name            string `xml:"name"`
+	Direction       string `xml:"direction"` // "in" or "out"
+	RelatedStateVar string `xml:"relatedStateVariable"`
+}
+
+// StateVar declares one state variable.
+type StateVar struct {
+	// SendEvents is "yes" for evented variables.
+	SendEvents string `xml:"sendEvents,attr"`
+	Name       string `xml:"name"`
+	DataType   string `xml:"dataType"`
+	Default    string `xml:"defaultValue,omitempty"`
+}
+
+// Evented reports whether the variable sends GENA events.
+func (v StateVar) Evented() bool { return v.SendEvents == "yes" }
+
+// EncodeSCPD renders the SCPD document.
+func EncodeSCPD(s SCPD) ([]byte, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("upnp: encode scpd: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ParseSCPD parses an SCPD document.
+func ParseSCPD(data []byte) (SCPD, error) {
+	var s SCPD
+	if err := xml.Unmarshal(data, &s); err != nil {
+		return SCPD{}, fmt.Errorf("upnp: parse scpd: %w", err)
+	}
+	return s, nil
+}

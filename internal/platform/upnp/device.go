@@ -1,0 +1,422 @@
+package upnp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// DefaultDevicePort is the port devices serve descriptions and control
+// on when none is specified.
+const DefaultDevicePort = 5000
+
+// ActionHandler executes one UPnP action: in-arguments in, out-arguments
+// out. Returning a *SOAPFault produces a UPnP error response; any other
+// error maps to fault 501 (Action Failed).
+type ActionHandler func(args map[string]string) (map[string]string, error)
+
+// Service is one hosted UPnP service.
+type Service struct {
+	// Type is the service type URN
+	// ("urn:schemas-upnp-org:service:SwitchPower:1").
+	Type string
+	// ID is the service identifier
+	// ("urn:upnp-org:serviceId:SwitchPower").
+	ID string
+	// SCPD declares the service's actions and state variables.
+	SCPD SCPD
+
+	mu          sync.Mutex
+	handlers    map[string]ActionHandler
+	state       map[string]string
+	subscribers map[string]*subscription
+	nextSub     int
+	eventSeq    uint32
+	device      *Device
+}
+
+// subscription is one GENA subscriber.
+type subscription struct {
+	sid      string
+	callback string
+	expires  time.Time
+}
+
+// NewService creates a service with the given type, ID, and SCPD.
+func NewService(serviceType, serviceID string, scpd SCPD) *Service {
+	s := &Service{
+		Type:        serviceType,
+		ID:          serviceID,
+		SCPD:        scpd,
+		handlers:    make(map[string]ActionHandler),
+		state:       make(map[string]string),
+		subscribers: make(map[string]*subscription),
+	}
+	for _, v := range scpd.StateVars {
+		s.state[v.Name] = v.Default
+	}
+	return s
+}
+
+// Handle registers the handler for an action.
+func (s *Service) Handle(action string, h ActionHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[action] = h
+}
+
+// State returns a state variable's current value.
+func (s *Service) State(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state[name]
+}
+
+// SetState updates a state variable and, when it is evented, notifies
+// subscribers.
+func (s *Service) SetState(name, value string) {
+	s.mu.Lock()
+	s.state[name] = value
+	evented := false
+	for _, v := range s.SCPD.StateVars {
+		if v.Name == name && v.Evented() {
+			evented = true
+			break
+		}
+	}
+	var subs []*subscription
+	if evented {
+		for _, sub := range s.subscribers {
+			subs = append(subs, sub)
+		}
+		s.eventSeq++
+	}
+	seq := s.eventSeq
+	device := s.device
+	s.mu.Unlock()
+
+	if !evented || device == nil {
+		return
+	}
+	body := encodeEventXML(name, value)
+	for _, sub := range subs {
+		device.sendEvent(sub, seq, body)
+	}
+}
+
+func (s *Service) invoke(call ActionCall) ([]byte, int) {
+	s.mu.Lock()
+	h := s.handlers[call.Action]
+	s.mu.Unlock()
+	if h == nil {
+		return EncodeFault(SOAPFault{Code: 401, Description: "Invalid Action"}), http.StatusInternalServerError
+	}
+	out, err := h(call.Args)
+	if err != nil {
+		fault, ok := err.(*SOAPFault)
+		if !ok {
+			fault = &SOAPFault{Code: 501, Description: err.Error()}
+		}
+		return EncodeFault(*fault), http.StatusInternalServerError
+	}
+	return EncodeActionResponse(ActionResponse{
+		ServiceType: call.ServiceType,
+		Action:      call.Action,
+		Out:         out,
+	}), http.StatusOK
+}
+
+func encodeEventXML(name, value string) []byte {
+	var b strings.Builder
+	b.WriteString(`<e:propertyset xmlns:e="urn:schemas-upnp-org:event-1-0"><e:property>`)
+	fmt.Fprintf(&b, "<%s>%s</%s>", name, xmlEscape(value), name)
+	b.WriteString("</e:property></e:propertyset>")
+	return []byte(b.String())
+}
+
+// Device is an emulated UPnP device published on a netemu host.
+type Device struct {
+	// UUID is the device's unique identifier.
+	UUID string
+	// Type is the device type URN.
+	Type string
+	// FriendlyName is the human-readable name.
+	FriendlyName string
+
+	host     *netemu.Host
+	port     int
+	services []*Service
+
+	mu        sync.Mutex
+	listener  *netemu.Listener
+	group     *netemu.GroupConn
+	server    *http.Server
+	client    *http.Client
+	published bool
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewDevice creates a device on a host. port 0 selects
+// DefaultDevicePort; pass distinct ports to host several devices on one
+// host.
+func NewDevice(host *netemu.Host, uuid, deviceType, friendlyName string, port int, services ...*Service) *Device {
+	if port == 0 {
+		port = DefaultDevicePort
+	}
+	d := &Device{
+		UUID:         uuid,
+		Type:         deviceType,
+		FriendlyName: friendlyName,
+		host:         host,
+		port:         port,
+		services:     services,
+		client:       newHTTPClient(host),
+	}
+	for _, s := range services {
+		s.mu.Lock()
+		s.device = d
+		s.mu.Unlock()
+	}
+	return d
+}
+
+// Services returns the device's services.
+func (d *Device) Services() []*Service {
+	out := make([]*Service, len(d.services))
+	copy(out, d.services)
+	return out
+}
+
+// Location returns the description URL of the published device.
+func (d *Device) Location() string {
+	return fmt.Sprintf("http://%s:%d/desc.xml", d.host.Name(), d.port)
+}
+
+// Publish starts the device's HTTP endpoint, joins the SSDP group,
+// announces ssdp:alive, and begins answering M-SEARCH requests.
+func (d *Device) Publish() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("upnp: device %q closed", d.FriendlyName)
+	}
+	if d.published {
+		return nil
+	}
+	l, err := d.host.Listen(d.port)
+	if err != nil {
+		return fmt.Errorf("upnp: device listen: %w", err)
+	}
+	d.listener = l
+	mux := http.NewServeMux()
+	d.installRoutes(mux)
+	d.server = &http.Server{Handler: mux}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.server.Serve(l) //nolint:errcheck // Serve returns on Close
+	}()
+
+	group, err := d.host.JoinGroup(SSDPGroup)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("upnp: join ssdp: %w", err)
+	}
+	d.group = group
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.ssdpLoop(group)
+	}()
+
+	d.published = true
+	return group.Send(FormatSSDP(AliveMessage(d.Type, d.UUID, d.Location())))
+}
+
+// Unpublish announces ssdp:byebye and stops the device's endpoints.
+func (d *Device) Unpublish() error {
+	d.mu.Lock()
+	if !d.published || d.closed {
+		d.closed = true
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	group := d.group
+	server := d.server
+	listener := d.listener
+	d.mu.Unlock()
+
+	group.Send(FormatSSDP(ByeByeMessage(d.Type, d.UUID))) //nolint:errcheck // best effort
+	group.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	server.Shutdown(ctx) //nolint:errcheck // best effort
+	listener.Close()
+	d.wg.Wait()
+	return nil
+}
+
+// ssdpLoop answers M-SEARCH requests for this device.
+func (d *Device) ssdpLoop(group *netemu.GroupConn) {
+	for {
+		dg, err := group.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := ParseSSDP(dg.Payload)
+		if err != nil || msg.Method != MethodMSearch {
+			continue
+		}
+		st := msg.Header("ST")
+		if !STMatches(st, d.Type) {
+			continue
+		}
+		resp := SearchResponse(d.Type, d.UUID, d.Location())
+		group.Send(FormatSSDP(resp)) //nolint:errcheck // best effort
+	}
+}
+
+func (d *Device) installRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /desc.xml", func(w http.ResponseWriter, r *http.Request) {
+		desc := d.description()
+		data, err := EncodeDescription(desc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(data) //nolint:errcheck
+	})
+	for i, svc := range d.services {
+		svc := svc
+		name := serviceSlug(svc.ID, i)
+		mux.HandleFunc("GET /scpd/"+name+".xml", func(w http.ResponseWriter, r *http.Request) {
+			data, err := EncodeSCPD(svc.SCPD)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Write(data) //nolint:errcheck
+		})
+		mux.HandleFunc("POST /control/"+name, func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			call, err := ParseActionCall(body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			respBody, status := svc.invoke(call)
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.WriteHeader(status)
+			w.Write(respBody) //nolint:errcheck
+		})
+		mux.HandleFunc("SUBSCRIBE /event/"+name, func(w http.ResponseWriter, r *http.Request) {
+			callback := strings.Trim(r.Header.Get("CALLBACK"), "<>")
+			if callback == "" {
+				http.Error(w, "missing CALLBACK", http.StatusBadRequest)
+				return
+			}
+			svc.mu.Lock()
+			svc.nextSub++
+			sid := fmt.Sprintf("uuid:%s-sub-%d", d.UUID, svc.nextSub)
+			svc.subscribers[sid] = &subscription{
+				sid:      sid,
+				callback: callback,
+				expires:  time.Now().Add(30 * time.Minute),
+			}
+			svc.mu.Unlock()
+			w.Header().Set("SID", sid)
+			w.Header().Set("TIMEOUT", "Second-1800")
+			w.WriteHeader(http.StatusOK)
+		})
+		mux.HandleFunc("UNSUBSCRIBE /event/"+name, func(w http.ResponseWriter, r *http.Request) {
+			sid := r.Header.Get("SID")
+			svc.mu.Lock()
+			delete(svc.subscribers, sid)
+			svc.mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		})
+	}
+}
+
+// description assembles the device description document.
+func (d *Device) description() DeviceDescription {
+	infos := make([]ServiceInfo, len(d.services))
+	for i, svc := range d.services {
+		name := serviceSlug(svc.ID, i)
+		infos[i] = ServiceInfo{
+			ServiceType: svc.Type,
+			ServiceID:   svc.ID,
+			SCPDURL:     "/scpd/" + name + ".xml",
+			ControlURL:  "/control/" + name,
+			EventSubURL: "/event/" + name,
+		}
+	}
+	return DeviceDescription{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Device: DeviceInfo{
+			DeviceType:   d.Type,
+			FriendlyName: d.FriendlyName,
+			Manufacturer: "repro",
+			ModelName:    "netemu-device",
+			UDN:          "uuid:" + d.UUID,
+			Services:     infos,
+		},
+	}
+}
+
+// sendEvent posts a GENA NOTIFY to one subscriber.
+func (d *Device) sendEvent(sub *subscription, seq uint32, body []byte) {
+	req, err := http.NewRequest("NOTIFY", sub.callback, strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("NT", "upnp:event")
+	req.Header.Set("NTS", "upnp:propchange")
+	req.Header.Set("SID", sub.sid)
+	req.Header.Set("SEQ", strconv.FormatUint(uint64(seq), 10))
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// serviceSlug derives a URL-safe name from a service ID.
+func serviceSlug(serviceID string, i int) string {
+	if j := strings.LastIndexByte(serviceID, ':'); j >= 0 && j+1 < len(serviceID) {
+		return serviceID[j+1:]
+	}
+	return "svc" + strconv.Itoa(i)
+}
+
+// newHTTPClient builds an http.Client that dials through the netemu
+// host.
+func newHTTPClient(host *netemu.Host) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return host.Dial(ctx, addr)
+			},
+			MaxIdleConnsPerHost: 4,
+		},
+		Timeout: 30 * time.Second,
+	}
+}

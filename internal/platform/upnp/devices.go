@@ -1,0 +1,417 @@
+package upnp
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// Well-known device and service type URNs used by the emulated devices.
+const (
+	DeviceTypeBinaryLight    = "urn:schemas-upnp-org:device:BinaryLight:1"
+	DeviceTypeClock          = "urn:schemas-upnp-org:device:Clock:1"
+	DeviceTypeAirConditioner = "urn:schemas-upnp-org:device:AirConditioner:1"
+	DeviceTypeMediaRenderer  = "urn:schemas-upnp-org:device:MediaRenderer:1"
+	DeviceTypePrinter        = "urn:schemas-upnp-org:device:Printer:1"
+
+	ServiceTypeSwitchPower  = "urn:schemas-upnp-org:service:SwitchPower:1"
+	ServiceTypeClock        = "urn:schemas-upnp-org:service:ClockService:1"
+	ServiceTypeCalendar     = "urn:schemas-upnp-org:service:CalendarService:1"
+	ServiceTypeAlarm        = "urn:schemas-upnp-org:service:AlarmService:1"
+	ServiceTypeHVAC         = "urn:schemas-upnp-org:service:HVACService:1"
+	ServiceTypePrintBasic   = "urn:schemas-upnp-org:service:PrintBasic:1"
+	ServiceTypeAVTransport  = "urn:schemas-upnp-org:service:AVTransport:1"
+	ServiceTypeImageDisplay = "urn:schemas-upnp-org:service:ImageDisplay:1"
+)
+
+// DeviceOptions tunes an emulated device.
+type DeviceOptions struct {
+	// Port is the device's HTTP port (0 = DefaultDevicePort).
+	Port int
+	// ActuationDelay models the time the physical device spends
+	// executing an action (relay switching, panel refresh). The paper's
+	// Section 5.2 measures ~150 ms inside the UPnP domain for a light
+	// switch — most of it device-side. Zero (the default) disables the
+	// simulated delay; the benchmark harness sets paper-calibrated
+	// values and EXPERIMENTS.md documents the substitution.
+	ActuationDelay time.Duration
+}
+
+func (o DeviceOptions) delay() {
+	if o.ActuationDelay > 0 {
+		time.Sleep(o.ActuationDelay)
+	}
+}
+
+// BinaryLight is the emulated UPnP light switch of the paper's USDL
+// example and Section 5.2 benchmark.
+type BinaryLight struct {
+	*Device
+	svc  *Service
+	opts DeviceOptions
+}
+
+// NewBinaryLight creates (but does not publish) a binary light.
+func NewBinaryLight(host *netemu.Host, uuid, friendlyName string, opts DeviceOptions) *BinaryLight {
+	scpd := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "SetPower", Arguments: []SCPDArgument{
+				{Name: "Power", Direction: "in", RelatedStateVar: "Power"},
+			}},
+			{Name: "GetPower", Arguments: []SCPDArgument{
+				{Name: "Power", Direction: "out", RelatedStateVar: "Power"},
+			}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "Power", DataType: "boolean", Default: "0"},
+		},
+	}
+	svc := NewService(ServiceTypeSwitchPower, "urn:upnp-org:serviceId:SwitchPower", scpd)
+	l := &BinaryLight{
+		Device: NewDevice(host, uuid, DeviceTypeBinaryLight, friendlyName, opts.Port, svc),
+		svc:    svc,
+		opts:   opts,
+	}
+	svc.Handle("SetPower", func(args map[string]string) (map[string]string, error) {
+		power := args["Power"]
+		if power != "0" && power != "1" {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		opts.delay()
+		svc.SetState("Power", power)
+		return map[string]string{}, nil
+	})
+	svc.Handle("GetPower", func(map[string]string) (map[string]string, error) {
+		return map[string]string{"Power": svc.State("Power")}, nil
+	})
+	return l
+}
+
+// Power reports the light's current state.
+func (l *BinaryLight) Power() bool { return l.svc.State("Power") == "1" }
+
+// Clock is the emulated UPnP clock. Its translator has fourteen ports
+// and the device itself carries a three-service hierarchy (clock,
+// calendar, alarm) — the paper's "fourteen ports and two more uMiddle
+// entities for the UPnP service/device hierarchy" — making it the most
+// expensive device to map (Figure 10): the mapper pays three SCPD
+// fetches and three GENA subscriptions instead of the light's one.
+type Clock struct {
+	*Device
+	clock    *Service
+	calendar *Service
+	alarm    *Service
+	opts     DeviceOptions
+}
+
+// NewClock creates (but does not publish) a clock.
+func NewClock(host *netemu.Host, uuid, friendlyName string, opts DeviceOptions) *Clock {
+	clockSCPD := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "GetTime", Arguments: []SCPDArgument{{Name: "Time", Direction: "out", RelatedStateVar: "Time"}}},
+			{Name: "SetTime", Arguments: []SCPDArgument{{Name: "Time", Direction: "in", RelatedStateVar: "Time"}}},
+			{Name: "GetTimeZone", Arguments: []SCPDArgument{{Name: "TimeZone", Direction: "out", RelatedStateVar: "TimeZone"}}},
+			{Name: "SetTimeZone", Arguments: []SCPDArgument{{Name: "TimeZone", Direction: "in", RelatedStateVar: "TimeZone"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "Time", DataType: "string", Default: "00:00:00"},
+			{SendEvents: "no", Name: "TimeZone", DataType: "string", Default: "UTC"},
+		},
+	}
+	calendarSCPD := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "GetDate", Arguments: []SCPDArgument{{Name: "Date", Direction: "out", RelatedStateVar: "Date"}}},
+			{Name: "SetDate", Arguments: []SCPDArgument{{Name: "Date", Direction: "in", RelatedStateVar: "Date"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "no", Name: "Date", DataType: "string", Default: "2006-01-01"},
+		},
+	}
+	alarmSCPD := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "SetAlarm", Arguments: []SCPDArgument{{Name: "Time", Direction: "in", RelatedStateVar: "Alarm"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "Alarm", DataType: "string", Default: ""},
+		},
+	}
+	clockSvc := NewService(ServiceTypeClock, "urn:upnp-org:serviceId:ClockService", clockSCPD)
+	calendarSvc := NewService(ServiceTypeCalendar, "urn:upnp-org:serviceId:CalendarService", calendarSCPD)
+	alarmSvc := NewService(ServiceTypeAlarm, "urn:upnp-org:serviceId:AlarmService", alarmSCPD)
+	c := &Clock{
+		Device:   NewDevice(host, uuid, DeviceTypeClock, friendlyName, opts.Port, clockSvc, calendarSvc, alarmSvc),
+		clock:    clockSvc,
+		calendar: calendarSvc,
+		alarm:    alarmSvc,
+		opts:     opts,
+	}
+	get := func(svc *Service, name string) ActionHandler {
+		return func(map[string]string) (map[string]string, error) {
+			return map[string]string{name: svc.State(name)}, nil
+		}
+	}
+	set := func(svc *Service, name, arg string) ActionHandler {
+		return func(args map[string]string) (map[string]string, error) {
+			v, ok := args[arg]
+			if !ok {
+				return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+			}
+			opts.delay()
+			svc.SetState(name, v)
+			return map[string]string{}, nil
+		}
+	}
+	clockSvc.Handle("GetTime", get(clockSvc, "Time"))
+	clockSvc.Handle("SetTime", set(clockSvc, "Time", "Time"))
+	clockSvc.Handle("GetTimeZone", get(clockSvc, "TimeZone"))
+	clockSvc.Handle("SetTimeZone", set(clockSvc, "TimeZone", "TimeZone"))
+	calendarSvc.Handle("GetDate", get(calendarSvc, "Date"))
+	calendarSvc.Handle("SetDate", set(calendarSvc, "Date", "Date"))
+	alarmSvc.Handle("SetAlarm", set(alarmSvc, "Alarm", "Time"))
+	return c
+}
+
+// Time returns the clock's current time state.
+func (c *Clock) Time() string { return c.clock.State("Time") }
+
+// AirConditioner is the emulated UPnP air conditioner.
+type AirConditioner struct {
+	*Device
+	svc  *Service
+	opts DeviceOptions
+}
+
+// NewAirConditioner creates (but does not publish) an air conditioner.
+func NewAirConditioner(host *netemu.Host, uuid, friendlyName string, opts DeviceOptions) *AirConditioner {
+	scpd := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "SetTemperature", Arguments: []SCPDArgument{{Name: "Temperature", Direction: "in", RelatedStateVar: "Temperature"}}},
+			{Name: "GetTemperature", Arguments: []SCPDArgument{{Name: "Temperature", Direction: "out", RelatedStateVar: "Temperature"}}},
+			{Name: "SetMode", Arguments: []SCPDArgument{{Name: "Mode", Direction: "in", RelatedStateVar: "Mode"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "Temperature", DataType: "r4", Default: "22.0"},
+			{SendEvents: "no", Name: "Mode", DataType: "string", Default: "cool"},
+		},
+	}
+	svc := NewService(ServiceTypeHVAC, "urn:upnp-org:serviceId:HVACService", scpd)
+	a := &AirConditioner{
+		Device: NewDevice(host, uuid, DeviceTypeAirConditioner, friendlyName, opts.Port, svc),
+		svc:    svc,
+		opts:   opts,
+	}
+	svc.Handle("SetTemperature", func(args map[string]string) (map[string]string, error) {
+		v, ok := args["Temperature"]
+		if !ok {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		opts.delay()
+		svc.SetState("Temperature", v)
+		return map[string]string{}, nil
+	})
+	svc.Handle("GetTemperature", func(map[string]string) (map[string]string, error) {
+		return map[string]string{"Temperature": svc.State("Temperature")}, nil
+	})
+	svc.Handle("SetMode", func(args map[string]string) (map[string]string, error) {
+		opts.delay()
+		svc.SetState("Mode", args["Mode"])
+		return map[string]string{}, nil
+	})
+	return a
+}
+
+// Temperature returns the target temperature state.
+func (a *AirConditioner) Temperature() string { return a.svc.State("Temperature") }
+
+// MediaRenderer is the emulated UPnP TV of the paper's running example:
+// it accepts transport-control actions and renders images/audio pushed
+// to it.
+type MediaRenderer struct {
+	*Device
+	av   *Service
+	img  *Service
+	opts DeviceOptions
+
+	mu       sync.Mutex
+	rendered [][]byte
+	notify   chan struct{}
+}
+
+// NewMediaRenderer creates (but does not publish) a MediaRenderer.
+func NewMediaRenderer(host *netemu.Host, uuid, friendlyName string, opts DeviceOptions) *MediaRenderer {
+	avSCPD := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "SetAVTransportURI", Arguments: []SCPDArgument{{Name: "CurrentURI", Direction: "in", RelatedStateVar: "AVTransportURI"}}},
+			{Name: "Play", Arguments: []SCPDArgument{{Name: "Speed", Direction: "in", RelatedStateVar: "TransportState"}}},
+			{Name: "Stop"},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "TransportState", DataType: "string", Default: "STOPPED"},
+			{SendEvents: "no", Name: "AVTransportURI", DataType: "string", Default: ""},
+		},
+	}
+	imgSCPD := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "RenderImage", Arguments: []SCPDArgument{{Name: "Data", Direction: "in", RelatedStateVar: "LastImage"}}},
+			{Name: "RenderAudio", Arguments: []SCPDArgument{{Name: "Data", Direction: "in", RelatedStateVar: "LastImage"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "no", Name: "LastImage", DataType: "bin.base64", Default: ""},
+		},
+	}
+	av := NewService(ServiceTypeAVTransport, "urn:upnp-org:serviceId:AVTransport", avSCPD)
+	img := NewService(ServiceTypeImageDisplay, "urn:upnp-org:serviceId:ImageDisplay", imgSCPD)
+	mr := &MediaRenderer{
+		Device: NewDevice(host, uuid, DeviceTypeMediaRenderer, friendlyName, opts.Port, av, img),
+		av:     av,
+		img:    img,
+		opts:   opts,
+		notify: make(chan struct{}, 64),
+	}
+	av.Handle("SetAVTransportURI", func(args map[string]string) (map[string]string, error) {
+		uri, ok := args["CurrentURI"]
+		if !ok {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		av.SetState("AVTransportURI", uri)
+		return map[string]string{}, nil
+	})
+	av.Handle("Play", func(map[string]string) (map[string]string, error) {
+		opts.delay()
+		av.SetState("TransportState", "PLAYING")
+		return map[string]string{}, nil
+	})
+	av.Handle("Stop", func(map[string]string) (map[string]string, error) {
+		opts.delay()
+		av.SetState("TransportState", "STOPPED")
+		return map[string]string{}, nil
+	})
+	render := func(args map[string]string) (map[string]string, error) {
+		data, ok := args["Data"]
+		if !ok {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		opts.delay()
+		mr.mu.Lock()
+		mr.rendered = append(mr.rendered, []byte(data))
+		mr.mu.Unlock()
+		select {
+		case mr.notify <- struct{}{}:
+		default:
+		}
+		return map[string]string{}, nil
+	}
+	img.Handle("RenderImage", render)
+	img.Handle("RenderAudio", render)
+	return mr
+}
+
+// Rendered returns copies of all payloads rendered so far.
+func (mr *MediaRenderer) Rendered() [][]byte {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	out := make([][]byte, len(mr.rendered))
+	for i, r := range mr.rendered {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out
+}
+
+// WaitRendered blocks until at least one new payload has been rendered
+// or the timeout passes.
+func (mr *MediaRenderer) WaitRendered(timeout time.Duration) error {
+	select {
+	case <-mr.notify:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("upnp: nothing rendered within %v", timeout)
+	}
+}
+
+// TransportState returns the AVTransport state.
+func (mr *MediaRenderer) TransportState() string { return mr.av.State("TransportState") }
+
+// Printer is the emulated UPnP printer of the paper's Section 3.3
+// example: "a translator for a PostScript printer ... would contain a
+// text/ps digital input port and a visible/paper physical output port."
+type Printer struct {
+	*Device
+	svc  *Service
+	opts DeviceOptions
+
+	mu      sync.Mutex
+	printed [][]byte
+	notify  chan struct{}
+}
+
+// NewPrinter creates (but does not publish) a printer.
+func NewPrinter(host *netemu.Host, uuid, friendlyName string, opts DeviceOptions) *Printer {
+	scpd := SCPD{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Actions: []SCPDAction{
+			{Name: "Print", Arguments: []SCPDArgument{{Name: "Document", Direction: "in", RelatedStateVar: "JobName"}}},
+		},
+		StateVars: []StateVar{
+			{SendEvents: "yes", Name: "JobName", DataType: "string", Default: ""},
+		},
+	}
+	svc := NewService(ServiceTypePrintBasic, "urn:upnp-org:serviceId:PrintBasic", scpd)
+	pr := &Printer{
+		Device: NewDevice(host, uuid, DeviceTypePrinter, friendlyName, opts.Port, svc),
+		svc:    svc,
+		opts:   opts,
+		notify: make(chan struct{}, 64),
+	}
+	svc.Handle("Print", func(args map[string]string) (map[string]string, error) {
+		doc, ok := args["Document"]
+		if !ok {
+			return nil, &SOAPFault{Code: 402, Description: "Invalid Args"}
+		}
+		opts.delay()
+		pr.mu.Lock()
+		pr.printed = append(pr.printed, []byte(doc))
+		pr.mu.Unlock()
+		select {
+		case pr.notify <- struct{}{}:
+		default:
+		}
+		svc.SetState("JobName", fmt.Sprintf("job-%d", len(pr.Printed())))
+		return map[string]string{}, nil
+	})
+	return pr
+}
+
+// Printed returns copies of all printed documents.
+func (pr *Printer) Printed() [][]byte {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	out := make([][]byte, len(pr.printed))
+	for i, d := range pr.printed {
+		out[i] = append([]byte(nil), d...)
+	}
+	return out
+}
+
+// WaitPrinted blocks until a document has been printed or the timeout
+// passes.
+func (pr *Printer) WaitPrinted(timeout time.Duration) error {
+	select {
+	case <-pr.notify:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("upnp: nothing printed within %v", timeout)
+	}
+}

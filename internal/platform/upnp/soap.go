@@ -1,0 +1,183 @@
+package upnp
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SOAP envelope constants.
+const (
+	soapEnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	soapEncoding   = "http://schemas.xmlsoap.org/soap/encoding/"
+)
+
+// ActionCall is a parsed SOAP action invocation.
+type ActionCall struct {
+	// ServiceType is the service namespace URN.
+	ServiceType string
+	// Action is the action name.
+	Action string
+	// Args holds the in-arguments.
+	Args map[string]string
+}
+
+// ActionResponse is a SOAP action result.
+type ActionResponse struct {
+	ServiceType string
+	Action      string
+	Out         map[string]string
+}
+
+// SOAPFault is a SOAP/UPnP error.
+type SOAPFault struct {
+	// Code is the UPnP error code (e.g. 401 Invalid Action).
+	Code int
+	// Description is the human-readable error.
+	Description string
+}
+
+// Error implements the error interface.
+func (f *SOAPFault) Error() string {
+	return fmt.Sprintf("upnp: soap fault %d: %s", f.Code, f.Description)
+}
+
+// EncodeActionCall renders a SOAP request body for an action.
+func EncodeActionCall(c ActionCall) []byte {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<s:Envelope xmlns:s="` + soapEnvelopeNS + `" s:encodingStyle="` + soapEncoding + `">`)
+	b.WriteString("<s:Body>")
+	fmt.Fprintf(&b, `<u:%s xmlns:u="%s">`, c.Action, c.ServiceType)
+	writeSortedArgs(&b, c.Args)
+	fmt.Fprintf(&b, "</u:%s>", c.Action)
+	b.WriteString("</s:Body></s:Envelope>")
+	return []byte(b.String())
+}
+
+// EncodeActionResponse renders a SOAP response body.
+func EncodeActionResponse(r ActionResponse) []byte {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<s:Envelope xmlns:s="` + soapEnvelopeNS + `" s:encodingStyle="` + soapEncoding + `">`)
+	b.WriteString("<s:Body>")
+	fmt.Fprintf(&b, `<u:%sResponse xmlns:u="%s">`, r.Action, r.ServiceType)
+	writeSortedArgs(&b, r.Out)
+	fmt.Fprintf(&b, "</u:%sResponse>", r.Action)
+	b.WriteString("</s:Body></s:Envelope>")
+	return []byte(b.String())
+}
+
+// EncodeFault renders a UPnP SOAP fault body.
+func EncodeFault(f SOAPFault) []byte {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<s:Envelope xmlns:s="` + soapEnvelopeNS + `" s:encodingStyle="` + soapEncoding + `">`)
+	b.WriteString("<s:Body><s:Fault>")
+	b.WriteString("<faultcode>s:Client</faultcode>")
+	b.WriteString("<faultstring>UPnPError</faultstring>")
+	b.WriteString(`<detail><UPnPError xmlns="urn:schemas-upnp-org:control-1-0">`)
+	fmt.Fprintf(&b, "<errorCode>%d</errorCode>", f.Code)
+	fmt.Fprintf(&b, "<errorDescription>%s</errorDescription>", xmlEscape(f.Description))
+	b.WriteString("</UPnPError></detail>")
+	b.WriteString("</s:Fault></s:Body></s:Envelope>")
+	return []byte(b.String())
+}
+
+func writeSortedArgs(b *strings.Builder, args map[string]string) {
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "<%s>%s</%s>", k, xmlEscape(args[k]), k)
+	}
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// ParseActionCall parses a SOAP request into an action invocation.
+func ParseActionCall(data []byte) (ActionCall, error) {
+	elem, args, err := parseSOAPBody(data)
+	if err != nil {
+		return ActionCall{}, err
+	}
+	return ActionCall{ServiceType: elem.Space, Action: elem.Local, Args: args}, nil
+}
+
+// ParseActionResult parses a SOAP response. It returns the out-arguments
+// or, when the body is a fault, the *SOAPFault as error.
+func ParseActionResult(data []byte) (map[string]string, error) {
+	elem, args, err := parseSOAPBody(data)
+	if err != nil {
+		return nil, err
+	}
+	if elem.Local == "Fault" {
+		fault := &SOAPFault{Description: "unknown"}
+		if codeText, ok := args["errorCode"]; ok {
+			fmt.Sscanf(codeText, "%d", &fault.Code)
+		}
+		if desc, ok := args["errorDescription"]; ok {
+			fault.Description = desc
+		}
+		return nil, fault
+	}
+	return args, nil
+}
+
+// parseSOAPBody returns the first element inside s:Body and its child
+// leaf elements as a name->text map (flattening nested detail elements,
+// which is sufficient for UPnP's flat argument lists and fault details).
+func parseSOAPBody(data []byte) (xml.Name, map[string]string, error) {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	inBody := false
+	var top xml.Name
+	args := make(map[string]string)
+	var currentLeaf string
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch {
+			case t.Name.Local == "Body" && t.Name.Space == soapEnvelopeNS:
+				inBody = true
+			case inBody && top.Local == "":
+				top = t.Name
+				depth = 0
+			case inBody && top.Local != "":
+				currentLeaf = t.Name.Local
+				depth++
+			}
+		case xml.CharData:
+			if inBody && currentLeaf != "" {
+				args[currentLeaf] += string(t)
+			}
+		case xml.EndElement:
+			if inBody && top.Local != "" {
+				if t.Name == top && depth == 0 {
+					return top, args, nil
+				}
+				if depth > 0 {
+					depth--
+					currentLeaf = ""
+				}
+			}
+		}
+	}
+	if top.Local == "" {
+		return xml.Name{}, nil, fmt.Errorf("upnp: no action element in soap body")
+	}
+	return top, args, nil
+}

@@ -1,0 +1,212 @@
+// Package upnp implements an emulated Universal Plug and Play stack: SSDP
+// discovery, XML device descriptions, SOAP control, and GENA eventing,
+// together with the emulated devices used by the paper's benchmarks
+// (binary light, clock, air conditioner, MediaRenderer).
+//
+// The paper's testbed used the CyberLink Java UPnP library against real
+// and emulated devices on a LAN. Here the full wire protocol runs over
+// the netemu substrate: SSDP messages travel a multicast bus, and
+// descriptions, control, and events are served over real net/http on
+// emulated connections. The uMiddle UPnP mapper consumes only these wire
+// protocols — it has no backdoor into device state — so mapping and
+// control costs are genuinely paid.
+package upnp
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SSDP constants.
+const (
+	// SSDPGroup is the netemu multicast group standing in for
+	// 239.255.255.250:1900.
+	SSDPGroup = "ssdp"
+	// SSDPAll is the search target matching every device.
+	SSDPAll = "ssdp:all"
+)
+
+// SSDP message kinds.
+const (
+	// MethodNotify is the advertisement method.
+	MethodNotify = "NOTIFY"
+	// MethodMSearch is the search method.
+	MethodMSearch = "M-SEARCH"
+	// MethodResponse marks a search response (HTTP/1.1 200 OK).
+	MethodResponse = "RESPONSE"
+)
+
+// NTS values.
+const (
+	// NTSAlive announces presence.
+	NTSAlive = "ssdp:alive"
+	// NTSByeBye announces departure.
+	NTSByeBye = "ssdp:byebye"
+)
+
+// SSDPMessage is a parsed SSDP datagram.
+type SSDPMessage struct {
+	// Method is NOTIFY, M-SEARCH, or RESPONSE.
+	Method string
+	// Headers holds the message headers, keys upper-cased.
+	Headers map[string]string
+}
+
+// Header returns a header value ("" when absent).
+func (m SSDPMessage) Header(key string) string {
+	return m.Headers[strings.ToUpper(key)]
+}
+
+// NT returns the notification type (NT header, or ST for responses).
+func (m SSDPMessage) NT() string {
+	if nt := m.Header("NT"); nt != "" {
+		return nt
+	}
+	return m.Header("ST")
+}
+
+// Location returns the description URL.
+func (m SSDPMessage) Location() string { return m.Header("LOCATION") }
+
+// USN returns the unique service name.
+func (m SSDPMessage) USN() string { return m.Header("USN") }
+
+// IsAlive reports whether the message announces presence.
+func (m SSDPMessage) IsAlive() bool {
+	return m.Method == MethodNotify && m.Header("NTS") == NTSAlive
+}
+
+// IsByeBye reports whether the message announces departure.
+func (m SSDPMessage) IsByeBye() bool {
+	return m.Method == MethodNotify && m.Header("NTS") == NTSByeBye
+}
+
+// FormatSSDP renders an SSDP message in its HTTP-over-UDP wire form.
+func FormatSSDP(m SSDPMessage) []byte {
+	var b strings.Builder
+	switch m.Method {
+	case MethodNotify:
+		b.WriteString("NOTIFY * HTTP/1.1\r\n")
+	case MethodMSearch:
+		b.WriteString("M-SEARCH * HTTP/1.1\r\n")
+	case MethodResponse:
+		b.WriteString("HTTP/1.1 200 OK\r\n")
+	default:
+		b.WriteString(m.Method + " * HTTP/1.1\r\n")
+	}
+	keys := make([]string, 0, len(m.Headers))
+	for k := range m.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(m.Headers[k])
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// ParseSSDP parses an SSDP datagram.
+func ParseSSDP(data []byte) (SSDPMessage, error) {
+	r := bufio.NewReader(strings.NewReader(string(data)))
+	start, err := r.ReadString('\n')
+	if err != nil {
+		return SSDPMessage{}, fmt.Errorf("upnp: truncated ssdp message")
+	}
+	start = strings.TrimRight(start, "\r\n")
+	msg := SSDPMessage{Headers: make(map[string]string)}
+	switch {
+	case strings.HasPrefix(start, "NOTIFY"):
+		msg.Method = MethodNotify
+	case strings.HasPrefix(start, "M-SEARCH"):
+		msg.Method = MethodMSearch
+	case strings.HasPrefix(start, "HTTP/1.1 200"):
+		msg.Method = MethodResponse
+	default:
+		return SSDPMessage{}, fmt.Errorf("upnp: unknown ssdp start line %q", start)
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			return SSDPMessage{}, fmt.Errorf("upnp: malformed ssdp header %q", line)
+		}
+		key := strings.ToUpper(strings.TrimSpace(line[:i]))
+		msg.Headers[key] = strings.TrimSpace(line[i+1:])
+	}
+	return msg, nil
+}
+
+// AliveMessage builds an ssdp:alive NOTIFY for a device type.
+func AliveMessage(deviceType, uuid, location string) SSDPMessage {
+	return SSDPMessage{
+		Method: MethodNotify,
+		Headers: map[string]string{
+			"HOST":          "239.255.255.250:1900",
+			"CACHE-CONTROL": "max-age=1800",
+			"LOCATION":      location,
+			"NT":            deviceType,
+			"NTS":           NTSAlive,
+			"USN":           "uuid:" + uuid + "::" + deviceType,
+			"SERVER":        "netemu/1.0 UPnP/1.0 repro/1.0",
+		},
+	}
+}
+
+// ByeByeMessage builds an ssdp:byebye NOTIFY.
+func ByeByeMessage(deviceType, uuid string) SSDPMessage {
+	return SSDPMessage{
+		Method: MethodNotify,
+		Headers: map[string]string{
+			"HOST": "239.255.255.250:1900",
+			"NT":   deviceType,
+			"NTS":  NTSByeBye,
+			"USN":  "uuid:" + uuid + "::" + deviceType,
+		},
+	}
+}
+
+// MSearchMessage builds an M-SEARCH request for a search target.
+func MSearchMessage(st string, mxSeconds int) SSDPMessage {
+	return SSDPMessage{
+		Method: MethodMSearch,
+		Headers: map[string]string{
+			"HOST": "239.255.255.250:1900",
+			"MAN":  `"ssdp:discover"`,
+			"MX":   fmt.Sprintf("%d", mxSeconds),
+			"ST":   st,
+		},
+	}
+}
+
+// SearchResponse builds the unicast-equivalent response to an M-SEARCH.
+func SearchResponse(st, uuid, location string) SSDPMessage {
+	return SSDPMessage{
+		Method: MethodResponse,
+		Headers: map[string]string{
+			"CACHE-CONTROL": "max-age=1800",
+			"LOCATION":      location,
+			"ST":            st,
+			"USN":           "uuid:" + uuid + "::" + st,
+			"SERVER":        "netemu/1.0 UPnP/1.0 repro/1.0",
+		},
+	}
+}
+
+// STMatches reports whether a device of the given type should answer a
+// search target.
+func STMatches(st, deviceType string) bool {
+	return st == SSDPAll || st == deviceType
+}

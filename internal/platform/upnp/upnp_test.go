@@ -1,0 +1,566 @@
+package upnp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+func TestSSDPFormatParseRoundTrip(t *testing.T) {
+	msgs := []SSDPMessage{
+		AliveMessage(DeviceTypeBinaryLight, "dev-1", "http://h1:5000/desc.xml"),
+		ByeByeMessage(DeviceTypeBinaryLight, "dev-1"),
+		MSearchMessage(SSDPAll, 2),
+		SearchResponse(DeviceTypeClock, "dev-2", "http://h2:5000/desc.xml"),
+	}
+	for _, m := range msgs {
+		got, err := ParseSSDP(FormatSSDP(m))
+		if err != nil {
+			t.Fatalf("ParseSSDP: %v", err)
+		}
+		if got.Method != m.Method {
+			t.Errorf("method = %q, want %q", got.Method, m.Method)
+		}
+		for k, v := range m.Headers {
+			if got.Header(k) != v {
+				t.Errorf("header %q = %q, want %q", k, got.Header(k), v)
+			}
+		}
+	}
+}
+
+func TestSSDPPredicates(t *testing.T) {
+	alive := AliveMessage(DeviceTypeClock, "u", "loc")
+	if !alive.IsAlive() || alive.IsByeBye() {
+		t.Error("alive predicates wrong")
+	}
+	if alive.NT() != DeviceTypeClock || alive.Location() != "loc" {
+		t.Errorf("NT/Location = %q, %q", alive.NT(), alive.Location())
+	}
+	bye := ByeByeMessage(DeviceTypeClock, "u")
+	if bye.IsAlive() || !bye.IsByeBye() {
+		t.Error("byebye predicates wrong")
+	}
+	resp := SearchResponse(DeviceTypeClock, "u", "loc")
+	if resp.NT() != DeviceTypeClock {
+		t.Errorf("response NT = %q", resp.NT())
+	}
+	if !strings.HasPrefix(resp.USN(), "uuid:u::") {
+		t.Errorf("USN = %q", resp.USN())
+	}
+}
+
+func TestSSDPParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "GARBAGE * HTTP/1.1\r\n\r\n", "NOTIFY * HTTP/1.1\r\nBADLINE\r\n\r\n"} {
+		if _, err := ParseSSDP([]byte(bad)); err == nil {
+			t.Errorf("ParseSSDP(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSTMatches(t *testing.T) {
+	if !STMatches(SSDPAll, DeviceTypeClock) {
+		t.Error("ssdp:all must match")
+	}
+	if !STMatches(DeviceTypeClock, DeviceTypeClock) {
+		t.Error("exact must match")
+	}
+	if STMatches(DeviceTypeBinaryLight, DeviceTypeClock) {
+		t.Error("mismatch matched")
+	}
+}
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	d := DeviceDescription{
+		SpecVersion: SpecVersion{Major: 1, Minor: 0},
+		Device: DeviceInfo{
+			DeviceType:   DeviceTypeBinaryLight,
+			FriendlyName: "Desk Lamp",
+			UDN:          "uuid:dev-1",
+			Services: []ServiceInfo{{
+				ServiceType: ServiceTypeSwitchPower,
+				ServiceID:   "urn:upnp-org:serviceId:SwitchPower",
+				SCPDURL:     "/scpd/SwitchPower.xml",
+				ControlURL:  "/control/SwitchPower",
+				EventSubURL: "/event/SwitchPower",
+			}},
+		},
+	}
+	data, err := EncodeDescription(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ParseDescription(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Device.FriendlyName != "Desk Lamp" || len(got.Device.Services) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Device.Services[0].ControlURL != "/control/SwitchPower" {
+		t.Fatalf("service = %+v", got.Device.Services[0])
+	}
+}
+
+func TestParseDescriptionRejectsEmpty(t *testing.T) {
+	if _, err := ParseDescription([]byte("<root></root>")); err == nil {
+		t.Fatal("empty description accepted")
+	}
+}
+
+func TestSOAPCallRoundTrip(t *testing.T) {
+	call := ActionCall{
+		ServiceType: ServiceTypeSwitchPower,
+		Action:      "SetPower",
+		Args:        map[string]string{"Power": "1"},
+	}
+	got, err := ParseActionCall(EncodeActionCall(call))
+	if err != nil {
+		t.Fatalf("ParseActionCall: %v", err)
+	}
+	if got.Action != "SetPower" || got.ServiceType != ServiceTypeSwitchPower || got.Args["Power"] != "1" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestSOAPResponseRoundTrip(t *testing.T) {
+	resp := ActionResponse{
+		ServiceType: ServiceTypeSwitchPower,
+		Action:      "GetPower",
+		Out:         map[string]string{"Power": "0"},
+	}
+	out, err := ParseActionResult(EncodeActionResponse(resp))
+	if err != nil {
+		t.Fatalf("ParseActionResult: %v", err)
+	}
+	if out["Power"] != "0" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestSOAPFaultRoundTrip(t *testing.T) {
+	_, err := ParseActionResult(EncodeFault(SOAPFault{Code: 401, Description: "Invalid Action"}))
+	var fault *SOAPFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *SOAPFault", err)
+	}
+	if fault.Code != 401 || fault.Description != "Invalid Action" {
+		t.Fatalf("fault = %+v", fault)
+	}
+}
+
+func TestSOAPEscaping(t *testing.T) {
+	call := ActionCall{
+		ServiceType: "urn:x:svc:1",
+		Action:      "Set",
+		Args:        map[string]string{"V": `<&>"'`},
+	}
+	got, err := ParseActionCall(EncodeActionCall(call))
+	if err != nil {
+		t.Fatalf("ParseActionCall: %v", err)
+	}
+	if got.Args["V"] != `<&>"'` {
+		t.Fatalf("escaped arg = %q", got.Args["V"])
+	}
+}
+
+// newUPnPNet builds a network with a device host and a control host.
+func newUPnPNet(t *testing.T) (*netemu.Network, *netemu.Host, *netemu.Host) {
+	t.Helper()
+	net := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	t.Cleanup(func() { net.Close() })
+	return net, net.MustAddHost("device-host"), net.MustAddHost("cp-host")
+}
+
+func startCP(t *testing.T, host *netemu.Host) *ControlPoint {
+	t.Helper()
+	cp := NewControlPoint(host, 0)
+	if err := cp.Start(); err != nil {
+		t.Fatalf("cp.Start: %v", err)
+	}
+	t.Cleanup(func() { cp.Close() })
+	return cp
+}
+
+func TestDeviceDiscoveryViaNotify(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	cp := startCP(t, cpHost)
+
+	adverts := make(chan SSDPMessage, 16)
+	cp.OnAdvertisement(func(m SSDPMessage) { adverts <- m })
+
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+
+	select {
+	case m := <-adverts:
+		if !m.IsAlive() || m.NT() != DeviceTypeBinaryLight {
+			t.Fatalf("advert = %+v", m)
+		}
+		if m.Location() == "" {
+			t.Fatal("no location")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no ssdp:alive received")
+	}
+}
+
+func TestDeviceDiscoveryViaMSearch(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+
+	cp := startCP(t, cpHost)
+	responses := make(chan SSDPMessage, 16)
+	cp.OnAdvertisement(func(m SSDPMessage) {
+		if m.Method == MethodResponse {
+			responses <- m
+		}
+	})
+	if err := cp.Search(SSDPAll, 1); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	select {
+	case m := <-responses:
+		if m.NT() != DeviceTypeBinaryLight {
+			t.Fatalf("response NT = %q", m.NT())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no search response")
+	}
+
+	// Targeted search for an absent type yields nothing.
+	if err := cp.Search(DeviceTypeClock, 1); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	select {
+	case m := <-responses:
+		t.Fatalf("unexpected response %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestByeByeOnUnpublish(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	cp := startCP(t, cpHost)
+	byes := make(chan SSDPMessage, 4)
+	cp.OnAdvertisement(func(m SSDPMessage) {
+		if m.IsByeBye() {
+			byes <- m
+		}
+	})
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	light.Publish()
+	light.Unpublish()
+	select {
+	case m := <-byes:
+		if m.NT() != DeviceTypeBinaryLight {
+			t.Fatalf("bye NT = %q", m.NT())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no byebye")
+	}
+}
+
+func TestFetchDescriptionAndSCPD(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	clock := NewClock(devHost, "clock-1", "Wall Clock", DeviceOptions{})
+	if err := clock.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer clock.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, err := cp.FetchDescription(ctx, clock.Location())
+	if err != nil {
+		t.Fatalf("FetchDescription: %v", err)
+	}
+	// The clock's three-service hierarchy is what Figure 10's mapping
+	// cost hinges on.
+	if desc.Device.DeviceType != DeviceTypeClock || len(desc.Device.Services) != 3 {
+		t.Fatalf("desc = %+v", desc.Device)
+	}
+	totalActions := 0
+	for _, info := range desc.Device.Services {
+		scpd, err := cp.FetchSCPD(ctx, clock.Location(), info.SCPDURL)
+		if err != nil {
+			t.Fatalf("FetchSCPD(%s): %v", info.ServiceID, err)
+		}
+		totalActions += len(scpd.Actions)
+	}
+	if totalActions != 7 {
+		t.Fatalf("clock actions = %d, want 7", totalActions)
+	}
+}
+
+func TestInvokeLightSwitch(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	light.Publish()
+	defer light.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, err := cp.FetchDescription(ctx, light.Location())
+	if err != nil {
+		t.Fatalf("FetchDescription: %v", err)
+	}
+	svc := desc.Device.Services[0]
+
+	if light.Power() {
+		t.Fatal("light starts on")
+	}
+	_, err = cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetPower",
+		Args: map[string]string{"Power": "1"},
+	})
+	if err != nil {
+		t.Fatalf("Invoke SetPower: %v", err)
+	}
+	if !light.Power() {
+		t.Fatal("light not switched on")
+	}
+	out, err := cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "GetPower",
+	})
+	if err != nil {
+		t.Fatalf("Invoke GetPower: %v", err)
+	}
+	if out["Power"] != "1" {
+		t.Fatalf("GetPower = %v", out)
+	}
+
+	// Invalid argument surfaces as a SOAP fault.
+	_, err = cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetPower",
+		Args: map[string]string{"Power": "banana"},
+	})
+	var fault *SOAPFault
+	if !errors.As(err, &fault) || fault.Code != 402 {
+		t.Fatalf("err = %v, want 402 fault", err)
+	}
+	// Unknown action surfaces as 401.
+	_, err = cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "Explode",
+	})
+	if !errors.As(err, &fault) || fault.Code != 401 {
+		t.Fatalf("err = %v, want 401 fault", err)
+	}
+}
+
+func TestGENASubscription(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	light.Publish()
+	defer light.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, _ := cp.FetchDescription(ctx, light.Location())
+	svc := desc.Device.Services[0]
+
+	type event struct{ name, value string }
+	events := make(chan event, 16)
+	sid, err := cp.Subscribe(ctx, light.Location(), svc.EventSubURL, func(name, value string) {
+		events <- event{name, value}
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if sid == "" {
+		t.Fatal("empty SID")
+	}
+
+	if _, err := cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetPower",
+		Args: map[string]string{"Power": "1"},
+	}); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	select {
+	case e := <-events:
+		if e.name != "Power" || e.value != "1" {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no GENA event")
+	}
+}
+
+func TestMediaRendererRendersImage(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	tv := NewMediaRenderer(devHost, "tv-1", "Living Room TV", DeviceOptions{})
+	tv.Publish()
+	defer tv.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, err := cp.FetchDescription(ctx, tv.Location())
+	if err != nil {
+		t.Fatalf("FetchDescription: %v", err)
+	}
+	if len(desc.Device.Services) != 2 {
+		t.Fatalf("services = %d, want 2 (AVTransport + ImageDisplay)", len(desc.Device.Services))
+	}
+	var imgSvc ServiceInfo
+	for _, s := range desc.Device.Services {
+		if s.ServiceType == ServiceTypeImageDisplay {
+			imgSvc = s
+		}
+	}
+	if _, err := cp.Invoke(ctx, tv.Location(), imgSvc.ControlURL, ActionCall{
+		ServiceType: imgSvc.ServiceType, Action: "RenderImage",
+		Args: map[string]string{"Data": "jpeg-bytes"},
+	}); err != nil {
+		t.Fatalf("RenderImage: %v", err)
+	}
+	rendered := tv.Rendered()
+	if len(rendered) != 1 || string(rendered[0]) != "jpeg-bytes" {
+		t.Fatalf("rendered = %v", rendered)
+	}
+}
+
+func TestMultipleDevicesOneHost(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "l1", "Lamp", DeviceOptions{Port: 5001})
+	clock := NewClock(devHost, "c1", "Clock", DeviceOptions{Port: 5002})
+	aircon := NewAirConditioner(devHost, "a1", "AC", DeviceOptions{Port: 5003})
+	for _, d := range []interface{ Publish() error }{light, clock, aircon} {
+		if err := d.Publish(); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	defer light.Unpublish()
+	defer clock.Unpublish()
+	defer aircon.Unpublish()
+
+	cp := startCP(t, cpHost)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	cp.OnAdvertisement(func(m SSDPMessage) {
+		if m.Method == MethodResponse {
+			mu.Lock()
+			seen[m.NT()] = true
+			mu.Unlock()
+		}
+	})
+	cp.Search(SSDPAll, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("discovered %d device types, want 3", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAirConditionerActions(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	ac := NewAirConditioner(devHost, "ac-1", "AC", DeviceOptions{})
+	ac.Publish()
+	defer ac.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, _ := cp.FetchDescription(ctx, ac.Location())
+	svc := desc.Device.Services[0]
+	if _, err := cp.Invoke(ctx, ac.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetTemperature",
+		Args: map[string]string{"Temperature": "18.5"},
+	}); err != nil {
+		t.Fatalf("SetTemperature: %v", err)
+	}
+	if ac.Temperature() != "18.5" {
+		t.Fatalf("temperature = %q", ac.Temperature())
+	}
+	var fault *SOAPFault
+	_, err := cp.Invoke(ctx, ac.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetTemperature",
+		Args: map[string]string{"Temperature": "hot"},
+	})
+	if !errors.As(err, &fault) || fault.Code != 402 {
+		t.Fatalf("err = %v, want 402", err)
+	}
+}
+
+func TestActuationDelayApplied(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "l1", "Lamp", DeviceOptions{ActuationDelay: 60 * time.Millisecond})
+	light.Publish()
+	defer light.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, _ := cp.FetchDescription(ctx, light.Location())
+	svc := desc.Device.Services[0]
+	start := time.Now()
+	if _, err := cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+		ServiceType: svc.ServiceType, Action: "SetPower",
+		Args: map[string]string{"Power": "1"},
+	}); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("invoke took %v, want >= actuation delay", elapsed)
+	}
+}
+
+func TestGENAUnsubscribeStopsEvents(t *testing.T) {
+	_, devHost, cpHost := newUPnPNet(t)
+	light := NewBinaryLight(devHost, "light-1", "Desk Lamp", DeviceOptions{})
+	light.Publish()
+	defer light.Unpublish()
+	cp := startCP(t, cpHost)
+
+	ctx := context.Background()
+	desc, _ := cp.FetchDescription(ctx, light.Location())
+	svc := desc.Device.Services[0]
+	events := make(chan string, 16)
+	sid, err := cp.Subscribe(ctx, light.Location(), svc.EventSubURL, func(name, value string) {
+		events <- value
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	toggle := func(power string) {
+		if _, err := cp.Invoke(ctx, light.Location(), svc.ControlURL, ActionCall{
+			ServiceType: svc.ServiceType, Action: "SetPower",
+			Args: map[string]string{"Power": power},
+		}); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+	}
+	toggle("1")
+	select {
+	case <-events:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event before unsubscribe")
+	}
+	if err := cp.Unsubscribe(ctx, light.Location(), svc.EventSubURL, sid); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	toggle("0")
+	select {
+	case v := <-events:
+		t.Fatalf("event %q after unsubscribe", v)
+	case <-time.After(200 * time.Millisecond):
+	}
+}

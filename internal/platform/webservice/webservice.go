@@ -1,0 +1,274 @@
+// Package webservice implements the "various web services" platform the
+// paper bridges: a minimal XML-over-HTTP RPC host with a WSDL-like
+// service index, served with net/http over netemu connections.
+package webservice
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// DefaultPort is the web-service host's HTTP port.
+const DefaultPort = 7400
+
+// Request is the XML request envelope.
+type Request struct {
+	XMLName xml.Name `xml:"request"`
+	Method  string   `xml:"method"`
+	Params  []Param  `xml:"param"`
+}
+
+// Param is one named request parameter.
+type Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Response is the XML response envelope.
+type Response struct {
+	XMLName xml.Name `xml:"response"`
+	Fault   string   `xml:"fault,omitempty"`
+	Results []Param  `xml:"result"`
+}
+
+// ServiceIndex lists the services of a host (served at /services).
+type ServiceIndex struct {
+	XMLName  xml.Name      `xml:"services"`
+	Services []ServiceDecl `xml:"service"`
+}
+
+// ServiceDecl declares one service.
+type ServiceDecl struct {
+	Name      string `xml:"name,attr"`
+	Interface string `xml:"interface,attr"`
+	Path      string `xml:"path,attr"`
+}
+
+// Handler executes one web-service method.
+type Handler func(method string, params map[string]string) (map[string]string, error)
+
+// Host serves XML web services on a netemu host.
+type Host struct {
+	host *netemu.Host
+	port int
+
+	mu       sync.Mutex
+	services map[string]ServiceDecl
+	handlers map[string]Handler
+	listener *netemu.Listener
+	server   *http.Server
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewHost starts a web-service host. port 0 selects DefaultPort.
+func NewHost(host *netemu.Host, port int) (*Host, error) {
+	if port == 0 {
+		port = DefaultPort
+	}
+	h := &Host{
+		host:     host,
+		port:     port,
+		services: make(map[string]ServiceDecl),
+		handlers: make(map[string]Handler),
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: listen: %w", err)
+	}
+	h.listener = l
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /services", h.handleIndex)
+	mux.HandleFunc("POST /svc/{name}", h.handleInvoke)
+	h.server = &http.Server{Handler: mux}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.server.Serve(l) //nolint:errcheck
+	}()
+	return h, nil
+}
+
+// Register publishes a service under a name and interface.
+func (h *Host) Register(name, iface string, handler Handler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.services[name] = ServiceDecl{Name: name, Interface: iface, Path: "/svc/" + name}
+	h.handlers[name] = handler
+}
+
+// Unregister withdraws a service.
+func (h *Host) Unregister(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.services, name)
+	delete(h.handlers, name)
+}
+
+// URL returns the host's base URL.
+func (h *Host) URL() string { return fmt.Sprintf("http://%s:%d", h.host.Name(), h.port) }
+
+// Close stops the host.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	h.server.Shutdown(ctx) //nolint:errcheck
+	h.listener.Close()
+	h.wg.Wait()
+	return nil
+}
+
+func (h *Host) handleIndex(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	idx := ServiceIndex{}
+	for _, s := range h.services {
+		idx.Services = append(idx.Services, s)
+	}
+	h.mu.Unlock()
+	data, err := xml.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data) //nolint:errcheck
+}
+
+func (h *Host) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h.mu.Lock()
+	handler, ok := h.handlers[name]
+	h.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such service", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req Request
+	if err := xml.Unmarshal(body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	params := make(map[string]string, len(req.Params))
+	for _, p := range req.Params {
+		params[p.Name] = p.Value
+	}
+	resp := Response{}
+	results, err := handler(req.Method, params)
+	if err != nil {
+		resp.Fault = err.Error()
+	} else {
+		for k, v := range results {
+			resp.Results = append(resp.Results, Param{Name: k, Value: v})
+		}
+	}
+	data, err := xml.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data) //nolint:errcheck
+}
+
+// Client invokes web services across the emulated network.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient creates a client dialing through the given host.
+func NewClient(host *netemu.Host) *Client {
+	return &Client{
+		http: &http.Client{
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+					return host.Dial(ctx, addr)
+				},
+			},
+			Timeout: 30 * time.Second,
+		},
+	}
+}
+
+// Index fetches a host's service index.
+func (c *Client) Index(ctx context.Context, baseURL string) ([]ServiceDecl, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/services", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: index: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var idx ServiceIndex
+	if err := xml.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("webservice: bad index: %w", err)
+	}
+	return idx.Services, nil
+}
+
+// Invoke calls a method on a service.
+func (c *Client) Invoke(ctx context.Context, baseURL, service, method string, params map[string]string) (map[string]string, error) {
+	reqEnv := Request{Method: method}
+	for k, v := range params {
+		reqEnv.Params = append(reqEnv.Params, Param{Name: k, Value: v})
+	}
+	body, err := xml.Marshal(reqEnv)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/svc/"+service, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: invoke %s.%s: %w", service, method, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webservice: invoke %s.%s: status %d", service, method, resp.StatusCode)
+	}
+	var respEnv Response
+	if err := xml.Unmarshal(data, &respEnv); err != nil {
+		return nil, fmt.Errorf("webservice: bad response: %w", err)
+	}
+	if respEnv.Fault != "" {
+		return nil, fmt.Errorf("webservice: fault: %s", respEnv.Fault)
+	}
+	out := make(map[string]string, len(respEnv.Results))
+	for _, p := range respEnv.Results {
+		out[p.Name] = p.Value
+	}
+	return out, nil
+}

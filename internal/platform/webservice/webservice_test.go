@@ -1,0 +1,108 @@
+package webservice
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/netemu"
+)
+
+func newWSNet(t *testing.T) (*netemu.Host, *netemu.Host) {
+	t.Helper()
+	n := netemu.NewNetwork(netemu.Ethernet10Mbps())
+	t.Cleanup(func() { n.Close() })
+	return n.MustAddHost("ws"), n.MustAddHost("client")
+}
+
+func startHost(t *testing.T, h *netemu.Host) *Host {
+	t.Helper()
+	ws, err := NewHost(h, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(func() { ws.Close() })
+	return ws
+}
+
+func TestServiceIndex(t *testing.T) {
+	wsHost, clientHost := newWSNet(t)
+	ws := startHost(t, wsHost)
+	ws.Register("calc", "xml-rpc", func(string, map[string]string) (map[string]string, error) {
+		return nil, nil
+	})
+	ws.Register("weather", "xml-rpc", func(string, map[string]string) (map[string]string, error) {
+		return nil, nil
+	})
+
+	client := NewClient(clientHost)
+	services, err := client.Index(context.Background(), ws.URL())
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	if len(services) != 2 {
+		t.Fatalf("services = %v", services)
+	}
+	for _, s := range services {
+		if s.Interface != "xml-rpc" || !strings.HasPrefix(s.Path, "/svc/") {
+			t.Fatalf("service = %+v", s)
+		}
+	}
+
+	ws.Unregister("weather")
+	services, _ = client.Index(context.Background(), ws.URL())
+	if len(services) != 1 {
+		t.Fatalf("after unregister: %v", services)
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	wsHost, clientHost := newWSNet(t)
+	ws := startHost(t, wsHost)
+	ws.Register("calc", "xml-rpc", func(method string, params map[string]string) (map[string]string, error) {
+		if method != "add" {
+			return nil, fmt.Errorf("unknown method %q", method)
+		}
+		a, _ := strconv.Atoi(params["a"])
+		b, _ := strconv.Atoi(params["b"])
+		return map[string]string{"sum": strconv.Itoa(a + b)}, nil
+	})
+
+	client := NewClient(clientHost)
+	ctx := context.Background()
+	out, err := client.Invoke(ctx, ws.URL(), "calc", "add", map[string]string{"a": "19", "b": "23"})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if out["sum"] != "42" {
+		t.Fatalf("sum = %q", out["sum"])
+	}
+
+	// Fault propagation.
+	if _, err := client.Invoke(ctx, ws.URL(), "calc", "divide", nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("fault err = %v", err)
+	}
+	// Unknown service is a 404.
+	if _, err := client.Invoke(ctx, ws.URL(), "ghost", "x", nil); err == nil {
+		t.Fatal("unknown service succeeded")
+	}
+}
+
+func TestInvokeEscaping(t *testing.T) {
+	wsHost, clientHost := newWSNet(t)
+	ws := startHost(t, wsHost)
+	ws.Register("echo", "xml-rpc", func(_ string, params map[string]string) (map[string]string, error) {
+		return params, nil
+	})
+	client := NewClient(clientHost)
+	payload := `<tag attr="v">&amp;</tag>`
+	out, err := client.Invoke(context.Background(), ws.URL(), "echo", "echo", map[string]string{"p": payload})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if out["p"] != payload {
+		t.Fatalf("p = %q, want %q", out["p"], payload)
+	}
+}

@@ -1,0 +1,352 @@
+// Package qos implements QoS control for uMiddle's bridging layer.
+//
+// The paper's Section 5.3 observes that when a message path crosses from
+// a fast platform into a slow one ("if one of the services uses narrower
+// bandwidth network ... the service would be a bottleneck that causes
+// the data sent from other services to accumulate in the uMiddle's
+// translation buffer. Therefore, the universal interoperability layer
+// should provide some QoS control mechanism") and names QoS control in
+// the service-level bridge as the major future work. This package
+// supplies that mechanism: bounded translation buffers with overflow
+// policies and token-bucket rate limiting, applied per message path by
+// the transport module.
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBufferClosed is returned when using a closed buffer.
+var ErrBufferClosed = errors.New("qos: buffer closed")
+
+// Policy selects what happens when a translation buffer is full.
+type Policy int
+
+// Buffer overflow policies.
+const (
+	// Block applies backpressure: Push waits for space. This preserves
+	// every message but propagates the bottleneck upstream.
+	Block Policy = iota + 1
+	// DropOldest discards the oldest buffered item to admit the new one
+	// (a streaming-media policy: stale frames are worthless).
+	DropOldest
+	// DropNewest discards the incoming item (a control-traffic policy:
+	// in-flight commands win).
+	DropNewest
+	// LatestOnly keeps a buffer of exactly one, always the newest item
+	// (a sensor-reading policy: only the current value matters).
+	LatestOnly
+)
+
+// String renders the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	case LatestOnly:
+		return "latest-only"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "latest-only":
+		return LatestOnly, nil
+	default:
+		return 0, fmt.Errorf("qos: unknown policy %q", s)
+	}
+}
+
+// BufferStats reports translation-buffer activity.
+type BufferStats struct {
+	// Enqueued counts successfully admitted items.
+	Enqueued uint64
+	// Dequeued counts items handed to the consumer.
+	Dequeued uint64
+	// Dropped counts items discarded by the overflow policy.
+	Dropped uint64
+	// Depth is the current queue length.
+	Depth int
+	// HighWater is the maximum queue length observed.
+	HighWater int
+}
+
+// Buffer is a bounded FIFO with a configurable overflow policy — the
+// "translation buffer" of the paper with the QoS control added.
+type Buffer[T any] struct {
+	capacity int
+	policy   Policy
+
+	mu     sync.Mutex
+	nef    *sync.Cond // not-empty-or-closed
+	nff    *sync.Cond // not-full-or-closed
+	items  []T
+	closed bool
+	stats  BufferStats
+}
+
+// NewBuffer creates a buffer with the given capacity (min 1) and policy.
+// LatestOnly forces capacity 1.
+func NewBuffer[T any](capacity int, policy Policy) *Buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if policy == LatestOnly {
+		capacity = 1
+	}
+	b := &Buffer[T]{capacity: capacity, policy: policy}
+	b.nef = sync.NewCond(&b.mu)
+	b.nff = sync.NewCond(&b.mu)
+	return b
+}
+
+// Push admits an item subject to the overflow policy. It reports whether
+// the item was admitted (false means it, or an older item in the
+// DropOldest case, was dropped — in both cases a drop is counted).
+// With the Block policy, Push blocks until space is available or ctx is
+// done.
+func (b *Buffer[T]) Push(ctx context.Context, item T) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false, ErrBufferClosed
+	}
+	if len(b.items) >= b.capacity {
+		switch b.policy {
+		case Block:
+			for len(b.items) >= b.capacity && !b.closed {
+				if err := b.waitNotFull(ctx); err != nil {
+					return false, err
+				}
+			}
+			if b.closed {
+				return false, ErrBufferClosed
+			}
+		case DropOldest, LatestOnly:
+			b.items = b.items[1:]
+			b.stats.Dropped++
+		case DropNewest:
+			b.stats.Dropped++
+			return false, nil
+		default:
+			return false, fmt.Errorf("qos: invalid policy %v", b.policy)
+		}
+	}
+	b.items = append(b.items, item)
+	b.stats.Enqueued++
+	if len(b.items) > b.stats.HighWater {
+		b.stats.HighWater = len(b.items)
+	}
+	b.nef.Signal()
+	return true, nil
+}
+
+// waitNotFull waits for space, honoring ctx. Caller holds b.mu.
+func (b *Buffer[T]) waitNotFull(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.nff.Broadcast()
+	})
+	b.nff.Wait()
+	stop()
+	return ctx.Err()
+}
+
+// Pop removes the oldest item, blocking until one is available or ctx is
+// done. It returns ErrBufferClosed once the buffer is closed and
+// drained.
+func (b *Buffer[T]) Pop(ctx context.Context) (T, error) {
+	var zero T
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items) == 0 {
+		if b.closed {
+			return zero, ErrBufferClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		stop := context.AfterFunc(ctx, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.nef.Broadcast()
+		})
+		b.nef.Wait()
+		stop()
+	}
+	item := b.items[0]
+	b.items = b.items[1:]
+	b.stats.Dequeued++
+	b.nff.Signal()
+	return item, nil
+}
+
+// TryPop removes the oldest item without blocking.
+func (b *Buffer[T]) TryPop() (T, bool) {
+	var zero T
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return zero, false
+	}
+	item := b.items[0]
+	b.items = b.items[1:]
+	b.stats.Dequeued++
+	b.nff.Signal()
+	return item, true
+}
+
+// Close marks the buffer closed; blocked producers and consumers are
+// released. Remaining items stay poppable via TryPop.
+func (b *Buffer[T]) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.nef.Broadcast()
+	b.nff.Broadcast()
+}
+
+// Stats returns a snapshot of buffer statistics.
+func (b *Buffer[T]) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.Depth = len(b.items)
+	return s
+}
+
+// Len returns the current queue depth.
+func (b *Buffer[T]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// RateLimiter is a token bucket limiting throughput in units per second
+// (bytes for bandwidth classes, messages for event classes).
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter creates a limiter admitting rate units/second with the
+// given burst. rate <= 0 means unlimited.
+func NewRateLimiter(rate float64, burst float64) *RateLimiter {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &RateLimiter{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Unlimited reports whether the limiter performs no limiting.
+func (r *RateLimiter) Unlimited() bool { return r == nil || r.rate <= 0 }
+
+func (r *RateLimiter) refill(now time.Time) {
+	elapsed := now.Sub(r.last).Seconds()
+	r.last = now
+	r.tokens += elapsed * r.rate
+	if r.tokens > r.burst {
+		r.tokens = r.burst
+	}
+}
+
+// Allow consumes n tokens if available, without blocking.
+func (r *RateLimiter) Allow(n float64) bool {
+	if r.Unlimited() {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refill(time.Now())
+	if r.tokens < n {
+		return false
+	}
+	r.tokens -= n
+	return true
+}
+
+// Wait blocks until n tokens are available (or ctx is done), then
+// consumes them. n may exceed the burst; the debt is paid over time.
+func (r *RateLimiter) Wait(ctx context.Context, n float64) error {
+	if r.Unlimited() {
+		return ctx.Err()
+	}
+	r.mu.Lock()
+	r.refill(time.Now())
+	r.tokens -= n // allow debt: simplifies large single payloads
+	deficit := -r.tokens
+	r.mu.Unlock()
+	if deficit <= 0 {
+		return ctx.Err()
+	}
+	wait := time.Duration(deficit / r.rate * float64(time.Second))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		// Refund the unserved tokens.
+		r.mu.Lock()
+		r.tokens += n
+		r.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Class bundles the QoS parameters applied to one message path.
+type Class struct {
+	// BufferCapacity bounds the translation buffer (default 64).
+	BufferCapacity int
+	// Policy selects the overflow behavior (default Block).
+	Policy Policy
+	// RateBytesPerSec limits payload throughput; 0 = unlimited.
+	RateBytesPerSec float64
+	// RateMessagesPerSec limits message rate; 0 = unlimited.
+	RateMessagesPerSec float64
+}
+
+// DefaultClass is the class applied when none is specified.
+func DefaultClass() Class {
+	return Class{BufferCapacity: 64, Policy: Block}
+}
+
+// WithDefaults fills zero fields from DefaultClass.
+func (c Class) WithDefaults() Class {
+	d := DefaultClass()
+	if c.BufferCapacity <= 0 {
+		c.BufferCapacity = d.BufferCapacity
+	}
+	if c.Policy == 0 {
+		c.Policy = d.Policy
+	}
+	return c
+}

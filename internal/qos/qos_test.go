@@ -1,0 +1,316 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Block, DropOldest, DropNewest, LatestOnly} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+}
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer[int](4, Block)
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		if ok, err := b.Push(ctx, i); !ok || err != nil {
+			t.Fatalf("Push(%d) = %v, %v", i, ok, err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		v, err := b.Pop(ctx)
+		if err != nil || v != i {
+			t.Fatalf("Pop = %d, %v; want %d", v, err, i)
+		}
+	}
+}
+
+func TestBufferBlockBackpressure(t *testing.T) {
+	b := NewBuffer[int](1, Block)
+	ctx := context.Background()
+	b.Push(ctx, 1)
+
+	pushed := make(chan error, 1)
+	go func() {
+		_, err := b.Push(ctx, 2)
+		pushed <- err
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("Push did not block on full buffer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if v, _ := b.Pop(ctx); v != 1 {
+		t.Fatalf("Pop = %d", v)
+	}
+	if err := <-pushed; err != nil {
+		t.Fatalf("blocked Push err = %v", err)
+	}
+	if v, _ := b.Pop(ctx); v != 2 {
+		t.Fatalf("Pop = %d", v)
+	}
+}
+
+func TestBufferBlockPushCtxCancel(t *testing.T) {
+	b := NewBuffer[int](1, Block)
+	b.Push(context.Background(), 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.Push(ctx, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestBufferDropOldest(t *testing.T) {
+	b := NewBuffer[int](2, DropOldest)
+	ctx := context.Background()
+	b.Push(ctx, 1)
+	b.Push(ctx, 2)
+	b.Push(ctx, 3) // drops 1
+	v1, _ := b.Pop(ctx)
+	v2, _ := b.Pop(ctx)
+	if v1 != 2 || v2 != 3 {
+		t.Fatalf("got %d,%d; want 2,3", v1, v2)
+	}
+	if s := b.Stats(); s.Dropped != 1 || s.Enqueued != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBufferDropNewest(t *testing.T) {
+	b := NewBuffer[int](2, DropNewest)
+	ctx := context.Background()
+	b.Push(ctx, 1)
+	b.Push(ctx, 2)
+	if ok, err := b.Push(ctx, 3); ok || err != nil {
+		t.Fatalf("overflow Push = %v, %v; want dropped", ok, err)
+	}
+	v1, _ := b.Pop(ctx)
+	v2, _ := b.Pop(ctx)
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("got %d,%d; want 1,2", v1, v2)
+	}
+}
+
+func TestBufferLatestOnly(t *testing.T) {
+	b := NewBuffer[int](99, LatestOnly) // capacity forced to 1
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		b.Push(ctx, i)
+	}
+	v, err := b.Pop(ctx)
+	if err != nil || v != 5 {
+		t.Fatalf("Pop = %d, %v; want 5 (latest)", v, err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not drained")
+	}
+}
+
+func TestBufferPopBlocksUntilPush(t *testing.T) {
+	b := NewBuffer[string](4, Block)
+	got := make(chan string, 1)
+	go func() {
+		v, _ := b.Pop(context.Background())
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Push(context.Background(), "x")
+	select {
+	case v := <-got:
+		if v != "x" {
+			t.Fatalf("Pop = %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never returned")
+	}
+}
+
+func TestBufferPopCtxCancel(t *testing.T) {
+	b := NewBuffer[int](4, Block)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.Pop(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferClose(t *testing.T) {
+	b := NewBuffer[int](4, Block)
+	ctx := context.Background()
+	b.Push(ctx, 1)
+	b.Close()
+	if _, err := b.Push(ctx, 2); !errors.Is(err, ErrBufferClosed) {
+		t.Fatalf("Push after close err = %v", err)
+	}
+	// Remaining items drain via TryPop.
+	if v, ok := b.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = %d, %v", v, ok)
+	}
+	if _, err := b.Pop(ctx); !errors.Is(err, ErrBufferClosed) {
+		t.Fatalf("Pop after close+drain err = %v", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBufferCloseUnblocksWaiters(t *testing.T) {
+	// Blocked producer on a full buffer.
+	full := NewBuffer[int](1, Block)
+	full.Push(context.Background(), 1)
+	// Blocked consumer on an empty buffer.
+	empty := NewBuffer[int](1, Block)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := full.Push(context.Background(), 2); !errors.Is(err, ErrBufferClosed) {
+			t.Errorf("blocked Push err = %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := empty.Pop(context.Background()); !errors.Is(err, ErrBufferClosed) {
+			t.Errorf("blocked Pop err = %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	full.Close()
+	empty.Close()
+	wg.Wait()
+}
+
+func TestBufferStatsHighWater(t *testing.T) {
+	b := NewBuffer[int](8, Block)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		b.Push(ctx, i)
+	}
+	b.Pop(ctx)
+	if s := b.Stats(); s.HighWater != 5 || s.Depth != 4 || s.Dequeued != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestBufferConservationProperty: for any operation sequence, items are
+// conserved. The exact invariant depends on the policy: DropNewest
+// rejects at the door (never enqueued); DropOldest/LatestOnly drop
+// already-enqueued items; Block never drops.
+func TestBufferConservationProperty(t *testing.T) {
+	f := func(ops []bool, policyPick uint8) bool {
+		policies := []Policy{Block, DropOldest, DropNewest, LatestOnly}
+		policy := policies[int(policyPick)%len(policies)]
+		b := NewBuffer[int](3, policy)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		attempts := uint64(0)
+		for i, push := range ops {
+			if push {
+				if policy == Block && b.Len() == 3 {
+					continue // avoid blocking in the property loop
+				}
+				attempts++
+				b.Push(ctx, i)
+			} else {
+				b.TryPop()
+			}
+		}
+		s := b.Stats()
+		if s.Depth > 3 {
+			return false
+		}
+		switch policy {
+		case Block:
+			return s.Dropped == 0 && s.Enqueued == s.Dequeued+uint64(s.Depth)
+		case DropNewest:
+			return s.Enqueued+s.Dropped == attempts &&
+				s.Enqueued == s.Dequeued+uint64(s.Depth)
+		case DropOldest, LatestOnly:
+			return s.Enqueued == attempts &&
+				s.Enqueued == s.Dequeued+s.Dropped+uint64(s.Depth)
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLimiterAllow(t *testing.T) {
+	r := NewRateLimiter(1000, 10)
+	if !r.Allow(10) {
+		t.Fatal("initial burst not available")
+	}
+	if r.Allow(10) {
+		t.Fatal("tokens not consumed")
+	}
+	time.Sleep(20 * time.Millisecond) // ~20 tokens refill, capped at 10
+	if !r.Allow(10) {
+		t.Fatal("refill failed")
+	}
+}
+
+func TestRateLimiterWaitPaces(t *testing.T) {
+	// 10k tokens/sec, burst 100: Waiting for 600 tokens costs ~50ms.
+	r := NewRateLimiter(10_000, 100)
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		if err := r.Wait(context.Background(), 100); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond || elapsed > 300*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~50ms", elapsed)
+	}
+}
+
+func TestRateLimiterWaitCancel(t *testing.T) {
+	r := NewRateLimiter(1, 1)
+	r.Allow(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Wait(ctx, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRateLimiterUnlimited(t *testing.T) {
+	var r *RateLimiter
+	if !r.Unlimited() || !r.Allow(1e9) {
+		t.Fatal("nil limiter should be unlimited")
+	}
+	r2 := NewRateLimiter(0, 0)
+	if !r2.Unlimited() {
+		t.Fatal("zero-rate limiter should be unlimited")
+	}
+	if err := r2.Wait(context.Background(), 1e9); err != nil {
+		t.Fatalf("unlimited Wait err = %v", err)
+	}
+}
+
+func TestClassDefaults(t *testing.T) {
+	c := Class{}.WithDefaults()
+	if c.BufferCapacity != 64 || c.Policy != Block {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Class{BufferCapacity: 5, Policy: LatestOnly}.WithDefaults()
+	if c.BufferCapacity != 5 || c.Policy != LatestOnly {
+		t.Fatalf("overrides lost: %+v", c)
+	}
+}

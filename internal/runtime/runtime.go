@@ -1,0 +1,220 @@
+// Package runtime assembles a uMiddle runtime node: the directory and
+// transport modules, the USDL registry, and the set of platform mappers.
+// Multiple runtimes on a network form one intermediary semantic space
+// (paper Section 3.6): "these intermediary nodes communicate with one
+// another through the directory and transport modules in our framework
+// to form the common intermediary semantic space."
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+	"repro/internal/transport"
+	"repro/internal/usdl"
+)
+
+// Config configures a runtime node.
+type Config struct {
+	// Node is this runtime's name; it must be unique on the network and,
+	// when Host is set, equal to the host's name.
+	Node string
+	// Host is the emulated network endpoint; nil for a standalone
+	// single-node runtime.
+	Host *netemu.Host
+	// USDL is the service-description registry; nil selects the built-in
+	// documents.
+	USDL *usdl.Registry
+	// Directory tunes the directory module.
+	Directory directory.Options
+	// Transport tunes the transport module.
+	Transport transport.Options
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+// Runtime is one uMiddle node.
+type Runtime struct {
+	node string
+	host *netemu.Host
+	reg  *usdl.Registry
+	dir  *directory.Directory
+	mod  *transport.Module
+	log  *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	mappers []mapper.Mapper
+	started bool
+	closed  bool
+}
+
+var _ mapper.Importer = (*Runtime)(nil)
+
+// New creates a runtime node.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("runtime: empty node name")
+	}
+	if cfg.Host != nil && cfg.Host.Name() != cfg.Node {
+		return nil, fmt.Errorf("runtime: node %q does not match host %q", cfg.Node, cfg.Host.Name())
+	}
+	reg := cfg.USDL
+	if reg == nil {
+		var err error
+		reg, err = usdl.DefaultRegistry()
+		if err != nil {
+			return nil, err
+		}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Directory.Logger == nil {
+		cfg.Directory.Logger = logger
+	}
+	if cfg.Transport.Logger == nil {
+		cfg.Transport.Logger = logger
+	}
+	dir := directory.New(cfg.Node, cfg.Host, cfg.Directory)
+	mod := transport.New(cfg.Node, cfg.Host, dir, cfg.Transport)
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Runtime{
+		node:   cfg.Node,
+		host:   cfg.Host,
+		reg:    reg,
+		dir:    dir,
+		mod:    mod,
+		log:    logger,
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
+}
+
+// Start brings up the directory and transport modules.
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("runtime: closed")
+	}
+	if r.started {
+		return nil
+	}
+	if err := r.dir.Start(); err != nil {
+		return err
+	}
+	if err := r.mod.Start(); err != nil {
+		return err
+	}
+	r.started = true
+	return nil
+}
+
+// Close shuts down mappers, transport, and directory, in that order.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	mappers := r.mappers
+	r.mappers = nil
+	r.mu.Unlock()
+
+	r.cancel()
+	var firstErr error
+	for _, m := range mappers {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := r.mod.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := r.dir.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Node implements mapper.Importer.
+func (r *Runtime) Node() string { return r.node }
+
+// USDL implements mapper.Importer.
+func (r *Runtime) USDL() *usdl.Registry { return r.reg }
+
+// Host returns the runtime's network endpoint (nil when standalone).
+func (r *Runtime) Host() *netemu.Host { return r.host }
+
+// Directory returns the directory module.
+func (r *Runtime) Directory() *directory.Directory { return r.dir }
+
+// Transport returns the transport module.
+func (r *Runtime) Transport() *transport.Module { return r.mod }
+
+// ImportTranslator implements mapper.Importer: the translator is bound
+// to the transport sink and announced through the directory.
+func (r *Runtime) ImportTranslator(tr core.Translator) error {
+	tr.Bind(r.mod)
+	return r.dir.AddLocal(tr)
+}
+
+// RemoveTranslator implements mapper.Importer.
+func (r *Runtime) RemoveTranslator(id core.TranslatorID) error {
+	tr, err := r.dir.RemoveLocal(id)
+	if err != nil {
+		return err
+	}
+	return tr.Close()
+}
+
+// Register maps a native uMiddle service (a translator implemented
+// directly against uMiddle, with no native platform behind it).
+func (r *Runtime) Register(tr core.Translator) error {
+	return r.ImportTranslator(tr)
+}
+
+// AddMapper attaches a platform mapper and starts its discovery loop.
+func (r *Runtime) AddMapper(m mapper.Mapper) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: closed")
+	}
+	r.mappers = append(r.mappers, m)
+	r.mu.Unlock()
+	if err := m.Start(r.ctx, r); err != nil {
+		return fmt.Errorf("runtime: start %s mapper: %w", m.Platform(), err)
+	}
+	r.log.Info("runtime: mapper started", "platform", m.Platform())
+	return nil
+}
+
+// Lookup is a convenience passthrough to the directory (paper Figure 6).
+func (r *Runtime) Lookup(q core.Query) []core.Profile { return r.dir.Lookup(q) }
+
+// Connect is a convenience passthrough to the transport module (paper
+// Figure 7-(1)).
+func (r *Runtime) Connect(src, dst core.PortRef) (transport.PathID, error) {
+	return r.mod.Connect(src, dst)
+}
+
+// ConnectQuery is a convenience passthrough to the transport module
+// (paper Figure 7-(2)).
+func (r *Runtime) ConnectQuery(src core.PortRef, q core.Query) (transport.PathID, error) {
+	return r.mod.ConnectQuery(src, q)
+}
+
+// Disconnect tears down a path.
+func (r *Runtime) Disconnect(id transport.PathID) error { return r.mod.Disconnect(id) }

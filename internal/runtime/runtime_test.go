@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mapper"
+	"repro/internal/netemu"
+)
+
+func newStandalone(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := New(Config{Node: "h1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+func testService(node, name string) *core.Base {
+	return core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID(node, "umiddle", name),
+		Name:     name,
+		Platform: "umiddle",
+		Node:     node,
+		Shape: core.MustShape(
+			core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+		),
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty node accepted")
+	}
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	host := net.MustAddHost("other")
+	if _, err := New(Config{Node: "h1", Host: host}); err == nil {
+		t.Error("mismatched host name accepted")
+	}
+}
+
+func TestDefaultUSDLRegistry(t *testing.T) {
+	rt := newStandalone(t)
+	if rt.USDL().Len() == 0 {
+		t.Fatal("default USDL registry empty")
+	}
+	if _, ok := rt.USDL().Find("upnp", "urn:schemas-upnp-org:device:BinaryLight:1"); !ok {
+		t.Fatal("built-in documents missing")
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	rt := newStandalone(t)
+	svc := testService("h1", "svc")
+	if err := rt.Register(svc); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if got := rt.Lookup(core.Query{}); len(got) != 1 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if err := rt.RemoveTranslator(svc.ID()); err != nil {
+		t.Fatalf("RemoveTranslator: %v", err)
+	}
+	if !svc.Closed() {
+		t.Fatal("removal did not close the translator")
+	}
+	if got := rt.Lookup(core.Query{}); len(got) != 0 {
+		t.Fatalf("Lookup after removal = %v", got)
+	}
+}
+
+func TestConnectPassthrough(t *testing.T) {
+	rt := newStandalone(t)
+	src := testService("h1", "src")
+	dst := testService("h1", "dst")
+	rt.Register(src)
+	rt.Register(dst)
+	got := make(chan string, 4)
+	dst.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		got <- string(msg.Payload)
+		return nil
+	})
+	id, err := rt.Connect(
+		core.PortRef{Translator: src.ID(), Port: "out"},
+		core.PortRef{Translator: dst.ID(), Port: "in"},
+	)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src.Emit("out", core.TextMessage("ping"))
+	select {
+	case v := <-got:
+		if v != "ping" {
+			t.Fatalf("delivered %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("nothing delivered")
+	}
+	if err := rt.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+}
+
+// stubMapper records lifecycle calls.
+type stubMapper struct {
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	imp       mapper.Importer
+	failStart bool
+}
+
+func (s *stubMapper) Platform() string { return "stub" }
+
+func (s *stubMapper) Start(ctx context.Context, imp mapper.Importer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failStart {
+		return context.Canceled
+	}
+	s.started = true
+	s.imp = imp
+	return nil
+}
+
+func (s *stubMapper) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func TestMapperLifecycle(t *testing.T) {
+	rt := newStandalone(t)
+	m := &stubMapper{}
+	if err := rt.AddMapper(m); err != nil {
+		t.Fatalf("AddMapper: %v", err)
+	}
+	m.mu.Lock()
+	if !m.started || m.imp == nil {
+		t.Fatal("mapper not started with importer")
+	}
+	m.mu.Unlock()
+
+	// The importer mints IDs on this node and uses the shared USDL
+	// registry.
+	if m.imp.Node() != "h1" {
+		t.Fatalf("Node() = %q", m.imp.Node())
+	}
+	if m.imp.USDL() != rt.USDL() {
+		t.Fatal("importer USDL differs from runtime's")
+	}
+	svc := testService("h1", "from-mapper")
+	if err := m.imp.ImportTranslator(svc); err != nil {
+		t.Fatalf("ImportTranslator: %v", err)
+	}
+	if got := rt.Lookup(core.Query{NameContains: "from-mapper"}); len(got) != 1 {
+		t.Fatalf("Lookup = %v", got)
+	}
+
+	rt.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		t.Fatal("Close did not stop the mapper")
+	}
+}
+
+func TestAddMapperStartFailure(t *testing.T) {
+	rt := newStandalone(t)
+	m := &stubMapper{failStart: true}
+	if err := rt.AddMapper(m); err == nil || !strings.Contains(err.Error(), "stub") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosedRuntimeRejects(t *testing.T) {
+	rt, err := New(Config{Node: "h1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rt.Start()
+	rt.Close()
+	if err := rt.Start(); err == nil {
+		t.Error("Start after Close succeeded")
+	}
+	if err := rt.AddMapper(&stubMapper{}); err == nil {
+		t.Error("AddMapper after Close succeeded")
+	}
+	if err := rt.Close(); err != nil {
+		t.Errorf("second Close err = %v", err)
+	}
+}
+
+func TestTwoRuntimesShareSpace(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	mk := func(name string) *Runtime {
+		rt, err := New(Config{
+			Node:      name,
+			Host:      net.MustAddHost(name),
+			Directory: directory.Options{AnnounceInterval: 20 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := rt.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		t.Cleanup(func() { rt.Close() })
+		return rt
+	}
+	a, b := mk("a"), mk("b")
+	a.Register(testService("a", "svc-on-a"))
+	deadline := time.Now().Add(3 * time.Second)
+	for len(b.Lookup(core.Query{NameContains: "svc-on-a"})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("b never saw a's service")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,817 @@
+// Package transport implements uMiddle's transport module: it "serves to
+// allow communication among translators situated in different nodes"
+// (paper Section 3.2) and provides the dynamic device binding mechanism
+// of Section 3.5 — connections between translators established either by
+// specific port instance or by a template shape evaluated adaptively as
+// translators appear and disappear (paper Figure 7 APIs).
+//
+// Every message path owns a translation buffer with a QoS class (bounded
+// capacity, overflow policy, optional rate limits) — the QoS control the
+// paper's Section 5.3 calls for.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netemu"
+	"repro/internal/qos"
+)
+
+// DefaultPort is the inter-node transport port.
+const DefaultPort = 7788
+
+// Errors returned by the transport module.
+var (
+	// ErrPathNotFound is returned when disconnecting an unknown path.
+	ErrPathNotFound = errors.New("transport: path not found")
+	// ErrIncompatible is returned when connecting ports whose data types
+	// cannot interoperate.
+	ErrIncompatible = errors.New("transport: incompatible port types")
+	// ErrClosed is returned when using a closed module.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// PathID identifies a message path; the prefix before '#' names the node
+// hosting the path (always the node of the source translator).
+type PathID string
+
+// node returns the hosting node of the path.
+func (id PathID) node() string {
+	if i := strings.IndexByte(string(id), '#'); i >= 0 {
+		return string(id)[:i]
+	}
+	return ""
+}
+
+// PathStats reports per-path activity.
+type PathStats struct {
+	// Delivered counts messages successfully delivered to all current
+	// destinations.
+	Delivered uint64
+	// Bytes counts payload bytes delivered.
+	Bytes uint64
+	// Errors counts failed deliveries.
+	Errors uint64
+	// Buffer reports translation-buffer statistics.
+	Buffer qos.BufferStats
+	// Bound is the number of currently bound destinations.
+	Bound int
+}
+
+// PathInfo describes a path for inspection (Pads renders these).
+type PathInfo struct {
+	ID    PathID
+	Src   core.PortRef
+	Dst   *core.PortRef // static destination, nil for dynamic paths
+	Query *core.Query   // dynamic template, nil for static paths
+	Bound []core.PortRef
+	Class qos.Class
+	Stats PathStats
+}
+
+// path is one message path hosted by this node.
+type path struct {
+	id      PathID
+	src     core.PortRef
+	srcType core.DataType
+	static  *core.PortRef
+	query   *core.Query
+	class   qos.Class
+	buf     *qos.Buffer[core.Message]
+	bytesRL *qos.RateLimiter
+	msgRL   *qos.RateLimiter
+
+	mu    sync.Mutex
+	bound map[core.TranslatorID]core.PortRef
+	seq   uint64
+	stats PathStats
+}
+
+func (p *path) destinations() []core.PortRef {
+	if p.static != nil {
+		return []core.PortRef{*p.static}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]core.PortRef, 0, len(p.bound))
+	for _, ref := range p.bound {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// Options configures a Module.
+type Options struct {
+	// Port overrides DefaultPort.
+	Port int
+	// DeliverTimeout bounds one delivery attempt (default 10s).
+	DeliverTimeout time.Duration
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Port <= 0 {
+		o.Port = DefaultPort
+	}
+	if o.DeliverTimeout <= 0 {
+		o.DeliverTimeout = 10 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// peer is an established inter-node connection.
+type peer struct {
+	node string
+	fc   *frameConn
+}
+
+// Module is the transport module of one uMiddle runtime. It implements
+// core.Sink: the runtime binds every local translator's emissions to it.
+type Module struct {
+	node string
+	host *netemu.Host
+	dir  *directory.Directory
+	opts Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	listener *netemu.Listener
+	peers    map[string]*peer
+	paths    map[PathID]*path
+	bySrc    map[core.PortRef][]*path
+	pending  map[uint64]chan frame
+	nextPath uint64
+	nextReq  uint64
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ core.Sink = (*Module)(nil)
+
+// New creates a transport module. host may be nil for a standalone
+// single-node module (local paths only).
+func New(node string, host *netemu.Host, dir *directory.Directory, opts Options) *Module {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Module{
+		node:    node,
+		host:    host,
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+		peers:   make(map[string]*peer),
+		paths:   make(map[PathID]*path),
+		bySrc:   make(map[core.PortRef][]*path),
+		pending: make(map[uint64]chan frame),
+	}
+}
+
+// Node returns the owning runtime's node name.
+func (m *Module) Node() string { return m.node }
+
+// Start begins accepting inter-node connections and watching the
+// directory for dynamic-binding updates.
+func (m *Module) Start() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.started {
+		m.mu.Unlock()
+		return nil
+	}
+	m.started = true
+	m.mu.Unlock()
+
+	m.dir.AddListener(directory.ListenerFuncs{
+		Mapped:   m.onMapped,
+		Unmapped: m.onUnmapped,
+	})
+
+	if m.host == nil {
+		return nil
+	}
+	l, err := m.host.Listen(m.opts.Port)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	m.mu.Lock()
+	m.listener = l
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.acceptLoop(l)
+	}()
+	return nil
+}
+
+// Close shuts the module down: paths, peers, listener.
+func (m *Module) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	listener := m.listener
+	peers := m.peers
+	m.peers = make(map[string]*peer)
+	paths := m.paths
+	m.paths = make(map[PathID]*path)
+	m.bySrc = make(map[core.PortRef][]*path)
+	m.mu.Unlock()
+
+	m.cancel()
+	if listener != nil {
+		listener.Close()
+	}
+	for _, p := range peers {
+		p.fc.close()
+	}
+	for _, p := range paths {
+		p.buf.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Module) acceptLoop(l *netemu.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		fc := newFrameConn(conn)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.readLoop(fc)
+		}()
+	}
+}
+
+// readLoop processes inbound frames from one connection until error.
+func (m *Module) readLoop(fc *frameConn) {
+	defer fc.close()
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return
+		}
+		m.handleFrame(fc, f)
+	}
+}
+
+func (m *Module) handleFrame(fc *frameConn, f frame) {
+	switch f.header.Type {
+	case frameHello:
+		m.registerPeer(f.header.From, fc)
+	case frameDeliver:
+		m.deliverLocal(f.header.Dst, f.message())
+	case frameConnect:
+		id, err := m.installFromFrame(f)
+		m.reply(fc, f, id, err)
+	case frameDisconnect:
+		err := m.removeLocalPath(f.header.PathID)
+		m.reply(fc, f, f.header.PathID, err)
+	case frameAck, frameError:
+		m.mu.Lock()
+		ch := m.pending[f.header.ID]
+		delete(m.pending, f.header.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	default:
+		m.opts.Logger.Warn("transport: unknown frame", "type", f.header.Type)
+	}
+}
+
+func (m *Module) reply(fc *frameConn, req frame, id PathID, err error) {
+	h := frameHeader{From: m.node, ID: req.header.ID, PathID: id}
+	if err != nil {
+		h.Type = frameError
+		h.Err = err.Error()
+	} else {
+		h.Type = frameAck
+	}
+	if werr := fc.write(frame{header: h}); werr != nil {
+		m.opts.Logger.Warn("transport: reply failed", "err", werr)
+	}
+}
+
+func (m *Module) registerPeer(node string, fc *frameConn) {
+	if node == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.peers[node]; !ok {
+		m.peers[node] = &peer{node: node, fc: fc}
+	}
+}
+
+// peerFor returns an established connection to a node, dialing if
+// necessary.
+func (m *Module) peerFor(node string) (*peer, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p, ok := m.peers[node]; ok {
+		m.mu.Unlock()
+		return p, nil
+	}
+	m.mu.Unlock()
+	if m.host == nil {
+		return nil, fmt.Errorf("transport: no network; cannot reach node %q", node)
+	}
+
+	ctx, cancel := context.WithTimeout(m.ctx, 5*time.Second)
+	defer cancel()
+	conn, err := m.host.Dial(ctx, node+":"+strconv.Itoa(m.opts.Port))
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q: %w", node, err)
+	}
+	fc := newFrameConn(conn)
+	if err := fc.write(frame{header: frameHeader{Type: frameHello, From: m.node}}); err != nil {
+		fc.close()
+		return nil, fmt.Errorf("transport: hello to %q: %w", node, err)
+	}
+
+	m.mu.Lock()
+	if existing, ok := m.peers[node]; ok {
+		m.mu.Unlock()
+		fc.close()
+		return existing, nil
+	}
+	p := &peer{node: node, fc: fc}
+	m.peers[node] = p
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.readLoop(fc)
+		m.mu.Lock()
+		if cur, ok := m.peers[node]; ok && cur == p {
+			delete(m.peers, node)
+		}
+		m.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// request sends a frame to a node and waits for its ack/error.
+func (m *Module) request(node string, f frame) (frame, error) {
+	p, err := m.peerFor(node)
+	if err != nil {
+		return frame{}, err
+	}
+	m.mu.Lock()
+	m.nextReq++
+	id := m.nextReq
+	ch := make(chan frame, 1)
+	m.pending[id] = ch
+	m.mu.Unlock()
+	f.header.ID = id
+	f.header.From = m.node
+
+	if err := p.fc.write(f); err != nil {
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		m.dropPeer(node, p)
+		return frame{}, fmt.Errorf("transport: send to %q: %w", node, err)
+	}
+	t := time.NewTimer(m.opts.DeliverTimeout)
+	defer t.Stop()
+	select {
+	case resp := <-ch:
+		if resp.header.Type == frameError {
+			return resp, errors.New(resp.header.Err)
+		}
+		return resp, nil
+	case <-t.C:
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		return frame{}, fmt.Errorf("transport: request to %q timed out", node)
+	case <-m.ctx.Done():
+		return frame{}, ErrClosed
+	}
+}
+
+// Connect establishes a communication path between a specific output
+// port and a specific input port — the paper's Figure 7-(1) API.
+func (m *Module) Connect(src, dst core.PortRef) (PathID, error) {
+	return m.ConnectClass(src, dst, qos.Class{})
+}
+
+// ConnectClass is Connect with an explicit QoS class.
+func (m *Module) ConnectClass(src, dst core.PortRef, class qos.Class) (PathID, error) {
+	srcProfile, err := m.dir.Resolve(src.Translator)
+	if err != nil {
+		return "", err
+	}
+	if srcProfile.Node != m.node {
+		resp, err := m.request(srcProfile.Node, frame{header: frameHeader{
+			Type: frameConnect, Src: src, Dst: dst, Class: &class,
+		}})
+		if err != nil {
+			return "", err
+		}
+		return resp.header.PathID, nil
+	}
+	return m.installStatic(src, dst, class)
+}
+
+// ConnectQuery establishes a dynamic message path between a specific
+// port and the ports matching a query — the paper's Figure 7-(2) API.
+// As matching translators appear in the network they are bound to the
+// path; as they disappear they are unbound.
+func (m *Module) ConnectQuery(src core.PortRef, q core.Query) (PathID, error) {
+	return m.ConnectQueryClass(src, q, qos.Class{})
+}
+
+// ConnectQueryClass is ConnectQuery with an explicit QoS class.
+func (m *Module) ConnectQueryClass(src core.PortRef, q core.Query, class qos.Class) (PathID, error) {
+	srcProfile, err := m.dir.Resolve(src.Translator)
+	if err != nil {
+		return "", err
+	}
+	if srcProfile.Node != m.node {
+		resp, err := m.request(srcProfile.Node, frame{header: frameHeader{
+			Type: frameConnect, Src: src, Query: &q, Class: &class,
+		}})
+		if err != nil {
+			return "", err
+		}
+		return resp.header.PathID, nil
+	}
+	return m.installDynamic(src, q, class)
+}
+
+// installFromFrame handles a forwarded connect request.
+func (m *Module) installFromFrame(f frame) (PathID, error) {
+	class := qos.Class{}
+	if f.header.Class != nil {
+		class = *f.header.Class
+	}
+	if f.header.Query != nil {
+		return m.installDynamic(f.header.Src, *f.header.Query, class)
+	}
+	return m.installStatic(f.header.Src, f.header.Dst, class)
+}
+
+// validateSrc checks that src is a digital output port of a local
+// translator and returns its data type.
+func (m *Module) validateSrc(src core.PortRef) (core.DataType, error) {
+	profile, err := m.dir.Resolve(src.Translator)
+	if err != nil {
+		return "", err
+	}
+	if profile.Node != m.node {
+		return "", fmt.Errorf("transport: source %s not hosted on %s", src, m.node)
+	}
+	port, ok := profile.Shape.Port(src.Port)
+	if !ok {
+		return "", fmt.Errorf("%w: %q on %s", core.ErrNoSuchPort, src.Port, src.Translator)
+	}
+	if port.Direction != core.Output || port.Kind != core.Digital {
+		return "", fmt.Errorf("transport: source %s is not a digital output port", src)
+	}
+	return port.Type, nil
+}
+
+func (m *Module) installStatic(src, dst core.PortRef, class qos.Class) (PathID, error) {
+	srcType, err := m.validateSrc(src)
+	if err != nil {
+		return "", err
+	}
+	dstProfile, err := m.dir.Resolve(dst.Translator)
+	if err != nil {
+		return "", err
+	}
+	dstPort, ok := dstProfile.Shape.Port(dst.Port)
+	if !ok {
+		return "", fmt.Errorf("%w: %q on %s", core.ErrNoSuchPort, dst.Port, dst.Translator)
+	}
+	if dstPort.Direction != core.Input || dstPort.Kind != core.Digital {
+		return "", fmt.Errorf("transport: destination %s is not a digital input port", dst)
+	}
+	if !core.Compatible(srcType, dstPort.Type) {
+		return "", fmt.Errorf("%w: %s -> %s", ErrIncompatible, srcType, dstPort.Type)
+	}
+	return m.addPath(&path{src: src, srcType: srcType, static: &dst, class: class.WithDefaults()})
+}
+
+func (m *Module) installDynamic(src core.PortRef, q core.Query, class qos.Class) (PathID, error) {
+	srcType, err := m.validateSrc(src)
+	if err != nil {
+		return "", err
+	}
+	if q.ExcludeID == "" {
+		q.ExcludeID = src.Translator
+	}
+	p := &path{
+		src:     src,
+		srcType: srcType,
+		query:   &q,
+		class:   class.WithDefaults(),
+		bound:   make(map[core.TranslatorID]core.PortRef),
+	}
+	// Evaluate against translators already present.
+	for _, candidate := range m.dir.Lookup(q) {
+		p.tryBind(candidate, srcType)
+	}
+	return m.addPath(p)
+}
+
+// tryBind binds the path to a matching input port of the candidate, if
+// any — "bound to the port owned by the target translator, whose data
+// type is equivalent to the source port" (paper Section 3.5).
+func (p *path) tryBind(candidate core.Profile, srcType core.DataType) {
+	for _, port := range candidate.Shape.Inputs(core.Digital) {
+		if core.Compatible(srcType, port.Type) {
+			p.mu.Lock()
+			p.bound[candidate.ID] = core.PortRef{Translator: candidate.ID, Port: port.Name}
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (m *Module) addPath(p *path) (PathID, error) {
+	cls := p.class
+	p.buf = qos.NewBuffer[core.Message](cls.BufferCapacity, cls.Policy)
+	if cls.RateBytesPerSec > 0 {
+		p.bytesRL = qos.NewRateLimiter(cls.RateBytesPerSec, cls.RateBytesPerSec)
+	}
+	if cls.RateMessagesPerSec > 0 {
+		p.msgRL = qos.NewRateLimiter(cls.RateMessagesPerSec, cls.RateMessagesPerSec)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	m.nextPath++
+	p.id = PathID(m.node + "#" + strconv.FormatUint(m.nextPath, 10))
+	m.paths[p.id] = p
+	m.bySrc[p.src] = append(m.bySrc[p.src], p)
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.pathWorker(p)
+	}()
+	return p.id, nil
+}
+
+// Disconnect tears down a path, local or remote.
+func (m *Module) Disconnect(id PathID) error {
+	owner := id.node()
+	if owner != "" && owner != m.node {
+		_, err := m.request(owner, frame{header: frameHeader{Type: frameDisconnect, PathID: id}})
+		return err
+	}
+	return m.removeLocalPath(id)
+}
+
+func (m *Module) removeLocalPath(id PathID) error {
+	m.mu.Lock()
+	p, ok := m.paths[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPathNotFound, id)
+	}
+	delete(m.paths, id)
+	list := m.bySrc[p.src]
+	for i, cand := range list {
+		if cand == p {
+			m.bySrc[p.src] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(m.bySrc[p.src]) == 0 {
+		delete(m.bySrc, p.src)
+	}
+	m.mu.Unlock()
+	p.buf.Close()
+	return nil
+}
+
+// Emit implements core.Sink: translator emissions enter the translation
+// buffers of every path rooted at the emitting port.
+func (m *Module) Emit(src core.PortRef, msg core.Message) {
+	m.mu.Lock()
+	paths := append([]*path(nil), m.bySrc[src]...)
+	m.mu.Unlock()
+	for _, p := range paths {
+		out := msg.Clone()
+		out.Source = src
+		if out.Time.IsZero() {
+			out.Time = time.Now()
+		}
+		p.mu.Lock()
+		p.seq++
+		out.Seq = p.seq
+		p.mu.Unlock()
+		if _, err := p.buf.Push(m.ctx, out); err != nil {
+			m.opts.Logger.Warn("transport: emit dropped", "path", p.id, "err", err)
+		}
+	}
+}
+
+// pathWorker drains one path's translation buffer, applying QoS and
+// delivering to all bound destinations.
+func (m *Module) pathWorker(p *path) {
+	for {
+		msg, err := p.buf.Pop(m.ctx)
+		if err != nil {
+			return
+		}
+		if p.msgRL != nil {
+			if err := p.msgRL.Wait(m.ctx, 1); err != nil {
+				return
+			}
+		}
+		if p.bytesRL != nil {
+			if err := p.bytesRL.Wait(m.ctx, float64(len(msg.Payload))); err != nil {
+				return
+			}
+		}
+		for _, dst := range p.destinations() {
+			if err := m.deliver(dst, msg); err != nil {
+				p.mu.Lock()
+				p.stats.Errors++
+				p.mu.Unlock()
+				m.opts.Logger.Warn("transport: deliver failed", "path", p.id, "dst", dst, "err", err)
+				continue
+			}
+			p.mu.Lock()
+			p.stats.Delivered++
+			p.stats.Bytes += uint64(len(msg.Payload))
+			p.mu.Unlock()
+		}
+	}
+}
+
+// deliver routes one message to a destination port, locally or across
+// the network.
+func (m *Module) deliver(dst core.PortRef, msg core.Message) error {
+	node := dst.Translator.Node()
+	if node == "" {
+		if profile, err := m.dir.Resolve(dst.Translator); err == nil {
+			node = profile.Node
+		} else {
+			return err
+		}
+	}
+	if node == m.node {
+		return m.deliverLocalErr(dst, msg)
+	}
+	p, err := m.peerFor(node)
+	if err != nil {
+		return err
+	}
+	if err := p.fc.write(deliverFrame(m.node, dst, msg)); err != nil {
+		// A failed write may have left a partial frame on the stream,
+		// desynchronizing the peer; discard the connection so the next
+		// delivery redials cleanly.
+		m.dropPeer(node, p)
+		return err
+	}
+	return nil
+}
+
+// dropPeer discards a (possibly corrupted) peer connection if it is
+// still the current one for the node.
+func (m *Module) dropPeer(node string, p *peer) {
+	m.mu.Lock()
+	if cur, ok := m.peers[node]; ok && cur == p {
+		delete(m.peers, node)
+	}
+	m.mu.Unlock()
+	p.fc.close()
+}
+
+func (m *Module) deliverLocal(dst core.PortRef, msg core.Message) {
+	if err := m.deliverLocalErr(dst, msg); err != nil {
+		m.opts.Logger.Warn("transport: local deliver failed", "dst", dst, "err", err)
+	}
+}
+
+func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) error {
+	tr, ok := m.dir.Local(dst.Translator)
+	if !ok {
+		return fmt.Errorf("%w: %q", directory.ErrNotFound, dst.Translator)
+	}
+	ctx, cancel := context.WithTimeout(m.ctx, m.opts.DeliverTimeout)
+	defer cancel()
+	return tr.Deliver(ctx, dst.Port, msg)
+}
+
+// onMapped re-evaluates dynamic paths when a translator appears.
+func (m *Module) onMapped(p core.Profile) {
+	m.mu.Lock()
+	paths := make([]*path, 0, len(m.paths))
+	for _, pt := range m.paths {
+		if pt.query != nil {
+			paths = append(paths, pt)
+		}
+	}
+	m.mu.Unlock()
+	for _, pt := range paths {
+		if pt.query.Matches(p) {
+			pt.tryBind(p, pt.srcType)
+		}
+	}
+}
+
+// onUnmapped unbinds a disappeared translator from dynamic paths.
+func (m *Module) onUnmapped(id core.TranslatorID) {
+	m.mu.Lock()
+	paths := make([]*path, 0, len(m.paths))
+	for _, pt := range m.paths {
+		if pt.query != nil {
+			paths = append(paths, pt)
+		}
+	}
+	m.mu.Unlock()
+	for _, pt := range paths {
+		pt.mu.Lock()
+		delete(pt.bound, id)
+		pt.mu.Unlock()
+	}
+}
+
+// PathStats returns statistics for one path.
+func (m *Module) PathStats(id PathID) (PathStats, bool) {
+	m.mu.Lock()
+	p, ok := m.paths[id]
+	m.mu.Unlock()
+	if !ok {
+		return PathStats{}, false
+	}
+	return p.snapshotStats(), true
+}
+
+func (p *path) snapshotStats() PathStats {
+	p.mu.Lock()
+	s := p.stats
+	s.Bound = len(p.bound)
+	if p.static != nil {
+		s.Bound = 1
+	}
+	p.mu.Unlock()
+	s.Buffer = p.buf.Stats()
+	return s
+}
+
+// Paths lists every path hosted by this node.
+func (m *Module) Paths() []PathInfo {
+	m.mu.Lock()
+	paths := make([]*path, 0, len(m.paths))
+	for _, p := range m.paths {
+		paths = append(paths, p)
+	}
+	m.mu.Unlock()
+
+	out := make([]PathInfo, 0, len(paths))
+	for _, p := range paths {
+		info := PathInfo{
+			ID:    p.id,
+			Src:   p.src,
+			Dst:   p.static,
+			Query: p.query,
+			Bound: p.destinations(),
+			Class: p.class,
+			Stats: p.snapshotStats(),
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+)
+
+// maxFrameSize bounds a single frame (header + payload) to keep a
+// misbehaving peer from exhausting memory.
+const maxFrameSize = 16 << 20
+
+// Frame types of the inter-node protocol.
+const (
+	frameHello      = "hello"
+	frameDeliver    = "deliver"
+	frameConnect    = "connect"
+	frameDisconnect = "disconnect"
+	frameAck        = "ack"
+	frameError      = "error"
+)
+
+// frameHeader is the JSON-encoded portion of a wire frame. The payload
+// travels as raw bytes after the header so bulk media is not inflated by
+// JSON encoding.
+type frameHeader struct {
+	Type string `json:"type"`
+	// From names the sending node; used to register accepted
+	// connections.
+	From string `json:"from"`
+	// ID correlates a request with its ack/error.
+	ID uint64 `json:"id,omitempty"`
+
+	// Deliver fields.
+	Dst     core.PortRef      `json:"dst,omitempty"`
+	Src     core.PortRef      `json:"src,omitempty"`
+	MsgType core.DataType     `json:"msgType,omitempty"`
+	Headers map[string]string `json:"headers,omitempty"`
+	Seq     uint64            `json:"seq,omitempty"`
+	Sent    time.Time         `json:"sent,omitempty"`
+
+	// Connect fields.
+	Query *core.Query `json:"query,omitempty"`
+	Class *qos.Class  `json:"class,omitempty"`
+
+	// Ack/err fields.
+	PathID PathID `json:"pathId,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// frame pairs a header with its raw payload.
+type frame struct {
+	header  frameHeader
+	payload []byte
+}
+
+// frameConn wraps a net.Conn with framed, write-locked frame I/O.
+type frameConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func newFrameConn(conn net.Conn) *frameConn {
+	return &frameConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// write sends one frame: [4B header len][header JSON][4B payload len][payload].
+func (fc *frameConn) write(f frame) error {
+	hdr, err := json.Marshal(f.header)
+	if err != nil {
+		return fmt.Errorf("transport: marshal frame: %w", err)
+	}
+	if len(hdr)+len(f.payload) > maxFrameSize {
+		return fmt.Errorf("transport: frame exceeds %d bytes", maxFrameSize)
+	}
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	if _, err := fc.w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := fc.w.Write(hdr); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.payload)))
+	if _, err := fc.w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := fc.w.Write(f.payload); err != nil {
+		return err
+	}
+	return fc.w.Flush()
+}
+
+// read receives one frame.
+func (fc *frameConn) read() (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(fc.r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	hdrLen := binary.BigEndian.Uint32(lenBuf[:])
+	if hdrLen > maxFrameSize {
+		return frame{}, fmt.Errorf("transport: oversized header (%d bytes)", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(fc.r, hdr); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(hdr, &f.header); err != nil {
+		return frame{}, fmt.Errorf("transport: bad frame header: %w", err)
+	}
+	if _, err := io.ReadFull(fc.r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	payloadLen := binary.BigEndian.Uint32(lenBuf[:])
+	if payloadLen > maxFrameSize {
+		return frame{}, fmt.Errorf("transport: oversized payload (%d bytes)", payloadLen)
+	}
+	if payloadLen > 0 {
+		f.payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(fc.r, f.payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+func (fc *frameConn) close() error { return fc.conn.Close() }
+
+// deliverFrame builds a deliver frame from a message.
+func deliverFrame(from string, dst core.PortRef, msg core.Message) frame {
+	return frame{
+		header: frameHeader{
+			Type:    frameDeliver,
+			From:    from,
+			Dst:     dst,
+			Src:     msg.Source,
+			MsgType: msg.Type,
+			Headers: msg.Headers,
+			Seq:     msg.Seq,
+			Sent:    msg.Time,
+		},
+		payload: msg.Payload,
+	}
+}
+
+// message reconstructs a core.Message from a deliver frame.
+func (f frame) message() core.Message {
+	return core.Message{
+		Type:    f.header.MsgType,
+		Payload: f.payload,
+		Headers: f.header.Headers,
+		Source:  f.header.Src,
+		Seq:     f.header.Seq,
+		Time:    f.header.Sent,
+	}
+}

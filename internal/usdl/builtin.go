@@ -1,0 +1,277 @@
+package usdl
+
+// Built-in USDL documents for the devices used in the paper: the UPnP
+// clock, binary light, air conditioner and MediaRenderer; the Bluetooth
+// BIP camera and HID mouse; the RMI echo service; MediaBroker streams;
+// Berkeley motes; and generic web services.
+//
+// The UPnP clock deliberately declares fourteen ports — the paper's
+// Section 5.1 attributes the clock's slow mapping time to its fourteen
+// ports plus two service/device hierarchy entities, and the Figure 10
+// benchmark depends on this complexity difference.
+
+// UPnPLightUSDL describes the UPnP BinaryLight, including the paper's
+// own example: "the SetPower action is specified to switch on a light
+// when it gets 1 as a parameter ... two digital input ports; one is to
+// switch on passing 1 to the native UPnP light, and the other is to
+// switch off passing 0".
+const UPnPLightUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="UPnP Binary Light" platform="upnp">
+    <match deviceType="urn:schemas-upnp-org:device:BinaryLight:1"/>
+    <description>Switchable light bridged from UPnP.</description>
+    <port name="power-on" kind="digital" direction="input" type="control/power">
+      <bind action="SetPower"><arg name="Power" value="1"/></bind>
+    </port>
+    <port name="power-off" kind="digital" direction="input" type="control/power">
+      <bind action="SetPower"><arg name="Power" value="0"/></bind>
+    </port>
+    <port name="status-out" kind="digital" direction="output" type="text/event"/>
+    <port name="light" kind="physical" direction="output" type="visible/light"/>
+    <event native="PowerChanged" port="status-out" type="text/event"/>
+  </service>
+</usdl>`
+
+// UPnPClockUSDL describes the UPnP clock with fourteen ports.
+const UPnPClockUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="UPnP Clock" platform="upnp">
+    <match deviceType="urn:schemas-upnp-org:device:Clock:1"/>
+    <description>Wall clock bridged from UPnP; fourteen ports as in the paper's benchmark.</description>
+    <port name="get-time" kind="digital" direction="input" type="control/query">
+      <bind action="GetTime" result="time-out"/>
+    </port>
+    <port name="set-time" kind="digital" direction="input" type="text/time">
+      <bind action="SetTime"><arg name="Time" from="payload"/></bind>
+    </port>
+    <port name="time-out" kind="digital" direction="output" type="text/time"/>
+    <port name="get-date" kind="digital" direction="input" type="control/query">
+      <bind action="GetDate" result="date-out"/>
+    </port>
+    <port name="set-date" kind="digital" direction="input" type="text/date">
+      <bind action="SetDate"><arg name="Date" from="payload"/></bind>
+    </port>
+    <port name="date-out" kind="digital" direction="output" type="text/date"/>
+    <port name="get-timezone" kind="digital" direction="input" type="control/query">
+      <bind action="GetTimeZone" result="timezone-out"/>
+    </port>
+    <port name="set-timezone" kind="digital" direction="input" type="text/timezone">
+      <bind action="SetTimeZone"><arg name="TimeZone" from="payload"/></bind>
+    </port>
+    <port name="timezone-out" kind="digital" direction="output" type="text/timezone"/>
+    <port name="set-alarm" kind="digital" direction="input" type="text/time">
+      <bind action="SetAlarm"><arg name="Time" from="payload"/></bind>
+    </port>
+    <port name="alarm-out" kind="digital" direction="output" type="text/event"/>
+    <port name="tick-out" kind="digital" direction="output" type="text/event"/>
+    <port name="face" kind="physical" direction="output" type="visible/screen"/>
+    <port name="chime" kind="physical" direction="output" type="audible/air"/>
+    <event native="TimeChanged" port="tick-out"/>
+    <event native="AlarmChanged" port="alarm-out"/>
+  </service>
+</usdl>`
+
+// UPnPAirConUSDL describes the UPnP air conditioner.
+const UPnPAirConUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="UPnP Air Conditioner" platform="upnp">
+    <match deviceType="urn:schemas-upnp-org:device:AirConditioner:1"/>
+    <port name="set-temp" kind="digital" direction="input" type="text/temperature">
+      <bind action="SetTemperature"><arg name="Temperature" from="payload"/></bind>
+    </port>
+    <port name="get-temp" kind="digital" direction="input" type="control/query">
+      <bind action="GetTemperature" result="temp-out"/>
+    </port>
+    <port name="temp-out" kind="digital" direction="output" type="text/temperature"/>
+    <port name="set-mode" kind="digital" direction="input" type="text/mode">
+      <bind action="SetMode"><arg name="Mode" from="payload"/></bind>
+    </port>
+    <port name="air" kind="physical" direction="output" type="tangible/air"/>
+  </service>
+</usdl>`
+
+// UPnPMediaRendererUSDL describes the UPnP MediaRenderer TV of the
+// paper's running example.
+const UPnPMediaRendererUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="UPnP MediaRenderer" platform="upnp">
+    <match deviceType="urn:schemas-upnp-org:device:MediaRenderer:1"/>
+    <description>Networked TV; renders images and audio.</description>
+    <port name="image-in" kind="digital" direction="input" type="image/jpeg">
+      <bind action="RenderImage"><arg name="Data" from="payload"/></bind>
+    </port>
+    <port name="audio-in" kind="digital" direction="input" type="audio/mpeg">
+      <bind action="RenderAudio"><arg name="Data" from="payload"/></bind>
+    </port>
+    <port name="uri-in" kind="digital" direction="input" type="text/uri">
+      <bind action="SetAVTransportURI"><arg name="CurrentURI" from="payload"/></bind>
+    </port>
+    <port name="transport-in" kind="digital" direction="input" type="control/avtransport">
+      <bind action="Play"><arg name="Speed" value="1"/></bind>
+    </port>
+    <port name="status-out" kind="digital" direction="output" type="text/event"/>
+    <port name="screen" kind="physical" direction="output" type="visible/screen"/>
+    <port name="speaker" kind="physical" direction="output" type="audible/air"/>
+    <event native="TransportStateChanged" port="status-out"/>
+  </service>
+</usdl>`
+
+// UPnPPrinterUSDL describes the paper's Section 3.3 example device: a
+// printer with a PostScript digital input and a visible/paper physical
+// output, so "if the user wants to print it, the application specifies
+// visible/paper".
+const UPnPPrinterUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="UPnP Printer" platform="upnp">
+    <match deviceType="urn:schemas-upnp-org:device:Printer:1"/>
+    <port name="doc-in" kind="digital" direction="input" type="text/ps">
+      <bind action="Print"><arg name="Document" from="payload"/></bind>
+    </port>
+    <port name="image-in" kind="digital" direction="input" type="image/jpeg">
+      <bind action="Print"><arg name="Document" from="payload"/></bind>
+    </port>
+    <port name="status-out" kind="digital" direction="output" type="text/event"/>
+    <port name="paper" kind="physical" direction="output" type="visible/paper"/>
+    <event native="JobNameChanged" port="status-out"/>
+  </service>
+</usdl>`
+
+// BluetoothBIPCameraUSDL describes a Basic Imaging Profile camera. The
+// paper notes any BIP device defines image transmission capability but
+// its role (camera vs printer) is determined at runtime by different
+// USDL documents — hence separate camera and printer descriptions below.
+const BluetoothBIPCameraUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="Bluetooth BIP Camera" platform="bluetooth">
+    <match profile="BIP-Camera"/>
+    <description>Digital still camera; pushes and serves JPEG images over OBEX.</description>
+    <port name="capture" kind="digital" direction="input" type="control/trigger">
+      <bind action="GetImage" result="image-out"/>
+    </port>
+    <port name="image-out" kind="digital" direction="output" type="image/jpeg"/>
+    <port name="viewfinder" kind="physical" direction="input" type="visible/scene"/>
+    <event native="ImagePushed" port="image-out" type="image/jpeg"/>
+  </service>
+</usdl>`
+
+// BluetoothBIPPrinterUSDL describes a BIP photo printer: the same
+// profile as the camera parameterized for a different role.
+const BluetoothBIPPrinterUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="Bluetooth BIP Printer" platform="bluetooth">
+    <match profile="BIP-Printer"/>
+    <port name="image-in" kind="digital" direction="input" type="image/jpeg">
+      <bind action="PutImage"><arg name="Name" value="print.jpg"/></bind>
+    </port>
+    <port name="paper" kind="physical" direction="output" type="visible/paper"/>
+  </service>
+</usdl>`
+
+// BluetoothHIDMouseUSDL describes a HID mouse; per the paper's Section
+// 5.2 benchmark, mouse signals are translated to Vector Markup Language
+// documents in the common representation.
+const BluetoothHIDMouseUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="Bluetooth HID Mouse" platform="bluetooth">
+    <match profile="HID-Mouse"/>
+    <port name="click-out" kind="digital" direction="output" type="text/vml"/>
+    <port name="motion-out" kind="digital" direction="output" type="text/vml"/>
+    <port name="button" kind="physical" direction="input" type="tangible/button"/>
+    <event native="Click" port="click-out" type="text/vml"/>
+    <event native="Motion" port="motion-out" type="text/vml"/>
+  </service>
+</usdl>`
+
+// RMIEchoUSDL describes the Java-RMI-analogue echo service used by the
+// paper's transport benchmark (Section 5.3).
+const RMIEchoUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="RMI Echo Service" platform="rmi">
+    <match interface="EchoService"/>
+    <port name="echo-in" kind="digital" direction="input" type="application/octet-stream">
+      <bind action="echo" result="echo-out"/>
+    </port>
+    <port name="echo-out" kind="digital" direction="output" type="application/octet-stream"/>
+  </service>
+</usdl>`
+
+// MediaBrokerStreamUSDL describes a MediaBroker media stream endpoint.
+const MediaBrokerStreamUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="MediaBroker Stream" platform="mediabroker">
+    <match kind="stream"/>
+    <port name="media-in" kind="digital" direction="input" type="application/octet-stream">
+      <bind action="publish"/>
+    </port>
+    <port name="media-out" kind="digital" direction="output" type="application/octet-stream"/>
+    <event native="Frame" port="media-out"/>
+  </service>
+</usdl>`
+
+// MoteSensorUSDL describes a Berkeley mote exposing light and
+// temperature sensors.
+const MoteSensorUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="Berkeley Mote" platform="motes">
+    <match kind="sensor-mote"/>
+    <port name="light-out" kind="digital" direction="output" type="text/sensor-reading"/>
+    <port name="temp-out" kind="digital" direction="output" type="text/sensor-reading"/>
+    <port name="photodiode" kind="physical" direction="input" type="visible/light"/>
+    <port name="thermistor" kind="physical" direction="input" type="tangible/air"/>
+    <event native="Light" port="light-out"/>
+    <event native="Temperature" port="temp-out"/>
+  </service>
+</usdl>`
+
+// WebServiceUSDL describes a generic XML web service endpoint.
+const WebServiceUSDL = `<?xml version="1.0"?>
+<usdl version="1.0">
+  <service name="XML Web Service" platform="webservice">
+    <match interface="xml-rpc"/>
+    <port name="request-in" kind="digital" direction="input" type="application/xml">
+      <bind action="invoke" result="response-out"><arg name="Body" from="payload"/></bind>
+    </port>
+    <port name="response-out" kind="digital" direction="output" type="application/xml"/>
+  </service>
+</usdl>`
+
+// BuiltinDocuments lists every built-in USDL document.
+func BuiltinDocuments() []string {
+	return []string{
+		UPnPLightUSDL,
+		UPnPClockUSDL,
+		UPnPAirConUSDL,
+		UPnPMediaRendererUSDL,
+		UPnPPrinterUSDL,
+		BluetoothBIPCameraUSDL,
+		BluetoothBIPPrinterUSDL,
+		BluetoothHIDMouseUSDL,
+		RMIEchoUSDL,
+		MediaBrokerStreamUSDL,
+		MoteSensorUSDL,
+		WebServiceUSDL,
+	}
+}
+
+// DefaultRegistry returns a registry preloaded with every built-in
+// document.
+func DefaultRegistry() (*Registry, error) {
+	r := NewRegistry()
+	for _, doc := range BuiltinDocuments() {
+		if err := r.AddString(doc); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustDefaultRegistry is DefaultRegistry that panics on error. The
+// built-in documents are compile-time constants, so failure indicates a
+// programming error.
+func MustDefaultRegistry() *Registry {
+	r, err := DefaultRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,161 @@
+package usdl
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// genService produces a random valid Service for property testing.
+func genService(rng *rand.Rand) Service {
+	kinds := []string{"digital", "physical"}
+	dirs := []string{"input", "output"}
+	digitalTypes := []string{"image/jpeg", "text/plain", "audio/mpeg", "control/power", "application/xml"}
+	physTypes := []string{"visible/paper", "audible/air", "tangible/button", "visible/screen"}
+
+	svc := Service{
+		Name:     fmt.Sprintf("svc-%d", rng.Intn(1_000_000)),
+		Platform: []string{"upnp", "bluetooth", "rmi"}[rng.Intn(3)],
+		Match:    Match{Kind: fmt.Sprintf("kind-%d", rng.Intn(1000))},
+	}
+	nPorts := 1 + rng.Intn(6)
+	var outputs []string
+	for i := 0; i < nPorts; i++ {
+		kind := kinds[rng.Intn(2)]
+		dir := dirs[rng.Intn(2)]
+		var typ string
+		if kind == "digital" {
+			typ = digitalTypes[rng.Intn(len(digitalTypes))]
+		} else {
+			typ = physTypes[rng.Intn(len(physTypes))]
+		}
+		pd := PortDef{
+			Name:      fmt.Sprintf("port-%d", i),
+			Kind:      kind,
+			Direction: dir,
+			Type:      typ,
+		}
+		if kind == "digital" && dir == "input" && rng.Intn(2) == 0 {
+			pd.Bind = &Bind{
+				Action: fmt.Sprintf("Action%d", rng.Intn(10)),
+				Args: []Arg{
+					{Name: "A", Value: fmt.Sprintf("%d", rng.Intn(100))},
+					{Name: "B", From: "payload"},
+				},
+			}
+		}
+		if kind == "digital" && dir == "output" {
+			outputs = append(outputs, pd.Name)
+		}
+		svc.Ports = append(svc.Ports, pd)
+	}
+	for i, out := range outputs {
+		if rng.Intn(2) == 0 {
+			svc.Events = append(svc.Events, EventDef{
+				Native: fmt.Sprintf("Event%d", i),
+				Port:   out,
+				Type:   "text/event",
+			})
+		}
+	}
+	return svc
+}
+
+// TestUSDLRoundTripProperty: any generated valid document survives
+// encode -> parse with identical structure and shape.
+func TestUSDLRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		doc := &Document{Version: "1.0", Services: []Service{genService(rng)}}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("generated doc invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := doc.Encode(&buf); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("Parse: %v\n%s", err, buf.String())
+		}
+		want := doc.Services[0]
+		have := got.Services[0]
+		if want.Name != have.Name || want.Platform != have.Platform || want.Match != have.Match {
+			t.Fatalf("header changed: %+v vs %+v", want, have)
+		}
+		wantShape, err1 := want.Shape()
+		haveShape, err2 := have.Shape()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("shapes: %v / %v", err1, err2)
+		}
+		if !reflect.DeepEqual(wantShape.Ports(), haveShape.Ports()) {
+			t.Fatalf("shape changed:\n%v\n%v", wantShape, haveShape)
+		}
+		if !reflect.DeepEqual(want.Events, have.Events) {
+			t.Fatalf("events changed: %v vs %v", want.Events, have.Events)
+		}
+		for _, p := range want.Ports {
+			hp, ok := have.PortDef(p.Name)
+			if !ok {
+				t.Fatalf("port %q lost", p.Name)
+			}
+			if (p.Bind == nil) != (hp.Bind == nil) {
+				t.Fatalf("bind presence changed on %q", p.Name)
+			}
+			if p.Bind != nil && !reflect.DeepEqual(*p.Bind, *hp.Bind) {
+				t.Fatalf("bind changed on %q: %+v vs %+v", p.Name, *p.Bind, *hp.Bind)
+			}
+		}
+	}
+}
+
+// TestShapeSelfSatisfiesProperty: every generated service's shape
+// satisfies a template made of its own ports — the reflexivity Service
+// Shaping relies on.
+func TestShapeSelfSatisfiesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed uint16) bool {
+		_ = seed
+		svc := genService(rng)
+		shape, err := svc.Shape()
+		if err != nil {
+			return false
+		}
+		return shape.Satisfies(shape)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryFromShapeProperty: a query built from any digital port of a
+// generated service matches the service's own profile.
+func TestQueryFromShapeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		svc := genService(rng)
+		shape, err := svc.Shape()
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile := core.Profile{
+			ID: "n/p/x", Name: svc.Name, Platform: svc.Platform, Node: "n",
+			Shape: shape,
+		}
+		for _, p := range shape.Ports() {
+			q := core.Query{Ports: []core.PortTemplate{{
+				Kind:      p.Kind,
+				Direction: p.Direction,
+				Type:      p.Type,
+			}}}
+			if !q.Matches(profile) {
+				t.Fatalf("query from own port %v does not match", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package usdl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry holds the USDL documents known to a runtime. Mappers consult
+// it when a native device is discovered to find the service definition
+// matching the device's type.
+type Registry struct {
+	mu       sync.RWMutex
+	services []Service
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers every service in the document.
+func (r *Registry) Add(doc *Document) error {
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services = append(r.services, doc.Services...)
+	return nil
+}
+
+// AddString parses and registers a USDL document given as XML text.
+func (r *Registry) AddString(xmlText string) error {
+	doc, err := ParseString(xmlText)
+	if err != nil {
+		return err
+	}
+	return r.Add(doc)
+}
+
+// Find returns the service definition for a platform and device key. The
+// key is compared against every selector of each service's match clause
+// (device type, profile, interface, kind); device types additionally
+// match ignoring a trailing version component, so
+// "urn:...:BinaryLight:2" falls back to a ":1" description — the paper's
+// future-evolution requirement (Section 2.1 point 4) handled gracefully.
+func (r *Registry) Find(platform, key string) (*Service, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Exact selector match first.
+	for i := range r.services {
+		s := &r.services[i]
+		if !strings.EqualFold(s.Platform, platform) {
+			continue
+		}
+		if matchesSelector(s.Match, key) {
+			cp := *s
+			return &cp, true
+		}
+	}
+	// Version-insensitive device-type fallback.
+	base := stripVersion(key)
+	if base == key {
+		return nil, false
+	}
+	for i := range r.services {
+		s := &r.services[i]
+		if !strings.EqualFold(s.Platform, platform) {
+			continue
+		}
+		if stripVersion(s.Match.DeviceType) == base {
+			cp := *s
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+func matchesSelector(m Match, key string) bool {
+	return key != "" &&
+		(m.DeviceType == key || m.Profile == key || m.Interface == key || m.Kind == key)
+}
+
+// stripVersion removes a trailing ":<digits>" version component from a
+// URN-style device type.
+func stripVersion(s string) string {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return s
+	}
+	tail := s[i+1:]
+	if tail == "" {
+		return s
+	}
+	for _, c := range tail {
+		if c < '0' || c > '9' {
+			return s
+		}
+	}
+	return s[:i]
+}
+
+// Services returns a copy of all registered services.
+func (r *Registry) Services() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Service, len(r.services))
+	copy(out, r.services)
+	return out
+}
+
+// Len returns the number of registered services.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.services)
+}
+
+// MustFind is Find that panics when missing; for fixtures.
+func (r *Registry) MustFind(platform, key string) *Service {
+	s, ok := r.Find(platform, key)
+	if !ok {
+		panic(fmt.Sprintf("usdl: no service for %s/%s", platform, key))
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+// Package usdl implements the Universal Service Description Language
+// (paper Section 3.4): an XML language describing how a native device is
+// represented in uMiddle's intermediary semantic space.
+//
+// A USDL document declares, per service, the ports of the resulting
+// translator and the bindings between digital input ports and native
+// actions (e.g. the UPnP light's SetPower action bound to two input
+// ports, one passing "1" and one passing "0"), plus bindings from native
+// events to output ports. Mappers locate the document matching a
+// discovered device and mechanically parameterize a generic translator
+// with it.
+package usdl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Document is the root of a USDL file; it may describe several services.
+type Document struct {
+	XMLName  xml.Name  `xml:"usdl"`
+	Version  string    `xml:"version,attr"`
+	Services []Service `xml:"service"`
+}
+
+// Service describes one device type's representation in uMiddle.
+type Service struct {
+	// Name is the human-readable service name; it seeds the translator's
+	// profile name.
+	Name string `xml:"name,attr"`
+	// Platform names the native platform this description applies to.
+	Platform string `xml:"platform,attr"`
+	// Match selects the native devices the description applies to.
+	Match Match `xml:"match"`
+	// Description is optional documentation.
+	Description string `xml:"description,omitempty"`
+	// Ports declares the translator's shape.
+	Ports []PortDef `xml:"port"`
+	// Events bind native events to output ports.
+	Events []EventDef `xml:"event"`
+}
+
+// Match selects native devices. Exactly one selector field is typically
+// set, depending on the platform's notion of device identity.
+type Match struct {
+	// DeviceType matches UPnP device types
+	// ("urn:schemas-upnp-org:device:BinaryLight:1").
+	DeviceType string `xml:"deviceType,attr,omitempty"`
+	// Profile matches Bluetooth profile identifiers ("BIP", "HID").
+	Profile string `xml:"profile,attr,omitempty"`
+	// Interface matches RMI/web-service interface names.
+	Interface string `xml:"interface,attr,omitempty"`
+	// Kind matches free-form platform-specific kinds (mote sensor
+	// models, MediaBroker stream classes).
+	Kind string `xml:"kind,attr,omitempty"`
+}
+
+// Empty reports whether no selector is set.
+func (m Match) Empty() bool {
+	return m.DeviceType == "" && m.Profile == "" && m.Interface == "" && m.Kind == ""
+}
+
+// Key returns the first populated selector, used for registry lookups.
+func (m Match) Key() string {
+	for _, s := range []string{m.DeviceType, m.Profile, m.Interface, m.Kind} {
+		if s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// PortDef declares one port of the translator's shape and, for digital
+// input ports, an optional binding to a native action.
+type PortDef struct {
+	Name        string `xml:"name,attr"`
+	Kind        string `xml:"kind,attr"`
+	Direction   string `xml:"direction,attr"`
+	Type        string `xml:"type,attr"`
+	Description string `xml:"description,omitempty"`
+	// Bind maps deliveries on this input port to a native action.
+	Bind *Bind `xml:"bind"`
+}
+
+// Bind maps an input port to a native action invocation.
+type Bind struct {
+	// Action is the native action name ("SetPower", "OBEX-PUT").
+	Action string `xml:"action,attr"`
+	// Args are the action arguments.
+	Args []Arg `xml:"arg"`
+	// Result, when set, names the output port on which the action's
+	// return value is emitted.
+	Result string `xml:"result,attr,omitempty"`
+}
+
+// Arg is one action argument. Either Value (a literal) or From (a
+// message field: "payload" or "header:<name>") is set.
+type Arg struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr,omitempty"`
+	From  string `xml:"from,attr,omitempty"`
+}
+
+// Resolve computes the argument's value for a given message.
+func (a Arg) Resolve(msg core.Message) (string, error) {
+	switch {
+	case a.From == "":
+		return a.Value, nil
+	case a.From == "payload":
+		return string(msg.Payload), nil
+	case strings.HasPrefix(a.From, "header:"):
+		return msg.Header(strings.TrimPrefix(a.From, "header:")), nil
+	default:
+		return "", fmt.Errorf("usdl: arg %q has unknown source %q", a.Name, a.From)
+	}
+}
+
+// EventDef binds a native event to an output port.
+type EventDef struct {
+	// Native is the native event name ("PowerChanged", "mouse-click").
+	Native string `xml:"native,attr"`
+	// Port is the output port the event is emitted on.
+	Port string `xml:"port,attr"`
+	// Type optionally overrides the emitted message type.
+	Type string `xml:"type,attr,omitempty"`
+}
+
+// Parse reads a USDL document from XML.
+func Parse(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("usdl: parse: %w", err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// ParseString parses a USDL document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Encode writes the document as indented XML.
+func (d *Document) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("usdl: encode: %w", err)
+	}
+	return enc.Close()
+}
+
+// Validate checks the document's structural invariants.
+func (d *Document) Validate() error {
+	if d.Version == "" {
+		return fmt.Errorf("usdl: missing version attribute")
+	}
+	if len(d.Services) == 0 {
+		return fmt.Errorf("usdl: document has no services")
+	}
+	for i := range d.Services {
+		if err := d.Services[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks one service definition.
+func (s *Service) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("usdl: service with empty name")
+	}
+	if s.Platform == "" {
+		return fmt.Errorf("usdl: service %q missing platform", s.Name)
+	}
+	if s.Match.Empty() {
+		return fmt.Errorf("usdl: service %q has empty match", s.Name)
+	}
+	if len(s.Ports) == 0 {
+		return fmt.Errorf("usdl: service %q declares no ports", s.Name)
+	}
+	shape, err := s.Shape()
+	if err != nil {
+		return err
+	}
+	for _, p := range s.Ports {
+		if p.Bind == nil {
+			continue
+		}
+		port, _ := shape.Port(p.Name)
+		if port.Direction != core.Input || port.Kind != core.Digital {
+			return fmt.Errorf("usdl: service %q: bind on non-digital-input port %q", s.Name, p.Name)
+		}
+		if p.Bind.Action == "" {
+			return fmt.Errorf("usdl: service %q: port %q bind missing action", s.Name, p.Name)
+		}
+		if p.Bind.Result != "" {
+			rp, ok := shape.Port(p.Bind.Result)
+			if !ok || rp.Direction != core.Output || rp.Kind != core.Digital {
+				return fmt.Errorf("usdl: service %q: port %q bind result %q is not a digital output",
+					s.Name, p.Name, p.Bind.Result)
+			}
+		}
+		for _, a := range p.Bind.Args {
+			if a.Value != "" && a.From != "" {
+				return fmt.Errorf("usdl: service %q: arg %q sets both value and from", s.Name, a.Name)
+			}
+		}
+	}
+	for _, e := range s.Events {
+		if e.Native == "" {
+			return fmt.Errorf("usdl: service %q: event with empty native name", s.Name)
+		}
+		p, ok := shape.Port(e.Port)
+		if !ok {
+			return fmt.Errorf("usdl: service %q: event %q targets unknown port %q", s.Name, e.Native, e.Port)
+		}
+		if p.Direction != core.Output {
+			return fmt.Errorf("usdl: service %q: event %q targets non-output port %q", s.Name, e.Native, e.Port)
+		}
+	}
+	return nil
+}
+
+// Shape builds the core.Shape declared by the service's port
+// definitions.
+func (s *Service) Shape() (core.Shape, error) {
+	ports := make([]core.Port, 0, len(s.Ports))
+	for _, pd := range s.Ports {
+		kind, err := core.ParsePortKind(pd.Kind)
+		if err != nil {
+			return core.Shape{}, fmt.Errorf("usdl: service %q port %q: %w", s.Name, pd.Name, err)
+		}
+		dir, err := core.ParseDirection(pd.Direction)
+		if err != nil {
+			return core.Shape{}, fmt.Errorf("usdl: service %q port %q: %w", s.Name, pd.Name, err)
+		}
+		ports = append(ports, core.Port{
+			Name:        pd.Name,
+			Kind:        kind,
+			Direction:   dir,
+			Type:        core.DataType(pd.Type),
+			Description: pd.Description,
+		})
+	}
+	shape, err := core.NewShape(ports...)
+	if err != nil {
+		return core.Shape{}, fmt.Errorf("usdl: service %q: %w", s.Name, err)
+	}
+	return shape, nil
+}
+
+// PortDef returns the definition of a named port, if present.
+func (s *Service) PortDef(name string) (PortDef, bool) {
+	for _, p := range s.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortDef{}, false
+}
+
+// EventFor returns the event definition for a native event name.
+func (s *Service) EventFor(native string) (EventDef, bool) {
+	for _, e := range s.Events {
+		if e.Native == native {
+			return e, true
+		}
+	}
+	return EventDef{}, false
+}

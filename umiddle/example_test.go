@@ -1,0 +1,67 @@
+package umiddle_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform/upnp"
+	"repro/umiddle"
+)
+
+// Example bridges an emulated UPnP light into the intermediary semantic
+// space and switches it on through a native uMiddle service — the
+// library's complete minimal flow.
+func Example() {
+	net := umiddle.NewEmulatedNetwork()
+	defer net.Close()
+	rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "h1", Network: net})
+	if err != nil {
+		fmt.Println("runtime:", err)
+		return
+	}
+	defer rt.Close()
+	if err := rt.AddUPnPMapper(umiddle.UPnPMapperConfig{SearchInterval: 100 * time.Millisecond}); err != nil {
+		fmt.Println("mapper:", err)
+		return
+	}
+
+	light := upnp.NewBinaryLight(net.MustAddHost("light-dev"), "l1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		fmt.Println("publish:", err)
+		return
+	}
+	defer light.Unpublish()
+
+	profiles, err := rt.WaitFor(umiddle.Query{Platform: "upnp"}, 1, 10*time.Second)
+	if err != nil {
+		fmt.Println("discovery:", err)
+		return
+	}
+	lamp := profiles[0]
+
+	shape, err := umiddle.NewShape(umiddle.Port{
+		Name: "press", Kind: umiddle.Digital, Direction: umiddle.Output, Type: "control/power",
+	})
+	if err != nil {
+		fmt.Println("shape:", err)
+		return
+	}
+	button, err := rt.NewService("Button", shape, nil)
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+	if _, err := rt.Connect(button.Port("press"),
+		umiddle.PortRef{Translator: lamp.ID, Port: "power-on"}); err != nil {
+		fmt.Println("connect:", err)
+		return
+	}
+	button.Emit("press", umiddle.Message{})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !light.Power() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("light on:", light.Power())
+	// Output: light on: true
+}

@@ -1,0 +1,91 @@
+package umiddle
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Service is a native uMiddle service: a translator implemented directly
+// against the intermediary semantic space, with no native platform
+// behind it. The paper's Pads screenshot (Figure 8) shows eighteen such
+// services alongside bridged devices.
+type Service struct {
+	base *core.Base
+	rt   *Runtime
+}
+
+var _serviceSeq atomic.Uint64
+
+// NewService builds and registers a native service on this node. The
+// returned handle registers input handlers and emits on output ports.
+func (r *Runtime) NewService(name string, shape Shape, attrs map[string]string) (*Service, error) {
+	local := fmt.Sprintf("%s-%d", slug(name), _serviceSeq.Add(1))
+	profile := Profile{
+		ID:         core.MakeTranslatorID(r.Node(), "umiddle", local),
+		Name:       name,
+		Platform:   "umiddle",
+		Node:       r.Node(),
+		Shape:      shape,
+		Attributes: attrs,
+	}
+	base, err := core.NewBase(profile)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{base: base, rt: r}
+	if err := r.Register(base); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// ID returns the service's translator identity.
+func (s *Service) ID() TranslatorID { return s.base.ID() }
+
+// Profile returns the service's profile.
+func (s *Service) Profile() Profile { return s.base.Profile() }
+
+// Port returns a PortRef for one of the service's ports.
+func (s *Service) Port(name string) PortRef {
+	return PortRef{Translator: s.base.ID(), Port: name}
+}
+
+// HandleInput registers fn to receive messages delivered to an input
+// port.
+func (s *Service) HandleInput(port string, fn func(Message) error) error {
+	return s.base.Handle(port, func(_ context.Context, msg Message) error {
+		return fn(msg)
+	})
+}
+
+// Emit sends a message out of an output port into every connected path.
+func (s *Service) Emit(port string, msg Message) { s.base.Emit(port, msg) }
+
+// Close unregisters the service from its runtime.
+func (s *Service) Close() error {
+	if err := s.rt.Unregister(s.base.ID()); err != nil {
+		return s.base.Close()
+	}
+	return nil
+}
+
+// slug converts a display name to an ID-safe token.
+func slug(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "svc"
+	}
+	return b.String()
+}

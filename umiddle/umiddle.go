@@ -1,0 +1,380 @@
+// Package umiddle is the public API of this uMiddle reproduction: a
+// bridging framework for universal interoperability in pervasive
+// systems (Nakazawa, Edwards, Tokuda, Ramachandran — ICDCS 2006).
+//
+// A uMiddle deployment is a set of Runtime nodes on a network. Each
+// runtime hosts platform Mappers that discover native devices (UPnP,
+// Bluetooth, RMI, MediaBroker, Berkeley motes, web services) and import
+// them into a common intermediary semantic space as Translators — sets
+// of typed ports (Service Shaping). Applications are written against
+// that space only: they look devices up by shape (Lookup), wire them
+// together by port or by template (Connect / ConnectQuery), and never
+// touch a native protocol.
+//
+// Minimal use:
+//
+//	net := umiddle.NewEmulatedNetwork()
+//	rt, _ := umiddle.NewRuntime(umiddle.RuntimeConfig{Node: "h1", Network: net})
+//	defer rt.Close()
+//	rt.AddUPnPMapper(umiddle.UPnPMapperConfig{})
+//	... publish or discover devices ...
+//	tvs := rt.Lookup(umiddle.QueryAccepting("image/jpeg", "visible/*"))
+//	rt.ConnectQuery(cameraPort, umiddle.QueryAccepting("image/jpeg", ""))
+//
+// The package re-exports the core model types so applications need no
+// internal imports.
+package umiddle
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/export"
+	"repro/internal/mapper"
+	"repro/internal/mappers/btmap"
+	"repro/internal/mappers/mbmap"
+	"repro/internal/mappers/motesmap"
+	"repro/internal/mappers/rmimap"
+	"repro/internal/mappers/upnpmap"
+	"repro/internal/mappers/wsmap"
+	"repro/internal/netemu"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/qos"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/usdl"
+)
+
+// Re-exported model types: the intermediary semantic space.
+type (
+	// DataType is a port's type tag (MIME or perception/media pair).
+	DataType = core.DataType
+	// Port is one typed communication endpoint.
+	Port = core.Port
+	// Shape is a translator's full port set.
+	Shape = core.Shape
+	// Profile is a translator's advertised description.
+	Profile = core.Profile
+	// PortRef names one port of one translator.
+	PortRef = core.PortRef
+	// TranslatorID identifies a translator.
+	TranslatorID = core.TranslatorID
+	// Query selects translators by shape and metadata.
+	Query = core.Query
+	// PortTemplate is one shape requirement inside a Query.
+	PortTemplate = core.PortTemplate
+	// Message is the unit of communication between ports.
+	Message = core.Message
+	// Translator is the device-level bridge interface.
+	Translator = core.Translator
+	// PathID identifies an established message path.
+	PathID = transport.PathID
+	// QoSClass bundles per-path buffering and rate-limit parameters.
+	QoSClass = qos.Class
+	// MapperRecorder collects service-level bridging samples.
+	MapperRecorder = mapper.Recorder
+)
+
+// Re-exported enum values.
+const (
+	Digital  = core.Digital
+	Physical = core.Physical
+	Input    = core.Input
+	Output   = core.Output
+)
+
+// QoS buffer overflow policies (see internal/qos).
+const (
+	// QoSBlock applies backpressure when a translation buffer is full.
+	QoSBlock = qos.Block
+	// QoSDropOldest discards the oldest buffered message.
+	QoSDropOldest = qos.DropOldest
+	// QoSDropNewest discards the incoming message.
+	QoSDropNewest = qos.DropNewest
+	// QoSLatestOnly keeps only the newest message.
+	QoSLatestOnly = qos.LatestOnly
+)
+
+// Query constructors (paper Section 3.3's examples).
+var (
+	// QueryAccepting selects devices that accept a digital type and
+	// optionally render it physically ("view this jpeg somewhere
+	// visible").
+	QueryAccepting = core.QueryAccepting
+	// QueryProducing selects devices producing a digital type.
+	QueryProducing = core.QueryProducing
+	// NewMessage builds a typed message.
+	NewMessage = core.NewMessage
+	// NewShape builds a validated shape.
+	NewShape = core.NewShape
+)
+
+// Network is an emulated network hosting uMiddle nodes and native
+// devices.
+type Network = netemu.Network
+
+// NewEmulatedNetwork creates a network with the paper's 10 Mbps
+// Ethernet characteristics.
+func NewEmulatedNetwork() *Network {
+	return netemu.NewNetwork(netemu.Ethernet10Mbps())
+}
+
+// RuntimeConfig configures one uMiddle node.
+type RuntimeConfig struct {
+	// Node is the node name; it doubles as the emulated host name.
+	Node string
+	// Network is the emulated network; required.
+	Network *Network
+	// AnnounceInterval tunes directory advertisement (0 = default).
+	AnnounceInterval time.Duration
+	// Logger receives diagnostics; nil disables logging.
+	Logger *slog.Logger
+}
+
+// Runtime is one uMiddle node.
+type Runtime struct {
+	rt   *runtime.Runtime
+	host *netemu.Host
+}
+
+// NewRuntime creates and starts a runtime node.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("umiddle: RuntimeConfig.Network is required")
+	}
+	host := cfg.Network.Host(cfg.Node)
+	if host == nil {
+		var err error
+		host, err = cfg.Network.AddHost(cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt, err := runtime.New(runtime.Config{
+		Node:      cfg.Node,
+		Host:      host,
+		Directory: directory.Options{AnnounceInterval: cfg.AnnounceInterval},
+		Logger:    cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	return &Runtime{rt: rt, host: host}, nil
+}
+
+// Close shuts the node down.
+func (r *Runtime) Close() error { return r.rt.Close() }
+
+// Node returns the node name.
+func (r *Runtime) Node() string { return r.rt.Node() }
+
+// Host returns the node's network endpoint.
+func (r *Runtime) Host() *netemu.Host { return r.host }
+
+// Internal returns the underlying runtime for advanced use (Pads and G2
+// attach here).
+func (r *Runtime) Internal() *runtime.Runtime { return r.rt }
+
+// Lookup returns profiles of translators matching the query — the
+// directory API of paper Figure 6-(1).
+func (r *Runtime) Lookup(q Query) []Profile { return r.rt.Lookup(q) }
+
+// WaitFor polls Lookup until at least n profiles match or the timeout
+// expires; it returns the matches found.
+func (r *Runtime) WaitFor(q Query, n int, timeout time.Duration) ([]Profile, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		got := r.rt.Lookup(q)
+		if len(got) >= n {
+			return got, nil
+		}
+		if time.Now().After(deadline) {
+			return got, fmt.Errorf("umiddle: %v matched %d translators, want %d", q, len(got), n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// OnMapped registers a callback for translator arrivals — the listener
+// API of paper Figure 6-(2). The callback immediately replays currently
+// known translators.
+func (r *Runtime) OnMapped(fn func(Profile)) {
+	r.rt.Directory().AddListener(directory.ListenerFuncs{Mapped: fn})
+}
+
+// OnUnmapped registers a callback for translator departures.
+func (r *Runtime) OnUnmapped(fn func(TranslatorID)) {
+	r.rt.Directory().AddListener(directory.ListenerFuncs{Unmapped: fn})
+}
+
+// Connect establishes a path between two specific ports — paper Figure
+// 7-(1).
+func (r *Runtime) Connect(src, dst PortRef) (PathID, error) { return r.rt.Connect(src, dst) }
+
+// ConnectQuery establishes a dynamic path from a port to every matching
+// device — paper Figure 7-(2).
+func (r *Runtime) ConnectQuery(src PortRef, q Query) (PathID, error) {
+	return r.rt.ConnectQuery(src, q)
+}
+
+// ConnectClass is Connect with an explicit QoS class (bounded
+// translation buffer, overflow policy, rate limits).
+func (r *Runtime) ConnectClass(src, dst PortRef, class QoSClass) (PathID, error) {
+	return r.rt.Transport().ConnectClass(src, dst, class)
+}
+
+// ConnectQueryClass is ConnectQuery with an explicit QoS class.
+func (r *Runtime) ConnectQueryClass(src PortRef, q Query, class QoSClass) (PathID, error) {
+	return r.rt.Transport().ConnectQueryClass(src, q, class)
+}
+
+// Disconnect tears a path down.
+func (r *Runtime) Disconnect(id PathID) error { return r.rt.Disconnect(id) }
+
+// PathStats returns delivery statistics for a path hosted on this node.
+func (r *Runtime) PathStats(id PathID) (transport.PathStats, bool) {
+	return r.rt.Transport().PathStats(id)
+}
+
+// Register maps a native uMiddle service: a translator implemented
+// directly against the intermediary space. Use NewService to build one.
+func (r *Runtime) Register(tr Translator) error { return r.rt.Register(tr) }
+
+// Unregister unmaps a translator hosted on this node.
+func (r *Runtime) Unregister(id TranslatorID) error {
+	return r.rt.RemoveTranslator(id)
+}
+
+// UPnPMapperConfig tunes the UPnP mapper.
+type UPnPMapperConfig struct {
+	SearchInterval time.Duration
+	Recorder       *MapperRecorder
+}
+
+// AddUPnPMapper attaches a UPnP mapper to the node.
+func (r *Runtime) AddUPnPMapper(cfg UPnPMapperConfig) error {
+	return r.rt.AddMapper(upnpmap.New(r.host, upnpmap.Options{
+		SearchInterval: cfg.SearchInterval,
+		Recorder:       cfg.Recorder,
+	}))
+}
+
+// BluetoothMapperConfig tunes the Bluetooth mapper.
+type BluetoothMapperConfig struct {
+	InquiryInterval time.Duration
+	InquiryWindow   time.Duration
+	Recorder        *MapperRecorder
+}
+
+// AddBluetoothMapper attaches a Bluetooth mapper; it powers an adapter
+// on the node's host.
+func (r *Runtime) AddBluetoothMapper(cfg BluetoothMapperConfig) error {
+	adapter, err := bluetooth.NewAdapter(r.host, r.Node()+"-bt", bluetooth.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	return r.rt.AddMapper(btmap.New(adapter, btmap.Options{
+		InquiryInterval: cfg.InquiryInterval,
+		InquiryWindow:   cfg.InquiryWindow,
+		Recorder:        cfg.Recorder,
+	}))
+}
+
+// RMIMapperConfig tunes the RMI mapper.
+type RMIMapperConfig struct {
+	RegistryHost string
+	PollInterval time.Duration
+	Recorder     *MapperRecorder
+}
+
+// AddRMIMapper attaches an RMI mapper watching the given registry.
+func (r *Runtime) AddRMIMapper(cfg RMIMapperConfig) error {
+	return r.rt.AddMapper(rmimap.New(r.host, rmimap.Options{
+		RegistryHost: cfg.RegistryHost,
+		PollInterval: cfg.PollInterval,
+		Recorder:     cfg.Recorder,
+	}))
+}
+
+// MediaBrokerMapperConfig tunes the MediaBroker mapper.
+type MediaBrokerMapperConfig struct {
+	BrokerHost   string
+	PollInterval time.Duration
+	Recorder     *MapperRecorder
+}
+
+// AddMediaBrokerMapper attaches a MediaBroker mapper watching the given
+// broker.
+func (r *Runtime) AddMediaBrokerMapper(cfg MediaBrokerMapperConfig) error {
+	return r.rt.AddMapper(mbmap.New(r.host, mbmap.Options{
+		BrokerHost:   cfg.BrokerHost,
+		PollInterval: cfg.PollInterval,
+		Recorder:     cfg.Recorder,
+	}))
+}
+
+// MotesMapperConfig tunes the Motes mapper.
+type MotesMapperConfig struct {
+	LivenessWindow time.Duration
+	Recorder       *MapperRecorder
+}
+
+// AddMotesMapper attaches a Motes mapper; the node hosts the sensor
+// network's base station.
+func (r *Runtime) AddMotesMapper(cfg MotesMapperConfig) error {
+	return r.rt.AddMapper(motesmap.New(r.host, motesmap.Options{
+		LivenessWindow: cfg.LivenessWindow,
+		Recorder:       cfg.Recorder,
+	}))
+}
+
+// WebServiceMapperConfig tunes the web-services mapper.
+type WebServiceMapperConfig struct {
+	BaseURLs     []string
+	PollInterval time.Duration
+	Recorder     *MapperRecorder
+}
+
+// AddWebServiceMapper attaches a web-services mapper watching the given
+// hosts.
+func (r *Runtime) AddWebServiceMapper(cfg WebServiceMapperConfig) error {
+	return r.rt.AddMapper(wsmap.New(r.host, wsmap.Options{
+		BaseURLs:     cfg.BaseURLs,
+		PollInterval: cfg.PollInterval,
+		Recorder:     cfg.Recorder,
+	}))
+}
+
+// LoadUSDL registers an additional USDL document (XML text) with the
+// node's registry, extending the device vocabulary at runtime — the
+// paper's first extensibility dimension.
+func (r *Runtime) LoadUSDL(xmlText string) error {
+	return r.rt.USDL().AddString(xmlText)
+}
+
+// USDLServices returns the registered USDL service definitions.
+func (r *Runtime) USDLServices() []usdl.Service { return r.rt.USDL().Services() }
+
+// ExportUPnP projects a translator back out as a native UPnP device —
+// scattered visibility (the paper's design choice 2-a) as an opt-in
+// extension. hostName is the emulated host the projection is published
+// on (created if absent); port 0 selects the default device port. Stock
+// UPnP control points can then discover and drive the device.
+func (r *Runtime) ExportUPnP(id TranslatorID, hostName string, port int) (*export.UPnPExport, error) {
+	net := r.host.Network()
+	host := net.Host(hostName)
+	if host == nil {
+		var err error
+		host, err = net.AddHost(hostName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return export.ExportUPnP(r.rt, id, host, port)
+}
