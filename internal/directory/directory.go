@@ -235,7 +235,7 @@ func (d *Directory) AddLocal(tr core.Translator) error {
 	for _, l := range listeners {
 		l.TranslatorMapped(p.Clone())
 	}
-	d.announceNow()
+	d.AnnounceNow()
 	return nil
 }
 
@@ -328,8 +328,12 @@ func (d *Directory) Size() (local, remote int) {
 	return len(d.local), len(d.remote)
 }
 
-// announceNow broadcasts the full local state immediately.
-func (d *Directory) announceNow() {
+// AnnounceNow broadcasts the full local state immediately. Besides
+// serving AddLocal and the periodic announce tick, the transport calls
+// it when a peer connection is re-established so neighbors that
+// expired our translators during a partition relearn them promptly
+// instead of waiting for the next announce interval.
+func (d *Directory) AnnounceNow() {
 	d.mu.RLock()
 	profiles := make([]core.Profile, 0, len(d.local))
 	for _, e := range d.local {
@@ -361,13 +365,13 @@ func (d *Directory) send(a advert) {
 func (d *Directory) announceLoop(ctx context.Context) {
 	ticker := time.NewTicker(d.opts.AnnounceInterval)
 	defer ticker.Stop()
-	d.announceNow()
+	d.AnnounceNow()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			d.announceNow()
+			d.AnnounceNow()
 			d.expireStale()
 		}
 	}

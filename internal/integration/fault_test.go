@@ -1,0 +1,273 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netemu"
+	"repro/internal/qos"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// addRuntimeOpts is addRuntime with explicit directory and transport
+// tuning, for fault-tolerance scenarios that need specific retry
+// budgets or announce cadences.
+func (w *world) addRuntimeOpts(name string, dopts directory.Options, topts transport.Options) *runtime.Runtime {
+	w.t.Helper()
+	rt, err := runtime.New(runtime.Config{
+		Node:      name,
+		Host:      w.net.MustAddHost(name),
+		Directory: dopts,
+		Transport: topts,
+	})
+	if err != nil {
+		w.t.Fatalf("runtime.New(%s): %v", name, err)
+	}
+	if err := rt.Start(); err != nil {
+		w.t.Fatalf("runtime.Start(%s): %v", name, err)
+	}
+	w.t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// TestPeerDropReconnectsAndResumesDelivery: a severed peer connection
+// is re-established by the redial cycle and delivery resumes; a burst
+// of injected write errors is ridden out by per-message retries. The
+// path's stats reflect the recovery: Redials for the re-established
+// connection, Retries for the reattempted deliveries.
+func TestPeerDropReconnectsAndResumesDelivery(t *testing.T) {
+	w := newWorld(t)
+	fast := qos.RetryPolicy{MaxAttempts: 8, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Multiplier: 2, NoJitter: true}
+	topts := transport.Options{
+		DeliverTimeout: 5 * time.Second,
+		DialTimeout:    2 * time.Second,
+		Retry:          fast,
+		Redial:         fast,
+	}
+	dopts := directory.Options{AnnounceInterval: 30 * time.Millisecond}
+	h1 := w.addRuntimeOpts("h1", dopts, topts)
+	h2 := w.addRuntimeOpts("h2", dopts, topts)
+
+	src := trigger("h1", "src", "text/plain")
+	dst := newCollector("h2", "dst", "text/plain")
+	if err := h1.Register(src); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := h2.Register(dst); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	w.waitLookup(h1, core.Query{NameContains: "dst"}, 1)
+
+	id, err := h1.Connect(ref(src, "out"), ref(dst, "in"))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+
+	src.Emit("out", core.NewMessage("text/plain", []byte("before")))
+	if got := dst.wait(t, 5*time.Second); string(got.Payload) != "before" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+
+	// Sever the established peer connections (TCP-reset analogue). The
+	// transport must redial with backoff and resume delivery.
+	if n := w.net.DropConnections("h1", "h2"); n == 0 {
+		t.Fatal("no connections to drop — transport never connected?")
+	}
+	src.Emit("out", core.NewMessage("text/plain", []byte("after-drop")))
+	if got := dst.wait(t, 5*time.Second); string(got.Payload) != "after-drop" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+
+	// Inject a short burst of write errors: the first delivery attempts
+	// fail, retries with backoff succeed once the fault clears.
+	w.net.SetFault("h1", "h2", netemu.Fault{ErrorRate: 1})
+	src.Emit("out", core.NewMessage("text/plain", []byte("through-fault")))
+	time.Sleep(60 * time.Millisecond)
+	w.net.ClearFault("h1", "h2")
+	if got := dst.wait(t, 5*time.Second); string(got.Payload) != "through-fault" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+
+	stats, ok := h1.Transport().PathStats(id)
+	if !ok {
+		t.Fatal("path stats missing")
+	}
+	if stats.Delivered != 3 {
+		t.Fatalf("Delivered = %d, want 3", stats.Delivered)
+	}
+	if stats.Redials == 0 {
+		t.Fatalf("Redials = 0, want >= 1 after a dropped connection: %+v", stats)
+	}
+	if stats.Retries == 0 {
+		t.Fatalf("Retries = 0, want >= 1 after injected write errors: %+v", stats)
+	}
+	if stats.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0 (everything eventually arrived)", stats.Dropped)
+	}
+}
+
+// TestDeadDestinationDroppedWithoutStalling: a dynamic path bound to a
+// live destination and a permanently partitioned one keeps serving the
+// live destination; messages for the dead one are abandoned after the
+// bounded retry budget and counted in PathStats.Dropped.
+func TestDeadDestinationDroppedWithoutStalling(t *testing.T) {
+	w := newWorld(t)
+	tight := qos.RetryPolicy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Multiplier: 2, NoJitter: true}
+	topts := transport.Options{
+		DeliverTimeout: 5 * time.Second,
+		DialTimeout:    300 * time.Millisecond,
+		Retry:          tight,
+		Redial:         tight,
+	}
+	// Slow announce cadence so the partitioned node's binding survives
+	// (TTL = 4 * interval) long enough to observe the bounded drops.
+	dopts := directory.Options{AnnounceInterval: 500 * time.Millisecond}
+	h1 := w.addRuntimeOpts("h1", dopts, topts)
+	h2 := w.addRuntimeOpts("h2", dopts, topts)
+	h3 := w.addRuntimeOpts("h3", dopts, topts)
+
+	src := trigger("h1", "src", "text/plain")
+	live := newCollector("h2", "live-sink", "text/plain")
+	dead := newCollector("h3", "dead-sink", "text/plain")
+	if err := h1.Register(src); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := h2.Register(live); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := h3.Register(dead); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	w.waitLookup(h1, core.Query{NameContains: "sink"}, 2)
+
+	id, err := h1.ConnectQuery(ref(src, "out"), core.QueryAccepting("text/plain", ""))
+	if err != nil {
+		t.Fatalf("ConnectQuery: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, _ := h1.Transport().PathStats(id)
+		if stats.Bound == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dynamic path never bound both sinks")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// h3 goes dark for good.
+	w.net.Partition("h1", "h3")
+
+	const count = 3
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		src.Emit("out", core.NewMessage("text/plain", []byte("m")))
+	}
+	for i := 0; i < count; i++ {
+		live.wait(t, 5*time.Second)
+	}
+	elapsed := time.Since(start)
+
+	// The live destination got everything; the dead one burned its
+	// bounded budget per message without stalling the path. Budget per
+	// message: 2 delivery attempts x (2 dials x 300ms + backoff) — well
+	// under 2s each even in the worst case.
+	if elapsed > 8*time.Second {
+		t.Fatalf("live deliveries took %v — dead destination stalled the path", elapsed)
+	}
+	stats, _ := h1.Transport().PathStats(id)
+	if stats.Delivered < count {
+		t.Fatalf("Delivered = %d, want >= %d (live destination)", stats.Delivered, count)
+	}
+	if stats.Dropped == 0 {
+		t.Fatalf("Dropped = 0, want >= 1 for the partitioned destination: %+v", stats)
+	}
+	if stats.Errors == 0 {
+		t.Fatalf("Errors = 0, want >= 1: %+v", stats)
+	}
+
+	// Eventually the directory expires the dead node and the path
+	// unbinds it entirely.
+	deadline = time.Now().Add(8 * time.Second)
+	for {
+		stats, _ := h1.Transport().PathStats(id)
+		if stats.Bound == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead destination never unbound: %+v", stats)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPartitionHealRebindsPromptly: after a partition heals, the
+// reconnecting transport triggers an immediate directory re-announce,
+// so dynamic paths rebind well before the next periodic announce tick.
+func TestPartitionHealRebindsPromptly(t *testing.T) {
+	w := newWorld(t)
+	fast := qos.RetryPolicy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2, NoJitter: true}
+	topts := transport.Options{
+		DeliverTimeout: 5 * time.Second,
+		DialTimeout:    2 * time.Second,
+		Retry:          fast,
+		Redial:         fast,
+	}
+	// Long announce interval: prompt rebinding after heal must come from
+	// the transport's reconnect hook, not the periodic announce.
+	dopts := directory.Options{AnnounceInterval: 400 * time.Millisecond}
+	h1 := w.addRuntimeOpts("h1", dopts, topts)
+	h2 := w.addRuntimeOpts("h2", dopts, topts)
+
+	src := trigger("h1", "src", "text/plain")
+	dst := newCollector("h2", "dst", "text/plain")
+	if err := h1.Register(src); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := h2.Register(dst); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	w.waitLookup(h1, core.Query{NameContains: "dst"}, 1)
+
+	id, err := h1.ConnectQuery(ref(src, "out"), core.QueryAccepting("text/plain", ""))
+	if err != nil {
+		t.Fatalf("ConnectQuery: %v", err)
+	}
+
+	w.net.Partition("h1", "h2")
+	// Wait for the directory to expire h2 and the path to unbind.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, _ := h1.Transport().PathStats(id)
+		if stats.Bound == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("binding survived the partition")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	w.net.Heal("h1", "h2")
+	// The redial cycle reconnects and both sides re-announce promptly;
+	// the path rebinds and traffic flows again.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		stats, _ := h1.Transport().PathStats(id)
+		if stats.Bound == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("path never rebound after heal")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	src.Emit("out", core.NewMessage("text/plain", []byte("healed")))
+	if got := dst.wait(t, 5*time.Second); string(got.Payload) != "healed" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}

@@ -91,6 +91,7 @@ func (gc *GroupConn) Send(payload []byte) error {
 
 	for _, m := range members {
 		profile, down := n.linkBetween(gc.host.name, m.host.name)
+		delay := profile.Latency + profile.transmitDuration(len(payload))
 		if m.host.name != gc.host.name {
 			if down {
 				continue
@@ -98,11 +99,16 @@ func (gc *GroupConn) Send(payload []byte) error {
 			if n.rng.chance(profile.LossRate) {
 				continue
 			}
+			if f, ok := n.fault(gc.host.name, m.host.name); ok {
+				if n.rng.chance(f.DropRate) {
+					continue
+				}
+				delay += f.ExtraLatency
+			}
 		}
 		data := make([]byte, len(payload))
 		copy(data, payload)
 		d := Datagram{From: gc.host.name, Group: gc.group, Payload: data}
-		delay := profile.Latency + profile.transmitDuration(len(payload))
 		if m.host.name == gc.host.name {
 			delay = 0
 		}

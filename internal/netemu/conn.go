@@ -81,6 +81,15 @@ func (s *stream) writeSegment(chunk []byte) (int, error) {
 	if s.net != nil && s.net.linkDown(s.from, s.to) {
 		return 0, ErrLinkDown
 	}
+	var extraLatency time.Duration
+	if s.net != nil {
+		if f, ok := s.net.fault(s.from, s.to); ok {
+			if s.net.rng.chance(f.ErrorRate) {
+				return 0, ErrInjected
+			}
+			extraLatency = f.ExtraLatency
+		}
+	}
 	var txEnd time.Time
 	if hub := s.hub(); hub != nil {
 		// Hub mode: the whole collision domain carries this segment.
@@ -96,7 +105,7 @@ func (s *stream) writeSegment(chunk []byte) (int, error) {
 	}
 	data := make([]byte, len(chunk))
 	copy(data, chunk)
-	s.queue = append(s.queue, segment{data: data, deliverAt: txEnd.Add(s.profile.Latency)})
+	s.queue = append(s.queue, segment{data: data, deliverAt: txEnd.Add(s.profile.Latency + extraLatency)})
 	s.queued += len(data)
 	s.rCond.Signal()
 	return len(chunk), nil

@@ -1,0 +1,160 @@
+package netemu
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// dialPair establishes a stream connection h1 -> h2 and returns both
+// endpoints.
+func dialPair(t *testing.T, n *Network) (client, server *Conn) {
+	t.Helper()
+	h1 := n.MustAddHost("h1")
+	h2 := n.MustAddHost("h2")
+	l, err := h2.Listen(80)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c.(*Conn)
+	}()
+	c, err := h1.Dial(context.Background(), "h2:80")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	s, ok := <-accepted
+	if !ok {
+		t.Fatal("Accept failed")
+	}
+	return c.(*Conn), s
+}
+
+func TestFaultErrorRateFailsWrites(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	client, _ := dialPair(t, n)
+
+	n.SetFault("h1", "h2", Fault{ErrorRate: 1})
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+
+	// Faults are directed: the reverse direction is unaffected, and
+	// clearing restores the faulted direction.
+	n.ClearFault("h1", "h2")
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatalf("write after ClearFault: %v", err)
+	}
+}
+
+func TestFaultExtraLatencyDelaysDelivery(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	client, server := dialPair(t, n)
+
+	const extra = 150 * time.Millisecond
+	n.SetFault("h1", "h2", Fault{ExtraLatency: extra})
+
+	start := time.Now()
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < extra {
+		t.Fatalf("delivery took %v, want >= %v", elapsed, extra)
+	}
+}
+
+func TestDropConnectionsSeversBothEnds(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	client, server := dialPair(t, n)
+
+	if got := n.DropConnections("h1", "h2"); got != 1 {
+		t.Fatalf("DropConnections = %d, want 1", got)
+	}
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Fatalf("client read err = %v, want EOF", err)
+	}
+	if _, err := server.Read(buf); err != io.EOF {
+		t.Fatalf("server read err = %v, want EOF", err)
+	}
+	// The link itself is still up: a fresh dial succeeds.
+	h1 := n.Host("h1")
+	if _, err := h1.Dial(context.Background(), "h2:80"); err != nil {
+		t.Fatalf("redial after DropConnections: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	client, _ := dialPair(t, n)
+	h1 := n.Host("h1")
+
+	n.Partition("h1", "h2")
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Fatalf("read on partitioned conn err = %v, want EOF", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if _, err := h1.Dial(ctx, "h2:80"); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	cancel()
+
+	n.Heal("h1", "h2")
+	c, err := h1.Dial(context.Background(), "h2:80")
+	if err != nil {
+		t.Fatalf("dial after Heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestFaultDropRateIsOneWayForDatagrams(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	h1 := n.MustAddHost("h1")
+	h2 := n.MustAddHost("h2")
+	g1, err := h1.JoinGroup("ssdp")
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+	g2, err := h2.JoinGroup("ssdp")
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+
+	// Drop everything h1 sends toward h2, but not the reverse.
+	n.SetFault("h1", "h2", Fault{DropRate: 1})
+
+	if err := g1.Send([]byte("from-h1")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	g2.SetDeadline(time.Now().Add(100 * time.Millisecond))
+	if d, err := g2.Recv(); err == nil && d.From == "h1" {
+		t.Fatal("datagram crossed a DropRate=1 fault")
+	}
+
+	if err := g2.Send([]byte("from-h2")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	g1.SetDeadline(time.Now().Add(time.Second))
+	for {
+		d, err := g1.Recv()
+		if err != nil {
+			t.Fatalf("h1 never received h2's datagram: %v", err)
+		}
+		if d.From == "h2" {
+			break
+		}
+	}
+}

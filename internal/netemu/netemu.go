@@ -117,6 +117,7 @@ type Network struct {
 	hosts       map[string]*Host
 	links       map[hostPair]LinkProfile
 	down        map[hostPair]bool
+	faults      map[directedPair]Fault
 	groups      map[string]map[*GroupConn]struct{}
 	medium      *medium
 	closed      bool

@@ -243,8 +243,9 @@ func (b *Board) Render() string {
 			fmt.Fprintf(&sb, "  wire %s: %s --> %s\n", w.ID, b.endpointName(w.Src), w.Query)
 		}
 		if stats, ok := b.rt.Transport().PathStats(w.ID); ok {
-			fmt.Fprintf(&sb, "      delivered=%d bytes=%d bound=%d dropped=%d\n",
-				stats.Delivered, stats.Bytes, stats.Bound, stats.Buffer.Dropped)
+			fmt.Fprintf(&sb, "      delivered=%d bytes=%d bound=%d dropped=%d retries=%d redials=%d lost=%d\n",
+				stats.Delivered, stats.Bytes, stats.Bound, stats.Buffer.Dropped,
+				stats.Retries, stats.Redials, stats.Dropped)
 		}
 	}
 	return sb.String()

@@ -1,0 +1,85 @@
+package qos
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds repeated attempts at an unreliable operation with
+// exponential backoff and jitter. The transport module applies one policy
+// to per-message delivery retries and another to peer redial cycles, so a
+// transient fault (a dropped connection, a node rebooting) is ridden out
+// while a permanently dead destination fails in bounded time.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (default 4). Values below 1 select the default.
+	MaxAttempts int
+	// BaseDelay is the backoff after the first failed attempt (default
+	// 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2,
+	// clamped to [0,1]). Jitter prevents reconnect stampedes when many
+	// paths lose the same peer at once.
+	Jitter float64
+	// NoJitter disables jitter entirely (for deterministic tests);
+	// Jitter is ignored when set.
+	NoJitter bool
+}
+
+// DefaultRetryPolicy is the policy applied when fields are zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.2}
+}
+
+// WithDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter <= 0 && !p.NoJitter {
+		p.Jitter = d.Jitter
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the backoff to sleep after the given failed attempt
+// (attempt >= 1): BaseDelay * Multiplier^(attempt-1), capped at MaxDelay,
+// randomized by ±Jitter.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if !p.NoJitter && p.Jitter > 0 {
+		// Uniform in [d*(1-j), d*(1+j)].
+		d *= 1 - p.Jitter + 2*p.Jitter*rand.Float64()
+	}
+	return time.Duration(d)
+}

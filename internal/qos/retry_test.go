@@ -1,0 +1,77 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyWithDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	d := DefaultRetryPolicy()
+	if p != d {
+		t.Fatalf("zero policy defaults = %+v, want %+v", p, d)
+	}
+
+	custom := RetryPolicy{MaxAttempts: 7, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 3, NoJitter: true}
+	got := custom.WithDefaults()
+	if got.MaxAttempts != 7 || got.BaseDelay != time.Millisecond || got.MaxDelay != 10*time.Millisecond || got.Multiplier != 3 {
+		t.Fatalf("custom fields clobbered: %+v", got)
+	}
+	if !got.NoJitter || got.Jitter != 0 {
+		t.Fatalf("NoJitter policy gained jitter: %+v", got)
+	}
+}
+
+func TestRetryPolicyDelayGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+		NoJitter:    true,
+	}.WithDefaults()
+
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Out-of-range attempts clamp rather than misbehave.
+	if got := p.Delay(0); got != 10*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want base delay", got)
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}.WithDefaults()
+
+	lo := 50 * time.Millisecond
+	hi := 150 * time.Millisecond
+	varied := false
+	first := p.Delay(1)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jittered delays never varied across 200 samples")
+	}
+}

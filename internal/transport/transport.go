@@ -59,8 +59,17 @@ type PathStats struct {
 	Delivered uint64
 	// Bytes counts payload bytes delivered.
 	Bytes uint64
-	// Errors counts failed deliveries.
+	// Errors counts deliveries that failed after exhausting retries.
 	Errors uint64
+	// Retries counts delivery attempts beyond the first (each retried
+	// message contributes one per extra attempt).
+	Retries uint64
+	// Redials counts peer connections re-established while delivering
+	// on this path — a dropped link that recovered.
+	Redials uint64
+	// Dropped counts messages abandoned for a destination after the
+	// retry budget was exhausted.
+	Dropped uint64
 	// Buffer reports translation-buffer statistics.
 	Buffer qos.BufferStats
 	// Bound is the number of currently bound destinations.
@@ -90,10 +99,23 @@ type path struct {
 	bytesRL *qos.RateLimiter
 	msgRL   *qos.RateLimiter
 
-	mu    sync.Mutex
-	bound map[core.TranslatorID]core.PortRef
-	seq   uint64
-	stats PathStats
+	mu      sync.Mutex
+	bound   map[core.TranslatorID]core.PortRef
+	seq     uint64
+	stats   PathStats
+	peerGen map[string]uint64 // last peer-connection generation seen per node
+}
+
+// notePeerGen records the connection generation used to reach a node; a
+// generation bump means the connection was re-established since this
+// path last delivered there.
+func (p *path) notePeerGen(node string, gen uint64) {
+	p.mu.Lock()
+	if prev, ok := p.peerGen[node]; ok && gen > prev {
+		p.stats.Redials += gen - prev
+	}
+	p.peerGen[node] = gen
+	p.mu.Unlock()
 }
 
 func (p *path) destinations() []core.PortRef {
@@ -115,6 +137,19 @@ type Options struct {
 	Port int
 	// DeliverTimeout bounds one delivery attempt (default 10s).
 	DeliverTimeout time.Duration
+	// DialTimeout bounds one peer connection attempt, and how long a
+	// delivery waits for an in-progress redial cycle (default 5s).
+	DialTimeout time.Duration
+	// Retry bounds per-message delivery retries: a failed delivery is
+	// reattempted with exponential backoff until the policy is
+	// exhausted, then the message is dropped for that destination and
+	// counted in PathStats.Dropped.
+	Retry qos.RetryPolicy
+	// Redial bounds one peer reconnection cycle: after a connection
+	// drops, the module redials with exponential backoff and jitter.
+	// When a cycle exhausts, waiting deliveries fail (and consume one
+	// Retry attempt); a later delivery starts a fresh cycle.
+	Redial qos.RetryPolicy
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
 }
@@ -126,17 +161,38 @@ func (o Options) withDefaults() Options {
 	if o.DeliverTimeout <= 0 {
 		o.DeliverTimeout = 10 * time.Second
 	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	o.Retry = o.Retry.WithDefaults()
+	o.Redial = o.Redial.WithDefaults()
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
 
-// peer is an established inter-node connection.
+// peer is the connection state for one remote node. The connection is
+// re-established by a background redial cycle with exponential backoff;
+// deliveries wait for the cycle in progress (up to DialTimeout) instead
+// of failing outright the moment a link drops.
 type peer struct {
 	node string
-	fc   *frameConn
+
+	mu      sync.Mutex
+	fc      *frameConn    // current connection; nil while down
+	gen     uint64        // count of successful (re)connections
+	ready   chan struct{} // closed when the current dial cycle resolves
+	dialing bool          // a redial cycle is in progress
+	lastErr error         // why the last cycle gave up
 }
+
+// closedChan is a pre-closed channel for peers in a resolved state.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // Module is the transport module of one uMiddle runtime. It implements
 // core.Sink: the runtime binds every local translator's emissions to it.
@@ -152,6 +208,7 @@ type Module struct {
 	mu       sync.Mutex
 	listener *netemu.Listener
 	peers    map[string]*peer
+	conns    map[*frameConn]struct{} // every connection with a live read loop
 	paths    map[PathID]*path
 	bySrc    map[core.PortRef][]*path
 	pending  map[uint64]chan frame
@@ -176,6 +233,7 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 		ctx:     ctx,
 		cancel:  cancel,
 		peers:   make(map[string]*peer),
+		conns:   make(map[*frameConn]struct{}),
 		paths:   make(map[PathID]*path),
 		bySrc:   make(map[core.PortRef][]*path),
 		pending: make(map[uint64]chan frame),
@@ -234,6 +292,11 @@ func (m *Module) Close() error {
 	listener := m.listener
 	peers := m.peers
 	m.peers = make(map[string]*peer)
+	conns := make([]*frameConn, 0, len(m.conns))
+	for fc := range m.conns {
+		conns = append(conns, fc)
+	}
+	m.conns = make(map[*frameConn]struct{})
 	paths := m.paths
 	m.paths = make(map[PathID]*path)
 	m.bySrc = make(map[core.PortRef][]*path)
@@ -244,7 +307,18 @@ func (m *Module) Close() error {
 		listener.Close()
 	}
 	for _, p := range peers {
-		p.fc.close()
+		p.mu.Lock()
+		fc := p.fc
+		p.mu.Unlock()
+		if fc != nil {
+			fc.close()
+		}
+	}
+	// Close every remaining connection — including accepted duplicates
+	// that never became (or stopped being) a peer's current link — so
+	// their read loops unblock and the WaitGroup can drain.
+	for _, fc := range conns {
+		fc.close()
 	}
 	for _, p := range paths {
 		p.buf.Close()
@@ -264,17 +338,65 @@ func (m *Module) acceptLoop(l *netemu.Listener) {
 		go func() {
 			defer m.wg.Done()
 			m.readLoop(fc)
+			// The connection may have been registered as a peer by a
+			// hello frame; detach it so deliveries stop using it and a
+			// redial cycle can replace it.
+			m.forgetConn(fc)
 		}()
 	}
 }
 
+// deliverQueueDepth bounds per-connection deliveries dispatched off the
+// read loop but not yet handed to their translator.
+const deliverQueueDepth = 256
+
 // readLoop processes inbound frames from one connection until error.
+// Deliver frames are dispatched to a per-connection worker so one slow
+// Translator.Deliver cannot stall control frames — in particular the
+// ack/error responses that request() waits on — arriving behind it.
+// The worker drains the queue in order, preserving per-connection
+// delivery ordering.
 func (m *Module) readLoop(fc *frameConn) {
-	defer fc.close()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		fc.close()
+		return
+	}
+	m.conns[fc] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.conns, fc)
+		m.mu.Unlock()
+	}()
+
+	deliveries := make(chan frame, deliverQueueDepth)
+	var dwg sync.WaitGroup
+	dwg.Add(1)
+	go func() {
+		defer dwg.Done()
+		for f := range deliveries {
+			m.deliverLocal(f.header.Dst, f.message())
+		}
+	}()
+	defer func() {
+		close(deliveries)
+		dwg.Wait()
+		fc.close()
+	}()
 	for {
 		f, err := fc.read()
 		if err != nil {
 			return
+		}
+		if f.header.Type == frameDeliver {
+			select {
+			case deliveries <- f:
+			case <-m.ctx.Done():
+				return
+			}
+			continue
 		}
 		m.handleFrame(fc, f)
 	}
@@ -284,8 +406,6 @@ func (m *Module) handleFrame(fc *frameConn, f frame) {
 	switch f.header.Type {
 	case frameHello:
 		m.registerPeer(f.header.From, fc)
-	case frameDeliver:
-		m.deliverLocal(f.header.Dst, f.message())
 	case frameConnect:
 		id, err := m.installFromFrame(f)
 		m.reply(fc, f, id, err)
@@ -318,35 +438,111 @@ func (m *Module) reply(fc *frameConn, req frame, id PathID, err error) {
 	}
 }
 
+// registerPeer records an inbound connection as the peer link for a
+// node (unless one is already established). A re-registration after a
+// drop counts as a reconnection and triggers a prompt directory
+// re-announce so the healed peer relearns our translators immediately.
 func (m *Module) registerPeer(node string, fc *frameConn) {
 	if node == "" {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.peers[node]; !ok {
-		m.peers[node] = &peer{node: node, fc: fc}
+	p := m.getOrCreatePeer(node)
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.fc != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.fc = fc
+	p.gen++
+	gen := p.gen
+	if p.dialing {
+		// Resolve the in-flight dial cycle; its goroutine observes
+		// p.fc != nil and exits without touching ready again.
+		p.dialing = false
+		close(p.ready)
+	}
+	p.mu.Unlock()
+	if gen > 1 {
+		m.opts.Logger.Info("transport: peer reconnected (inbound)", "node", node)
+		m.dir.AnnounceNow()
 	}
 }
 
-// peerFor returns an established connection to a node, dialing if
-// necessary.
-func (m *Module) peerFor(node string) (*peer, error) {
+// getOrCreatePeer returns the peer state for a node, creating it if
+// needed. Returns nil when the module is closed.
+func (m *Module) getOrCreatePeer(node string) *peer {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
-		m.mu.Unlock()
-		return nil, ErrClosed
+		return nil
 	}
-	if p, ok := m.peers[node]; ok {
-		m.mu.Unlock()
-		return p, nil
+	p, ok := m.peers[node]
+	if !ok {
+		p = &peer{node: node, ready: closedChan}
+		m.peers[node] = p
 	}
-	m.mu.Unlock()
+	return p
+}
+
+// peerFor returns an established connection to a node and its
+// generation, starting a redial cycle and waiting for it (bounded by
+// DialTimeout) when the peer is down.
+func (m *Module) peerFor(node string) (*frameConn, uint64, error) {
 	if m.host == nil {
-		return nil, fmt.Errorf("transport: no network; cannot reach node %q", node)
+		return nil, 0, fmt.Errorf("transport: no network; cannot reach node %q", node)
+	}
+	p := m.getOrCreatePeer(node)
+	if p == nil {
+		return nil, 0, ErrClosed
 	}
 
-	ctx, cancel := context.WithTimeout(m.ctx, 5*time.Second)
+	p.mu.Lock()
+	if p.fc != nil {
+		fc, gen := p.fc, p.gen
+		p.mu.Unlock()
+		return fc, gen, nil
+	}
+	if !p.dialing {
+		if !m.trackWorker() {
+			p.mu.Unlock()
+			return nil, 0, ErrClosed
+		}
+		p.dialing = true
+		p.ready = make(chan struct{})
+		p.lastErr = nil
+		go m.redialLoop(p, p.ready)
+	}
+	ready := p.ready
+	p.mu.Unlock()
+
+	t := time.NewTimer(m.opts.DialTimeout)
+	defer t.Stop()
+	select {
+	case <-ready:
+	case <-t.C:
+		return nil, 0, fmt.Errorf("transport: dial %q: timed out after %v", node, m.opts.DialTimeout)
+	case <-m.ctx.Done():
+		return nil, 0, ErrClosed
+	}
+
+	p.mu.Lock()
+	fc, gen, err := p.fc, p.gen, p.lastErr
+	p.mu.Unlock()
+	if fc != nil {
+		return fc, gen, nil
+	}
+	if err == nil {
+		err = fmt.Errorf("transport: connection to %q lost", node)
+	}
+	return nil, 0, err
+}
+
+// dialPeer performs one connection attempt: dial plus hello.
+func (m *Module) dialPeer(node string) (*frameConn, error) {
+	ctx, cancel := context.WithTimeout(m.ctx, m.opts.DialTimeout)
 	defer cancel()
 	conn, err := m.host.Dial(ctx, node+":"+strconv.Itoa(m.opts.Port))
 	if err != nil {
@@ -357,33 +553,162 @@ func (m *Module) peerFor(node string) (*peer, error) {
 		fc.close()
 		return nil, fmt.Errorf("transport: hello to %q: %w", node, err)
 	}
+	return fc, nil
+}
 
-	m.mu.Lock()
-	if existing, ok := m.peers[node]; ok {
-		m.mu.Unlock()
-		fc.close()
-		return existing, nil
-	}
-	p := &peer{node: node, fc: fc}
-	m.peers[node] = p
-	m.mu.Unlock()
-
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		m.readLoop(fc)
-		m.mu.Lock()
-		if cur, ok := m.peers[node]; ok && cur == p {
-			delete(m.peers, node)
+// redialLoop runs one reconnection cycle for a peer: bounded dial
+// attempts with exponential backoff and jitter (Options.Redial). On
+// success the connection is installed and a read loop started; on
+// exhaustion the cycle resolves with an error and a later delivery
+// starts a fresh cycle. myReady identifies the cycle: if the peer's
+// ready channel changes (an inbound connection resolved it, or a
+// subsequent drop superseded it), this cycle abandons quietly.
+func (m *Module) redialLoop(p *peer, myReady chan struct{}) {
+	defer m.wg.Done()
+	policy := m.opts.Redial
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if err := m.ctx.Err(); err != nil {
+			lastErr = ErrClosed
+			break
 		}
-		m.mu.Unlock()
-	}()
-	return p, nil
+		p.mu.Lock()
+		if p.ready != myReady || p.fc != nil {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		fc, err := m.dialPeer(p.node)
+		if err == nil {
+			p.mu.Lock()
+			if p.ready != myReady || p.fc != nil {
+				p.mu.Unlock()
+				fc.close()
+				return
+			}
+			p.fc = fc
+			p.gen++
+			gen := p.gen
+			p.dialing = false
+			close(myReady)
+			p.mu.Unlock()
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.readLoop(fc)
+				m.peerDisconnected(p, fc)
+			}()
+			if gen > 1 {
+				m.opts.Logger.Info("transport: peer reconnected", "node", p.node, "attempt", attempt)
+				// Re-announce promptly so the healed peer rebinds
+				// dynamic paths without waiting for the announce tick.
+				m.dir.AnnounceNow()
+			}
+			return
+		}
+		lastErr = err
+		if attempt < policy.MaxAttempts {
+			if !sleepCtx(m.ctx, policy.Delay(attempt)) {
+				lastErr = ErrClosed
+				break
+			}
+		}
+	}
+	p.mu.Lock()
+	if p.ready == myReady && p.fc == nil {
+		p.lastErr = lastErr
+		p.dialing = false
+		close(myReady)
+	}
+	p.mu.Unlock()
+}
+
+// peerDisconnected detaches a dead connection from its peer state and,
+// unless the module is closing, starts a proactive redial cycle so the
+// link recovers before the next delivery needs it.
+func (m *Module) peerDisconnected(p *peer, fc *frameConn) {
+	p.mu.Lock()
+	if p.fc != fc {
+		p.mu.Unlock()
+		fc.close()
+		return
+	}
+	p.fc = nil
+	spawn := false
+	if !p.dialing {
+		if m.trackWorker() {
+			p.dialing = true
+			p.ready = make(chan struct{})
+			p.lastErr = nil
+			spawn = true
+		} else {
+			p.ready = closedChan
+			p.lastErr = ErrClosed
+		}
+	}
+	ready := p.ready
+	p.mu.Unlock()
+	fc.close()
+	if spawn {
+		m.opts.Logger.Info("transport: peer connection lost; redialing", "node", p.node)
+		go m.redialLoop(p, ready)
+	}
+}
+
+// trackWorker adds one to the module WaitGroup unless the module is
+// closed. Guarding the Add with m.closed (set before Close waits)
+// keeps wg.Add from racing wg.Wait when the caller's goroutine is not
+// itself tracked.
+func (m *Module) trackWorker() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.wg.Add(1)
+	return true
+}
+
+// forgetConn routes a dead, possibly-registered connection to
+// peerDisconnected (accepted connections learn their node only from the
+// hello frame, so the peer is found by connection identity).
+func (m *Module) forgetConn(fc *frameConn) {
+	m.mu.Lock()
+	peers := make([]*peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		match := p.fc == fc
+		p.mu.Unlock()
+		if match {
+			m.peerDisconnected(p, fc)
+			return
+		}
+	}
+}
+
+// sleepCtx sleeps for d, returning false if ctx finished first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // request sends a frame to a node and waits for its ack/error.
 func (m *Module) request(node string, f frame) (frame, error) {
-	p, err := m.peerFor(node)
+	fc, _, err := m.peerFor(node)
 	if err != nil {
 		return frame{}, err
 	}
@@ -396,11 +721,11 @@ func (m *Module) request(node string, f frame) (frame, error) {
 	f.header.ID = id
 	f.header.From = m.node
 
-	if err := p.fc.write(f); err != nil {
+	if err := fc.write(f); err != nil {
 		m.mu.Lock()
 		delete(m.pending, id)
 		m.mu.Unlock()
-		m.dropPeer(node, p)
+		m.dropPeer(node, fc)
 		return frame{}, fmt.Errorf("transport: send to %q: %w", node, err)
 	}
 	t := time.NewTimer(m.opts.DeliverTimeout)
@@ -417,6 +742,11 @@ func (m *Module) request(node string, f frame) (frame, error) {
 		m.mu.Unlock()
 		return frame{}, fmt.Errorf("transport: request to %q timed out", node)
 	case <-m.ctx.Done():
+		// Remove the pending entry here too, or the channel leaks in
+		// m.pending for the life of the module.
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
 		return frame{}, ErrClosed
 	}
 }
@@ -563,6 +893,7 @@ func (p *path) tryBind(candidate core.Profile, srcType core.DataType) {
 
 func (m *Module) addPath(p *path) (PathID, error) {
 	cls := p.class
+	p.peerGen = make(map[string]uint64)
 	p.buf = qos.NewBuffer[core.Message](cls.BufferCapacity, cls.Policy)
 	if cls.RateBytesPerSec > 0 {
 		p.bytesRL = qos.NewRateLimiter(cls.RateBytesPerSec, cls.RateBytesPerSec)
@@ -664,11 +995,13 @@ func (m *Module) pathWorker(p *path) {
 			}
 		}
 		for _, dst := range p.destinations() {
-			if err := m.deliver(dst, msg); err != nil {
+			if err := m.deliverWithRetry(p, dst, msg); err != nil {
 				p.mu.Lock()
 				p.stats.Errors++
+				p.stats.Dropped++
 				p.mu.Unlock()
-				m.opts.Logger.Warn("transport: deliver failed", "path", p.id, "dst", dst, "err", err)
+				m.opts.Logger.Warn("transport: message dropped after retries",
+					"path", p.id, "dst", dst, "err", err)
 				continue
 			}
 			p.mu.Lock()
@@ -679,9 +1012,37 @@ func (m *Module) pathWorker(p *path) {
 	}
 }
 
+// deliverWithRetry attempts delivery to one destination under the
+// path's retry budget (Options.Retry), backing off between attempts.
+// Exhausting the budget returns the last error; the caller drops the
+// message for this destination and moves on, so a permanently dead
+// destination cannot stall the others on the path.
+func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) error {
+	policy := m.opts.Retry
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.mu.Lock()
+			p.stats.Retries++
+			p.mu.Unlock()
+			if !sleepCtx(m.ctx, policy.Delay(attempt-1)) {
+				return ErrClosed
+			}
+		}
+		lastErr = m.deliver(p, dst, msg)
+		if lastErr == nil {
+			return nil
+		}
+		if errors.Is(lastErr, ErrClosed) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
 // deliver routes one message to a destination port, locally or across
 // the network.
-func (m *Module) deliver(dst core.PortRef, msg core.Message) error {
+func (m *Module) deliver(p *path, dst core.PortRef, msg core.Message) error {
 	node := dst.Translator.Node()
 	if node == "" {
 		if profile, err := m.dir.Resolve(dst.Translator); err == nil {
@@ -693,29 +1054,32 @@ func (m *Module) deliver(dst core.PortRef, msg core.Message) error {
 	if node == m.node {
 		return m.deliverLocalErr(dst, msg)
 	}
-	p, err := m.peerFor(node)
+	fc, gen, err := m.peerFor(node)
 	if err != nil {
 		return err
 	}
-	if err := p.fc.write(deliverFrame(m.node, dst, msg)); err != nil {
+	p.notePeerGen(node, gen)
+	if err := fc.write(deliverFrame(m.node, dst, msg)); err != nil {
 		// A failed write may have left a partial frame on the stream,
-		// desynchronizing the peer; discard the connection so the next
-		// delivery redials cleanly.
-		m.dropPeer(node, p)
+		// desynchronizing the peer; discard the connection so the redial
+		// cycle replaces it cleanly.
+		m.dropPeer(node, fc)
 		return err
 	}
 	return nil
 }
 
-// dropPeer discards a (possibly corrupted) peer connection if it is
-// still the current one for the node.
-func (m *Module) dropPeer(node string, p *peer) {
+// dropPeer detaches a (possibly corrupted) connection from its peer if
+// it is still the current one, kicking off a redial cycle.
+func (m *Module) dropPeer(node string, fc *frameConn) {
 	m.mu.Lock()
-	if cur, ok := m.peers[node]; ok && cur == p {
-		delete(m.peers, node)
-	}
+	p, ok := m.peers[node]
 	m.mu.Unlock()
-	p.fc.close()
+	if !ok {
+		fc.close()
+		return
+	}
+	m.peerDisconnected(p, fc)
 }
 
 func (m *Module) deliverLocal(dst core.PortRef, msg core.Message) {

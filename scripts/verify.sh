@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repo verification: tier-1 build+test, vet, and the race detector over
+# the concurrency-heavy packages (transport redial cycles, directory
+# announce loops, netemu fault injection).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/transport/ ./internal/directory/ ./internal/netemu/

@@ -74,6 +74,15 @@ type (
 	PathID = transport.PathID
 	// QoSClass bundles per-path buffering and rate-limit parameters.
 	QoSClass = qos.Class
+	// PathStats reports per-path delivery statistics, including the
+	// fault-tolerance counters (Retries, Redials, Dropped).
+	PathStats = transport.PathStats
+	// TransportOptions tunes the node's transport module: dial and
+	// delivery timeouts plus the Retry/Redial policies governing
+	// fault-tolerant delivery.
+	TransportOptions = transport.Options
+	// RetryPolicy is an exponential-backoff-with-jitter retry budget.
+	RetryPolicy = qos.RetryPolicy
 	// MapperRecorder collects service-level bridging samples.
 	MapperRecorder = mapper.Recorder
 )
@@ -130,6 +139,9 @@ type RuntimeConfig struct {
 	Network *Network
 	// AnnounceInterval tunes directory advertisement (0 = default).
 	AnnounceInterval time.Duration
+	// Transport tunes the transport module (zero value = defaults):
+	// timeouts and the Retry/Redial fault-tolerance policies.
+	Transport TransportOptions
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
 }
@@ -157,6 +169,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		Node:      cfg.Node,
 		Host:      host,
 		Directory: directory.Options{AnnounceInterval: cfg.AnnounceInterval},
+		Transport: cfg.Transport,
 		Logger:    cfg.Logger,
 	})
 	if err != nil {
