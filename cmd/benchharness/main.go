@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	benchharness [-exp all|fig10|sec52|fig11|table1] [-iters N] [-msgs N]
+//	benchharness [-exp all|fig10|sec52|fig11|table1] [-iters N] [-msgs N] [-json]
+//
+// With -json, each experiment additionally writes its rows to
+// BENCH_<exp>.json in the working directory, for machine consumption
+// (cross-checking figures against the obs-layer histograms, CI trend
+// tracking).
 //
 // See EXPERIMENTS.md for the recorded results and the shape criteria.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +29,29 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos")
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
+	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
 	flag.Parse()
+	writeJSON := func(name string, v any) error {
+		if !*jsonOut {
+			return nil
+		}
+		path := "BENCH_" + name + ".json"
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
 
 	run := func(name string, fn func() error) {
 		switch *exp {
@@ -40,14 +68,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	run("table1", func() error { return printTable1() })
-	run("fig10", func() error { return printFig10(*iters) })
-	run("sec52", func() error { return printSec52(*iters) })
-	run("fig11", func() error { return printFig11(*msgs) })
-	run("qos", func() error { return printQoS() })
+	run("table1", func() error { return printTable1(writeJSON) })
+	run("fig10", func() error { return printFig10(*iters, writeJSON) })
+	run("sec52", func() error { return printSec52(*iters, writeJSON) })
+	run("fig11", func() error { return printFig11(*msgs, writeJSON) })
+	run("qos", func() error { return printQoS(writeJSON) })
 }
 
-func printTable1() error {
+// jsonWriter persists one experiment's rows when -json is set.
+type jsonWriter func(name string, v any) error
+
+func printTable1(writeJSON jsonWriter) error {
 	fmt.Println("== Table 1: mutual compatibility of design choices ==")
 	fmt.Println("(O = the two choices can coexist, - = they cannot)")
 	choices := core.AllChoices()
@@ -81,11 +112,19 @@ func printTable1() error {
 	if !core.DesignValid(core.UMiddleDesign()) {
 		return fmt.Errorf("uMiddle design point is inconsistent")
 	}
+	design := core.UMiddleDesign()
+	labels := make([]string, len(design))
+	for i, c := range design {
+		labels[i] = c.Label()
+	}
+	if err := writeJSON("table1", map[string]any{"design": design, "labels": labels, "valid": true}); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
 
-func printFig10(iters int) error {
+func printFig10(iters int, writeJSON jsonWriter) error {
 	fmt.Printf("== Figure 10: service-level bridging (translator generation), %d mappings per device ==\n", iters)
 	rows, err := bench.RunFigure10(iters)
 	if err != nil {
@@ -101,12 +140,15 @@ func printFig10(iters int) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := writeJSON("fig10", rows); err != nil {
+		return err
+	}
 	fmt.Println("shape check: the clock (14 ports, 3 services) must map slowest among UPnP devices.")
 	fmt.Println()
 	return nil
 }
 
-func printSec52(iters int) error {
+func printSec52(iters int, writeJSON jsonWriter) error {
 	if iters < 10 {
 		iters = 10
 	}
@@ -138,12 +180,15 @@ func printSec52(iters int) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := writeJSON("sec52", []bench.Sec52Row{upnpRow, btRow}); err != nil {
+		return err
+	}
 	fmt.Println("shape check: the infrastructure itself contributes little to the overhead (paper Section 5.2).")
 	fmt.Println()
 	return nil
 }
 
-func printFig11(msgs int) error {
+func printFig11(msgs int, writeJSON jsonWriter) error {
 	fmt.Println("== Figure 11: transport-level bridging throughput (1400-byte messages, 10 Mbps links) ==")
 	rows, err := bench.RunFigure11(msgs)
 	if err != nil {
@@ -158,12 +203,15 @@ func printFig11(msgs int) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if err := writeJSON("fig11", rows); err != nil {
+		return err
+	}
 	fmt.Println("shape check: TCP > MB > RMI > RMI-MB, bridged paths pay marshal/unmarshal twice.")
 	fmt.Println()
 	return nil
 }
 
-func printQoS() error {
+func printQoS(writeJSON jsonWriter) error {
 	fmt.Println("== QoS ablation (paper Section 5.3 / future work): fast producer, slow consumer ==")
 	rows, err := bench.RunQoSAblation(time.Second, 20*time.Millisecond)
 	if err != nil {
@@ -177,6 +225,9 @@ func printQoS() error {
 			r.MeanStaleness.Round(time.Microsecond*100))
 	}
 	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON("qos", rows); err != nil {
 		return err
 	}
 	fmt.Println("shape check: block accumulates (stale, no drops); dropping policies bound staleness;")

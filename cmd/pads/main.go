@@ -12,6 +12,7 @@
 // Commands:
 //
 //	list                          show pads and wires
+//	stats                         show metrics and recent trace events
 //	wire padN#port padM#port      draw a cable between two ports
 //	wire padN#port accepting <mime> [physical]
 //	                              draw a template cable (dynamic binding)

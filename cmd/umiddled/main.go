@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	umiddled [-nodes N] [-duration 5s] [-verbose]
+//	umiddled [-nodes N] [-duration 5s] [-verbose] [-http :8080]
+//
+// With -http, the deployment's observability layer is served over HTTP
+// for the lifetime of the run: /metrics renders every node's counters
+// and latency histograms in the Prometheus text format (all runtimes
+// share one registry; series carry a node label), and /trace returns
+// the recent event-trace ring (translator mapped/unmapped, path
+// connect/disconnect, redial, drop, expiry) as JSON.
 //
 // The default scenario is the paper's smart room: UPnP light, clock and
 // MediaRenderer TV; Bluetooth BIP camera and HID mouse; a Berkeley mote;
@@ -16,9 +23,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -38,10 +48,42 @@ func main() {
 	}
 }
 
+// serveObservability exposes the deployment's registry over real HTTP:
+// /metrics in the Prometheus text format, /trace as JSON. It returns a
+// shutdown func.
+func serveObservability(addr string, reg *umiddle.ObsRegistry) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := reg.Trace().Events()
+		if events == nil {
+			events = []umiddle.TraceEvent{}
+		}
+		if err := json.NewEncoder(w).Encode(events); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // shut down via stop()
+	fmt.Printf("umiddled: observability at http://%s/metrics and http://%s/trace\n", ln.Addr(), ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
 func run() error {
 	nodes := flag.Int("nodes", 2, "number of uMiddle runtime nodes")
 	duration := flag.Duration("duration", 5*time.Second, "how long to run")
 	verbose := flag.Bool("verbose", false, "log runtime internals")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus) and /trace (JSON) on this address, e.g. :8080")
 	flag.Parse()
 	if *nodes < 1 {
 		return fmt.Errorf("need at least one node")
@@ -55,18 +97,29 @@ func run() error {
 	net := umiddle.NewEmulatedNetwork()
 	defer net.Close()
 
+	// One registry across every runtime: series carry a node label, so
+	// a single /metrics endpoint covers the whole deployment.
+	obsReg := umiddle.NewObsRegistry()
 	runtimes := make([]*umiddle.Runtime, *nodes)
 	for i := range runtimes {
 		rt, err := umiddle.NewRuntime(umiddle.RuntimeConfig{
 			Node:    fmt.Sprintf("h%d", i+1),
 			Network: net,
 			Logger:  logger,
+			Obs:     obsReg,
 		})
 		if err != nil {
 			return err
 		}
 		defer rt.Close()
 		runtimes[i] = rt
+	}
+	if *httpAddr != "" {
+		stop, err := serveObservability(*httpAddr, obsReg)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	h1 := runtimes[0]
 	h2 := h1

@@ -17,11 +17,15 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"maps"
+	"slices"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netemu"
+	"repro/internal/obs"
 )
 
 // Group is the multicast group used for advertisement exchange.
@@ -35,6 +39,11 @@ const (
 	// DefaultExpiryFactor times the announce interval gives the remote
 	// profile time-to-live.
 	DefaultExpiryFactor = 4
+	// DefaultCoalesceWindow is how long an AddLocal-triggered announce
+	// waits to absorb further registrations. Importing N translators in
+	// a burst (a mapper discovering a device population) broadcasts one
+	// full-state advert instead of N O(N)-sized ones.
+	DefaultCoalesceWindow = 5 * time.Millisecond
 )
 
 // ErrNotFound is returned when resolving an unknown translator.
@@ -90,6 +99,12 @@ type Options struct {
 	AnnounceInterval time.Duration
 	// ExpiryFactor overrides DefaultExpiryFactor.
 	ExpiryFactor int
+	// CoalesceWindow overrides DefaultCoalesceWindow: how long an
+	// AddLocal-triggered announce is delayed to batch with others.
+	CoalesceWindow time.Duration
+	// Obs receives directory metrics and trace events; nil allocates a
+	// private registry (readable via Obs()).
+	Obs *obs.Registry
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
 }
@@ -100,6 +115,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ExpiryFactor <= 0 {
 		o.ExpiryFactor = DefaultExpiryFactor
+	}
+	if o.CoalesceWindow <= 0 {
+		o.CoalesceWindow = DefaultCoalesceWindow
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
@@ -119,18 +140,31 @@ type remoteEntry struct {
 	seen    time.Time
 }
 
+// dirMetrics bundles the directory's metric handles, resolved once at
+// construction so the hot paths never touch the registry map.
+type dirMetrics struct {
+	sent      map[string]*obs.Counter // advert type -> counter
+	received  *obs.Counter
+	malformed *obs.Counter
+	expired   *obs.Counter
+	notifyLat *obs.Histogram
+}
+
 // Directory is one runtime's view of the intermediary semantic space.
 type Directory struct {
-	node string
-	host *netemu.Host
-	opts Options
+	node  string
+	host  *netemu.Host
+	opts  Options
+	met   dirMetrics
+	trace *obs.Trace
 
-	mu        sync.RWMutex
-	local     map[core.TranslatorID]localEntry
-	remote    map[core.TranslatorID]remoteEntry
-	listeners []Listener
-	started   bool
-	closed    bool
+	mu              sync.RWMutex
+	local           map[core.TranslatorID]localEntry
+	remote          map[core.TranslatorID]remoteEntry
+	listeners       []Listener
+	started         bool
+	closed          bool
+	announcePending bool
 
 	group  *netemu.GroupConn
 	cancel context.CancelFunc
@@ -141,14 +175,38 @@ type Directory struct {
 // standalone (single-node) directory that performs no advertisement
 // exchange.
 func New(node string, host *netemu.Host, opts Options) *Directory {
-	return &Directory{
-		node:   node,
-		host:   host,
-		opts:   opts.withDefaults(),
+	opts = opts.withDefaults()
+	reg := opts.Obs
+	reg.Describe("umiddle_directory_adverts_sent_total", "Directory adverts broadcast, by advert type.")
+	reg.Describe("umiddle_directory_adverts_received_total", "Directory adverts received from peer nodes.")
+	reg.Describe("umiddle_directory_adverts_malformed_total", "Received adverts dropped as malformed.")
+	reg.Describe("umiddle_directory_expired_total", "Remote translators expired after node silence.")
+	reg.Describe("umiddle_directory_notify_latency_seconds", "Time to notify all listeners of one mapped/unmapped event.")
+	nl := obs.Labels{"node": node}
+	d := &Directory{
+		node: node,
+		host: host,
+		opts: opts,
+		met: dirMetrics{
+			sent: map[string]*obs.Counter{
+				"announce": reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "announce"}),
+				"remove":   reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "remove"}),
+				"bye":      reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "bye"}),
+			},
+			received:  reg.Counter("umiddle_directory_adverts_received_total", nl),
+			malformed: reg.Counter("umiddle_directory_adverts_malformed_total", nl),
+			expired:   reg.Counter("umiddle_directory_expired_total", nl),
+			notifyLat: reg.Histogram("umiddle_directory_notify_latency_seconds", nl, nil),
+		},
+		trace:  reg.Trace(),
 		local:  make(map[core.TranslatorID]localEntry),
 		remote: make(map[core.TranslatorID]remoteEntry),
 	}
+	return d
 }
+
+// Obs returns the registry collecting this directory's metrics.
+func (d *Directory) Obs() *obs.Registry { return d.opts.Obs }
 
 // Node returns the owning runtime's node name.
 func (d *Directory) Node() string { return d.node }
@@ -186,6 +244,8 @@ func (d *Directory) Start() error {
 }
 
 // Close stops advertisement exchange, sends a bye, and clears state.
+// After Close, AddLocal and RemoveLocal fail with ErrClosed and no
+// further adverts are emitted.
 func (d *Directory) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -198,7 +258,10 @@ func (d *Directory) Close() error {
 	d.mu.Unlock()
 
 	if group != nil {
-		d.send(advert{Type: "bye", Node: d.node})
+		// Sent directly rather than via send(), which refuses once the
+		// directory is closed: the bye is the one advert that must still
+		// go out, and it must be the last.
+		d.sendOn(group, advert{Type: "bye", Node: d.node})
 	}
 	if cancel != nil {
 		cancel()
@@ -232,16 +295,23 @@ func (d *Directory) AddLocal(tr core.Translator) error {
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
-	for _, l := range listeners {
-		l.TranslatorMapped(p.Clone())
-	}
-	d.AnnounceNow()
+	d.trace.Event("translator_mapped", d.node, string(p.ID))
+	d.notifyMapped(listeners, p)
+	// Coalesced rather than immediate: a mapper importing a device burst
+	// schedules one broadcast, not O(N) full-state ones.
+	d.scheduleAnnounce()
 	return nil
 }
 
 // RemoveLocal unregisters a local translator and propagates the removal.
+// It fails with ErrClosed after Close so shutdown races cannot emit
+// stray adverts.
 func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("directory: %w", netemu.ErrClosed)
+	}
 	entry, ok := d.local[id]
 	if !ok {
 		d.mu.Unlock()
@@ -251,11 +321,57 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
+	d.trace.Event("translator_unmapped", d.node, string(id))
+	d.notifyUnmapped(listeners, id)
+	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}})
+	return entry.translator, nil
+}
+
+// notifyMapped runs every listener's TranslatorMapped, timing the full
+// fan-out — the listener-notify latency the paper's monitoring dimension
+// calls for (a slow listener stalls discovery propagation).
+func (d *Directory) notifyMapped(listeners []Listener, p core.Profile) {
+	if len(listeners) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, l := range listeners {
+		l.TranslatorMapped(p.Clone())
+	}
+	d.met.notifyLat.ObserveDuration(time.Since(start))
+}
+
+// notifyUnmapped is notifyMapped's counterpart for departures.
+func (d *Directory) notifyUnmapped(listeners []Listener, id core.TranslatorID) {
+	if len(listeners) == 0 {
+		return
+	}
+	start := time.Now()
 	for _, l := range listeners {
 		l.TranslatorUnmapped(id)
 	}
-	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}})
-	return entry.translator, nil
+	d.met.notifyLat.ObserveDuration(time.Since(start))
+}
+
+// scheduleAnnounce requests a full-state broadcast after the coalesce
+// window; requests arriving while one is pending fold into it.
+func (d *Directory) scheduleAnnounce() {
+	d.mu.Lock()
+	if d.closed || d.announcePending {
+		d.mu.Unlock()
+		return
+	}
+	d.announcePending = true
+	d.mu.Unlock()
+	time.AfterFunc(d.opts.CoalesceWindow, func() {
+		d.mu.Lock()
+		d.announcePending = false
+		closed := d.closed
+		d.mu.Unlock()
+		if !closed {
+			d.AnnounceNow()
+		}
+	})
 }
 
 // Local resolves a locally hosted translator.
@@ -271,10 +387,10 @@ func (d *Directory) Local(id core.TranslatorID) (core.Translator, bool) {
 
 // Lookup returns profiles of translators matching the query — the
 // paper's Figure 6-(1) API. Both local and remote translators are
-// returned.
+// returned, sorted by (Node, ID) so dynamic binding and tests see a
+// deterministic order rather than Go map iteration order.
 func (d *Directory) Lookup(q core.Query) []core.Profile {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	var out []core.Profile
 	for _, e := range d.local {
 		if q.Matches(e.profile) {
@@ -286,6 +402,13 @@ func (d *Directory) Lookup(q core.Query) []core.Profile {
 			out = append(out, e.profile.Clone())
 		}
 	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
@@ -348,15 +471,23 @@ func (d *Directory) AnnounceNow() {
 func (d *Directory) send(a advert) {
 	d.mu.RLock()
 	group := d.group
+	closed := d.closed
 	d.mu.RUnlock()
-	if group == nil {
+	if group == nil || closed {
 		return
 	}
+	d.sendOn(group, a)
+}
+
+// sendOn marshals and broadcasts one advert on the given group,
+// counting it. Close uses it directly for the final bye.
+func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
 	data, err := json.Marshal(a)
 	if err != nil {
 		d.opts.Logger.Error("directory: marshal advert", "err", err)
 		return
 	}
+	d.met.sent[a.Type].Inc()
 	if err := group.Send(data); err != nil && !errors.Is(err, netemu.ErrClosed) {
 		d.opts.Logger.Warn("directory: send advert", "err", err)
 	}
@@ -386,8 +517,10 @@ func (d *Directory) receiveLoop() {
 		if dg.From == d.host.Name() {
 			continue // our own announcement
 		}
+		d.met.received.Inc()
 		var a advert
 		if err := json.Unmarshal(dg.Payload, &a); err != nil {
+			d.met.malformed.Inc()
 			d.opts.Logger.Warn("directory: bad advert", "from", dg.From, "err", err)
 			continue
 		}
@@ -401,6 +534,7 @@ func (d *Directory) handleAdvert(a advert) {
 		for i := range a.Profiles {
 			p := a.Profiles[i]
 			if err := p.RestoreShape(); err != nil {
+				d.met.malformed.Inc()
 				d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
 				continue
 			}
@@ -413,8 +547,21 @@ func (d *Directory) handleAdvert(a advert) {
 	case "bye":
 		d.dropNode(a.Node)
 	default:
+		d.met.malformed.Inc()
 		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
 	}
+}
+
+// sameProfile reports whether two profiles describe the same translator
+// state — identity, provenance, shape, and attributes.
+func sameProfile(a, b core.Profile) bool {
+	return a.ID == b.ID &&
+		a.Name == b.Name &&
+		a.Platform == b.Platform &&
+		a.DeviceType == b.DeviceType &&
+		a.Node == b.Node &&
+		slices.Equal(a.Shape.Ports(), b.Shape.Ports()) &&
+		maps.Equal(a.Attributes, b.Attributes)
 }
 
 func (d *Directory) integrate(p core.Profile) {
@@ -422,16 +569,24 @@ func (d *Directory) integrate(p core.Profile) {
 		return // don't learn our own state back
 	}
 	d.mu.Lock()
-	_, known := d.remote[p.ID]
+	prev, known := d.remote[p.ID]
+	// A re-announced profile with a changed shape (ports added or
+	// removed) must re-notify, or dynamic bindings never see device
+	// updates; only a byte-identical refresh is silent.
+	changed := known && !sameProfile(prev.profile, p)
 	d.remote[p.ID] = remoteEntry{profile: p.Clone(), seen: time.Now()}
 	var listeners []Listener
-	if !known {
+	if !known || changed {
 		listeners = append([]Listener(nil), d.listeners...)
 	}
 	d.mu.Unlock()
-	for _, l := range listeners {
-		l.TranslatorMapped(p.Clone())
+	switch {
+	case !known:
+		d.trace.Event("translator_mapped", d.node, string(p.ID))
+	case changed:
+		d.trace.Event("translator_updated", d.node, string(p.ID))
 	}
+	d.notifyMapped(listeners, p)
 }
 
 func (d *Directory) dropRemote(id core.TranslatorID) {
@@ -445,9 +600,8 @@ func (d *Directory) dropRemote(id core.TranslatorID) {
 	if !known {
 		return
 	}
-	for _, l := range listeners {
-		l.TranslatorUnmapped(id)
-	}
+	d.trace.Event("translator_unmapped", d.node, string(id))
+	d.notifyUnmapped(listeners, id)
 }
 
 func (d *Directory) dropNode(node string) {
@@ -462,9 +616,8 @@ func (d *Directory) dropNode(node string) {
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 	for _, id := range dropped {
-		for _, l := range listeners {
-			l.TranslatorUnmapped(id)
-		}
+		d.trace.Event("translator_unmapped", d.node, string(id))
+		d.notifyUnmapped(listeners, id)
 	}
 }
 
@@ -485,8 +638,8 @@ func (d *Directory) expireStale() {
 	d.mu.Unlock()
 	for _, id := range dropped {
 		d.opts.Logger.Info("directory: expired", "id", id)
-		for _, l := range listeners {
-			l.TranslatorUnmapped(id)
-		}
+		d.met.expired.Inc()
+		d.trace.Event("expiry", d.node, string(id))
+		d.notifyUnmapped(listeners, id)
 	}
 }

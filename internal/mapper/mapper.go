@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/usdl"
 )
 
@@ -106,6 +107,26 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.samples = nil
+}
+
+// RegistryOf returns the importer's metrics registry when it exposes
+// one (the uMiddle runtime does, via an Obs accessor). Importers that
+// don't — notably test doubles — yield nil, which every obs handle
+// treats as "discard".
+func RegistryOf(imp Importer) *obs.Registry {
+	if p, ok := imp.(interface{ Obs() *obs.Registry }); ok {
+		return p.Obs()
+	}
+	return nil
+}
+
+// ObserveMapped feeds one mapping sample into the registry's
+// discovery-to-mapped latency histogram, labeled by node and platform.
+// Mappers call this alongside Recorder.Record so the same measurement
+// backs both the Figure 10 benchmark and the /metrics endpoint.
+func ObserveMapped(reg *obs.Registry, node string, s Sample) {
+	reg.Histogram("umiddle_mapper_map_latency_seconds",
+		obs.Labels{"node": node, "platform": s.Platform}, nil).ObserveDuration(s.Duration)
 }
 
 // Summary aggregates samples per (platform, device type).

@@ -206,12 +206,14 @@ func (m *Mapper) mapDeviceServices(ctx context.Context, dev bluetooth.DeviceInfo
 		m.mapped[key] = ms
 		m.mu.Unlock()
 		profile := ms.translator.Profile()
-		m.opts.Recorder.Record(mapper.Sample{
+		s := mapper.Sample{
 			Platform:   Platform,
 			DeviceType: rec.ProfileName,
 			Duration:   time.Since(start),
 			Ports:      profile.Shape.Len(),
-		})
+		}
+		m.opts.Recorder.Record(s)
+		mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 		m.opts.Logger.Info("btmap: mapped", "id", ms.id, "took", time.Since(start))
 	}
 }

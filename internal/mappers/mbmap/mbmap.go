@@ -287,12 +287,14 @@ func (m *Mapper) mapStream(ctx context.Context, info mediabroker.StreamInfo) {
 		}
 	}()
 
-	m.opts.Recorder.Record(mapper.Sample{
+	s := mapper.Sample{
 		Platform:   Platform,
 		DeviceType: "stream",
 		Duration:   time.Since(start),
 		Ports:      gt.Profile().Shape.Len(),
-	})
+	}
+	m.opts.Recorder.Record(s)
+	mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 	m.opts.Logger.Info("mbmap: mapped", "stream", info.Name, "id", profile.ID)
 }
 

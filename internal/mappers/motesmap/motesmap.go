@@ -212,12 +212,14 @@ func (m *Mapper) mapMote(id uint16) *mappedMote {
 	m.mu.Lock()
 	m.mapped[id] = mm
 	m.mu.Unlock()
-	m.opts.Recorder.Record(mapper.Sample{
+	s := mapper.Sample{
 		Platform:   Platform,
 		DeviceType: "sensor-mote",
 		Duration:   time.Since(start),
 		Ports:      gt.Profile().Shape.Len(),
-	})
+	}
+	m.opts.Recorder.Record(s)
+	mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 	m.opts.Logger.Info("motesmap: mapped", "mote", id)
 	return mm
 }

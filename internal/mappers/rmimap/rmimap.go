@@ -218,12 +218,14 @@ func (m *Mapper) mapName(ctx context.Context, name string) {
 	m.mu.Lock()
 	m.mapped[name] = profile.ID
 	m.mu.Unlock()
-	m.opts.Recorder.Record(mapper.Sample{
+	s := mapper.Sample{
 		Platform:   Platform,
 		DeviceType: ref.Interface,
 		Duration:   time.Since(start),
 		Ports:      gt.Profile().Shape.Len(),
-	})
+	}
+	m.opts.Recorder.Record(s)
+	mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 	m.opts.Logger.Info("rmimap: mapped", "name", name, "id", profile.ID)
 }
 

@@ -194,12 +194,14 @@ func (m *Mapper) handleAlive(ctx context.Context, msg upnp.SSDPMessage) {
 	m.devices[usn] = dev
 	m.mu.Unlock()
 	profile := dev.translator.Profile()
-	m.opts.Recorder.Record(mapper.Sample{
+	s := mapper.Sample{
 		Platform:   Platform,
 		DeviceType: profile.DeviceType,
 		Duration:   time.Since(start),
 		Ports:      profile.Shape.Len(),
-	})
+	}
+	m.opts.Recorder.Record(s)
+	mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 	m.opts.Logger.Info("upnpmap: mapped", "id", dev.id, "took", time.Since(start))
 }
 

@@ -223,12 +223,14 @@ func (m *Mapper) mapService(baseURL string, svc webservice.ServiceDecl) {
 	m.mu.Lock()
 	m.mapped[key] = profile.ID
 	m.mu.Unlock()
-	m.opts.Recorder.Record(mapper.Sample{
+	s := mapper.Sample{
 		Platform:   Platform,
 		DeviceType: svc.Interface,
 		Duration:   time.Since(start),
 		Ports:      gt.Profile().Shape.Len(),
-	})
+	}
+	m.opts.Recorder.Record(s)
+	mapper.ObserveMapped(mapper.RegistryOf(m.imp), m.imp.Node(), s)
 	m.opts.Logger.Info("wsmap: mapped", "service", key, "id", profile.ID)
 }
 

@@ -1,0 +1,319 @@
+// Package obs is uMiddle's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, and bounded-bucket latency
+// histograms) plus a fixed-size event-trace ring buffer.
+//
+// The paper evaluates uMiddle entirely by externally-timed figures
+// (Sections 5.1–5.3); the runtime itself was a black box. This package
+// makes the bridging pipeline self-describing: the directory counts
+// announce traffic and notify latency, the transport histograms
+// delivery latency and queue depths, and the mappers record
+// discovery-to-mapped latency per platform. Everything is exposed three
+// ways — a Snapshot API through the umiddle facade, a rendered section
+// in Pads, and Prometheus text + JSON trace HTTP endpoints in umiddled.
+//
+// All metric handles are nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, or *Trace are no-ops, and a nil *Registry hands out nil
+// handles, so instrumented code never needs to branch on whether
+// observability is wired up.
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to a metric series ("node", "path",
+// "platform", ...). Series identity is the metric name plus the sorted
+// label set.
+type Labels map[string]string
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depths, population
+// sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Safe on a nil
+// receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// kind discriminates metric families for exposition.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+// series is one registered metric instance.
+type series struct {
+	name   string
+	labels Labels
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds a process's (or node's) metric series and its event
+// trace. All methods are safe for concurrent use; getters are
+// get-or-create, so instrumented code and exposition code never race on
+// registration order.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // key: name + canonical label suffix
+	help   map[string]string  // metric family name -> HELP text
+	trace  *Trace
+}
+
+// DefaultTraceDepth is the event-ring capacity of NewRegistry.
+const DefaultTraceDepth = 512
+
+// NewRegistry creates an empty registry with a DefaultTraceDepth event
+// ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+		trace:  NewTrace(DefaultTraceDepth),
+	}
+}
+
+// Describe sets the HELP text rendered for a metric family. Optional.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// Trace returns the registry's event ring; nil on a nil registry.
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// seriesKey renders the canonical identity of a series.
+func seriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labelString(labels) + "}"
+}
+
+// labelString renders labels as sorted k="v" pairs, comma-separated —
+// also the Prometheus exposition syntax.
+func labelString(labels Labels) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(labels[k]))
+	}
+	return sb.String()
+}
+
+// cloneLabels defends against the caller mutating the map afterwards.
+func cloneLabels(labels Labels) Labels {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns the counter series for name+labels, creating it if
+// new. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		return s.counter
+	}
+	s := &series{name: name, labels: cloneLabels(labels), kind: counterKind, counter: &Counter{}}
+	r.series[key] = s
+	return s.counter
+}
+
+// Gauge returns the gauge series for name+labels, creating it if new.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		return s.gauge
+	}
+	s := &series{name: name, labels: cloneLabels(labels), kind: gaugeKind, gauge: &Gauge{}}
+	r.series[key] = s
+	return s.gauge
+}
+
+// Histogram returns the histogram series for name+labels, creating it
+// with the given bucket upper bounds if new (LatencyBuckets when bounds
+// is nil). Bounds are fixed at creation; later calls reuse the first.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		return s.hist
+	}
+	s := &series{name: name, labels: cloneLabels(labels), kind: histogramKind, hist: newHistogram(bounds)}
+	r.series[key] = s
+	return s.hist
+}
+
+// RemoveSeries drops one series (e.g. per-path metrics when the path is
+// disconnected) so long-lived registries are not grown without bound by
+// ephemeral label values.
+func (r *Registry) RemoveSeries(name string, labels Labels) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.series, seriesKey(name, labels))
+}
+
+// CounterSnapshot is one counter series' state.
+type CounterSnapshot struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series' state.
+type GaugeSnapshot struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// HistogramSeriesSnapshot is one histogram series' state.
+type HistogramSeriesSnapshot struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	HistogramSnapshot
+}
+
+// Snapshot is a point-in-time copy of every series plus the trace ring,
+// each section sorted by (name, labels) for deterministic rendering.
+type Snapshot struct {
+	Counters   []CounterSnapshot         `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot           `json:"gauges,omitempty"`
+	Histograms []HistogramSeriesSnapshot `json:"histograms,omitempty"`
+	Events     []Event                   `json:"events,omitempty"`
+}
+
+// Snapshot captures the registry. Safe on a nil registry (zero value).
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return labelString(all[i].labels) < labelString(all[j].labels)
+	})
+	for _, s := range all {
+		switch s.kind {
+		case counterKind:
+			snap.Counters = append(snap.Counters, CounterSnapshot{
+				Name: s.name, Labels: cloneLabels(s.labels), Value: s.counter.Value(),
+			})
+		case gaugeKind:
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+				Name: s.name, Labels: cloneLabels(s.labels), Value: s.gauge.Value(),
+			})
+		case histogramKind:
+			snap.Histograms = append(snap.Histograms, HistogramSeriesSnapshot{
+				Name: s.name, Labels: cloneLabels(s.labels), HistogramSnapshot: s.hist.Snapshot(),
+			})
+		}
+	}
+	snap.Events = r.trace.Events()
+	return snap
+}

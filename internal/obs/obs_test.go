@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", Labels{"node": "h1"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if again := r.Counter("requests_total", Labels{"node": "h1"}); again.Value() != 5 {
+		t.Fatalf("re-get counter = %d, want 5", again.Value())
+	}
+	// Different labels is a different series.
+	if other := r.Counter("requests_total", Labels{"node": "h2"}); other.Value() != 0 {
+		t.Fatalf("other-label counter = %d, want 0", other.Value())
+	}
+
+	g := r.Gauge("depth", nil)
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", nil)
+	g := r.Gauge("y", nil)
+	h := r.Histogram("z", nil, nil)
+	tr := r.Trace()
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Millisecond)
+	tr.Record(Event{Kind: "k"})
+	tr.Event("k", "n", "d")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Events() != nil {
+		t.Fatal("nil handles must discard")
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", nil, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if math.Abs(snap.Sum-5.56) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.56", snap.Sum)
+	}
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(snap.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+	if m := snap.Mean(); math.Abs(m-5.56/5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Median falls in the first bucket (2 of 5 <= 0.01, 3 of 5 <= 0.1).
+	if q := snap.Quantile(0.5); q != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1", q)
+	}
+	if q := snap.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf", q)
+	}
+}
+
+func TestTraceRingOverwrites(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: "k", Detail: string(rune('a' + i))})
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	// Oldest-first, and Seq keeps counting across overwrites.
+	for i, e := range events {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if events[0].Detail != "g" || events[3].Detail != "j" {
+		t.Fatalf("ring order wrong: %v", events)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", nil).Inc()
+	r.Counter("a_total", Labels{"node": "h2"}).Inc()
+	r.Counter("a_total", Labels{"node": "h1"}).Inc()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 3 {
+		t.Fatalf("counters = %d", len(snap.Counters))
+	}
+	if snap.Counters[0].Labels["node"] != "h1" || snap.Counters[1].Labels["node"] != "h2" ||
+		snap.Counters[2].Name != "b_total" {
+		t.Fatalf("order wrong: %+v", snap.Counters)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("umiddle_announces_total", "Directory announcements sent.")
+	r.Counter("umiddle_announces_total", Labels{"node": "h1"}).Add(3)
+	r.Gauge("umiddle_queue_depth", Labels{"node": "h1"}).Set(2)
+	h := r.Histogram("umiddle_latency_seconds", Labels{"node": "h1"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP umiddle_announces_total Directory announcements sent.",
+		"# TYPE umiddle_announces_total counter",
+		`umiddle_announces_total{node="h1"} 3`,
+		"# TYPE umiddle_queue_depth gauge",
+		`umiddle_queue_depth{node="h1"} 2`,
+		"# TYPE umiddle_latency_seconds histogram",
+		`umiddle_latency_seconds_bucket{le="0.1",node="h1"} 1`,
+		`umiddle_latency_seconds_bucket{le="1",node="h1"} 2`,
+		`umiddle_latency_seconds_bucket{le="+Inf",node="h1"} 2`,
+		`umiddle_latency_seconds_sum{node="h1"} 0.55`,
+		`umiddle_latency_seconds_count{node="h1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", Labels{"path": "h1#1"}).Inc()
+	r.RemoveSeries("c_total", Labels{"path": "h1#1"})
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatalf("series survived removal: %+v", snap.Counters)
+	}
+	// Re-creating after removal starts fresh.
+	if v := r.Counter("c_total", Labels{"path": "h1#1"}).Value(); v != 0 {
+		t.Fatalf("recreated counter = %d, want 0", v)
+	}
+}
+
+// TestConcurrentUse exercises every handle type from many goroutines;
+// `go test -race ./internal/obs` is part of scripts/verify.sh.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", Labels{"node": "h1"}).Inc()
+				r.Gauge("g", nil).Add(1)
+				r.Histogram("h_seconds", nil, nil).Observe(float64(i) / 1000)
+				r.Trace().Event("k", "h1", "x")
+				if i%50 == 0 {
+					r.Snapshot()
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", Labels{"node": "h1"}).Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h_seconds", nil, nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+	if got := r.Trace().Total(); got != 8*500 {
+		t.Fatalf("trace total = %d, want %d", got, 8*500)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one TYPE line per metric family,
+// series grouped under it, histograms expanded into cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+
+	// Group series by family name so each family gets a single
+	// HELP/TYPE header, as the format requires.
+	type famSeries struct {
+		labels   Labels
+		kind     kind
+		counterV uint64
+		gaugeV   int64
+		hist     HistogramSnapshot
+	}
+	families := make(map[string][]famSeries)
+	var names []string
+	add := func(name string, fs famSeries) {
+		if _, ok := families[name]; !ok {
+			names = append(names, name)
+		}
+		families[name] = append(families[name], fs)
+	}
+	for _, c := range snap.Counters {
+		add(c.Name, famSeries{labels: c.Labels, kind: counterKind, counterV: c.Value})
+	}
+	for _, g := range snap.Gauges {
+		add(g.Name, famSeries{labels: g.Labels, kind: gaugeKind, gaugeV: g.Value})
+	}
+	for _, h := range snap.Histograms {
+		add(h.Name, famSeries{labels: h.Labels, kind: histogramKind, hist: h.HistogramSnapshot})
+	}
+	sort.Strings(names)
+
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range names {
+		list := families[name]
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typeName(list[0].kind)); err != nil {
+			return err
+		}
+		for _, s := range list {
+			var err error
+			switch s.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesKey(name, s.labels), s.counterV)
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesKey(name, s.labels), s.gaugeV)
+			case histogramKind:
+				err = writeHistogram(w, name, s.labels, s.hist)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func typeName(k kind) string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func writeHistogram(w io.Writer, name string, labels Labels, h HistogramSnapshot) error {
+	for _, b := range h.Buckets {
+		le := formatFloat(b.UpperBound)
+		withLe := cloneLabels(labels)
+		if withLe == nil {
+			withLe = Labels{}
+		}
+		withLe["le"] = le
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(name+"_bucket", withLe), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(name+"_sum", labels), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(name+"_count", labels), h.Count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

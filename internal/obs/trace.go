@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in the event-trace ring: a state transition in the
+// bridging pipeline (translator mapped/unmapped, path
+// connect/disconnect, redial, drop, expiry).
+type Event struct {
+	// Seq is the event's position in the stream since process start;
+	// gaps never occur, so consumers can detect ring overwrite by
+	// comparing Seq continuity.
+	Seq uint64 `json:"seq"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Kind names the transition ("translator_mapped", "path_connect",
+	// "redial", "drop", "expiry", ...).
+	Kind string `json:"kind"`
+	// Node is the runtime the event happened on.
+	Node string `json:"node,omitempty"`
+	// Detail is free-form context (translator ID, path ID, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-size ring buffer of Events. Recording never blocks
+// and never allocates beyond the ring; old events are overwritten.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // ring write position
+	total uint64 // events ever recorded
+}
+
+// NewTrace creates a ring holding the last n events (min 1).
+func NewTrace(n int) *Trace {
+	if n < 1 {
+		n = 1
+	}
+	return &Trace{buf: make([]Event, 0, n)}
+}
+
+// Record appends an event, stamping Seq and (when zero) Time. Safe on a
+// nil receiver.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = t.total
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		t.next = len(t.buf) % cap(t.buf)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// Event is shorthand for Record with the common fields.
+func (t *Trace) Event(kind, node, detail string) {
+	t.Record(Event{Kind: kind, Node: node, Detail: detail})
+}
+
+// Events returns the ring's contents oldest-first. Safe on a nil
+// receiver (returns nil).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Total returns how many events were ever recorded (including ones the
+// ring has since overwritten).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

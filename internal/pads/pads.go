@@ -9,9 +9,11 @@ package pads
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/directory"
@@ -251,6 +253,71 @@ func (b *Board) Render() string {
 	return sb.String()
 }
 
+// RenderMetrics draws the runtime's observability state as text: the
+// metric families most useful at the Pads console plus the tail of the
+// event trace. The full series set lives on umiddled's /metrics.
+func (b *Board) RenderMetrics() string {
+	reg := b.rt.Obs()
+	snap := reg.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "uMiddle metrics — node %s\n", b.rt.Node())
+
+	fmt.Fprintln(&sb, "  counters:")
+	for _, c := range snap.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-48s %s %d\n", c.Name, labelSuffix(c.Labels), c.Value)
+	}
+	fmt.Fprintln(&sb, "  latencies:")
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-48s %s n=%d mean=%s p99=%s\n",
+			h.Name, labelSuffix(h.Labels), h.Count,
+			secondsStr(h.Mean()), secondsStr(h.Quantile(0.99)))
+	}
+
+	events := reg.Trace().Events()
+	const tail = 10
+	if len(events) > tail {
+		events = events[len(events)-tail:]
+	}
+	fmt.Fprintf(&sb, "  trace (last %d of %d):\n", len(events), reg.Trace().Total())
+	for _, e := range events {
+		fmt.Fprintf(&sb, "    %s %-20s %s %s\n", e.Time.Format("15:04:05.000"), e.Kind, e.Node, e.Detail)
+	}
+	return sb.String()
+}
+
+// labelSuffix renders the non-node labels compactly ("{path=h1#1}").
+func labelSuffix(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "node" {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "{}"
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// secondsStr renders a seconds value as a duration ("1.2ms").
+func secondsStr(s float64) string {
+	if math.IsInf(s, 1) {
+		return "+Inf"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
 func (b *Board) endpointName(r core.PortRef) string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -272,6 +339,7 @@ func shortType(t string) string {
 // command set backs the cmd/pads REPL:
 //
 //	list                          show the board
+//	stats                         show metrics and recent trace events
 //	wire <pad#port> <pad#port>    draw a cable
 //	wire <pad#port> accepting <type> [physical]
 //	                              draw a template cable
@@ -285,6 +353,8 @@ func (b *Board) Exec(line string) (string, error) {
 	switch fields[0] {
 	case "list":
 		return b.Render(), nil
+	case "stats":
+		return b.RenderMetrics(), nil
 	case "wire":
 		switch {
 		case len(fields) == 3:

@@ -234,3 +234,56 @@ func TestPadsPaperScenario(t *testing.T) {
 		t.Fatalf("render header wrong:\n%s", render[:120])
 	}
 }
+
+func TestBoardStatsCommand(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	addService(t, rt, "src",
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"})
+	dst := addService(t, rt, "dst",
+		core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"})
+	delivered := make(chan struct{}, 8)
+	dst.MustHandle("in", func(_ context.Context, _ core.Message) error {
+		delivered <- struct{}{}
+		return nil
+	})
+	if _, err := board.Wire("pad1#out", "pad2#in"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if err := board.Send("pad1#out", core.Message{Payload: []byte("x")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("nothing delivered")
+	}
+
+	// Delivery counters update asynchronously after the handler runs.
+	deadline := time.Now().Add(2 * time.Second)
+	var out string
+	for {
+		var err error
+		out, err = board.Exec("stats")
+		if err != nil {
+			t.Fatalf("Exec(stats): %v", err)
+		}
+		if strings.Contains(out, "umiddle_transport_path_delivered_total") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never showed delivery counter:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"uMiddle metrics — node pads-node",
+		"umiddle_transport_delivery_latency_seconds",
+		"translator_mapped",
+		"path_connect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/mapper"
 	"repro/internal/netemu"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/usdl"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	Transport transport.Options
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
+	// Obs is the metrics and event-trace registry shared by the node's
+	// modules. nil creates a private registry; passing one registry to
+	// several runtimes aggregates a whole emulated network on a single
+	// /metrics endpoint (series carry a node label).
+	Obs *obs.Registry
 }
 
 // Runtime is one uMiddle node.
@@ -47,6 +53,7 @@ type Runtime struct {
 	dir  *directory.Directory
 	mod  *transport.Module
 	log  *slog.Logger
+	obs  *obs.Registry
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -85,6 +92,17 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Transport.Logger == nil {
 		cfg.Transport.Logger = logger
 	}
+	registry := cfg.Obs
+	if registry == nil {
+		registry = obs.NewRegistry()
+	}
+	if cfg.Directory.Obs == nil {
+		cfg.Directory.Obs = registry
+	}
+	if cfg.Transport.Obs == nil {
+		cfg.Transport.Obs = registry
+	}
+	registry.Describe("umiddle_mapper_map_latency_seconds", "Native discovery to translator-mapped latency.")
 	dir := directory.New(cfg.Node, cfg.Host, cfg.Directory)
 	mod := transport.New(cfg.Node, cfg.Host, dir, cfg.Transport)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -95,6 +113,7 @@ func New(cfg Config) (*Runtime, error) {
 		dir:    dir,
 		mod:    mod,
 		log:    logger,
+		obs:    registry,
 		ctx:    ctx,
 		cancel: cancel,
 	}, nil
@@ -156,6 +175,10 @@ func (r *Runtime) USDL() *usdl.Registry { return r.reg }
 
 // Host returns the runtime's network endpoint (nil when standalone).
 func (r *Runtime) Host() *netemu.Host { return r.host }
+
+// Obs returns the node's metrics registry. Mappers reach it through
+// mapper.RegistryOf, and the umiddle facade re-exports its snapshots.
+func (r *Runtime) Obs() *obs.Registry { return r.obs }
 
 // Directory returns the directory module.
 func (r *Runtime) Directory() *directory.Directory { return r.dir }

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netemu"
+	"repro/internal/obs"
+)
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// TestPathStatsIsRegistryView: PathStats values and the registry's
+// umiddle_transport_path_* series are the same numbers.
+func TestPathStatsIsRegistryView(t *testing.T) {
+	n := newNode(t, nil, "h1")
+	src := producer("h1", "camera", "image/jpeg")
+	dst := newCollector("h1", "tv", "image/jpeg")
+	n.register(t, src)
+	n.register(t, dst)
+
+	id, err := n.mod.Connect(portRef(src, "out"), portRef(dst, "in"))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src.Emit("out", core.NewMessage("image/jpeg", []byte("frame-1")))
+	dst.wait(t, 2*time.Second)
+
+	waitCond(t, 2*time.Second, func() bool {
+		s, ok := n.mod.PathStats(id)
+		return ok && s.Delivered == 1
+	})
+	stats, _ := n.mod.PathStats(id)
+	labels := obs.Labels{"node": "h1", "path": string(id)}
+	if v := n.mod.Obs().Counter("umiddle_transport_path_delivered_total", labels).Value(); v != stats.Delivered {
+		t.Fatalf("registry delivered = %d, PathStats = %d", v, stats.Delivered)
+	}
+	if v := n.mod.Obs().Counter("umiddle_transport_path_bytes_total", labels).Value(); v != stats.Bytes {
+		t.Fatalf("registry bytes = %d, PathStats = %d", v, stats.Bytes)
+	}
+
+	// Delivery latency was observed on both the per-path and the
+	// aggregate histogram.
+	if c := n.mod.Obs().Histogram("umiddle_transport_delivery_latency_seconds", labels, nil).Count(); c != 1 {
+		t.Fatalf("per-path latency count = %d, want 1", c)
+	}
+	agg := n.mod.Obs().Histogram("umiddle_transport_delivery_latency_seconds", obs.Labels{"node": "h1"}, nil)
+	if agg.Count() != 1 {
+		t.Fatalf("aggregate latency count = %d, want 1", agg.Count())
+	}
+
+	// Disconnect removes the per-path series (cardinality hygiene) and
+	// traces the transition.
+	if err := n.mod.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	for _, c := range n.mod.Obs().Snapshot().Counters {
+		if c.Labels["path"] == string(id) {
+			t.Fatalf("per-path series %s survived disconnect", c.Name)
+		}
+	}
+	kinds := make(map[string]bool)
+	for _, e := range n.mod.Obs().Trace().Events() {
+		kinds[e.Kind] = true
+	}
+	if !kinds["path_connect"] || !kinds["path_disconnect"] {
+		t.Fatalf("trace missing path transitions, got %v", kinds)
+	}
+}
+
+// TestMetricsExposedEagerly: the latency histogram and queue-depth
+// gauge render on /metrics before any traffic — the acceptance check
+// curls a freshly started daemon.
+func TestMetricsExposedEagerly(t *testing.T) {
+	n := newNode(t, nil, "h1")
+	var sb strings.Builder
+	if err := n.mod.Obs().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE umiddle_transport_delivery_latency_seconds histogram",
+		`umiddle_transport_delivery_latency_seconds_count{node="h1"} 0`,
+		"# TYPE umiddle_transport_delivery_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSharedRegistryAcrossNodes: two modules on one registry keep their
+// series apart via the node label, as umiddled does.
+func TestSharedRegistryAcrossNodes(t *testing.T) {
+	reg := obs.NewRegistry()
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+
+	mods := make(map[string]*Module)
+	for _, name := range []string{"h1", "h2"} {
+		host := net.MustAddHost(name)
+		dir := directory.New(name, host, directory.Options{AnnounceInterval: 20 * time.Millisecond})
+		if err := dir.Start(); err != nil {
+			t.Fatalf("directory start %s: %v", name, err)
+		}
+		mod := New(name, host, dir, Options{Obs: reg})
+		if err := mod.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		t.Cleanup(func() { mod.Close(); dir.Close() })
+		mods[name] = mod
+	}
+	if mods["h1"].Obs() != reg || mods["h2"].Obs() != reg {
+		t.Fatal("modules did not adopt the shared registry")
+	}
+	var h1, h2 bool
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name != "umiddle_transport_delivery_latency_seconds" {
+			continue
+		}
+		switch h.Labels["node"] {
+		case "h1":
+			h1 = true
+		case "h2":
+			h2 = true
+		}
+	}
+	if !h1 || !h2 {
+		t.Fatal("shared registry missing per-node latency series")
+	}
+}

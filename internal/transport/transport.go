@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/netemu"
+	"repro/internal/obs"
 	"repro/internal/qos"
 )
 
@@ -52,7 +53,9 @@ func (id PathID) node() string {
 	return ""
 }
 
-// PathStats reports per-path activity.
+// PathStats reports per-path activity. The values are a point-in-time
+// view over the module's obs registry: the same numbers appear as
+// umiddle_transport_path_*_total series on /metrics.
 type PathStats struct {
 	// Delivered counts messages successfully delivered to all current
 	// destinations.
@@ -87,6 +90,18 @@ type PathInfo struct {
 	Stats PathStats
 }
 
+// pathMetrics holds one path's registry series, resolved once at path
+// creation so the delivery hot path never takes the registry lock.
+type pathMetrics struct {
+	delivered *obs.Counter
+	bytes     *obs.Counter
+	errors    *obs.Counter
+	retries   *obs.Counter
+	redials   *obs.Counter
+	dropped   *obs.Counter
+	latency   *obs.Histogram
+}
+
 // path is one message path hosted by this node.
 type path struct {
 	id      PathID
@@ -98,11 +113,11 @@ type path struct {
 	buf     *qos.Buffer[core.Message]
 	bytesRL *qos.RateLimiter
 	msgRL   *qos.RateLimiter
+	met     pathMetrics
 
 	mu      sync.Mutex
 	bound   map[core.TranslatorID]core.PortRef
 	seq     uint64
-	stats   PathStats
 	peerGen map[string]uint64 // last peer-connection generation seen per node
 }
 
@@ -111,11 +126,15 @@ type path struct {
 // path last delivered there.
 func (p *path) notePeerGen(node string, gen uint64) {
 	p.mu.Lock()
+	var bumps uint64
 	if prev, ok := p.peerGen[node]; ok && gen > prev {
-		p.stats.Redials += gen - prev
+		bumps = gen - prev
 	}
 	p.peerGen[node] = gen
 	p.mu.Unlock()
+	if bumps > 0 {
+		p.met.redials.Add(bumps)
+	}
 }
 
 func (p *path) destinations() []core.PortRef {
@@ -152,6 +171,9 @@ type Options struct {
 	Redial qos.RetryPolicy
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
+	// Obs receives metrics and trace events. When nil the module keeps a
+	// private registry so PathStats always has live counters behind it.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +190,9 @@ func (o Options) withDefaults() Options {
 	o.Redial = o.Redial.WithDefaults()
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 	return o
 }
@@ -202,6 +227,11 @@ type Module struct {
 	dir  *directory.Directory
 	opts Options
 
+	// Module-wide metric handles (per-path handles live on each path).
+	latency    *obs.Histogram // aggregate delivery latency across paths
+	queueDepth *obs.Gauge     // inbound deliveries dispatched, not yet handled
+	trace      *obs.Trace
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -225,7 +255,7 @@ var _ core.Sink = (*Module)(nil)
 // single-node module (local paths only).
 func New(node string, host *netemu.Host, dir *directory.Directory, opts Options) *Module {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Module{
+	m := &Module{
 		node:    node,
 		host:    host,
 		dir:     dir,
@@ -238,10 +268,29 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 		bySrc:   make(map[core.PortRef][]*path),
 		pending: make(map[uint64]chan frame),
 	}
+	reg := m.opts.Obs
+	reg.Describe("umiddle_transport_delivery_latency_seconds", "End-to-end delivery latency per message destination.")
+	reg.Describe("umiddle_transport_delivery_queue_depth", "Inbound deliveries dispatched off read loops but not yet handed to a translator.")
+	reg.Describe("umiddle_transport_path_delivered_total", "Messages successfully delivered per path.")
+	reg.Describe("umiddle_transport_path_bytes_total", "Payload bytes delivered per path.")
+	reg.Describe("umiddle_transport_path_errors_total", "Deliveries failed after exhausting retries per path.")
+	reg.Describe("umiddle_transport_path_retries_total", "Delivery attempts beyond the first per path.")
+	reg.Describe("umiddle_transport_path_redials_total", "Peer connections re-established while delivering per path.")
+	reg.Describe("umiddle_transport_path_dropped_total", "Messages abandoned after the retry budget per path.")
+	// Resolved eagerly so /metrics shows the latency family (and the
+	// queue-depth gauge) even before the first message flows.
+	m.latency = reg.Histogram("umiddle_transport_delivery_latency_seconds", obs.Labels{"node": node}, nil)
+	m.queueDepth = reg.Gauge("umiddle_transport_delivery_queue_depth", obs.Labels{"node": node})
+	m.trace = reg.Trace()
+	return m
 }
 
 // Node returns the owning runtime's node name.
 func (m *Module) Node() string { return m.node }
+
+// Obs returns the module's metrics registry (the one from Options.Obs,
+// or the private registry created when none was supplied).
+func (m *Module) Obs() *obs.Registry { return m.opts.Obs }
 
 // Start begins accepting inter-node connections and watching the
 // directory for dynamic-binding updates.
@@ -378,6 +427,7 @@ func (m *Module) readLoop(fc *frameConn) {
 		defer dwg.Done()
 		for f := range deliveries {
 			m.deliverLocal(f.header.Dst, f.message())
+			m.queueDepth.Add(-1)
 		}
 	}()
 	defer func() {
@@ -391,9 +441,11 @@ func (m *Module) readLoop(fc *frameConn) {
 			return
 		}
 		if f.header.Type == frameDeliver {
+			m.queueDepth.Add(1)
 			select {
 			case deliveries <- f:
 			case <-m.ctx.Done():
+				m.queueDepth.Add(-1)
 				return
 			}
 			continue
@@ -467,6 +519,7 @@ func (m *Module) registerPeer(node string, fc *frameConn) {
 	p.mu.Unlock()
 	if gen > 1 {
 		m.opts.Logger.Info("transport: peer reconnected (inbound)", "node", node)
+		m.trace.Event("redial", m.node, "peer "+node+" reconnected (inbound)")
 		m.dir.AnnounceNow()
 	}
 }
@@ -601,6 +654,7 @@ func (m *Module) redialLoop(p *peer, myReady chan struct{}) {
 			}()
 			if gen > 1 {
 				m.opts.Logger.Info("transport: peer reconnected", "node", p.node, "attempt", attempt)
+				m.trace.Event("redial", m.node, "peer "+p.node+" reconnected")
 				// Re-announce promptly so the healed peer rebinds
 				// dynamic paths without waiting for the announce tick.
 				m.dir.AnnounceNow()
@@ -652,6 +706,7 @@ func (m *Module) peerDisconnected(p *peer, fc *frameConn) {
 	fc.close()
 	if spawn {
 		m.opts.Logger.Info("transport: peer connection lost; redialing", "node", p.node)
+		m.trace.Event("peer_lost", m.node, p.node)
 		go m.redialLoop(p, ready)
 	}
 }
@@ -909,9 +964,13 @@ func (m *Module) addPath(p *path) (PathID, error) {
 	}
 	m.nextPath++
 	p.id = PathID(m.node + "#" + strconv.FormatUint(m.nextPath, 10))
+	// Resolve metric handles before the path is visible to PathStats.
+	p.met = m.newPathMetrics(p.id)
 	m.paths[p.id] = p
 	m.bySrc[p.src] = append(m.bySrc[p.src], p)
 	m.mu.Unlock()
+
+	m.trace.Event("path_connect", m.node, string(p.id))
 
 	m.wg.Add(1)
 	go func() {
@@ -919,6 +978,40 @@ func (m *Module) addPath(p *path) (PathID, error) {
 		m.pathWorker(p)
 	}()
 	return p.id, nil
+}
+
+// newPathMetrics resolves a path's registry series. The path label keeps
+// one registry usable across many concurrent paths and nodes.
+func (m *Module) newPathMetrics(id PathID) pathMetrics {
+	reg := m.opts.Obs
+	labels := obs.Labels{"node": m.node, "path": string(id)}
+	return pathMetrics{
+		delivered: reg.Counter("umiddle_transport_path_delivered_total", labels),
+		bytes:     reg.Counter("umiddle_transport_path_bytes_total", labels),
+		errors:    reg.Counter("umiddle_transport_path_errors_total", labels),
+		retries:   reg.Counter("umiddle_transport_path_retries_total", labels),
+		redials:   reg.Counter("umiddle_transport_path_redials_total", labels),
+		dropped:   reg.Counter("umiddle_transport_path_dropped_total", labels),
+		latency:   reg.Histogram("umiddle_transport_delivery_latency_seconds", labels, nil),
+	}
+}
+
+// removePathMetrics drops a removed path's series so long-lived nodes
+// don't accumulate unbounded per-path cardinality.
+func (m *Module) removePathMetrics(id PathID) {
+	reg := m.opts.Obs
+	labels := obs.Labels{"node": m.node, "path": string(id)}
+	for _, name := range []string{
+		"umiddle_transport_path_delivered_total",
+		"umiddle_transport_path_bytes_total",
+		"umiddle_transport_path_errors_total",
+		"umiddle_transport_path_retries_total",
+		"umiddle_transport_path_redials_total",
+		"umiddle_transport_path_dropped_total",
+		"umiddle_transport_delivery_latency_seconds",
+	} {
+		reg.RemoveSeries(name, labels)
+	}
 }
 
 // Disconnect tears down a path, local or remote.
@@ -951,6 +1044,8 @@ func (m *Module) removeLocalPath(id PathID) error {
 	}
 	m.mu.Unlock()
 	p.buf.Close()
+	m.removePathMetrics(id)
+	m.trace.Event("path_disconnect", m.node, string(id))
 	return nil
 }
 
@@ -995,19 +1090,20 @@ func (m *Module) pathWorker(p *path) {
 			}
 		}
 		for _, dst := range p.destinations() {
+			start := time.Now()
 			if err := m.deliverWithRetry(p, dst, msg); err != nil {
-				p.mu.Lock()
-				p.stats.Errors++
-				p.stats.Dropped++
-				p.mu.Unlock()
+				p.met.errors.Inc()
+				p.met.dropped.Inc()
+				m.trace.Event("drop", m.node, string(p.id)+" -> "+dst.String()+": "+err.Error())
 				m.opts.Logger.Warn("transport: message dropped after retries",
 					"path", p.id, "dst", dst, "err", err)
 				continue
 			}
-			p.mu.Lock()
-			p.stats.Delivered++
-			p.stats.Bytes += uint64(len(msg.Payload))
-			p.mu.Unlock()
+			elapsed := time.Since(start)
+			p.met.delivered.Inc()
+			p.met.bytes.Add(uint64(len(msg.Payload)))
+			p.met.latency.ObserveDuration(elapsed)
+			m.latency.ObserveDuration(elapsed)
 		}
 	}
 }
@@ -1022,9 +1118,7 @@ func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) e
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			p.mu.Lock()
-			p.stats.Retries++
-			p.mu.Unlock()
+			p.met.retries.Inc()
 			if !sleepCtx(m.ctx, policy.Delay(attempt-1)) {
 				return ErrClosed
 			}
@@ -1144,8 +1238,15 @@ func (m *Module) PathStats(id PathID) (PathStats, bool) {
 }
 
 func (p *path) snapshotStats() PathStats {
+	s := PathStats{
+		Delivered: p.met.delivered.Value(),
+		Bytes:     p.met.bytes.Value(),
+		Errors:    p.met.errors.Value(),
+		Retries:   p.met.retries.Value(),
+		Redials:   p.met.redials.Value(),
+		Dropped:   p.met.dropped.Value(),
+	}
 	p.mu.Lock()
-	s := p.stats
 	s.Bound = len(p.bound)
 	if p.static != nil {
 		s.Bound = 1

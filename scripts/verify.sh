@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo verification: tier-1 build+test, vet, and the race detector over
-# the concurrency-heavy packages (transport redial cycles, directory
-# announce loops, netemu fault injection).
+# Repo verification: tier-1 build+test, vet, the race detector over the
+# concurrency-heavy packages (transport redial cycles, directory
+# announce loops, netemu fault injection, obs registry), and a
+# one-iteration benchharness smoke run with -json output.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,4 +10,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/transport/ ./internal/directory/ ./internal/netemu/
+go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/
+
+# Benchharness smoke: one mapping iteration, JSON row dump must appear.
+tmpdir="$(mktemp -d)"
+go build -o "$tmpdir/benchharness" ./cmd/benchharness
+(cd "$tmpdir" && ./benchharness -exp fig10 -iters 1 -json >/dev/null && test -s BENCH_fig10.json)
+rm -rf "$tmpdir"

@@ -1,0 +1,88 @@
+package umiddle
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/platform/upnp"
+)
+
+// TestFacadeObservability: the facade exposes one node's metrics and
+// trace, and a mapper import lands in the mapper-latency histogram.
+func TestFacadeObservability(t *testing.T) {
+	reg := NewObsRegistry()
+	net := NewEmulatedNetwork()
+	t.Cleanup(func() { net.Close() })
+	rt, err := NewRuntime(RuntimeConfig{
+		Node:             "h1",
+		Network:          net,
+		AnnounceInterval: 20 * time.Millisecond,
+		Obs:              reg,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	if rt.Obs() != reg {
+		t.Fatal("runtime did not adopt the supplied registry")
+	}
+
+	if err := rt.AddUPnPMapper(UPnPMapperConfig{SearchInterval: 100 * time.Millisecond}); err != nil {
+		t.Fatalf("AddUPnPMapper: %v", err)
+	}
+	light := upnp.NewBinaryLight(net.MustAddHost("light-dev"), "l1", "Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+	if _, err := rt.WaitFor(Query{Platform: "upnp"}, 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := rt.MetricsSnapshot()
+	var mapLatency, announces bool
+	for _, h := range snap.Histograms {
+		if h.Name == "umiddle_mapper_map_latency_seconds" &&
+			h.Labels["platform"] == "upnp" && h.Count >= 1 {
+			mapLatency = true
+		}
+	}
+	for _, c := range snap.Counters {
+		if c.Name == "umiddle_directory_adverts_sent_total" && c.Value > 0 {
+			announces = true
+		}
+	}
+	if !mapLatency {
+		t.Fatalf("mapper latency histogram missing from snapshot: %+v", snap.Histograms)
+	}
+	if !announces {
+		t.Fatal("directory announce counter missing from snapshot")
+	}
+
+	var sawMapped bool
+	for _, e := range rt.TraceEvents() {
+		if e.Kind == "translator_mapped" && e.Node == "h1" {
+			sawMapped = true
+		}
+	}
+	if !sawMapped {
+		t.Fatalf("trace missing translator_mapped: %+v", rt.TraceEvents())
+	}
+
+	// The registry renders the acceptance-criteria families.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"umiddle_directory_adverts_sent_total{",
+		"umiddle_transport_delivery_latency_seconds_bucket{",
+		"umiddle_mapper_map_latency_seconds_bucket{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q", want)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/mappers/upnpmap"
 	"repro/internal/mappers/wsmap"
 	"repro/internal/netemu"
+	"repro/internal/obs"
 	"repro/internal/platform/bluetooth"
 	"repro/internal/qos"
 	"repro/internal/runtime"
@@ -85,7 +86,19 @@ type (
 	RetryPolicy = qos.RetryPolicy
 	// MapperRecorder collects service-level bridging samples.
 	MapperRecorder = mapper.Recorder
+	// ObsRegistry is the metrics and event-trace registry; share one
+	// across runtimes to aggregate a deployment on a single endpoint.
+	ObsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric series.
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one entry of the event-trace ring (translator
+	// mapped/unmapped, path connect/disconnect, redial, drop, expiry).
+	TraceEvent = obs.Event
 )
+
+// NewObsRegistry creates an empty metrics registry, typically passed to
+// several RuntimeConfigs so one /metrics endpoint covers all nodes.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 
 // Re-exported enum values.
 const (
@@ -144,6 +157,8 @@ type RuntimeConfig struct {
 	Transport TransportOptions
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
+	// Obs is the node's metrics registry; nil creates a private one.
+	Obs *ObsRegistry
 }
 
 // Runtime is one uMiddle node.
@@ -171,6 +186,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		Directory: directory.Options{AnnounceInterval: cfg.AnnounceInterval},
 		Transport: cfg.Transport,
 		Logger:    cfg.Logger,
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +270,20 @@ func (r *Runtime) Disconnect(id PathID) error { return r.rt.Disconnect(id) }
 func (r *Runtime) PathStats(id PathID) (transport.PathStats, bool) {
 	return r.rt.Transport().PathStats(id)
 }
+
+// Obs returns the node's metrics registry (RuntimeConfig.Obs, or the
+// private registry created when none was supplied).
+func (r *Runtime) Obs() *ObsRegistry { return r.rt.Obs() }
+
+// MetricsSnapshot returns a point-in-time copy of every metric series
+// the node's modules maintain: directory advert counters, transport
+// delivery counters and latency histograms, mapper mapping latencies.
+func (r *Runtime) MetricsSnapshot() MetricsSnapshot { return r.rt.Obs().Snapshot() }
+
+// TraceEvents returns the node's recent state transitions, oldest
+// first: translator mapped/unmapped, path connect/disconnect, redial,
+// drop, expiry.
+func (r *Runtime) TraceEvents() []TraceEvent { return r.rt.Obs().Trace().Events() }
 
 // Register maps a native uMiddle service: a translator implemented
 // directly against the intermediary space. Use NewService to build one.
