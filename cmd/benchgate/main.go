@@ -1,0 +1,83 @@
+// Command benchgate compares a fresh benchharness -json dump against a
+// committed baseline and fails when any row's measured throughput
+// regressed by more than the tolerance factor. It is deliberately
+// loose (default 3x): the committed baselines are measured on an
+// unloaded machine, while verify runs compete with whatever else the
+// host is doing — the gate exists to catch order-of-magnitude
+// regressions (a serialized hot path, an accidental O(n^2)), not to
+// flag scheduler noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	tol := flag.Float64("tolerance", 3, "allowed slowdown factor vs the committed baseline")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-tolerance N] committed.json fresh.json\n")
+		os.Exit(2)
+	}
+	committed := load(flag.Arg(0))
+	fresh := load(flag.Arg(1))
+
+	freshMbps := make(map[string]float64, len(fresh))
+	for _, row := range fresh {
+		if name, mbps, ok := rowMbps(row); ok {
+			freshMbps[name] = mbps
+		}
+	}
+
+	failed := false
+	for _, row := range committed {
+		name, base, ok := rowMbps(row)
+		if !ok || base <= 0 {
+			continue
+		}
+		got, ok := freshMbps[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchgate: %q missing from fresh run\n", name)
+			failed = true
+		case got < base / *tol:
+			fmt.Fprintf(os.Stderr, "benchgate: %q regressed: %.2f Mbps vs baseline %.2f (floor %.2f at %gx tolerance)\n",
+				name, got, base, base / *tol, *tol)
+			failed = true
+		default:
+			fmt.Printf("benchgate: %q ok: %.2f Mbps vs baseline %.2f\n", name, got, base)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) []map[string]any {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return rows
+}
+
+// rowMbps extracts the row name and its measured throughput. Every
+// benchharness throughput experiment dumps rows with Test +
+// MeasuredMbps fields; rows without them (latency tables) are skipped.
+func rowMbps(row map[string]any) (string, float64, bool) {
+	name, _ := row["Test"].(string)
+	mbps, ok := row["MeasuredMbps"].(float64)
+	if name == "" || !ok {
+		return "", 0, false
+	}
+	return name, mbps, true
+}

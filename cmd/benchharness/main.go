@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath")
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
@@ -62,7 +62,7 @@ func main() {
 			}
 		}
 	}
-	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true}
+	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -72,6 +72,7 @@ func main() {
 	run("fig10", func() error { return printFig10(*iters, writeJSON) })
 	run("sec52", func() error { return printSec52(*iters, writeJSON) })
 	run("fig11", func() error { return printFig11(*msgs, writeJSON) })
+	run("hotpath", func() error { return printHotPath(*msgs, writeJSON) })
 	run("qos", func() error { return printQoS(writeJSON) })
 }
 
@@ -207,6 +208,32 @@ func printFig11(msgs int, writeJSON jsonWriter) error {
 		return err
 	}
 	fmt.Println("shape check: TCP > MB > RMI > RMI-MB, bridged paths pay marshal/unmarshal twice.")
+	fmt.Println()
+	return nil
+}
+
+func printHotPath(msgs int, writeJSON jsonWriter) error {
+	fmt.Println("== Hot path: uMiddle deliver throughput (1400-byte messages, unlimited link) ==")
+	rows, err := bench.RunHotPath(msgs)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "test\tpaths\tmeasured Mbps\tmsgs/s\tmessages\telapsed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%d\t%v\n",
+			r.Test, r.Paths, r.MeasuredMbps, r.MsgsPerSec, r.Messages, r.Elapsed.Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON("hotpath", rows); err != nil {
+		return err
+	}
+	fmt.Println("shape check: software cost, not the emulated wire, is the ceiling here;")
+	fmt.Println("with trivial sinks the shared connection pipeline bounds both rows, so")
+	fmt.Println("x4 must stay close to x1 (a per-connection delivery queue would collapse")
+	fmt.Println("it when any destination stalls — see TestSlowDestinationDoesNotBlockOthers).")
 	fmt.Println()
 	return nil
 }

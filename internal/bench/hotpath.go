@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+// HotPathRow is one configuration of the uMiddle deliver hot-path
+// benchmark: 1400-byte messages pushed through the full transport spine
+// (Emit -> QoS buffer -> wire codec -> inter-node frame -> dispatch ->
+// Translator.Deliver) over an unlimited emulated link, so the software
+// cost of the bridge — not the emulated wire — is the ceiling. This is
+// the ROADMAP's "as fast as the hardware allows" number; the Figure 11
+// rows stay pinned to the paper's 10 Mbps hub.
+type HotPathRow struct {
+	// Test labels the configuration.
+	Test string
+	// Paths is the number of concurrent source->sink paths.
+	Paths int
+	// Messages and Bytes describe the workload actually run.
+	Messages int
+	Bytes    int64
+	// Elapsed is first Emit to last delivery.
+	Elapsed time.Duration
+	// MeasuredMbps is aggregate payload throughput.
+	MeasuredMbps float64
+	// MsgsPerSec is aggregate delivery rate.
+	MsgsPerSec float64
+}
+
+// runHotPath measures one configuration: `paths` concurrent pump->sink
+// pairs split `msgs` total messages between the two nodes.
+func runHotPath(paths, msgs int) (HotPathRow, error) {
+	row := HotPathRow{
+		Test:     fmt.Sprintf("uMiddle deliver x%d", paths),
+		Paths:    paths,
+		Messages: msgs,
+	}
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	for _, h := range []string{"alpha", "beta"} {
+		if _, err := net.AddHost(h); err != nil {
+			return row, err
+		}
+	}
+	rtA, err := newRuntime(net, "alpha")
+	if err != nil {
+		return row, err
+	}
+	defer rtA.Close()
+	rtB, err := newRuntime(net, "beta")
+	if err != nil {
+		return row, err
+	}
+	defer rtB.Close()
+
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	total := int64(msgs)
+	pumps := make([]*core.Base, paths)
+	sinks := make([]*core.Base, paths)
+	for i := 0; i < paths; i++ {
+		sink := core.MustBase(core.Profile{
+			ID:       core.MakeTranslatorID("beta", "umiddle", fmt.Sprintf("hp-sink-%d", i)),
+			Name:     fmt.Sprintf("hotpath sink %d", i),
+			Platform: "umiddle",
+			Node:     "beta",
+			Shape: core.MustShape(
+				core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "application/octet-stream"},
+			),
+		})
+		sink.MustHandle("in", func(_ context.Context, msg core.Message) error {
+			if delivered.Add(1) == total {
+				close(done)
+			}
+			return nil
+		})
+		if err := rtB.Register(sink); err != nil {
+			return row, err
+		}
+		sinks[i] = sink
+
+		pump := core.MustBase(core.Profile{
+			ID:       core.MakeTranslatorID("alpha", "umiddle", fmt.Sprintf("hp-pump-%d", i)),
+			Name:     fmt.Sprintf("hotpath pump %d", i),
+			Platform: "umiddle",
+			Node:     "alpha",
+			Shape: core.MustShape(
+				core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "application/octet-stream"},
+			),
+		})
+		if err := rtA.Register(pump); err != nil {
+			return row, err
+		}
+		pumps[i] = pump
+	}
+
+	// Wait until alpha's directory has learned all of beta's sinks, then
+	// wire one static path per pump.
+	if err := waitCond(10*time.Second, func() bool {
+		return len(rtA.Lookup(core.Query{Platform: "umiddle", Node: "beta"})) == paths
+	}); err != nil {
+		return row, err
+	}
+	for i := 0; i < paths; i++ {
+		if _, err := rtA.Connect(
+			core.PortRef{Translator: pumps[i].ID(), Port: "out"},
+			core.PortRef{Translator: sinks[i].ID(), Port: "in"},
+		); err != nil {
+			return row, err
+		}
+	}
+
+	payload := make([]byte, MessageSize)
+	per := msgs / paths
+	extra := msgs - per*paths
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < paths; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(pump *core.Base, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				pump.Emit("out", core.Message{Payload: payload})
+			}
+		}(pumps[i], n)
+	}
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		return row, fmt.Errorf("bench: hotpath x%d: %d of %d messages delivered before timeout",
+			paths, delivered.Load(), msgs)
+	}
+	row.Elapsed = time.Since(start)
+	wg.Wait()
+	row.Bytes = total * MessageSize
+	row.MeasuredMbps = mbps(row.Bytes, row.Elapsed)
+	row.MsgsPerSec = float64(msgs) / row.Elapsed.Seconds()
+	return row, nil
+}
+
+// RunHotPath runs the deliver hot-path benchmark at 1 and 4 concurrent
+// paths. msgs <= 0 selects the default workload (40000 messages per
+// configuration — long enough to damp scheduler noise).
+func RunHotPath(msgs int) ([]HotPathRow, error) {
+	if msgs <= 0 {
+		msgs = 40000
+	}
+	var rows []HotPathRow
+	for _, paths := range []int{1, 4} {
+		row, err := runHotPath(paths, msgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath x%d: %w", paths, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

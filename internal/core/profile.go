@@ -123,6 +123,32 @@ func (p *Profile) RestoreShape() error {
 	return nil
 }
 
+// Fingerprint returns a stable FNV-1a hash over every profile field a
+// Query can discriminate on (identity, provenance, attributes, shape).
+// A re-announce that changes any of them changes the fingerprint, which
+// is how MatchCache entries self-invalidate.
+func (p Profile) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvString(h, string(p.ID))
+	h = fnvString(h, p.Name)
+	h = fnvString(h, p.Platform)
+	h = fnvString(h, p.DeviceType)
+	h = fnvString(h, p.Node)
+	if len(p.Attributes) > 0 {
+		keys := make([]string, 0, len(p.Attributes))
+		for k := range p.Attributes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h = fnvString(h, k)
+			h = fnvString(h, p.Attributes[k])
+		}
+	}
+	h = (h ^ p.Shape.Fingerprint()) * fnvPrime
+	return h
+}
+
 // String renders a compact profile summary.
 func (p Profile) String() string {
 	attrs := make([]string, 0, len(p.Attributes))

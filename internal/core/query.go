@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -95,6 +97,43 @@ func shapeHasMatch(s Shape, tmpl PortTemplate) bool {
 		}
 	}
 	return false
+}
+
+// CacheKey renders the query in a canonical injective form: two queries
+// with the same key match exactly the same profiles. Unlike String, it
+// length-prefixes every field (no delimiter collisions) and sorts
+// attribute keys, so it is safe to use as a memoization key.
+func (q Query) CacheKey() string {
+	var sb strings.Builder
+	field := func(s string) {
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	field(q.Platform)
+	field(q.DeviceType)
+	field(q.NameContains)
+	field(q.Node)
+	field(string(q.ExcludeID))
+	for _, t := range q.Ports {
+		sb.WriteByte('p')
+		sb.WriteByte('0' + byte(t.Kind))
+		sb.WriteByte('0' + byte(t.Direction))
+		field(string(t.Type))
+	}
+	if len(q.Attributes) > 0 {
+		keys := make([]string, 0, len(q.Attributes))
+		for k := range q.Attributes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sb.WriteByte('a')
+			field(k)
+			field(q.Attributes[k])
+		}
+	}
+	return sb.String()
 }
 
 // Empty reports whether the query has no criteria (matches everything).

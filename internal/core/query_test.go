@@ -178,3 +178,99 @@ func TestQueryMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMatchCacheEquivalenceProperty: the cache must be semantically
+// invisible. For any (query, profile) pair — including repeat lookups
+// served from the cache and profiles re-announced with changed
+// query-visible fields under the same ID — the memoized answer equals
+// the direct Query.Matches evaluation.
+func TestMatchCacheEquivalenceProperty(t *testing.T) {
+	cache := NewMatchCache(64) // small bound: exercises the wholesale reset too
+	platforms := []string{"", "upnp", "bluetooth"}
+	devices := []string{"", "urn:schemas-upnp-org:device:MediaRenderer:1"}
+	names := []string{"", "tv", "camera", "living"}
+	nodes := []string{"", "h1", "h2"}
+	types := []DataType{"", "image/*", "image/jpeg", "text/plain"}
+	attrSets := []map[string]string{nil, {"room": "living"}, {"room": "kitchen"}}
+	profiles := []Profile{tvProfile(), cameraProfile()}
+
+	f := func(pi, di, ni, hi, ti, ai, proi, mutNi byte, withPort, mutate bool) bool {
+		q := Query{
+			Platform:     platforms[int(pi)%len(platforms)],
+			DeviceType:   devices[int(di)%len(devices)],
+			NameContains: names[int(ni)%len(names)],
+			Node:         nodes[int(hi)%len(nodes)],
+			Attributes:   attrSets[int(ai)%len(attrSets)],
+		}
+		if withPort {
+			q.Ports = []PortTemplate{{Kind: Digital, Direction: Input, Type: types[int(ti)%len(types)]}}
+		}
+		p := profiles[int(proi)%len(profiles)]
+		if cache.Matches(q, p) != q.Matches(p) {
+			return false
+		}
+		// Again: this time the entry exists and may be served cached.
+		if cache.Matches(q, p) != q.Matches(p) {
+			return false
+		}
+		if mutate {
+			// Re-announce: same ID, changed query-visible fields. The
+			// profile fingerprint must force re-evaluation.
+			p.Name = names[int(mutNi)%len(names)]
+			p.Node = nodes[int(mutNi)%len(nodes)]
+			p.Attributes = attrSets[int(mutNi)%len(attrSets)]
+			if cache.Matches(q, p) != q.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("property run did not exercise both cache paths: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestQueryCacheKeyDistinguishesFields: CacheKey must be injective over
+// query-visible state — field values that could collide under naive
+// string joining (shared substrings, separators inside values, values
+// shifted between fields) must produce distinct keys.
+func TestQueryCacheKeyDistinguishesFields(t *testing.T) {
+	qs := []Query{
+		{},
+		{Platform: "ab"},
+		{DeviceType: "ab"},
+		{NameContains: "ab"},
+		{Node: "ab"},
+		{ExcludeID: "ab"},
+		{Platform: "a", DeviceType: "b"},
+		{Platform: "a:b"},
+		{Platform: "a", Node: "b"},
+		{Attributes: map[string]string{"a": "b"}},
+		{Attributes: map[string]string{"a:b": ""}},
+		{Attributes: map[string]string{"": "ab"}},
+		{Ports: []PortTemplate{{Type: "ab"}}},
+		{Ports: []PortTemplate{{Kind: Digital, Type: "ab"}}},
+		{Ports: []PortTemplate{{Direction: Input, Type: "ab"}}},
+		{Ports: []PortTemplate{{Direction: Output, Type: "ab"}}},
+		{Ports: []PortTemplate{{Type: "a"}, {Type: "b"}}},
+	}
+	seen := map[string]int{}
+	for i, q := range qs {
+		k := q.CacheKey()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("queries %d and %d share cache key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	// Attribute map iteration order must not leak into the key.
+	q1 := Query{Attributes: map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}}
+	q2 := Query{Attributes: map[string]string{"d": "4", "c": "3", "b": "2", "a": "1"}}
+	for i := 0; i < 32; i++ {
+		if q1.CacheKey() != q2.CacheKey() {
+			t.Fatal("cache key depends on attribute map order")
+		}
+	}
+}

@@ -174,6 +174,39 @@ func (s Shape) CompatibleWith(other Shape) bool {
 	return feeds(s, other) || feeds(other, s)
 }
 
+// Fingerprint returns a stable FNV-1a hash of the shape's ports (name,
+// kind, direction, type — everything matching and binding look at).
+// Two shapes with equal port lists hash equal; MatchCache uses the hash
+// to detect a re-announced translator whose shape changed.
+func (s Shape) Fingerprint() uint64 {
+	h := fnvOffset
+	for _, p := range s.ports {
+		h = fnvString(h, p.Name)
+		h = fnvByte(h, byte(p.Kind))
+		h = fnvByte(h, byte(p.Direction))
+		h = fnvString(h, string(p.Type))
+	}
+	return h
+}
+
+// FNV-1a, inlined so hashing a shape allocates nothing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	// Separator keeps ("ab","c") distinct from ("a","bc").
+	return (h ^ 0xff) * fnvPrime
+}
+
 // String renders a deterministic summary of the shape.
 func (s Shape) String() string {
 	parts := make([]string, len(s.ports))

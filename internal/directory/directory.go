@@ -157,6 +157,10 @@ type Directory struct {
 	opts  Options
 	met   dirMetrics
 	trace *obs.Trace
+	// cache memoizes Query.Matches across Lookup calls; profile
+	// fingerprints keep it correct across re-announces, and departures
+	// invalidate eagerly for memory hygiene.
+	cache *core.MatchCache
 
 	mu              sync.RWMutex
 	local           map[core.TranslatorID]localEntry
@@ -199,8 +203,20 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 			notifyLat: reg.Histogram("umiddle_directory_notify_latency_seconds", nl, nil),
 		},
 		trace:  reg.Trace(),
+		cache:  core.NewMatchCache(0),
 		local:  make(map[core.TranslatorID]localEntry),
 		remote: make(map[core.TranslatorID]remoteEntry),
+	}
+	reg.Describe("umiddle_directory_match_cache_hits_total", "Lookup query matches served from the memoization cache.")
+	reg.Describe("umiddle_directory_match_cache_misses_total", "Lookup query matches that had to be evaluated.")
+	cacheHits := reg.Counter("umiddle_directory_match_cache_hits_total", nl)
+	cacheMisses := reg.Counter("umiddle_directory_match_cache_misses_total", nl)
+	d.cache.Hook = func(hit bool) {
+		if hit {
+			cacheHits.Inc()
+		} else {
+			cacheMisses.Inc()
+		}
 	}
 	return d
 }
@@ -321,6 +337,7 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
+	d.cache.Invalidate(id)
 	d.trace.Event("translator_unmapped", d.node, string(id))
 	d.notifyUnmapped(listeners, id)
 	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}})
@@ -393,12 +410,12 @@ func (d *Directory) Lookup(q core.Query) []core.Profile {
 	d.mu.RLock()
 	var out []core.Profile
 	for _, e := range d.local {
-		if q.Matches(e.profile) {
+		if d.cache.Matches(q, e.profile) {
 			out = append(out, e.profile.Clone())
 		}
 	}
 	for _, e := range d.remote {
-		if q.Matches(e.profile) {
+		if d.cache.Matches(q, e.profile) {
 			out = append(out, e.profile.Clone())
 		}
 	}
@@ -584,6 +601,10 @@ func (d *Directory) integrate(p core.Profile) {
 	case !known:
 		d.trace.Event("translator_mapped", d.node, string(p.ID))
 	case changed:
+		// The fingerprint embedded in each cache entry already forces a
+		// re-evaluation against the new profile; dropping the stale
+		// entries just reclaims them immediately.
+		d.cache.Invalidate(p.ID)
 		d.trace.Event("translator_updated", d.node, string(p.ID))
 	}
 	d.notifyMapped(listeners, p)
@@ -600,6 +621,7 @@ func (d *Directory) dropRemote(id core.TranslatorID) {
 	if !known {
 		return
 	}
+	d.cache.Invalidate(id)
 	d.trace.Event("translator_unmapped", d.node, string(id))
 	d.notifyUnmapped(listeners, id)
 }
@@ -616,6 +638,7 @@ func (d *Directory) dropNode(node string) {
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 	for _, id := range dropped {
+		d.cache.Invalidate(id)
 		d.trace.Event("translator_unmapped", d.node, string(id))
 		d.notifyUnmapped(listeners, id)
 	}
@@ -638,6 +661,7 @@ func (d *Directory) expireStale() {
 	d.mu.Unlock()
 	for _, id := range dropped {
 		d.opts.Logger.Info("directory: expired", "id", id)
+		d.cache.Invalidate(id)
 		d.met.expired.Inc()
 		d.trace.Event("expiry", d.node, string(id))
 		d.notifyUnmapped(listeners, id)

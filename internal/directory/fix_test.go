@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"repro/internal/core"
@@ -303,4 +304,70 @@ func TestDirectoryMetrics(t *testing.T) {
 // netemuSilence partitions two hosts (helper so the test reads well).
 func netemuSilence(net *netemu.Network, a, b string) {
 	net.SetLinkDown(a, b, true)
+}
+
+// TestLookupCacheEquivalenceProperty drives the directory through
+// random announce / re-announce / remove churn and, after every step,
+// checks each query's cached Lookup against a direct uncached scan of
+// the live profile set. Re-announces change shapes under stable IDs, so
+// the run exercises the fingerprint-based invalidation as well as the
+// explicit Invalidate on removal.
+func TestLookupCacheEquivalenceProperty(t *testing.T) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+
+	portSets := [][]core.Port{
+		{{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"}},
+		{
+			{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+			{Name: "image-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+		},
+		{{Name: "ctl", Kind: core.Physical, Direction: core.Input, Type: "visible/paper"}},
+	}
+	queries := []core.Query{
+		{},
+		{Ports: []core.PortTemplate{{Direction: core.Input, Type: "image/*"}}},
+		{NameContains: "tv"},
+		{Node: "h2"},
+		{Platform: "umiddle", Ports: []core.PortTemplate{{Kind: core.Physical}}},
+	}
+	names := []string{"tv", "cam", "clock"}
+	live := map[core.TranslatorID]core.Profile{}
+
+	f := func(ni, pi byte, drop bool) bool {
+		name := names[int(ni)%len(names)]
+		if drop {
+			p := remoteProfile("h2", name)
+			d.handleAdvert(advert{Type: "remove", Node: "h2", Removed: []core.TranslatorID{p.ID}})
+			delete(live, p.ID)
+		} else {
+			p := remoteProfile("h2", name, portSets[int(pi)%len(portSets)]...)
+			d.handleAdvert(advert{Type: "announce", Node: "h2", Profiles: []core.Profile{p}})
+			live[p.ID] = p
+		}
+		for _, q := range queries {
+			got := d.Lookup(q)
+			want := 0
+			for _, p := range live {
+				if q.Matches(p) {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+			for _, g := range got {
+				if !q.Matches(g) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := d.cache.Stats(); hits == 0 {
+		t.Fatal("lookup churn never hit the match cache")
+	}
 }

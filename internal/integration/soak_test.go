@@ -1,0 +1,358 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mapper"
+	"repro/internal/mappers/mbmap"
+	"repro/internal/mappers/motesmap"
+	"repro/internal/mappers/rmimap"
+	"repro/internal/mappers/wsmap"
+	"repro/internal/netemu"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/mediabroker"
+	"repro/internal/platform/motes"
+	"repro/internal/platform/rmi"
+	"repro/internal/platform/upnp"
+	"repro/internal/platform/webservice"
+	"repro/internal/qos"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// soakSink records every delivery (unlike collector, which samples into
+// a bounded channel); the soak's loss/duplication audit needs all of
+// them.
+type soakSink struct {
+	*core.Base
+	mu   sync.Mutex
+	seen []string
+}
+
+func newSoakSink(node, local string) *soakSink {
+	s := &soakSink{
+		Base: core.MustBase(core.Profile{
+			ID:       core.MakeTranslatorID(node, "umiddle", local),
+			Name:     local,
+			Platform: "umiddle",
+			Node:     node,
+			Shape: core.MustShape(
+				core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+			),
+		}),
+	}
+	s.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		s.mu.Lock()
+		s.seen = append(s.seen, string(msg.Payload))
+		s.mu.Unlock()
+		return nil
+	})
+	return s
+}
+
+// TestSoakChurnAndFaults runs the full stack — three runtimes, all six
+// platform mappers with live emulated devices, device churn, and
+// injected link faults — for a few seconds of sequenced cross-node
+// traffic, then audits the end state: every emitted message delivered
+// exactly once, nothing dropped, and a clean observability snapshot (no
+// negative gauges, delivery queue depth back to zero).
+func TestSoakChurnAndFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	// Unlimited link: the soak stresses the software stack, not the
+	// emulated 10 Mbps hub.
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	rec := mapper.NewRecorder()
+	w := &world{t: t, net: net, rec: rec}
+
+	retry := qos.RetryPolicy{MaxAttempts: 12, BaseDelay: 20 * time.Millisecond, MaxDelay: 300 * time.Millisecond, Multiplier: 2}
+	topts := transport.Options{DeliverTimeout: 5 * time.Second, DialTimeout: 2 * time.Second, Retry: retry, Redial: retry}
+	dopts := directory.Options{AnnounceInterval: 30 * time.Millisecond}
+	h1 := w.addRuntimeOpts("h1", dopts, topts)
+	h2 := w.addRuntimeOpts("h2", dopts, topts)
+	h3 := w.addRuntimeOpts("h3", dopts, topts)
+	runtimes := map[string]*runtime.Runtime{"h1": h1, "h2": h2, "h3": h3}
+
+	// --- the six platform mappers, each with a live emulated device ---
+	fastUPnPMapper(w, h1)
+	light := upnp.NewBinaryLight(net.MustAddHost("light-dev"), "light-1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+
+	fastBTMapper(w, h1)
+	camAdapter, err := bluetooth.NewAdapter(net.MustAddHost("cam-dev"), "cam", bluetooth.AdapterOptions{})
+	if err != nil {
+		t.Fatalf("NewAdapter: %v", err)
+	}
+	defer camAdapter.Close()
+	if _, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Cam"); err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+
+	rmiHost := net.MustAddHost("rmi-dev")
+	rmiReg, err := rmi.NewRegistry(rmiHost)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	defer rmiReg.Close()
+	rmiSrv, err := rmi.NewServer(rmiHost, 0)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer rmiSrv.Close()
+	if err := rmi.NewRegistryClient(rmiHost, "rmi-dev").Bind(t.Context(), "echo", rmi.ExportEcho(rmiSrv)); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := h2.AddMapper(rmimap.New(h2.Host(), rmimap.Options{RegistryHost: "rmi-dev", PollInterval: 100 * time.Millisecond, Recorder: rec})); err != nil {
+		t.Fatalf("AddMapper(rmi): %v", err)
+	}
+
+	broker, err := mediabroker.NewBroker(net.MustAddHost("mb-dev"))
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	defer broker.Close()
+	prod, err := mediabroker.NewProducer(t.Context(), net.MustAddHost("mb-producer"), "mb-dev", "feed", "application/octet-stream")
+	if err != nil {
+		t.Fatalf("NewProducer: %v", err)
+	}
+	defer prod.Close()
+	if err := h2.AddMapper(mbmap.New(h2.Host(), mbmap.Options{BrokerHost: "mb-dev", PollInterval: 100 * time.Millisecond, Recorder: rec})); err != nil {
+		t.Fatalf("AddMapper(mb): %v", err)
+	}
+
+	if err := h3.AddMapper(motesmap.New(h3.Host(), motesmap.Options{LivenessWindow: time.Second, Recorder: rec})); err != nil {
+		t.Fatalf("AddMapper(motes): %v", err)
+	}
+	mote, err := motes.StartMote(net.MustAddHost("mote-7"), "h3", 7, motes.MoteOptions{Interval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("StartMote: %v", err)
+	}
+	defer func() { mote.Stop() }()
+
+	wsHost, err := webservice.NewHost(net.MustAddHost("ws-dev"), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	defer wsHost.Close()
+	wsHost.Register("greeter", "xml-rpc", func(_ string, params map[string]string) (map[string]string, error) {
+		return map[string]string{"greeting": "hello " + params["name"]}, nil
+	})
+	if err := h3.AddMapper(wsmap.New(h3.Host(), wsmap.Options{BaseURLs: []string{wsHost.URL()}, PollInterval: 100 * time.Millisecond, Recorder: rec})); err != nil {
+		t.Fatalf("AddMapper(ws): %v", err)
+	}
+
+	// Every platform must be mapped before the churn starts.
+	w.waitLookup(h1, core.Query{Platform: "upnp"}, 1)
+	w.waitLookup(h1, core.Query{Platform: "bluetooth"}, 1)
+	w.waitLookup(h2, core.Query{Platform: "rmi"}, 1)
+	w.waitLookup(h2, core.Query{Platform: "mediabroker"}, 1)
+	w.waitLookup(h3, core.Query{Platform: "motes"}, 1)
+	w.waitLookup(h3, core.Query{Platform: "webservice"}, 1)
+
+	// --- sequenced workload: a delivery ring across the three nodes ---
+	type pair struct {
+		name string
+		src  *core.Base
+		sink *soakSink
+		from *runtime.Runtime
+		id   transport.PathID
+	}
+	pairs := []*pair{
+		{name: "a", src: trigger("h1", "soak-src-a", "text/plain"), sink: newSoakSink("h2", "soak-dst-a"), from: h1},
+		{name: "b", src: trigger("h2", "soak-src-b", "text/plain"), sink: newSoakSink("h3", "soak-dst-b"), from: h2},
+		{name: "c", src: trigger("h3", "soak-src-c", "text/plain"), sink: newSoakSink("h1", "soak-dst-c"), from: h3},
+	}
+	sinkHost := map[string]*runtime.Runtime{"a": h2, "b": h3, "c": h1}
+	for _, p := range pairs {
+		if err := p.from.Register(p.src); err != nil {
+			t.Fatalf("Register src %s: %v", p.name, err)
+		}
+		if err := sinkHost[p.name].Register(p.sink); err != nil {
+			t.Fatalf("Register sink %s: %v", p.name, err)
+		}
+		w.waitLookup(p.from, core.Query{NameContains: "soak-dst-" + p.name}, 1)
+		id, err := p.from.Connect(ref(p.src, "out"), ref(p.sink, "in"))
+		if err != nil {
+			t.Fatalf("Connect %s: %v", p.name, err)
+		}
+		p.id = id
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+
+	// Device churn: the light flaps on the UPnP bus, the mote dies and
+	// reboots, and a native translator is registered/removed on h2 —
+	// directory mapped/unmapped traffic and match-cache invalidation
+	// while deliveries flow.
+	churnWG.Add(3)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(600 * time.Millisecond):
+			}
+			if i%2 == 0 {
+				light.Unpublish()
+			} else {
+				light.Publish() //nolint:errcheck
+			}
+		}
+	}()
+	go func() {
+		defer churnWG.Done()
+		m := mote
+		alive := true
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				if alive {
+					m.Stop()
+				}
+				return
+			case <-time.After(800 * time.Millisecond):
+			}
+			if alive {
+				m.Stop()
+				alive = false
+			} else if nm, err := motes.StartMote(net.MustAddHost(fmt.Sprintf("mote-r%d", i)), "h3", uint16(10+i), motes.MoteOptions{Interval: 30 * time.Millisecond}); err == nil {
+				m, alive = nm, true
+			}
+		}
+	}()
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(300 * time.Millisecond):
+			}
+			fl := trigger("h2", fmt.Sprintf("flapper-%d", i), "text/plain")
+			if err := h2.Register(fl); err != nil {
+				continue
+			}
+			time.Sleep(100 * time.Millisecond)
+			h2.RemoveTranslator(fl.Profile().ID) //nolint:errcheck
+		}
+	}()
+
+	// Link faults: two partitions, each inside the per-message retry
+	// budget, hitting different segments of the delivery ring.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		cut := func(a, b string, at, width time.Duration) {
+			select {
+			case <-stop:
+				return
+			case <-time.After(at):
+			}
+			net.SetLinkDown(a, b, true)
+			time.Sleep(width)
+			net.SetLinkDown(a, b, false)
+		}
+		cut("h1", "h2", 800*time.Millisecond, 300*time.Millisecond)
+		cut("h2", "h3", 700*time.Millisecond, 300*time.Millisecond)
+	}()
+
+	// Emit sequenced payloads for ~3s. Block-policy buffers mean a
+	// producer stalls rather than drops while its link is down.
+	sent := make([]int, len(pairs))
+	var emitWG sync.WaitGroup
+	for pi, p := range pairs {
+		emitWG.Add(1)
+		go func(pi int, p *pair) {
+			defer emitWG.Done()
+			deadline := time.Now().Add(3 * time.Second)
+			for i := 0; time.Now().Before(deadline); i++ {
+				p.src.Emit("out", core.NewMessage("text/plain", []byte(fmt.Sprintf("%s:%d", p.name, i))))
+				sent[pi] = i + 1
+				time.Sleep(4 * time.Millisecond)
+			}
+		}(pi, p)
+	}
+	emitWG.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	// Drain: everything emitted must arrive (retries may still be in
+	// flight right after the last fault window).
+	deadline := time.Now().Add(8 * time.Second)
+	for _, p := range pairs {
+		i := 0
+		for {
+			p.sink.mu.Lock()
+			got := len(p.sink.seen)
+			p.sink.mu.Unlock()
+			if got >= sent[indexOf(pairs, p)] {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("pair %s: %d/%d delivered", p.name, got, sent[indexOf(pairs, p)])
+			}
+			i++
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Audit: exactly-once per pair, in order, nothing dropped.
+	for pi, p := range pairs {
+		p.sink.mu.Lock()
+		seen := append([]string(nil), p.sink.seen...)
+		p.sink.mu.Unlock()
+		if len(seen) != sent[pi] {
+			t.Fatalf("pair %s: delivered %d, sent %d", p.name, len(seen), sent[pi])
+		}
+		for i, payload := range seen {
+			if want := fmt.Sprintf("%s:%d", p.name, i); payload != want {
+				t.Fatalf("pair %s: delivery %d = %q, want %q (lost, duplicated, or reordered)", p.name, i, payload, want)
+			}
+		}
+		stats, ok := p.from.Transport().PathStats(p.id)
+		if !ok {
+			t.Fatalf("pair %s: path stats gone", p.name)
+		}
+		if stats.Dropped != 0 {
+			t.Fatalf("pair %s: %d deliveries dropped", p.name, stats.Dropped)
+		}
+	}
+
+	// Obs snapshot must be clean on every runtime: gauges can never be
+	// negative, and with the workload drained the delivery queues must
+	// be empty again.
+	for name, rt := range runtimes {
+		snap := rt.Obs().Snapshot()
+		for _, g := range snap.Gauges {
+			if g.Value < 0 {
+				t.Fatalf("%s: negative gauge %s%v = %d", name, g.Name, g.Labels, g.Value)
+			}
+			if strings.Contains(g.Name, "delivery_queue_depth") && g.Value != 0 {
+				t.Fatalf("%s: delivery queue depth stuck at %d", name, g.Value)
+			}
+		}
+	}
+}
+
+func indexOf[T comparable](s []T, v T) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -4,9 +4,27 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 )
+
+// DefaultSpinWindow is the read-pacing precision window: a reader whose
+// head segment becomes deliverable within this long spin-waits (yielding
+// the processor each iteration) instead of arming a timer. Go timers on
+// a loaded host fire hundreds of microseconds late, which adds a bogus
+// fixed cost to every synchronous round trip the emulator carries (an
+// RMI call pays it twice); spinning the short tail keeps emulated RTTs
+// within a few microseconds of the shaped value. Waits longer than the
+// window still sleep on a timer, so idle connections burn no CPU.
+const DefaultSpinWindow = 2 * time.Millisecond
+
+// spinUntil busy-waits (with scheduler yields) until t.
+func spinUntil(t time.Time) {
+	for time.Now().Before(t) {
+		runtime.Gosched()
+	}
+}
 
 // segment is a paced chunk of stream data queued for delivery.
 type segment struct {
@@ -124,6 +142,16 @@ func (s *stream) Read(b []byte) (int, error) {
 			head := &s.queue[0]
 			now := time.Now()
 			if wait := head.deliverAt.Sub(now); wait > 0 {
+				if wait <= s.net.spinWindow() {
+					// Short wait: spin for precision. The lock is
+					// released so writers keep pacing; the queue is
+					// re-examined from scratch afterwards.
+					deliverAt := head.deliverAt
+					s.mu.Unlock()
+					spinUntil(deliverAt)
+					s.mu.Lock()
+					continue
+				}
 				s.wakeReaderAt(head.deliverAt)
 				s.rCond.Wait()
 				continue

@@ -120,8 +120,36 @@ type Network struct {
 	faults      map[directedPair]Fault
 	groups      map[string]map[*GroupConn]struct{}
 	medium      *medium
+	spinWin     time.Duration // read-pacing spin window; <0 disables
 	closed      bool
 	rng         *splitMix64
+}
+
+// SetSpinWindow overrides DefaultSpinWindow for this network's streams.
+// Zero restores the default; a negative value disables spinning entirely
+// (every paced read sleeps on a timer, trading RTT precision for CPU).
+func (n *Network) SetSpinWindow(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.spinWin = d
+}
+
+// spinWindow returns the effective spin window. Safe on a nil network
+// (standalone streams never spin).
+func (n *Network) spinWindow() time.Duration {
+	if n == nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.spinWin < 0:
+		return 0
+	case n.spinWin == 0:
+		return DefaultSpinWindow
+	default:
+		return n.spinWin
+	}
 }
 
 // NewNetwork creates a network whose host pairs default to the given link

@@ -276,14 +276,24 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return frame, nil
 }
 
-// writeFrame writes one length-prefixed frame.
+// frameBufPool recycles the scratch buffers writeFrame assembles frames
+// into, so the steady-state broker pump allocates nothing per frame.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// writeFrame writes one length-prefixed frame as a single Write: on a
+// shared medium every separate Write is its own paced segment (with
+// per-segment framing overhead), so prefix and body must travel
+// together.
 func writeFrame(w io.Writer, frame []byte) error {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(frame)))
+	buf = append(buf, frame...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 

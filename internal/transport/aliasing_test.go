@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+func TestMessageCopySemantics(t *testing.T) {
+	// message() must copy the payload out of the frame buffer;
+	// messageZeroCopy() must alias it (that aliasing is the whole point
+	// of the zero-copy opt-in).
+	f := frame{
+		header:  frameHeader{Type: frameDeliver, MsgType: "text/plain"},
+		payload: []byte("abc"),
+	}
+	copied := f.message()
+	zc := f.messageZeroCopy()
+	f.payload[0] = 'X'
+	if string(copied.Payload) != "abc" {
+		t.Fatalf("message() aliases the frame buffer: %q", copied.Payload)
+	}
+	if string(zc.Payload) != "Xbc" {
+		t.Fatalf("messageZeroCopy() does not alias the frame buffer: %q", zc.Payload)
+	}
+}
+
+func TestDeliveredPayloadSafeToRetain(t *testing.T) {
+	// The default delivery path hands translators payloads they may
+	// retain indefinitely, while the frames they rode in on recycle
+	// their buffers into later reads. If frame.message() ever stopped
+	// copying, the retained payloads would be overwritten by later
+	// traffic — and with -race the concurrent reuse shows up as a data
+	// race. (This is the regression test for the pooled-codec ownership
+	// rule; see Options.ZeroCopyDeliver for the opt-out contract.)
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := newNode(t, net, "h1")
+	h2 := newNode(t, net, "h2")
+	src := producer("h1", "src", "text/plain")
+	dst := newCollector("h2", "dst", "text/plain")
+	h1.register(t, src)
+	h2.register(t, dst)
+	deadline := time.Now().Add(3 * time.Second)
+	for len(h1.dir.Lookup(core.Query{NameContains: "dst"})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("h1 never saw dst")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := h1.mod.Connect(portRef(src, "out"), portRef(dst, "in")); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		// Distinguishable payloads: length and fill derive from i, so a
+		// buffer recycled into a later frame corrupts both.
+		src.Emit("out", core.NewMessage("text/plain", bytes.Repeat([]byte{byte(i)}, 512+i)))
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for dst.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d delivered", dst.count(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	for i, msg := range dst.msgs {
+		if len(msg.Payload) != 512+i {
+			t.Fatalf("msg %d: len = %d, want %d", i, len(msg.Payload), 512+i)
+		}
+		for j, b := range msg.Payload {
+			if b != byte(i) {
+				t.Fatalf("msg %d corrupted at byte %d: %#x != %#x", i, j, b, byte(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// inbound is one received deliver frame plus its completion callback
+// (queue-depth accounting and read-loop backpressure release).
+type inbound struct {
+	f    frame
+	done func()
+}
+
+// dstQueue is the FIFO of pending deliveries for one destination port.
+// At most one worker drains a given queue at a time, so deliveries to
+// one destination stay ordered.
+type dstQueue struct {
+	dst    core.PortRef
+	frames []inbound
+	queued bool // on the ready list, or being drained by a worker
+}
+
+// dispatcher fans inbound deliveries out to a bounded worker pool,
+// keyed by destination port. It replaces the single per-connection
+// delivery worker: independent destinations no longer serialize behind
+// one slow Translator.Deliver, while per-destination ordering (what the
+// path sequence numbers promise) is preserved. Control frames never
+// enter the dispatcher — the read loops handle them inline, keeping the
+// guarantee that acks and errors cannot queue behind deliveries.
+type dispatcher struct {
+	m          *Module
+	maxWorkers int
+
+	mu      sync.Mutex
+	queues  map[core.PortRef]*dstQueue
+	ready   []*dstQueue
+	workers int
+	closed  bool
+}
+
+func newDispatcher(m *Module, maxWorkers int) *dispatcher {
+	return &dispatcher{
+		m:          m,
+		maxWorkers: maxWorkers,
+		queues:     make(map[core.PortRef]*dstQueue),
+	}
+}
+
+// enqueue queues one deliver frame for its destination, spawning a
+// worker if the pool has capacity. Safe after close: the frame is
+// discarded with its accounting settled.
+func (d *dispatcher) enqueue(f frame, done func()) {
+	dst := f.header.Dst
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		f.release()
+		done()
+		return
+	}
+	q := d.queues[dst]
+	if q == nil {
+		q = &dstQueue{dst: dst}
+		d.queues[dst] = q
+	}
+	q.frames = append(q.frames, inbound{f: f, done: done})
+	if !q.queued {
+		q.queued = true
+		d.ready = append(d.ready, q)
+	}
+	if d.workers < d.maxWorkers && len(d.ready) > 0 && d.m.trackWorker() {
+		d.workers++
+		go d.run()
+	}
+	d.mu.Unlock()
+}
+
+// run drains ready destination queues until none remain, then exits
+// (workers are spawned on demand rather than parked).
+func (d *dispatcher) run() {
+	defer d.m.wg.Done()
+	d.mu.Lock()
+	defer func() {
+		d.workers--
+		d.mu.Unlock()
+	}()
+	for !d.closed && len(d.ready) > 0 {
+		q := d.ready[0]
+		d.ready = d.ready[1:]
+		for !d.closed && len(q.frames) > 0 {
+			in := q.frames[0]
+			q.frames[0] = inbound{}
+			q.frames = q.frames[1:]
+			d.mu.Unlock()
+			d.m.handleInbound(in)
+			d.mu.Lock()
+		}
+		q.queued = false
+		if len(q.frames) == 0 {
+			delete(d.queues, q.dst)
+		}
+	}
+}
+
+// close discards every queued delivery (settling its accounting) and
+// stops the workers.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	queues := d.queues
+	d.queues = make(map[core.PortRef]*dstQueue)
+	d.ready = nil
+	d.mu.Unlock()
+	for _, q := range queues {
+		for _, in := range q.frames {
+			in.f.release()
+			in.done()
+		}
+	}
+}
+
+// handleInbound delivers one inbound frame to its local translator and
+// settles the frame's buffer and accounting.
+func (m *Module) handleInbound(in inbound) {
+	f := in.f
+	var msg core.Message
+	if m.opts.ZeroCopyDeliver {
+		// Payload aliases the pooled read buffer; the translator must
+		// not retain it past Deliver (Options.ZeroCopyDeliver contract).
+		msg = f.messageZeroCopy()
+	} else {
+		msg = f.message()
+	}
+	m.deliverLocal(f.header.Dst, msg)
+	f.release()
+	in.done()
+}

@@ -169,6 +169,20 @@ type Options struct {
 	// When a cycle exhausts, waiting deliveries fail (and consume one
 	// Retry attempt); a later delivery starts a fresh cycle.
 	Redial qos.RetryPolicy
+	// DeliverWorkers bounds the concurrent inbound delivery workers
+	// (default 8). Inbound deliveries are queued per destination port:
+	// one worker drains one destination at a time, preserving
+	// per-destination ordering while independent destinations proceed
+	// in parallel instead of serializing behind one per-connection
+	// queue.
+	DeliverWorkers int
+	// ZeroCopyDeliver hands inbound payloads to local translators
+	// without copying them out of the pooled read buffer. Opt-in
+	// contract: every local translator must finish with msg.Payload
+	// before its Deliver returns — retaining it aliases a buffer that
+	// will be recycled into a later read. Leave false unless every
+	// registered translator honors that.
+	ZeroCopyDeliver bool
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
 	// Obs receives metrics and trace events. When nil the module keeps a
@@ -185,6 +199,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.DeliverWorkers <= 0 {
+		o.DeliverWorkers = 8
 	}
 	o.Retry = o.Retry.WithDefaults()
 	o.Redial = o.Redial.WithDefaults()
@@ -231,6 +248,12 @@ type Module struct {
 	latency    *obs.Histogram // aggregate delivery latency across paths
 	queueDepth *obs.Gauge     // inbound deliveries dispatched, not yet handled
 	trace      *obs.Trace
+	codecMet   *connMetrics // pool hit rate + write batch sizes
+
+	// dispatch fans inbound deliveries out per destination port.
+	dispatch *dispatcher
+	// matchCache memoizes Query.Matches for dynamic-path rebinding.
+	matchCache *core.MatchCache
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -277,11 +300,34 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	reg.Describe("umiddle_transport_path_retries_total", "Delivery attempts beyond the first per path.")
 	reg.Describe("umiddle_transport_path_redials_total", "Peer connections re-established while delivering per path.")
 	reg.Describe("umiddle_transport_path_dropped_total", "Messages abandoned after the retry budget per path.")
+	reg.Describe("umiddle_transport_frame_pool_gets_total", "Pooled frame-buffer requests (hit rate = 1 - misses/gets).")
+	reg.Describe("umiddle_transport_frame_pool_misses_total", "Pooled frame-buffer requests that fell through to a fresh allocation.")
+	reg.Describe("umiddle_transport_write_batch_frames", "Deliver frames coalesced into each connection write.")
+	reg.Describe("umiddle_transport_match_cache_hits_total", "Dynamic-binding query matches served from the memoization cache.")
+	reg.Describe("umiddle_transport_match_cache_misses_total", "Dynamic-binding query matches that had to be evaluated.")
 	// Resolved eagerly so /metrics shows the latency family (and the
 	// queue-depth gauge) even before the first message flows.
-	m.latency = reg.Histogram("umiddle_transport_delivery_latency_seconds", obs.Labels{"node": node}, nil)
-	m.queueDepth = reg.Gauge("umiddle_transport_delivery_queue_depth", obs.Labels{"node": node})
+	labels := obs.Labels{"node": node}
+	m.latency = reg.Histogram("umiddle_transport_delivery_latency_seconds", labels, nil)
+	m.queueDepth = reg.Gauge("umiddle_transport_delivery_queue_depth", labels)
 	m.trace = reg.Trace()
+	m.codecMet = &connMetrics{
+		poolGets:   reg.Counter("umiddle_transport_frame_pool_gets_total", labels),
+		poolMisses: reg.Counter("umiddle_transport_frame_pool_misses_total", labels),
+		batchFrames: reg.Histogram("umiddle_transport_write_batch_frames", labels,
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+	}
+	m.dispatch = newDispatcher(m, m.opts.DeliverWorkers)
+	m.matchCache = core.NewMatchCache(0)
+	cacheHits := reg.Counter("umiddle_transport_match_cache_hits_total", labels)
+	cacheMisses := reg.Counter("umiddle_transport_match_cache_misses_total", labels)
+	m.matchCache.Hook = func(hit bool) {
+		if hit {
+			cacheHits.Inc()
+		} else {
+			cacheMisses.Inc()
+		}
+	}
 	return m
 }
 
@@ -372,6 +418,7 @@ func (m *Module) Close() error {
 	for _, p := range paths {
 		p.buf.Close()
 	}
+	m.dispatch.close()
 	m.wg.Wait()
 	return nil
 }
@@ -383,6 +430,7 @@ func (m *Module) acceptLoop(l *netemu.Listener) {
 			return
 		}
 		fc := newFrameConn(conn)
+		fc.setMetrics(m.codecMet)
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
@@ -400,11 +448,13 @@ func (m *Module) acceptLoop(l *netemu.Listener) {
 const deliverQueueDepth = 256
 
 // readLoop processes inbound frames from one connection until error.
-// Deliver frames are dispatched to a per-connection worker so one slow
-// Translator.Deliver cannot stall control frames — in particular the
-// ack/error responses that request() waits on — arriving behind it.
-// The worker drains the queue in order, preserving per-connection
-// delivery ordering.
+// Deliver frames are handed to the per-destination dispatcher so one
+// slow Translator.Deliver can stall neither control frames — in
+// particular the ack/error responses that request() waits on, which are
+// handled inline here — nor deliveries bound for other destinations.
+// A per-connection semaphore bounds this connection's outstanding
+// deliveries, so a slow consumer backpressures its sender through the
+// wire instead of ballooning dispatcher queues.
 func (m *Module) readLoop(fc *frameConn) {
 	m.mu.Lock()
 	if m.closed {
@@ -418,36 +468,27 @@ func (m *Module) readLoop(fc *frameConn) {
 		m.mu.Lock()
 		delete(m.conns, fc)
 		m.mu.Unlock()
-	}()
-
-	deliveries := make(chan frame, deliverQueueDepth)
-	var dwg sync.WaitGroup
-	dwg.Add(1)
-	go func() {
-		defer dwg.Done()
-		for f := range deliveries {
-			m.deliverLocal(f.header.Dst, f.message())
-			m.queueDepth.Add(-1)
-		}
-	}()
-	defer func() {
-		close(deliveries)
-		dwg.Wait()
 		fc.close()
 	}()
+
+	sem := make(chan struct{}, deliverQueueDepth)
 	for {
 		f, err := fc.read()
 		if err != nil {
 			return
 		}
 		if f.header.Type == frameDeliver {
-			m.queueDepth.Add(1)
 			select {
-			case deliveries <- f:
+			case sem <- struct{}{}:
 			case <-m.ctx.Done():
-				m.queueDepth.Add(-1)
+				f.release()
 				return
 			}
+			m.queueDepth.Add(1)
+			m.dispatch.enqueue(f, func() {
+				m.queueDepth.Add(-1)
+				<-sem
+			})
 			continue
 		}
 		m.handleFrame(fc, f)
@@ -602,6 +643,7 @@ func (m *Module) dialPeer(node string) (*frameConn, error) {
 		return nil, fmt.Errorf("transport: dial %q: %w", node, err)
 	}
 	fc := newFrameConn(conn)
+	fc.setMetrics(m.codecMet)
 	if err := fc.write(frame{header: frameHeader{Type: frameHello, From: m.node}}); err != nil {
 		fc.close()
 		return nil, fmt.Errorf("transport: hello to %q: %w", node, err)
@@ -1187,10 +1229,79 @@ func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", directory.ErrNotFound, dst.Translator)
 	}
-	ctx, cancel := context.WithTimeout(m.ctx, m.opts.DeliverTimeout)
-	defer cancel()
-	return tr.Deliver(ctx, dst.Port, msg)
+	// A lazy deadline context: every delivery gets the DeliverTimeout
+	// bound, but the runtime timer behind it is only armed if the
+	// handler actually blocks on Done(). Fast handlers — the hot path —
+	// never touch the timer subsystem at all.
+	lc := lazyTimeoutCtx{parent: m.ctx, deadline: time.Now().Add(m.opts.DeliverTimeout)}
+	defer lc.release()
+	return tr.Deliver(&lc, dst.Port, msg)
 }
+
+// lazyTimeoutCtx is a context.Context with a fixed deadline that defers
+// creating the underlying timer-backed context until Done() (or a
+// post-expiry Err()) is first observed. release() cancels the timer if
+// one was armed; afterwards the context reports Canceled, matching the
+// WithTimeout+defer-cancel idiom it replaces.
+type lazyTimeoutCtx struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu       sync.Mutex
+	ctx      context.Context
+	cancel   context.CancelFunc
+	released bool
+}
+
+func (c *lazyTimeoutCtx) materialize() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctx == nil {
+		if c.released {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			c.ctx = ctx
+		} else {
+			c.ctx, c.cancel = context.WithDeadline(c.parent, c.deadline)
+		}
+	}
+	return c.ctx
+}
+
+func (c *lazyTimeoutCtx) release() {
+	c.mu.Lock()
+	c.released = true
+	cancel := c.cancel
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (c *lazyTimeoutCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *lazyTimeoutCtx) Done() <-chan struct{} { return c.materialize().Done() }
+
+func (c *lazyTimeoutCtx) Err() error {
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	ctx, released := c.ctx, c.released
+	c.mu.Unlock()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	if released {
+		return context.Canceled
+	}
+	if !time.Now().Before(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *lazyTimeoutCtx) Value(key any) any { return c.parent.Value(key) }
 
 // onMapped re-evaluates dynamic paths when a translator appears.
 func (m *Module) onMapped(p core.Profile) {
@@ -1203,7 +1314,9 @@ func (m *Module) onMapped(p core.Profile) {
 	}
 	m.mu.Unlock()
 	for _, pt := range paths {
-		if pt.query.Matches(p) {
+		// Memoized: a re-announce with an unchanged profile costs one
+		// cache probe per dynamic path instead of O(ports) matching.
+		if m.matchCache.Matches(*pt.query, p) {
 			pt.tryBind(p, pt.srcType)
 		}
 	}
@@ -1211,6 +1324,7 @@ func (m *Module) onMapped(p core.Profile) {
 
 // onUnmapped unbinds a disappeared translator from dynamic paths.
 func (m *Module) onUnmapped(id core.TranslatorID) {
+	m.matchCache.Invalidate(id)
 	m.mu.Lock()
 	paths := make([]*path, 0, len(m.paths))
 	for _, pt := range m.paths {

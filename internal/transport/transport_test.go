@@ -576,3 +576,76 @@ func TestDirectoryExpiryUnbindsDynamicPath(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+func TestSlowDestinationDoesNotBlockOthers(t *testing.T) {
+	// The per-destination dispatcher must keep one stalled translator
+	// from holding up deliveries to other destinations arriving on the
+	// same connection. A single per-connection delivery queue would
+	// serialize the fast destination behind the stalled one once the
+	// stalled destination's QoS buffer fills.
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := newNode(t, net, "h1")
+	h2 := newNode(t, net, "h2")
+
+	srcStall := producer("h1", "src-stall", "text/plain")
+	srcFast := producer("h1", "src-fast", "text/plain")
+	release := make(chan struct{})
+	stalled := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID("h2", "umiddle", "stalled"),
+		Name:     "stalled",
+		Platform: "umiddle",
+		Node:     "h2",
+		Shape: core.MustShape(
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+		),
+	})
+	stalled.MustHandle("in", func(ctx context.Context, _ core.Message) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	fast := newCollector("h2", "fast", "text/plain")
+	h1.register(t, srcStall)
+	h1.register(t, srcFast)
+	h2.register(t, stalled)
+	h2.register(t, fast)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(h1.dir.Lookup(core.Query{NameContains: "stalled"})) == 0 ||
+		len(h1.dir.Lookup(core.Query{NameContains: "fast"})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("h1 never saw h2's translators")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := h1.mod.Connect(portRef(srcStall, "out"), portRef(stalled, "in")); err != nil {
+		t.Fatalf("Connect stall: %v", err)
+	}
+	if _, err := h1.mod.Connect(portRef(srcFast, "out"), portRef(fast, "in")); err != nil {
+		t.Fatalf("Connect fast: %v", err)
+	}
+
+	// Flood the stalled destination past its QoS buffer capacity so its
+	// dispatcher worker blocks mid-delivery.
+	for i := 0; i < 2*qos.DefaultClass().BufferCapacity+16; i++ {
+		srcStall.Emit("out", core.NewMessage("text/plain", []byte("stall")))
+	}
+	const fastMsgs = 20
+	for i := 0; i < fastMsgs; i++ {
+		srcFast.Emit("out", core.NewMessage("text/plain", []byte("fast")))
+	}
+
+	// The fast destination must drain well before the stalled
+	// destination's DeliverTimeout could free anything up.
+	deadline = time.Now().Add(time.Second)
+	for fast.count() < fastMsgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("fast destination starved behind stalled one: got %d/%d", fast.count(), fastMsgs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+}

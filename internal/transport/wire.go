@@ -11,12 +11,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qos"
 )
 
-// maxFrameSize bounds a single frame (header + payload) to keep a
-// misbehaving peer from exhausting memory.
+// maxFrameSize bounds a single frame (header + payload combined) to
+// keep a misbehaving peer from exhausting memory. The write and read
+// sides enforce the same combined bound, so every frame a conforming
+// writer emits is readable and everything larger is rejected on both
+// ends.
 const maxFrameSize = 16 << 20
+
+// maxBatchBytes bounds the pending write batch: a writer that would
+// grow the batch past this waits for the in-flight flush instead, so a
+// stalled connection cannot buffer unbounded memory.
+const maxBatchBytes = 1 << 20
 
 // Frame types of the inter-node protocol.
 const (
@@ -57,85 +66,380 @@ type frameHeader struct {
 }
 
 // frame pairs a header with its raw payload.
+//
+// Payload ownership: a frame produced by read()/readFrameFrom owns a
+// pooled payload buffer. The receiver must either copy the payload out
+// (frame.message does) or finish using it (frame.messageZeroCopy)
+// before calling release(); after release the payload may be recycled
+// into a concurrent read and must not be touched.
 type frame struct {
 	header  frameHeader
 	payload []byte
+	pooled  bool // payload came from frameBufs and release() returns it
 }
 
-// frameConn wraps a net.Conn with framed, write-locked frame I/O.
+// connMetrics surfaces codec behavior through the obs registry. All
+// handles are nil-safe, so a zero value disables metrics.
+type connMetrics struct {
+	// poolGets counts pooled-buffer requests; poolMisses the subset that
+	// fell through to a fresh allocation. hit rate = 1 - misses/gets.
+	poolGets   *obs.Counter
+	poolMisses *obs.Counter
+	// batchFrames observes deliver-batch sizes: frames coalesced into
+	// each net.Conn write.
+	batchFrames *obs.Histogram
+}
+
+// frameBufs recycles frame scratch buffers — read-side header and
+// payload buffers and write-side batch buffers — across every
+// connection in the process.
+var frameBufs = sync.Pool{}
+
+// getBuf returns a length-n buffer, reusing a pooled one when its
+// capacity suffices.
+func getBuf(n int, met *connMetrics) []byte {
+	if met != nil {
+		met.poolGets.Inc()
+	}
+	if v := frameBufs.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this frame; let it be collected rather than
+		// churning the pool.
+	}
+	if met != nil {
+		met.poolMisses.Inc()
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a buffer to the pool.
+func putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	frameBufs.Put(&b)
+}
+
+// release returns the frame's pooled payload buffer (no-op otherwise).
+// See the ownership comment on frame.
+func (f *frame) release() {
+	if f.pooled && f.payload != nil {
+		putBuf(f.payload)
+	}
+	f.payload = nil
+	f.pooled = false
+}
+
+// frameConn wraps a net.Conn with framed frame I/O. Writes use group
+// commit: the first writer to arrive becomes the leader and flushes the
+// shared batch buffer with one conn.Write; writers that arrive while a
+// flush is in flight append to the next batch and wait for its flush.
+// A solo writer therefore pays no added latency (its "batch" is itself,
+// flushed immediately), while concurrent writers coalesce into as few
+// conn writes as the connection can absorb. Every writer observes the
+// result of the write that carried its frame, so delivery retries see
+// real connection errors, not a deferred flush's.
 type frameConn struct {
 	conn net.Conn
 	r    *bufio.Reader
+	met  *connMetrics
 
-	wmu sync.Mutex
-	w   *bufio.Writer
+	wmu        sync.Mutex
+	wCond      *sync.Cond
+	wbuf       []byte // accumulating batch
+	wframes    int    // frames in wbuf
+	spare      []byte // recycled batch buffer capacity
+	leader     bool   // a writer is flushing
+	gen        uint64 // generation being accumulated
+	flushedGen uint64 // newest generation fully written
+	werr       error  // sticky: the connection is unusable after a failed write
 }
 
 func newFrameConn(conn net.Conn) *frameConn {
-	return &frameConn{
+	fc := &frameConn{
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
+		gen:  1,
 	}
+	fc.wCond = sync.NewCond(&fc.wmu)
+	return fc
 }
 
-// write sends one frame: [4B header len][header JSON][4B payload len][payload].
-func (fc *frameConn) write(f frame) error {
-	hdr, err := json.Marshal(f.header)
-	if err != nil {
-		return fmt.Errorf("transport: marshal frame: %w", err)
+// setMetrics attaches codec metrics; call before the connection is
+// shared.
+func (fc *frameConn) setMetrics(met *connMetrics) { fc.met = met }
+
+// deliverHdrFlag marks a binary-encoded deliver header in the header
+// length word. Deliver frames — the hot path — use a hand-rolled
+// length-prefixed binary header; everything else stays JSON, where
+// flexibility matters more than the reflection cost. maxFrameSize is
+// far below 2^31, so the top bit of the length word is free.
+const deliverHdrFlag = 0x8000_0000
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeDeliverHeader appends the binary form of a deliver header:
+// From, Dst, Src, MsgType, Seq, Sent (unix nanos), Headers.
+func encodeDeliverHeader(buf []byte, h *frameHeader) []byte {
+	buf = appendString(buf, h.From)
+	buf = appendString(buf, string(h.Dst.Translator))
+	buf = appendString(buf, h.Dst.Port)
+	buf = appendString(buf, string(h.Src.Translator))
+	buf = appendString(buf, h.Src.Port)
+	buf = appendString(buf, string(h.MsgType))
+	buf = binary.AppendUvarint(buf, h.Seq)
+	var sent int64
+	if !h.Sent.IsZero() {
+		sent = h.Sent.UnixNano()
 	}
-	if len(hdr)+len(f.payload) > maxFrameSize {
-		return fmt.Errorf("transport: frame exceeds %d bytes", maxFrameSize)
+	buf = binary.AppendVarint(buf, sent)
+	buf = binary.AppendUvarint(buf, uint64(len(h.Headers)))
+	for k, v := range h.Headers {
+		buf = appendString(buf, k)
+		buf = appendString(buf, v)
 	}
-	fc.wmu.Lock()
-	defer fc.wmu.Unlock()
+	return buf
+}
+
+// decodeDeliverHeader parses the binary deliver header. data is a
+// pooled buffer; every string is copied out by the string conversions.
+func decodeDeliverHeader(data []byte, h *frameHeader) error {
+	bad := fmt.Errorf("transport: bad deliver header")
+	str := func() (string, bool) {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < n {
+			return "", false
+		}
+		s := string(data[sz : sz+int(n)])
+		data = data[sz+int(n):]
+		return s, true
+	}
+	var ok bool
+	if h.From, ok = str(); !ok {
+		return bad
+	}
+	var s string
+	if s, ok = str(); !ok {
+		return bad
+	}
+	h.Dst.Translator = core.TranslatorID(s)
+	if h.Dst.Port, ok = str(); !ok {
+		return bad
+	}
+	if s, ok = str(); !ok {
+		return bad
+	}
+	h.Src.Translator = core.TranslatorID(s)
+	if h.Src.Port, ok = str(); !ok {
+		return bad
+	}
+	if s, ok = str(); !ok {
+		return bad
+	}
+	h.MsgType = core.DataType(s)
+	seq, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return bad
+	}
+	data = data[sz:]
+	h.Seq = seq
+	sent, sz := binary.Varint(data)
+	if sz <= 0 {
+		return bad
+	}
+	data = data[sz:]
+	if sent != 0 {
+		h.Sent = time.Unix(0, sent)
+	}
+	count, sz := binary.Uvarint(data)
+	if sz <= 0 || count > uint64(len(data)-sz) {
+		return bad
+	}
+	data = data[sz:]
+	if count > 0 {
+		h.Headers = make(map[string]string, count)
+		for i := uint64(0); i < count; i++ {
+			k, ok := str()
+			if !ok {
+				return bad
+			}
+			v, ok := str()
+			if !ok {
+				return bad
+			}
+			h.Headers[k] = v
+		}
+	}
+	if len(data) != 0 {
+		return bad
+	}
+	h.Type = frameDeliver
+	return nil
+}
+
+// appendFrameEncoded appends one encoded frame — [4B header len word]
+// [header][4B payload len][payload] — to buf. On error buf is returned
+// unmodified.
+func appendFrameEncoded(buf []byte, f frame) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // header length word, patched below
+	var hdrLen int
+	if f.header.Type == frameDeliver {
+		buf = encodeDeliverHeader(buf, &f.header)
+		hdrLen = len(buf) - start - 4
+		binary.BigEndian.PutUint32(buf[start:], uint32(hdrLen)|deliverHdrFlag)
+	} else {
+		hdr, err := json.Marshal(f.header)
+		if err != nil {
+			return buf[:start], fmt.Errorf("transport: marshal frame: %w", err)
+		}
+		buf = append(buf, hdr...)
+		hdrLen = len(hdr)
+		binary.BigEndian.PutUint32(buf[start:], uint32(hdrLen))
+	}
+	if hdrLen+len(f.payload) > maxFrameSize {
+		return buf[:start], fmt.Errorf("transport: frame exceeds %d bytes", maxFrameSize)
+	}
 	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
-	if _, err := fc.w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	if _, err := fc.w.Write(hdr); err != nil {
-		return err
-	}
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.payload)))
-	if _, err := fc.w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	if _, err := fc.w.Write(f.payload); err != nil {
-		return err
-	}
-	return fc.w.Flush()
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, f.payload...)
+	return buf, nil
 }
 
-// read receives one frame.
+// encodeFrame renders a frame to its wire form (used by tests and the
+// fuzz corpus; write() appends straight into the batch buffer instead).
+func encodeFrame(f frame) ([]byte, error) {
+	return appendFrameEncoded(nil, f)
+}
+
+// write sends one frame, coalescing with concurrent writers (see the
+// type comment). The returned error is the error of the conn.Write that
+// carried (or would have carried) this frame.
+func (fc *frameConn) write(f frame) error {
+	fc.wmu.Lock()
+	// Backpressure: don't grow the pending batch without bound while a
+	// flush is in flight.
+	for fc.werr == nil && fc.leader && len(fc.wbuf) >= maxBatchBytes {
+		fc.wCond.Wait()
+	}
+	if fc.werr != nil {
+		fc.wmu.Unlock()
+		return fc.werr
+	}
+	if fc.wbuf == nil && fc.spare != nil {
+		fc.wbuf, fc.spare = fc.spare, nil
+	}
+	var encErr error
+	fc.wbuf, encErr = appendFrameEncoded(fc.wbuf, f)
+	if encErr != nil {
+		fc.wCond.Broadcast()
+		fc.wmu.Unlock()
+		return encErr
+	}
+	fc.wframes++
+	myGen := fc.gen
+
+	if fc.leader {
+		// Another writer is flushing; it will pick this batch up next.
+		// Wait until the generation holding our frame has been written.
+		for fc.werr == nil && fc.flushedGen < myGen {
+			fc.wCond.Wait()
+		}
+		err := fc.werr
+		fc.wmu.Unlock()
+		return err
+	}
+
+	fc.leader = true
+	for fc.werr == nil && len(fc.wbuf) > 0 {
+		buf := fc.wbuf
+		frames := fc.wframes
+		flushGen := fc.gen
+		fc.wbuf = nil
+		fc.wframes = 0
+		fc.gen++
+		fc.wmu.Unlock()
+
+		if fc.met != nil {
+			fc.met.batchFrames.Observe(float64(frames))
+		}
+		_, werr := fc.conn.Write(buf)
+
+		fc.wmu.Lock()
+		fc.flushedGen = flushGen
+		if werr != nil {
+			fc.werr = werr
+		}
+		if fc.spare == nil || cap(buf) > cap(fc.spare) {
+			fc.spare = buf[:0]
+		}
+		fc.wCond.Broadcast()
+	}
+	fc.leader = false
+	err := fc.werr
+	fc.wCond.Broadcast()
+	fc.wmu.Unlock()
+	return err
+}
+
+// read receives one frame. The frame's payload is a pooled buffer; the
+// caller owns it until frame.release().
 func (fc *frameConn) read() (frame, error) {
+	return readFrameFrom(fc.r, fc.met)
+}
+
+// readFrameFrom decodes one frame from r. Header and payload lengths
+// are validated against the same combined maxFrameSize bound the writer
+// enforces — checking them only individually would accept frames up to
+// twice the writable maximum.
+func readFrameFrom(r io.Reader, met *connMetrics) (frame, error) {
 	var lenBuf [4]byte
-	if _, err := io.ReadFull(fc.r, lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return frame{}, err
 	}
-	hdrLen := binary.BigEndian.Uint32(lenBuf[:])
+	hdrWord := binary.BigEndian.Uint32(lenBuf[:])
+	binaryHdr := hdrWord&deliverHdrFlag != 0
+	hdrLen := hdrWord &^ uint32(deliverHdrFlag)
 	if hdrLen > maxFrameSize {
 		return frame{}, fmt.Errorf("transport: oversized header (%d bytes)", hdrLen)
 	}
-	hdr := make([]byte, hdrLen)
-	if _, err := io.ReadFull(fc.r, hdr); err != nil {
+	hdr := getBuf(int(hdrLen), met)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		putBuf(hdr)
 		return frame{}, err
 	}
 	var f frame
-	if err := json.Unmarshal(hdr, &f.header); err != nil {
-		return frame{}, fmt.Errorf("transport: bad frame header: %w", err)
+	var err error
+	if binaryHdr {
+		err = decodeDeliverHeader(hdr, &f.header)
+	} else if err = json.Unmarshal(hdr, &f.header); err != nil {
+		err = fmt.Errorf("transport: bad frame header: %w", err)
 	}
-	if _, err := io.ReadFull(fc.r, lenBuf[:]); err != nil {
+	putBuf(hdr)
+	if err != nil {
+		return frame{}, err
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return frame{}, err
 	}
 	payloadLen := binary.BigEndian.Uint32(lenBuf[:])
-	if payloadLen > maxFrameSize {
-		return frame{}, fmt.Errorf("transport: oversized payload (%d bytes)", payloadLen)
+	if uint64(hdrLen)+uint64(payloadLen) > maxFrameSize {
+		return frame{}, fmt.Errorf("transport: oversized frame (%d byte header + %d byte payload)", hdrLen, payloadLen)
 	}
 	if payloadLen > 0 {
-		f.payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(fc.r, f.payload); err != nil {
+		f.payload = getBuf(int(payloadLen), met)
+		f.pooled = true
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			f.release()
 			return frame{}, err
 		}
 	}
@@ -161,8 +465,23 @@ func deliverFrame(from string, dst core.PortRef, msg core.Message) frame {
 	}
 }
 
-// message reconstructs a core.Message from a deliver frame.
+// message reconstructs a core.Message from a deliver frame, copying the
+// payload out of the frame's (pooled) buffer so the Message is safe to
+// retain indefinitely. This is the default delivery path.
 func (f frame) message() core.Message {
+	msg := f.messageZeroCopy()
+	if len(f.payload) > 0 {
+		msg.Payload = append(make([]byte, 0, len(f.payload)), f.payload...)
+	}
+	return msg
+}
+
+// messageZeroCopy reconstructs a core.Message whose Payload aliases the
+// frame's buffer. The caller must guarantee the Message (and anything
+// built from its Payload) is not used after frame.release() — see
+// Options.ZeroCopyDeliver for the contract delivered translators must
+// meet.
+func (f frame) messageZeroCopy() core.Message {
 	return core.Message{
 		Type:    f.header.MsgType,
 		Payload: f.payload,

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo verification: tier-1 build+test, vet, the race detector over the
 # concurrency-heavy packages (transport redial cycles, directory
-# announce loops, netemu fault injection, obs registry), and a
-# one-iteration benchharness smoke run with -json output.
+# announce loops, netemu fault injection, obs registry) plus the
+# integration soak, a 5-second fuzz smoke per wire-codec target, a
+# one-iteration benchharness smoke run with -json output, and a
+# bench-regression gate against the committed BENCH_*.json baselines.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,9 +13,24 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/
+go test -race -run 'TestSoakChurnAndFaults' ./internal/integration/
+
+# Fuzz smoke: 5 seconds per wire-codec target. Patterns are anchored —
+# -fuzz must match exactly one target per invocation.
+go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 5s
+go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRead$' -fuzztime 5s
 
 # Benchharness smoke: one mapping iteration, JSON row dump must appear.
 tmpdir="$(mktemp -d)"
 go build -o "$tmpdir/benchharness" ./cmd/benchharness
+go build -o "$tmpdir/benchgate" ./cmd/benchgate
 (cd "$tmpdir" && ./benchharness -exp fig10 -iters 1 -json >/dev/null && test -s BENCH_fig10.json)
+
+# Bench-regression gate: a fresh single-shot run of the throughput
+# experiments must stay within 3x of the committed baselines (loose on
+# purpose — it catches structural regressions, not scheduler noise).
+(cd "$tmpdir" && ./benchharness -exp fig11 -msgs 400 -json >/dev/null)
+(cd "$tmpdir" && ./benchharness -exp hotpath -msgs 8000 -json >/dev/null)
+"$tmpdir/benchgate" BENCH_fig11.json "$tmpdir/BENCH_fig11.json"
+"$tmpdir/benchgate" BENCH_hotpath.json "$tmpdir/BENCH_hotpath.json"
 rm -rf "$tmpdir"
