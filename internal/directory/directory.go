@@ -80,6 +80,19 @@ func (l ListenerFuncs) TranslatorUnmapped(id core.TranslatorID) {
 	}
 }
 
+// NodeListener is an optional extension of Listener: registered listeners
+// that also implement it are told when a peer node transitions between
+// live and down. Liveness is tracked from announcement leases, so
+// NodeDown fires promptly after a crash (lease lapse, not per-entry TTL
+// drift) and immediately on a bye — once per transition either way.
+type NodeListener interface {
+	// NodeUp is called when a peer node is first heard from, or heard
+	// again after having gone down.
+	NodeUp(node string)
+	// NodeDown is called when a peer node's lease lapses or it says bye.
+	NodeDown(node string)
+}
+
 // advert is the wire format of a directory announcement.
 type advert struct {
 	// Type is "announce" (full local state), "bye" (node leaving), or
@@ -91,6 +104,11 @@ type advert struct {
 	Profiles []core.Profile `json:"profiles,omitempty"`
 	// Removed carries unmapped translator IDs for "remove".
 	Removed []core.TranslatorID `json:"removed,omitempty"`
+	// LeaseMillis is the announcement's liveness lease in milliseconds:
+	// the sender promises another advert within this window, and
+	// receivers may declare the node down once it lapses. Zero (an older
+	// peer) falls back to the receiver's own TTL.
+	LeaseMillis int64 `json:"lease_ms,omitempty"`
 }
 
 // Options configures a Directory.
@@ -140,6 +158,12 @@ type remoteEntry struct {
 	seen    time.Time
 }
 
+// nodeState tracks a remote node's liveness lease.
+type nodeState struct {
+	lastSeen time.Time
+	lease    time.Duration
+}
+
 // dirMetrics bundles the directory's metric handles, resolved once at
 // construction so the hot paths never touch the registry map.
 type dirMetrics struct {
@@ -148,6 +172,8 @@ type dirMetrics struct {
 	malformed *obs.Counter
 	expired   *obs.Counter
 	notifyLat *obs.Histogram
+	liveNodes *obs.Gauge
+	nodeDown  *obs.Counter
 }
 
 // Directory is one runtime's view of the intermediary semantic space.
@@ -165,6 +191,7 @@ type Directory struct {
 	mu              sync.RWMutex
 	local           map[core.TranslatorID]localEntry
 	remote          map[core.TranslatorID]remoteEntry
+	nodes           map[string]*nodeState
 	listeners       []Listener
 	started         bool
 	closed          bool
@@ -186,6 +213,8 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 	reg.Describe("umiddle_directory_adverts_malformed_total", "Received adverts dropped as malformed.")
 	reg.Describe("umiddle_directory_expired_total", "Remote translators expired after node silence.")
 	reg.Describe("umiddle_directory_notify_latency_seconds", "Time to notify all listeners of one mapped/unmapped event.")
+	reg.Describe("umiddle_directory_live_nodes", "Remote nodes currently holding a liveness lease.")
+	reg.Describe("umiddle_directory_node_down_total", "Peer node down transitions observed (lease lapse or bye).")
 	nl := obs.Labels{"node": node}
 	d := &Directory{
 		node: node,
@@ -201,11 +230,14 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 			malformed: reg.Counter("umiddle_directory_adverts_malformed_total", nl),
 			expired:   reg.Counter("umiddle_directory_expired_total", nl),
 			notifyLat: reg.Histogram("umiddle_directory_notify_latency_seconds", nl, nil),
+			liveNodes: reg.Gauge("umiddle_directory_live_nodes", nl),
+			nodeDown:  reg.Counter("umiddle_directory_node_down_total", nl),
 		},
 		trace:  reg.Trace(),
 		cache:  core.NewMatchCache(0),
 		local:  make(map[core.TranslatorID]localEntry),
 		remote: make(map[core.TranslatorID]remoteEntry),
+		nodes:  make(map[string]*nodeState),
 	}
 	reg.Describe("umiddle_directory_match_cache_hits_total", "Lookup query matches served from the memoization cache.")
 	reg.Describe("umiddle_directory_match_cache_misses_total", "Lookup query matches that had to be evaluated.")
@@ -468,6 +500,19 @@ func (d *Directory) Size() (local, remote int) {
 	return len(d.local), len(d.remote)
 }
 
+// Nodes returns the names of remote nodes currently holding a liveness
+// lease, sorted.
+func (d *Directory) Nodes() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // AnnounceNow broadcasts the full local state immediately. Besides
 // serving AddLocal and the periodic announce tick, the transport calls
 // it when a peer connection is re-established so neighbors that
@@ -482,7 +527,8 @@ func (d *Directory) AnnounceNow() {
 		profiles = append(profiles, p)
 	}
 	d.mu.RUnlock()
-	d.send(advert{Type: "announce", Node: d.node, Profiles: profiles})
+	lease := time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+	d.send(advert{Type: "announce", Node: d.node, Profiles: profiles, LeaseMillis: int64(lease / time.Millisecond)})
 }
 
 func (d *Directory) send(a advert) {
@@ -520,6 +566,7 @@ func (d *Directory) announceLoop(ctx context.Context) {
 			return
 		case <-ticker.C:
 			d.AnnounceNow()
+			d.expireNodes()
 			d.expireStale()
 		}
 	}
@@ -548,6 +595,7 @@ func (d *Directory) receiveLoop() {
 func (d *Directory) handleAdvert(a advert) {
 	switch a.Type {
 	case "announce":
+		d.touchNode(a.Node, a.LeaseMillis)
 		for i := range a.Profiles {
 			p := a.Profiles[i]
 			if err := p.RestoreShape(); err != nil {
@@ -558,11 +606,13 @@ func (d *Directory) handleAdvert(a advert) {
 			d.integrate(p)
 		}
 	case "remove":
+		// A remove proves the sender is alive just as an announce does.
+		d.touchNode(a.Node, 0)
 		for _, id := range a.Removed {
 			d.dropRemote(id)
 		}
 	case "bye":
-		d.dropNode(a.Node)
+		d.dropNode(a.Node, "translator_unmapped")
 	default:
 		d.met.malformed.Inc()
 		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
@@ -626,8 +676,55 @@ func (d *Directory) dropRemote(id core.TranslatorID) {
 	d.notifyUnmapped(listeners, id)
 }
 
-func (d *Directory) dropNode(node string) {
+// touchNode renews a remote node's liveness lease, firing node_up when
+// this is the first advert heard from it (or the first since it went
+// down). A non-positive leaseMillis keeps the node's previous lease, or
+// the receiver's own TTL for a brand-new node.
+func (d *Directory) touchNode(node string, leaseMillis int64) {
+	if node == "" || node == d.node {
+		return
+	}
+	lease := time.Duration(leaseMillis) * time.Millisecond
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	if st, known := d.nodes[node]; known {
+		st.lastSeen = time.Now()
+		if lease > 0 {
+			st.lease = lease
+		}
+		d.mu.Unlock()
+		return
+	}
+	if lease <= 0 {
+		lease = time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+	}
+	d.nodes[node] = &nodeState{lastSeen: time.Now(), lease: lease}
+	d.met.liveNodes.Set(int64(len(d.nodes)))
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+	d.trace.Event("node_up", d.node, node)
+	for _, l := range listeners {
+		if nl, ok := l.(NodeListener); ok {
+			nl.NodeUp(node)
+		}
+	}
+}
+
+// dropNode forgets everything about a remote node: its liveness lease and
+// every translator it hosted. It backs both the explicit "bye" advert and
+// lease lapse, firing node_down once per live→down transition; entryTrace
+// is the per-translator trace kind ("translator_unmapped" for a graceful
+// bye, "expiry" for silence). Returns how many translators were dropped.
+func (d *Directory) dropNode(node string, entryTrace string) int {
+	d.mu.Lock()
+	_, wasLive := d.nodes[node]
+	delete(d.nodes, node)
+	if wasLive {
+		d.met.liveNodes.Set(int64(len(d.nodes)))
+	}
 	var dropped []core.TranslatorID
 	for id, e := range d.remote {
 		if e.profile.Node == node {
@@ -637,10 +734,46 @@ func (d *Directory) dropNode(node string) {
 	}
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
+	if wasLive {
+		d.met.nodeDown.Inc()
+		d.trace.Event("node_down", d.node, node)
+	}
+	// Translators are unmapped before NodeDown fires: by then a Lookup no
+	// longer returns any of the dead node's profiles, so failover queries
+	// triggered by either notification only see live candidates.
 	for _, id := range dropped {
 		d.cache.Invalidate(id)
-		d.trace.Event("translator_unmapped", d.node, string(id))
+		d.trace.Event(entryTrace, d.node, string(id))
 		d.notifyUnmapped(listeners, id)
+	}
+	if wasLive {
+		for _, l := range listeners {
+			if nl, ok := l.(NodeListener); ok {
+				nl.NodeDown(node)
+			}
+		}
+	}
+	return len(dropped)
+}
+
+// expireNodes declares remote nodes down whose announcement lease has
+// lapsed — the prompt crash-detection path, as opposed to expireStale's
+// per-entry TTL backstop.
+func (d *Directory) expireNodes() {
+	now := time.Now()
+	d.mu.Lock()
+	var lapsed []string
+	for node, st := range d.nodes {
+		if now.Sub(st.lastSeen) > st.lease {
+			lapsed = append(lapsed, node)
+		}
+	}
+	d.mu.Unlock()
+	for _, node := range lapsed {
+		d.opts.Logger.Info("directory: node lease lapsed", "peer", node)
+		if n := d.dropNode(node, "expiry"); n > 0 {
+			d.met.expired.Add(uint64(n))
+		}
 	}
 }
 

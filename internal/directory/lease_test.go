@@ -1,0 +1,139 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+	"repro/internal/obs"
+)
+
+// nodeRecorder records node liveness transitions alongside the usual
+// translator callbacks.
+type nodeRecorder struct {
+	recorder
+	mu   sync.Mutex
+	up   []string
+	down []string
+}
+
+func (r *nodeRecorder) NodeUp(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.up = append(r.up, node)
+}
+
+func (r *nodeRecorder) NodeDown(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down = append(r.down, node)
+}
+
+func (r *nodeRecorder) transitions() (up, down int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.up), len(r.down)
+}
+
+// traceCount counts trace events of one kind mentioning a node.
+func traceCount(reg *obs.Registry, kind, node string) int {
+	n := 0
+	for _, e := range reg.Trace().Events() {
+		if e.Kind == kind && (e.Detail == node || e.Node == node) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLeaseLapseDropsCrashedNode(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	reg := obs.NewRegistry()
+	opts := fastOpts()
+	opts.Obs = reg
+	d1 := New("h1", h1, fastOpts())
+	d2 := New("h2", h2, opts)
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	rec := &nodeRecorder{}
+	d2.AddListener(rec)
+
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+	d1.AddLocal(testTranslator(t, "h1", "b"))
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 2 })
+	waitFor(t, 2*time.Second, func() bool { up, _ := rec.transitions(); return up == 1 })
+	if nodes := d2.Nodes(); len(nodes) != 1 || nodes[0] != "h1" {
+		t.Fatalf("Nodes() = %v, want [h1]", nodes)
+	}
+
+	// Crash h1: no bye, no traffic. The lease lapses and BOTH entries go
+	// at once, with exactly one node_down transition.
+	if _, err := net.CrashNode("h1"); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	crashed := time.Now()
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 0 })
+	elapsed := time.Since(crashed)
+	waitFor(t, 2*time.Second, func() bool { _, down := rec.transitions(); return down == 1 })
+	if len(d2.Nodes()) != 0 {
+		t.Fatalf("Nodes() after crash = %v, want empty", d2.Nodes())
+	}
+	// Lease = ExpiryFactor(4) x AnnounceInterval(20ms); the drop must be
+	// lease-driven (prompt), not an artifact of some much longer timer.
+	if elapsed > time.Second {
+		t.Fatalf("crashed node's entries took %v to drop, want prompt lease lapse", elapsed)
+	}
+	if n := traceCount(reg, "node_down", "h1"); n != 1 {
+		t.Fatalf("node_down trace events for h1 = %d, want exactly 1", n)
+	}
+	if v := reg.Gauge("umiddle_directory_live_nodes", obs.Labels{"node": "h2"}).Value(); v != 0 {
+		t.Fatalf("live_nodes gauge = %d, want 0", v)
+	}
+
+	// Restart the node: a fresh directory under the same name comes up
+	// and the peer fires node_up a second time.
+	h1b, err := net.RestartNode("h1")
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	d1b := New("h1", h1b, fastOpts())
+	defer d1b.Close()
+	d1b.Start()
+	d1b.AddLocal(testTranslator(t, "h1", "a"))
+
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 1 })
+	waitFor(t, 2*time.Second, func() bool { up, _ := rec.transitions(); return up == 2 })
+	if n := traceCount(reg, "node_up", "h1"); n != 2 {
+		t.Fatalf("node_up trace events for h1 = %d, want 2", n)
+	}
+}
+
+func TestByeFiresNodeDownOnce(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, fastOpts()), New("h2", h2, fastOpts())
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	rec := &nodeRecorder{}
+	d2.AddListener(rec)
+
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+	waitFor(t, 2*time.Second, func() bool { up, _ := rec.transitions(); return up == 1 })
+
+	d1.Close() // sends bye
+	waitFor(t, 2*time.Second, func() bool { _, down := rec.transitions(); return down == 1 })
+	// The lease lapsing after the bye must not double-fire.
+	time.Sleep(200 * time.Millisecond)
+	if _, down := rec.transitions(); down != 1 {
+		t.Fatalf("NodeDown fired %d times, want once", down)
+	}
+}

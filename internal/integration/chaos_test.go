@@ -1,0 +1,395 @@
+package integration
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mappers/mbmap"
+	"repro/internal/mappers/motesmap"
+	"repro/internal/mappers/rmimap"
+	"repro/internal/mappers/wsmap"
+	"repro/internal/netemu"
+	"repro/internal/obs"
+	"repro/internal/platform/bluetooth"
+	"repro/internal/platform/mediabroker"
+	"repro/internal/platform/motes"
+	"repro/internal/platform/rmi"
+	"repro/internal/platform/upnp"
+	"repro/internal/platform/webservice"
+	"repro/internal/qos"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// chaosPlatforms is every platform the crash/restart cycle must bring
+// back after each node death.
+var chaosPlatforms = []string{"upnp", "bluetooth", "rmi", "mediabroker", "motes", "webservice"}
+
+func chaosRetry() qos.RetryPolicy {
+	return qos.RetryPolicy{MaxAttempts: 6, BaseDelay: 20 * time.Millisecond, MaxDelay: 150 * time.Millisecond, Multiplier: 2, NoJitter: true}
+}
+
+// newChaosRuntime builds a runtime on an existing host with fast
+// announce and retry cadences, so crashes are detected and ridden out
+// within a test-sized budget.
+func newChaosRuntime(w *world, host *netemu.Host) *runtime.Runtime {
+	w.t.Helper()
+	rt, err := runtime.New(runtime.Config{
+		Node:      host.Name(),
+		Host:      host,
+		Directory: directory.Options{AnnounceInterval: 30 * time.Millisecond},
+		Transport: transport.Options{
+			DeliverTimeout: 5 * time.Second,
+			DialTimeout:    time.Second,
+			Retry:          chaosRetry(),
+			Redial:         chaosRetry(),
+		},
+		MapperRetry: chaosRetry(),
+	})
+	if err != nil {
+		w.t.Fatalf("runtime.New(%s): %v", host.Name(), err)
+	}
+	if err := rt.Start(); err != nil {
+		w.t.Fatalf("runtime.Start(%s): %v", host.Name(), err)
+	}
+	w.t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// addChaosMappers attaches all six platform mappers to the victim
+// runtime. The native devices live on their own hosts and survive the
+// victim's crashes; a fresh incarnation must rediscover every one.
+func addChaosMappers(w *world, rt *runtime.Runtime, wsURL string) {
+	w.t.Helper()
+	fastUPnPMapper(w, rt)
+	fastBTMapper(w, rt)
+	if err := rt.AddMapper(rmimap.New(rt.Host(), rmimap.Options{
+		RegistryHost: "rmi-dev",
+		PollInterval: 100 * time.Millisecond,
+		Recorder:     w.rec,
+	})); err != nil {
+		w.t.Fatalf("AddMapper(rmi): %v", err)
+	}
+	if err := rt.AddMapper(mbmap.New(rt.Host(), mbmap.Options{
+		BrokerHost:   "mb-dev",
+		PollInterval: 100 * time.Millisecond,
+		Recorder:     w.rec,
+	})); err != nil {
+		w.t.Fatalf("AddMapper(mediabroker): %v", err)
+	}
+	if err := rt.AddMapper(motesmap.New(rt.Host(), motesmap.Options{
+		LivenessWindow: time.Second,
+		Recorder:       w.rec,
+	})); err != nil {
+		w.t.Fatalf("AddMapper(motes): %v", err)
+	}
+	if err := rt.AddMapper(wsmap.New(rt.Host(), wsmap.Options{
+		BaseURLs:     []string{wsURL},
+		PollInterval: 100 * time.Millisecond,
+		Recorder:     w.rec,
+	})); err != nil {
+		w.t.Fatalf("AddMapper(webservice): %v", err)
+	}
+}
+
+// startMoteRetry boots a mote once the victim's base station is
+// listening. Motes die silently with their base station (the emulated
+// serial link drops), so each victim incarnation gets a fresh one.
+func startMoteRetry(w *world, host *netemu.Host, base string, id uint16) *motes.Mote {
+	w.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := motes.StartMote(host, base, id, motes.MoteOptions{Interval: 30 * time.Millisecond})
+		if err == nil {
+			return m
+		}
+		if time.Now().After(deadline) {
+			w.t.Fatalf("StartMote: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitBound polls a path until it reports n bound destinations.
+func waitBound(w *world, rt *runtime.Runtime, id transport.PathID, n int) {
+	w.t.Helper()
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		stats, _ := rt.Transport().PathStats(id)
+		if stats.Bound == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			w.t.Fatalf("path bound = %d, want %d", stats.Bound, n)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// waitRemoteEmpty polls until a runtime's directory holds no remote
+// entries (the crashed node's leases have lapsed).
+func waitRemoteEmpty(w *world, rt *runtime.Runtime) {
+	w.t.Helper()
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		if _, remote := rt.Directory().Size(); remote == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, remote := rt.Directory().Size()
+			w.t.Fatalf("%d remote entries survive the crash", remote)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// waitGoroutines polls until the process goroutine count falls to max,
+// dumping all stacks on timeout.
+func waitGoroutines(t *testing.T, max int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		n := stdruntime.NumGoroutine()
+		if n <= max {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			got := stdruntime.Stack(buf, true)
+			t.Fatalf("goroutines = %d, want <= %d\n%s", n, max, buf[:got])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCrashRestartChaosAllMappers is the self-healing soak: a victim
+// node hosting all six platform mappers is crashed abruptly (no bye)
+// and restarted under the same name, repeatedly. After every crash the
+// observer's leases lapse, its dynamic path fails over to the surviving
+// candidate, and traffic keeps flowing; after every restart the fresh
+// incarnation rediscovers every platform and the path rebinds. The
+// cycle must not leak goroutines and must end with a clean health and
+// obs picture.
+func TestCrashRestartChaosAllMappers(t *testing.T) {
+	cycles := 3
+	if testing.Short() {
+		cycles = 1
+	}
+	w := newWorld(t)
+	h1 := newChaosRuntime(w, w.net.MustAddHost("h1"))
+	victim := newChaosRuntime(w, w.net.MustAddHost("h2"))
+
+	// Native devices on their own hosts: they survive every crash.
+	light := upnp.NewBinaryLight(w.net.MustAddHost("light-dev"), "light-1", "Desk Lamp", upnp.DeviceOptions{})
+	if err := light.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	defer light.Unpublish()
+
+	camAdapter, err := bluetooth.NewAdapter(w.net.MustAddHost("cam-dev"), "cam", bluetooth.AdapterOptions{
+		ScanInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAdapter: %v", err)
+	}
+	defer camAdapter.Close()
+	cam, err := bluetooth.NewBIPCamera(camAdapter, "Pocket Cam")
+	if err != nil {
+		t.Fatalf("NewBIPCamera: %v", err)
+	}
+	defer cam.Close()
+
+	rmiHost := w.net.MustAddHost("rmi-dev")
+	rmiReg, err := rmi.NewRegistry(rmiHost)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	defer rmiReg.Close()
+	rmiSrv, err := rmi.NewServer(rmiHost, 0)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer rmiSrv.Close()
+	echoRef := rmi.ExportEcho(rmiSrv)
+	if err := rmi.NewRegistryClient(rmiHost, "rmi-dev").Bind(t.Context(), "echo", echoRef); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+
+	broker, err := mediabroker.NewBroker(w.net.MustAddHost("mb-dev"))
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	defer broker.Close()
+	prod, err := mediabroker.NewProducer(t.Context(), w.net.MustAddHost("mb-producer"), "mb-dev", "feed", "application/octet-stream")
+	if err != nil {
+		t.Fatalf("NewProducer: %v", err)
+	}
+	defer prod.Close()
+
+	wsHost, err := webservice.NewHost(w.net.MustAddHost("ws-dev"), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	defer wsHost.Close()
+	wsHost.Register("greeter", "xml-rpc", func(method string, params map[string]string) (map[string]string, error) {
+		return map[string]string{"greeting": "hi"}, nil
+	})
+
+	moteHost := w.net.MustAddHost("mote-7")
+
+	addChaosMappers(w, victim, wsHost.URL())
+	mote := startMoteRetry(w, moteHost, "h2", 7)
+	defer mote.Stop()
+
+	// The observer's dynamic path: a source on h1 bound to every
+	// text/plain sink in the space — one fallback on h1 itself, one on
+	// the victim. Crashing the victim forces a failover to the fallback.
+	src := trigger("h1", "src", "text/plain")
+	h1Sink := newCollector("h1", "fallback-sink", "text/plain")
+	if err := h1.Register(src); err != nil {
+		t.Fatalf("Register(src): %v", err)
+	}
+	if err := h1.Register(h1Sink); err != nil {
+		t.Fatalf("Register(fallback): %v", err)
+	}
+	victimSink := newCollector("h2", "victim-sink", "text/plain")
+	if err := victim.Register(victimSink); err != nil {
+		t.Fatalf("Register(victim-sink): %v", err)
+	}
+	id, err := h1.ConnectQuery(ref(src, "out"), core.QueryAccepting("text/plain", ""))
+	if err != nil {
+		t.Fatalf("ConnectQuery: %v", err)
+	}
+	waitBound(w, h1, id, 2)
+	for _, p := range chaosPlatforms {
+		w.waitLookup(h1, core.Query{Platform: p}, 1)
+	}
+
+	src.Emit("out", core.NewMessage("text/plain", []byte("warmup")))
+	if got := h1Sink.wait(t, 5*time.Second); string(got.Payload) != "warmup" {
+		t.Fatalf("fallback warmup = %q", got.Payload)
+	}
+	if got := victimSink.wait(t, 5*time.Second); string(got.Payload) != "warmup" {
+		t.Fatalf("victim warmup = %q", got.Payload)
+	}
+
+	// Everything is converged: this is the steady-state goroutine
+	// population each cycle must return to.
+	time.Sleep(200 * time.Millisecond)
+	baseline := stdruntime.NumGoroutine()
+
+	for cycle := 1; cycle <= cycles; cycle++ {
+		// Crash: abrupt, no bye. Closing the zombie reaps the dead
+		// incarnation's goroutines (the emulator shares one process) but
+		// sends nothing — its sockets are already gone.
+		if _, err := w.net.CrashNode("h2"); err != nil {
+			t.Fatalf("cycle %d: CrashNode: %v", cycle, err)
+		}
+		victim.Close()
+
+		// Leases lapse; the path fails over to the surviving fallback
+		// and keeps delivering.
+		waitRemoteEmpty(w, h1)
+		waitBound(w, h1, id, 1)
+		down := fmt.Sprintf("down-%d", cycle)
+		src.Emit("out", core.NewMessage("text/plain", []byte(down)))
+		if got := h1Sink.wait(t, 5*time.Second); string(got.Payload) != down {
+			t.Fatalf("cycle %d: fallback after crash = %q, want %q", cycle, got.Payload, down)
+		}
+
+		// Restart under the same name: a fresh runtime, fresh mappers,
+		// fresh victim-side sink and mote.
+		host, err := w.net.RestartNode("h2")
+		if err != nil {
+			t.Fatalf("cycle %d: RestartNode: %v", cycle, err)
+		}
+		victim = newChaosRuntime(w, host)
+		addChaosMappers(w, victim, wsHost.URL())
+		victimSink = newCollector("h2", "victim-sink", "text/plain")
+		if err := victim.Register(victimSink); err != nil {
+			t.Fatalf("cycle %d: Register(victim-sink): %v", cycle, err)
+		}
+		mote = startMoteRetry(w, moteHost, "h2", 7)
+
+		// Convergence: every platform rediscovered, path rebound.
+		for _, p := range chaosPlatforms {
+			w.waitLookup(h1, core.Query{Platform: p}, 1)
+		}
+		waitBound(w, h1, id, 2)
+		up := fmt.Sprintf("up-%d", cycle)
+		src.Emit("out", core.NewMessage("text/plain", []byte(up)))
+		if got := h1Sink.wait(t, 5*time.Second); string(got.Payload) != up {
+			t.Fatalf("cycle %d: fallback after restart = %q, want %q", cycle, got.Payload, up)
+		}
+		if got := victimSink.wait(t, 5*time.Second); string(got.Payload) != up {
+			t.Fatalf("cycle %d: victim sink after restart = %q, want %q", cycle, got.Payload, up)
+		}
+	}
+
+	// End-to-end through a restarted mapper: drive the UPnP light from
+	// the observer via the final incarnation's translator.
+	p := w.waitLookup(h1, core.Query{DeviceType: upnp.DeviceTypeBinaryLight}, 1)[0]
+	btn := trigger("h1", "button", "control/power")
+	if err := h1.Register(btn); err != nil {
+		t.Fatalf("Register(button): %v", err)
+	}
+	if _, err := h1.Connect(ref(btn, "out"), core.PortRef{Translator: p.ID, Port: "power-on"}); err != nil {
+		t.Fatalf("Connect(power-on): %v", err)
+	}
+	btn.Emit("out", core.NewMessage("control/power", nil))
+	deadline := time.Now().Add(5 * time.Second)
+	for !light.Power() {
+		if time.Now().After(deadline) {
+			t.Fatal("light never switched on through the restarted mapper")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The failovers were real and counted.
+	stats, ok := h1.Transport().PathStats(id)
+	if !ok {
+		t.Fatal("path stats missing")
+	}
+	if int(stats.Failovers) < cycles {
+		t.Fatalf("stats.Failovers = %d, want >= %d", stats.Failovers, cycles)
+	}
+	if v := h1.Obs().Counter("umiddle_transport_failovers_total", obs.Labels{"node": "h1"}).Value(); v == 0 {
+		t.Fatal("umiddle_transport_failovers_total never incremented")
+	}
+	kinds := make(map[string]bool)
+	for _, e := range h1.Obs().Trace().Events() {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"node_down", "node_up", "failover"} {
+		if !kinds[k] {
+			t.Fatalf("observer trace missing %q events (have %v)", k, kinds)
+		}
+	}
+
+	// Clean end state: the observer sees exactly one live peer, the
+	// final incarnation reports every mapper running with no panics.
+	if v := h1.Obs().Gauge("umiddle_directory_live_nodes", obs.Labels{"node": "h1"}).Value(); v != 1 {
+		t.Fatalf("live_nodes gauge = %v, want 1", v)
+	}
+	health := victim.Health()
+	if len(health.Mappers) != len(chaosPlatforms) {
+		t.Fatalf("health reports %d mappers, want %d", len(health.Mappers), len(chaosPlatforms))
+	}
+	for _, m := range health.Mappers {
+		if m.State != "running" || m.Panics != 0 {
+			t.Fatalf("mapper %s ended %q with %d panics, want clean running", m.Platform, m.State, m.Panics)
+		}
+	}
+	for _, p := range chaosPlatforms {
+		if v := victim.Obs().Gauge("umiddle_supervisor_mapper_state", obs.Labels{"node": "h2", "platform": p}).Value(); v != 0 {
+			t.Fatalf("supervisor state gauge for %s = %v, want 0 (running)", p, v)
+		}
+	}
+
+	// No goroutine leaks: the steady state is restored.
+	waitGoroutines(t, baseline+30, 8*time.Second)
+}

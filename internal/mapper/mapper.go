@@ -52,6 +52,31 @@ type Mapper interface {
 	Close() error
 }
 
+// PanicReporter is implemented by importers that supervise their mappers.
+// Guard routes recovered panics here; importers without it (test doubles)
+// simply swallow the panic after recovery.
+type PanicReporter interface {
+	// MapperPanicked reports that a goroutine or callback belonging to
+	// the named platform's mapper panicked with the recovered value.
+	MapperPanicked(platform string, recovered any)
+}
+
+// Guard runs fn with panic recovery, reporting any panic to the importer
+// when it supervises mappers. Mappers wrap every goroutine body and
+// discovery callback in Guard so a buggy device description or protocol
+// edge case degrades one platform bridge instead of crashing the node:
+// the supervisor observes the panic and restarts the mapper.
+func Guard(imp Importer, platform string, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pr, ok := imp.(PanicReporter); ok {
+				pr.MapperPanicked(platform, r)
+			}
+		}
+	}()
+	fn()
+}
+
 // Sample is one service-level bridging measurement: the time from
 // native-platform discovery of a device to its translator being mapped
 // into uMiddle. Figure 10 of the paper plots exactly these.

@@ -111,17 +111,19 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(m.opts.InquiryInterval)
-		defer ticker.Stop()
-		m.sweep(runCtx)
-		for {
-			select {
-			case <-runCtx.Done():
-				return
-			case <-ticker.C:
-				m.sweep(runCtx)
+		mapper.Guard(imp, Platform, func() {
+			ticker := time.NewTicker(m.opts.InquiryInterval)
+			defer ticker.Stop()
+			m.sweep(runCtx)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					m.sweep(runCtx)
+				}
 			}
-		}
+		})
 	}()
 	return nil
 }
@@ -256,10 +258,11 @@ func (m *Mapper) mapRecord(ctx context.Context, dev bluetooth.DeviceInfo, rec bl
 			return nil, fmt.Errorf("btmap: hid connect: %w", err)
 		}
 		ms.cleanup = func() { host.Close() }
+		imp := m.imp
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			m.hidLoop(host, gt)
+			mapper.Guard(imp, Platform, func() { m.hidLoop(host, gt) })
 		}()
 	}
 

@@ -102,17 +102,19 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(m.opts.PollInterval)
-		defer ticker.Stop()
-		m.sweep(runCtx)
-		for {
-			select {
-			case <-runCtx.Done():
-				return
-			case <-ticker.C:
-				m.sweep(runCtx)
+		mapper.Guard(imp, Platform, func() {
+			ticker := time.NewTicker(m.opts.PollInterval)
+			defer ticker.Stop()
+			m.sweep(runCtx)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					m.sweep(runCtx)
+				}
 			}
-		}
+		})
 	}()
 	return nil
 }
@@ -269,22 +271,25 @@ func (m *Mapper) mapStream(ctx context.Context, info mediabroker.StreamInfo) {
 	m.mu.Unlock()
 
 	// Pump native frames into the intermediary space.
+	imp := m.imp
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		for {
-			frame, err := consumer.Recv()
-			if err != nil {
-				return
+		mapper.Guard(imp, Platform, func() {
+			for {
+				frame, err := consumer.Recv()
+				if err != nil {
+					return
+				}
+				// The port's declared type is used for the emission; the
+				// native media type travels as a header so it survives
+				// translation without breaking port-type checks.
+				gt.NativeEvent("Frame", core.Message{
+					Payload: frame,
+					Headers: map[string]string{"mediaType": info.MediaType},
+				})
 			}
-			// The port's declared type is used for the emission; the
-			// native media type travels as a header so it survives
-			// translation without breaking port-type checks.
-			gt.NativeEvent("Frame", core.Message{
-				Payload: frame,
-				Headers: map[string]string{"mediaType": info.MediaType},
-			})
-		}
+		})
 	}()
 
 	s := mapper.Sample{

@@ -101,20 +101,24 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 	m.cancel = cancel
 	m.mu.Unlock()
 
-	base.OnPacket(m.handlePacket)
+	base.OnPacket(func(p motes.Packet) {
+		mapper.Guard(imp, Platform, func() { m.handlePacket(p) })
+	})
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(m.opts.LivenessWindow / 2)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-runCtx.Done():
-				return
-			case <-ticker.C:
-				m.reapSilent()
+		mapper.Guard(imp, Platform, func() {
+			ticker := time.NewTicker(m.opts.LivenessWindow / 2)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					m.reapSilent()
+				}
 			}
-		}
+		})
 	}()
 	return nil
 }

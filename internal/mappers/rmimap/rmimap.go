@@ -94,17 +94,19 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(m.opts.PollInterval)
-		defer ticker.Stop()
-		m.sweep(runCtx)
-		for {
-			select {
-			case <-runCtx.Done():
-				return
-			case <-ticker.C:
-				m.sweep(runCtx)
+		mapper.Guard(imp, Platform, func() {
+			ticker := time.NewTicker(m.opts.PollInterval)
+			defer ticker.Stop()
+			m.sweep(runCtx)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					m.sweep(runCtx)
+				}
 			}
-		}
+		})
 	}()
 	return nil
 }

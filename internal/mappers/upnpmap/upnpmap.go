@@ -113,10 +113,10 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 			m.wg.Add(1)
 			go func() {
 				defer m.wg.Done()
-				m.handleAlive(runCtx, msg)
+				mapper.Guard(imp, Platform, func() { m.handleAlive(runCtx, msg) })
 			}()
 		case msg.IsByeBye():
-			m.handleByeBye(msg)
+			mapper.Guard(imp, Platform, func() { m.handleByeBye(msg) })
 		}
 	})
 
@@ -124,17 +124,19 @@ func (m *Mapper) Start(ctx context.Context, imp mapper.Importer) error {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(m.opts.SearchInterval)
-		defer ticker.Stop()
-		cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
-		for {
-			select {
-			case <-runCtx.Done():
-				return
-			case <-ticker.C:
-				cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
+		mapper.Guard(imp, Platform, func() {
+			ticker := time.NewTicker(m.opts.SearchInterval)
+			defer ticker.Stop()
+			cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					cp.Search(upnp.SSDPAll, 2) //nolint:errcheck // best effort
+				}
 			}
-		}
+		})
 	}()
 	return nil
 }

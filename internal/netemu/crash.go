@@ -1,0 +1,57 @@
+package netemu
+
+import "fmt"
+
+// CrashNode abruptly removes a host from the network, modeling the
+// machine losing power: every listener and established stream connection
+// is torn down, every multicast group membership vanishes, and — unlike a
+// graceful shutdown — no goodbye traffic of any kind is emitted. Remote
+// peers only notice through broken connections and lease lapse, which is
+// exactly what liveness detection must handle. The name becomes free for
+// RestartNode. Returns the number of group memberships dropped.
+func (n *Network) CrashNode(name string) (int, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	h, ok := n.hosts[name]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	delete(n.hosts, name)
+	var victims []*GroupConn
+	for group, members := range n.groups {
+		for gc := range members {
+			if gc.host == h {
+				victims = append(victims, gc)
+				delete(members, gc)
+			}
+		}
+		if len(members) == 0 {
+			delete(n.groups, group)
+		}
+	}
+	n.mu.Unlock()
+
+	// Teardown happens outside n.mu: closing conns wakes readers that may
+	// immediately re-enter the network (redial loops, group sends).
+	h.close()
+	for _, gc := range victims {
+		gc.closeLocked()
+	}
+	return len(victims), nil
+}
+
+// RestartNode re-registers a previously crashed host under the same name,
+// modeling the machine rebooting. It is AddHost with intent: the caller
+// gets a fresh Host and must bring up a fresh software stack on it — the
+// crashed stack's handles stay dead.
+func (n *Network) RestartNode(name string) (*Host, error) {
+	h, err := n.AddHost(name)
+	if err != nil {
+		return nil, fmt.Errorf("netemu: restart %q: %w", name, err)
+	}
+	return h, nil
+}

@@ -1,0 +1,96 @@
+package netemu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCrashNodeSeversEverything(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	client, server := dialPair(t, n)
+
+	gc, err := n.Host("h2").JoinGroup("grp")
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+
+	dropped, err := n.CrashNode("h2")
+	if err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if dropped != 1 {
+		t.Fatalf("CrashNode dropped %d memberships, want 1", dropped)
+	}
+	if n.Host("h2") != nil {
+		t.Fatal("crashed host still registered")
+	}
+
+	// No goodbye traffic: the peer just sees the connection die.
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("read on crashed host's conn succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := client.Write([]byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write to crashed host never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := gc.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("group Recv after crash = %v, want ErrClosed", err)
+	}
+
+	// Survivors cannot dial the corpse.
+	if _, err := n.Host("h1").Dial(context.Background(), "h2:80"); err == nil {
+		t.Fatal("dial to crashed host succeeded")
+	}
+
+	if _, err := n.CrashNode("h2"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("second crash = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestRestartNodeReusesName(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	n.MustAddHost("h1")
+	n.MustAddHost("h2")
+
+	if _, err := n.CrashNode("h2"); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	h2, err := n.RestartNode("h2")
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if h2.Name() != "h2" || n.Host("h2") != h2 {
+		t.Fatal("restarted host not registered under its old name")
+	}
+
+	// The reborn host serves traffic like any fresh host.
+	l, err := h2.Listen(80)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := n.Host("h1").Dial(context.Background(), "h2:80")
+	if err != nil {
+		t.Fatalf("dial restarted host: %v", err)
+	}
+	c.Close()
+
+	// Restarting a live host is a name collision.
+	if _, err := n.RestartNode("h2"); !errors.Is(err, ErrHostExists) {
+		t.Fatalf("restart of live host = %v, want ErrHostExists", err)
+	}
+}

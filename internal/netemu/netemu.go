@@ -335,6 +335,12 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.mu.Lock()
+	hostClosed := h.closed
+	h.mu.Unlock()
+	if hostClosed {
+		return nil, fmt.Errorf("netemu: dial %s: %w", address, ErrClosed)
+	}
 	peer := h.net.Host(target)
 	if peer == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, target)

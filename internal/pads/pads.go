@@ -291,6 +291,37 @@ func (b *Board) RenderMetrics() string {
 	return sb.String()
 }
 
+// RenderHealth draws the runtime's self-healing snapshot: supervised
+// mapper states, peer nodes holding a liveness lease, and every local
+// path with its binding state.
+func (b *Board) RenderHealth() string {
+	h := b.rt.Health()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "uMiddle health — node %s\n", h.Node)
+
+	fmt.Fprintf(&sb, "  mappers (%d):\n", len(h.Mappers))
+	for _, m := range h.Mappers {
+		fmt.Fprintf(&sb, "    %-14s %-10s restarts=%d panics=%d", m.Platform, m.State, m.Restarts, m.Panics)
+		if m.LastError != "" {
+			fmt.Fprintf(&sb, " last=%q", m.LastError)
+		}
+		fmt.Fprintln(&sb)
+	}
+
+	fmt.Fprintf(&sb, "  live nodes (%d):", len(h.LiveNodes))
+	for _, n := range h.LiveNodes {
+		fmt.Fprintf(&sb, " %s", n)
+	}
+	fmt.Fprintln(&sb)
+
+	fmt.Fprintf(&sb, "  paths (%d):\n", len(h.Paths))
+	for _, p := range h.Paths {
+		fmt.Fprintf(&sb, "    %-8s %-12s bound=%d failovers=%d %s\n",
+			p.ID, p.State, p.Stats.Bound, p.Stats.Failovers, b.endpointName(p.Src))
+	}
+	return sb.String()
+}
+
 // labelSuffix renders the non-node labels compactly ("{path=h1#1}").
 func labelSuffix(labels map[string]string) string {
 	keys := make([]string, 0, len(labels))
@@ -340,6 +371,7 @@ func shortType(t string) string {
 //
 //	list                          show the board
 //	stats                         show metrics and recent trace events
+//	health                        show mapper, lease, and path states
 //	wire <pad#port> <pad#port>    draw a cable
 //	wire <pad#port> accepting <type> [physical]
 //	                              draw a template cable
@@ -355,6 +387,8 @@ func (b *Board) Exec(line string) (string, error) {
 		return b.Render(), nil
 	case "stats":
 		return b.RenderMetrics(), nil
+	case "health":
+		return b.RenderHealth(), nil
 	case "wire":
 		switch {
 		case len(fields) == 3:

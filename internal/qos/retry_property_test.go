@@ -1,0 +1,97 @@
+package qos
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// randomPolicy draws an arbitrary-but-valid retry policy from the rng.
+func randomPolicy(rng *rand.Rand) RetryPolicy {
+	base := time.Duration(1+rng.IntN(50)) * time.Millisecond
+	return RetryPolicy{
+		MaxAttempts: 1 + rng.IntN(12),
+		BaseDelay:   base,
+		MaxDelay:    base * time.Duration(1+rng.IntN(64)),
+		Multiplier:  1 + rng.Float64()*3,
+		Jitter:      rng.Float64(),
+	}.WithDefaults()
+}
+
+func TestRetryPolicyPropertyMonotoneUpToCap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPolicy(rng)
+		p.NoJitter = true
+		prev := time.Duration(0)
+		for attempt := 1; attempt <= p.MaxAttempts+3; attempt++ {
+			d := p.Delay(attempt)
+			if d < prev {
+				t.Fatalf("policy %+v: Delay(%d)=%v < Delay(%d)=%v, want monotone", p, attempt, d, attempt-1, prev)
+			}
+			if d > p.MaxDelay {
+				t.Fatalf("policy %+v: Delay(%d)=%v exceeds MaxDelay %v", p, attempt, d, p.MaxDelay)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestRetryPolicyPropertyJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		noJitter := p
+		noJitter.NoJitter = true
+		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			center := float64(noJitter.Delay(attempt))
+			// The un-jittered delay truncates to whole nanoseconds while
+			// jitter multiplies the pre-truncation float, so allow a few
+			// nanoseconds of slack at each bound.
+			const slack = 4 * time.Nanosecond
+			lo := time.Duration(center*(1-p.Jitter)) - slack
+			hi := time.Duration(center*(1+p.Jitter)) + slack
+			for i := 0; i < 20; i++ {
+				if d := p.Delay(attempt); d < lo || d > hi {
+					t.Fatalf("policy %+v: jittered Delay(%d)=%v outside [%v, %v]", p, attempt, d, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestRetryPolicyPropertyNoJitterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		p.NoJitter = true
+		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			first := p.Delay(attempt)
+			for i := 0; i < 5; i++ {
+				if d := p.Delay(attempt); d != first {
+					t.Fatalf("policy %+v: NoJitter Delay(%d) varied: %v then %v", p, attempt, first, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRetryPolicyPropertyAttemptCountExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(rng)
+		// The canonical consumer loop: attempt, and sleep Delay(attempt)
+		// between attempts while the budget lasts. An always-failing
+		// operation must run exactly MaxAttempts times.
+		attempts := 0
+		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			attempts++
+			if d := p.Delay(attempt); d <= 0 {
+				t.Fatalf("policy %+v: Delay(%d)=%v, want positive", p, attempt, d)
+			}
+		}
+		if attempts != p.MaxAttempts {
+			t.Fatalf("policy %+v: ran %d attempts, want exactly %d", p, attempts, p.MaxAttempts)
+		}
+	}
+}

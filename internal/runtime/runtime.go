@@ -17,6 +17,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/netemu"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/transport"
 	"repro/internal/usdl"
 )
@@ -43,23 +44,33 @@ type Config struct {
 	// several runtimes aggregates a whole emulated network on a single
 	// /metrics endpoint (series carry a node label).
 	Obs *obs.Registry
+	// MapperRetry is the backoff budget the supervisor spends restarting
+	// a panicked mapper before declaring it degraded. Zero fields take
+	// qos defaults.
+	MapperRetry qos.RetryPolicy
 }
 
 // Runtime is one uMiddle node.
 type Runtime struct {
-	node string
-	host *netemu.Host
-	reg  *usdl.Registry
-	dir  *directory.Directory
-	mod  *transport.Module
-	log  *slog.Logger
-	obs  *obs.Registry
+	node   string
+	host   *netemu.Host
+	reg    *usdl.Registry
+	dir    *directory.Directory
+	mod    *transport.Module
+	log    *slog.Logger
+	obs    *obs.Registry
+	trace  *obs.Trace
+	mretry qos.RetryPolicy
+
+	metPanics   *obs.Counter
+	metRestarts *obs.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	supWG  sync.WaitGroup
 
 	mu      sync.Mutex
-	mappers []mapper.Mapper
+	sup     []*supEntry
 	started bool
 	closed  bool
 }
@@ -103,19 +114,27 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Transport.Obs = registry
 	}
 	registry.Describe("umiddle_mapper_map_latency_seconds", "Native discovery to translator-mapped latency.")
+	registry.Describe("umiddle_supervisor_mapper_state", "Supervised mapper state (0 running, 1 restarting, 2 degraded).")
+	registry.Describe("umiddle_supervisor_panics_total", "Mapper panics recovered by the supervisor.")
+	registry.Describe("umiddle_supervisor_restarts_total", "Successful supervised mapper restarts.")
 	dir := directory.New(cfg.Node, cfg.Host, cfg.Directory)
 	mod := transport.New(cfg.Node, cfg.Host, dir, cfg.Transport)
 	ctx, cancel := context.WithCancel(context.Background())
+	nl := obs.Labels{"node": cfg.Node}
 	return &Runtime{
-		node:   cfg.Node,
-		host:   cfg.Host,
-		reg:    reg,
-		dir:    dir,
-		mod:    mod,
-		log:    logger,
-		obs:    registry,
-		ctx:    ctx,
-		cancel: cancel,
+		node:        cfg.Node,
+		host:        cfg.Host,
+		reg:         reg,
+		dir:         dir,
+		mod:         mod,
+		log:         logger,
+		obs:         registry,
+		trace:       registry.Trace(),
+		mretry:      cfg.MapperRetry.WithDefaults(),
+		metPanics:   registry.Counter("umiddle_supervisor_panics_total", nl),
+		metRestarts: registry.Counter("umiddle_supervisor_restarts_total", nl),
+		ctx:         ctx,
+		cancel:      cancel,
 	}, nil
 }
 
@@ -147,13 +166,24 @@ func (r *Runtime) Close() error {
 		return nil
 	}
 	r.closed = true
-	mappers := r.mappers
-	r.mappers = nil
+	entries := r.sup
+	r.sup = nil
 	r.mu.Unlock()
 
 	r.cancel()
+	// In-flight supervisor restarts observe the cancellation and exit
+	// before the mapper set is torn down, so a restart can never revive
+	// an incarnation behind Close's back.
+	r.supWG.Wait()
 	var firstErr error
-	for _, m := range mappers {
+	for _, e := range entries {
+		e.mu.Lock()
+		m := e.cur
+		e.cur = nil
+		e.mu.Unlock()
+		if m == nil {
+			continue
+		}
 		if err := m.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -209,18 +239,58 @@ func (r *Runtime) Register(tr core.Translator) error {
 }
 
 // AddMapper attaches a platform mapper and starts its discovery loop.
+// The mapper is supervised — panics in its goroutines and callbacks are
+// recovered and reported — but having only the instance, the supervisor
+// cannot restart it: a panic degrades the platform. Use AddMapperFunc for
+// restartable mappers.
 func (r *Runtime) AddMapper(m mapper.Mapper) error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return fmt.Errorf("runtime: closed")
+	e, err := r.newSupEntry(m.Platform(), nil)
+	if err != nil {
+		return err
 	}
-	r.mappers = append(r.mappers, m)
-	r.mu.Unlock()
-	if err := m.Start(r.ctx, r); err != nil {
+	e.mu.Lock()
+	e.cur = m
+	e.mu.Unlock()
+	if err := r.startSupervised(m, e); err != nil {
+		e.mu.Lock()
+		e.lastErr = err.Error()
+		e.setState(MapperDegraded)
+		e.mu.Unlock()
 		return fmt.Errorf("runtime: start %s mapper: %w", m.Platform(), err)
 	}
 	r.log.Info("runtime: mapper started", "platform", m.Platform())
+	return nil
+}
+
+// AddMapperFunc attaches a platform mapper built by factory and starts
+// it. The factory is retained: when an incarnation panics, the supervisor
+// closes it, unmaps everything it imported, and brings up a fresh
+// instance under Config.MapperRetry's backoff, degrading the platform
+// only once the budget is spent.
+func (r *Runtime) AddMapperFunc(platform string, factory func() (mapper.Mapper, error)) error {
+	if factory == nil {
+		return fmt.Errorf("runtime: nil %s mapper factory", platform)
+	}
+	m, err := factory()
+	if err != nil {
+		return fmt.Errorf("runtime: build %s mapper: %w", platform, err)
+	}
+	e, err := r.newSupEntry(platform, factory)
+	if err != nil {
+		m.Close() //nolint:errcheck
+		return err
+	}
+	e.mu.Lock()
+	e.cur = m
+	e.mu.Unlock()
+	if err := r.startSupervised(m, e); err != nil {
+		e.mu.Lock()
+		e.lastErr = err.Error()
+		e.setState(MapperDegraded)
+		e.mu.Unlock()
+		return fmt.Errorf("runtime: start %s mapper: %w", platform, err)
+	}
+	r.log.Info("runtime: mapper started", "platform", platform)
 	return nil
 }
 

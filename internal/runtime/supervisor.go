@@ -1,0 +1,340 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/usdl"
+)
+
+// MapperState is a supervised mapper's lifecycle state.
+type MapperState int
+
+// Supervised mapper states. A mapper is Running while its current
+// incarnation is healthy, Restarting while the supervisor is replacing a
+// panicked incarnation under backoff, and Degraded — terminally — once
+// the restart budget is spent (or when no factory exists to restart it).
+const (
+	MapperRunning MapperState = iota
+	MapperRestarting
+	MapperDegraded
+)
+
+// String renders the state for traces, gauges, and the pads health view.
+func (s MapperState) String() string {
+	switch s {
+	case MapperRunning:
+		return "running"
+	case MapperRestarting:
+		return "restarting"
+	case MapperDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MapperHealth is one supervised mapper's health snapshot.
+type MapperHealth struct {
+	// Platform is the bridged platform name.
+	Platform string
+	// State is the supervision state ("running", "restarting", "degraded").
+	State string
+	// Restarts counts successful supervisor restarts.
+	Restarts uint64
+	// Panics counts recovered panics attributed to this mapper.
+	Panics uint64
+	// LastError is the most recent panic value or start error, if any.
+	LastError string
+}
+
+// Health is a node-level self-healing snapshot: supervised mapper states,
+// peer nodes holding a liveness lease, and every local path with its
+// binding state. The umiddle facade and the pads `health` command render
+// it.
+type Health struct {
+	// Node is the reporting runtime.
+	Node string
+	// Mappers lists supervised mappers sorted by platform.
+	Mappers []MapperHealth
+	// LiveNodes lists remote nodes currently holding a directory lease.
+	LiveNodes []string
+	// Paths lists this node's paths, including binding state and
+	// failover counts.
+	Paths []transport.PathInfo
+}
+
+// supEntry is the supervisor's record of one mapper: the current
+// incarnation, the factory that can mint a replacement (nil for mappers
+// added by value, which cannot be restarted), and the translators the
+// mapper has imported so a restart can unmap the previous incarnation's
+// devices.
+type supEntry struct {
+	platform   string
+	factory    func() (mapper.Mapper, error)
+	stateGauge *obs.Gauge
+
+	mu         sync.Mutex
+	cur        mapper.Mapper
+	state      MapperState
+	restarting bool
+	restarts   uint64
+	panics     uint64
+	attempt    int
+	healthyAt  time.Time
+	lastErr    string
+	imported   map[core.TranslatorID]struct{}
+}
+
+func (e *supEntry) setState(s MapperState) {
+	e.state = s
+	e.stateGauge.Set(int64(s))
+}
+
+// supImporter is the mapper.Importer handed to supervised mappers: it
+// records which translators each mapper imported (so a restart can unmap
+// them) and routes recovered panics to the supervisor.
+type supImporter struct {
+	r *Runtime
+	e *supEntry
+}
+
+var (
+	_ mapper.Importer      = (*supImporter)(nil)
+	_ mapper.PanicReporter = (*supImporter)(nil)
+)
+
+func (si *supImporter) Node() string         { return si.r.node }
+func (si *supImporter) USDL() *usdl.Registry { return si.r.reg }
+
+// Obs exposes the node registry so mapper.RegistryOf resolves through the
+// supervised importer exactly as it does through the runtime.
+func (si *supImporter) Obs() *obs.Registry { return si.r.obs }
+
+func (si *supImporter) ImportTranslator(tr core.Translator) error {
+	if err := si.r.ImportTranslator(tr); err != nil {
+		return err
+	}
+	si.e.mu.Lock()
+	si.e.imported[tr.Profile().ID] = struct{}{}
+	si.e.mu.Unlock()
+	return nil
+}
+
+func (si *supImporter) RemoveTranslator(id core.TranslatorID) error {
+	si.e.mu.Lock()
+	delete(si.e.imported, id)
+	si.e.mu.Unlock()
+	return si.r.RemoveTranslator(id)
+}
+
+// MapperPanicked implements mapper.PanicReporter.
+func (si *supImporter) MapperPanicked(_ string, recovered any) {
+	si.r.mapperPanicked(si.e, recovered)
+}
+
+// newSupEntry registers a supervised entry; callers hold no locks.
+func (r *Runtime) newSupEntry(platform string, factory func() (mapper.Mapper, error)) (*supEntry, error) {
+	e := &supEntry{
+		platform:   platform,
+		factory:    factory,
+		stateGauge: r.obs.Gauge("umiddle_supervisor_mapper_state", obs.Labels{"node": r.node, "platform": platform}),
+		healthyAt:  time.Now(),
+		imported:   make(map[core.TranslatorID]struct{}),
+	}
+	e.setState(MapperRunning)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("runtime: closed")
+	}
+	r.sup = append(r.sup, e)
+	return e, nil
+}
+
+// mapperPanicked is the supervisor's panic entry point, called (via
+// supImporter) from the recovering goroutine itself. The restart runs on
+// a fresh goroutine: closing the old incarnation waits for the mapper's
+// own goroutines — including the one currently unwinding — so doing it
+// inline would deadlock.
+func (r *Runtime) mapperPanicked(e *supEntry, recovered any) {
+	detail := fmt.Sprint(recovered)
+	e.mu.Lock()
+	e.panics++
+	e.lastErr = detail
+	spawn := false
+	switch {
+	case e.restarting || e.state == MapperDegraded:
+		// A restart is already in flight (or the budget is spent);
+		// just record the panic.
+	case e.factory == nil:
+		// Added by value: no way to mint a replacement. The incarnation
+		// keeps whatever goroutines survived, but the node reports it.
+		e.setState(MapperDegraded)
+		defer r.trace.Event("mapper_degraded", r.node, e.platform+": no factory to restart")
+	default:
+		e.restarting = true
+		e.setState(MapperRestarting)
+		spawn = true
+	}
+	e.mu.Unlock()
+
+	r.metPanics.Inc()
+	r.trace.Event("mapper_panic", r.node, e.platform+": "+detail)
+	if !spawn || r.ctx.Err() != nil {
+		return
+	}
+	r.supWG.Add(1)
+	go func() {
+		defer r.supWG.Done()
+		r.restartMapper(e)
+	}()
+}
+
+// restartMapper replaces a panicked incarnation: close the old one, unmap
+// everything it imported, then bring up fresh instances under the retry
+// policy's backoff until one starts cleanly or the budget is spent.
+func (r *Runtime) restartMapper(e *supEntry) {
+	e.mu.Lock()
+	old := e.cur
+	e.cur = nil
+	// A long-healthy mapper earns its budget back; only rapid
+	// panic/restart cycles accumulate attempts toward degradation.
+	if time.Since(e.healthyAt) >= r.mretry.MaxDelay {
+		e.attempt = 0
+	}
+	imported := make([]core.TranslatorID, 0, len(e.imported))
+	for id := range e.imported {
+		imported = append(imported, id)
+	}
+	clear(e.imported)
+	e.mu.Unlock()
+
+	if old != nil {
+		if err := old.Close(); err != nil {
+			r.log.Warn("runtime: close panicked mapper", "platform", e.platform, "err", err)
+		}
+	}
+	sort.Slice(imported, func(i, j int) bool { return imported[i] < imported[j] })
+	for _, id := range imported {
+		// Already-gone translators are fine; the point is that no corpse
+		// from the dead incarnation stays announced.
+		r.RemoveTranslator(id) //nolint:errcheck
+	}
+
+	for {
+		e.mu.Lock()
+		e.attempt++
+		attempt := e.attempt
+		e.mu.Unlock()
+		if attempt > r.mretry.MaxAttempts {
+			e.mu.Lock()
+			e.restarting = false
+			e.setState(MapperDegraded)
+			e.mu.Unlock()
+			r.trace.Event("mapper_degraded", r.node, e.platform+": restart budget spent")
+			r.log.Error("runtime: mapper degraded", "platform", e.platform)
+			return
+		}
+		if !r.sleepOrDone(r.mretry.Delay(attempt)) {
+			r.abandonRestart(e)
+			return
+		}
+		m, err := e.factory()
+		if err == nil {
+			err = r.startSupervised(m, e)
+		}
+		if err == nil {
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				m.Close() //nolint:errcheck
+				r.abandonRestart(e)
+				return
+			}
+			e.mu.Lock()
+			e.cur = m
+			e.restarting = false
+			e.restarts++
+			e.healthyAt = time.Now()
+			e.setState(MapperRunning)
+			e.mu.Unlock()
+			r.mu.Unlock()
+			r.metRestarts.Inc()
+			r.trace.Event("mapper_restart", r.node, e.platform)
+			r.log.Info("runtime: mapper restarted", "platform", e.platform, "attempt", attempt)
+			return
+		}
+		e.mu.Lock()
+		e.lastErr = err.Error()
+		e.mu.Unlock()
+		r.log.Warn("runtime: mapper restart failed", "platform", e.platform, "attempt", attempt, "err", err)
+	}
+}
+
+// abandonRestart clears the in-flight flag when the runtime shuts down
+// mid-restart, so Health never reports a restart that can no longer
+// happen.
+func (r *Runtime) abandonRestart(e *supEntry) {
+	e.mu.Lock()
+	e.restarting = false
+	e.setState(MapperDegraded)
+	e.mu.Unlock()
+}
+
+// startSupervised starts a mapper incarnation with panic recovery around
+// the synchronous Start call itself.
+func (r *Runtime) startSupervised(m mapper.Mapper, e *supEntry) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("runtime: %s mapper start panicked: %v", e.platform, rec)
+		}
+	}()
+	return m.Start(r.ctx, &supImporter{r: r, e: e})
+}
+
+// sleepOrDone waits d, returning false when the runtime shuts down first.
+func (r *Runtime) sleepOrDone(d time.Duration) bool {
+	if d <= 0 {
+		return r.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// Health returns the node's self-healing snapshot.
+func (r *Runtime) Health() Health {
+	h := Health{
+		Node:      r.node,
+		LiveNodes: r.dir.Nodes(),
+		Paths:     r.mod.Paths(),
+	}
+	r.mu.Lock()
+	entries := append([]*supEntry(nil), r.sup...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		h.Mappers = append(h.Mappers, MapperHealth{
+			Platform:  e.platform,
+			State:     e.state.String(),
+			Restarts:  e.restarts,
+			Panics:    e.panics,
+			LastError: e.lastErr,
+		})
+		e.mu.Unlock()
+	}
+	sort.Slice(h.Mappers, func(i, j int) bool { return h.Mappers[i].Platform < h.Mappers[j].Platform })
+	return h
+}

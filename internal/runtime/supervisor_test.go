@@ -1,0 +1,280 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/qos"
+)
+
+// fastMapperRetry keeps supervisor backoff short for tests.
+func fastMapperRetry() qos.RetryPolicy {
+	return qos.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 2, NoJitter: true}
+}
+
+// waitUntil polls cond until true or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// shapeMapper is a fake platform mapper reproducing the three goroutine
+// shapes the real mappers use — a poll loop (rmi/mediabroker/webservice),
+// per-event callback goroutines (upnp), and an external packet callback
+// (motes) — with every body wrapped in mapper.Guard exactly as the real
+// ones are. A receive on trigger makes the corresponding body panic.
+type shapeMapper struct {
+	platform string
+	style    string
+	trigger  <-chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func (s *shapeMapper) Platform() string { return s.platform }
+
+func (s *shapeMapper) Start(ctx context.Context, imp mapper.Importer) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: closed", s.platform)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	if err := imp.ImportTranslator(testService(imp.Node(), s.platform+"-dev")); err != nil {
+		return err
+	}
+	switch s.style {
+	case "poll":
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			mapper.Guard(imp, s.platform, func() {
+				for {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-s.trigger:
+						panic("poll sweep exploded")
+					}
+				}
+			})
+		}()
+	case "callback":
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-s.trigger:
+					// One goroutine per discovery event, like upnpmap's
+					// handleAlive.
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						mapper.Guard(imp, s.platform, func() { panic("discovery callback exploded") })
+					}()
+				}
+			}
+		}()
+	case "packet":
+		onPacket := func() {
+			mapper.Guard(imp, s.platform, func() { panic("packet handler exploded") })
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-s.trigger:
+					onPacket()
+				}
+			}
+		}()
+	default:
+		cancel()
+		return fmt.Errorf("unknown style %q", s.style)
+	}
+	return nil
+}
+
+func (s *shapeMapper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// mapperHealth finds one platform's health entry.
+func mapperHealth(rt *Runtime, platform string) (MapperHealth, bool) {
+	for _, m := range rt.Health().Mappers {
+		if m.Platform == platform {
+			return m, true
+		}
+	}
+	return MapperHealth{}, false
+}
+
+func traceHas(rt *Runtime, kind string) bool {
+	for _, e := range rt.Obs().Trace().Events() {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSupervisorRestartsPanickedMapper(t *testing.T) {
+	for _, style := range []string{"poll", "callback", "packet"} {
+		t.Run(style, func(t *testing.T) {
+			rt, err := New(Config{Node: "h1", MapperRetry: fastMapperRetry()})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := rt.Start(); err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			t.Cleanup(func() { rt.Close() })
+
+			platform := "fake-" + style
+			trigger := make(chan struct{})
+			err = rt.AddMapperFunc(platform, func() (mapper.Mapper, error) {
+				return &shapeMapper{platform: platform, style: style, trigger: trigger}, nil
+			})
+			if err != nil {
+				t.Fatalf("AddMapperFunc: %v", err)
+			}
+			devQuery := core.Query{NameContains: platform + "-dev"}
+			waitUntil(t, 2*time.Second, "device mapped", func() bool {
+				return len(rt.Lookup(devQuery)) == 1
+			})
+
+			trigger <- struct{}{}
+
+			waitUntil(t, 5*time.Second, "mapper restarted", func() bool {
+				h, ok := mapperHealth(rt, platform)
+				return ok && h.State == "running" && h.Restarts >= 1
+			})
+			// The dead incarnation's device was unmapped and the fresh one
+			// re-imported it.
+			waitUntil(t, 2*time.Second, "device re-mapped", func() bool {
+				return len(rt.Lookup(devQuery)) == 1
+			})
+			h, _ := mapperHealth(rt, platform)
+			if h.Panics < 1 {
+				t.Fatalf("health reports %d panics, want >= 1", h.Panics)
+			}
+			if !traceHas(rt, "mapper_panic") || !traceHas(rt, "mapper_restart") {
+				t.Fatal("trace missing mapper_panic / mapper_restart events")
+			}
+		})
+	}
+}
+
+func TestSupervisorDegradesWhenFactoryKeepsFailing(t *testing.T) {
+	rt, err := New(Config{Node: "h1", MapperRetry: fastMapperRetry()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	trigger := make(chan struct{})
+	built := false
+	err = rt.AddMapperFunc("flaky", func() (mapper.Mapper, error) {
+		if built {
+			return nil, fmt.Errorf("flaky: hardware gone")
+		}
+		built = true
+		return &shapeMapper{platform: "flaky", style: "poll", trigger: trigger}, nil
+	})
+	if err != nil {
+		t.Fatalf("AddMapperFunc: %v", err)
+	}
+	waitUntil(t, 2*time.Second, "device mapped", func() bool {
+		return len(rt.Lookup(core.Query{NameContains: "flaky-dev"})) == 1
+	})
+
+	trigger <- struct{}{}
+
+	// Every restart attempt fails; the budget is spent and the platform
+	// goes terminally degraded, with the dead incarnation's device gone.
+	waitUntil(t, 5*time.Second, "mapper degraded", func() bool {
+		h, ok := mapperHealth(rt, "flaky")
+		return ok && h.State == "degraded"
+	})
+	if got := len(rt.Lookup(core.Query{NameContains: "flaky-dev"})); got != 0 {
+		t.Fatalf("degraded mapper's device still mapped (%d)", got)
+	}
+	if !traceHas(rt, "mapper_degraded") {
+		t.Fatal("trace missing mapper_degraded event")
+	}
+	h, _ := mapperHealth(rt, "flaky")
+	if h.LastError == "" {
+		t.Fatal("degraded health entry has no LastError")
+	}
+}
+
+func TestAddMapperByValueDegradesOnPanic(t *testing.T) {
+	rt, err := New(Config{Node: "h1", MapperRetry: fastMapperRetry()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	trigger := make(chan struct{})
+	m := &shapeMapper{platform: "byvalue", style: "poll", trigger: trigger}
+	if err := rt.AddMapper(m); err != nil {
+		t.Fatalf("AddMapper: %v", err)
+	}
+	waitUntil(t, 2*time.Second, "device mapped", func() bool {
+		return len(rt.Lookup(core.Query{NameContains: "byvalue-dev"})) == 1
+	})
+
+	trigger <- struct{}{}
+
+	// No factory: the supervisor cannot mint a replacement, so the
+	// platform degrades immediately (but the node survives).
+	waitUntil(t, 2*time.Second, "mapper degraded", func() bool {
+		h, ok := mapperHealth(rt, "byvalue")
+		return ok && h.State == "degraded"
+	})
+	if !traceHas(rt, "mapper_panic") || !traceHas(rt, "mapper_degraded") {
+		t.Fatal("trace missing mapper_panic / mapper_degraded events")
+	}
+}

@@ -39,6 +39,33 @@ var (
 	ErrIncompatible = errors.New("transport: incompatible port types")
 	// ErrClosed is returned when using a closed module.
 	ErrClosed = errors.New("transport: closed")
+	// ErrDestinationLost is returned when a static path's destination
+	// translator has been unmapped (device removed or its node down):
+	// deliveries fail with this typed error instead of draining the retry
+	// budget into network attempts against a corpse.
+	ErrDestinationLost = errors.New("transport: destination lost")
+)
+
+// PathState names a path's binding state — the state machine DESIGN.md §9
+// documents: searching → bound → failing-over → degraded.
+type PathState string
+
+// Path binding states.
+const (
+	// PathSearching: a dynamic path with no binding yet (no compatible
+	// candidate has appeared).
+	PathSearching PathState = "searching"
+	// PathBound: at least one live destination (static paths whose
+	// destination is mapped are always bound).
+	PathBound PathState = "bound"
+	// PathFailingOver: a dynamic path that lost its bound destinations
+	// and is re-running its query for a replacement.
+	PathFailingOver PathState = "failing-over"
+	// PathDegraded: a static path whose destination is unmapped, or a
+	// dynamic path that dropped a message because no candidate appeared
+	// within the retry budget. Cleared when the destination (or any
+	// compatible candidate) is mapped again.
+	PathDegraded PathState = "degraded"
 )
 
 // PathID identifies a message path; the prefix before '#' names the node
@@ -73,6 +100,9 @@ type PathStats struct {
 	// Dropped counts messages abandoned for a destination after the
 	// retry budget was exhausted.
 	Dropped uint64
+	// Failovers counts bound destinations lost (unmapped, node down, or
+	// retry-exhausted) that triggered a query re-run on this path.
+	Failovers uint64
 	// Buffer reports translation-buffer statistics.
 	Buffer qos.BufferStats
 	// Bound is the number of currently bound destinations.
@@ -87,6 +117,7 @@ type PathInfo struct {
 	Query *core.Query   // dynamic template, nil for static paths
 	Bound []core.PortRef
 	Class qos.Class
+	State PathState
 	Stats PathStats
 }
 
@@ -99,6 +130,7 @@ type pathMetrics struct {
 	retries   *obs.Counter
 	redials   *obs.Counter
 	dropped   *obs.Counter
+	failovers *obs.Counter
 	latency   *obs.Histogram
 }
 
@@ -119,6 +151,43 @@ type path struct {
 	bound   map[core.TranslatorID]core.PortRef
 	seq     uint64
 	peerGen map[string]uint64 // last peer-connection generation seen per node
+	// lostAt stamps when a dynamic path lost its last bound destination;
+	// zero while bound (or never bound). The failover latency histogram
+	// observes lostAt → first rebind.
+	lostAt time.Time
+	// degraded marks a static path whose destination is unmapped, or a
+	// dynamic path that dropped a message with no candidate in sight.
+	degraded bool
+}
+
+// state derives the binding state from the path's current fields.
+func (p *path) state() PathState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.static != nil {
+		if p.degraded {
+			return PathDegraded
+		}
+		return PathBound
+	}
+	switch {
+	case len(p.bound) > 0:
+		return PathBound
+	case p.degraded:
+		return PathDegraded
+	case !p.lostAt.IsZero():
+		return PathFailingOver
+	default:
+		return PathSearching
+	}
+}
+
+// failingOver reports whether a dynamic path has lost destinations it
+// once had (as opposed to never having bound any).
+func (p *path) failingOver() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.query != nil && (!p.lostAt.IsZero() || p.degraded)
 }
 
 // notePeerGen records the connection generation used to reach a node; a
@@ -245,10 +314,12 @@ type Module struct {
 	opts Options
 
 	// Module-wide metric handles (per-path handles live on each path).
-	latency    *obs.Histogram // aggregate delivery latency across paths
-	queueDepth *obs.Gauge     // inbound deliveries dispatched, not yet handled
-	trace      *obs.Trace
-	codecMet   *connMetrics // pool hit rate + write batch sizes
+	latency     *obs.Histogram // aggregate delivery latency across paths
+	queueDepth  *obs.Gauge     // inbound deliveries dispatched, not yet handled
+	failovers   *obs.Counter   // destinations lost across all dynamic paths
+	failoverLat *obs.Histogram // destination lost → path rebound latency
+	trace       *obs.Trace
+	codecMet    *connMetrics // pool hit rate + write batch sizes
 
 	// dispatch fans inbound deliveries out per destination port.
 	dispatch *dispatcher
@@ -300,6 +371,9 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	reg.Describe("umiddle_transport_path_retries_total", "Delivery attempts beyond the first per path.")
 	reg.Describe("umiddle_transport_path_redials_total", "Peer connections re-established while delivering per path.")
 	reg.Describe("umiddle_transport_path_dropped_total", "Messages abandoned after the retry budget per path.")
+	reg.Describe("umiddle_transport_path_failovers_total", "Bound destinations lost that triggered a query re-run per path.")
+	reg.Describe("umiddle_transport_failovers_total", "Bound destinations lost across all dynamic paths.")
+	reg.Describe("umiddle_transport_failover_latency_seconds", "Destination lost to path rebound latency.")
 	reg.Describe("umiddle_transport_frame_pool_gets_total", "Pooled frame-buffer requests (hit rate = 1 - misses/gets).")
 	reg.Describe("umiddle_transport_frame_pool_misses_total", "Pooled frame-buffer requests that fell through to a fresh allocation.")
 	reg.Describe("umiddle_transport_write_batch_frames", "Deliver frames coalesced into each connection write.")
@@ -310,6 +384,8 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	labels := obs.Labels{"node": node}
 	m.latency = reg.Histogram("umiddle_transport_delivery_latency_seconds", labels, nil)
 	m.queueDepth = reg.Gauge("umiddle_transport_delivery_queue_depth", labels)
+	m.failovers = reg.Counter("umiddle_transport_failovers_total", labels)
+	m.failoverLat = reg.Histogram("umiddle_transport_failover_latency_seconds", labels, nil)
 	m.trace = reg.Trace()
 	m.codecMet = &connMetrics{
 		poolGets:   reg.Counter("umiddle_transport_frame_pool_gets_total", labels),
@@ -353,10 +429,7 @@ func (m *Module) Start() error {
 	m.started = true
 	m.mu.Unlock()
 
-	m.dir.AddListener(directory.ListenerFuncs{
-		Mapped:   m.onMapped,
-		Unmapped: m.onUnmapped,
-	})
+	m.dir.AddListener(dirListener{m})
 
 	if m.host == nil {
 		return nil
@@ -1034,6 +1107,7 @@ func (m *Module) newPathMetrics(id PathID) pathMetrics {
 		retries:   reg.Counter("umiddle_transport_path_retries_total", labels),
 		redials:   reg.Counter("umiddle_transport_path_redials_total", labels),
 		dropped:   reg.Counter("umiddle_transport_path_dropped_total", labels),
+		failovers: reg.Counter("umiddle_transport_path_failovers_total", labels),
 		latency:   reg.Histogram("umiddle_transport_delivery_latency_seconds", labels, nil),
 	}
 }
@@ -1050,6 +1124,7 @@ func (m *Module) removePathMetrics(id PathID) {
 		"umiddle_transport_path_retries_total",
 		"umiddle_transport_path_redials_total",
 		"umiddle_transport_path_dropped_total",
+		"umiddle_transport_path_failovers_total",
 		"umiddle_transport_delivery_latency_seconds",
 	} {
 		reg.RemoveSeries(name, labels)
@@ -1131,7 +1206,24 @@ func (m *Module) pathWorker(p *path) {
 				return
 			}
 		}
-		for _, dst := range p.destinations() {
+		dsts := p.destinations()
+		if len(dsts) == 0 && p.failingOver() {
+			// The path had destinations and lost them all. Give the
+			// failover the message's retry budget to find a replacement,
+			// then drop-after-budget — the same contract a dead static
+			// destination gets.
+			if dsts = m.awaitFailover(p); len(dsts) == 0 {
+				p.mu.Lock()
+				p.degraded = true
+				p.mu.Unlock()
+				p.met.errors.Inc()
+				p.met.dropped.Inc()
+				m.trace.Event("drop", m.node, string(p.id)+": no candidate after failover budget")
+				m.opts.Logger.Warn("transport: message dropped; no failover candidate", "path", p.id)
+				continue
+			}
+		}
+		for _, dst := range dsts {
 			start := time.Now()
 			if err := m.deliverWithRetry(p, dst, msg); err != nil {
 				p.met.errors.Inc()
@@ -1139,6 +1231,12 @@ func (m *Module) pathWorker(p *path) {
 				m.trace.Event("drop", m.node, string(p.id)+" -> "+dst.String()+": "+err.Error())
 				m.opts.Logger.Warn("transport: message dropped after retries",
 					"path", p.id, "dst", dst, "err", err)
+				if p.query != nil && !errors.Is(err, ErrClosed) {
+					// A destination that ate the whole retry budget is
+					// treated as dead: unbind it and fail over instead of
+					// feeding it the next message's budget too.
+					m.failDestination(p, dst.Translator)
+				}
 				continue
 			}
 			elapsed := time.Since(start)
@@ -1165,6 +1263,20 @@ func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) e
 				return ErrClosed
 			}
 		}
+		// A degraded static path fails fast per attempt: no dial, no
+		// network traffic toward the corpse — just a typed error. The
+		// flag is re-checked each attempt so a destination that comes
+		// back mid-budget (a healed partition's re-announce) still gets
+		// the message.
+		if p.static != nil {
+			p.mu.Lock()
+			dead := p.degraded
+			p.mu.Unlock()
+			if dead {
+				lastErr = fmt.Errorf("%w: %s", ErrDestinationLost, dst)
+				continue
+			}
+		}
 		lastErr = m.deliver(p, dst, msg)
 		if lastErr == nil {
 			return nil
@@ -1174,6 +1286,22 @@ func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) e
 		}
 	}
 	return lastErr
+}
+
+// awaitFailover waits under the retry policy's backoff for a failing-over
+// dynamic path to rebind, returning the destinations found (nil if the
+// budget lapses first).
+func (m *Module) awaitFailover(p *path) []core.PortRef {
+	policy := m.opts.Retry
+	for attempt := 1; attempt < policy.MaxAttempts; attempt++ {
+		if !sleepCtx(m.ctx, policy.Delay(attempt)) {
+			return nil
+		}
+		if dsts := p.destinations(); len(dsts) > 0 {
+			return dsts
+		}
+	}
+	return nil
 }
 
 // deliver routes one message to a destination port, locally or across
@@ -1224,7 +1352,7 @@ func (m *Module) deliverLocal(dst core.PortRef, msg core.Message) {
 	}
 }
 
-func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) error {
+func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) (err error) {
 	tr, ok := m.dir.Local(dst.Translator)
 	if !ok {
 		return fmt.Errorf("%w: %q", directory.ErrNotFound, dst.Translator)
@@ -1235,6 +1363,15 @@ func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) error {
 	// never touch the timer subsystem at all.
 	lc := lazyTimeoutCtx{parent: m.ctx, deadline: time.Now().Add(m.opts.DeliverTimeout)}
 	defer lc.release()
+	// A panicking translator handler becomes a per-delivery error: one
+	// buggy device handler cannot take down the delivery worker (or, for
+	// a local source, the emitting path's worker).
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("transport: translator %s panicked in Deliver: %v", dst.Translator, rec)
+			m.trace.Event("deliver_panic", m.node, string(dst.Translator)+": "+fmt.Sprint(rec))
+		}
+	}()
 	return tr.Deliver(&lc, dst.Port, msg)
 }
 
@@ -1303,40 +1440,181 @@ func (c *lazyTimeoutCtx) Err() error {
 
 func (c *lazyTimeoutCtx) Value(key any) any { return c.parent.Value(key) }
 
-// onMapped re-evaluates dynamic paths when a translator appears.
+// dirListener routes directory notifications — translator mapped and
+// unmapped, node up and down — into the module's binding maintenance.
+type dirListener struct{ m *Module }
+
+var _ directory.NodeListener = dirListener{}
+
+func (l dirListener) TranslatorMapped(p core.Profile)         { l.m.onMapped(p) }
+func (l dirListener) TranslatorUnmapped(id core.TranslatorID) { l.m.onUnmapped(id) }
+func (l dirListener) NodeUp(string)                           {}
+func (l dirListener) NodeDown(node string)                    { l.m.onNodeDown(node) }
+
+// onMapped re-evaluates dynamic paths when a translator appears, and
+// clears the degraded flag of static paths whose destination returned.
 func (m *Module) onMapped(p core.Profile) {
 	m.mu.Lock()
-	paths := make([]*path, 0, len(m.paths))
+	dynamic := make([]*path, 0, len(m.paths))
+	var static []*path
 	for _, pt := range m.paths {
-		if pt.query != nil {
-			paths = append(paths, pt)
+		switch {
+		case pt.query != nil:
+			dynamic = append(dynamic, pt)
+		case pt.static != nil && pt.static.Translator == p.ID:
+			static = append(static, pt)
 		}
 	}
 	m.mu.Unlock()
-	for _, pt := range paths {
+	for _, pt := range dynamic {
 		// Memoized: a re-announce with an unchanged profile costs one
 		// cache probe per dynamic path instead of O(ports) matching.
 		if m.matchCache.Matches(*pt.query, p) {
 			pt.tryBind(p, pt.srcType)
+			m.noteRebound(pt)
+		}
+	}
+	for _, pt := range static {
+		pt.mu.Lock()
+		was := pt.degraded
+		pt.degraded = false
+		pt.mu.Unlock()
+		if was {
+			m.trace.Event("path_recovered", m.node, string(pt.id)+": destination "+string(p.ID)+" mapped again")
 		}
 	}
 }
 
-// onUnmapped unbinds a disappeared translator from dynamic paths.
+// onUnmapped handles a disappeared translator across every path role it
+// can play: paths rooted at it are torn down (their source is gone for
+// good — deterministic teardown instead of delivery-retry discovery),
+// static paths aimed at it degrade and fail fast, and dynamic paths bound
+// to it fail over by re-running their query.
 func (m *Module) onUnmapped(id core.TranslatorID) {
 	m.matchCache.Invalidate(id)
 	m.mu.Lock()
-	paths := make([]*path, 0, len(m.paths))
+	var srcDead, dynamic, static []*path
 	for _, pt := range m.paths {
-		if pt.query != nil {
-			paths = append(paths, pt)
+		switch {
+		case pt.src.Translator == id:
+			srcDead = append(srcDead, pt)
+		case pt.query != nil:
+			dynamic = append(dynamic, pt)
+		case pt.static != nil && pt.static.Translator == id:
+			static = append(static, pt)
 		}
 	}
 	m.mu.Unlock()
-	for _, pt := range paths {
+	for _, pt := range srcDead {
+		m.trace.Event("path_source_lost", m.node, string(pt.id)+": source "+string(id)+" unmapped")
+		m.removeLocalPath(pt.id) //nolint:errcheck
+	}
+	for _, pt := range static {
 		pt.mu.Lock()
-		delete(pt.bound, id)
+		was := pt.degraded
+		pt.degraded = true
 		pt.mu.Unlock()
+		if !was {
+			m.trace.Event("path_degraded", m.node, string(pt.id)+": destination "+string(id)+" lost")
+		}
+	}
+	for _, pt := range dynamic {
+		m.failDestination(pt, id)
+	}
+}
+
+// onNodeDown is a safety net under onUnmapped: the directory unmaps each
+// of a dead node's translators before NodeDown fires, but a path may
+// reference a destination the directory never integrated (a static
+// connect by raw ID). Node identity is parsed from the translator ID.
+func (m *Module) onNodeDown(node string) {
+	m.mu.Lock()
+	var dynamic, static []*path
+	for _, pt := range m.paths {
+		switch {
+		case pt.query != nil:
+			dynamic = append(dynamic, pt)
+		case pt.static != nil && pt.static.Translator.Node() == node:
+			static = append(static, pt)
+		}
+	}
+	m.mu.Unlock()
+	for _, pt := range static {
+		pt.mu.Lock()
+		was := pt.degraded
+		pt.degraded = true
+		pt.mu.Unlock()
+		if !was {
+			m.trace.Event("path_degraded", m.node, string(pt.id)+": node "+node+" down")
+		}
+	}
+	for _, pt := range dynamic {
+		pt.mu.Lock()
+		var lost []core.TranslatorID
+		for id := range pt.bound {
+			if id.Node() == node {
+				lost = append(lost, id)
+			}
+		}
+		pt.mu.Unlock()
+		for _, id := range lost {
+			m.failDestination(pt, id)
+		}
+	}
+}
+
+// failDestination unbinds a lost destination from a dynamic path and
+// fails over: the query re-runs immediately and binds every compatible
+// candidate in the directory's deterministic (node, ID) order. The path
+// keeps delivering to whatever remains bound; the failover latency clock
+// starts only when the last destination is gone.
+func (m *Module) failDestination(pt *path, id core.TranslatorID) {
+	pt.mu.Lock()
+	if _, was := pt.bound[id]; !was {
+		pt.mu.Unlock()
+		return
+	}
+	delete(pt.bound, id)
+	if len(pt.bound) == 0 && pt.lostAt.IsZero() {
+		pt.lostAt = time.Now()
+	}
+	pt.mu.Unlock()
+	pt.met.failovers.Inc()
+	m.failovers.Inc()
+	m.trace.Event("failover", m.node, string(pt.id)+": destination "+string(id)+" lost; re-running query")
+	m.rebind(pt)
+}
+
+// rebind re-runs a dynamic path's query against the directory and binds
+// every compatible candidate.
+func (m *Module) rebind(pt *path) {
+	if pt.query == nil {
+		return
+	}
+	for _, candidate := range m.dir.Lookup(*pt.query) {
+		pt.tryBind(candidate, pt.srcType)
+	}
+	m.noteRebound(pt)
+}
+
+// noteRebound closes out a failover on a dynamic path that has regained a
+// destination: the lost → rebound latency is observed and the degraded
+// flag cleared.
+func (m *Module) noteRebound(pt *path) {
+	pt.mu.Lock()
+	rebound := len(pt.bound) > 0 && (!pt.lostAt.IsZero() || pt.degraded)
+	var wait time.Duration
+	if rebound {
+		if !pt.lostAt.IsZero() {
+			wait = time.Since(pt.lostAt)
+		}
+		pt.lostAt = time.Time{}
+		pt.degraded = false
+	}
+	pt.mu.Unlock()
+	if rebound {
+		m.failoverLat.ObserveDuration(wait)
+		m.trace.Event("path_rebound", m.node, string(pt.id))
 	}
 }
 
@@ -1359,6 +1637,7 @@ func (p *path) snapshotStats() PathStats {
 		Retries:   p.met.retries.Value(),
 		Redials:   p.met.redials.Value(),
 		Dropped:   p.met.dropped.Value(),
+		Failovers: p.met.failovers.Value(),
 	}
 	p.mu.Lock()
 	s.Bound = len(p.bound)
@@ -1388,6 +1667,7 @@ func (m *Module) Paths() []PathInfo {
 			Query: p.query,
 			Bound: p.destinations(),
 			Class: p.class,
+			State: p.state(),
 			Stats: p.snapshotStats(),
 		}
 		out = append(out, info)

@@ -1,19 +1,29 @@
 #!/bin/sh
 # Repo verification: tier-1 build+test, vet, the race detector over the
 # concurrency-heavy packages (transport redial cycles, directory
-# announce loops, netemu fault injection, obs registry) plus the
-# integration soak, a 5-second fuzz smoke per wire-codec target, a
-# one-iteration benchharness smoke run with -json output, and a
-# bench-regression gate against the committed BENCH_*.json baselines.
+# announce loops, netemu fault injection, obs registry, the mapper
+# supervisor) plus the integration soak and crash/restart chaos cycle,
+# a 5-second fuzz smoke per wire-codec target, a one-iteration
+# benchharness smoke run with -json output, and a bench-regression gate
+# against the committed BENCH_*.json baselines.
+#
+# VERIFY_SHORT=1 passes -short to the slow race-detector suites (fewer
+# chaos/soak cycles), keeping this script's test phase under ~30s.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+short_flag=""
+if [ -n "${VERIFY_SHORT:-}" ]; then
+    short_flag="-short"
+fi
+
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/
-go test -race -run 'TestSoakChurnAndFaults' ./internal/integration/
+go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/
+go test -race $short_flag -run 'TestSoakChurnAndFaults' ./internal/integration/
+go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/integration/
 
 # Fuzz smoke: 5 seconds per wire-codec target. Patterns are anchored —
 # -fuzz must match exactly one target per invocation.

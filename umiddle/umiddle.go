@@ -73,6 +73,17 @@ type (
 	Translator = core.Translator
 	// PathID identifies an established message path.
 	PathID = transport.PathID
+	// PathState names a path's binding state (searching, bound,
+	// failing-over, degraded).
+	PathState = transport.PathState
+	// PathInfo describes one path, including its binding state and
+	// failover counters.
+	PathInfo = transport.PathInfo
+	// Health is a node's self-healing snapshot: supervised mapper
+	// states, live peer nodes, and paths by binding state.
+	Health = runtime.Health
+	// MapperHealth is one supervised mapper's health entry.
+	MapperHealth = runtime.MapperHealth
 	// QoSClass bundles per-path buffering and rate-limit parameters.
 	QoSClass = qos.Class
 	// PathStats reports per-path delivery statistics, including the
@@ -107,6 +118,19 @@ const (
 	Input    = core.Input
 	Output   = core.Output
 )
+
+// Path binding states (see internal/transport and DESIGN.md §9).
+const (
+	PathSearching   = transport.PathSearching
+	PathBound       = transport.PathBound
+	PathFailingOver = transport.PathFailingOver
+	PathDegraded    = transport.PathDegraded
+)
+
+// ErrDestinationLost is returned by deliveries on a static path whose
+// destination translator has been unmapped (device removed or node
+// down). Dynamic (ConnectQuery) paths fail over instead.
+var ErrDestinationLost = transport.ErrDestinationLost
 
 // QoS buffer overflow policies (see internal/qos).
 const (
@@ -159,6 +183,9 @@ type RuntimeConfig struct {
 	Logger *slog.Logger
 	// Obs is the node's metrics registry; nil creates a private one.
 	Obs *ObsRegistry
+	// MapperRetry bounds the supervisor's restart backoff for panicked
+	// mappers before a platform is declared degraded (zero = defaults).
+	MapperRetry RetryPolicy
 }
 
 // Runtime is one uMiddle node.
@@ -181,12 +208,13 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		}
 	}
 	rt, err := runtime.New(runtime.Config{
-		Node:      cfg.Node,
-		Host:      host,
-		Directory: directory.Options{AnnounceInterval: cfg.AnnounceInterval},
-		Transport: cfg.Transport,
-		Logger:    cfg.Logger,
-		Obs:       cfg.Obs,
+		Node:        cfg.Node,
+		Host:        host,
+		Directory:   directory.Options{AnnounceInterval: cfg.AnnounceInterval},
+		Transport:   cfg.Transport,
+		Logger:      cfg.Logger,
+		Obs:         cfg.Obs,
+		MapperRetry: cfg.MapperRetry,
 	})
 	if err != nil {
 		return nil, err
@@ -282,8 +310,13 @@ func (r *Runtime) MetricsSnapshot() MetricsSnapshot { return r.rt.Obs().Snapshot
 
 // TraceEvents returns the node's recent state transitions, oldest
 // first: translator mapped/unmapped, path connect/disconnect, redial,
-// drop, expiry.
+// drop, expiry, node up/down, mapper panic/restart, failover.
 func (r *Runtime) TraceEvents() []TraceEvent { return r.rt.Obs().Trace().Events() }
+
+// Health returns the node's self-healing snapshot: supervised mapper
+// states, remote nodes holding a liveness lease, and every local path
+// with its binding state (the pads `health` command renders this).
+func (r *Runtime) Health() Health { return r.rt.Health() }
 
 // Register maps a native uMiddle service: a translator implemented
 // directly against the intermediary space. Use NewService to build one.
@@ -300,12 +333,16 @@ type UPnPMapperConfig struct {
 	Recorder       *MapperRecorder
 }
 
-// AddUPnPMapper attaches a UPnP mapper to the node.
+// AddUPnPMapper attaches a supervised UPnP mapper to the node: a panic
+// in the mapper restarts it from a fresh instance under the node's
+// MapperRetry budget.
 func (r *Runtime) AddUPnPMapper(cfg UPnPMapperConfig) error {
-	return r.rt.AddMapper(upnpmap.New(r.host, upnpmap.Options{
-		SearchInterval: cfg.SearchInterval,
-		Recorder:       cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(upnpmap.Platform, func() (mapper.Mapper, error) {
+		return upnpmap.New(r.host, upnpmap.Options{
+			SearchInterval: cfg.SearchInterval,
+			Recorder:       cfg.Recorder,
+		}), nil
+	})
 }
 
 // BluetoothMapperConfig tunes the Bluetooth mapper.
@@ -315,18 +352,21 @@ type BluetoothMapperConfig struct {
 	Recorder        *MapperRecorder
 }
 
-// AddBluetoothMapper attaches a Bluetooth mapper; it powers an adapter
-// on the node's host.
+// AddBluetoothMapper attaches a supervised Bluetooth mapper; it powers
+// an adapter on the node's host. The adapter is the radio: it outlives
+// mapper incarnations, so supervisor restarts reuse it.
 func (r *Runtime) AddBluetoothMapper(cfg BluetoothMapperConfig) error {
 	adapter, err := bluetooth.NewAdapter(r.host, r.Node()+"-bt", bluetooth.AdapterOptions{})
 	if err != nil {
 		return err
 	}
-	return r.rt.AddMapper(btmap.New(adapter, btmap.Options{
-		InquiryInterval: cfg.InquiryInterval,
-		InquiryWindow:   cfg.InquiryWindow,
-		Recorder:        cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(btmap.Platform, func() (mapper.Mapper, error) {
+		return btmap.New(adapter, btmap.Options{
+			InquiryInterval: cfg.InquiryInterval,
+			InquiryWindow:   cfg.InquiryWindow,
+			Recorder:        cfg.Recorder,
+		}), nil
+	})
 }
 
 // RMIMapperConfig tunes the RMI mapper.
@@ -336,13 +376,16 @@ type RMIMapperConfig struct {
 	Recorder     *MapperRecorder
 }
 
-// AddRMIMapper attaches an RMI mapper watching the given registry.
+// AddRMIMapper attaches a supervised RMI mapper watching the given
+// registry.
 func (r *Runtime) AddRMIMapper(cfg RMIMapperConfig) error {
-	return r.rt.AddMapper(rmimap.New(r.host, rmimap.Options{
-		RegistryHost: cfg.RegistryHost,
-		PollInterval: cfg.PollInterval,
-		Recorder:     cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(rmimap.Platform, func() (mapper.Mapper, error) {
+		return rmimap.New(r.host, rmimap.Options{
+			RegistryHost: cfg.RegistryHost,
+			PollInterval: cfg.PollInterval,
+			Recorder:     cfg.Recorder,
+		}), nil
+	})
 }
 
 // MediaBrokerMapperConfig tunes the MediaBroker mapper.
@@ -352,14 +395,16 @@ type MediaBrokerMapperConfig struct {
 	Recorder     *MapperRecorder
 }
 
-// AddMediaBrokerMapper attaches a MediaBroker mapper watching the given
-// broker.
+// AddMediaBrokerMapper attaches a supervised MediaBroker mapper
+// watching the given broker.
 func (r *Runtime) AddMediaBrokerMapper(cfg MediaBrokerMapperConfig) error {
-	return r.rt.AddMapper(mbmap.New(r.host, mbmap.Options{
-		BrokerHost:   cfg.BrokerHost,
-		PollInterval: cfg.PollInterval,
-		Recorder:     cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(mbmap.Platform, func() (mapper.Mapper, error) {
+		return mbmap.New(r.host, mbmap.Options{
+			BrokerHost:   cfg.BrokerHost,
+			PollInterval: cfg.PollInterval,
+			Recorder:     cfg.Recorder,
+		}), nil
+	})
 }
 
 // MotesMapperConfig tunes the Motes mapper.
@@ -368,13 +413,15 @@ type MotesMapperConfig struct {
 	Recorder       *MapperRecorder
 }
 
-// AddMotesMapper attaches a Motes mapper; the node hosts the sensor
-// network's base station.
+// AddMotesMapper attaches a supervised Motes mapper; the node hosts the
+// sensor network's base station.
 func (r *Runtime) AddMotesMapper(cfg MotesMapperConfig) error {
-	return r.rt.AddMapper(motesmap.New(r.host, motesmap.Options{
-		LivenessWindow: cfg.LivenessWindow,
-		Recorder:       cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(motesmap.Platform, func() (mapper.Mapper, error) {
+		return motesmap.New(r.host, motesmap.Options{
+			LivenessWindow: cfg.LivenessWindow,
+			Recorder:       cfg.Recorder,
+		}), nil
+	})
 }
 
 // WebServiceMapperConfig tunes the web-services mapper.
@@ -384,14 +431,16 @@ type WebServiceMapperConfig struct {
 	Recorder     *MapperRecorder
 }
 
-// AddWebServiceMapper attaches a web-services mapper watching the given
-// hosts.
+// AddWebServiceMapper attaches a supervised web-services mapper
+// watching the given hosts.
 func (r *Runtime) AddWebServiceMapper(cfg WebServiceMapperConfig) error {
-	return r.rt.AddMapper(wsmap.New(r.host, wsmap.Options{
-		BaseURLs:     cfg.BaseURLs,
-		PollInterval: cfg.PollInterval,
-		Recorder:     cfg.Recorder,
-	}))
+	return r.rt.AddMapperFunc(wsmap.Platform, func() (mapper.Mapper, error) {
+		return wsmap.New(r.host, wsmap.Options{
+			BaseURLs:     cfg.BaseURLs,
+			PollInterval: cfg.PollInterval,
+			Recorder:     cfg.Recorder,
+		}), nil
+	})
 }
 
 // LoadUSDL registers an additional USDL document (XML text) with the

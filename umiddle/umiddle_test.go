@@ -336,3 +336,88 @@ func TestFacadeExportUPnP(t *testing.T) {
 		t.Fatal("nothing crossed the projection")
 	}
 }
+
+func TestUnregisterTearsDownLivePaths(t *testing.T) {
+	// Regression: Unregister on a translator with live paths must tear
+	// down paths rooted at it and fail static paths targeting it, not
+	// leave corpses delivering into the void.
+	_, rt := newTestWorld(t)
+	outShape, _ := NewShape(Port{Name: "out", Kind: Digital, Direction: Output, Type: "text/plain"})
+	inShape, _ := NewShape(Port{Name: "in", Kind: Digital, Direction: Input, Type: "text/plain"})
+	src, err := rt.NewService("src", outShape, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	dst, err := rt.NewService("dst", inShape, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	srcPath, err := rt.Connect(src.Port("out"), dst.Port("in"))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	dstPath, err := rt.Connect(src.Port("out"), dst.Port("in"))
+	if err != nil {
+		t.Fatalf("Connect second path: %v", err)
+	}
+
+	// Unregistering the source deterministically removes its paths.
+	if err := rt.Unregister(src.ID()); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, ok1 := rt.PathStats(srcPath)
+		_, ok2 := rt.PathStats(dstPath)
+		if !ok1 && !ok2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("paths outlive their unregistered source: %v %v", ok1, ok2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Unregistering a static path's destination degrades the path.
+	src2, err := rt.NewService("src2", outShape, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	id, err := rt.Connect(src2.Port("out"), dst.Port("in"))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := rt.Unregister(dst.ID()); err != nil {
+		t.Fatalf("Unregister dst: %v", err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		var state PathState
+		for _, info := range rt.Internal().Transport().Paths() {
+			if info.ID == id {
+				state = info.State
+			}
+		}
+		if state == PathDegraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("static path state = %q after destination unregistered, want degraded", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFacadeHealthSnapshot(t *testing.T) {
+	_, rt := newTestWorld(t)
+	if err := rt.AddUPnPMapper(UPnPMapperConfig{SearchInterval: 100 * time.Millisecond}); err != nil {
+		t.Fatalf("AddUPnPMapper: %v", err)
+	}
+	h := rt.Health()
+	if h.Node != "h1" {
+		t.Fatalf("Health.Node = %q", h.Node)
+	}
+	if len(h.Mappers) != 1 || h.Mappers[0].Platform != "upnp" || h.Mappers[0].State != "running" {
+		t.Fatalf("Health.Mappers = %+v", h.Mappers)
+	}
+}
