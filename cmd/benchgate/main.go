@@ -1,6 +1,8 @@
 // Command benchgate compares a fresh benchharness -json dump against a
-// committed baseline and fails when any row's measured throughput
-// regressed by more than the tolerance factor. It is deliberately
+// committed baseline and fails when any row's gated metric regressed by
+// more than the tolerance factor — throughput-like metrics (MeasuredMbps,
+// LookupsPerSec) by dropping below baseline/tolerance, cost-like metrics
+// (AdvertBytesPerSec) by growing past baseline*tolerance. It is deliberately
 // loose (default 3x): the committed baselines are measured on an
 // unloaded machine, while verify runs compete with whatever else the
 // host is doing — the gate exists to catch order-of-magnitude
@@ -25,30 +27,55 @@ func main() {
 	committed := load(flag.Arg(0))
 	fresh := load(flag.Arg(1))
 
-	freshMbps := make(map[string]float64, len(fresh))
+	freshRows := make(map[string]map[string]any, len(fresh))
 	for _, row := range fresh {
-		if name, mbps, ok := rowMbps(row); ok {
-			freshMbps[name] = mbps
+		if name, _ := row["Test"].(string); name != "" {
+			freshRows[name] = row
 		}
 	}
 
 	failed := false
 	for _, row := range committed {
-		name, base, ok := rowMbps(row)
-		if !ok || base <= 0 {
+		name, _ := row["Test"].(string)
+		if name == "" {
 			continue
 		}
-		got, ok := freshMbps[name]
-		switch {
-		case !ok:
+		baseline := rowMetrics(row)
+		if len(baseline) == 0 {
+			continue
+		}
+		freshRow, ok := freshRows[name]
+		if !ok {
 			fmt.Fprintf(os.Stderr, "benchgate: %q missing from fresh run\n", name)
 			failed = true
-		case got < base / *tol:
-			fmt.Fprintf(os.Stderr, "benchgate: %q regressed: %.2f Mbps vs baseline %.2f (floor %.2f at %gx tolerance)\n",
-				name, got, base, base / *tol, *tol)
-			failed = true
-		default:
-			fmt.Printf("benchgate: %q ok: %.2f Mbps vs baseline %.2f\n", name, got, base)
+			continue
+		}
+		for _, m := range baseline {
+			got, ok := freshRow[m.field].(float64)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchgate: %q missing %s in fresh run\n", name, m.field)
+				failed = true
+				continue
+			}
+			if m.lowerBetter {
+				// A cost metric (bandwidth burned): fresh may not exceed
+				// tolerance x baseline.
+				if got > m.value**tol {
+					fmt.Fprintf(os.Stderr, "benchgate: %q %s regressed: %.2f vs baseline %.2f (ceiling %.2f at %gx tolerance)\n",
+						name, m.field, got, m.value, m.value**tol, *tol)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: %q %s ok: %.2f vs baseline %.2f\n", name, m.field, got, m.value)
+				}
+				continue
+			}
+			if got < m.value / *tol {
+				fmt.Fprintf(os.Stderr, "benchgate: %q %s regressed: %.2f vs baseline %.2f (floor %.2f at %gx tolerance)\n",
+					name, m.field, got, m.value, m.value / *tol, *tol)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: %q %s ok: %.2f vs baseline %.2f\n", name, m.field, got, m.value)
+			}
 		}
 	}
 	if failed {
@@ -70,14 +97,33 @@ func load(path string) []map[string]any {
 	return rows
 }
 
-// rowMbps extracts the row name and its measured throughput. Every
-// benchharness throughput experiment dumps rows with Test +
-// MeasuredMbps fields; rows without them (latency tables) are skipped.
-func rowMbps(row map[string]any) (string, float64, bool) {
-	name, _ := row["Test"].(string)
-	mbps, ok := row["MeasuredMbps"].(float64)
-	if name == "" || !ok {
-		return "", 0, false
+// gatedMetric is one gateable field of a benchmark row. Throughput-like
+// fields regress by dropping; cost-like fields (bytes/sec burned on
+// adverts) regress by growing.
+type gatedMetric struct {
+	field       string
+	value       float64
+	lowerBetter bool
+}
+
+// gatedFields names the row fields benchgate understands. Rows without
+// any of them (latency tables, compatibility matrices) are skipped.
+var gatedFields = []struct {
+	name        string
+	lowerBetter bool
+}{
+	{"MeasuredMbps", false},
+	{"LookupsPerSec", false},
+	{"AdvertBytesPerSec", true},
+}
+
+// rowMetrics extracts every gateable metric present in the row.
+func rowMetrics(row map[string]any) []gatedMetric {
+	var out []gatedMetric
+	for _, f := range gatedFields {
+		if v, ok := row[f.name].(float64); ok && v > 0 {
+			out = append(out, gatedMetric{field: f.name, value: v, lowerBetter: f.lowerBetter})
+		}
 	}
-	return name, mbps, true
+	return out
 }

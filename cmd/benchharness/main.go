@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -26,11 +28,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath, dirscale")
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
+	pops := flag.String("pops", "", "comma-separated population points for dirscale (default 100,1000,10000)")
+	window := flag.Duration("window", time.Second, "measurement window per dirscale phase")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
 	flag.Parse()
+	popList, err := parsePops(*pops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchharness: -pops: %v\n", err)
+		os.Exit(2)
+	}
 	writeJSON := func(name string, v any) error {
 		if !*jsonOut {
 			return nil
@@ -62,7 +71,7 @@ func main() {
 			}
 		}
 	}
-	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true}
+	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true, "dirscale": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -74,6 +83,24 @@ func main() {
 	run("fig11", func() error { return printFig11(*msgs, writeJSON) })
 	run("hotpath", func() error { return printHotPath(*msgs, writeJSON) })
 	run("qos", func() error { return printQoS(writeJSON) })
+	run("dirscale", func() error { return printDirScale(popList, *window, writeJSON) })
+}
+
+// parsePops parses the -pops flag ("100,1000,10000"); empty selects the
+// experiment's defaults.
+func parsePops(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad population %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // jsonWriter persists one experiment's rows when -json is set.
@@ -234,6 +261,32 @@ func printHotPath(msgs int, writeJSON jsonWriter) error {
 	fmt.Println("with trivial sinks the shared connection pipeline bounds both rows, so")
 	fmt.Println("x4 must stay close to x1 (a per-connection delivery queue would collapse")
 	fmt.Println("it when any destination stalls — see TestSlowDestinationDoesNotBlockOthers).")
+	fmt.Println()
+	return nil
+}
+
+func printDirScale(pops []int, window time.Duration, writeJSON jsonWriter) error {
+	fmt.Println("== Directory at scale: population vs lookup rate and advert bandwidth ==")
+	rows, err := bench.RunDirScale(pops, window)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "test\tpop\tnodes\tconverge\tlookups/s\tmean\tp99\tadvert B/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\t%.0f\n",
+			r.Test, r.Population, r.Nodes, r.ConvergeTime.Round(time.Millisecond),
+			r.LookupsPerSec, r.LookupMean.Round(time.Microsecond), r.LookupP99.Round(time.Microsecond),
+			r.AdvertBytesPerSec)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON("dirscale", rows); err != nil {
+		return err
+	}
+	fmt.Println("shape check: lookup rate must not collapse with population (indexed, not O(N) scans),")
+	fmt.Println("and steady-state advert bandwidth must not grow O(N) (delta anti-entropy, not full-state).")
 	fmt.Println()
 	return nil
 }

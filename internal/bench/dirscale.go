@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netemu"
+	"repro/internal/obs"
+)
+
+// DirScaleRow is one population point of the directory scalability
+// benchmark: N translators spread across several nodes, then a
+// binding-storm lookup workload plus a steady-state advert bandwidth
+// window. This is the ROADMAP's "production-scale population" probe —
+// the paper's own evaluation stops at room-scale device counts.
+type DirScaleRow struct {
+	// Test labels the row ("dirscale N=10000").
+	Test string
+	// Population is the total translator count across all nodes.
+	Population int
+	// Nodes is how many directory nodes share the population.
+	Nodes int
+	// ConvergeTime is first registration to every node seeing the full
+	// population.
+	ConvergeTime time.Duration
+	// Lookups is how many Lookup calls the workload window completed.
+	Lookups int
+	// LookupsPerSec is the aggregate lookup rate over the window.
+	LookupsPerSec float64
+	// LookupMean and LookupP99 summarize per-call latency.
+	LookupMean time.Duration
+	LookupP99  time.Duration
+	// AdvertBytesPerSec is the steady-state advert bandwidth summed over
+	// all nodes (population stable, no joins) — the anti-entropy cost.
+	AdvertBytesPerSec float64
+	// Window is the measurement window used for the lookup and bandwidth
+	// phases.
+	Window time.Duration
+}
+
+// dirScaleAnnounce is the announce cadence for the scalability runs:
+// slower than the convergence-test cadence so the steady-state bandwidth
+// number reflects a realistic refresh period, fast enough that the runs
+// stay short.
+const dirScaleAnnounce = 100 * time.Millisecond
+
+// dirScaleDevice describes one archetype of the synthetic population.
+type dirScaleDevice struct {
+	kind       string
+	deviceType string
+	ports      []core.Port
+}
+
+// dirScaleDevices cycles six archetypes so the population exercises
+// every index dimension: digital in/out, physical out, and distinct
+// device types.
+var dirScaleDevices = []dirScaleDevice{
+	{"cam", "camera", []core.Port{
+		{Name: "image-out", Kind: core.Digital, Direction: core.Output, Type: "image/jpeg"},
+	}},
+	{"tv", "tv", []core.Port{
+		{Name: "image-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+		{Name: "screen", Kind: core.Physical, Direction: core.Output, Type: "visible/screen"},
+	}},
+	{"spk", "speaker", []core.Port{
+		{Name: "audio-in", Kind: core.Digital, Direction: core.Input, Type: "audio/pcm"},
+		{Name: "air", Kind: core.Physical, Direction: core.Output, Type: "audible/air"},
+	}},
+	{"sensor", "sensor", []core.Port{
+		{Name: "reading", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+	}},
+	{"light", "light", []core.Port{
+		{Name: "cmd", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+		{Name: "glow", Kind: core.Physical, Direction: core.Output, Type: "visible/light"},
+	}},
+	{"mic", "microphone", []core.Port{
+		{Name: "audio-out", Kind: core.Digital, Direction: core.Output, Type: "audio/pcm"},
+	}},
+}
+
+// dirScaleQueries is the binding-storm workload: the repeated dynamic
+// binding queries a failover burst runs, a mix of indexed criteria
+// (ports, node, platform+deviceType) and scan-only ones (attributes,
+// name substring).
+func dirScaleQueries() []core.Query {
+	return []core.Query{
+		core.QueryAccepting("image/jpeg", "visible/*"),
+		core.QueryProducing("image/jpeg"),
+		core.QueryAccepting("audio/pcm", "audible/*"),
+		{Node: "n1", Ports: []core.PortTemplate{{Direction: core.Input, Kind: core.Digital}}},
+		{Platform: "umiddle", DeviceType: "sensor"},
+		{Attributes: map[string]string{"room": "room-7"}},
+		{NameContains: "cam-1"},
+		{Ports: []core.PortTemplate{{Kind: core.Physical, Direction: core.Output, Type: "visible/*"}}},
+	}
+}
+
+// dirScaleProfile builds the i-th member of the population for a node.
+func dirScaleProfile(node string, i int) core.Profile {
+	dev := dirScaleDevices[i%len(dirScaleDevices)]
+	return core.Profile{
+		ID:         core.MakeTranslatorID(node, "umiddle", fmt.Sprintf("%s-%d", dev.kind, i)),
+		Name:       fmt.Sprintf("%s-%d", dev.kind, i),
+		Platform:   "umiddle",
+		DeviceType: dev.deviceType,
+		Node:       node,
+		Shape:      core.MustShape(dev.ports...),
+		Attributes: map[string]string{"room": fmt.Sprintf("room-%d", i%50)},
+	}
+}
+
+// runDirScale measures one population point.
+func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
+	const nodes = 3
+	row := DirScaleRow{
+		Test:       fmt.Sprintf("dirscale N=%d", population),
+		Population: population,
+		Nodes:      nodes,
+		Window:     window,
+	}
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+
+	dirs := make([]*directory.Directory, nodes)
+	regs := make([]*obs.Registry, nodes)
+	names := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		names[i] = fmt.Sprintf("n%d", i)
+		host, err := net.AddHost(names[i])
+		if err != nil {
+			return row, err
+		}
+		regs[i] = obs.NewRegistry()
+		dirs[i] = directory.New(names[i], host, directory.Options{
+			AnnounceInterval: dirScaleAnnounce,
+			Obs:              regs[i],
+		})
+		if err := dirs[i].Start(); err != nil {
+			return row, err
+		}
+		defer dirs[i].Close()
+	}
+
+	// Registration + convergence: node i hosts population/nodes members
+	// (node 0 absorbs the remainder).
+	per := population / nodes
+	start := time.Now()
+	idx := 0
+	for i := 0; i < nodes; i++ {
+		n := per
+		if i == 0 {
+			n += population - per*nodes
+		}
+		for j := 0; j < n; j++ {
+			tr := core.MustBase(dirScaleProfile(names[i], idx))
+			if err := dirs[i].AddLocal(tr); err != nil {
+				return row, err
+			}
+			idx++
+		}
+	}
+	if err := waitCond(120*time.Second, func() bool {
+		for _, d := range dirs {
+			if l, r := d.Size(); l+r != population {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return row, fmt.Errorf("population %d did not converge: %w", population, err)
+	}
+	row.ConvergeTime = time.Since(start)
+
+	// Steady-state advert bandwidth: population stable, no joins — just
+	// the periodic refresh traffic, summed across nodes. A short settle
+	// first lets join-time reconciliation (sync requests raced against
+	// the registration burst) finish, so the window measures the steady
+	// protocol, not the convergence tail.
+	time.Sleep(3 * dirScaleAnnounce)
+	bytesSent := func() uint64 {
+		var total uint64
+		for i, reg := range regs {
+			for _, c := range reg.Snapshot().Counters {
+				if c.Name == "umiddle_directory_advert_bytes_total" && c.Labels["node"] == names[i] {
+					total += c.Value
+				}
+			}
+		}
+		return total
+	}
+	steadyWindow := window
+	if steadyWindow < time.Second {
+		steadyWindow = time.Second
+	}
+	before := bytesSent()
+	bwStart := time.Now()
+	time.Sleep(steadyWindow)
+	bwElapsed := time.Since(bwStart)
+	row.AdvertBytesPerSec = float64(bytesSent()-before) / bwElapsed.Seconds()
+
+	// Binding-storm lookups: cycle the workload queries against node 0
+	// for the window, timing each call.
+	queries := dirScaleQueries()
+	var samples []time.Duration
+	lookupStart := time.Now()
+	deadline := lookupStart.Add(window)
+	qi := 0
+	for time.Now().Before(deadline) {
+		for b := 0; b < 32; b++ {
+			q := queries[qi%len(queries)]
+			qi++
+			t0 := time.Now()
+			dirs[0].Lookup(q)
+			samples = append(samples, time.Since(t0))
+		}
+	}
+	elapsed := time.Since(lookupStart)
+	row.Lookups = len(samples)
+	row.LookupsPerSec = float64(len(samples)) / elapsed.Seconds()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	if len(samples) > 0 {
+		row.LookupMean = sum / time.Duration(len(samples))
+		row.LookupP99 = samples[len(samples)*99/100]
+	}
+	return row, nil
+}
+
+// RunDirScale runs the directory scalability benchmark at the given
+// population points (default 100 / 1k / 10k when pops is empty). window
+// bounds the lookup and steady-state measurement phases per point.
+func RunDirScale(pops []int, window time.Duration) ([]DirScaleRow, error) {
+	if len(pops) == 0 {
+		pops = []int{100, 1000, 10000}
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	var rows []DirScaleRow
+	for _, n := range pops {
+		row, err := runDirScale(n, window)
+		if err != nil {
+			return nil, fmt.Errorf("bench: dirscale N=%d: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

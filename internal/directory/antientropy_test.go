@@ -1,0 +1,237 @@
+package directory
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+	"repro/internal/obs"
+)
+
+// sentCount reads a directory's sent-advert counter for one type.
+func sentCount(d *Directory, typ string) uint64 {
+	return d.Obs().Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": d.Node(), "type": typ}).Value()
+}
+
+// sentBytes reads a directory's sent-bytes counter for one type.
+func sentBytes(d *Directory, typ string) uint64 {
+	return d.Obs().Counter("umiddle_directory_advert_bytes_total", obs.Labels{"node": d.Node(), "type": typ}).Value()
+}
+
+// TestSteadyStateHeartbeatsOnly: once a population has converged and
+// nothing changes, the periodic anti-entropy traffic must be
+// constant-size heartbeats — no recurring full-state announces and no
+// sync churn. This is the delta protocol's core bandwidth claim.
+func TestSteadyStateHeartbeatsOnly(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, fastOpts()), New("h2", h2, fastOpts())
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	for _, name := range []string{"a", "b", "c"} {
+		if err := d1.AddLocal(testTranslator(t, "h1", name)); err != nil {
+			t.Fatalf("AddLocal: %v", err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 3 })
+	// Let any join-time syncs settle before measuring steady state.
+	time.Sleep(200 * time.Millisecond)
+
+	annBefore := sentCount(d1, "announce")
+	syncBefore := sentCount(d1, "sync")
+	addBefore := sentCount(d1, "add")
+	hbBefore := sentCount(d1, "heartbeat")
+	time.Sleep(300 * time.Millisecond) // ~15 announce intervals
+
+	if got := sentCount(d1, "announce") - annBefore; got != 0 {
+		t.Fatalf("steady state sent %d full announces, want 0", got)
+	}
+	if got := sentCount(d1, "sync") - syncBefore; got != 0 {
+		t.Fatalf("steady state sent %d syncs, want 0", got)
+	}
+	if got := sentCount(d1, "add") - addBefore; got != 0 {
+		t.Fatalf("steady state sent %d add deltas, want 0", got)
+	}
+	hb := sentCount(d1, "heartbeat") - hbBefore
+	if hb < 5 {
+		t.Fatalf("steady state sent %d heartbeats over 15 intervals, want >=5", hb)
+	}
+	// Heartbeats are population-independent: ~100 bytes each, never
+	// O(population) profile payloads.
+	if avg := (sentBytes(d1, "heartbeat")) / sentCount(d1, "heartbeat"); avg > 256 {
+		t.Fatalf("average heartbeat size %d bytes, want constant-size (<=256)", avg)
+	}
+	// The peer view must still be intact (heartbeats renewed the lease).
+	if _, r := d2.Size(); r != 3 {
+		t.Fatalf("peer lost entries during steady state: remote = %d, want 3", r)
+	}
+}
+
+// TestDivergenceHealsViaSync: a receiver that silently lost an entry
+// (here: a spoofed remove injected behind the protocol's back) detects
+// the state-fingerprint mismatch on the owner's next heartbeat,
+// requests a sync, and relearns the entry.
+func TestDivergenceHealsViaSync(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, fastOpts()), New("h2", h2, fastOpts())
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+	d1.AddLocal(testTranslator(t, "h1", "b"))
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 2 })
+
+	// Drop one of h1's entries from d2's view without h1 knowing —
+	// an unversioned remove, as a buggy or malicious peer would send.
+	d2.handleAdvert(advert{Type: "remove", Node: "h1", Removed: []core.TranslatorID{
+		core.MakeTranslatorID("h1", "umiddle", "a"),
+	}})
+	if _, r := d2.Size(); r != 1 {
+		t.Fatalf("injected remove did not drop the entry (remote = %d)", r)
+	}
+
+	// The next heartbeat from h1 carries a fingerprint d2 cannot
+	// reproduce; d2 must sync_req and h1 must answer with a full sync.
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 2 })
+	if got := sentCount(d2, "sync_req"); got == 0 {
+		t.Fatal("healing happened without a sync_req (unexpected path)")
+	}
+	if got := sentCount(d1, "sync"); got == 0 {
+		t.Fatal("healing happened without a sync response (unexpected path)")
+	}
+}
+
+// TestSyncReconcilesGhostEntries: the dual divergence — a receiver
+// holding an entry the owner no longer has (here: a spoofed announce) —
+// heals too, because sync has reconcile semantics: entries of the
+// sender missing from the sync advert are dropped.
+func TestSyncReconcilesGhostEntries(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, fastOpts()), New("h2", h2, fastOpts())
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 1 })
+
+	// Inject a ghost entry claiming to live on h1.
+	ghost := remoteProfile("h1", "ghost")
+	d2.handleAdvert(advert{Type: "announce", Node: "h1", Profiles: []core.Profile{ghost}})
+	if _, r := d2.Size(); r != 2 {
+		t.Fatalf("ghost injection failed (remote = %d)", r)
+	}
+
+	// Fingerprint mismatch -> sync_req -> h1's sync lists only "a" ->
+	// reconcile drops the ghost.
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 1 })
+	if _, err := d2.Resolve(ghost.ID); err == nil {
+		t.Fatal("ghost entry survived reconciliation")
+	}
+	if _, err := d2.Resolve(core.MakeTranslatorID("h1", "umiddle", "a")); err != nil {
+		t.Fatalf("legitimate entry lost during reconciliation: %v", err)
+	}
+}
+
+// TestLateJoinerConvergesWithoutPeriodicAnnounce: a node that joins
+// after the population settled never sees a periodic full announce
+// (those no longer exist) — it converges through the heartbeat
+// fingerprint mismatch and a sync.
+func TestLateJoinerConvergesWithoutPeriodicAnnounce(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := net.MustAddHost("h1")
+	d1 := New("h1", h1, fastOpts())
+	defer d1.Close()
+	d1.Start()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		d1.AddLocal(testTranslator(t, "h1", name))
+	}
+	// Long enough that d1's join announce and add deltas are history.
+	time.Sleep(200 * time.Millisecond)
+
+	h2 := net.MustAddHost("h2")
+	d2 := New("h2", h2, fastOpts())
+	defer d2.Close()
+	d2.Start()
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 4 })
+	// d1's only full announce was its own join, before d2 existed: the
+	// joiner must have been served by a sync.
+	if got := sentCount(d1, "sync"); got == 0 {
+		t.Fatal("late joiner converged without a sync (stale test assumption?)")
+	}
+}
+
+// TestOldPeerAnnounceCompat: a pre-delta peer that knows nothing about
+// heartbeats or fingerprints — it just repeats full "announce" adverts —
+// must still interoperate: its entries are learned, kept alive by the
+// repeated announces, and expired once it goes silent.
+func TestOldPeerAnnounceCompat(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := net.MustAddHost("h1")
+	d1 := New("h1", h1, fastOpts())
+	defer d1.Close()
+	d1.Start()
+
+	legacy := net.MustAddHost("legacy")
+	gc, err := legacy.JoinGroup(Group)
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+	defer gc.Close()
+	// The legacy wire format: type/node/profiles/lease only.
+	payload, err := json.Marshal(map[string]any{
+		"type":     "announce",
+		"node":     "legacy",
+		"profiles": []core.Profile{remoteProfile("legacy", "printer")},
+		"lease_ms": 80,
+	})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				gc.Send(payload)
+			}
+		}
+	}()
+
+	waitFor(t, 2*time.Second, func() bool { _, r := d1.Size(); return r == 1 })
+	// Survive several TTLs while the legacy announces keep coming.
+	time.Sleep(300 * time.Millisecond)
+	if _, r := d1.Size(); r != 1 {
+		t.Fatal("legacy peer's entry expired while it was still announcing")
+	}
+	// An unversioned peer must not be pestered with sync requests.
+	if got := sentCount(d1, "sync_req"); got != 0 {
+		t.Fatalf("sent %d sync_reqs to a pre-delta peer, want 0", got)
+	}
+
+	close(stop)
+	<-done
+	// Silence: the entry expires via the lease like any other.
+	waitFor(t, 2*time.Second, func() bool { _, r := d1.Size(); return r == 0 })
+}

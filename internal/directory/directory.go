@@ -6,9 +6,16 @@
 //
 // Each runtime announces its local translators on a multicast group;
 // peers integrate the announcements into their view of the intermediary
-// semantic space. Announcements repeat periodically; a node that stays
-// silent for several periods has its translators expired, which handles
-// node crashes and partitions.
+// semantic space. Anti-entropy is delta-based: registrations broadcast
+// incremental "add" adverts, departures broadcast "remove", and the
+// periodic tick shrinks to a constant-size "heartbeat" carrying a
+// fingerprint of the sender's state. A receiver whose view diverges
+// from the fingerprint requests a full "sync"; full-state broadcasts
+// otherwise happen only on join and reconnect (AnnounceNow). A node
+// that stays silent past its lease has its translators expired, which
+// handles crashes and partitions. Pre-delta peers that periodically
+// broadcast full "announce" adverts interoperate unchanged: announce
+// keeps its merge semantics and refreshes liveness like any advert.
 package directory
 
 import (
@@ -19,8 +26,8 @@ import (
 	"log/slog"
 	"maps"
 	"slices"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -33,16 +40,16 @@ const Group = "umiddle-directory"
 
 // Default timing parameters.
 const (
-	// DefaultAnnounceInterval is how often the full local state is
-	// re-announced.
+	// DefaultAnnounceInterval is the heartbeat cadence (and, for pre-delta
+	// peers, how often full state was re-announced).
 	DefaultAnnounceInterval = 500 * time.Millisecond
 	// DefaultExpiryFactor times the announce interval gives the remote
 	// profile time-to-live.
 	DefaultExpiryFactor = 4
-	// DefaultCoalesceWindow is how long an AddLocal-triggered announce
-	// waits to absorb further registrations. Importing N translators in
-	// a burst (a mapper discovering a device population) broadcasts one
-	// full-state advert instead of N O(N)-sized ones.
+	// DefaultCoalesceWindow is how long an AddLocal-triggered delta advert
+	// waits to absorb further registrations. Importing N translators in a
+	// burst (a mapper discovering a device population) broadcasts one
+	// advert instead of N.
 	DefaultCoalesceWindow = 5 * time.Millisecond
 )
 
@@ -51,7 +58,10 @@ var ErrNotFound = errors.New("directory: translator not found")
 
 // Listener receives notifications when translators are mapped to or
 // unmapped from the intermediary semantic space — the paper's
-// DirectoryListener (Figure 6-(2)).
+// DirectoryListener (Figure 6-(2)). The profile passed to
+// TranslatorMapped is shared with the directory's internal state and
+// must be treated as read-only; listeners that need to retain a mutable
+// copy must Clone it.
 type Listener interface {
 	// TranslatorMapped is called when a new translator (local or remote)
 	// becomes visible.
@@ -93,10 +103,23 @@ type NodeListener interface {
 	NodeDown(node string)
 }
 
+// advertTypes lists every advert type this directory can emit; metric
+// series for all of them are registered up front so exposition is
+// complete before the first broadcast.
+var advertTypes = []string{"announce", "heartbeat", "add", "remove", "sync", "sync_req", "bye"}
+
 // advert is the wire format of a directory announcement.
 type advert struct {
-	// Type is "announce" (full local state), "bye" (node leaving), or
-	// "remove" (single translator unmapped).
+	// Type is one of:
+	//   "announce"  full local state, merge semantics (join, reconnect,
+	//               and every periodic advert of pre-delta peers)
+	//   "heartbeat" liveness + state fingerprint, no profiles
+	//   "add"       incremental delta of newly registered translators
+	//   "remove"    single/multiple translator unmapped
+	//   "sync_req"  receiver's view of Target diverged; asks for a sync
+	//   "sync"      full local state, reconcile semantics (entries of the
+	//               sender missing from the advert are dropped)
+	//   "bye"       node leaving
 	Type string `json:"type"`
 	// Node is the announcing runtime.
 	Node string `json:"node"`
@@ -109,6 +132,15 @@ type advert struct {
 	// receivers may declare the node down once it lapses. Zero (an older
 	// peer) falls back to the receiver's own TTL.
 	LeaseMillis int64 `json:"lease_ms,omitempty"`
+	// Version counts the sender's local state changes; a receiver that
+	// observes a gap missed a delta. Zero on adverts from pre-delta peers.
+	Version uint64 `json:"version,omitempty"`
+	// Fp is the XOR of the sender's local profile fingerprints — a
+	// content digest of its full local state. A receiver whose own
+	// digest of the sender disagrees requests a sync.
+	Fp uint64 `json:"fp,omitempty"`
+	// Target names the node a "sync_req" is addressed to.
+	Target string `json:"target,omitempty"`
 }
 
 // Options configures a Directory.
@@ -118,7 +150,7 @@ type Options struct {
 	// ExpiryFactor overrides DefaultExpiryFactor.
 	ExpiryFactor int
 	// CoalesceWindow overrides DefaultCoalesceWindow: how long an
-	// AddLocal-triggered announce is delayed to batch with others.
+	// AddLocal-triggered delta advert is delayed to batch with others.
 	CoalesceWindow time.Duration
 	// Obs receives directory metrics and trace events; nil allocates a
 	// private registry (readable via Obs()).
@@ -146,37 +178,53 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// localEntry pairs a profile with its live translator.
+// localEntry pairs a sealed profile with its live translator and the
+// profile's fingerprint (a term of the node's state digest).
 type localEntry struct {
 	profile    core.Profile
 	translator core.Translator
+	fp         uint64
 }
 
 // remoteEntry tracks a profile learned from another node.
 type remoteEntry struct {
 	profile core.Profile
 	seen    time.Time
+	fp      uint64
 }
 
-// nodeState tracks a remote node's liveness lease.
+// nodeState tracks a remote node's liveness lease and the anti-entropy
+// bookkeeping for it.
 type nodeState struct {
 	lastSeen time.Time
 	lease    time.Duration
+	// version is the node's last claimed state version.
+	version uint64
+	// lastSyncReq rate-limits divergence-triggered sync requests.
+	lastSyncReq time.Time
 }
 
 // dirMetrics bundles the directory's metric handles, resolved once at
 // construction so the hot paths never touch the registry map.
 type dirMetrics struct {
-	sent      map[string]*obs.Counter // advert type -> counter
-	received  *obs.Counter
-	malformed *obs.Counter
-	expired   *obs.Counter
-	notifyLat *obs.Histogram
-	liveNodes *obs.Gauge
-	nodeDown  *obs.Counter
+	sent        map[string]*obs.Counter // advert type -> counter
+	sentBytes   map[string]*obs.Counter // advert type -> payload bytes
+	received    *obs.Counter
+	malformed   *obs.Counter
+	expired     *obs.Counter
+	notifyLat   *obs.Histogram
+	liveNodes   *obs.Gauge
+	nodeDown    *obs.Counter
+	indexSize   *obs.Gauge
+	queryHits   *obs.Counter
+	queryMisses *obs.Counter
 }
 
 // Directory is one runtime's view of the intermediary semantic space.
+//
+// Profiles are sealed on entry (cloned once, shape ports synced, never
+// mutated again), so advert building, listener notification, and the
+// read-path snapshot all share them without further copying.
 type Directory struct {
 	node  string
 	host  *netemu.Host
@@ -188,14 +236,32 @@ type Directory struct {
 	// invalidate eagerly for memory hygiene.
 	cache *core.MatchCache
 
-	mu              sync.RWMutex
-	local           map[core.TranslatorID]localEntry
-	remote          map[core.TranslatorID]remoteEntry
-	nodes           map[string]*nodeState
-	listeners       []Listener
-	started         bool
-	closed          bool
-	announcePending bool
+	// gen counts population mutations; snap caches the last built
+	// read-path snapshot (see index.go). rebuildMu serializes rebuilds.
+	gen       atomic.Uint64
+	snap      atomic.Pointer[snapshot]
+	rebuildMu sync.Mutex
+
+	mu           sync.RWMutex
+	local        map[core.TranslatorID]localEntry
+	remote       map[core.TranslatorID]remoteEntry
+	nodes        map[string]*nodeState
+	listeners    []Listener
+	started      bool
+	closed       bool
+	deltaPending bool
+	syncPending  bool
+	lastSync     time.Time
+	// version counts local state changes; localFP is the XOR of local
+	// profile fingerprints (this node's state digest on the wire).
+	version uint64
+	localFP uint64
+	// nodeFP digests each remote node's entries as we hold them, compared
+	// against the node's claimed Fp to detect divergence.
+	nodeFP map[string]uint64
+	// pendingAdds names local translators registered since the last
+	// broadcast, flushed as one coalesced "add" delta.
+	pendingAdds map[core.TranslatorID]struct{}
 
 	group  *netemu.GroupConn
 	cancel context.CancelFunc
@@ -209,35 +275,46 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 	opts = opts.withDefaults()
 	reg := opts.Obs
 	reg.Describe("umiddle_directory_adverts_sent_total", "Directory adverts broadcast, by advert type.")
+	reg.Describe("umiddle_directory_advert_bytes_total", "Directory advert payload bytes broadcast, by advert type.")
 	reg.Describe("umiddle_directory_adverts_received_total", "Directory adverts received from peer nodes.")
 	reg.Describe("umiddle_directory_adverts_malformed_total", "Received adverts dropped as malformed.")
 	reg.Describe("umiddle_directory_expired_total", "Remote translators expired after node silence.")
 	reg.Describe("umiddle_directory_notify_latency_seconds", "Time to notify all listeners of one mapped/unmapped event.")
 	reg.Describe("umiddle_directory_live_nodes", "Remote nodes currently holding a liveness lease.")
 	reg.Describe("umiddle_directory_node_down_total", "Peer node down transitions observed (lease lapse or bye).")
+	reg.Describe("umiddle_directory_index_size", "Profiles (local + remote) in the directory's lookup index.")
+	reg.Describe("umiddle_directory_query_cache_hits_total", "Lookups answered from the per-snapshot query-result cache.")
+	reg.Describe("umiddle_directory_query_cache_misses_total", "Lookups that ran the index candidate scan.")
 	nl := obs.Labels{"node": node}
 	d := &Directory{
 		node: node,
 		host: host,
 		opts: opts,
 		met: dirMetrics{
-			sent: map[string]*obs.Counter{
-				"announce": reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "announce"}),
-				"remove":   reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "remove"}),
-				"bye":      reg.Counter("umiddle_directory_adverts_sent_total", obs.Labels{"node": node, "type": "bye"}),
-			},
-			received:  reg.Counter("umiddle_directory_adverts_received_total", nl),
-			malformed: reg.Counter("umiddle_directory_adverts_malformed_total", nl),
-			expired:   reg.Counter("umiddle_directory_expired_total", nl),
-			notifyLat: reg.Histogram("umiddle_directory_notify_latency_seconds", nl, nil),
-			liveNodes: reg.Gauge("umiddle_directory_live_nodes", nl),
-			nodeDown:  reg.Counter("umiddle_directory_node_down_total", nl),
+			sent:        make(map[string]*obs.Counter, len(advertTypes)),
+			sentBytes:   make(map[string]*obs.Counter, len(advertTypes)),
+			received:    reg.Counter("umiddle_directory_adverts_received_total", nl),
+			malformed:   reg.Counter("umiddle_directory_adverts_malformed_total", nl),
+			expired:     reg.Counter("umiddle_directory_expired_total", nl),
+			notifyLat:   reg.Histogram("umiddle_directory_notify_latency_seconds", nl, nil),
+			liveNodes:   reg.Gauge("umiddle_directory_live_nodes", nl),
+			nodeDown:    reg.Counter("umiddle_directory_node_down_total", nl),
+			indexSize:   reg.Gauge("umiddle_directory_index_size", nl),
+			queryHits:   reg.Counter("umiddle_directory_query_cache_hits_total", nl),
+			queryMisses: reg.Counter("umiddle_directory_query_cache_misses_total", nl),
 		},
-		trace:  reg.Trace(),
-		cache:  core.NewMatchCache(0),
-		local:  make(map[core.TranslatorID]localEntry),
-		remote: make(map[core.TranslatorID]remoteEntry),
-		nodes:  make(map[string]*nodeState),
+		trace:       reg.Trace(),
+		cache:       core.NewMatchCache(0),
+		local:       make(map[core.TranslatorID]localEntry),
+		remote:      make(map[core.TranslatorID]remoteEntry),
+		nodes:       make(map[string]*nodeState),
+		nodeFP:      make(map[string]uint64),
+		pendingAdds: make(map[core.TranslatorID]struct{}),
+	}
+	for _, typ := range advertTypes {
+		tl := obs.Labels{"node": node, "type": typ}
+		d.met.sent[typ] = reg.Counter("umiddle_directory_adverts_sent_total", tl)
+		d.met.sentBytes[typ] = reg.Counter("umiddle_directory_advert_bytes_total", tl)
 	}
 	reg.Describe("umiddle_directory_match_cache_hits_total", "Lookup query matches served from the memoization cache.")
 	reg.Describe("umiddle_directory_match_cache_misses_total", "Lookup query matches that had to be evaluated.")
@@ -258,6 +335,28 @@ func (d *Directory) Obs() *obs.Registry { return d.opts.Obs }
 
 // Node returns the owning runtime's node name.
 func (d *Directory) Node() string { return d.node }
+
+// lease returns the liveness lease this node advertises.
+func (d *Directory) lease() time.Duration {
+	return time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+}
+
+// clampLease bounds a peer-claimed lease: a malformed or hostile advert
+// must neither overflow the millisecond→Duration conversion nor pin a
+// node (and its index entries) alive effectively forever.
+func (d *Directory) clampLease(leaseMillis int64) time.Duration {
+	if leaseMillis <= 0 {
+		return 0
+	}
+	maxLease := 10 * d.lease()
+	if maxLease < time.Minute {
+		maxLease = time.Minute
+	}
+	if leaseMillis > int64(maxLease/time.Millisecond) {
+		return maxLease
+	}
+	return time.Duration(leaseMillis) * time.Millisecond
+}
 
 // Start begins advertisement exchange. It is a no-op for standalone
 // directories.
@@ -321,7 +420,9 @@ func (d *Directory) Close() error {
 	return nil
 }
 
-// AddLocal registers a local translator and announces it.
+// AddLocal registers a local translator and announces it. The profile is
+// sealed here — cloned once with shape ports synced — and that sealed
+// copy is what adverts, listeners, and the lookup index share.
 func (d *Directory) AddLocal(tr core.Translator) error {
 	p := tr.Profile()
 	if err := p.Validate(); err != nil {
@@ -330,24 +431,31 @@ func (d *Directory) AddLocal(tr core.Translator) error {
 	if p.Node != d.node {
 		return fmt.Errorf("directory: profile node %q != directory node %q", p.Node, d.node)
 	}
+	sealed := p.Clone()
+	sealed.SyncShapePorts()
+	fp := sealed.Fingerprint()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return fmt.Errorf("directory: %w", netemu.ErrClosed)
 	}
-	if _, dup := d.local[p.ID]; dup {
+	if _, dup := d.local[sealed.ID]; dup {
 		d.mu.Unlock()
-		return fmt.Errorf("directory: translator %q already registered", p.ID)
+		return fmt.Errorf("directory: translator %q already registered", sealed.ID)
 	}
-	d.local[p.ID] = localEntry{profile: p.Clone(), translator: tr}
+	d.local[sealed.ID] = localEntry{profile: sealed, translator: tr, fp: fp}
+	d.version++
+	d.localFP ^= fp
+	d.pendingAdds[sealed.ID] = struct{}{}
+	d.gen.Add(1)
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
-	d.trace.Event("translator_mapped", d.node, string(p.ID))
-	d.notifyMapped(listeners, p)
+	d.trace.Event("translator_mapped", d.node, string(sealed.ID))
+	d.notifyMapped(listeners, sealed)
 	// Coalesced rather than immediate: a mapper importing a device burst
-	// schedules one broadcast, not O(N) full-state ones.
-	d.scheduleAnnounce()
+	// broadcasts one delta advert, not O(N) of them.
+	d.scheduleDelta()
 	return nil
 }
 
@@ -366,26 +474,35 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(d.local, id)
+	// If the add was still waiting in the coalesce window, peers never
+	// learned the id; the remove advert below is then a harmless no-op
+	// for them and the digest already excludes the entry.
+	delete(d.pendingAdds, id)
+	d.version++
+	d.localFP ^= entry.fp
+	d.gen.Add(1)
+	version, fp := d.version, d.localFP
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
 	d.cache.Invalidate(id)
 	d.trace.Event("translator_unmapped", d.node, string(id))
 	d.notifyUnmapped(listeners, id)
-	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}})
+	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}, Version: version, Fp: fp})
 	return entry.translator, nil
 }
 
 // notifyMapped runs every listener's TranslatorMapped, timing the full
 // fan-out — the listener-notify latency the paper's monitoring dimension
-// calls for (a slow listener stalls discovery propagation).
+// calls for (a slow listener stalls discovery propagation). The sealed
+// profile is shared across listeners (see Listener's read-only contract).
 func (d *Directory) notifyMapped(listeners []Listener, p core.Profile) {
 	if len(listeners) == 0 {
 		return
 	}
 	start := time.Now()
 	for _, l := range listeners {
-		l.TranslatorMapped(p.Clone())
+		l.TranslatorMapped(p)
 	}
 	d.met.notifyLat.ObserveDuration(time.Since(start))
 }
@@ -402,24 +519,46 @@ func (d *Directory) notifyUnmapped(listeners []Listener, id core.TranslatorID) {
 	d.met.notifyLat.ObserveDuration(time.Since(start))
 }
 
-// scheduleAnnounce requests a full-state broadcast after the coalesce
-// window; requests arriving while one is pending fold into it.
-func (d *Directory) scheduleAnnounce() {
+// scheduleDelta requests an incremental "add" broadcast after the
+// coalesce window; registrations arriving while one is pending fold
+// into it.
+func (d *Directory) scheduleDelta() {
 	d.mu.Lock()
-	if d.closed || d.announcePending {
+	if d.closed || d.deltaPending {
 		d.mu.Unlock()
 		return
 	}
-	d.announcePending = true
+	d.deltaPending = true
 	d.mu.Unlock()
-	time.AfterFunc(d.opts.CoalesceWindow, func() {
-		d.mu.Lock()
-		d.announcePending = false
-		closed := d.closed
+	time.AfterFunc(d.opts.CoalesceWindow, func() { d.flushDelta() })
+}
+
+// flushDelta broadcasts the coalesced "add" delta. A full-state
+// broadcast that raced ahead (AnnounceNow, sync) empties pendingAdds
+// and the flush becomes a no-op.
+func (d *Directory) flushDelta() {
+	d.mu.Lock()
+	d.deltaPending = false
+	if d.closed || len(d.pendingAdds) == 0 {
 		d.mu.Unlock()
-		if !closed {
-			d.AnnounceNow()
+		return
+	}
+	profiles := make([]core.Profile, 0, len(d.pendingAdds))
+	for id := range d.pendingAdds {
+		if e, ok := d.local[id]; ok {
+			profiles = append(profiles, e.profile)
 		}
+	}
+	clear(d.pendingAdds)
+	version, fp := d.version, d.localFP
+	d.mu.Unlock()
+	if len(profiles) == 0 {
+		return
+	}
+	d.send(advert{
+		Type: "add", Node: d.node, Profiles: profiles,
+		LeaseMillis: int64(d.lease() / time.Millisecond),
+		Version:     version, Fp: fp,
 	})
 }
 
@@ -437,39 +576,32 @@ func (d *Directory) Local(id core.TranslatorID) (core.Translator, bool) {
 // Lookup returns profiles of translators matching the query — the
 // paper's Figure 6-(1) API. Both local and remote translators are
 // returned, sorted by (Node, ID) so dynamic binding and tests see a
-// deterministic order rather than Go map iteration order.
+// deterministic order rather than Go map iteration order. Matching runs
+// against the inverted-index snapshot (see index.go) and repeated
+// queries over an unchanged population are answered from the snapshot's
+// result cache; the returned profiles are cloned, so callers own them.
 func (d *Directory) Lookup(q core.Query) []core.Profile {
-	d.mu.RLock()
-	var out []core.Profile
-	for _, e := range d.local {
-		if d.cache.Matches(q, e.profile) {
-			out = append(out, e.profile.Clone())
-		}
+	s := d.view()
+	idxs := s.lookup(q, d.cache, &d.met)
+	if len(idxs) == 0 {
+		return nil
 	}
-	for _, e := range d.remote {
-		if d.cache.Matches(q, e.profile) {
-			out = append(out, e.profile.Clone())
-		}
+	out := make([]core.Profile, len(idxs))
+	for i, ix := range idxs {
+		out[i] = s.profiles[ix].Clone()
 	}
-	d.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].ID < out[j].ID
-	})
 	return out
 }
 
-// Resolve returns the profile for a translator ID, local or remote.
+// Resolve returns the profile for a translator ID, local or remote. The
+// returned profile is shared with the directory's sealed state and must
+// be treated as read-only (every call used to pay a deep clone, which
+// dominated the transport's failover rebind loop; callers that need to
+// mutate must Clone).
 func (d *Directory) Resolve(id core.TranslatorID) (core.Profile, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if e, ok := d.local[id]; ok {
-		return e.profile.Clone(), nil
-	}
-	if e, ok := d.remote[id]; ok {
-		return e.profile.Clone(), nil
+	s := d.view()
+	if ix, ok := s.pos[id]; ok {
+		return s.profiles[ix], nil
 	}
 	return core.Profile{}, fmt.Errorf("%w: %q", ErrNotFound, id)
 }
@@ -482,10 +614,10 @@ func (d *Directory) AddListener(l Listener) {
 	d.listeners = append(d.listeners, l)
 	known := make([]core.Profile, 0, len(d.local)+len(d.remote))
 	for _, e := range d.local {
-		known = append(known, e.profile.Clone())
+		known = append(known, e.profile)
 	}
 	for _, e := range d.remote {
-		known = append(known, e.profile.Clone())
+		known = append(known, e.profile)
 	}
 	d.mu.Unlock()
 	for _, p := range known {
@@ -503,32 +635,73 @@ func (d *Directory) Size() (local, remote int) {
 // Nodes returns the names of remote nodes currently holding a liveness
 // lease, sorted.
 func (d *Directory) Nodes() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.nodes))
-	for n := range d.nodes {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Clone(d.view().nodes)
 }
 
-// AnnounceNow broadcasts the full local state immediately. Besides
-// serving AddLocal and the periodic announce tick, the transport calls
-// it when a peer connection is re-established so neighbors that
-// expired our translators during a partition relearn them promptly
-// instead of waiting for the next announce interval.
+// AnnounceNow broadcasts the full local state immediately with merge
+// semantics. Full-state broadcasts are the exception under the delta
+// protocol: they happen on join (Start), when the transport re-
+// establishes a peer connection after a partition (so neighbors that
+// expired our translators relearn them promptly), and as "sync"
+// responses to divergence reports.
 func (d *Directory) AnnounceNow() {
-	d.mu.RLock()
+	d.sendFullState("announce")
+}
+
+// sendFullState broadcasts every local profile as typ ("announce" or
+// "sync"). Any delta still waiting in the coalesce window is absorbed:
+// the full state supersedes it.
+func (d *Directory) sendFullState(typ string) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
 	profiles := make([]core.Profile, 0, len(d.local))
 	for _, e := range d.local {
-		p := e.profile.Clone()
-		p.SyncShapePorts()
-		profiles = append(profiles, p)
+		profiles = append(profiles, e.profile)
 	}
+	clear(d.pendingAdds)
+	version, fp := d.version, d.localFP
+	if typ == "sync" {
+		d.syncPending = false
+		d.lastSync = time.Now()
+	}
+	d.mu.Unlock()
+	d.send(advert{
+		Type: typ, Node: d.node, Profiles: profiles,
+		LeaseMillis: int64(d.lease() / time.Millisecond),
+		Version:     version, Fp: fp,
+	})
+}
+
+// scheduleSync answers a sync_req with a coalesced, rate-limited full
+// "sync" broadcast: several diverged peers (a batch of late joiners)
+// are served by one advert, and a flapping peer cannot make us spam
+// full state more than once per announce interval.
+func (d *Directory) scheduleSync() {
+	d.mu.Lock()
+	if d.closed || d.syncPending || time.Since(d.lastSync) < d.opts.AnnounceInterval {
+		d.mu.Unlock()
+		return
+	}
+	d.syncPending = true
+	d.mu.Unlock()
+	time.AfterFunc(d.opts.CoalesceWindow, func() { d.sendFullState("sync") })
+}
+
+// sendHeartbeat broadcasts the constant-size liveness advert: lease,
+// state version, and state fingerprint. This is the entire steady-state
+// anti-entropy traffic — O(1) per interval instead of O(population).
+func (d *Directory) sendHeartbeat() {
+	d.mu.RLock()
+	version, fp := d.version, d.localFP
 	d.mu.RUnlock()
-	lease := time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
-	d.send(advert{Type: "announce", Node: d.node, Profiles: profiles, LeaseMillis: int64(lease / time.Millisecond)})
+	d.send(advert{
+		Type: "heartbeat", Node: d.node,
+		LeaseMillis: int64(d.lease() / time.Millisecond),
+		Version:     version, Fp: fp,
+	})
 }
 
 func (d *Directory) send(a advert) {
@@ -551,6 +724,7 @@ func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
 		return
 	}
 	d.met.sent[a.Type].Inc()
+	d.met.sentBytes[a.Type].Add(uint64(len(data)))
 	if err := group.Send(data); err != nil && !errors.Is(err, netemu.ErrClosed) {
 		d.opts.Logger.Warn("directory: send advert", "err", err)
 	}
@@ -559,13 +733,14 @@ func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
 func (d *Directory) announceLoop(ctx context.Context) {
 	ticker := time.NewTicker(d.opts.AnnounceInterval)
 	defer ticker.Stop()
+	// Join: the one moment the periodic loop broadcasts full state.
 	d.AnnounceNow()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			d.AnnounceNow()
+			d.sendHeartbeat()
 			d.expireNodes()
 			d.expireStale()
 		}
@@ -594,28 +769,131 @@ func (d *Directory) receiveLoop() {
 
 func (d *Directory) handleAdvert(a advert) {
 	switch a.Type {
-	case "announce":
+	case "announce", "add":
+		// "announce" (full state — also every periodic advert of a
+		// pre-delta peer) and "add" (incremental delta) integrate with the
+		// same merge semantics; dropping stale entries is sync's job.
 		d.touchNode(a.Node, a.LeaseMillis)
-		for i := range a.Profiles {
-			p := a.Profiles[i]
-			if err := p.RestoreShape(); err != nil {
-				d.met.malformed.Inc()
-				d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
-				continue
-			}
-			d.integrate(p)
-		}
+		d.integrateAll(a.Profiles)
+		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
+	case "heartbeat":
+		d.touchNode(a.Node, a.LeaseMillis)
+		d.noteNodeState(a, true)
 	case "remove":
 		// A remove proves the sender is alive just as an announce does.
 		d.touchNode(a.Node, 0)
 		for _, id := range a.Removed {
 			d.dropRemote(id)
 		}
+		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
+	case "sync":
+		d.touchNode(a.Node, a.LeaseMillis)
+		d.reconcile(a)
+		d.noteNodeState(a, true)
+	case "sync_req":
+		d.touchNode(a.Node, 0)
+		if a.Target == d.node {
+			d.scheduleSync()
+		}
 	case "bye":
 		d.dropNode(a.Node, "translator_unmapped")
 	default:
 		d.met.malformed.Inc()
 		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
+	}
+}
+
+// integrateAll merges a batch of announced profiles, skipping malformed
+// ones.
+func (d *Directory) integrateAll(profiles []core.Profile) {
+	for i := range profiles {
+		p := profiles[i]
+		if err := p.RestoreShape(); err != nil {
+			d.met.malformed.Inc()
+			d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
+			continue
+		}
+		d.integrate(p)
+	}
+}
+
+// reconcile applies a full-state "sync" advert: merge every carried
+// profile, then drop entries of the sender that the advert no longer
+// lists — the one path that repairs over-approximation (entries the
+// sender removed while we missed the remove).
+func (d *Directory) reconcile(a advert) {
+	if a.Node == "" || a.Node == d.node {
+		return
+	}
+	present := make(map[core.TranslatorID]bool, len(a.Profiles))
+	for i := range a.Profiles {
+		if err := a.Profiles[i].RestoreShape(); err != nil {
+			d.met.malformed.Inc()
+			d.opts.Logger.Warn("directory: bad profile shape", "id", a.Profiles[i].ID, "err", err)
+			continue
+		}
+		present[a.Profiles[i].ID] = true
+		d.integrate(a.Profiles[i])
+	}
+	d.mu.Lock()
+	var dropped []core.TranslatorID
+	for id, e := range d.remote {
+		if e.profile.Node == a.Node && !present[id] {
+			delete(d.remote, id)
+			d.xorNodeFP(a.Node, e.fp)
+			dropped = append(dropped, id)
+		}
+	}
+	var listeners []Listener
+	if len(dropped) > 0 {
+		d.gen.Add(1)
+		listeners = append([]Listener(nil), d.listeners...)
+	}
+	d.mu.Unlock()
+	for _, id := range dropped {
+		d.cache.Invalidate(id)
+		d.trace.Event("translator_unmapped", d.node, string(id))
+		d.notifyUnmapped(listeners, id)
+	}
+}
+
+// noteNodeState records a versioned advert's claim about the sender's
+// state and, when our digest of that node disagrees (or we observe a
+// version gap), requests a full sync — rate-limited per node so a
+// persistent mismatch costs one request per announce interval.
+// versioned is false for adverts from pre-delta peers, which carry no
+// digest to compare.
+func (d *Directory) noteNodeState(a advert, versioned bool) {
+	if !versioned || a.Node == "" || a.Node == d.node {
+		return
+	}
+	d.mu.Lock()
+	st, known := d.nodes[a.Node]
+	if !known || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	diverged := d.nodeFP[a.Node] != a.Fp || st.version != a.Version
+	st.version = a.Version
+	var req bool
+	if diverged && time.Since(st.lastSyncReq) >= d.opts.AnnounceInterval {
+		st.lastSyncReq = time.Now()
+		req = true
+	}
+	d.mu.Unlock()
+	if req {
+		d.trace.Event("sync_request", d.node, a.Node)
+		d.send(advert{Type: "sync_req", Node: d.node, Target: a.Node})
+	}
+}
+
+// xorNodeFP folds a profile fingerprint into (or out of — XOR is its
+// own inverse) a remote node's state digest. Caller holds d.mu.
+func (d *Directory) xorNodeFP(node string, fp uint64) {
+	if v := d.nodeFP[node] ^ fp; v == 0 {
+		delete(d.nodeFP, node)
+	} else {
+		d.nodeFP[node] = v
 	}
 }
 
@@ -635,13 +913,24 @@ func (d *Directory) integrate(p core.Profile) {
 	if p.Node == d.node {
 		return // don't learn our own state back
 	}
+	sealed := p.Clone()
+	fp := sealed.Fingerprint()
 	d.mu.Lock()
 	prev, known := d.remote[p.ID]
 	// A re-announced profile with a changed shape (ports added or
 	// removed) must re-notify, or dynamic bindings never see device
 	// updates; only a byte-identical refresh is silent.
 	changed := known && !sameProfile(prev.profile, p)
-	d.remote[p.ID] = remoteEntry{profile: p.Clone(), seen: time.Now()}
+	d.remote[p.ID] = remoteEntry{profile: sealed, seen: time.Now(), fp: fp}
+	if known {
+		// The previous entry may even claim a different owning node;
+		// digests track the stored profile's claim, not the advert's.
+		d.xorNodeFP(prev.profile.Node, prev.fp)
+	}
+	d.xorNodeFP(sealed.Node, fp)
+	if !known || changed {
+		d.gen.Add(1)
+	}
 	var listeners []Listener
 	if !known || changed {
 		listeners = append([]Listener(nil), d.listeners...)
@@ -649,22 +938,24 @@ func (d *Directory) integrate(p core.Profile) {
 	d.mu.Unlock()
 	switch {
 	case !known:
-		d.trace.Event("translator_mapped", d.node, string(p.ID))
+		d.trace.Event("translator_mapped", d.node, string(sealed.ID))
 	case changed:
 		// The fingerprint embedded in each cache entry already forces a
 		// re-evaluation against the new profile; dropping the stale
 		// entries just reclaims them immediately.
-		d.cache.Invalidate(p.ID)
-		d.trace.Event("translator_updated", d.node, string(p.ID))
+		d.cache.Invalidate(sealed.ID)
+		d.trace.Event("translator_updated", d.node, string(sealed.ID))
 	}
-	d.notifyMapped(listeners, p)
+	d.notifyMapped(listeners, sealed)
 }
 
 func (d *Directory) dropRemote(id core.TranslatorID) {
 	d.mu.Lock()
-	_, known := d.remote[id]
+	e, known := d.remote[id]
 	if known {
 		delete(d.remote, id)
+		d.xorNodeFP(e.profile.Node, e.fp)
+		d.gen.Add(1)
 	}
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
@@ -684,7 +975,7 @@ func (d *Directory) touchNode(node string, leaseMillis int64) {
 	if node == "" || node == d.node {
 		return
 	}
-	lease := time.Duration(leaseMillis) * time.Millisecond
+	lease := d.clampLease(leaseMillis)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -699,10 +990,11 @@ func (d *Directory) touchNode(node string, leaseMillis int64) {
 		return
 	}
 	if lease <= 0 {
-		lease = time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+		lease = d.lease()
 	}
 	d.nodes[node] = &nodeState{lastSeen: time.Now(), lease: lease}
 	d.met.liveNodes.Set(int64(len(d.nodes)))
+	d.gen.Add(1)
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 	d.trace.Event("node_up", d.node, node)
@@ -719,6 +1011,9 @@ func (d *Directory) touchNode(node string, leaseMillis int64) {
 // is the per-translator trace kind ("translator_unmapped" for a graceful
 // bye, "expiry" for silence). Returns how many translators were dropped.
 func (d *Directory) dropNode(node string, entryTrace string) int {
+	if node == "" {
+		return 0
+	}
 	d.mu.Lock()
 	_, wasLive := d.nodes[node]
 	delete(d.nodes, node)
@@ -731,6 +1026,11 @@ func (d *Directory) dropNode(node string, entryTrace string) int {
 			dropped = append(dropped, id)
 			delete(d.remote, id)
 		}
+	}
+	// Dropping every entry of the node zeroes its digest by definition.
+	delete(d.nodeFP, node)
+	if wasLive || len(dropped) > 0 {
+		d.gen.Add(1)
 	}
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
@@ -778,17 +1078,28 @@ func (d *Directory) expireNodes() {
 }
 
 // expireStale drops remote translators whose node has been silent past
-// the TTL.
+// the TTL. Under the delta protocol an entry is only re-announced on
+// sync, so staleness is judged against the owning node's last liveness
+// signal (heartbeats renew the whole node), with the entry's own seen
+// time as the backstop for entries whose claimed node never announced
+// itself.
 func (d *Directory) expireStale() {
-	ttl := time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
-	cutoff := time.Now().Add(-ttl)
+	cutoff := time.Now().Add(-d.lease())
 	d.mu.Lock()
 	var dropped []core.TranslatorID
 	for id, e := range d.remote {
-		if e.seen.Before(cutoff) {
+		seen := e.seen
+		if st, ok := d.nodes[e.profile.Node]; ok && st.lastSeen.After(seen) {
+			seen = st.lastSeen
+		}
+		if seen.Before(cutoff) {
 			dropped = append(dropped, id)
 			delete(d.remote, id)
+			d.xorNodeFP(e.profile.Node, e.fp)
 		}
+	}
+	if len(dropped) > 0 {
+		d.gen.Add(1)
 	}
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()

@@ -173,7 +173,8 @@ func TestAddLocalCoalescesAnnounces(t *testing.T) {
 	}
 	defer d.Close()
 	time.Sleep(50 * time.Millisecond) // drain Start's initial announce
-	base := poll()["announce"]
+	baseline := poll()
+	base := baseline["add"]
 
 	const burst = 20
 	for i := 0; i < burst; i++ {
@@ -182,14 +183,20 @@ func TestAddLocalCoalescesAnnounces(t *testing.T) {
 		}
 	}
 	time.Sleep(150 * time.Millisecond)
-	announces := poll()["announce"] - base
-	if announces == 0 {
-		t.Fatal("burst produced no announce at all")
+	counts := poll()
+	adds := counts["add"] - base
+	if adds == 0 {
+		t.Fatal("burst produced no add advert at all")
 	}
 	// Pre-fix this is exactly `burst`; coalescing gets it to 1 (a
 	// scheduler hiccup may split the burst, so allow a little slack).
-	if announces > 3 {
-		t.Fatalf("burst of %d AddLocals produced %d announces, want coalesced (<=3)", burst, announces)
+	if adds > 3 {
+		t.Fatalf("burst of %d AddLocals produced %d add adverts, want coalesced (<=3)", burst, adds)
+	}
+	// Under the delta protocol a registration burst must not trigger
+	// full-state rebroadcasts either.
+	if got := counts["announce"] - baseline["announce"]; got != 0 {
+		t.Fatalf("burst produced %d full announces, want 0 (deltas only)", got)
 	}
 }
 
@@ -220,12 +227,19 @@ func TestRemoveAfterCloseSafe(t *testing.T) {
 	}
 	d.AnnounceNow()                  // must be a silent no-op
 	d.send(advert{Type: "announce"}) // likewise
-	d.scheduleAnnounce()
+	d.scheduleDelta()
+	d.scheduleSync()
+	d.sendHeartbeat()
 	time.Sleep(100 * time.Millisecond)
 
 	after := poll()
-	if before["remove"] != after["remove"] || before["announce"] != after["announce"] {
-		t.Fatalf("adverts escaped after Close: before=%v after=%v", before, after)
+	for _, typ := range advertTypes {
+		if typ == "bye" {
+			continue
+		}
+		if before[typ] != after[typ] {
+			t.Fatalf("%s adverts escaped after Close: before=%v after=%v", typ, before, after)
+		}
 	}
 	if after["bye"] != 1 {
 		t.Fatalf("bye count = %d, want exactly 1", after["bye"])

@@ -1,0 +1,359 @@
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+	"repro/internal/obs"
+)
+
+// indexModel is the brute-force reference the indexed directory is
+// checked against: a flat profile set plus the live-node set, mutated
+// by the same operations the directory sees.
+type indexModel struct {
+	profiles map[core.TranslatorID]core.Profile
+	nodes    map[string]bool
+}
+
+func newIndexModel() *indexModel {
+	return &indexModel{profiles: map[core.TranslatorID]core.Profile{}, nodes: map[string]bool{}}
+}
+
+// lookup is the spec: scan everything, keep matches, sort by (Node, ID).
+func (m *indexModel) lookup(q core.Query) []core.Profile {
+	var out []core.Profile
+	for _, p := range m.profiles {
+		if q.Matches(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (m *indexModel) nodeList() []string {
+	out := make([]string, 0, len(m.nodes))
+	for n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// equivProfile compares what Lookup returned against the model's
+// profile for the same ID.
+func equivProfile(got, want core.Profile) bool {
+	return sameProfile(got, want)
+}
+
+var equivPortSets = [][]core.Port{
+	{{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"}},
+	{{Name: "img-out", Kind: core.Digital, Direction: core.Output, Type: "image/jpeg"}},
+	{
+		{Name: "img-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+		{Name: "screen", Kind: core.Physical, Direction: core.Output, Type: "visible/screen"},
+	},
+	{
+		{Name: "audio-in", Kind: core.Digital, Direction: core.Input, Type: "audio/pcm"},
+		{Name: "air", Kind: core.Physical, Direction: core.Output, Type: "audible/air"},
+	},
+	{{Name: "ctl", Kind: core.Physical, Direction: core.Input, Type: "visible/paper"}},
+}
+
+// equivQueries mixes indexed criteria (node, platform, device type,
+// ports) with scan-only ones (attributes, name substring) and
+// intersections of several.
+var equivQueries = []core.Query{
+	{},
+	core.QueryAccepting("image/jpeg", "visible/*"),
+	core.QueryProducing("image/jpeg"),
+	{Node: "h2"},
+	{Node: "h9"}, // never exists
+	{Platform: "UMIDDLE"},
+	{Platform: "umiddle", DeviceType: "sensor"},
+	{DeviceType: "tv"},
+	{NameContains: "dev-1"},
+	{Attributes: map[string]string{"room": "room-1"}},
+	{Node: "h3", Ports: []core.PortTemplate{{Direction: core.Input, Kind: core.Digital}}},
+	{Ports: []core.PortTemplate{{Kind: core.Physical, Direction: core.Output, Type: "visible/*"}}},
+	{Ports: []core.PortTemplate{{Type: "*/*"}}},
+	{Ports: []core.PortTemplate{{Direction: core.Input}, {Direction: core.Output}}},
+}
+
+// equivProfileFor builds a deterministic wire-ready profile for
+// (node, slot, shape variant).
+func equivProfileFor(node string, slot, variant int) core.Profile {
+	p := core.Profile{
+		ID:         core.MakeTranslatorID(node, "umiddle", fmt.Sprintf("dev-%d", slot)),
+		Name:       fmt.Sprintf("dev-%d", slot),
+		Platform:   "umiddle",
+		DeviceType: []string{"camera", "tv", "sensor"}[variant%3],
+		Node:       node,
+		Shape:      core.MustShape(equivPortSets[variant%len(equivPortSets)]...),
+		Attributes: map[string]string{"room": fmt.Sprintf("room-%d", slot%3)},
+	}
+	p.SyncShapePorts()
+	return p
+}
+
+// TestIndexedLookupEquivalenceProperty drives a directory through a
+// randomized add / remove / re-announce / sync / crash workload and
+// after every operation checks Lookup, Resolve, and Nodes against a
+// brute-force model. This is the tentpole's correctness property: the
+// inverted index plus result cache must be observationally identical to
+// the scan it replaced.
+func TestIndexedLookupEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	model := newIndexModel()
+	remoteNodes := []string{"h2", "h3", "h4"}
+
+	// applyRemote routes one advert through both directory and model.
+	applyRemote := func(a advert) {
+		d.handleAdvert(a)
+		switch a.Type {
+		case "announce", "add":
+			if a.Node != "" {
+				model.nodes[a.Node] = true
+			}
+			for _, p := range a.Profiles {
+				model.profiles[p.ID] = p
+			}
+		case "remove":
+			if a.Node != "" {
+				model.nodes[a.Node] = true
+			}
+			for _, id := range a.Removed {
+				delete(model.profiles, id)
+			}
+		case "sync":
+			if a.Node != "" {
+				model.nodes[a.Node] = true
+			}
+			present := map[core.TranslatorID]bool{}
+			for _, p := range a.Profiles {
+				model.profiles[p.ID] = p
+				present[p.ID] = true
+			}
+			for id, p := range model.profiles {
+				if p.Node == a.Node && !present[id] {
+					delete(model.profiles, id)
+				}
+			}
+		case "bye":
+			delete(model.nodes, a.Node)
+			for id, p := range model.profiles {
+				if p.Node == a.Node {
+					delete(model.profiles, id)
+				}
+			}
+		}
+	}
+
+	check := func(step int) {
+		t.Helper()
+		for qi, q := range equivQueries {
+			got := d.Lookup(q)
+			want := model.lookup(q)
+			if len(got) != len(want) {
+				t.Fatalf("step %d query %d: got %d profiles, want %d", step, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("step %d query %d: result %d = %s, want %s (order or content diverged)",
+						step, qi, i, got[i].ID, want[i].ID)
+				}
+				if !equivProfile(got[i], want[i]) {
+					t.Fatalf("step %d query %d: profile %s content diverged", step, qi, got[i].ID)
+				}
+			}
+		}
+		// Resolve agrees for a sample of known and unknown IDs.
+		for id, want := range model.profiles {
+			got, err := d.Resolve(id)
+			if err != nil {
+				t.Fatalf("step %d: Resolve(%s): %v", step, id, err)
+			}
+			if !equivProfile(got, want) {
+				t.Fatalf("step %d: Resolve(%s) content diverged", step, id)
+			}
+			break // one per step keeps the test fast
+		}
+		if _, err := d.Resolve(core.MakeTranslatorID("h9", "umiddle", "ghost")); err == nil {
+			t.Fatalf("step %d: Resolve of unknown id succeeded", step)
+		}
+		gotNodes := d.Nodes()
+		wantNodes := model.nodeList()
+		if len(gotNodes) != len(wantNodes) {
+			t.Fatalf("step %d: Nodes() = %v, want %v", step, gotNodes, wantNodes)
+		}
+		for i := range gotNodes {
+			if gotNodes[i] != wantNodes[i] {
+				t.Fatalf("step %d: Nodes() = %v, want %v", step, gotNodes, wantNodes)
+			}
+		}
+	}
+
+	localSlot := 0
+	for step := 0; step < 500; step++ {
+		switch op := rng.Intn(10); op {
+		case 0, 1: // register a local translator
+			p := equivProfileFor("h1", localSlot, rng.Intn(len(equivPortSets)))
+			localSlot++
+			if err := d.AddLocal(core.MustBase(p)); err != nil {
+				t.Fatalf("step %d: AddLocal: %v", step, err)
+			}
+			model.profiles[p.ID] = p
+		case 2: // remove a random local translator
+			if localSlot == 0 {
+				continue
+			}
+			id := core.MakeTranslatorID("h1", "umiddle", fmt.Sprintf("dev-%d", rng.Intn(localSlot)))
+			if _, err := d.RemoveLocal(id); err == nil {
+				delete(model.profiles, id)
+			}
+		case 3, 4: // remote announce/add (merge) of 1-3 profiles
+			node := remoteNodes[rng.Intn(len(remoteNodes))]
+			typ := []string{"announce", "add"}[rng.Intn(2)]
+			n := 1 + rng.Intn(3)
+			profiles := make([]core.Profile, 0, n)
+			for i := 0; i < n; i++ {
+				profiles = append(profiles, equivProfileFor(node, rng.Intn(8), rng.Intn(len(equivPortSets))))
+			}
+			applyRemote(advert{Type: typ, Node: node, Profiles: profiles, Version: uint64(step), Fp: rng.Uint64()})
+		case 5: // re-announce with a changed shape under a stable ID
+			node := remoteNodes[rng.Intn(len(remoteNodes))]
+			p := equivProfileFor(node, rng.Intn(8), rng.Intn(len(equivPortSets)))
+			applyRemote(advert{Type: "announce", Node: node, Profiles: []core.Profile{p}})
+		case 6: // remote remove
+			node := remoteNodes[rng.Intn(len(remoteNodes))]
+			id := core.MakeTranslatorID(node, "umiddle", fmt.Sprintf("dev-%d", rng.Intn(8)))
+			applyRemote(advert{Type: "remove", Node: node, Removed: []core.TranslatorID{id}})
+		case 7: // full sync: reconcile drops whatever the advert omits
+			node := remoteNodes[rng.Intn(len(remoteNodes))]
+			n := rng.Intn(4)
+			profiles := make([]core.Profile, 0, n)
+			for i := 0; i < n; i++ {
+				profiles = append(profiles, equivProfileFor(node, rng.Intn(8), rng.Intn(len(equivPortSets))))
+			}
+			applyRemote(advert{Type: "sync", Node: node, Profiles: profiles, Version: uint64(step), Fp: rng.Uint64()})
+		case 8: // node crash (bye is the deterministic stand-in for lease lapse)
+			node := remoteNodes[rng.Intn(len(remoteNodes))]
+			applyRemote(advert{Type: "bye", Node: node})
+		case 9: // spoofed provenance: advert node differs from profile node
+			from := remoteNodes[rng.Intn(len(remoteNodes))]
+			owner := remoteNodes[rng.Intn(len(remoteNodes))]
+			p := equivProfileFor(owner, rng.Intn(8), rng.Intn(len(equivPortSets)))
+			applyRemote(advert{Type: "announce", Node: from, Profiles: []core.Profile{p}})
+		}
+		check(step)
+	}
+
+	// The workload must actually have exercised the result cache.
+	reg := d.Obs()
+	hits := reg.Counter("umiddle_directory_query_cache_hits_total", obs.Labels{"node": "h1"}).Value()
+	if hits == 0 {
+		t.Fatal("equivalence workload never hit the query-result cache")
+	}
+}
+
+// TestRemoveLocalEvictsQueryCache: a cached query result must not
+// survive RemoveLocal — the next Lookup re-evaluates against the new
+// population.
+func TestRemoveLocalEvictsQueryCache(t *testing.T) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	for _, name := range []string{"a", "b"} {
+		if err := d.AddLocal(testTranslator(t, "h1", name)); err != nil {
+			t.Fatalf("AddLocal: %v", err)
+		}
+	}
+	q := core.QueryProducing("text/plain")
+	if got := d.Lookup(q); len(got) != 2 {
+		t.Fatalf("Lookup = %d profiles, want 2", len(got))
+	}
+	reg := d.Obs()
+	hitsBefore := reg.Counter("umiddle_directory_query_cache_hits_total", obs.Labels{"node": "h1"}).Value()
+	if got := d.Lookup(q); len(got) != 2 {
+		t.Fatalf("repeat Lookup = %d profiles, want 2", len(got))
+	}
+	hits := reg.Counter("umiddle_directory_query_cache_hits_total", obs.Labels{"node": "h1"}).Value()
+	if hits != hitsBefore+1 {
+		t.Fatalf("repeat Lookup did not hit the query cache (hits %d -> %d)", hitsBefore, hits)
+	}
+
+	id := core.MakeTranslatorID("h1", "umiddle", "a")
+	if _, err := d.RemoveLocal(id); err != nil {
+		t.Fatalf("RemoveLocal: %v", err)
+	}
+	got := d.Lookup(q)
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("Lookup after RemoveLocal = %v, want just b", got)
+	}
+}
+
+// TestIndexSizeGauge: the index-size gauge tracks the snapshot
+// population.
+func TestIndexSizeGauge(t *testing.T) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	if err := d.AddLocal(testTranslator(t, "h1", "a")); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+	d.handleAdvert(advert{Type: "announce", Node: "h2", Profiles: []core.Profile{remoteProfile("h2", "tv")}})
+	d.Lookup(core.Query{}) // force a snapshot build
+	g := d.Obs().Gauge("umiddle_directory_index_size", obs.Labels{"node": "h1"})
+	if g.Value() != 2 {
+		t.Fatalf("index size gauge = %d, want 2", g.Value())
+	}
+	d.handleAdvert(advert{Type: "bye", Node: "h2"})
+	d.Lookup(core.Query{})
+	if g.Value() != 1 {
+		t.Fatalf("index size gauge after bye = %d, want 1", g.Value())
+	}
+}
+
+// TestNodeDownEvictsQueryCache: the invalidation edge the transport's
+// failover depends on — after a crashed peer's lease lapses, a query
+// whose result was cached while the peer was alive must stop returning
+// its translators.
+func TestNodeDownEvictsQueryCache(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, fastOpts()), New("h2", h2, fastOpts())
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	d2.AddLocal(testTranslator(t, "h2", "cam"))
+	q := core.QueryProducing("text/plain")
+	waitFor(t, 2*time.Second, func() bool { return len(d1.Lookup(q)) == 1 })
+	// Prime the cache hard: repeated lookups over a stable population all
+	// hit the same snapshot entry.
+	for i := 0; i < 10; i++ {
+		if len(d1.Lookup(q)) != 1 {
+			t.Fatal("lookup flapped while peer alive")
+		}
+	}
+
+	if _, err := net.CrashNode("h2"); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(d1.Lookup(q)) == 0 })
+	if nodes := d1.Nodes(); len(nodes) != 0 {
+		t.Fatalf("Nodes() after crash = %v, want empty", nodes)
+	}
+}

@@ -1,0 +1,95 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchProfile builds the i-th member of a synthetic remote population,
+// cycling a few shapes so queries see realistic selectivity.
+func benchProfile(node string, i int) core.Profile {
+	shapes := [][]core.Port{
+		{{Name: "image-out", Kind: core.Digital, Direction: core.Output, Type: "image/jpeg"}},
+		{
+			{Name: "image-in", Kind: core.Digital, Direction: core.Input, Type: "image/jpeg"},
+			{Name: "screen", Kind: core.Physical, Direction: core.Output, Type: "visible/screen"},
+		},
+		{{Name: "reading", Kind: core.Digital, Direction: core.Output, Type: "text/plain"}},
+	}
+	p := core.Profile{
+		ID:         core.MakeTranslatorID(node, "umiddle", fmt.Sprintf("dev-%d", i)),
+		Name:       fmt.Sprintf("dev-%d", i),
+		Platform:   "umiddle",
+		DeviceType: []string{"camera", "tv", "sensor"}[i%3],
+		Node:       node,
+		Shape:      core.MustShape(shapes[i%len(shapes)]...),
+		Attributes: map[string]string{"room": fmt.Sprintf("room-%d", i%50)},
+	}
+	p.SyncShapePorts()
+	return p
+}
+
+// populate fills a standalone directory with local and remote entries.
+func populate(b *testing.B, d *Directory, local, remote int) {
+	b.Helper()
+	for i := 0; i < local; i++ {
+		p := benchProfile(d.Node(), i)
+		if err := d.AddLocal(core.MustBase(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < remote; i++ {
+		node := fmt.Sprintf("peer-%d", i%4)
+		d.handleAdvert(advert{Type: "announce", Node: node, Profiles: []core.Profile{benchProfile(node, local+i)}})
+	}
+}
+
+// BenchmarkLookup10k is the binding-storm probe: a selective port query
+// against a 10k-translator population.
+func BenchmarkLookup10k(b *testing.B) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	populate(b, d, 100, 9900)
+	q := core.QueryAccepting("image/jpeg", "visible/*")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(q)
+	}
+}
+
+// BenchmarkResolve measures the per-call cost of resolving one profile
+// out of a large population (the transport does this per Connect and
+// per failover rebind).
+func BenchmarkResolve(b *testing.B) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	populate(b, d, 100, 9900)
+	id := benchProfile("peer-1", 501).ID
+	if _, err := d.Resolve(id); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Resolve(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnounceBuild measures building one full-state advert for a
+// 1k-translator node (the group is nil, so marshal/send is excluded —
+// this isolates the profile-collection path).
+func BenchmarkAnnounceBuild(b *testing.B) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	populate(b, d, 1000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AnnounceNow()
+	}
+}

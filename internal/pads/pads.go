@@ -269,6 +269,13 @@ func (b *Board) RenderMetrics() string {
 		}
 		fmt.Fprintf(&sb, "    %-48s %s %d\n", c.Name, labelSuffix(c.Labels), c.Value)
 	}
+	fmt.Fprintln(&sb, "  gauges:")
+	for _, g := range snap.Gauges {
+		if g.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-48s %s %d\n", g.Name, labelSuffix(g.Labels), g.Value)
+	}
 	fmt.Fprintln(&sb, "  latencies:")
 	for _, h := range snap.Histograms {
 		if h.Count == 0 {

@@ -278,6 +278,8 @@ func TestBoardStatsCommand(t *testing.T) {
 	}
 	for _, want := range []string{
 		"uMiddle metrics — node pads-node",
+		"gauges:",
+		"umiddle_directory_index_size",
 		"umiddle_transport_delivery_latency_seconds",
 		"translator_mapped",
 		"path_connect",

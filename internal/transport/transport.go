@@ -1586,7 +1586,10 @@ func (m *Module) failDestination(pt *path, id core.TranslatorID) {
 }
 
 // rebind re-runs a dynamic path's query against the directory and binds
-// every compatible candidate.
+// every compatible candidate. A node crash makes every dynamic path
+// re-query at once; the directory serves the storm from its indexed
+// snapshot, and all paths sharing a query template hit the same cached
+// result set.
 func (m *Module) rebind(pt *path) {
 	if pt.query == nil {
 		return

@@ -25,10 +25,11 @@ go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./inte
 go test -race $short_flag -run 'TestSoakChurnAndFaults' ./internal/integration/
 go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/integration/
 
-# Fuzz smoke: 5 seconds per wire-codec target. Patterns are anchored —
+# Fuzz smoke: 5 seconds per wire-facing target. Patterns are anchored —
 # -fuzz must match exactly one target per invocation.
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 5s
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRead$' -fuzztime 5s
+go test ./internal/directory/ -run '^$' -fuzz '^FuzzHandleAdvert$' -fuzztime 5s
 
 # Benchharness smoke: one mapping iteration, JSON row dump must appear.
 tmpdir="$(mktemp -d)"
@@ -43,4 +44,10 @@ go build -o "$tmpdir/benchgate" ./cmd/benchgate
 (cd "$tmpdir" && ./benchharness -exp hotpath -msgs 8000 -json >/dev/null)
 "$tmpdir/benchgate" BENCH_fig11.json "$tmpdir/BENCH_fig11.json"
 "$tmpdir/benchgate" BENCH_hotpath.json "$tmpdir/BENCH_hotpath.json"
+
+# Directory-scale gate: a short-window dirscale run must keep lookup
+# throughput within 3x of the committed baseline and steady-state advert
+# bandwidth within 3x above it (the delta-anti-entropy guarantee).
+(cd "$tmpdir" && ./benchharness -exp dirscale -window 300ms -json >/dev/null)
+"$tmpdir/benchgate" BENCH_dirscale.json "$tmpdir/BENCH_dirscale.json"
 rm -rf "$tmpdir"
