@@ -115,6 +115,7 @@ var gatedFields = []struct {
 	{"MeasuredMbps", false},
 	{"LookupsPerSec", false},
 	{"AdvertBytesPerSec", true},
+	{"IntegratedAdvertBytes", true},
 }
 
 // rowMetrics extracts every gateable metric present in the row.

@@ -272,12 +272,12 @@ func printDirScale(pops []int, window time.Duration, writeJSON jsonWriter) error
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "test\tpop\tnodes\tconverge\tlookups/s\tmean\tp99\tadvert B/s")
+	fmt.Fprintln(w, "test\tpop\tnodes\tconverge\tlookups/s\tmean\tp99\tadvert B/s\tobs pop\tobs integ B")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\t%.0f\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\t%.0f\t%d\t%.0f\n",
 			r.Test, r.Population, r.Nodes, r.ConvergeTime.Round(time.Millisecond),
 			r.LookupsPerSec, r.LookupMean.Round(time.Microsecond), r.LookupP99.Round(time.Microsecond),
-			r.AdvertBytesPerSec)
+			r.AdvertBytesPerSec, r.ObserverPopulation, r.IntegratedAdvertBytes)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -286,7 +286,9 @@ func printDirScale(pops []int, window time.Duration, writeJSON jsonWriter) error
 		return err
 	}
 	fmt.Println("shape check: lookup rate must not collapse with population (indexed, not O(N) scans),")
-	fmt.Println("and steady-state advert bandwidth must not grow O(N) (delta anti-entropy, not full-state).")
+	fmt.Println("steady-state advert bandwidth must not grow O(N) (delta anti-entropy, not full-state),")
+	fmt.Println("and the filtered observer's integrated advert bytes must sit well under the")
+	fmt.Println("unfiltered observer's at the same population (interest-driven selective propagation).")
 	fmt.Println()
 	return nil
 }

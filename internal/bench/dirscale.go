@@ -39,6 +39,17 @@ type DirScaleRow struct {
 	// Window is the measurement window used for the lookup and bandwidth
 	// phases.
 	Window time.Duration
+	// Filtered marks the interest-filtered variant: the observer node
+	// declares a 10%-coverage interest set instead of hearing everything.
+	Filtered bool
+	// ObserverPopulation is how many remote profiles the observer node
+	// converged to (the full population unfiltered, its interest subset
+	// filtered).
+	ObserverPopulation int
+	// IntegratedAdvertBytes is the observer node's integrated advert
+	// payload bytes over the whole run — the per-node cost of joining
+	// the population, which interest filtering is meant to cut.
+	IntegratedAdvertBytes float64
 }
 
 // dirScaleAnnounce is the announce cadence for the scalability runs:
@@ -112,14 +123,28 @@ func dirScaleProfile(node string, i int) core.Profile {
 	}
 }
 
-// runDirScale measures one population point.
-func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
+// dirScaleInterestRooms is the observer's interest set in the filtered
+// variant: 5 of the population's 50 rooms, i.e. 10% coverage.
+const dirScaleInterestRooms = 5
+
+// runDirScale measures one population point. With filtered set, the
+// observer node runs under interest filtering with a 10%-coverage
+// interest set; otherwise it hears everything — the pair of rows
+// quantifies what selective propagation saves a mostly-disinterested
+// node.
+func runDirScale(population int, window time.Duration, filtered bool) (DirScaleRow, error) {
 	const nodes = 3
+	const observer = "watch"
+	name := fmt.Sprintf("dirscale N=%d", population)
+	if filtered {
+		name += " filtered"
+	}
 	row := DirScaleRow{
-		Test:       fmt.Sprintf("dirscale N=%d", population),
+		Test:       name,
 		Population: population,
 		Nodes:      nodes,
 		Window:     window,
+		Filtered:   filtered,
 	}
 	net := netemu.NewNetwork(netemu.Unlimited())
 	defer net.Close()
@@ -144,17 +169,43 @@ func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
 		defer dirs[i].Close()
 	}
 
+	// The observer hosts nothing: it only integrates the population, so
+	// its integrated-bytes counter isolates the join cost of one node.
+	obsHost, err := net.AddHost(observer)
+	if err != nil {
+		return row, err
+	}
+	obsReg := obs.NewRegistry()
+	watch := directory.New(observer, obsHost, directory.Options{
+		AnnounceInterval: dirScaleAnnounce,
+		Obs:              obsReg,
+		Interest:         filtered,
+	})
+	if filtered {
+		for r := 0; r < dirScaleInterestRooms; r++ {
+			watch.RegisterInterest(core.Query{Attributes: map[string]string{"room": fmt.Sprintf("room-%d", r)}})
+		}
+	}
+	if err := watch.Start(); err != nil {
+		return row, err
+	}
+	defer watch.Close()
+
 	// Registration + convergence: node i hosts population/nodes members
 	// (node 0 absorbs the remainder).
 	per := population / nodes
 	start := time.Now()
 	idx := 0
+	expectedObs := 0
 	for i := 0; i < nodes; i++ {
 		n := per
 		if i == 0 {
 			n += population - per*nodes
 		}
 		for j := 0; j < n; j++ {
+			if !filtered || idx%50 < dirScaleInterestRooms {
+				expectedObs++
+			}
 			tr := core.MustBase(dirScaleProfile(names[i], idx))
 			if err := dirs[i].AddLocal(tr); err != nil {
 				return row, err
@@ -162,13 +213,15 @@ func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
 			idx++
 		}
 	}
+	row.ObserverPopulation = expectedObs
 	if err := waitCond(120*time.Second, func() bool {
 		for _, d := range dirs {
 			if l, r := d.Size(); l+r != population {
 				return false
 			}
 		}
-		return true
+		_, r := watch.Size()
+		return r == expectedObs
 	}); err != nil {
 		return row, fmt.Errorf("population %d did not converge: %w", population, err)
 	}
@@ -200,6 +253,15 @@ func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
 	time.Sleep(steadyWindow)
 	bwElapsed := time.Since(bwStart)
 	row.AdvertBytesPerSec = float64(bytesSent()-before) / bwElapsed.Seconds()
+
+	// The observer's integration cost accrued almost entirely during the
+	// join; read it after the steady window so late reconciliation syncs
+	// are included.
+	for _, c := range obsReg.Snapshot().Counters {
+		if c.Name == "umiddle_directory_advert_bytes_integrated_total" && c.Labels["node"] == observer {
+			row.IntegratedAdvertBytes += float64(c.Value)
+		}
+	}
 
 	// Binding-storm lookups: cycle the workload queries against node 0
 	// for the window, timing each call.
@@ -233,7 +295,8 @@ func runDirScale(population int, window time.Duration) (DirScaleRow, error) {
 }
 
 // RunDirScale runs the directory scalability benchmark at the given
-// population points (default 100 / 1k / 10k when pops is empty). window
+// population points (default 100 / 1k / 10k when pops is empty), then
+// repeats the largest point with an interest-filtered observer. window
 // bounds the lookup and steady-state measurement phases per point.
 func RunDirScale(pops []int, window time.Duration) ([]DirScaleRow, error) {
 	if len(pops) == 0 {
@@ -243,12 +306,21 @@ func RunDirScale(pops []int, window time.Duration) ([]DirScaleRow, error) {
 		window = time.Second
 	}
 	var rows []DirScaleRow
+	largest := 0
 	for _, n := range pops {
-		row, err := runDirScale(n, window)
+		row, err := runDirScale(n, window, false)
 		if err != nil {
 			return nil, fmt.Errorf("bench: dirscale N=%d: %w", n, err)
 		}
 		rows = append(rows, row)
+		if n > largest {
+			largest = n
+		}
 	}
+	row, err := runDirScale(largest, window, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dirscale N=%d filtered: %w", largest, err)
+	}
+	rows = append(rows, row)
 	return rows, nil
 }

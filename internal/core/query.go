@@ -136,6 +136,25 @@ func (q Query) CacheKey() string {
 	return sb.String()
 }
 
+// Summarize strips the criteria that do not belong in a shared interest
+// summary. ExcludeID exists to avoid self-matches on the querying node;
+// a remote sender cannot know which candidate the receiver will exclude,
+// so the summary keeps the profile-shape criteria only. The result is a
+// safe over-approximation: everything the original query matches, the
+// summary matches too.
+func (q Query) Summarize() Query {
+	q.ExcludeID = ""
+	return q
+}
+
+// Fingerprint hashes the query's canonical form (FNV-1a over CacheKey).
+// Two queries with equal fingerprints match the same profiles, up to hash
+// collisions; the directory uses it to name interest summaries on the
+// wire without shipping the full predicate.
+func (q Query) Fingerprint() uint64 {
+	return fnvString(fnvOffset, q.CacheKey())
+}
+
 // Empty reports whether the query has no criteria (matches everything).
 func (q Query) Empty() bool {
 	return q.Platform == "" && q.DeviceType == "" && q.NameContains == "" &&

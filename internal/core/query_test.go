@@ -274,3 +274,40 @@ func TestQueryCacheKeyDistinguishesFields(t *testing.T) {
 		}
 	}
 }
+
+// Summarize must widen, never narrow: every profile the original query
+// matches must also match the summary.
+func TestQuerySummarizeOverApproximates(t *testing.T) {
+	p := Profile{ID: "n1/upnp/tv", Name: "TV", Platform: "upnp", DeviceType: "display", Node: "n1"}
+	q := Query{Platform: "upnp", ExcludeID: "n1/upnp/tv"}
+	if q.Matches(p) {
+		t.Fatal("sanity: ExcludeID should reject the profile")
+	}
+	s := q.Summarize()
+	if !s.Matches(p) {
+		t.Fatal("summary must drop ExcludeID and match the profile")
+	}
+	if s.ExcludeID != "" {
+		t.Fatalf("summary retains ExcludeID %q", s.ExcludeID)
+	}
+	// All other criteria survive.
+	if !s.Matches(p) || s.Matches(Profile{ID: "n1/ble/tag", Platform: "ble"}) {
+		t.Fatal("summary must keep the platform criterion")
+	}
+}
+
+// Fingerprint must be stable across attribute map order and distinguish
+// distinct predicates.
+func TestQueryFingerprint(t *testing.T) {
+	q1 := Query{Attributes: map[string]string{"a": "1", "b": "2"}}
+	q2 := Query{Attributes: map[string]string{"b": "2", "a": "1"}}
+	if q1.Fingerprint() != q2.Fingerprint() {
+		t.Fatal("fingerprint depends on attribute order")
+	}
+	if (Query{Platform: "upnp"}).Fingerprint() == (Query{Platform: "ble"}).Fingerprint() {
+		t.Fatal("distinct queries share a fingerprint")
+	}
+	if (Query{}).Fingerprint() == 0 {
+		t.Fatal("zero query should still hash to the FNV offset basis, not 0")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"maps"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -141,6 +142,20 @@ type advert struct {
 	Fp uint64 `json:"fp,omitempty"`
 	// Target names the node a "sync_req" is addressed to.
 	Target string `json:"target,omitempty"`
+	// Interest is the sender's interest summary, gossiped on heartbeats
+	// and announces when interest filtering is enabled.
+	Interest *InterestSummary `json:"interest,omitempty"`
+	// Ifps carries the sender's per-interest state digests: for each
+	// distinct peer interest summary the sender tracks (keyed by the
+	// summary fingerprint in decimal), the XOR of the fingerprints of
+	// the sender's local profiles matching it. A filtered receiver
+	// compares its view against its own entry instead of Fp.
+	Ifps map[string]uint64 `json:"ifps,omitempty"`
+	// Filtered marks a profile-carrying advert whose list was restricted
+	// to peer interests: receivers whose interest the sender provably
+	// covered (their summary appears in Ifps) may still reconcile
+	// against it; everyone else must treat it as merge-only.
+	Filtered bool `json:"filtered,omitempty"`
 }
 
 // Options configures a Directory.
@@ -157,6 +172,31 @@ type Options struct {
 	Obs *obs.Registry
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
+	// Interest enables interest-driven selective propagation: the node
+	// gossips its interest summary (registered queries and pinned
+	// bindings; everything until the first registration), integrates
+	// only matching remote profiles, and compares state digests scoped
+	// to its interest. Senders filter regardless of this flag — it is
+	// the receivers' declared interests that drive filtering.
+	Interest bool
+	// Remap mounts remote wire namespaces under local prefixes at advert
+	// ingress; bindings are translated back at the boundary. Invalid
+	// rule sets make New panic — validate with Options.Validate first.
+	Remap []RemapRule
+	// ACL admits or rejects advert ingress per boundary, first match
+	// wins, default allow. Invalid rules make New panic.
+	ACL []ACLRule
+}
+
+// Validate checks the option set's remap and ACL rules. New panics on
+// rules this rejects; front ends that take rule sets from configuration
+// should call it and surface the error instead.
+func (o Options) Validate() error {
+	if _, err := newRemapper(o.Remap); err != nil {
+		return err
+	}
+	_, err := newACLFilter(o.ACL)
+	return err
 }
 
 func (o Options) withDefaults() Options {
@@ -186,11 +226,27 @@ type localEntry struct {
 	fp         uint64
 }
 
-// remoteEntry tracks a profile learned from another node.
+// remoteEntry tracks a profile learned from another node. profile is
+// the local view (ID possibly remapped); wireID is the ID as announced
+// and fp the fingerprint of the announced profile — the anti-entropy
+// digest is computed over wire state, so it stays comparable with the
+// sender's regardless of local remapping.
 type remoteEntry struct {
 	profile core.Profile
 	seen    time.Time
 	fp      uint64
+	wireID  core.TranslatorID
+}
+
+// shadowEntry accounts for a profile denied by a local ACL rule: the
+// sender counts it in its digests, so the receiver must fold its
+// fingerprint into the node digest too or divergence detection would
+// request syncs forever over an entry we refuse to hold.
+type shadowEntry struct {
+	node    string
+	fp      uint64
+	seen    time.Time
+	profile core.Profile // wire profile, for re-evaluating interest
 }
 
 // nodeState tracks a remote node's liveness lease and the anti-entropy
@@ -218,6 +274,12 @@ type dirMetrics struct {
 	indexSize   *obs.Gauge
 	queryHits   *obs.Counter
 	queryMisses *obs.Counter
+
+	interestClauses *obs.Gauge
+	ingressFiltered *obs.Counter
+	egressFiltered  *obs.Counter
+	aclDenied       *obs.Counter
+	integratedBytes *obs.Counter
 }
 
 // Directory is one runtime's view of the intermediary semantic space.
@@ -251,7 +313,11 @@ type Directory struct {
 	closed       bool
 	deltaPending bool
 	syncPending  bool
-	lastSync     time.Time
+	// syncWanted remembers a sync_req that arrived inside the rate-limit
+	// window; the sync is scheduled when the window expires instead of
+	// being dropped.
+	syncWanted bool
+	lastSync   time.Time
 	// version counts local state changes; localFP is the XOR of local
 	// profile fingerprints (this node's state digest on the wire).
 	version uint64
@@ -263,6 +329,22 @@ type Directory struct {
 	// broadcast, flushed as one coalesced "add" delta.
 	pendingAdds map[core.TranslatorID]struct{}
 
+	// remap and acl are the boundary engines (nil: identity / allow all).
+	remap *remapper
+	acl   *aclFilter
+	// interest is this node's own interest state; ownSum/ownSumFP cache
+	// its compiled summary.
+	interest interestSet
+	ownSum   *InterestSummary
+	ownSumFP uint64
+	// peerSum maps each live peer to the fingerprint of its declared
+	// interest summary; ifp holds, per distinct summary, the shared
+	// summary and the digest of local state restricted to it.
+	peerSum map[string]uint64
+	ifp     map[uint64]*peerIfp
+	// shadow accounts for ACL-denied profiles (keyed by wire ID).
+	shadow map[core.TranslatorID]shadowEntry
+
 	group  *netemu.GroupConn
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -270,9 +352,18 @@ type Directory struct {
 
 // New creates a directory for the given node. host may be nil for a
 // standalone (single-node) directory that performs no advertisement
-// exchange.
+// exchange. Invalid Remap or ACL rule sets are programmer errors and
+// panic; validate untrusted configuration with Options.Validate.
 func New(node string, host *netemu.Host, opts Options) *Directory {
 	opts = opts.withDefaults()
+	remap, err := newRemapper(opts.Remap)
+	if err != nil {
+		panic(err)
+	}
+	acl, err := newACLFilter(opts.ACL)
+	if err != nil {
+		panic(err)
+	}
 	reg := opts.Obs
 	reg.Describe("umiddle_directory_adverts_sent_total", "Directory adverts broadcast, by advert type.")
 	reg.Describe("umiddle_directory_advert_bytes_total", "Directory advert payload bytes broadcast, by advert type.")
@@ -285,6 +376,11 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 	reg.Describe("umiddle_directory_index_size", "Profiles (local + remote) in the directory's lookup index.")
 	reg.Describe("umiddle_directory_query_cache_hits_total", "Lookups answered from the per-snapshot query-result cache.")
 	reg.Describe("umiddle_directory_query_cache_misses_total", "Lookups that ran the index candidate scan.")
+	reg.Describe("umiddle_directory_interest_clauses", "Clauses in this node's interest summary (0: interested in everything).")
+	reg.Describe("umiddle_directory_interest_ingress_filtered_total", "Advertised profiles skipped at ingress as outside this node's interest.")
+	reg.Describe("umiddle_directory_interest_egress_suppressed_total", "Local profiles withheld from outgoing adverts as outside every peer's interest.")
+	reg.Describe("umiddle_directory_acl_denied_total", "Adverts and advertised profiles rejected by boundary ACL rules.")
+	reg.Describe("umiddle_directory_advert_bytes_integrated_total", "Profile-carrying advert payload bytes this node actually integrated.")
 	nl := obs.Labels{"node": node}
 	d := &Directory{
 		node: node,
@@ -302,6 +398,12 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 			indexSize:   reg.Gauge("umiddle_directory_index_size", nl),
 			queryHits:   reg.Counter("umiddle_directory_query_cache_hits_total", nl),
 			queryMisses: reg.Counter("umiddle_directory_query_cache_misses_total", nl),
+
+			interestClauses: reg.Gauge("umiddle_directory_interest_clauses", nl),
+			ingressFiltered: reg.Counter("umiddle_directory_interest_ingress_filtered_total", nl),
+			egressFiltered:  reg.Counter("umiddle_directory_interest_egress_suppressed_total", nl),
+			aclDenied:       reg.Counter("umiddle_directory_acl_denied_total", nl),
+			integratedBytes: reg.Counter("umiddle_directory_advert_bytes_integrated_total", nl),
 		},
 		trace:       reg.Trace(),
 		cache:       core.NewMatchCache(0),
@@ -310,7 +412,15 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 		nodes:       make(map[string]*nodeState),
 		nodeFP:      make(map[string]uint64),
 		pendingAdds: make(map[core.TranslatorID]struct{}),
+		remap:       remap,
+		acl:         acl,
+		interest:    newInterestSet(),
+		peerSum:     make(map[string]uint64),
+		ifp:         make(map[uint64]*peerIfp),
+		shadow:      make(map[core.TranslatorID]shadowEntry),
 	}
+	d.ownSum = d.interest.summary()
+	d.ownSumFP = d.ownSum.Fingerprint()
 	for _, typ := range advertTypes {
 		tl := obs.Labels{"node": node, "type": typ}
 		d.met.sent[typ] = reg.Counter("umiddle_directory_adverts_sent_total", tl)
@@ -446,6 +556,7 @@ func (d *Directory) AddLocal(tr core.Translator) error {
 	d.local[sealed.ID] = localEntry{profile: sealed, translator: tr, fp: fp}
 	d.version++
 	d.localFP ^= fp
+	d.xorIfpsLocked(sealed, fp)
 	d.pendingAdds[sealed.ID] = struct{}{}
 	d.gen.Add(1)
 	listeners := append([]Listener(nil), d.listeners...)
@@ -475,21 +586,50 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 	}
 	delete(d.local, id)
 	// If the add was still waiting in the coalesce window, peers never
-	// learned the id; the remove advert below is then a harmless no-op
-	// for them and the digest already excludes the entry.
+	// learned the id: suppress the remove advert entirely instead of
+	// broadcasting a no-op they would have to reconcile against. The
+	// empty delta flush broadcasts the settled digest (see flushDelta).
+	_, unannounced := d.pendingAdds[id]
 	delete(d.pendingAdds, id)
 	d.version++
 	d.localFP ^= entry.fp
+	d.xorIfpsLocked(entry.profile, entry.fp)
 	d.gen.Add(1)
 	version, fp := d.version, d.localFP
+	ifps := d.ifpsLocked()
 	listeners := append([]Listener(nil), d.listeners...)
 	d.mu.Unlock()
 
 	d.cache.Invalidate(id)
 	d.trace.Event("translator_unmapped", d.node, string(id))
 	d.notifyUnmapped(listeners, id)
-	d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}, Version: version, Fp: fp})
+	if !unannounced {
+		d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}, Version: version, Fp: fp, Ifps: ifps})
+	}
 	return entry.translator, nil
+}
+
+// xorIfpsLocked folds a local profile's fingerprint into (or out of)
+// every tracked per-interest digest it matches. Caller holds d.mu.
+func (d *Directory) xorIfpsLocked(p core.Profile, fp uint64) {
+	for _, e := range d.ifp {
+		if e.sum.Matches(p) {
+			e.fp ^= fp
+		}
+	}
+}
+
+// ifpsLocked snapshots the per-interest digests in wire form (keyed by
+// the summary fingerprint in decimal). Caller holds d.mu.
+func (d *Directory) ifpsLocked() map[string]uint64 {
+	if len(d.ifp) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(d.ifp))
+	for sumFP, e := range d.ifp {
+		m[strconv.FormatUint(sumFP, 10)] = e.fp
+	}
+	return m
 }
 
 // notifyMapped runs every listener's TranslatorMapped, timing the full
@@ -535,14 +675,20 @@ func (d *Directory) scheduleDelta() {
 
 // flushDelta broadcasts the coalesced "add" delta. A full-state
 // broadcast that raced ahead (AnnounceNow, sync) empties pendingAdds
-// and the flush becomes a no-op.
+// and the flush becomes a no-op. When every pending add was removed
+// again within the coalesce window, the flush carries no profiles but
+// the version/fingerprint still advanced — broadcast the settled digest
+// as an immediate heartbeat so peers observe a clean no-op instead of
+// detecting divergence on the next periodic heartbeat and full-syncing
+// over nothing.
 func (d *Directory) flushDelta() {
 	d.mu.Lock()
 	d.deltaPending = false
-	if d.closed || len(d.pendingAdds) == 0 {
+	if d.closed {
 		d.mu.Unlock()
 		return
 	}
+	hadPending := len(d.pendingAdds) > 0
 	profiles := make([]core.Profile, 0, len(d.pendingAdds))
 	for id := range d.pendingAdds {
 		if e, ok := d.local[id]; ok {
@@ -550,15 +696,20 @@ func (d *Directory) flushDelta() {
 		}
 	}
 	clear(d.pendingAdds)
+	profiles, filtered := d.egressFilterLocked(profiles)
 	version, fp := d.version, d.localFP
+	ifps := d.ifpsLocked()
 	d.mu.Unlock()
 	if len(profiles) == 0 {
+		if hadPending || filtered {
+			d.sendHeartbeat()
+		}
 		return
 	}
 	d.send(advert{
 		Type: "add", Node: d.node, Profiles: profiles,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
-		Version:     version, Fp: fp,
+		Version:     version, Fp: fp, Ifps: ifps, Filtered: filtered,
 	})
 }
 
@@ -638,6 +789,126 @@ func (d *Directory) Nodes() []string {
 	return slices.Clone(d.view().nodes)
 }
 
+// MapID translates a wire translator ID into the local namespace under
+// the directory's Remap rules (identity without rules).
+func (d *Directory) MapID(id core.TranslatorID) core.TranslatorID {
+	return d.remap.mapID(id)
+}
+
+// WireID translates a local (possibly remapped) translator ID back to
+// its wire form — what the owning node knows the translator as. The
+// transport crosses the boundary with it when binding through a
+// remapped name.
+func (d *Directory) WireID(id core.TranslatorID) core.TranslatorID {
+	return d.remap.wireID(id)
+}
+
+// InterestSummary returns the node's current compiled interest summary.
+func (d *Directory) InterestSummary() *InterestSummary {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ownSum
+}
+
+// RegisterInterest adds a query predicate to the node's interest set,
+// returning a cancel function. The query is summarized (ExcludeID
+// dropped — see core.Query.Summarize) and refcounted: the set, compiled
+// into an InterestSummary, is what peers filter their adverts against
+// when Options.Interest is enabled. Until the first registration the
+// node is interested in everything.
+func (d *Directory) RegisterInterest(q core.Query) func() {
+	sq := q.Summarize()
+	d.mu.Lock()
+	changed := d.interest.addQuery(sq)
+	d.mu.Unlock()
+	if changed {
+		d.applyInterestChange()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d.mu.Lock()
+			changed := d.interest.dropQuery(sq)
+			d.mu.Unlock()
+			if changed {
+				d.applyInterestChange()
+			}
+		})
+	}
+}
+
+// RegisterIDInterest pins one translator — named by its local, possibly
+// remapped, ID — into the node's interest set, returning a cancel
+// function. Static bindings use it so the bound peer's profile keeps
+// flowing even under filtering.
+func (d *Directory) RegisterIDInterest(id core.TranslatorID) func() {
+	wire := d.remap.wireID(id)
+	d.mu.Lock()
+	changed := d.interest.addID(wire)
+	d.mu.Unlock()
+	if changed {
+		d.applyInterestChange()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d.mu.Lock()
+			changed := d.interest.dropID(wire)
+			d.mu.Unlock()
+			if changed {
+				d.applyInterestChange()
+			}
+		})
+	}
+}
+
+// applyInterestChange recompiles the interest summary after a set
+// mutation, prunes held state that fell outside the narrowed interest
+// (keeping the node digests consistent with the senders' per-interest
+// digests), and gossips the new summary on an immediate heartbeat.
+// Widening converges through the usual divergence path: the scoped
+// digest comparison fails once senders learn the new summary, and the
+// resulting sync carries the newly interesting entries.
+func (d *Directory) applyInterestChange() {
+	d.mu.Lock()
+	d.ownSum = d.interest.summary()
+	d.ownSumFP = d.ownSum.Fingerprint()
+	d.met.interestClauses.Set(int64(d.ownSum.Clauses()))
+	var dropped []core.TranslatorID
+	var listeners []Listener
+	if d.opts.Interest && !d.closed && !d.ownSum.All {
+		for id, e := range d.remote {
+			wp := e.profile
+			wp.ID = e.wireID
+			if !d.ownSum.Matches(wp) {
+				delete(d.remote, id)
+				d.xorNodeFP(e.profile.Node, e.fp)
+				dropped = append(dropped, id)
+			}
+		}
+		for id, e := range d.shadow {
+			if !d.ownSum.Matches(e.profile) {
+				delete(d.shadow, id)
+				d.xorNodeFP(e.node, e.fp)
+			}
+		}
+		if len(dropped) > 0 {
+			d.gen.Add(1)
+			listeners = append([]Listener(nil), d.listeners...)
+		}
+	}
+	enabled := d.opts.Interest && !d.closed
+	d.mu.Unlock()
+	for _, id := range dropped {
+		d.cache.Invalidate(id)
+		d.trace.Event("translator_unmapped", d.node, string(id))
+		d.notifyUnmapped(listeners, id)
+	}
+	if enabled {
+		d.sendHeartbeat()
+	}
+}
+
 // AnnounceNow broadcasts the full local state immediately with merge
 // semantics. Full-state broadcasts are the exception under the delta
 // protocol: they happen on join (Start), when the transport re-
@@ -650,7 +921,9 @@ func (d *Directory) AnnounceNow() {
 
 // sendFullState broadcasts every local profile as typ ("announce" or
 // "sync"). Any delta still waiting in the coalesce window is absorbed:
-// the full state supersedes it.
+// the full state supersedes it. When every live peer has declared a
+// concrete interest, the profile list is filtered to their union and
+// the advert marked Filtered.
 func (d *Directory) sendFullState(typ string) {
 	d.mu.Lock()
 	if d.closed {
@@ -662,7 +935,13 @@ func (d *Directory) sendFullState(typ string) {
 		profiles = append(profiles, e.profile)
 	}
 	clear(d.pendingAdds)
+	profiles, filtered := d.egressFilterLocked(profiles)
 	version, fp := d.version, d.localFP
+	ifps := d.ifpsLocked()
+	var interest *InterestSummary
+	if d.opts.Interest {
+		interest = d.ownSum
+	}
 	if typ == "sync" {
 		d.syncPending = false
 		d.lastSync = time.Now()
@@ -672,7 +951,45 @@ func (d *Directory) sendFullState(typ string) {
 		Type: typ, Node: d.node, Profiles: profiles,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
 		Version:     version, Fp: fp,
+		Ifps: ifps, Filtered: filtered, Interest: interest,
 	})
+}
+
+// egressFilterLocked restricts an outgoing profile batch to the union
+// of the live peers' interests. Filtering engages only when every live
+// peer has declared a concrete (non-All) interest summary: a peer whose
+// interest is unknown — just joined, legacy, or running unfiltered —
+// must keep receiving everything. Caller holds d.mu.
+func (d *Directory) egressFilterLocked(profiles []core.Profile) ([]core.Profile, bool) {
+	if len(profiles) == 0 || len(d.nodes) == 0 {
+		return profiles, false
+	}
+	sums := make([]*InterestSummary, 0, len(d.peerSum))
+	for node := range d.nodes {
+		sumFP, ok := d.peerSum[node]
+		if !ok {
+			return profiles, false
+		}
+		e := d.ifp[sumFP]
+		if e == nil || e.sum.All {
+			return profiles, false
+		}
+		sums = append(sums, e.sum)
+	}
+	kept := profiles[:0]
+	for _, p := range profiles {
+		for _, s := range sums {
+			if s.Matches(p) {
+				kept = append(kept, p)
+				break
+			}
+		}
+	}
+	if dropped := len(profiles) - len(kept); dropped > 0 {
+		d.met.egressFiltered.Add(uint64(dropped))
+		return kept, true
+	}
+	return kept, false
 }
 
 // scheduleSync answers a sync_req with a coalesced, rate-limited full
@@ -681,7 +998,25 @@ func (d *Directory) sendFullState(typ string) {
 // full state more than once per announce interval.
 func (d *Directory) scheduleSync() {
 	d.mu.Lock()
-	if d.closed || d.syncPending || time.Since(d.lastSync) < d.opts.AnnounceInterval {
+	if d.closed || d.syncPending {
+		d.mu.Unlock()
+		return
+	}
+	if wait := d.opts.AnnounceInterval - time.Since(d.lastSync); wait > 0 {
+		// Inside the rate-limit window. Dropping the request here would
+		// leave the diverged peer waiting out its own sync_req limiter —
+		// the two limiters beat against each other and convergence can
+		// stretch across many intervals. Remember the need and serve it
+		// the moment the window expires.
+		if !d.syncWanted {
+			d.syncWanted = true
+			time.AfterFunc(wait, func() {
+				d.mu.Lock()
+				d.syncWanted = false
+				d.mu.Unlock()
+				d.scheduleSync()
+			})
+		}
 		d.mu.Unlock()
 		return
 	}
@@ -696,11 +1031,17 @@ func (d *Directory) scheduleSync() {
 func (d *Directory) sendHeartbeat() {
 	d.mu.RLock()
 	version, fp := d.version, d.localFP
+	ifps := d.ifpsLocked()
+	var interest *InterestSummary
+	if d.opts.Interest {
+		interest = d.ownSum
+	}
 	d.mu.RUnlock()
 	d.send(advert{
 		Type: "heartbeat", Node: d.node,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
 		Version:     version, Fp: fp,
+		Ifps: ifps, Interest: interest,
 	})
 }
 
@@ -763,18 +1104,43 @@ func (d *Directory) receiveLoop() {
 			d.opts.Logger.Warn("directory: bad advert", "from", dg.From, "err", err)
 			continue
 		}
-		d.handleAdvert(a)
+		d.handleAdvertSized(a, len(dg.Payload))
 	}
 }
 
 func (d *Directory) handleAdvert(a advert) {
+	d.handleAdvertSized(a, 0)
+}
+
+// handleAdvertSized processes one advert; payloadBytes (0 when unknown)
+// feeds the integrated-bytes accounting for profile-carrying adverts.
+func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
+	// No advert legitimately names an empty node or this node itself:
+	// our own datagrams are filtered by sender in receiveLoop, so a
+	// self-node advert is spoofed or looped and an empty-node one would
+	// plant ghost state no bye or lease lapse could ever clean up.
+	if a.Node == "" || a.Node == d.node {
+		d.met.malformed.Inc()
+		d.opts.Logger.Warn("directory: rejecting self/empty-node advert", "type", a.Type, "node", a.Node)
+		return
+	}
+	// Boundary ACL: a node every rule denies is rejected before it can
+	// touch liveness state — no nodeState, no lease, no sync churn.
+	if d.acl.nodeDenied(a.Node) {
+		d.met.aclDenied.Inc()
+		return
+	}
+	if a.Interest != nil {
+		d.trackPeerInterest(a.Node, a.Interest)
+	}
 	switch a.Type {
 	case "announce", "add":
 		// "announce" (full state — also every periodic advert of a
 		// pre-delta peer) and "add" (incremental delta) integrate with the
 		// same merge semantics; dropping stale entries is sync's job.
 		d.touchNode(a.Node, a.LeaseMillis)
-		d.integrateAll(a.Profiles)
+		kept := d.ingestProfiles(a.Profiles)
+		d.countIntegrated(payloadBytes, kept, len(a.Profiles))
 		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
 	case "heartbeat":
 		d.touchNode(a.Node, a.LeaseMillis)
@@ -783,12 +1149,14 @@ func (d *Directory) handleAdvert(a advert) {
 		// A remove proves the sender is alive just as an announce does.
 		d.touchNode(a.Node, 0)
 		for _, id := range a.Removed {
-			d.dropRemote(id)
+			d.dropShadow(id)
+			d.dropRemote(d.remap.mapID(id))
 		}
 		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
 	case "sync":
 		d.touchNode(a.Node, a.LeaseMillis)
-		d.reconcile(a)
+		kept := d.reconcile(a)
+		d.countIntegrated(payloadBytes, kept, len(a.Profiles))
 		d.noteNodeState(a, true)
 	case "sync_req":
 		d.touchNode(a.Node, 0)
@@ -803,9 +1171,69 @@ func (d *Directory) handleAdvert(a advert) {
 	}
 }
 
-// integrateAll merges a batch of announced profiles, skipping malformed
-// ones.
-func (d *Directory) integrateAll(profiles []core.Profile) {
+// countIntegrated attributes a profile-carrying advert's payload bytes
+// to this node in proportion to the profiles it actually integrated —
+// the dirscale experiment's measure of per-node integration cost.
+func (d *Directory) countIntegrated(payloadBytes, kept, total int) {
+	if payloadBytes <= 0 || total == 0 || kept <= 0 {
+		return
+	}
+	d.met.integratedBytes.Add(uint64(payloadBytes * kept / total))
+}
+
+// trackPeerInterest records a peer's declared interest summary,
+// maintaining the refcounted per-summary filtered digests senders
+// attach to their adverts (advert.Ifps).
+func (d *Directory) trackPeerInterest(node string, sum *InterestSummary) {
+	if err := sum.Validate(); err != nil {
+		d.met.malformed.Inc()
+		d.opts.Logger.Warn("directory: bad interest summary", "node", node, "err", err)
+		return
+	}
+	sumFP := sum.Fingerprint()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if prev, ok := d.peerSum[node]; ok {
+		if prev == sumFP {
+			return
+		}
+		d.releaseIfpLocked(prev)
+	}
+	d.peerSum[node] = sumFP
+	e := d.ifp[sumFP]
+	if e == nil {
+		e = &peerIfp{sum: sum}
+		for _, le := range d.local {
+			if sum.Matches(le.profile) {
+				e.fp ^= le.fp
+			}
+		}
+		d.ifp[sumFP] = e
+	}
+	e.refs++
+}
+
+// releaseIfpLocked drops one reference on a tracked peer summary.
+// Caller holds d.mu.
+func (d *Directory) releaseIfpLocked(sumFP uint64) {
+	e := d.ifp[sumFP]
+	if e == nil {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(d.ifp, sumFP)
+	}
+}
+
+// ingestProfiles runs a batch of announced profiles through the ingress
+// pipeline — shape restore, interest filter, boundary ACL, namespace
+// remap, merge — returning how many were integrated.
+func (d *Directory) ingestProfiles(profiles []core.Profile) int {
+	kept := 0
 	for i := range profiles {
 		p := profiles[i]
 		if err := p.RestoreShape(); err != nil {
@@ -813,18 +1241,80 @@ func (d *Directory) integrateAll(profiles []core.Profile) {
 			d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
 			continue
 		}
-		d.integrate(p)
+		if d.ingest(p) {
+			kept++
+		}
+	}
+	return kept
+}
+
+// ingest admits one shape-restored wire profile, reporting whether it
+// was integrated into the local view.
+func (d *Directory) ingest(p core.Profile) bool {
+	if !d.wantsWire(p) {
+		d.met.ingressFiltered.Inc()
+		return false
+	}
+	if !d.acl.allows(p.Node, p.ID) {
+		d.met.aclDenied.Inc()
+		d.shadowDenied(p)
+		return false
+	}
+	d.integrate(p)
+	return true
+}
+
+// wantsWire reports whether a wire profile falls inside this node's own
+// interest. Always true when interest filtering is disabled.
+func (d *Directory) wantsWire(p core.Profile) bool {
+	if !d.opts.Interest {
+		return true
+	}
+	d.mu.RLock()
+	sum := d.ownSum
+	d.mu.RUnlock()
+	return sum.Matches(p)
+}
+
+// shadowDenied folds an ACL-denied profile's fingerprint into the node
+// digest without holding the profile: the sender counts the entry in
+// its digests, so leaving it out would read as permanent divergence and
+// a sync request every interval.
+func (d *Directory) shadowDenied(p core.Profile) {
+	sealed := p.Clone()
+	fp := sealed.Fingerprint()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev, known := d.shadow[p.ID]
+	if known {
+		d.xorNodeFP(prev.node, prev.fp)
+	}
+	d.shadow[p.ID] = shadowEntry{node: p.Node, fp: fp, seen: time.Now(), profile: sealed}
+	d.xorNodeFP(p.Node, fp)
+}
+
+// dropShadow forgets an ACL-denied entry (wire ID) on an explicit
+// remove from its owner.
+func (d *Directory) dropShadow(id core.TranslatorID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.shadow[id]; ok {
+		delete(d.shadow, id)
+		d.xorNodeFP(e.node, e.fp)
 	}
 }
 
 // reconcile applies a full-state "sync" advert: merge every carried
 // profile, then drop entries of the sender that the advert no longer
 // lists — the one path that repairs over-approximation (entries the
-// sender removed while we missed the remove).
-func (d *Directory) reconcile(a advert) {
-	if a.Node == "" || a.Node == d.node {
-		return
-	}
+// sender removed while we missed the remove). When the sender filtered
+// the list to peer interests, dropping is only safe for receivers whose
+// interest the sender provably covered (their summary fingerprint
+// appears in Ifps); everyone else merges without dropping and lets the
+// next digest comparison drive a wider sync if needed. Returns how many
+// carried profiles were integrated.
+func (d *Directory) reconcile(a advert) int {
+	kept := 0
 	present := make(map[core.TranslatorID]bool, len(a.Profiles))
 	for i := range a.Profiles {
 		if err := a.Profiles[i].RestoreShape(); err != nil {
@@ -833,15 +1323,27 @@ func (d *Directory) reconcile(a advert) {
 			continue
 		}
 		present[a.Profiles[i].ID] = true
-		d.integrate(a.Profiles[i])
+		if d.ingest(a.Profiles[i]) {
+			kept++
+		}
+	}
+	if a.Filtered && !d.coveredByIfps(a.Ifps) {
+		return kept
 	}
 	d.mu.Lock()
 	var dropped []core.TranslatorID
 	for id, e := range d.remote {
-		if e.profile.Node == a.Node && !present[id] {
+		if e.profile.Node == a.Node && !present[e.wireID] {
 			delete(d.remote, id)
 			d.xorNodeFP(a.Node, e.fp)
 			dropped = append(dropped, id)
+		}
+	}
+	// Shadowed (ACL-denied) entries of the sender reconcile the same way.
+	for id, e := range d.shadow {
+		if e.node == a.Node && !present[id] {
+			delete(d.shadow, id)
+			d.xorNodeFP(a.Node, e.fp)
 		}
 	}
 	var listeners []Listener
@@ -855,16 +1357,38 @@ func (d *Directory) reconcile(a advert) {
 		d.trace.Event("translator_unmapped", d.node, string(id))
 		d.notifyUnmapped(listeners, id)
 	}
+	return kept
+}
+
+// coveredByIfps reports whether a filtered advert's profile list
+// provably covers this node's interest (our summary fingerprint is
+// among the interests the sender filtered for).
+func (d *Directory) coveredByIfps(ifps map[string]uint64) bool {
+	if !d.opts.Interest {
+		return false
+	}
+	d.mu.RLock()
+	key := strconv.FormatUint(d.ownSumFP, 10)
+	d.mu.RUnlock()
+	_, ok := ifps[key]
+	return ok
 }
 
 // noteNodeState records a versioned advert's claim about the sender's
-// state and, when our digest of that node disagrees (or we observe a
-// version gap), requests a full sync — rate-limited per node so a
-// persistent mismatch costs one request per announce interval.
-// versioned is false for adverts from pre-delta peers, which carry no
-// digest to compare.
+// state and, when our digest of that node disagrees, requests a full
+// sync — rate-limited per node so a persistent mismatch costs one
+// request per announce interval. Divergence is judged on the content
+// digest alone: a version gap whose fingerprint still matches means the
+// missed deltas net-cancelled (an add revoked within its coalesce
+// window) and there is nothing to fetch. versioned is false for adverts
+// from pre-delta peers, which carry no digest to compare.
+//
+// A filtered node holds only the sender's profiles matching its own
+// interest, so it compares against the sender's digest scoped to that
+// interest (advert.Ifps). A sender that has not yet learned our
+// interest carries no comparable digest — merge-only until it does.
 func (d *Directory) noteNodeState(a advert, versioned bool) {
-	if !versioned || a.Node == "" || a.Node == d.node {
+	if !versioned {
 		return
 	}
 	d.mu.Lock()
@@ -873,8 +1397,12 @@ func (d *Directory) noteNodeState(a advert, versioned bool) {
 		d.mu.Unlock()
 		return
 	}
-	diverged := d.nodeFP[a.Node] != a.Fp || st.version != a.Version
 	st.version = a.Version
+	claim, comparable := a.Fp, true
+	if d.opts.Interest && !d.ownSum.All {
+		claim, comparable = a.Ifps[strconv.FormatUint(d.ownSumFP, 10)]
+	}
+	diverged := comparable && d.nodeFP[a.Node] != claim
 	var req bool
 	if diverged && time.Since(st.lastSyncReq) >= d.opts.AnnounceInterval {
 		st.lastSyncReq = time.Now()
@@ -914,14 +1442,19 @@ func (d *Directory) integrate(p core.Profile) {
 		return // don't learn our own state back
 	}
 	sealed := p.Clone()
+	// The anti-entropy digest is computed over the announced (wire)
+	// profile, before any local remapping, so it stays comparable with
+	// the sender's own digest.
 	fp := sealed.Fingerprint()
+	wireID := sealed.ID
+	sealed.ID = d.remap.mapID(wireID)
 	d.mu.Lock()
-	prev, known := d.remote[p.ID]
+	prev, known := d.remote[sealed.ID]
 	// A re-announced profile with a changed shape (ports added or
 	// removed) must re-notify, or dynamic bindings never see device
 	// updates; only a byte-identical refresh is silent.
-	changed := known && !sameProfile(prev.profile, p)
-	d.remote[p.ID] = remoteEntry{profile: sealed, seen: time.Now(), fp: fp}
+	changed := known && !sameProfile(prev.profile, sealed)
+	d.remote[sealed.ID] = remoteEntry{profile: sealed, seen: time.Now(), fp: fp, wireID: wireID}
 	if known {
 		// The previous entry may even claim a different owning node;
 		// digests track the stored profile's claim, not the advert's.
@@ -1027,6 +1560,15 @@ func (d *Directory) dropNode(node string, entryTrace string) int {
 			delete(d.remote, id)
 		}
 	}
+	for id, e := range d.shadow {
+		if e.node == node {
+			delete(d.shadow, id)
+		}
+	}
+	if sumFP, ok := d.peerSum[node]; ok {
+		delete(d.peerSum, node)
+		d.releaseIfpLocked(sumFP)
+	}
 	// Dropping every entry of the node zeroes its digest by definition.
 	delete(d.nodeFP, node)
 	if wasLive || len(dropped) > 0 {
@@ -1096,6 +1638,16 @@ func (d *Directory) expireStale() {
 			dropped = append(dropped, id)
 			delete(d.remote, id)
 			d.xorNodeFP(e.profile.Node, e.fp)
+		}
+	}
+	for id, e := range d.shadow {
+		seen := e.seen
+		if st, ok := d.nodes[e.node]; ok && st.lastSeen.After(seen) {
+			seen = st.lastSeen
+		}
+		if seen.Before(cutoff) {
+			delete(d.shadow, id)
+			d.xorNodeFP(e.node, e.fp)
 		}
 	}
 	if len(dropped) > 0 {

@@ -1,0 +1,160 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+// Regression tests for three anti-entropy bugs fixed together with the
+// interest-propagation work: a dropped rate-limited sync_req, ghost
+// state plantable via self/empty-node adverts, and sync churn after an
+// add revoked inside its coalesce window.
+
+// TestSyncReqInsideRateLimitWindowStillServed: a sync_req arriving
+// while the responder is inside its once-per-interval sync rate limit
+// used to be dropped on the floor. The diverged peer would then sit out
+// its own sync_req limiter before asking again, and with the two
+// limiters beating out of phase convergence could stretch across many
+// intervals. The responder must instead remember the request and serve
+// it the moment its window expires — one interval, worst case.
+func TestSyncReqInsideRateLimitWindowStillServed(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := net.MustAddHost("h1")
+	d1 := New("h1", h1, fastOpts())
+	defer d1.Close()
+	d1.Start()
+	if err := d1.AddLocal(testTranslator(t, "h1", "a")); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+
+	// First request: outside any window, served promptly.
+	d1.handleAdvert(advert{Type: "sync_req", Node: "h2", Target: "h1"})
+	waitFor(t, 2*time.Second, func() bool { return sentCount(d1, "sync") == 1 })
+
+	// Second request lands immediately after — inside the rate-limit
+	// window. Before the fix it was silently discarded and, with no
+	// further requests coming, this wait never completed.
+	d1.handleAdvert(advert{Type: "sync_req", Node: "h2", Target: "h1"})
+	waitFor(t, 2*time.Second, func() bool { return sentCount(d1, "sync") == 2 })
+}
+
+// TestScheduleSyncAfterCloseStaysSilent: the deferred-sync timer must
+// not resurrect a closed directory.
+func TestScheduleSyncAfterCloseStaysSilent(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1 := net.MustAddHost("h1")
+	d1 := New("h1", h1, fastOpts())
+	d1.Start()
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+
+	// Arm the rate limiter, then park a deferred request behind it and
+	// close before the window expires.
+	d1.handleAdvert(advert{Type: "sync_req", Node: "h2", Target: "h1"})
+	waitFor(t, 2*time.Second, func() bool { return sentCount(d1, "sync") == 1 })
+	d1.handleAdvert(advert{Type: "sync_req", Node: "h2", Target: "h1"})
+	d1.Close()
+	before := sentCount(d1, "sync")
+	time.Sleep(3 * fastOpts().AnnounceInterval)
+	if got := sentCount(d1, "sync") - before; got != 0 {
+		t.Fatalf("closed directory sent %d syncs", got)
+	}
+}
+
+// TestSelfAndEmptyNodeAdvertsRejected: no advert legitimately names an
+// empty node (its state could never be leased out or byed away) or this
+// node itself (own datagrams are filtered by sender; a self-node advert
+// is spoofed). Before the fix these were integrated like any other —
+// an empty-node announce planted unexpirable ghost entries and a
+// self-node bye tore down liveness bookkeeping.
+func TestSelfAndEmptyNodeAdvertsRejected(t *testing.T) {
+	d := New("h1", nil, Options{})
+	defer d.Close()
+	if err := d.AddLocal(testTranslator(t, "h1", "own")); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+	before := d.met.malformed.Value()
+
+	d.handleAdvert(advert{Type: "announce", Node: "", Profiles: []core.Profile{remoteProfile("", "anon")}})
+	d.handleAdvert(advert{Type: "announce", Node: "h1", Profiles: []core.Profile{remoteProfile("h1", "spoof")}})
+	d.handleAdvert(advert{Type: "heartbeat", Node: "", LeaseMillis: 80, Version: 1, Fp: 9})
+	d.handleAdvert(advert{Type: "bye", Node: "h1"})
+
+	if _, r := d.Size(); r != 0 {
+		t.Fatalf("hostile adverts planted %d remote entries", r)
+	}
+	if nodes := d.Nodes(); len(nodes) != 0 {
+		t.Fatalf("hostile adverts created node state: %v", nodes)
+	}
+	if got := d.met.malformed.Value() - before; got != 4 {
+		t.Fatalf("malformed counter advanced by %d, want 4", got)
+	}
+	// The self-node bye must not have touched local state.
+	if _, ok := d.Local(core.MakeTranslatorID("h1", "umiddle", "own")); !ok {
+		t.Fatal("self-node bye displaced a local translator")
+	}
+}
+
+// TestNetCancelledDeltaCausesNoSyncChurn: an AddLocal revoked inside
+// its own coalesce window advances version twice while the state
+// fingerprint nets back out. Peers never hear of the entry (the add
+// flush is empty, the remove advert suppressed) — they must also not
+// be tricked into a pointless full sync by the version gap. Before the
+// fix, divergence was judged on the version counter and every peer
+// sync_req'd over a no-op.
+func TestNetCancelledDeltaCausesNoSyncChurn(t *testing.T) {
+	opts := fastOpts()
+	opts.AnnounceInterval = 40 * time.Millisecond
+	opts.CoalesceWindow = 25 * time.Millisecond
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1, d2 := New("h1", h1, opts), New("h2", h2, opts)
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	d1.AddLocal(testTranslator(t, "h1", "a"))
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 1 })
+	time.Sleep(150 * time.Millisecond) // let join-time syncs settle
+
+	addBefore := sentCount(d1, "add")
+	removeBefore := sentCount(d1, "remove")
+	reqBefore := sentCount(d2, "sync_req")
+
+	// Register and immediately revoke: both land inside one window.
+	x := testTranslator(t, "h1", "ephemeral")
+	if err := d1.AddLocal(x); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+	if _, err := d1.RemoveLocal(x.Profile().ID); err != nil {
+		t.Fatalf("RemoveLocal: %v", err)
+	}
+	d1.mu.RLock()
+	version := d1.version
+	d1.mu.RUnlock()
+	if version < 3 {
+		t.Fatalf("version = %d, want >= 3 (add+remove must advance it)", version)
+	}
+
+	// Several heartbeat intervals: the version gap is visible, the
+	// fingerprint agrees, nothing must churn.
+	time.Sleep(10 * opts.AnnounceInterval)
+	if got := sentCount(d1, "add") - addBefore; got != 0 {
+		t.Fatalf("net-cancelled delta broadcast %d add adverts, want 0", got)
+	}
+	if got := sentCount(d1, "remove") - removeBefore; got != 0 {
+		t.Fatalf("net-cancelled delta broadcast %d remove adverts, want 0", got)
+	}
+	if got := sentCount(d2, "sync_req") - reqBefore; got != 0 {
+		t.Fatalf("peer sent %d sync_reqs over a net-cancelled delta, want 0", got)
+	}
+	if _, r := d2.Size(); r != 1 {
+		t.Fatalf("peer view changed: remote = %d, want 1", r)
+	}
+}

@@ -34,6 +34,12 @@ func FuzzHandleAdvert(f *testing.F) {
 	seed(advert{Type: "announce", Node: "", Profiles: []core.Profile{remoteProfile("", "anon")}})
 	seed(advert{Type: "heartbeat", Node: "h2", LeaseMillis: 1<<62 + 11})
 	seed(advert{Type: "sync", Node: "h3", Profiles: []core.Profile{p, p}})
+	seed(advert{Type: "bye", Node: "h1"}) // self-node bye
+	seed(advert{Type: "heartbeat", Node: "", Version: 9, Fp: 1})
+	seed(advert{Type: "heartbeat", Node: "h2", LeaseMillis: 80, Version: 3, Fp: 9,
+		Interest: &InterestSummary{IDs: []core.TranslatorID{"h1/umiddle/own"}},
+		Ifps:     map[string]uint64{"0": 1, "x": 2}})
+	seed(advert{Type: "sync", Node: "h2", Profiles: []core.Profile{p}, Version: 6, Fp: 42, Filtered: true})
 	f.Add([]byte(`{"type":"announce","node":"h2","profiles":[{"id":"x"}]}`))
 	f.Add([]byte(`{not json`))
 

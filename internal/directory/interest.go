@@ -1,0 +1,258 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// This file implements interest-driven selective propagation (ROADMAP
+// item 2): each node compiles its registered queries and live bindings
+// into a compact InterestSummary, gossips it on heartbeats, and senders
+// restrict profile-carrying adverts to the union of their peers'
+// interests — so advert integration cost scales with what a node cares
+// about, not with the population.
+
+// Decoder bounds for interest summaries arriving off the wire. A
+// hostile peer must not be able to make every sender evaluate an
+// unbounded predicate against every local profile.
+const (
+	maxInterestQueries = 64
+	maxInterestIDs     = 256
+	maxInterestPorts   = 16
+	maxInterestAttrs   = 32
+	maxInterestString  = 512
+)
+
+// InterestSummary is the wire form of a node's interest set: the
+// profiles it wants to hear about. All marks a node interested in the
+// whole population (the state of every node until it registers a first
+// interest, and of nodes running without interest filtering). Queries
+// carry summarized predicates (core.Query.Summarize); IDs name
+// translators pinned by static bindings, in the owner's wire namespace.
+// A profile is interesting when any clause matches.
+type InterestSummary struct {
+	All     bool                `json:"all,omitempty"`
+	Queries []core.Query        `json:"queries,omitempty"`
+	IDs     []core.TranslatorID `json:"ids,omitempty"`
+}
+
+// Matches reports whether the profile falls inside the interest.
+func (s *InterestSummary) Matches(p core.Profile) bool {
+	if s == nil || s.All {
+		return true
+	}
+	for _, id := range s.IDs {
+		if id == p.ID {
+			return true
+		}
+	}
+	for i := range s.Queries {
+		if s.Queries[i].Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clauses returns the number of predicate clauses (0 for an
+// interested-in-everything summary).
+func (s *InterestSummary) Clauses() int {
+	if s == nil || s.All {
+		return 0
+	}
+	return len(s.Queries) + len(s.IDs)
+}
+
+// Fingerprint digests the summary in canonical form: clause order and
+// attribute map order do not change it, distinct predicates do (up to
+// hash collisions). Senders key their per-interest state digests by it,
+// and receivers use it to find their own entry in an advert's Ifps.
+func (s *InterestSummary) Fingerprint() uint64 {
+	h := ifnv(ifnvOffset, "interest:")
+	if s == nil || s.All {
+		return ifnv(h, "*")
+	}
+	keys := make([]string, 0, len(s.Queries))
+	for i := range s.Queries {
+		keys = append(keys, s.Queries[i].CacheKey())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h = ifnv(h, "q")
+		h = ifnv(h, strconv.Itoa(len(k)))
+		h = ifnv(h, k)
+	}
+	ids := make([]string, 0, len(s.IDs))
+	for _, id := range s.IDs {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h = ifnv(h, "i")
+		h = ifnv(h, strconv.Itoa(len(id)))
+		h = ifnv(h, id)
+	}
+	return h
+}
+
+// Validate bounds a summary decoded off the wire. It is the interest
+// decoder's malformed-input gate (fuzzed by FuzzInterestSummary).
+func (s *InterestSummary) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Queries) > maxInterestQueries {
+		return fmt.Errorf("interest: %d queries exceeds limit %d", len(s.Queries), maxInterestQueries)
+	}
+	if len(s.IDs) > maxInterestIDs {
+		return fmt.Errorf("interest: %d ids exceeds limit %d", len(s.IDs), maxInterestIDs)
+	}
+	for _, id := range s.IDs {
+		if len(id) > maxInterestString {
+			return fmt.Errorf("interest: id longer than %d bytes", maxInterestString)
+		}
+	}
+	for i := range s.Queries {
+		if err := validateInterestQuery(&s.Queries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateInterestQuery(q *core.Query) error {
+	if len(q.Ports) > maxInterestPorts {
+		return fmt.Errorf("interest: query with %d port templates exceeds limit %d", len(q.Ports), maxInterestPorts)
+	}
+	if len(q.Attributes) > maxInterestAttrs {
+		return fmt.Errorf("interest: query with %d attributes exceeds limit %d", len(q.Attributes), maxInterestAttrs)
+	}
+	over := func(s string) bool { return len(s) > maxInterestString }
+	if over(q.Platform) || over(q.DeviceType) || over(q.NameContains) || over(q.Node) || over(string(q.ExcludeID)) {
+		return fmt.Errorf("interest: query field longer than %d bytes", maxInterestString)
+	}
+	for _, t := range q.Ports {
+		if over(string(t.Type)) {
+			return fmt.Errorf("interest: port type longer than %d bytes", maxInterestString)
+		}
+	}
+	for k, v := range q.Attributes {
+		if over(k) || over(v) {
+			return fmt.Errorf("interest: attribute longer than %d bytes", maxInterestString)
+		}
+	}
+	return nil
+}
+
+// interestSet is a node's refcounted interest state: registered query
+// predicates (keyed by canonical cache key) and pinned translator IDs
+// in wire form. Zero clauses means interested in everything — a node
+// must not go blind just because no binding is up yet.
+type interestSet struct {
+	queries map[string]*interestQueryRef
+	ids     map[core.TranslatorID]int
+}
+
+type interestQueryRef struct {
+	q    core.Query
+	refs int
+}
+
+func newInterestSet() interestSet {
+	return interestSet{
+		queries: make(map[string]*interestQueryRef),
+		ids:     make(map[core.TranslatorID]int),
+	}
+}
+
+// addQuery registers one summarized query, returning whether the set's
+// predicate changed.
+func (s *interestSet) addQuery(q core.Query) bool {
+	key := q.CacheKey()
+	if ref, ok := s.queries[key]; ok {
+		ref.refs++
+		return false
+	}
+	s.queries[key] = &interestQueryRef{q: q, refs: 1}
+	return true
+}
+
+func (s *interestSet) dropQuery(q core.Query) bool {
+	key := q.CacheKey()
+	ref, ok := s.queries[key]
+	if !ok {
+		return false
+	}
+	ref.refs--
+	if ref.refs > 0 {
+		return false
+	}
+	delete(s.queries, key)
+	return true
+}
+
+func (s *interestSet) addID(id core.TranslatorID) bool {
+	s.ids[id]++
+	return s.ids[id] == 1
+}
+
+func (s *interestSet) dropID(id core.TranslatorID) bool {
+	n, ok := s.ids[id]
+	if !ok {
+		return false
+	}
+	if n > 1 {
+		s.ids[id] = n - 1
+		return false
+	}
+	delete(s.ids, id)
+	return true
+}
+
+// summary compiles the set into its wire form.
+func (s *interestSet) summary() *InterestSummary {
+	if len(s.queries) == 0 && len(s.ids) == 0 {
+		return &InterestSummary{All: true}
+	}
+	sum := &InterestSummary{}
+	keys := make([]string, 0, len(s.queries))
+	for k := range s.queries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum.Queries = append(sum.Queries, s.queries[k].q)
+	}
+	for id := range s.ids {
+		sum.IDs = append(sum.IDs, id)
+	}
+	sort.Slice(sum.IDs, func(i, j int) bool { return sum.IDs[i] < sum.IDs[j] })
+	return sum
+}
+
+// peerIfp tracks one distinct peer interest summary and the digest of
+// this node's local state restricted to it (the XOR of the fingerprints
+// of matching local profiles). Peers sharing a summary share the entry.
+type peerIfp struct {
+	sum  *InterestSummary
+	refs int
+	fp   uint64
+}
+
+// FNV-1a, local to the directory package (core keeps its own private
+// copy for profile fingerprints).
+const (
+	ifnvOffset = 14695981039346656037
+	ifnvPrime  = 1099511628211
+)
+
+func ifnv(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= ifnvPrime
+	}
+	return h
+}

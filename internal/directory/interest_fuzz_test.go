@@ -1,0 +1,71 @@
+package directory
+
+import (
+	"encoding/json"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzInterestSummary throws arbitrary bytes at the interest-summary
+// decoder path (unmarshal, Validate, then the operations every peer
+// runs on a validated summary) and checks that nothing panics, that
+// Validate really bounds what passes, and that the fingerprint is
+// canonical — clause order must not change it, or senders and
+// receivers keyed by it would never agree.
+func FuzzInterestSummary(f *testing.F) {
+	seed := func(s InterestSummary) {
+		data, err := json.Marshal(&s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed(InterestSummary{All: true})
+	seed(InterestSummary{Queries: []core.Query{{DeviceType: "lamp"}, {Attributes: map[string]string{"room": "room-1"}}}})
+	seed(InterestSummary{IDs: []core.TranslatorID{"h2/upnp/tv", "h3/bt/cam"}})
+	seed(InterestSummary{IDs: make([]core.TranslatorID, maxInterestIDs+1)}) // over the ID bound
+	hugeQ := make([]core.Query, maxInterestQueries+1)
+	seed(InterestSummary{Queries: hugeQ})
+	f.Add([]byte(`{"queries":[{"attributes":{"` + string(make([]byte, 600)) + `":"x"}}]}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`null`))
+
+	target := remoteProfile("h2", "tv")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s InterestSummary
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // the advert decoder rejects these earlier
+		}
+		err := s.Validate()
+		// Operations peers run must never panic, valid or not — the
+		// summary rides inside adverts whose other fields are handled
+		// before validation runs.
+		_ = s.Matches(target)
+		_ = s.Clauses()
+		fp := s.Fingerprint()
+
+		if err != nil {
+			return
+		}
+		// Validated summaries stay inside the decoder bounds.
+		if len(s.Queries) > maxInterestQueries || len(s.IDs) > maxInterestIDs {
+			t.Fatalf("Validate admitted %d queries / %d ids", len(s.Queries), len(s.IDs))
+		}
+		// Canonical fingerprint: reversing clause order is a no-op.
+		rev := InterestSummary{All: s.All}
+		rev.Queries = slices.Clone(s.Queries)
+		rev.IDs = slices.Clone(s.IDs)
+		slices.Reverse(rev.Queries)
+		slices.Reverse(rev.IDs)
+		if rev.Fingerprint() != fp {
+			t.Fatalf("fingerprint depends on clause order: %x != %x", rev.Fingerprint(), fp)
+		}
+		// A validated summary must be safe to gossip through the full
+		// advert path.
+		d := New("h1", nil, Options{Interest: true})
+		defer d.Close()
+		d.handleAdvert(advert{Type: "heartbeat", Node: "h2", LeaseMillis: 80, Version: 1, Fp: 1, Interest: &s})
+	})
+}

@@ -1,0 +1,171 @@
+package directory
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file implements namespace remapping and boundary ACLs — the
+// bridge-boundary half of ROADMAP item 2. Remap rules mount a remote
+// node's wire namespace under a local prefix (a federated kitchen's
+// population appearing as "kitchen/upnp/..."); ACL rules decide, per
+// boundary, which adverts are admitted at all.
+
+// RemapRule mounts one remote node's translator namespace under a local
+// prefix: wire IDs beginning with Node+"/" appear locally as Mount+"/".
+// The substitution is purely textual and bijective — the inverse rule
+// restores the wire ID when a binding crosses the boundary — and only
+// the TranslatorID changes: Profile.Node keeps the real node name, so
+// liveness leases and transport dialing still work. IDs that do not
+// carry the Node prefix (a peer not following the node/platform/local
+// convention) pass through unmapped.
+type RemapRule struct {
+	// Node is the wire namespace being mounted (a remote node name).
+	Node string `json:"node"`
+	// Mount is the local prefix it appears under.
+	Mount string `json:"mount"`
+}
+
+// ACLAction is an ACLRule verdict.
+type ACLAction string
+
+const (
+	// Allow admits matching adverts.
+	Allow ACLAction = "allow"
+	// Deny rejects matching adverts.
+	Deny ACLAction = "deny"
+)
+
+// ACLRule is one boundary admission rule, evaluated against advert
+// ingress: Node restricts the rule to profiles claimed by one node
+// (empty: any node), IDPrefix to wire IDs with a prefix (empty: any).
+// Rules apply in order, first match wins; no match means allow.
+type ACLRule struct {
+	Action   ACLAction `json:"action"`
+	Node     string    `json:"node,omitempty"`
+	IDPrefix string    `json:"idPrefix,omitempty"`
+}
+
+// remapper applies a validated Remap rule set. A nil remapper (no
+// rules) is the identity and costs one nil check on the hot paths.
+type remapper struct {
+	rules []RemapRule
+}
+
+func newRemapper(rules []RemapRule) (*remapper, error) {
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	nodes := make(map[string]bool, len(rules))
+	mounts := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		if r.Node == "" || r.Mount == "" {
+			return nil, fmt.Errorf("directory: remap rule with empty node or mount")
+		}
+		if strings.ContainsRune(r.Node, '/') || strings.ContainsRune(r.Mount, '/') {
+			return nil, fmt.Errorf("directory: remap rule %q->%q: node and mount must be single path segments", r.Node, r.Mount)
+		}
+		if nodes[r.Node] {
+			return nil, fmt.Errorf("directory: duplicate remap rule for node %q", r.Node)
+		}
+		if mounts[r.Mount] {
+			return nil, fmt.Errorf("directory: duplicate remap mount %q", r.Mount)
+		}
+		nodes[r.Node] = true
+		mounts[r.Mount] = true
+	}
+	// A mount shadowing another rule's node (A->B alongside B->C) would
+	// make the local namespace depend on rule order; reject it.
+	for _, r := range rules {
+		if nodes[r.Mount] {
+			return nil, fmt.Errorf("directory: remap mount %q collides with remapped node %q", r.Mount, r.Mount)
+		}
+	}
+	return &remapper{rules: append([]RemapRule(nil), rules...)}, nil
+}
+
+// mapID translates a wire ID into the local namespace.
+func (r *remapper) mapID(id core.TranslatorID) core.TranslatorID {
+	if r == nil {
+		return id
+	}
+	s := string(id)
+	for _, rule := range r.rules {
+		if rest, ok := strings.CutPrefix(s, rule.Node+"/"); ok {
+			return core.TranslatorID(rule.Mount + "/" + rest)
+		}
+	}
+	return id
+}
+
+// wireID translates a local (possibly remapped) ID back to its wire
+// form — the inverse of mapID.
+func (r *remapper) wireID(id core.TranslatorID) core.TranslatorID {
+	if r == nil {
+		return id
+	}
+	s := string(id)
+	for _, rule := range r.rules {
+		if rest, ok := strings.CutPrefix(s, rule.Mount+"/"); ok {
+			return core.TranslatorID(rule.Node + "/" + rest)
+		}
+	}
+	return id
+}
+
+// aclFilter applies a validated ACL rule set. nil admits everything.
+type aclFilter struct {
+	rules []ACLRule
+}
+
+func newACLFilter(rules []ACLRule) (*aclFilter, error) {
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	for _, r := range rules {
+		if r.Action != Allow && r.Action != Deny {
+			return nil, fmt.Errorf("directory: acl rule action %q (want %q or %q)", r.Action, Allow, Deny)
+		}
+	}
+	return &aclFilter{rules: append([]ACLRule(nil), rules...)}, nil
+}
+
+// allows evaluates the rule set against one profile boundary: the
+// claimed owning node and the wire translator ID.
+func (a *aclFilter) allows(node string, id core.TranslatorID) bool {
+	if a == nil {
+		return true
+	}
+	for _, r := range a.rules {
+		if r.Node != "" && r.Node != node {
+			continue
+		}
+		if r.IDPrefix != "" && !strings.HasPrefix(string(id), r.IDPrefix) {
+			continue
+		}
+		return r.Action == Allow
+	}
+	return true
+}
+
+// nodeDenied reports whether every advert from the node is denied —
+// the cheap whole-advert check run before any per-profile work. It is
+// true only when the first rule that can match the node matches all of
+// its IDs; an earlier ID-scoped rule makes the verdict per-profile.
+func (a *aclFilter) nodeDenied(node string) bool {
+	if a == nil {
+		return false
+	}
+	for _, r := range a.rules {
+		if r.Node != "" && r.Node != node {
+			continue
+		}
+		if r.IDPrefix != "" {
+			return false // verdict depends on the ID; decide per profile
+		}
+		return r.Action == Deny
+	}
+	return false
+}

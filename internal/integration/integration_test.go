@@ -982,3 +982,117 @@ func TestViewVsPrintShapeSelection(t *testing.T) {
 		t.Fatalf("printed = %q", docs[0])
 	}
 }
+
+// TestRemappedBindingEndToEnd exercises namespace remapping across the
+// full stack: node h2 mounts h1's namespace under "studio", discovers
+// the camera by its remapped name, and connects through it. The
+// transport must cross the boundary in wire form — h1 has never heard
+// of "studio/..." — and payloads must flow end to end.
+func TestRemappedBindingEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	h1 := w.addRuntime("h1")
+	h2 := w.addRuntimeOpts("h2", directory.Options{
+		AnnounceInterval: 30 * time.Millisecond,
+		Remap:            []directory.RemapRule{{Node: "h1", Mount: "studio"}},
+	}, transport.Options{DeliverTimeout: 5 * time.Second})
+
+	camera := trigger("h1", "camera", "image/jpeg")
+	if err := h1.Register(camera); err != nil {
+		t.Fatalf("Register(camera): %v", err)
+	}
+	tv := newCollector("h2", "tv", "image/jpeg")
+	if err := h2.Register(tv); err != nil {
+		t.Fatalf("Register(tv): %v", err)
+	}
+
+	// h2 sees the camera under the mount, with the real owning node.
+	p := w.waitLookup(h2, core.Query{NameContains: "camera"}, 1)[0]
+	wantID := core.TranslatorID("studio/umiddle/camera")
+	if p.ID != wantID {
+		t.Fatalf("remapped camera ID = %s, want %s", p.ID, wantID)
+	}
+	if p.Node != "h1" {
+		t.Fatalf("remapped profile node = %q, want h1", p.Node)
+	}
+
+	// Static connect through the remapped name. The path lands on h1
+	// (the source's owner), which only knows the wire ID.
+	id, err := h2.Connect(core.PortRef{Translator: p.ID, Port: "out"}, ref(tv, "in"))
+	if err != nil {
+		t.Fatalf("Connect through remapped name: %v", err)
+	}
+	if !strings.HasPrefix(string(id), "h1#") {
+		t.Fatalf("path owner = %q, want h1", id)
+	}
+
+	camera.Emit("out", core.NewMessage("image/jpeg", []byte("through the mount")))
+	got := tv.wait(t, 5*time.Second)
+	if string(got.Payload) != "through the mount" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+
+	// Dynamic binding resolves through the mount too.
+	qid, err := h2.ConnectQuery(
+		core.PortRef{Translator: p.ID, Port: "out"},
+		core.QueryAccepting("image/jpeg", ""),
+	)
+	if err != nil {
+		t.Fatalf("ConnectQuery through remapped name: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, ok := h1.Transport().PathStats(qid)
+		if ok && stats.Bound >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dynamic path through remapped source never bound")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestInterestFilteredRuntimeBindsEndToEnd: a runtime with interest
+// filtering enabled sees only the population it registered interest in,
+// yet binds and receives payloads through it exactly like an unfiltered
+// node — selective propagation must be invisible to applications.
+func TestInterestFilteredRuntimeBindsEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	h1 := w.addRuntime("h1")
+	h2 := w.addRuntimeOpts("h2", directory.Options{
+		AnnounceInterval: 30 * time.Millisecond,
+		Interest:         true,
+	}, transport.Options{DeliverTimeout: 5 * time.Second})
+
+	cancel := h2.Directory().RegisterInterest(core.Query{NameContains: "camera"})
+	defer cancel()
+
+	camera := trigger("h1", "camera", "image/jpeg")
+	if err := h1.Register(camera); err != nil {
+		t.Fatalf("Register(camera): %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h1.Register(trigger("h1", fmt.Sprintf("sensor-%d", i), "text/plain")); err != nil {
+			t.Fatalf("Register(sensor): %v", err)
+		}
+	}
+	tv := newCollector("h2", "tv", "image/jpeg")
+	if err := h2.Register(tv); err != nil {
+		t.Fatalf("Register(tv): %v", err)
+	}
+
+	p := w.waitLookup(h2, core.Query{NameContains: "camera"}, 1)[0]
+	// The sensors fall outside h2's interest and must stay invisible.
+	time.Sleep(200 * time.Millisecond)
+	if got := h2.Lookup(core.Query{Node: "h1"}); len(got) != 1 {
+		t.Fatalf("filtered runtime sees %d h1 profiles, want 1 (camera only)", len(got))
+	}
+
+	if _, err := h2.Connect(core.PortRef{Translator: p.ID, Port: "out"}, ref(tv, "in")); err != nil {
+		t.Fatalf("Connect under interest filtering: %v", err)
+	}
+	camera.Emit("out", core.NewMessage("image/jpeg", []byte("selective")))
+	if got := tv.wait(t, 5*time.Second); string(got.Payload) != "selective" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}

@@ -321,6 +321,13 @@ func (b *Board) RenderHealth() string {
 	}
 	fmt.Fprintln(&sb)
 
+	if sum := b.rt.Directory().InterestSummary(); sum.All {
+		fmt.Fprintln(&sb, "  interest: all (unfiltered)")
+	} else {
+		fmt.Fprintf(&sb, "  interest: %d clauses (%d queries, %d ids)\n",
+			sum.Clauses(), len(sum.Queries), len(sum.IDs))
+	}
+
 	fmt.Fprintf(&sb, "  paths (%d):\n", len(h.Paths))
 	for _, p := range h.Paths {
 		fmt.Fprintf(&sb, "    %-8s %-12s bound=%d failovers=%d %s\n",

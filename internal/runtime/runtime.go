@@ -85,6 +85,9 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Host != nil && cfg.Host.Name() != cfg.Node {
 		return nil, fmt.Errorf("runtime: node %q does not match host %q", cfg.Node, cfg.Host.Name())
 	}
+	if err := cfg.Directory.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
 	reg := cfg.USDL
 	if reg == nil {
 		var err error

@@ -146,6 +146,10 @@ type path struct {
 	bytesRL *qos.RateLimiter
 	msgRL   *qos.RateLimiter
 	met     pathMetrics
+	// interestCancel withdraws the directory interest this path
+	// registered (its query, or its static destination); nil when the
+	// path registered none.
+	interestCancel func()
 
 	mu      sync.Mutex
 	bound   map[core.TranslatorID]core.PortRef
@@ -934,8 +938,10 @@ func (m *Module) ConnectClass(src, dst core.PortRef, class qos.Class) (PathID, e
 		return "", err
 	}
 	if srcProfile.Node != m.node {
+		// The owning node knows the endpoints by their wire IDs, not by
+		// any remapped names local to this boundary.
 		resp, err := m.request(srcProfile.Node, frame{header: frameHeader{
-			Type: frameConnect, Src: src, Dst: dst, Class: &class,
+			Type: frameConnect, Src: m.wireRef(src), Dst: m.wireRef(dst), Class: &class,
 		}})
 		if err != nil {
 			return "", err
@@ -943,6 +949,13 @@ func (m *Module) ConnectClass(src, dst core.PortRef, class qos.Class) (PathID, e
 		return resp.header.PathID, nil
 	}
 	return m.installStatic(src, dst, class)
+}
+
+// wireRef rewrites a port reference's translator ID to wire form for
+// frames that cross a remapped boundary (identity without remap rules).
+func (m *Module) wireRef(ref core.PortRef) core.PortRef {
+	ref.Translator = m.dir.WireID(ref.Translator)
+	return ref
 }
 
 // ConnectQuery establishes a dynamic message path between a specific
@@ -960,8 +973,10 @@ func (m *Module) ConnectQueryClass(src core.PortRef, q core.Query, class qos.Cla
 		return "", err
 	}
 	if srcProfile.Node != m.node {
+		wq := q
+		wq.ExcludeID = m.dir.WireID(wq.ExcludeID)
 		resp, err := m.request(srcProfile.Node, frame{header: frameHeader{
-			Type: frameConnect, Src: src, Query: &q, Class: &class,
+			Type: frameConnect, Src: m.wireRef(src), Query: &wq, Class: &class,
 		}})
 		if err != nil {
 			return "", err
@@ -1022,7 +1037,14 @@ func (m *Module) installStatic(src, dst core.PortRef, class qos.Class) (PathID, 
 	if !core.Compatible(srcType, dstPort.Type) {
 		return "", fmt.Errorf("%w: %s -> %s", ErrIncompatible, srcType, dstPort.Type)
 	}
-	return m.addPath(&path{src: src, srcType: srcType, static: &dst, class: class.WithDefaults()})
+	// A static binding is a live interest in its destination: under
+	// interest filtering the peer's adverts for it must keep flowing.
+	cancel := m.dir.RegisterIDInterest(dst.Translator)
+	id, err := m.addPath(&path{src: src, srcType: srcType, static: &dst, class: class.WithDefaults(), interestCancel: cancel})
+	if err != nil {
+		cancel()
+	}
+	return id, err
 }
 
 func (m *Module) installDynamic(src core.PortRef, q core.Query, class qos.Class) (PathID, error) {
@@ -1033,18 +1055,26 @@ func (m *Module) installDynamic(src core.PortRef, q core.Query, class qos.Class)
 	if q.ExcludeID == "" {
 		q.ExcludeID = src.Translator
 	}
+	// The query is this path's standing interest: registering it makes
+	// peers keep advertising matching profiles under interest filtering.
+	cancel := m.dir.RegisterInterest(q)
 	p := &path{
-		src:     src,
-		srcType: srcType,
-		query:   &q,
-		class:   class.WithDefaults(),
-		bound:   make(map[core.TranslatorID]core.PortRef),
+		src:            src,
+		srcType:        srcType,
+		query:          &q,
+		class:          class.WithDefaults(),
+		bound:          make(map[core.TranslatorID]core.PortRef),
+		interestCancel: cancel,
 	}
 	// Evaluate against translators already present.
 	for _, candidate := range m.dir.Lookup(q) {
 		p.tryBind(candidate, srcType)
 	}
-	return m.addPath(p)
+	id, err := m.addPath(p)
+	if err != nil {
+		cancel()
+	}
+	return id, err
 }
 
 // tryBind binds the path to a matching input port of the candidate, if
@@ -1161,6 +1191,9 @@ func (m *Module) removeLocalPath(id PathID) error {
 	}
 	m.mu.Unlock()
 	p.buf.Close()
+	if p.interestCancel != nil {
+		p.interestCancel()
+	}
 	m.removePathMetrics(id)
 	m.trace.Event("path_disconnect", m.node, string(id))
 	return nil
@@ -1305,8 +1338,11 @@ func (m *Module) awaitFailover(p *path) []core.PortRef {
 }
 
 // deliver routes one message to a destination port, locally or across
-// the network.
+// the network. A destination bound through a remapped name crosses the
+// boundary in wire form: the owning node knows the translator only by
+// its original ID, and that ID's node prefix is the real dial target.
 func (m *Module) deliver(p *path, dst core.PortRef, msg core.Message) error {
+	dst.Translator = m.dir.WireID(dst.Translator)
 	node := dst.Translator.Node()
 	if node == "" {
 		if profile, err := m.dir.Resolve(dst.Translator); err == nil {

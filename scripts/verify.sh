@@ -21,7 +21,7 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/
+go test -race ./internal/core/ ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/
 go test -race $short_flag -run 'TestSoakChurnAndFaults' ./internal/integration/
 go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/integration/
 
@@ -30,6 +30,7 @@ go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/inte
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 5s
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRead$' -fuzztime 5s
 go test ./internal/directory/ -run '^$' -fuzz '^FuzzHandleAdvert$' -fuzztime 5s
+go test ./internal/directory/ -run '^$' -fuzz '^FuzzInterestSummary$' -fuzztime 5s
 
 # Benchharness smoke: one mapping iteration, JSON row dump must appear.
 tmpdir="$(mktemp -d)"

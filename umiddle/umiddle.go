@@ -97,6 +97,17 @@ type (
 	RetryPolicy = qos.RetryPolicy
 	// MapperRecorder collects service-level bridging samples.
 	MapperRecorder = mapper.Recorder
+	// RemapRule mounts a remote node's translator namespace under a
+	// local prefix at the directory boundary (DESIGN.md §11).
+	RemapRule = directory.RemapRule
+	// ACLRule admits or rejects directory advert ingress per boundary;
+	// rules apply in order, first match wins, default allow.
+	ACLRule = directory.ACLRule
+	// ACLAction is an ACLRule verdict (ACLAllow or ACLDeny).
+	ACLAction = directory.ACLAction
+	// InterestSummary is a node's compiled interest set, as gossiped to
+	// peers under interest filtering.
+	InterestSummary = directory.InterestSummary
 	// ObsRegistry is the metrics and event-trace registry; share one
 	// across runtimes to aggregate a deployment on a single endpoint.
 	ObsRegistry = obs.Registry
@@ -125,6 +136,12 @@ const (
 	PathBound       = transport.PathBound
 	PathFailingOver = transport.PathFailingOver
 	PathDegraded    = transport.PathDegraded
+)
+
+// Boundary ACL verdicts.
+const (
+	ACLAllow = directory.Allow
+	ACLDeny  = directory.Deny
 )
 
 // ErrDestinationLost is returned by deliveries on a static path whose
@@ -186,6 +203,20 @@ type RuntimeConfig struct {
 	// MapperRetry bounds the supervisor's restart backoff for panicked
 	// mappers before a platform is declared degraded (zero = defaults).
 	MapperRetry RetryPolicy
+	// InterestFiltering enables interest-driven selective propagation:
+	// the node gossips the interests its bindings and RegisterInterest
+	// calls declare, integrates only matching remote profiles, and
+	// peers stop shipping it the rest of the population (DESIGN.md §11).
+	InterestFiltering bool
+	// Remap mounts remote nodes' translator namespaces under local
+	// prefixes (e.g. everything from node "k1" appearing as
+	// "kitchen/..."); bindings through remapped names are translated
+	// back at the boundary.
+	Remap []RemapRule
+	// ACL admits or rejects directory advert ingress per boundary
+	// (first match wins, default allow) — the federation's first
+	// security control.
+	ACL []ACLRule
 }
 
 // Runtime is one uMiddle node.
@@ -208,9 +239,14 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		}
 	}
 	rt, err := runtime.New(runtime.Config{
-		Node:        cfg.Node,
-		Host:        host,
-		Directory:   directory.Options{AnnounceInterval: cfg.AnnounceInterval},
+		Node: cfg.Node,
+		Host: host,
+		Directory: directory.Options{
+			AnnounceInterval: cfg.AnnounceInterval,
+			Interest:         cfg.InterestFiltering,
+			Remap:            cfg.Remap,
+			ACL:              cfg.ACL,
+		},
 		Transport:   cfg.Transport,
 		Logger:      cfg.Logger,
 		Obs:         cfg.Obs,
@@ -268,6 +304,21 @@ func (r *Runtime) OnMapped(fn func(Profile)) {
 // OnUnmapped registers a callback for translator departures.
 func (r *Runtime) OnUnmapped(fn func(TranslatorID)) {
 	r.rt.Directory().AddListener(directory.ListenerFuncs{Unmapped: fn})
+}
+
+// RegisterInterest declares a standing interest in translators matching
+// the query, returning a cancel function. Bindings declare their own
+// interests automatically; use this for populations an application
+// plans to Lookup without connecting yet. Only meaningful with
+// RuntimeConfig.InterestFiltering (without it the node hears everything
+// anyway, and the registration only shapes what peers may filter).
+func (r *Runtime) RegisterInterest(q Query) func() {
+	return r.rt.Directory().RegisterInterest(q)
+}
+
+// InterestSummary returns the node's current compiled interest summary.
+func (r *Runtime) InterestSummary() *InterestSummary {
+	return r.rt.Directory().InterestSummary()
 }
 
 // Connect establishes a path between two specific ports — paper Figure
