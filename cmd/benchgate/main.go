@@ -19,9 +19,10 @@ import (
 
 func main() {
 	tol := flag.Float64("tolerance", 3, "allowed slowdown factor vs the committed baseline")
+	allowMissing := flag.Bool("allow-missing", false, "warn instead of fail when a committed row is absent from the fresh run (for smokes that run a subset of the committed points)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintf(os.Stderr, "usage: benchgate [-tolerance N] committed.json fresh.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchgate [-tolerance N] [-allow-missing] committed.json fresh.json\n")
 		os.Exit(2)
 	}
 	committed := load(flag.Arg(0))
@@ -46,8 +47,12 @@ func main() {
 		}
 		freshRow, ok := freshRows[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchgate: %q missing from fresh run\n", name)
-			failed = true
+			if *allowMissing {
+				fmt.Printf("benchgate: %q missing from fresh run (allowed)\n", name)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchgate: %q missing from fresh run\n", name)
+				failed = true
+			}
 			continue
 		}
 		for _, m := range baseline {
@@ -116,6 +121,8 @@ var gatedFields = []struct {
 	{"LookupsPerSec", false},
 	{"AdvertBytesPerSec", true},
 	{"IntegratedAdvertBytes", true},
+	{"PerNodeAdvertBytesPerSec", true},
+	{"ZoneJoinSeconds", true},
 }
 
 // rowMetrics extracts every gateable metric present in the row.

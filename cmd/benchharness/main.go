@@ -32,12 +32,18 @@ func main() {
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
 	pops := flag.String("pops", "", "comma-separated population points for dirscale (default 100,1000,10000)")
+	mesh := flag.String("mesh", "1000x10", "comma-separated POPxNODES mesh points for dirscale (e.g. 100000x50,1000x10); empty skips the mesh phase")
 	window := flag.Duration("window", time.Second, "measurement window per dirscale phase")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
 	flag.Parse()
 	popList, err := parsePops(*pops)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchharness: -pops: %v\n", err)
+		os.Exit(2)
+	}
+	meshList, err := parseMeshPoints(*mesh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchharness: -mesh: %v\n", err)
 		os.Exit(2)
 	}
 	writeJSON := func(name string, v any) error {
@@ -83,7 +89,32 @@ func main() {
 	run("fig11", func() error { return printFig11(*msgs, writeJSON) })
 	run("hotpath", func() error { return printHotPath(*msgs, writeJSON) })
 	run("qos", func() error { return printQoS(writeJSON) })
-	run("dirscale", func() error { return printDirScale(popList, *window, writeJSON) })
+	run("dirscale", func() error { return printDirScale(popList, meshList, *window, writeJSON) })
+}
+
+// parseMeshPoints parses the -mesh flag ("100000x50,1000x10"); empty
+// skips the mesh phase entirely.
+func parseMeshPoints(s string) ([]bench.MeshPoint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []bench.MeshPoint
+	for _, part := range strings.Split(s, ",") {
+		pop, nodes, ok := strings.Cut(strings.TrimSpace(part), "x")
+		if !ok {
+			return nil, fmt.Errorf("bad mesh point %q (want POPxNODES)", part)
+		}
+		p, err := strconv.Atoi(pop)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("bad mesh population %q", part)
+		}
+		n, err := strconv.Atoi(nodes)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad mesh node count %q", part)
+		}
+		out = append(out, bench.MeshPoint{Population: p, Nodes: n})
+	}
+	return out, nil
 }
 
 // parsePops parses the -pops flag ("100,1000,10000"); empty selects the
@@ -265,7 +296,7 @@ func printHotPath(msgs int, writeJSON jsonWriter) error {
 	return nil
 }
 
-func printDirScale(pops []int, window time.Duration, writeJSON jsonWriter) error {
+func printDirScale(pops []int, mesh []bench.MeshPoint, window time.Duration, writeJSON jsonWriter) error {
 	fmt.Println("== Directory at scale: population vs lookup rate and advert bandwidth ==")
 	rows, err := bench.RunDirScale(pops, window)
 	if err != nil {
@@ -282,13 +313,38 @@ func printDirScale(pops []int, window time.Duration, writeJSON jsonWriter) error
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	if err := writeJSON("dirscale", rows); err != nil {
+	merged := make([]any, 0, len(rows)+len(mesh))
+	for _, r := range rows {
+		merged = append(merged, r)
+	}
+	if len(mesh) > 0 {
+		fmt.Println("\n-- federated mesh: chained zones, interest-filtered, relayed adverts --")
+		meshRows, err := bench.RunDirScaleMesh(mesh, window)
+		if err != nil {
+			return err
+		}
+		mw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(mw, "test\tpop\tnodes\tconverge\tper-node advert B/s\tzone join\t3-node baseline")
+		for _, r := range meshRows {
+			fmt.Fprintf(mw, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\n",
+				r.Test, r.Population, r.Nodes, r.ConvergeTime.Round(time.Millisecond),
+				r.PerNodeAdvertBytesPerSec, r.ZoneJoinTime.Round(time.Millisecond),
+				r.Baseline3JoinTime.Round(time.Millisecond))
+			merged = append(merged, r)
+		}
+		if err := mw.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := writeJSON("dirscale", merged); err != nil {
 		return err
 	}
 	fmt.Println("shape check: lookup rate must not collapse with population (indexed, not O(N) scans),")
 	fmt.Println("steady-state advert bandwidth must not grow O(N) (delta anti-entropy, not full-state),")
 	fmt.Println("and the filtered observer's integrated advert bytes must sit well under the")
 	fmt.Println("unfiltered observer's at the same population (interest-driven selective propagation).")
+	fmt.Println("mesh: per-node advert bandwidth must stay population-independent across the chain,")
+	fmt.Println("and a fresh zone must join within a small factor of the 3-node baseline.")
 	fmt.Println()
 	return nil
 }

@@ -233,12 +233,21 @@ func runDirScale(population int, window time.Duration, filtered bool) (DirScaleR
 	// the registration burst) finish, so the window measures the steady
 	// protocol, not the convergence tail.
 	time.Sleep(3 * dirScaleAnnounce)
-	bytesSent := func() uint64 {
+	bytesSent := func(types ...string) uint64 {
 		var total uint64
 		for i, reg := range regs {
 			for _, c := range reg.Snapshot().Counters {
-				if c.Name == "umiddle_directory_advert_bytes_total" && c.Labels["node"] == names[i] {
+				if c.Name != "umiddle_directory_advert_bytes_total" || c.Labels["node"] != names[i] {
+					continue
+				}
+				if len(types) == 0 {
 					total += c.Value
+					continue
+				}
+				for _, typ := range types {
+					if c.Labels["type"] == typ {
+						total += c.Value
+					}
 				}
 			}
 		}
@@ -248,11 +257,23 @@ func runDirScale(population int, window time.Duration, filtered bool) (DirScaleR
 	if steadyWindow < time.Second {
 		steadyWindow = time.Second
 	}
-	before := bytesSent()
-	bwStart := time.Now()
-	time.Sleep(steadyWindow)
-	bwElapsed := time.Since(bwStart)
-	row.AdvertBytesPerSec = float64(bytesSent()-before) / bwElapsed.Seconds()
+	// A straggler reconciliation (one sync response at N=10000 is tens of
+	// kilobytes, ~60× the per-window heartbeat traffic) occasionally lands
+	// inside the window and would misreport the steady rate; if any sync
+	// traffic moved during the window, the system was not yet steady —
+	// re-measure.
+	for attempt := 0; ; attempt++ {
+		before := bytesSent()
+		syncBefore := bytesSent("sync", "sync_req")
+		bwStart := time.Now()
+		time.Sleep(steadyWindow)
+		bwElapsed := time.Since(bwStart)
+		after := bytesSent()
+		if bytesSent("sync", "sync_req") == syncBefore || attempt == 4 {
+			row.AdvertBytesPerSec = float64(after-before) / bwElapsed.Seconds()
+			break
+		}
+	}
 
 	// The observer's integration cost accrued almost entirely during the
 	// join; read it after the steady window so late reconciliation syncs

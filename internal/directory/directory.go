@@ -52,6 +52,9 @@ const (
 	// burst (a mapper discovering a device population) broadcasts one
 	// advert instead of N.
 	DefaultCoalesceWindow = 5 * time.Millisecond
+	// DefaultRelayTTL bounds advert relay hops when Options.Relay is on
+	// and no explicit RelayTTL is configured.
+	DefaultRelayTTL = 8
 )
 
 // ErrNotFound is returned when resolving an unknown translator.
@@ -156,6 +159,19 @@ type advert struct {
 	// covered (their summary appears in Ifps) may still reconcile
 	// against it; everyone else must treat it as merge-only.
 	Filtered bool `json:"filtered,omitempty"`
+	// Zone names the namespace zone this advert concerns: the sender's
+	// own zone on state-carrying adverts, the requested zone on a
+	// "sync_req". Empty on adverts from pre-federation peers; receivers
+	// default it to the sender's node name.
+	Zone string `json:"zone,omitempty"`
+	// Seq numbers the origin's adverts monotonically so mesh relays can
+	// suppress duplicates independent of delivery path.
+	Seq uint64 `json:"aseq,omitempty"`
+	// TTL bounds how many further relay hops the advert may take.
+	TTL int `json:"ttl,omitempty"`
+	// Via accumulates the relaying nodes, origin-side first. Receivers
+	// reverse it into a next-hop route toward the origin.
+	Via []string `json:"via,omitempty"`
 }
 
 // Options configures a Directory.
@@ -186,6 +202,19 @@ type Options struct {
 	// ACL admits or rejects advert ingress per boundary, first match
 	// wins, default allow. Invalid rules make New panic.
 	ACL []ACLRule
+	// Zone names the namespace zone this node owns authoritatively.
+	// Empty defaults to the node name — which is also the first path
+	// segment of every local translator ID, so the default zone is
+	// exactly the node's ID prefix.
+	Zone string
+	// Relay makes the node re-broadcast peer adverts onto its own
+	// links, bridging mesh segments. Only useful on nodes that sit on
+	// more than one link; duplicates are suppressed by per-origin
+	// sequence windows and hops bounded by RelayTTL.
+	Relay bool
+	// RelayTTL bounds advert relay hops; zero selects DefaultRelayTTL.
+	// It must exceed the mesh diameter for full advert coverage.
+	RelayTTL int
 }
 
 // Validate checks the option set's remap and ACL rules. New panics on
@@ -208,6 +237,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CoalesceWindow <= 0 {
 		o.CoalesceWindow = DefaultCoalesceWindow
+	}
+	if o.RelayTTL <= 0 {
+		o.RelayTTL = DefaultRelayTTL
 	}
 	if o.Obs == nil {
 		o.Obs = obs.NewRegistry()
@@ -236,6 +268,10 @@ type remoteEntry struct {
 	seen    time.Time
 	fp      uint64
 	wireID  core.TranslatorID
+	// zone is the namespace zone the entry was announced under. Sync
+	// reconciliation is scoped to it: a sync for one zone can only drop
+	// ghosts labeled with that zone.
+	zone string
 }
 
 // shadowEntry accounts for a profile denied by a local ACL rule: the
@@ -244,6 +280,7 @@ type remoteEntry struct {
 // request syncs forever over an entry we refuse to hold.
 type shadowEntry struct {
 	node    string
+	zone    string
 	fp      uint64
 	seen    time.Time
 	profile core.Profile // wire profile, for re-evaluating interest
@@ -258,6 +295,8 @@ type nodeState struct {
 	version uint64
 	// lastSyncReq rate-limits divergence-triggered sync requests.
 	lastSyncReq time.Time
+	// lastBootstrap rate-limits zone bootstraps served to this node.
+	lastBootstrap time.Time
 }
 
 // dirMetrics bundles the directory's metric handles, resolved once at
@@ -280,6 +319,14 @@ type dirMetrics struct {
 	egressFiltered  *obs.Counter
 	aclDenied       *obs.Counter
 	integratedBytes *obs.Counter
+
+	relayed      *obs.Counter
+	relayBytes   *obs.Counter
+	relayDupDrop *obs.Counter
+	relayTTLDrop *obs.Counter
+
+	bootstrap      *obs.Counter
+	bootstrapBytes *obs.Counter
 }
 
 // Directory is one runtime's view of the intermediary semantic space.
@@ -289,10 +336,20 @@ type dirMetrics struct {
 // read-path snapshot all share them without further copying.
 type Directory struct {
 	node  string
+	zone  string
 	host  *netemu.Host
 	opts  Options
 	met   dirMetrics
 	trace *obs.Trace
+	// advertSeq numbers this node's outgoing adverts for mesh duplicate
+	// suppression. Seeded from the wall clock so a restarted node's
+	// sequence restarts above anything peers have seen from its previous
+	// incarnation.
+	advertSeq atomic.Uint64
+	// sendMu serializes advert emission against Close: the bye is sent
+	// under it with closed already set, so any concurrent send that
+	// re-checks closed under sendMu can no longer emit after the bye.
+	sendMu sync.Mutex
 	// cache memoizes Query.Matches across Lookup calls; profile
 	// fingerprints keep it correct across re-announces, and departures
 	// invalidate eagerly for memory hygiene.
@@ -328,6 +385,20 @@ type Directory struct {
 	// pendingAdds names local translators registered since the last
 	// broadcast, flushed as one coalesced "add" delta.
 	pendingAdds map[core.TranslatorID]struct{}
+	// timers tracks every outstanding AfterFunc handle (delta coalesce,
+	// sync coalesce, sync rate-limit) so Close can stop them — an
+	// untracked timer would fire into a closed directory and leak its
+	// goroutine past wg.Wait.
+	timers map[*time.Timer]struct{}
+	// relaySeen holds a per-origin sliding sequence window for advert
+	// duplicate suppression on meshes.
+	relaySeen map[string]*seenWindow
+	// routes maps remote nodes to the relay path (next hop first)
+	// learned from advert Via hints; absent means directly reachable.
+	routes map[string]*routeEntry
+	// zones maps remote nodes to the zone they advertise; absent
+	// defaults to the node name.
+	zones map[string]string
 
 	// remap and acl are the boundary engines (nil: identity / allow all).
 	remap *remapper
@@ -381,9 +452,20 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 	reg.Describe("umiddle_directory_interest_egress_suppressed_total", "Local profiles withheld from outgoing adverts as outside every peer's interest.")
 	reg.Describe("umiddle_directory_acl_denied_total", "Adverts and advertised profiles rejected by boundary ACL rules.")
 	reg.Describe("umiddle_directory_advert_bytes_integrated_total", "Profile-carrying advert payload bytes this node actually integrated.")
+	reg.Describe("umiddle_directory_adverts_relayed_total", "Peer adverts re-broadcast onto this node's links (mesh relay).")
+	reg.Describe("umiddle_directory_advert_relay_bytes_total", "Payload bytes of relayed peer adverts.")
+	reg.Describe("umiddle_directory_relay_dup_dropped_total", "Received adverts dropped as duplicates of an already-seen origin sequence.")
+	reg.Describe("umiddle_directory_relay_ttl_dropped_total", "Adverts not relayed further because their TTL was exhausted.")
+	reg.Describe("umiddle_directory_bootstrap_adverts_total", "Zone bootstrap adverts served to link neighbors on another node's behalf.")
+	reg.Describe("umiddle_directory_bootstrap_bytes_total", "Payload bytes of zone bootstrap adverts.")
 	nl := obs.Labels{"node": node}
+	zone := opts.Zone
+	if zone == "" {
+		zone = node
+	}
 	d := &Directory{
 		node: node,
+		zone: zone,
 		host: host,
 		opts: opts,
 		met: dirMetrics{
@@ -404,6 +486,14 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 			egressFiltered:  reg.Counter("umiddle_directory_interest_egress_suppressed_total", nl),
 			aclDenied:       reg.Counter("umiddle_directory_acl_denied_total", nl),
 			integratedBytes: reg.Counter("umiddle_directory_advert_bytes_integrated_total", nl),
+
+			relayed:      reg.Counter("umiddle_directory_adverts_relayed_total", nl),
+			relayBytes:   reg.Counter("umiddle_directory_advert_relay_bytes_total", nl),
+			relayDupDrop: reg.Counter("umiddle_directory_relay_dup_dropped_total", nl),
+			relayTTLDrop: reg.Counter("umiddle_directory_relay_ttl_dropped_total", nl),
+
+			bootstrap:      reg.Counter("umiddle_directory_bootstrap_adverts_total", nl),
+			bootstrapBytes: reg.Counter("umiddle_directory_bootstrap_bytes_total", nl),
 		},
 		trace:       reg.Trace(),
 		cache:       core.NewMatchCache(0),
@@ -418,7 +508,15 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 		peerSum:     make(map[string]uint64),
 		ifp:         make(map[uint64]*peerIfp),
 		shadow:      make(map[core.TranslatorID]shadowEntry),
+		timers:      make(map[*time.Timer]struct{}),
+		relaySeen:   make(map[string]*seenWindow),
+		routes:      make(map[string]*routeEntry),
+		zones:       make(map[string]string),
 	}
+	// Wall-clock seed: a restarted incarnation must start its sequence
+	// numbers above its predecessor's or peers' duplicate windows would
+	// silence it.
+	d.advertSeq.Store(uint64(time.Now().UnixNano()))
 	d.ownSum = d.interest.summary()
 	d.ownSumFP = d.ownSum.Fingerprint()
 	for _, typ := range advertTypes {
@@ -512,13 +610,27 @@ func (d *Directory) Close() error {
 	d.closed = true
 	group := d.group
 	cancel := d.cancel
+	timers := d.timers
+	d.timers = nil
 	d.mu.Unlock()
 
+	// Stop every tracked AfterFunc. Stop() == true means the callback
+	// will never run, so its wg slot must be released here; a false
+	// return means the callback is already in flight — it observes
+	// closed, skips its work, and releases the slot itself.
+	for t := range timers {
+		if t.Stop() {
+			d.wg.Done()
+		}
+	}
 	if group != nil {
 		// Sent directly rather than via send(), which refuses once the
 		// directory is closed: the bye is the one advert that must still
-		// go out, and it must be the last.
-		d.sendOn(group, advert{Type: "bye", Node: d.node})
+		// go out, and it must be the last — sendOn serializes emission
+		// under sendMu and re-checks closed there, so a delta or sync
+		// that raced past its own closed check can no longer broadcast
+		// after this.
+		d.sendOn(group, advert{Type: "bye", Node: d.node, Zone: d.zone})
 	}
 	if cancel != nil {
 		cancel()
@@ -528,6 +640,32 @@ func (d *Directory) Close() error {
 	}
 	d.wg.Wait()
 	return nil
+}
+
+// afterFunc schedules fn on a timer that is tracked for Close: the
+// callback is accounted in d.wg, skipped once the directory closes, and
+// the handle stopped by Close so it cannot fire afterwards. Returns
+// false (fn will never run) when the directory is already closed.
+func (d *Directory) afterFunc(delay time.Duration, fn func()) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.wg.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(delay, func() {
+		defer d.wg.Done()
+		d.mu.Lock()
+		delete(d.timers, t)
+		closed := d.closed
+		d.mu.Unlock()
+		if !closed {
+			fn()
+		}
+	})
+	d.timers[t] = struct{}{}
+	return true
 }
 
 // AddLocal registers a local translator and announces it. The profile is
@@ -604,7 +742,7 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 	d.trace.Event("translator_unmapped", d.node, string(id))
 	d.notifyUnmapped(listeners, id)
 	if !unannounced {
-		d.send(advert{Type: "remove", Node: d.node, Removed: []core.TranslatorID{id}, Version: version, Fp: fp, Ifps: ifps})
+		d.send(advert{Type: "remove", Node: d.node, Zone: d.zone, Removed: []core.TranslatorID{id}, Version: version, Fp: fp, Ifps: ifps})
 	}
 	return entry.translator, nil
 }
@@ -670,7 +808,7 @@ func (d *Directory) scheduleDelta() {
 	}
 	d.deltaPending = true
 	d.mu.Unlock()
-	time.AfterFunc(d.opts.CoalesceWindow, func() { d.flushDelta() })
+	d.afterFunc(d.opts.CoalesceWindow, d.flushDelta)
 }
 
 // flushDelta broadcasts the coalesced "add" delta. A full-state
@@ -707,7 +845,7 @@ func (d *Directory) flushDelta() {
 		return
 	}
 	d.send(advert{
-		Type: "add", Node: d.node, Profiles: profiles,
+		Type: "add", Node: d.node, Zone: d.zone, Profiles: profiles,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
 		Version:     version, Fp: fp, Ifps: ifps, Filtered: filtered,
 	})
@@ -948,7 +1086,7 @@ func (d *Directory) sendFullState(typ string) {
 	}
 	d.mu.Unlock()
 	d.send(advert{
-		Type: typ, Node: d.node, Profiles: profiles,
+		Type: typ, Node: d.node, Zone: d.zone, Profiles: profiles,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
 		Version:     version, Fp: fp,
 		Ifps: ifps, Filtered: filtered, Interest: interest,
@@ -1010,19 +1148,21 @@ func (d *Directory) scheduleSync() {
 		// the moment the window expires.
 		if !d.syncWanted {
 			d.syncWanted = true
-			time.AfterFunc(wait, func() {
+			d.mu.Unlock()
+			d.afterFunc(wait, func() {
 				d.mu.Lock()
 				d.syncWanted = false
 				d.mu.Unlock()
 				d.scheduleSync()
 			})
+			return
 		}
 		d.mu.Unlock()
 		return
 	}
 	d.syncPending = true
 	d.mu.Unlock()
-	time.AfterFunc(d.opts.CoalesceWindow, func() { d.sendFullState("sync") })
+	d.afterFunc(d.opts.CoalesceWindow, func() { d.sendFullState("sync") })
 }
 
 // sendHeartbeat broadcasts the constant-size liveness advert: lease,
@@ -1038,7 +1178,7 @@ func (d *Directory) sendHeartbeat() {
 	}
 	d.mu.RUnlock()
 	d.send(advert{
-		Type: "heartbeat", Node: d.node,
+		Type: "heartbeat", Node: d.node, Zone: d.zone,
 		LeaseMillis: int64(d.lease() / time.Millisecond),
 		Version:     version, Fp: fp,
 		Ifps: ifps, Interest: interest,
@@ -1057,11 +1197,28 @@ func (d *Directory) send(a advert) {
 }
 
 // sendOn marshals and broadcasts one advert on the given group,
-// counting it. Close uses it directly for the final bye.
+// counting it. Close uses it directly for the final bye. Emission is
+// serialized under sendMu with a closed re-check so nothing can hit the
+// wire after the bye: a timer callback that passed its own closed check
+// before Close flipped the flag parks here until the bye is out, then
+// refuses.
 func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
+	a.Seq = d.advertSeq.Add(1)
+	if d.opts.Relay && a.TTL == 0 {
+		a.TTL = d.opts.RelayTTL
+	}
 	data, err := json.Marshal(a)
 	if err != nil {
 		d.opts.Logger.Error("directory: marshal advert", "err", err)
+		return
+	}
+	d.sendMu.Lock()
+	defer d.sendMu.Unlock()
+	d.mu.RLock()
+	closed := d.closed
+	d.mu.RUnlock()
+	// Only Close sends a bye, and it does so with closed already set.
+	if closed && a.Type != "bye" {
 		return
 	}
 	d.met.sent[a.Type].Inc()
@@ -1115,6 +1272,12 @@ func (d *Directory) handleAdvert(a advert) {
 // handleAdvertSized processes one advert; payloadBytes (0 when unknown)
 // feeds the integrated-bytes accounting for profile-carrying adverts.
 func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
+	// Our own adverts echoed back through a relay are routine on a mesh
+	// (the relay cannot know the origin also hears its link) — drop
+	// silently, before the spoof check below counts them as malformed.
+	if a.Node == d.node && len(a.Via) > 0 {
+		return
+	}
 	// No advert legitimately names an empty node or this node itself:
 	// our own datagrams are filtered by sender in receiveLoop, so a
 	// self-node advert is spoofed or looped and an empty-node one would
@@ -1130,6 +1293,14 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 		d.met.aclDenied.Inc()
 		return
 	}
+	// Mesh duplicate suppression: an advert reaching us over several
+	// relay paths is processed (and re-relayed) exactly once. Unnumbered
+	// adverts (pre-mesh peers, tests) are never deduplicated.
+	if a.Seq != 0 && d.dupAdvert(a.Node, a.Seq) {
+		d.met.relayDupDrop.Inc()
+		return
+	}
+	d.noteMesh(a)
 	if a.Interest != nil {
 		d.trackPeerInterest(a.Node, a.Interest)
 	}
@@ -1139,7 +1310,7 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 		// pre-delta peer) and "add" (incremental delta) integrate with the
 		// same merge semantics; dropping stale entries is sync's job.
 		d.touchNode(a.Node, a.LeaseMillis)
-		kept := d.ingestProfiles(a.Profiles)
+		kept := d.ingestProfiles(a.Profiles, a.Zone)
 		d.countIntegrated(payloadBytes, kept, len(a.Profiles))
 		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
 	case "heartbeat":
@@ -1161,6 +1332,9 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 	case "sync_req":
 		d.touchNode(a.Node, 0)
 		if a.Target == d.node {
+			// The request names the zone the peer wants reconciled. We
+			// serve our own zone even on a mismatch (the peer's zone
+			// mapping is stale; the sync's Zone field corrects it).
 			d.scheduleSync()
 		}
 	case "bye":
@@ -1168,6 +1342,15 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 	default:
 		d.met.malformed.Inc()
 		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
+	}
+	if a.Type == "announce" && len(a.Via) == 0 {
+		// A direct announce is a neighbor joining (or rejoining) our
+		// link: offer it the zones we hold so it need not pull each one
+		// from its owner across the mesh.
+		d.maybeBootstrap(a.Node)
+	}
+	if d.opts.Relay {
+		d.relay(a)
 	}
 }
 
@@ -1231,8 +1414,11 @@ func (d *Directory) releaseIfpLocked(sumFP uint64) {
 
 // ingestProfiles runs a batch of announced profiles through the ingress
 // pipeline — shape restore, interest filter, boundary ACL, namespace
-// remap, merge — returning how many were integrated.
-func (d *Directory) ingestProfiles(profiles []core.Profile) int {
+// remap, merge — returning how many were integrated. zone labels the
+// integrated entries with the advert's namespace zone; empty (an advert
+// from a pre-federation peer) falls back per profile to the owning
+// node's name, the default zone every node owns.
+func (d *Directory) ingestProfiles(profiles []core.Profile, zone string) int {
 	kept := 0
 	for i := range profiles {
 		p := profiles[i]
@@ -1241,7 +1427,7 @@ func (d *Directory) ingestProfiles(profiles []core.Profile) int {
 			d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
 			continue
 		}
-		if d.ingest(p) {
+		if d.ingest(p, zone) {
 			kept++
 		}
 	}
@@ -1250,17 +1436,17 @@ func (d *Directory) ingestProfiles(profiles []core.Profile) int {
 
 // ingest admits one shape-restored wire profile, reporting whether it
 // was integrated into the local view.
-func (d *Directory) ingest(p core.Profile) bool {
+func (d *Directory) ingest(p core.Profile, zone string) bool {
 	if !d.wantsWire(p) {
 		d.met.ingressFiltered.Inc()
 		return false
 	}
 	if !d.acl.allows(p.Node, p.ID) {
 		d.met.aclDenied.Inc()
-		d.shadowDenied(p)
+		d.shadowDenied(p, zone)
 		return false
 	}
-	d.integrate(p)
+	d.integrate(p, zone)
 	return true
 }
 
@@ -1280,7 +1466,10 @@ func (d *Directory) wantsWire(p core.Profile) bool {
 // digest without holding the profile: the sender counts the entry in
 // its digests, so leaving it out would read as permanent divergence and
 // a sync request every interval.
-func (d *Directory) shadowDenied(p core.Profile) {
+func (d *Directory) shadowDenied(p core.Profile, zone string) {
+	if zone == "" {
+		zone = p.Node
+	}
 	sealed := p.Clone()
 	fp := sealed.Fingerprint()
 	d.mu.Lock()
@@ -1289,7 +1478,7 @@ func (d *Directory) shadowDenied(p core.Profile) {
 	if known {
 		d.xorNodeFP(prev.node, prev.fp)
 	}
-	d.shadow[p.ID] = shadowEntry{node: p.Node, fp: fp, seen: time.Now(), profile: sealed}
+	d.shadow[p.ID] = shadowEntry{node: p.Node, zone: zone, fp: fp, seen: time.Now(), profile: sealed}
 	d.xorNodeFP(p.Node, fp)
 }
 
@@ -1307,13 +1496,25 @@ func (d *Directory) dropShadow(id core.TranslatorID) {
 // reconcile applies a full-state "sync" advert: merge every carried
 // profile, then drop entries of the sender that the advert no longer
 // lists — the one path that repairs over-approximation (entries the
-// sender removed while we missed the remove). When the sender filtered
-// the list to peer interests, dropping is only safe for receivers whose
-// interest the sender provably covered (their summary fingerprint
-// appears in Ifps); everyone else merges without dropping and lets the
-// next digest comparison drive a wider sync if needed. Returns how many
-// carried profiles were integrated.
+// sender removed while we missed the remove). Dropping is scoped to the
+// advert's zone: a sync is authoritative only for the namespace zone the
+// sender owns, so entries of the same node held under another zone label
+// (a pre-rezone ingest, a misdirected advert) are left for that zone's
+// own sync or lease lapse. When the sender filtered the list to peer
+// interests, dropping is only safe for receivers whose interest the
+// sender provably covered (their summary fingerprint appears in Ifps);
+// everyone else merges without dropping and lets the next digest
+// comparison drive a wider sync if needed. Returns how many carried
+// profiles were integrated.
 func (d *Directory) reconcile(a advert) int {
+	// The advert's drop authority is scoped to its zone; without one (a
+	// pre-federation sender) it speaks for the sender's default zone —
+	// the node name — which is also the label defaulted at ingest, so
+	// legacy reconcile semantics are preserved exactly.
+	scope := a.Zone
+	if scope == "" {
+		scope = a.Node
+	}
 	kept := 0
 	present := make(map[core.TranslatorID]bool, len(a.Profiles))
 	for i := range a.Profiles {
@@ -1323,7 +1524,7 @@ func (d *Directory) reconcile(a advert) int {
 			continue
 		}
 		present[a.Profiles[i].ID] = true
-		if d.ingest(a.Profiles[i]) {
+		if d.ingest(a.Profiles[i], a.Zone) {
 			kept++
 		}
 	}
@@ -1333,7 +1534,7 @@ func (d *Directory) reconcile(a advert) int {
 	d.mu.Lock()
 	var dropped []core.TranslatorID
 	for id, e := range d.remote {
-		if e.profile.Node == a.Node && !present[e.wireID] {
+		if e.profile.Node == a.Node && e.zone == scope && !present[e.wireID] {
 			delete(d.remote, id)
 			d.xorNodeFP(a.Node, e.fp)
 			dropped = append(dropped, id)
@@ -1341,7 +1542,7 @@ func (d *Directory) reconcile(a advert) int {
 	}
 	// Shadowed (ACL-denied) entries of the sender reconcile the same way.
 	for id, e := range d.shadow {
-		if e.node == a.Node && !present[id] {
+		if e.node == a.Node && e.zone == scope && !present[id] {
 			delete(d.shadow, id)
 			d.xorNodeFP(a.Node, e.fp)
 		}
@@ -1408,10 +1609,16 @@ func (d *Directory) noteNodeState(a advert, versioned bool) {
 		st.lastSyncReq = time.Now()
 		req = true
 	}
+	zone := a.Zone
+	if zone == "" {
+		zone = a.Node
+	}
 	d.mu.Unlock()
 	if req {
 		d.trace.Event("sync_request", d.node, a.Node)
-		d.send(advert{Type: "sync_req", Node: d.node, Target: a.Node})
+		// The request names the diverged zone — the one the advert whose
+		// digest disagreed was speaking for.
+		d.send(advert{Type: "sync_req", Node: d.node, Target: a.Node, Zone: zone})
 	}
 }
 
@@ -1437,9 +1644,14 @@ func sameProfile(a, b core.Profile) bool {
 		maps.Equal(a.Attributes, b.Attributes)
 }
 
-func (d *Directory) integrate(p core.Profile) {
+func (d *Directory) integrate(p core.Profile, zone string) {
 	if p.Node == d.node {
 		return // don't learn our own state back
+	}
+	if zone == "" {
+		// No zone on the wire: the entry belongs to its owning node's
+		// default zone, whoever carried the advert.
+		zone = p.Node
 	}
 	sealed := p.Clone()
 	// The anti-entropy digest is computed over the announced (wire)
@@ -1454,7 +1666,7 @@ func (d *Directory) integrate(p core.Profile) {
 	// removed) must re-notify, or dynamic bindings never see device
 	// updates; only a byte-identical refresh is silent.
 	changed := known && !sameProfile(prev.profile, sealed)
-	d.remote[sealed.ID] = remoteEntry{profile: sealed, seen: time.Now(), fp: fp, wireID: wireID}
+	d.remote[sealed.ID] = remoteEntry{profile: sealed, seen: time.Now(), fp: fp, wireID: wireID, zone: zone}
 	if known {
 		// The previous entry may even claim a different owning node;
 		// digests track the stored profile's claim, not the advert's.
@@ -1571,6 +1783,9 @@ func (d *Directory) dropNode(node string, entryTrace string) int {
 	}
 	// Dropping every entry of the node zeroes its digest by definition.
 	delete(d.nodeFP, node)
+	delete(d.routes, node)
+	delete(d.zones, node)
+	delete(d.relaySeen, node)
 	if wasLive || len(dropped) > 0 {
 		d.gen.Add(1)
 	}

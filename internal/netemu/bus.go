@@ -33,8 +33,12 @@ type GroupConn struct {
 }
 
 // groupInboxSize bounds each member's receive queue; datagrams beyond it
-// are dropped, as a real UDP socket would.
-const groupInboxSize = 512
+// are dropped, as a real UDP socket would. Sized like an OS receive
+// buffer (megabytes, not packets): in a segmented mesh a relay node
+// absorbs whole-link bursts, and a shallow queue turns every burst into
+// drops that the anti-entropy layer then repairs with far more traffic
+// than the queue would have held.
+const groupInboxSize = 4096
 
 func (n *Network) joinGroup(h *Host, group string) (*GroupConn, error) {
 	if group == "" {
@@ -93,6 +97,9 @@ func (gc *GroupConn) Send(payload []byte) error {
 		profile, down := n.linkBetween(gc.host.name, m.host.name)
 		delay := profile.Latency + profile.transmitDuration(len(payload))
 		if m.host.name != gc.host.name {
+			if !n.reachable(gc.host.name, m.host.name) {
+				continue
+			}
 			if down {
 				continue
 			}

@@ -1,0 +1,182 @@
+package netemu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi-link topologies. By default a Network is one broadcast domain:
+// every host can dial every other host and multicast datagrams reach all
+// group members. Declaring named links partitions the network into
+// segments — a host can only exchange traffic (streams and datagrams)
+// with hosts it shares at least one link with. A host may sit on several
+// links, making it a potential relay between segments; routing across
+// segments is the overlay's job (directory adverts + transport
+// forwarding), not the emulator's.
+//
+// Link membership is keyed by host name, modeling physical wiring: it
+// survives CrashNode/RestartNode, just as a rebooted machine comes back
+// on the same cables.
+
+// Topology maps link names to the hosts attached to each link. A host
+// may appear on any number of links.
+type Topology map[string][]string
+
+// ChainTopology wires hosts into a chain of two-host links:
+// hosts[0]—hosts[1]—…—hosts[n-1]. Adjacent hosts share a link; traffic
+// between non-adjacent hosts must be relayed.
+func ChainTopology(hosts ...string) Topology {
+	topo := make(Topology, len(hosts))
+	for i := 0; i+1 < len(hosts); i++ {
+		topo[fmt.Sprintf("seg%d", i)] = []string{hosts[i], hosts[i+1]}
+	}
+	return topo
+}
+
+// StarTopology wires each leaf to the hub over its own link. Leaves
+// cannot reach each other directly; the hub sits on every link.
+func StarTopology(hub string, leaves ...string) Topology {
+	topo := make(Topology, len(leaves))
+	for _, leaf := range leaves {
+		topo["star-"+leaf] = []string{hub, leaf}
+	}
+	return topo
+}
+
+// NewMesh creates a segmented network from a topology: every host named
+// in the topology is registered and joined to its links. All pairs use
+// the default link profile unless overridden with SetLink.
+func NewMesh(defaultLink LinkProfile, topo Topology) (*Network, error) {
+	n := NewNetwork(defaultLink)
+	links := make([]string, 0, len(topo))
+	for link := range topo {
+		links = append(links, link)
+	}
+	sort.Strings(links)
+	for _, link := range links {
+		for _, host := range topo[link] {
+			if n.Host(host) == nil {
+				if _, err := n.AddHost(host); err != nil {
+					return nil, err
+				}
+			}
+			if err := n.JoinLink(host, link); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// AddLink declares a named link and attaches the given hosts to it.
+// Every host must already be registered. Calling AddLink on an existing
+// link extends its membership.
+func (n *Network) AddLink(link string, hosts ...string) error {
+	for _, h := range hosts {
+		if err := n.JoinLink(h, link); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JoinLink attaches a registered host to a named link, creating the link
+// if needed. The first JoinLink call on a network switches it from the
+// single-bus default to segmented reachability.
+func (n *Network) JoinLink(host, link string) error {
+	if link == "" {
+		return fmt.Errorf("netemu: empty link name")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, ok := n.hosts[host]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	if n.segments == nil {
+		n.segments = make(map[string]map[string]struct{})
+		n.hostLinks = make(map[string]map[string]struct{})
+	}
+	members, ok := n.segments[link]
+	if !ok {
+		members = make(map[string]struct{})
+		n.segments[link] = members
+	}
+	members[host] = struct{}{}
+	joined, ok := n.hostLinks[host]
+	if !ok {
+		joined = make(map[string]struct{})
+		n.hostLinks[host] = joined
+	}
+	joined[link] = struct{}{}
+	return nil
+}
+
+// HostLinks returns the names of the links a host sits on, sorted. Nil
+// on an unsegmented network.
+func (n *Network) HostLinks(host string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.hostLinks[host]) == 0 {
+		return nil
+	}
+	links := make([]string, 0, len(n.hostLinks[host]))
+	for l := range n.hostLinks[host] {
+		links = append(links, l)
+	}
+	sort.Strings(links)
+	return links
+}
+
+// LinkMembers returns the hosts attached to a link, sorted.
+func (n *Network) LinkMembers(link string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.segments[link]) == 0 {
+		return nil
+	}
+	hosts := make([]string, 0, len(n.segments[link]))
+	for h := range n.segments[link] {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Segmented reports whether any link has been declared, i.e. whether
+// reachability is link-scoped rather than the single-bus default.
+func (n *Network) Segmented() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.segments) > 0
+}
+
+// reachable reports whether a and b share a broadcast domain: always on
+// an unsegmented network, otherwise only when they sit on a common link.
+// A host is always reachable from itself (loopback).
+func (n *Network) reachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reachableLocked(a, b)
+}
+
+func (n *Network) reachableLocked(a, b string) bool {
+	if len(n.segments) == 0 {
+		return true
+	}
+	la, lb := n.hostLinks[a], n.hostLinks[b]
+	if len(la) > len(lb) {
+		la, lb = lb, la
+	}
+	for l := range la {
+		if _, ok := lb[l]; ok {
+			return true
+		}
+	}
+	return false
+}

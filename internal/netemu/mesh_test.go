@@ -1,0 +1,150 @@
+package netemu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnsegmentedNetworkIsOneBus(t *testing.T) {
+	n := NewNetwork(Unlimited())
+	n.MustAddHost("a")
+	n.MustAddHost("b")
+	if n.Segmented() {
+		t.Fatal("network with no links reports Segmented")
+	}
+	if !n.reachable("a", "b") {
+		t.Fatal("hosts on an unsegmented network must be reachable")
+	}
+}
+
+func TestChainTopologyReachability(t *testing.T) {
+	n, err := NewMesh(Unlimited(), ChainTopology("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Segmented() {
+		t.Fatal("mesh network not segmented")
+	}
+	for _, tc := range []struct {
+		x, y string
+		want bool
+	}{
+		{"a", "b", true},
+		{"b", "c", true},
+		{"a", "c", false},
+		{"a", "a", true},
+	} {
+		if got := n.reachable(tc.x, tc.y); got != tc.want {
+			t.Errorf("reachable(%s,%s) = %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+	if got := n.HostLinks("b"); len(got) != 2 {
+		t.Fatalf("HostLinks(b) = %v, want 2 links", got)
+	}
+	if got := n.LinkMembers("seg0"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("LinkMembers(seg0) = %v", got)
+	}
+}
+
+func TestStarTopologyReachability(t *testing.T) {
+	n, err := NewMesh(Unlimited(), StarTopology("hub", "x", "y", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range []string{"x", "y", "z"} {
+		if !n.reachable("hub", leaf) {
+			t.Errorf("hub cannot reach %s", leaf)
+		}
+	}
+	if n.reachable("x", "y") {
+		t.Error("leaves must not reach each other directly")
+	}
+}
+
+func TestDialAcrossSegmentsFails(t *testing.T) {
+	n, err := NewMesh(Unlimited(), ChainTopology("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	c := n.Host("c")
+	if _, err := c.Listen(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Host("a").Dial(ctx, "c:7"); !errors.Is(err, ErrNoLink) {
+		t.Fatalf("dial across segments: got %v, want ErrNoLink", err)
+	}
+	// Adjacent hosts still connect.
+	if _, err := n.Host("b").Listen(7); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Host("a").Dial(ctx, "b:7")
+	if err != nil {
+		t.Fatalf("dial adjacent host: %v", err)
+	}
+	conn.Close()
+}
+
+func TestGroupSendScopedToSharedLinks(t *testing.T) {
+	n, err := NewMesh(Unlimited(), ChainTopology("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := func(host string) *GroupConn {
+		gc, err := n.Host(host).JoinGroup("disc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gc
+	}
+	ga, gb, gc := join("a"), join("b"), join("c")
+	defer ga.Close()
+	defer gb.Close()
+	defer gc.Close()
+
+	if err := ga.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// b shares seg0 with a: must receive.
+	gb.SetDeadline(time.Now().Add(time.Second))
+	if d, err := gb.Recv(); err != nil || string(d.Payload) != "hello" {
+		t.Fatalf("b recv: %v %q", err, d.Payload)
+	}
+	// c shares no link with a: must not receive.
+	gc.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if d, err := gc.Recv(); err == nil {
+		t.Fatalf("c received %q across segment boundary", d.Payload)
+	}
+}
+
+func TestLinkMembershipSurvivesCrashRestart(t *testing.T) {
+	n, err := NewMesh(Unlimited(), ChainTopology("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CrashNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RestartNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.reachable("a", "b") || !n.reachable("b", "c") {
+		t.Fatal("restarted host lost its link membership")
+	}
+	if n.reachable("a", "c") {
+		t.Fatal("a and c became reachable after restart")
+	}
+}
+
+func TestJoinLinkUnknownHost(t *testing.T) {
+	n := NewNetwork(Unlimited())
+	if err := n.JoinLink("ghost", "l0"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("JoinLink(ghost) = %v, want ErrUnknownHost", err)
+	}
+	if err := n.AddLink("", "x"); err == nil {
+		t.Fatal("AddLink with empty link name succeeded")
+	}
+}

@@ -34,6 +34,9 @@ var (
 	ErrConnRefused = errors.New("netemu: connection refused")
 	// ErrLinkDown is returned when traffic is sent over a partitioned link.
 	ErrLinkDown = errors.New("netemu: link down")
+	// ErrNoLink is returned when two hosts on a segmented network share no
+	// link: they can only communicate through a relaying host.
+	ErrNoLink = errors.New("netemu: hosts share no link")
 	// ErrClosed is returned when using a closed network, host, or listener.
 	ErrClosed = errors.New("netemu: closed")
 )
@@ -116,6 +119,8 @@ type Network struct {
 	defaultLink LinkProfile
 	hosts       map[string]*Host
 	links       map[hostPair]LinkProfile
+	segments    map[string]map[string]struct{} // link name -> member host names
+	hostLinks   map[string]map[string]struct{} // host name -> link names
 	down        map[hostPair]bool
 	faults      map[directedPair]Fault
 	groups      map[string]map[*GroupConn]struct{}
@@ -344,6 +349,9 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 	peer := h.net.Host(target)
 	if peer == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, target)
+	}
+	if !h.net.reachable(h.name, target) {
+		return nil, fmt.Errorf("netemu: dial %s: %w", address, ErrNoLink)
 	}
 	profile, down := h.net.linkBetween(h.name, target)
 	if down {

@@ -125,6 +125,16 @@ func (d *dispatcher) close() {
 // settles the frame's buffer and accounting.
 func (m *Module) handleInbound(in inbound) {
 	f := in.f
+	// An in-transit frame (non-empty route) is not ours: forward it to
+	// its next hop instead of delivering. Running here keeps forwards on
+	// the bounded worker pool with the sender backpressured through the
+	// connection semaphore, and preserves per-destination ordering.
+	if len(f.header.Route) > 0 {
+		m.forwardFrame(f)
+		f.release()
+		in.done()
+		return
+	}
 	var msg core.Message
 	if m.opts.ZeroCopyDeliver {
 		// Payload aliases the pooled read buffer; the translator must

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -249,6 +250,10 @@ type Options struct {
 	// in parallel instead of serializing behind one per-connection
 	// queue.
 	DeliverWorkers int
+	// RelayTTL bounds the hops a deliver frame may be forwarded through
+	// when the destination shares no link and the directory supplies a
+	// relay route (default 8).
+	RelayTTL int
 	// ZeroCopyDeliver hands inbound payloads to local translators
 	// without copying them out of the pooled read buffer. Opt-in
 	// contract: every local translator must finish with msg.Payload
@@ -275,6 +280,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DeliverWorkers <= 0 {
 		o.DeliverWorkers = 8
+	}
+	if o.RelayTTL <= 0 {
+		o.RelayTTL = 8
 	}
 	o.Retry = o.Retry.WithDefaults()
 	o.Redial = o.Redial.WithDefaults()
@@ -325,6 +333,14 @@ type Module struct {
 	trace       *obs.Trace
 	codecMet    *connMetrics // pool hit rate + write batch sizes
 
+	// Relay metric handles and state (multi-hop forwarding, relay.go).
+	relayed        *obs.Counter
+	relayedBytes   *obs.Counter
+	relayDupDrop   *obs.Counter
+	relayTTLDrop   *obs.Counter
+	relayRouteFail *obs.Counter
+	relayID        atomic.Uint64 // per-origin frame ids for relay dedup
+
 	// dispatch fans inbound deliveries out per destination port.
 	dispatch *dispatcher
 	// matchCache memoizes Query.Matches for dynamic-path rebinding.
@@ -340,7 +356,10 @@ type Module struct {
 	paths    map[PathID]*path
 	bySrc    map[core.PortRef][]*path
 	pending  map[uint64]chan frame
-	nextPath uint64
+	// relaySeen holds one duplicate-suppression window per origin whose
+	// frames we forward (guarded by mu like the other maps).
+	relaySeen map[string]*relayWindow
+	nextPath  uint64
 	nextReq  uint64
 	started  bool
 	closed   bool
@@ -364,8 +383,12 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 		conns:   make(map[*frameConn]struct{}),
 		paths:   make(map[PathID]*path),
 		bySrc:   make(map[core.PortRef][]*path),
-		pending: make(map[uint64]chan frame),
+		pending:   make(map[uint64]chan frame),
+		relaySeen: make(map[string]*relayWindow),
 	}
+	// Seed relay ids from the clock so a restarted node's ids land above
+	// anything its previous incarnation left in peer dedup windows.
+	m.relayID.Store(uint64(time.Now().UnixNano()))
 	reg := m.opts.Obs
 	reg.Describe("umiddle_transport_delivery_latency_seconds", "End-to-end delivery latency per message destination.")
 	reg.Describe("umiddle_transport_delivery_queue_depth", "Inbound deliveries dispatched off read loops but not yet handed to a translator.")
@@ -383,6 +406,11 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	reg.Describe("umiddle_transport_write_batch_frames", "Deliver frames coalesced into each connection write.")
 	reg.Describe("umiddle_transport_match_cache_hits_total", "Dynamic-binding query matches served from the memoization cache.")
 	reg.Describe("umiddle_transport_match_cache_misses_total", "Dynamic-binding query matches that had to be evaluated.")
+	reg.Describe("umiddle_transport_frames_relayed_total", "Deliver frames forwarded toward their next hop on behalf of other nodes.")
+	reg.Describe("umiddle_transport_relay_bytes_total", "Payload bytes of forwarded deliver frames.")
+	reg.Describe("umiddle_transport_relay_dup_dropped_total", "Relayed deliver frames dropped as duplicates of an already-forwarded (origin, id).")
+	reg.Describe("umiddle_transport_relay_ttl_dropped_total", "Relayed deliver frames dropped with an exhausted hop budget.")
+	reg.Describe("umiddle_transport_relay_route_failed_total", "Relayed deliver frames dropped because the next hop was unreachable.")
 	// Resolved eagerly so /metrics shows the latency family (and the
 	// queue-depth gauge) even before the first message flows.
 	labels := obs.Labels{"node": node}
@@ -391,6 +419,11 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	m.failovers = reg.Counter("umiddle_transport_failovers_total", labels)
 	m.failoverLat = reg.Histogram("umiddle_transport_failover_latency_seconds", labels, nil)
 	m.trace = reg.Trace()
+	m.relayed = reg.Counter("umiddle_transport_frames_relayed_total", labels)
+	m.relayedBytes = reg.Counter("umiddle_transport_relay_bytes_total", labels)
+	m.relayDupDrop = reg.Counter("umiddle_transport_relay_dup_dropped_total", labels)
+	m.relayTTLDrop = reg.Counter("umiddle_transport_relay_ttl_dropped_total", labels)
+	m.relayRouteFail = reg.Counter("umiddle_transport_relay_route_failed_total", labels)
 	m.codecMet = &connMetrics{
 		poolGets:   reg.Counter("umiddle_transport_frame_pool_gets_total", labels),
 		poolMisses: reg.Counter("umiddle_transport_frame_pool_misses_total", labels),
@@ -1353,6 +1386,25 @@ func (m *Module) deliver(p *path, dst core.PortRef, msg core.Message) error {
 	}
 	if node == m.node {
 		return m.deliverLocalErr(dst, msg)
+	}
+	// A node behind a segment boundary is reached through the relay
+	// route the directory learned from its adverts: the frame carries
+	// the remaining hops and intermediaries forward it (relay.go).
+	if first, route, ok := m.routeFor(node); ok {
+		f := deliverFrame(m.node, dst, msg)
+		f.header.Route = route
+		f.header.TTL = m.opts.RelayTTL
+		f.header.RelayID = m.relayID.Add(1)
+		fc, gen, err := m.peerFor(first)
+		if err != nil {
+			return err
+		}
+		p.notePeerGen(first, gen)
+		if err := fc.write(f); err != nil {
+			m.dropPeer(first, fc)
+			return err
+		}
+		return nil
 	}
 	fc, gen, err := m.peerFor(node)
 	if err != nil {

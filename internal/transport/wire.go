@@ -63,6 +63,16 @@ type frameHeader struct {
 	// Ack/err fields.
 	PathID PathID `json:"pathId,omitempty"`
 	Err    string `json:"err,omitempty"`
+
+	// Relay fields, set on deliver frames that cross network segments
+	// through intermediary nodes. Route lists the remaining forwarding
+	// targets, next hop first, destination node last; a node receiving a
+	// non-empty Route forwards to Route[0] instead of delivering. TTL
+	// bounds the remaining forwards and RelayID (unique per origin)
+	// lets relays suppress duplicate forwards.
+	Route   []string `json:"route,omitempty"`
+	TTL     int      `json:"fttl,omitempty"`
+	RelayID uint64   `json:"relayId,omitempty"`
 }
 
 // frame pairs a header with its raw payload.
@@ -206,6 +216,16 @@ func encodeDeliverHeader(buf []byte, h *frameHeader) []byte {
 		buf = appendString(buf, k)
 		buf = appendString(buf, v)
 	}
+	// Relay section, present only on forwarded frames. Pre-relay headers
+	// end exactly here, which is how the decoder tells them apart.
+	if len(h.Route) > 0 || h.RelayID != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(h.Route)))
+		for _, hop := range h.Route {
+			buf = appendString(buf, hop)
+		}
+		buf = binary.AppendUvarint(buf, uint64(h.TTL))
+		buf = binary.AppendUvarint(buf, h.RelayID)
+	}
 	return buf
 }
 
@@ -277,6 +297,37 @@ func decodeDeliverHeader(data []byte, h *frameHeader) error {
 			}
 			h.Headers[k] = v
 		}
+	}
+	// Optional relay section: frames encoded before relaying existed (or
+	// sent directly) end here, and decode with no route.
+	if len(data) != 0 {
+		hops, sz := binary.Uvarint(data)
+		if sz <= 0 || hops > uint64(len(data)-sz) {
+			return bad
+		}
+		data = data[sz:]
+		if hops > 0 {
+			h.Route = make([]string, 0, hops)
+			for i := uint64(0); i < hops; i++ {
+				hop, ok := str()
+				if !ok {
+					return bad
+				}
+				h.Route = append(h.Route, hop)
+			}
+		}
+		ttl, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return bad
+		}
+		data = data[sz:]
+		h.TTL = int(ttl)
+		rid, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return bad
+		}
+		data = data[sz:]
+		h.RelayID = rid
 	}
 	if len(data) != 0 {
 		return bad

@@ -1,0 +1,111 @@
+package umiddle
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeMeshFederation: three runtimes on a chain of two segments —
+// the bridge node (on both links) relays automatically, zones name the
+// federated namespaces, and a service on one edge drives a service on
+// the other through the bridge.
+func TestFacadeMeshFederation(t *testing.T) {
+	net, err := NewEmulatedMesh(ChainTopology("edge1", "bridge", "edge2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	mk := func(node, zone string) *Runtime {
+		rt, err := NewRuntime(RuntimeConfig{
+			Node: node, Network: net, Zone: zone,
+			AnnounceInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("runtime %s: %v", node, err)
+		}
+		t.Cleanup(func() { rt.Close() })
+		return rt
+	}
+	r1 := mk("edge1", "living-room")
+	mk("bridge", "")
+	r2 := mk("edge2", "kitchen")
+
+	if got := r1.Zone(); got != "living-room" {
+		t.Fatalf("Zone = %q", got)
+	}
+
+	outShape, _ := NewShape(Port{Name: "out", Kind: Digital, Direction: Output, Type: "text/plain"})
+	inShape, _ := NewShape(Port{Name: "in", Kind: Digital, Direction: Input, Type: "text/plain"})
+	src, err := r1.NewService("sensor", outShape, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := r2.NewService("display", inShape, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 4)
+	dst.HandleInput("in", func(msg Message) error {
+		got <- string(msg.Payload)
+		return nil
+	})
+
+	// Discovery crosses the segment boundary via the bridge's relay.
+	if _, err := r1.WaitFor(Query{NameContains: "display"}, 1, 3*time.Second); err != nil {
+		t.Fatalf("edge1 never discovered edge2's service: %v", err)
+	}
+	if _, err := r1.Connect(src.Port("out"), dst.Port("in")); err != nil {
+		t.Fatalf("cross-segment connect: %v", err)
+	}
+	src.Emit("out", NewMessage("text/plain", []byte("21c")))
+	select {
+	case v := <-got:
+		if v != "21c" {
+			t.Fatalf("delivered %q", v)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("nothing delivered across the mesh")
+	}
+
+	// The federated namespace view names each node's zone and the route.
+	zones := map[string]ZoneSummary{}
+	for _, zs := range r1.Zones() {
+		zones[zs.Zone] = zs
+	}
+	if zones["living-room"].Node != "edge1" || zones["kitchen"].Node != "edge2" {
+		t.Fatalf("zones = %+v", zones)
+	}
+	if via := zones["kitchen"].Via; len(via) != 1 || via[0] != "bridge" {
+		t.Fatalf("kitchen via = %v, want [bridge]", via)
+	}
+}
+
+// TestFacadeExplicitLinks: RuntimeConfig.Links creates segments on the
+// fly; a node listing several becomes a relay without any topology
+// pre-declaration.
+func TestFacadeExplicitLinks(t *testing.T) {
+	net := NewEmulatedNetwork()
+	defer net.Close()
+	mk := func(node string, links ...string) *Runtime {
+		rt, err := NewRuntime(RuntimeConfig{
+			Node: node, Network: net, Links: links,
+			AnnounceInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("runtime %s: %v", node, err)
+		}
+		t.Cleanup(func() { rt.Close() })
+		return rt
+	}
+	ra := mk("a", "wing-east")
+	mk("b", "wing-east", "wing-west")
+	rc := mk("c", "wing-west")
+
+	inShape, _ := NewShape(Port{Name: "in", Kind: Digital, Direction: Input, Type: "text/plain"})
+	if _, err := rc.NewService("lamp", inShape, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.WaitFor(Query{NameContains: "lamp"}, 1, 3*time.Second); err != nil {
+		t.Fatalf("service on the far segment never appeared: %v", err)
+	}
+}

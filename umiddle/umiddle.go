@@ -108,6 +108,11 @@ type (
 	// InterestSummary is a node's compiled interest set, as gossiped to
 	// peers under interest filtering.
 	InterestSummary = directory.InterestSummary
+	// ZoneSummary is one zone of the federated directory namespace as a
+	// node holds it (DESIGN.md §12).
+	ZoneSummary = directory.ZoneSummary
+	// Topology declares a segmented network: link name to member hosts.
+	Topology = netemu.Topology
 	// ObsRegistry is the metrics and event-trace registry; share one
 	// across runtimes to aggregate a deployment on a single endpoint.
 	ObsRegistry = obs.Registry
@@ -185,6 +190,23 @@ func NewEmulatedNetwork() *Network {
 	return netemu.NewNetwork(netemu.Ethernet10Mbps())
 }
 
+// NewEmulatedMesh creates a segmented network: each topology entry is a
+// broadcast domain and only hosts sharing a link can exchange traffic.
+// Nodes on several links relay directory adverts and forward deliver
+// frames across segments (DESIGN.md §12). ChainTopology and
+// StarTopology build common shapes.
+func NewEmulatedMesh(topo Topology) (*Network, error) {
+	return netemu.NewMesh(netemu.Ethernet10Mbps(), topo)
+}
+
+// Topology constructors for common mesh shapes.
+var (
+	// ChainTopology links the given hosts pairwise into a line.
+	ChainTopology = netemu.ChainTopology
+	// StarTopology gives each leaf a private link to the hub.
+	StarTopology = netemu.StarTopology
+)
+
 // RuntimeConfig configures one uMiddle node.
 type RuntimeConfig struct {
 	// Node is the node name; it doubles as the emulated host name.
@@ -217,6 +239,15 @@ type RuntimeConfig struct {
 	// (first match wins, default allow) — the federation's first
 	// security control.
 	ACL []ACLRule
+	// Zone names the directory namespace zone this node owns in a
+	// federated mesh; empty selects the node name, which preserves the
+	// flat single-zone-per-node namespace.
+	Zone string
+	// Links lists the network segments this node joins (created if
+	// absent). With no links the node sits on the network-wide bus. A
+	// node on several links automatically relays directory adverts and
+	// forwards deliver frames between its segments.
+	Links []string
 }
 
 // Runtime is one uMiddle node.
@@ -238,6 +269,14 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			return nil, err
 		}
 	}
+	for _, link := range cfg.Links {
+		if err := cfg.Network.JoinLink(cfg.Node, link); err != nil {
+			return nil, err
+		}
+	}
+	// A node on several segments is a bridge: it relays adverts (and
+	// forwards routed deliver frames) between them.
+	relay := len(cfg.Network.HostLinks(cfg.Node)) > 1
 	rt, err := runtime.New(runtime.Config{
 		Node: cfg.Node,
 		Host: host,
@@ -246,6 +285,8 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			Interest:         cfg.InterestFiltering,
 			Remap:            cfg.Remap,
 			ACL:              cfg.ACL,
+			Zone:             cfg.Zone,
+			Relay:            relay,
 		},
 		Transport:   cfg.Transport,
 		Logger:      cfg.Logger,
@@ -320,6 +361,14 @@ func (r *Runtime) RegisterInterest(q Query) func() {
 func (r *Runtime) InterestSummary() *InterestSummary {
 	return r.rt.Directory().InterestSummary()
 }
+
+// Zone returns the directory namespace zone this node owns.
+func (r *Runtime) Zone() string { return r.rt.Directory().Zone() }
+
+// Zones summarizes the federated directory namespace as this node holds
+// it: its own zone authoritatively plus one digest-refreshed summary
+// per live peer, each with the relay path its adverts travel.
+func (r *Runtime) Zones() []ZoneSummary { return r.rt.Directory().Zones() }
 
 // Connect establishes a path between two specific ports — paper Figure
 // 7-(1).
