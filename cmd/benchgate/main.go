@@ -119,6 +119,7 @@ var gatedFields = []struct {
 }{
 	{"MeasuredMbps", false},
 	{"LookupsPerSec", false},
+	{"AchievedPerSec", false},
 	{"AdvertBytesPerSec", true},
 	{"IntegratedAdvertBytes", true},
 	{"PerNodeAdvertBytesPerSec", true},

@@ -28,12 +28,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath, dirscale")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath, dirscale, load")
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
 	pops := flag.String("pops", "", "comma-separated population points for dirscale (default 100,1000,10000)")
 	mesh := flag.String("mesh", "1000x10", "comma-separated POPxNODES mesh points for dirscale (e.g. 100000x50,1000x10); empty skips the mesh phase")
 	window := flag.Duration("window", time.Second, "measurement window per dirscale phase")
+	bindings := flag.String("bindings", "1000", "comma-separated binding populations for the load experiment")
+	rate := flag.Float64("rate", 2000, "offered msgs/sec for the load experiment")
+	loadDur := flag.Duration("loaddur", 5*time.Second, "emission window for the load experiment")
+	churn := flag.Float64("churn", 0, "injected sink flaps/sec for the load experiment")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
 	flag.Parse()
 	popList, err := parsePops(*pops)
@@ -77,7 +81,7 @@ func main() {
 			}
 		}
 	}
-	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true, "dirscale": true}
+	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true, "dirscale": true, "load": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -90,6 +94,45 @@ func main() {
 	run("hotpath", func() error { return printHotPath(*msgs, writeJSON) })
 	run("qos", func() error { return printQoS(writeJSON) })
 	run("dirscale", func() error { return printDirScale(popList, meshList, *window, writeJSON) })
+	run("load", func() error { return printLoad(*bindings, *rate, *loadDur, *churn, writeJSON) })
+}
+
+func printLoad(bindings string, rate float64, dur time.Duration, churn float64, writeJSON jsonWriter) error {
+	pops, err := parsePops(bindings)
+	if err != nil {
+		return fmt.Errorf("-bindings: %w", err)
+	}
+	if len(pops) == 0 {
+		pops = []int{1000}
+	}
+	points := make([]bench.LoadPoint, 0, len(pops))
+	for _, b := range pops {
+		points = append(points, bench.LoadPoint{Bindings: b, Rate: rate, Duration: dur, ChurnPerSec: churn})
+	}
+	fmt.Printf("== Open-loop load: concurrent dynamic bindings under a fixed arrival schedule ==\n")
+	logf := func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+	rows, err := bench.RunLoad(points, logf)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "test\tbindings\toffered/s\tachieved/s\tp50 ms\tp99 ms\tp99.9 ms\tsent\tdelivered\tdropped\tflaps\tsetup s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%d\t%d\t%d\t%d\t%.1f\n",
+			r.Test, r.Bindings, r.OfferedPerSec, r.AchievedPerSec,
+			r.P50Ms, r.P99Ms, r.P999Ms, r.Sent, r.Delivered, r.Dropped, r.ChurnFlaps, r.SetupSec)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON("load", rows); err != nil {
+		return err
+	}
+	fmt.Println("shape check: latency is intended-start -> delivery (open loop): a stall inflates")
+	fmt.Println("the tail instead of silently slowing the schedule. Achieved must track offered;")
+	fmt.Println("a netemu group-inbox overflow fails the run loudly rather than skewing the tail.")
+	fmt.Println()
+	return nil
 }
 
 // parseMeshPoints parses the -mesh flag ("100000x50,1000x10"); empty

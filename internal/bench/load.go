@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+)
+
+// LoadRow is one open-loop load-harness configuration: N concurrent
+// dynamic bindings over a netemu mesh, traffic offered at a fixed rate
+// regardless of how the system keeps up, latency recorded from each
+// message's *intended* start (coordinated-omission-safe). AchievedPerSec
+// is the benchgate-gated metric: it collapses when binding setup,
+// dispatch, or delivery stops keeping pace with the offered schedule.
+type LoadRow struct {
+	// Test labels the configuration ("open-loop 100000 bindings").
+	Test string
+	// Bindings is the concurrent dynamic-binding population.
+	Bindings int
+	// Arrival names the inter-arrival process.
+	Arrival string
+	// OfferedPerSec and AchievedPerSec are the offered schedule rate and
+	// the measured delivery rate.
+	OfferedPerSec  float64
+	AchievedPerSec float64
+	// P50Ms/P99Ms/P999Ms are intended-start -> delivery latency
+	// quantiles in milliseconds.
+	P50Ms  float64
+	P99Ms  float64
+	P999Ms float64
+	MaxMs  float64
+	// Sent/Delivered/Dropped are the message accounting; Dropped is the
+	// error/drop budget actually spent.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// ChurnFlaps counts injected device flaps (0 when churn disabled).
+	ChurnFlaps uint64
+	// SetupSec is how long populating the mesh took (registration,
+	// propagation, path installation); DurationSec the emission window.
+	SetupSec    float64
+	DurationSec float64
+}
+
+// LoadPoint selects one load-harness configuration.
+type LoadPoint struct {
+	Bindings    int
+	Rate        float64
+	Duration    time.Duration
+	ChurnPerSec float64
+}
+
+// RunLoad executes the open-loop load harness at each point. A non-nil
+// error means a run's numbers cannot be trusted (netemu inbox overflow,
+// setup divergence) — loud failure, not a skewed row.
+func RunLoad(points []LoadPoint, logf func(string, ...any)) ([]LoadRow, error) {
+	var rows []LoadRow
+	for _, pt := range points {
+		rep, err := load.Run(load.Config{
+			Bindings:    pt.Bindings,
+			Rate:        pt.Rate,
+			Duration:    pt.Duration,
+			ChurnPerSec: pt.ChurnPerSec,
+			Logf:        logf,
+		})
+		if err != nil {
+			return rows, fmt.Errorf("bench: load %d bindings: %w", pt.Bindings, err)
+		}
+		rows = append(rows, LoadRow{
+			Test:           fmt.Sprintf("open-loop %d bindings", pt.Bindings),
+			Bindings:       rep.Bindings,
+			Arrival:        string(rep.Arrival),
+			OfferedPerSec:  rep.OfferedPerSec,
+			AchievedPerSec: rep.AchievedPerSec,
+			P50Ms:          rep.Latency.P50,
+			P99Ms:          rep.Latency.P99,
+			P999Ms:         rep.Latency.P999,
+			MaxMs:          rep.Latency.Max,
+			Sent:           rep.Sent,
+			Delivered:      rep.Delivered,
+			Dropped:        rep.Dropped,
+			ChurnFlaps:     rep.ChurnFlaps,
+			SetupSec:       rep.SetupSec,
+			DurationSec:    rep.DurationSec,
+		})
+	}
+	return rows, nil
+}

@@ -26,6 +26,9 @@ var (
 // registered with a runtime.
 type Sink interface {
 	// Emit forwards a message emitted on src to all connected paths.
+	// Ownership of msg.Payload (and msg.Headers) transfers to the sink:
+	// the emitter must not mutate either after Emit returns. An emitter
+	// that reuses a scratch buffer across emissions must Clone first.
 	Emit(src PortRef, msg Message)
 }
 

@@ -107,6 +107,25 @@ type NodeListener interface {
 	NodeDown(node string)
 }
 
+// BatchListener is an optional extension of Listener: when one advert
+// maps or unmaps many translators at once (a full-state sync, a node
+// death dropping hundreds of entries, a lease sweep), a listener that
+// also implements BatchListener receives a single batched call instead
+// of N per-translator calls. At directory scale this is the difference
+// between one path-table scan per advert and one per translator. The
+// slices (and the profiles inside) are shared with the directory and
+// must be treated as read-only; they are only valid for the duration of
+// the call. Listeners that do not implement BatchListener still receive
+// the per-translator calls, in batch order.
+type BatchListener interface {
+	// TranslatorsMapped is called with every translator one advert made
+	// visible (or updated).
+	TranslatorsMapped(ps []core.Profile)
+	// TranslatorsUnmapped is called with every translator one advert
+	// (or one expiry sweep) removed.
+	TranslatorsUnmapped(ids []core.TranslatorID)
+}
+
 // advertTypes lists every advert type this directory can emit; metric
 // series for all of them are registered up front so exposition is
 // complete before the first broadcast.
@@ -797,6 +816,45 @@ func (d *Directory) notifyUnmapped(listeners []Listener, id core.TranslatorID) {
 	d.met.notifyLat.ObserveDuration(time.Since(start))
 }
 
+// notifyMappedBatch fans one advert's worth of mapped translators out to
+// every listener: BatchListeners get the whole slice in one call,
+// everyone else gets the per-translator calls in order. One latency
+// observation covers the full fan-out, same as the single-event path.
+func (d *Directory) notifyMappedBatch(listeners []Listener, ps []core.Profile) {
+	if len(listeners) == 0 || len(ps) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, l := range listeners {
+		if bl, ok := l.(BatchListener); ok {
+			bl.TranslatorsMapped(ps)
+			continue
+		}
+		for i := range ps {
+			l.TranslatorMapped(ps[i])
+		}
+	}
+	d.met.notifyLat.ObserveDuration(time.Since(start))
+}
+
+// notifyUnmappedBatch is notifyMappedBatch's counterpart for departures.
+func (d *Directory) notifyUnmappedBatch(listeners []Listener, ids []core.TranslatorID) {
+	if len(listeners) == 0 || len(ids) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, l := range listeners {
+		if bl, ok := l.(BatchListener); ok {
+			bl.TranslatorsUnmapped(ids)
+			continue
+		}
+		for _, id := range ids {
+			l.TranslatorUnmapped(id)
+		}
+	}
+	d.met.notifyLat.ObserveDuration(time.Since(start))
+}
+
 // scheduleDelta requests an incremental "add" broadcast after the
 // coalesce window; registrations arriving while one is pending fold
 // into it.
@@ -955,6 +1013,13 @@ func (d *Directory) InterestSummary() *InterestSummary {
 // when Options.Interest is enabled. Until the first registration the
 // node is interested in everything.
 func (d *Directory) RegisterInterest(q core.Query) func() {
+	// Without interest filtering the set is never consulted and never
+	// gossiped; maintaining it would still recompile the sorted summary
+	// on every unique registration — O(N log N) per dynamic path, which
+	// turns quadratic when a load harness installs 100k+ bindings.
+	if !d.opts.Interest {
+		return func() {}
+	}
 	sq := q.Summarize()
 	d.mu.Lock()
 	changed := d.interest.addQuery(sq)
@@ -980,6 +1045,9 @@ func (d *Directory) RegisterInterest(q core.Query) func() {
 // function. Static bindings use it so the bound peer's profile keeps
 // flowing even under filtering.
 func (d *Directory) RegisterIDInterest(id core.TranslatorID) func() {
+	if !d.opts.Interest {
+		return func() {} // see RegisterInterest
+	}
 	wire := d.remap.wireID(id)
 	d.mu.Lock()
 	changed := d.interest.addID(wire)
@@ -1420,6 +1488,7 @@ func (d *Directory) releaseIfpLocked(sumFP uint64) {
 // node's name, the default zone every node owns.
 func (d *Directory) ingestProfiles(profiles []core.Profile, zone string) int {
 	kept := 0
+	var mapped []core.Profile
 	for i := range profiles {
 		p := profiles[i]
 		if err := p.RestoreShape(); err != nil {
@@ -1427,27 +1496,46 @@ func (d *Directory) ingestProfiles(profiles []core.Profile, zone string) int {
 			d.opts.Logger.Warn("directory: bad profile shape", "id", p.ID, "err", err)
 			continue
 		}
-		if d.ingest(p, zone) {
+		sealed, notify, ok := d.ingest(p, zone)
+		if ok {
 			kept++
 		}
+		if notify {
+			mapped = append(mapped, sealed)
+		}
 	}
+	d.notifyMappedCollected(mapped)
 	return kept
 }
 
-// ingest admits one shape-restored wire profile, reporting whether it
-// was integrated into the local view.
-func (d *Directory) ingest(p core.Profile, zone string) bool {
+// notifyMappedCollected snapshots the listener set and fans out one
+// batched mapped notification for profiles collected across an advert.
+func (d *Directory) notifyMappedCollected(mapped []core.Profile) {
+	if len(mapped) == 0 {
+		return
+	}
+	d.mu.Lock()
+	listeners := append([]Listener(nil), d.listeners...)
+	d.mu.Unlock()
+	d.notifyMappedBatch(listeners, mapped)
+}
+
+// ingest admits one shape-restored wire profile. ok reports whether it
+// was integrated into the local view; notify reports whether listeners
+// should hear about sealed (new or changed profile) — the caller owns
+// the batched fan-out.
+func (d *Directory) ingest(p core.Profile, zone string) (sealed core.Profile, notify, ok bool) {
 	if !d.wantsWire(p) {
 		d.met.ingressFiltered.Inc()
-		return false
+		return core.Profile{}, false, false
 	}
 	if !d.acl.allows(p.Node, p.ID) {
 		d.met.aclDenied.Inc()
 		d.shadowDenied(p, zone)
-		return false
+		return core.Profile{}, false, false
 	}
-	d.integrate(p, zone)
-	return true
+	sealed, notify = d.integrate(p, zone)
+	return sealed, notify, true
 }
 
 // wantsWire reports whether a wire profile falls inside this node's own
@@ -1517,6 +1605,7 @@ func (d *Directory) reconcile(a advert) int {
 	}
 	kept := 0
 	present := make(map[core.TranslatorID]bool, len(a.Profiles))
+	var mapped []core.Profile
 	for i := range a.Profiles {
 		if err := a.Profiles[i].RestoreShape(); err != nil {
 			d.met.malformed.Inc()
@@ -1524,10 +1613,15 @@ func (d *Directory) reconcile(a advert) int {
 			continue
 		}
 		present[a.Profiles[i].ID] = true
-		if d.ingest(a.Profiles[i], a.Zone) {
+		sealed, notify, ok := d.ingest(a.Profiles[i], a.Zone)
+		if ok {
 			kept++
 		}
+		if notify {
+			mapped = append(mapped, sealed)
+		}
 	}
+	d.notifyMappedCollected(mapped)
 	if a.Filtered && !d.coveredByIfps(a.Ifps) {
 		return kept
 	}
@@ -1556,8 +1650,8 @@ func (d *Directory) reconcile(a advert) int {
 	for _, id := range dropped {
 		d.cache.Invalidate(id)
 		d.trace.Event("translator_unmapped", d.node, string(id))
-		d.notifyUnmapped(listeners, id)
 	}
+	d.notifyUnmappedBatch(listeners, dropped)
 	return kept
 }
 
@@ -1644,9 +1738,13 @@ func sameProfile(a, b core.Profile) bool {
 		maps.Equal(a.Attributes, b.Attributes)
 }
 
-func (d *Directory) integrate(p core.Profile, zone string) {
+// integrate merges one remote profile into the local view. Instead of
+// notifying listeners inline it returns the sealed profile and whether
+// listeners should hear about it, so callers ingesting a whole advert
+// can collect and fan out one batched notification.
+func (d *Directory) integrate(p core.Profile, zone string) (core.Profile, bool) {
 	if p.Node == d.node {
-		return // don't learn our own state back
+		return core.Profile{}, false // don't learn our own state back
 	}
 	if zone == "" {
 		// No zone on the wire: the entry belongs to its owning node's
@@ -1676,10 +1774,6 @@ func (d *Directory) integrate(p core.Profile, zone string) {
 	if !known || changed {
 		d.gen.Add(1)
 	}
-	var listeners []Listener
-	if !known || changed {
-		listeners = append([]Listener(nil), d.listeners...)
-	}
 	d.mu.Unlock()
 	switch {
 	case !known:
@@ -1691,7 +1785,7 @@ func (d *Directory) integrate(p core.Profile, zone string) {
 		d.cache.Invalidate(sealed.ID)
 		d.trace.Event("translator_updated", d.node, string(sealed.ID))
 	}
-	d.notifyMapped(listeners, sealed)
+	return sealed, !known || changed
 }
 
 func (d *Directory) dropRemote(id core.TranslatorID) {
@@ -1801,8 +1895,8 @@ func (d *Directory) dropNode(node string, entryTrace string) int {
 	for _, id := range dropped {
 		d.cache.Invalidate(id)
 		d.trace.Event(entryTrace, d.node, string(id))
-		d.notifyUnmapped(listeners, id)
 	}
+	d.notifyUnmappedBatch(listeners, dropped)
 	if wasLive {
 		for _, l := range listeners {
 			if nl, ok := l.(NodeListener); ok {
@@ -1875,6 +1969,6 @@ func (d *Directory) expireStale() {
 		d.cache.Invalidate(id)
 		d.met.expired.Inc()
 		d.trace.Event("expiry", d.node, string(id))
-		d.notifyUnmapped(listeners, id)
 	}
+	d.notifyUnmappedBatch(listeners, dropped)
 }

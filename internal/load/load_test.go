@@ -1,0 +1,74 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSmallRun drives a tiny open-loop run end to end: bindings come
+// up, traffic flows at the offered rate, the report's accounting and
+// quantiles are internally consistent.
+func TestRunSmallRun(t *testing.T) {
+	rep, err := Run(Config{
+		Bindings:     50,
+		Rate:         400,
+		Duration:     300 * time.Millisecond,
+		PayloadBytes: 32,
+		Workers:      2,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v (report %+v)", err, rep)
+	}
+	if rep.Sent == 0 || rep.Delivered == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Delivered > rep.Sent {
+		t.Fatalf("delivered %d > sent %d", rep.Delivered, rep.Sent)
+	}
+	if rep.Dropped != rep.Sent-rep.Delivered {
+		t.Fatalf("drop accounting: %+v", rep)
+	}
+	if rep.AchievedPerSec <= 0 {
+		t.Fatalf("achieved rate %v", rep.AchievedPerSec)
+	}
+	l := rep.Latency
+	if l.P50 < 0 || l.P99 < l.P50 || l.P999 < l.P99 || l.Max < l.P999-l.P999/16 {
+		t.Fatalf("non-monotone quantiles: %+v", l)
+	}
+	if rep.GroupDrops != 0 {
+		t.Fatalf("group drops on a tiny run: %+v", rep)
+	}
+}
+
+// TestRunWithChurn injects sink flaps while traffic flows: the run must
+// survive, count its flaps, and keep delivering on the un-flapped
+// bindings.
+func TestRunWithChurn(t *testing.T) {
+	rep, err := Run(Config{
+		Bindings:     40,
+		Rate:         300,
+		Duration:     600 * time.Millisecond,
+		Arrival:      Uniform,
+		Workers:      2,
+		ChurnPerSec:  20,
+		ChurnDownFor: 50 * time.Millisecond,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v (report %+v)", err, rep)
+	}
+	if rep.ChurnFlaps == 0 {
+		t.Fatal("churn never engaged")
+	}
+	if rep.Delivered == 0 {
+		t.Fatalf("churn starved all deliveries: %+v", rep)
+	}
+}
+
+// TestRunRejectsZeroBindings: config validation.
+func TestRunRejectsZeroBindings(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted zero bindings")
+	}
+}

@@ -133,7 +133,12 @@ func (gc *GroupConn) deliverAfter(d Datagram, delay time.Duration) {
 		}
 		select {
 		case gc.inbox <- d:
-		default: // receiver buffer full: drop, like UDP
+		default:
+			// Receiver buffer full: drop, like UDP — but never
+			// silently. The network-wide counter lets harnesses fail
+			// loudly instead of reporting latency tails skewed by
+			// losses they never saw.
+			gc.net.groupDrops.Add(1)
 		}
 	}
 	if delay <= 0 {

@@ -1,0 +1,69 @@
+package netemu
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGroupInboxOverflowCounted is the regression test for the silent
+// drop point at groupInboxSize: flooding a member that never reads must
+// surface every overflowed datagram in Network.GroupDrops, so load
+// harnesses can fail loudly instead of reporting a latency tail that
+// quietly lost its worst samples.
+func TestGroupInboxOverflowCounted(t *testing.T) {
+	n := newTestNetwork(t, Unlimited())
+	h1 := n.MustAddHost("h1")
+	h2 := n.MustAddHost("h2")
+
+	sender, err := h1.JoinGroup("flood")
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+	receiver, err := h2.JoinGroup("flood")
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+	defer sender.Close()
+	defer receiver.Close()
+
+	if got := n.GroupDrops(); got != 0 {
+		t.Fatalf("GroupDrops before flood = %d, want 0", got)
+	}
+
+	// Overfill the receiver's inbox. Unlimited links deliver with zero
+	// delay (synchronously), so each Send lands before the next; the
+	// sender's own loopback copy also competes for its inbox, hence the
+	// flood targets h2's inbox with h2 never reading. The sender drains
+	// its own loopback inbox size via a second goroutine-free trick:
+	// just count drops attributable to overflow on either end.
+	const extra = 500
+	for i := 0; i < groupInboxSize+extra; i++ {
+		if err := sender.Send([]byte("x")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+
+	// Both h1 (loopback) and h2 inboxes hold groupInboxSize each; the
+	// rest must be counted, not vanish.
+	deadline := time.Now().Add(2 * time.Second)
+	want := uint64(2 * extra)
+	for n.GroupDrops() < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := n.GroupDrops(); got < want {
+		t.Fatalf("GroupDrops = %d, want >= %d", got, want)
+	}
+
+	// A reader that now drains sees exactly the inbox-depth survivors.
+	receiver.SetDeadline(time.Now().Add(100 * time.Millisecond))
+	var received int
+	for {
+		if _, err := receiver.Recv(); err != nil {
+			break
+		}
+		received++
+	}
+	if received != groupInboxSize {
+		t.Fatalf("received %d datagrams, want %d", received, groupInboxSize)
+	}
+}

@@ -26,10 +26,23 @@ func spinUntil(t time.Time) {
 	}
 }
 
-// segment is a paced chunk of stream data queued for delivery.
+// segment is a paced chunk of stream data queued for delivery. buf is
+// the original allocation backing data (data shrinks as readers consume
+// it); once drained, buf goes back on the stream's freelist.
 type segment struct {
 	data      []byte
-	deliverAt time.Time
+	buf       []byte
+	deliverAt time.Time // zero: deliverable immediately (unshaped link)
+}
+
+// maxFree returns the segment-buffer freelist bound: enough for every
+// segment the BufferBytes window admits in flight at once (a writer can
+// burst the whole window before the reader drains any of it), plus
+// slack. Retained memory is on the order of the in-flight buffer
+// itself — the price for not allocating (and GC-scanning) a fresh
+// buffer for every segment on the hot path.
+func (s *stream) maxFree() int {
+	return s.profile.BufferBytes/s.profile.MTU + 8
 }
 
 // stream is one direction of a shaped duplex connection. Writers pace
@@ -46,6 +59,7 @@ type stream struct {
 	rCond    *sync.Cond
 	wCond    *sync.Cond
 	queue    []segment
+	free     [][]byte // drained segment buffers awaiting reuse
 	queued   int
 	nextFree time.Time
 	closed   bool // write side closed: readers drain then see EOF
@@ -108,25 +122,47 @@ func (s *stream) writeSegment(chunk []byte) (int, error) {
 			extraLatency = f.ExtraLatency
 		}
 	}
-	var txEnd time.Time
+	var deliverAt time.Time
 	if hub := s.hub(); hub != nil {
 		// Hub mode: the whole collision domain carries this segment.
-		txEnd = hub.reserve(len(chunk))
-	} else {
+		deliverAt = hub.reserve(len(chunk)).Add(s.profile.Latency + extraLatency)
+	} else if s.profile.BandwidthBPS > 0 || s.profile.Latency+extraLatency > 0 {
 		now := time.Now()
 		txStart := s.nextFree
 		if txStart.Before(now) {
 			txStart = now
 		}
-		txEnd = txStart.Add(s.profile.transmitDuration(len(chunk)))
+		txEnd := txStart.Add(s.profile.transmitDuration(len(chunk)))
 		s.nextFree = txEnd
+		deliverAt = txEnd.Add(s.profile.Latency + extraLatency)
 	}
-	data := make([]byte, len(chunk))
+	// else: unshaped link — the segment is deliverable immediately
+	// (zero deliverAt), and neither side needs to read the clock.
+	data := s.getSegBuf(len(chunk))
 	copy(data, chunk)
-	s.queue = append(s.queue, segment{data: data, deliverAt: txEnd.Add(s.profile.Latency + extraLatency)})
+	s.queue = append(s.queue, segment{data: data, buf: data, deliverAt: deliverAt})
 	s.queued += len(data)
 	s.rCond.Signal()
 	return len(chunk), nil
+}
+
+// getSegBuf returns a buffer of length n (n <= MTU), reusing a drained
+// segment buffer when possible. Fresh buffers are allocated with MTU
+// capacity so every recycled buffer fits every future chunk — partial
+// tail chunks must not fragment the freelist into unusable sizes.
+// Caller holds s.mu.
+func (s *stream) getSegBuf(n int) []byte {
+	if last := len(s.free) - 1; last >= 0 && cap(s.free[last]) >= n {
+		b := s.free[last][:n]
+		s.free[last] = nil
+		s.free = s.free[:last]
+		return b
+	}
+	c := s.profile.MTU
+	if c < n {
+		c = n
+	}
+	return make([]byte, n, c)
 }
 
 // Read blocks until data is deliverable, the stream is closed (EOF after
@@ -140,30 +176,37 @@ func (s *stream) Read(b []byte) (int, error) {
 		}
 		if len(s.queue) > 0 {
 			head := &s.queue[0]
-			now := time.Now()
-			if wait := head.deliverAt.Sub(now); wait > 0 {
-				if wait <= s.net.spinWindow() {
-					// Short wait: spin for precision. The lock is
-					// released so writers keep pacing; the queue is
-					// re-examined from scratch afterwards.
-					deliverAt := head.deliverAt
-					s.mu.Unlock()
-					spinUntil(deliverAt)
-					s.mu.Lock()
+			if !head.deliverAt.IsZero() {
+				if wait := time.Until(head.deliverAt); wait > 0 {
+					if wait <= s.net.spinWindow() {
+						// Short wait: spin for precision. The lock is
+						// released so writers keep pacing; the queue is
+						// re-examined from scratch afterwards.
+						deliverAt := head.deliverAt
+						s.mu.Unlock()
+						spinUntil(deliverAt)
+						s.mu.Lock()
+						continue
+					}
+					s.wakeReaderAt(head.deliverAt)
+					s.rCond.Wait()
 					continue
 				}
-				s.wakeReaderAt(head.deliverAt)
-				s.rCond.Wait()
-				continue
 			}
 			n := copy(b, head.data)
 			head.data = head.data[n:]
 			s.queued -= n
 			if len(head.data) == 0 {
-				s.queue = s.queue[1:]
-				if len(s.queue) == 0 {
-					s.queue = nil
+				if head.buf != nil && len(s.free) < s.maxFree() {
+					s.free = append(s.free, head.buf)
 				}
+				// Shift rather than reslice: the queue is short (writers
+				// block on BufferBytes), and keeping the array's base
+				// stable lets append reuse its capacity indefinitely.
+				last := len(s.queue) - 1
+				copy(s.queue, s.queue[1:])
+				s.queue[last] = segment{}
+				s.queue = s.queue[:last]
 			}
 			s.wCond.Signal()
 			return n, nil

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,7 +129,18 @@ type Network struct {
 	spinWin     time.Duration // read-pacing spin window; <0 disables
 	closed      bool
 	rng         *splitMix64
+	// groupDrops counts datagrams discarded because a member's group
+	// inbox was full — the silent UDP-like loss point load harnesses
+	// must check instead of letting it skew latency tails.
+	groupDrops atomic.Uint64
 }
+
+// GroupDrops returns the number of group datagrams dropped network-wide
+// because a receiving member's inbox was full. Intentional losses
+// (LossRate, faults, partitions) are not counted — this isolates the
+// overflow signal that indicates a consumer fell behind the offered
+// multicast rate.
+func (n *Network) GroupDrops() uint64 { return n.groupDrops.Load() }
 
 // SetSpinWindow overrides DefaultSpinWindow for this network's streams.
 // Zero restores the default; a negative value disables spinning entirely

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LogHistogram is an HDR-style log-linear histogram over non-negative
+// int64 values (nanoseconds, by convention). Each power of two is split
+// into 2^logSubBits linear sub-buckets, bounding the relative error of
+// any reported quantile to 1/2^logSubBits (~3.1%) while covering the
+// full int64 range in a fixed, small array. Recording is a single
+// atomic increment — no locks, no allocation — so one histogram can be
+// shared by every worker of an open-loop load generator.
+//
+// Unlike Histogram (fixed buckets chosen up front), LogHistogram needs
+// no prior knowledge of the value range: a run whose tail collapses
+// from microseconds to minutes under overload stays inside the same
+// instrument with the same resolution guarantee. That is what the
+// coordinated-omission-safe harness requires — the interesting values
+// are precisely the ones no one predicted.
+type LogHistogram struct {
+	counts [numLogBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // total of recorded values (ns)
+	max    atomic.Int64
+}
+
+const (
+	// logSubBits is the number of linear sub-bucket bits per power of
+	// two: 32 sub-buckets, ~3.1% worst-case relative error.
+	logSubBits  = 5
+	logSubCount = 1 << logSubBits
+	// numLogBuckets covers every int64: values < logSubCount get exact
+	// buckets; each further power of two adds logSubCount buckets.
+	// Len64 of the largest int64 is 63, so the largest shift is
+	// 63 - logSubBits - 1 = 57, and the top index is
+	// (57+1)*logSubCount + logSubCount - 1.
+	numLogBuckets = (57 + 2) * logSubCount
+)
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram { return &LogHistogram{} }
+
+// logBucketIndex maps a non-negative value to its bucket.
+func logBucketIndex(v int64) int {
+	u := uint64(v)
+	if u < logSubCount {
+		return int(u)
+	}
+	k := bits.Len64(u) - logSubBits - 1
+	return (k+1)*logSubCount + int(u>>uint(k)) - logSubCount
+}
+
+// logBucketUpper returns the largest value mapping to bucket i. Quantile
+// reports this bound, so estimates err high (conservative for SLOs),
+// never low.
+func logBucketUpper(i int) int64 {
+	if i < logSubCount {
+		return int64(i)
+	}
+	k := i/logSubCount - 1
+	sub := i % logSubCount
+	low := uint64(logSubCount+sub) << uint(k)
+	return int64(low + 1<<uint(k) - 1)
+}
+
+// Record adds one value. Negative values are clamped to zero. Safe on a
+// nil receiver and safe for concurrent use.
+func (h *LogHistogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[logBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records a duration in nanoseconds.
+func (h *LogHistogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values; 0 on a nil receiver.
+func (h *LogHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *LogHistogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded values: the bucket bound containing the ceil(q*count)-th
+// smallest value, at most ~3.1% above the true order statistic. Returns
+// 0 when empty. The scan is lock-free; concurrent recording can make
+// the result off by the in-flight increments, which is fine for
+// reporting.
+func (h *LogHistogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			return logBucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// LogSnapshot is a point-in-time summary of a LogHistogram.
+type LogSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+}
+
+// Snapshot captures the standard latency summary in one pass.
+func (h *LogHistogram) Snapshot() LogSnapshot {
+	if h == nil {
+		return LogSnapshot{}
+	}
+	return LogSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}

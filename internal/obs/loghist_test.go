@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// oracleQuantile is the brute-force order statistic: the ceil(q*n)-th
+// smallest recorded value.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts the histogram's quantile is a tight upper
+// bound on the oracle's: never below it, and within the log-linear
+// resolution guarantee (1/32 relative error) above it.
+func checkQuantiles(t *testing.T, h *LogHistogram, values []int64) {
+	t.Helper()
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0} {
+		want := oracleQuantile(sorted, q)
+		got := h.Quantile(q)
+		if got < want {
+			t.Fatalf("q=%v: histogram %d below oracle %d", q, got, want)
+		}
+		slack := want/16 + 1
+		if got > want+slack {
+			t.Fatalf("q=%v: histogram %d exceeds oracle %d by more than %d", q, got, want, slack)
+		}
+	}
+}
+
+func TestLogHistogramBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	probe := func(v int64) {
+		i := logBucketIndex(v)
+		if up := logBucketUpper(i); up < v {
+			t.Fatalf("v=%d: bucket %d upper bound %d below value", v, i, up)
+		}
+		if i > 0 {
+			if below := logBucketUpper(i - 1); below >= v {
+				t.Fatalf("v=%d: previous bucket %d upper bound %d not below value", v, i-1, below)
+			}
+		}
+		if back := logBucketIndex(logBucketUpper(i)); back != i {
+			t.Fatalf("v=%d: upper bound of bucket %d maps to bucket %d", v, i, back)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		probe(v)
+	}
+	for i := 0; i < 100000; i++ {
+		probe(rng.Int63())
+	}
+	probe(math.MaxInt64)
+}
+
+func TestLogHistogramQuantileMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewLogHistogram()
+		n := 100 + rng.Intn(5000)
+		values := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			var v int64
+			switch rng.Intn(4) {
+			case 0: // small exact range
+				v = int64(rng.Intn(64))
+			case 1: // microsecond-scale latencies
+				v = int64(rng.ExpFloat64() * 50e3)
+			case 2: // heavy tail up to minutes
+				v = int64(math.Pow(10, 3+rng.Float64()*7))
+			default: // power-of-two edges
+				v = int64(1) << uint(rng.Intn(40))
+				if rng.Intn(2) == 0 {
+					v--
+				}
+			}
+			values = append(values, v)
+			h.Record(v)
+		}
+		if h.Count() != uint64(n) {
+			t.Fatalf("count = %d, want %d", h.Count(), n)
+		}
+		checkQuantiles(t, h, values)
+	}
+}
+
+// TestLogHistogramCoordinatedOmissionGuard is the open-loop correctness
+// property: latencies are measured from each request's *intended* start
+// on a fixed arrival schedule, so a stalled consumer inflates the tail
+// of every arrival that queued behind the stall. A closed-loop recorder
+// (per-request service time, schedule re-anchored after each response)
+// reports a near-flat tail for the same run — the lie this harness
+// exists to avoid. The histogram's p99 must match the brute-force
+// oracle over the intended-start latencies, and dwarf the closed-loop
+// number.
+func TestLogHistogramCoordinatedOmissionGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		interval := time.Duration(200+rng.Intn(2000)) * time.Microsecond
+		n := 2000 + rng.Intn(3000)
+		stallAt := n/4 + rng.Intn(n/2)
+		stall := time.Duration(100+rng.Intn(400)) * time.Millisecond
+		service := interval / 4 // consumer keeps up when not stalled
+
+		open := NewLogHistogram()
+		closed := NewLogHistogram()
+		var openOracle []int64
+
+		// Simulated clock: arrivals on the intended schedule; the
+		// consumer finishes each no earlier than (a) its arrival plus
+		// service, (b) the previous completion plus service, and (c)
+		// the stall end for arrivals caught behind it.
+		var prevDone time.Duration
+		for i := 0; i < n; i++ {
+			intended := time.Duration(i) * interval
+			start := intended
+			if start < prevDone {
+				start = prevDone
+			}
+			if i >= stallAt && intended < time.Duration(stallAt)*interval+stall {
+				if end := time.Duration(stallAt)*interval + stall; start < end {
+					start = end
+				}
+			}
+			done := start + service
+			prevDone = done
+			lat := int64(done - intended)
+			open.Record(lat)
+			openOracle = append(openOracle, lat)
+			closed.Record(int64(done - start)) // the closed-loop lie
+		}
+
+		checkQuantiles(t, open, openOracle)
+		if p := open.Quantile(0.99); p < int64(stall)/4 {
+			t.Fatalf("open-loop p99 %v does not reflect the %v stall", time.Duration(p), stall)
+		}
+		if op, cp := open.Quantile(0.99), closed.Quantile(0.99); op < 10*cp {
+			t.Fatalf("open-loop p99 %v not >> closed-loop p99 %v", time.Duration(op), time.Duration(cp))
+		}
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	var nilH *LogHistogram
+	nilH.Record(5) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	h := NewLogHistogram()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Record(-50) // clamps to zero
+	if got := h.Quantile(1.0); got != 0 {
+		t.Fatalf("negative value should clamp to 0, got %d", got)
+	}
+	h.Record(math.MaxInt64)
+	if got := h.Max(); got != math.MaxInt64 {
+		t.Fatalf("max = %d", got)
+	}
+	if got := h.Quantile(1.0); got < math.MaxInt64/32*31 {
+		t.Fatalf("p100 = %d, want near MaxInt64", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != math.MaxInt64 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestLogHistogramConcurrentRecord(t *testing.T) {
+	h := NewLogHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.RecordDuration(time.Duration(rng.Intn(1e6)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}

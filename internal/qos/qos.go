@@ -98,8 +98,30 @@ type Buffer[T any] struct {
 	nef    *sync.Cond // not-empty-or-closed
 	nff    *sync.Cond // not-full-or-closed
 	items  []T
+	head   int // index of the oldest item; items[head:] is the queue
 	closed bool
 	stats  BufferStats
+}
+
+// size returns the queue depth. Caller holds b.mu. The queue lives in
+// items[head:]: popping advances head instead of reslicing away the
+// front, so the backing array's capacity is reused by later pushes
+// rather than forcing append to reallocate on every wrap.
+func (b *Buffer[T]) size() int { return len(b.items) - b.head }
+
+// popFront removes and returns the oldest item, zeroing its slot so the
+// array does not retain message payloads. Caller holds b.mu and has
+// checked size() > 0.
+func (b *Buffer[T]) popFront() T {
+	item := b.items[b.head]
+	var zero T
+	b.items[b.head] = zero
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	return item
 }
 
 // NewBuffer creates a buffer with the given capacity (min 1) and policy.
@@ -128,10 +150,10 @@ func (b *Buffer[T]) Push(ctx context.Context, item T) (bool, error) {
 	if b.closed {
 		return false, ErrBufferClosed
 	}
-	if len(b.items) >= b.capacity {
+	if b.size() >= b.capacity {
 		switch b.policy {
 		case Block:
-			for len(b.items) >= b.capacity && !b.closed {
+			for b.size() >= b.capacity && !b.closed {
 				if err := b.waitNotFull(ctx); err != nil {
 					return false, err
 				}
@@ -140,7 +162,7 @@ func (b *Buffer[T]) Push(ctx context.Context, item T) (bool, error) {
 				return false, ErrBufferClosed
 			}
 		case DropOldest, LatestOnly:
-			b.items = b.items[1:]
+			b.popFront()
 			b.stats.Dropped++
 		case DropNewest:
 			b.stats.Dropped++
@@ -149,10 +171,18 @@ func (b *Buffer[T]) Push(ctx context.Context, item T) (bool, error) {
 			return false, fmt.Errorf("qos: invalid policy %v", b.policy)
 		}
 	}
+	if b.head > 0 && len(b.items) == cap(b.items) {
+		// Compact instead of growing: the dead prefix left by popFront is
+		// reclaimed so the array stays at roughly capacity items.
+		n := copy(b.items, b.items[b.head:])
+		clear(b.items[n:])
+		b.items = b.items[:n]
+		b.head = 0
+	}
 	b.items = append(b.items, item)
 	b.stats.Enqueued++
-	if len(b.items) > b.stats.HighWater {
-		b.stats.HighWater = len(b.items)
+	if b.size() > b.stats.HighWater {
+		b.stats.HighWater = b.size()
 	}
 	b.nef.Signal()
 	return true, nil
@@ -180,7 +210,7 @@ func (b *Buffer[T]) Pop(ctx context.Context) (T, error) {
 	var zero T
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.items) == 0 {
+	for b.size() == 0 {
 		if b.closed {
 			return zero, ErrBufferClosed
 		}
@@ -195,8 +225,7 @@ func (b *Buffer[T]) Pop(ctx context.Context) (T, error) {
 		b.nef.Wait()
 		stop()
 	}
-	item := b.items[0]
-	b.items = b.items[1:]
+	item := b.popFront()
 	b.stats.Dequeued++
 	b.nff.Signal()
 	return item, nil
@@ -207,11 +236,10 @@ func (b *Buffer[T]) TryPop() (T, bool) {
 	var zero T
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.items) == 0 {
+	if b.size() == 0 {
 		return zero, false
 	}
-	item := b.items[0]
-	b.items = b.items[1:]
+	item := b.popFront()
 	b.stats.Dequeued++
 	b.nff.Signal()
 	return item, true
@@ -235,7 +263,7 @@ func (b *Buffer[T]) Stats() BufferStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := b.stats
-	s.Depth = len(b.items)
+	s.Depth = b.size()
 	return s
 }
 
@@ -243,7 +271,7 @@ func (b *Buffer[T]) Stats() BufferStats {
 func (b *Buffer[T]) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.items)
+	return b.size()
 }
 
 // RateLimiter is a token bucket limiting throughput in units per second

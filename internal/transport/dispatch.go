@@ -19,7 +19,8 @@ type inbound struct {
 type dstQueue struct {
 	dst    core.PortRef
 	frames []inbound
-	queued bool // on the ready list, or being drained by a worker
+	spare  []inbound // drained batch array, swapped back in for reuse
+	queued bool      // on the ready list, or being drained by a worker
 }
 
 // dispatcher fans inbound deliveries out to a bounded worker pool,
@@ -36,8 +37,33 @@ type dispatcher struct {
 	mu      sync.Mutex
 	queues  map[core.PortRef]*dstQueue
 	ready   []*dstQueue
+	spares  [][]inbound // drained batch arrays from retired queues
 	workers int
 	closed  bool
+}
+
+// maxSpares bounds the retired-array pool. Hot destinations drain to
+// empty constantly; without the pool, every dry spell would discard the
+// queue's warmed-up arrays and the next burst would regrow them from
+// scratch, one allocation per few messages.
+const maxSpares = 16
+
+// getSpare pops a pooled batch array (nil if none). Caller holds d.mu.
+func (d *dispatcher) getSpare() []inbound {
+	if n := len(d.spares); n > 0 {
+		s := d.spares[n-1]
+		d.spares[n-1] = nil
+		d.spares = d.spares[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putSpare returns a batch array to the pool. Caller holds d.mu.
+func (d *dispatcher) putSpare(s []inbound) {
+	if cap(s) > 0 && len(d.spares) < maxSpares {
+		d.spares = append(d.spares, s[:0])
+	}
 }
 
 func newDispatcher(m *Module, maxWorkers int) *dispatcher {
@@ -62,7 +88,7 @@ func (d *dispatcher) enqueue(f frame, done func()) {
 	}
 	q := d.queues[dst]
 	if q == nil {
-		q = &dstQueue{dst: dst}
+		q = &dstQueue{dst: dst, frames: d.getSpare(), spare: d.getSpare()}
 		d.queues[dst] = q
 	}
 	q.frames = append(q.frames, inbound{f: f, done: done})
@@ -90,16 +116,29 @@ func (d *dispatcher) run() {
 		q := d.ready[0]
 		d.ready = d.ready[1:]
 		for !d.closed && len(q.frames) > 0 {
-			in := q.frames[0]
-			q.frames[0] = inbound{}
-			q.frames = q.frames[1:]
+			// Swap the whole pending batch out and process it unlocked.
+			// Producers append to the (reused) spare array meanwhile, so
+			// neither side's append has to regrow on every message — the
+			// two arrays ping-pong between pending and in-flight roles.
+			batch := q.frames
+			q.frames = q.spare[:0]
+			q.spare = nil
 			d.mu.Unlock()
-			d.m.handleInbound(in)
+			for i := range batch {
+				d.m.handleInbound(batch[i])
+				batch[i] = inbound{}
+			}
 			d.mu.Lock()
+			if d.closed {
+				break
+			}
+			q.spare = batch[:0]
 		}
 		q.queued = false
 		if len(q.frames) == 0 {
 			delete(d.queues, q.dst)
+			d.putSpare(q.frames)
+			d.putSpare(q.spare)
 		}
 	}
 }
@@ -135,15 +174,27 @@ func (m *Module) handleInbound(in inbound) {
 		in.done()
 		return
 	}
-	var msg core.Message
-	if m.opts.ZeroCopyDeliver {
+	switch m.opts.DeliverOwnership {
+	case OwnershipCopy:
+		m.deliverLocal(f.header.Dst, f.message())
+		f.release()
+	case OwnershipAliased:
 		// Payload aliases the pooled read buffer; the translator must
-		// not retain it past Deliver (Options.ZeroCopyDeliver contract).
-		msg = f.messageZeroCopy()
-	} else {
-		msg = f.message()
+		// not retain it past Deliver (untracked contract).
+		m.deliverLocal(f.header.Dst, f.messageZeroCopy())
+		f.release()
+	default: // OwnershipTracked
+		m.deliverLocal(f.header.Dst, f.messageZeroCopy())
+		if f.pooled && len(f.payload) > 0 {
+			// The buffer moves to the quarantine ring instead of the
+			// pool: it is recycled only after its checksum verifies
+			// that no translator wrote into it post-return.
+			m.quar.admit(f.payload)
+			f.payload = nil
+			f.pooled = false
+		} else {
+			f.release()
+		}
 	}
-	m.deliverLocal(f.header.Dst, msg)
-	f.release()
 	in.done()
 }

@@ -3,7 +3,23 @@ package transport
 import (
 	"fmt"
 	"slices"
+
+	"repro/internal/core"
 )
+
+// dstStripe hashes a destination port to a stable write stripe (FNV-1a
+// over the translator ID and port name).
+func dstStripe(dst core.PortRef) uint64 {
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	for _, c := range []byte(dst.Translator) {
+		h = (h ^ uint64(c)) * prime
+	}
+	for _, c := range []byte(dst.Port) {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
 
 // Multi-hop delivery: on a segmented network (netemu links) two nodes
 // may share no link, so a direct dial fails. The directory's mesh layer
@@ -104,7 +120,11 @@ func (m *Module) forwardFrame(f frame) {
 		hdr.Route = nil // destination next: it receives a plain deliver
 	}
 	hdr.TTL--
-	fc, _, err := m.peerFor(next)
+	// Forwarded frames stripe by destination port: frames for one
+	// destination stay on one ordered stream (preserving the per-path
+	// sequence the dispatcher promises downstream) while different
+	// destinations spread across the striped write connections.
+	fc, _, key, err := m.peerForStripe(next, dstStripe(hdr.Dst))
 	if err != nil {
 		m.relayRouteFail.Inc()
 		m.opts.Logger.Warn("transport: relay next hop unreachable", "next", next, "err", err)
@@ -115,7 +135,7 @@ func (m *Module) forwardFrame(f frame) {
 	// the caller is safe.
 	if err := fc.write(frame{header: hdr, payload: f.payload}); err != nil {
 		m.relayRouteFail.Inc()
-		m.dropPeer(next, fc)
+		m.dropPeer(key, fc)
 		return
 	}
 	m.relayed.Inc()

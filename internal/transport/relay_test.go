@@ -192,7 +192,10 @@ func TestWireRouteRoundtrip(t *testing.T) {
 		Type: "text/plain", Payload: []byte("hi"),
 	})
 
-	for _, tc := range []struct{ name string; f frame }{{"routed", routed}, {"plain", plain}} {
+	for _, tc := range []struct {
+		name string
+		f    frame
+	}{{"routed", routed}, {"plain", plain}} {
 		data, err := encodeFrame(tc.f)
 		if err != nil {
 			t.Fatalf("%s: encode: %v", tc.name, err)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -147,6 +148,22 @@ type path struct {
 	bytesRL *qos.RateLimiter
 	msgRL   *qos.RateLimiter
 	met     pathMetrics
+	// stripe pins this path's outbound frames to one striped write
+	// connection per destination node (round-robin assigned at path
+	// creation), sharding the group-commit leader across paths while
+	// keeping any one path's frames on a single ordered stream.
+	stripe uint64
+	// skNode/skKey cache the last stripeKey built for this path's
+	// destination node: the key concatenates strings, and without the
+	// cache that is a per-message allocation on every striped path.
+	// fcCache additionally pins the established connection, so the
+	// steady state skips the module-mutex peer lookup (and the redial
+	// bookkeeping) per message; a failed write invalidates the cache and
+	// the next attempt does the full lookup. Touched only by the path's
+	// worker goroutine (deliver runs there).
+	skNode  string
+	skKey   string
+	fcCache *frameConn
 	// interestCancel withdraws the directory interest this path
 	// registered (its query, or its static destination); nil when the
 	// path registered none.
@@ -154,6 +171,7 @@ type path struct {
 
 	mu      sync.Mutex
 	bound   map[core.TranslatorID]core.PortRef
+	dstSnap []core.PortRef // cached destinations() snapshot; nil = rebuild
 	seq     uint64
 	peerGen map[string]uint64 // last peer-connection generation seen per node
 	// lostAt stamps when a dynamic path lost its last bound destination;
@@ -211,17 +229,25 @@ func (p *path) notePeerGen(node string, gen uint64) {
 	}
 }
 
+// destinations returns the path's current destination set as a shared
+// immutable snapshot: rebuilt only when the bound set changes (tryBind,
+// failDestination invalidate it), not per call — the path worker calls
+// this once per message. Callers must not mutate the returned slice.
 func (p *path) destinations() []core.PortRef {
-	if p.static != nil {
-		return []core.PortRef{*p.static}
-	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]core.PortRef, 0, len(p.bound))
-	for _, ref := range p.bound {
-		out = append(out, ref)
+	if p.dstSnap == nil {
+		if p.static != nil {
+			p.dstSnap = []core.PortRef{*p.static}
+		} else {
+			out := make([]core.PortRef, 0, len(p.bound))
+			for _, ref := range p.bound {
+				out = append(out, ref)
+			}
+			p.dstSnap = out
+		}
 	}
-	return out
+	return p.dstSnap
 }
 
 // Options configures a Module.
@@ -254,13 +280,30 @@ type Options struct {
 	// when the destination shares no link and the directory supplies a
 	// relay route (default 8).
 	RelayTTL int
-	// ZeroCopyDeliver hands inbound payloads to local translators
-	// without copying them out of the pooled read buffer. Opt-in
-	// contract: every local translator must finish with msg.Payload
-	// before its Deliver returns — retaining it aliases a buffer that
-	// will be recycled into a later read. Leave false unless every
-	// registered translator honors that.
+	// DeliverOwnership selects how inbound payload buffers are handed
+	// to local translators. The default, OwnershipTracked, delivers
+	// zero-copy and verifies after the fact that no translator mutated
+	// a payload it had already returned (see Ownership). Translators
+	// must finish with msg.Payload before Deliver returns; retaining a
+	// payload requires copying it first (core.Message.Clone).
+	DeliverOwnership Ownership
+	// ZeroCopyDeliver is the deprecated spelling of
+	// OwnershipAliased: zero-copy delivery with no mutation tracking.
+	// Ignored when DeliverOwnership is set explicitly.
 	ZeroCopyDeliver bool
+	// WriteShards sets how many striped connections this module opens
+	// toward each peer node (default: GOMAXPROCS, capped at 16). Each
+	// outbound path is pinned to one stripe, so per-path frame order is
+	// preserved while the group-commit leader — a single convoy point
+	// per connection — is sharded across stripes and cores. Stripe 0
+	// doubles as the control-frame connection.
+	WriteShards int
+	// DisablePathMetrics makes every path share one aggregate set of
+	// registry series instead of resolving eight per-path series. At
+	// load-harness scale (100k+ concurrent paths) per-path cardinality
+	// would swamp the registry; with this set, PathStats reports
+	// module-wide aggregates rather than per-path numbers.
+	DisablePathMetrics bool
 	// Logger receives diagnostics; nil disables logging.
 	Logger *slog.Logger
 	// Obs receives metrics and trace events. When nil the module keeps a
@@ -283,6 +326,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RelayTTL <= 0 {
 		o.RelayTTL = 8
+	}
+	if o.DeliverOwnership == OwnershipTracked && o.ZeroCopyDeliver {
+		o.DeliverOwnership = OwnershipAliased
+	}
+	if o.WriteShards <= 0 {
+		o.WriteShards = runtime.GOMAXPROCS(0)
+	}
+	if o.WriteShards > 16 {
+		o.WriteShards = 16
 	}
 	o.Retry = o.Retry.WithDefaults()
 	o.Redial = o.Redial.WithDefaults()
@@ -345,6 +397,13 @@ type Module struct {
 	dispatch *dispatcher
 	// matchCache memoizes Query.Matches for dynamic-path rebinding.
 	matchCache *core.MatchCache
+	// quar is the tracked-ownership quarantine ring (nil unless
+	// DeliverOwnership is OwnershipTracked).
+	quar       *quarantine
+	violations *obs.Counter
+	// sharedPathMet is the single aggregate metric set every path uses
+	// when DisablePathMetrics is set; nil otherwise.
+	sharedPathMet *pathMetrics
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -360,10 +419,10 @@ type Module struct {
 	// frames we forward (guarded by mu like the other maps).
 	relaySeen map[string]*relayWindow
 	nextPath  uint64
-	nextReq  uint64
-	started  bool
-	closed   bool
-	wg       sync.WaitGroup
+	nextReq   uint64
+	started   bool
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 var _ core.Sink = (*Module)(nil)
@@ -373,16 +432,16 @@ var _ core.Sink = (*Module)(nil)
 func New(node string, host *netemu.Host, dir *directory.Directory, opts Options) *Module {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Module{
-		node:    node,
-		host:    host,
-		dir:     dir,
-		opts:    opts.withDefaults(),
-		ctx:     ctx,
-		cancel:  cancel,
-		peers:   make(map[string]*peer),
-		conns:   make(map[*frameConn]struct{}),
-		paths:   make(map[PathID]*path),
-		bySrc:   make(map[core.PortRef][]*path),
+		node:      node,
+		host:      host,
+		dir:       dir,
+		opts:      opts.withDefaults(),
+		ctx:       ctx,
+		cancel:    cancel,
+		peers:     make(map[string]*peer),
+		conns:     make(map[*frameConn]struct{}),
+		paths:     make(map[PathID]*path),
+		bySrc:     make(map[core.PortRef][]*path),
 		pending:   make(map[uint64]chan frame),
 		relaySeen: make(map[string]*relayWindow),
 	}
@@ -411,6 +470,7 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	reg.Describe("umiddle_transport_relay_dup_dropped_total", "Relayed deliver frames dropped as duplicates of an already-forwarded (origin, id).")
 	reg.Describe("umiddle_transport_relay_ttl_dropped_total", "Relayed deliver frames dropped with an exhausted hop budget.")
 	reg.Describe("umiddle_transport_relay_route_failed_total", "Relayed deliver frames dropped because the next hop was unreachable.")
+	reg.Describe("umiddle_transport_ownership_violations_total", "Delivered payload buffers found mutated after Deliver returned (tracked zero-copy contract violations).")
 	// Resolved eagerly so /metrics shows the latency family (and the
 	// queue-depth gauge) even before the first message flows.
 	labels := obs.Labels{"node": node}
@@ -429,6 +489,14 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 		poolMisses: reg.Counter("umiddle_transport_frame_pool_misses_total", labels),
 		batchFrames: reg.Histogram("umiddle_transport_write_batch_frames", labels,
 			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+	}
+	m.violations = reg.Counter("umiddle_transport_ownership_violations_total", labels)
+	if m.opts.DeliverOwnership == OwnershipTracked {
+		m.quar = newQuarantine(node, m.violations, m.trace)
+	}
+	if m.opts.DisablePathMetrics {
+		met := m.newPathMetricsFor(PathID("_aggregate"))
+		m.sharedPathMet = &met
 	}
 	m.dispatch = newDispatcher(m, m.opts.DeliverWorkers)
 	m.matchCache = core.NewMatchCache(0)
@@ -530,8 +598,17 @@ func (m *Module) Close() error {
 	}
 	m.dispatch.close()
 	m.wg.Wait()
+	if m.quar != nil {
+		// Verify everything still quarantined so late mutations within
+		// the final window are reported before the counters are read.
+		m.quar.flush()
+	}
 	return nil
 }
+
+// OwnershipViolations reports how many delivered payloads were found
+// mutated after their Deliver returned (OwnershipTracked mode).
+func (m *Module) OwnershipViolations() uint64 { return m.violations.Value() }
 
 func (m *Module) acceptLoop(l *netemu.Listener) {
 	for {
@@ -649,7 +726,7 @@ func (m *Module) registerPeer(node string, fc *frameConn) {
 	if node == "" {
 		return
 	}
-	p := m.getOrCreatePeer(node)
+	p := m.getOrCreatePeer(node, node)
 	if p == nil {
 		return
 	}
@@ -675,30 +752,84 @@ func (m *Module) registerPeer(node string, fc *frameConn) {
 	}
 }
 
-// getOrCreatePeer returns the peer state for a node, creating it if
-// needed. Returns nil when the module is closed.
-func (m *Module) getOrCreatePeer(node string) *peer {
+// getOrCreatePeer returns the peer state stored under key, creating it
+// if needed (node is the dial target — for write stripes the key and
+// node differ). Returns nil when the module is closed.
+func (m *Module) getOrCreatePeer(key, node string) *peer {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil
 	}
-	p, ok := m.peers[node]
+	p, ok := m.peers[key]
 	if !ok {
 		p = &peer{node: node, ready: closedChan}
-		m.peers[node] = p
+		m.peers[key] = p
 	}
 	return p
 }
 
-// peerFor returns an established connection to a node and its
+// stripeSep joins node and stripe number into a peer-map key. NUL never
+// appears in node names, so stripe keys cannot collide with them.
+const stripeSep = "\x00w"
+
+// stripeKey returns the peer-map key for one write stripe of a node.
+// Stripe 0 is the node's primary (control) connection, keyed by name.
+func stripeKey(node string, stripe int) string {
+	if stripe == 0 {
+		return node
+	}
+	return node + stripeSep + strconv.Itoa(stripe)
+}
+
+// peerForStripe is peerFor on one of the node's striped write
+// connections. Each outbound path is pinned to a stripe, so the
+// group-commit leader convoy of a single shared connection is sharded
+// across WriteShards connections while frames of any one path stay
+// ordered on one stream.
+func (m *Module) peerForStripe(node string, stripe uint64) (*frameConn, uint64, string, error) {
+	key := stripeKey(node, int(stripe%uint64(m.opts.WriteShards)))
+	fc, gen, err := m.peerForKey(key, node)
+	return fc, gen, key, err
+}
+
+// pathConn is peerForStripe through the path's one-entry connection
+// cache (see path.skNode): steady-state deliveries reuse the cached
+// established conn without touching the module mutex or the peer-gen
+// map. Redial accounting still works because every generation change
+// passes through a cache miss — the old conn's writes fail, deliver
+// invalidates the cache, and the re-lookup here observes (and notes)
+// the new generation. Call only from the path's worker goroutine.
+func (m *Module) pathConn(p *path, node string) (*frameConn, string, error) {
+	if p.skNode != node {
+		p.skNode = node
+		p.skKey = stripeKey(node, int(p.stripe%uint64(m.opts.WriteShards)))
+		p.fcCache = nil
+	}
+	if p.fcCache != nil {
+		return p.fcCache, p.skKey, nil
+	}
+	fc, gen, err := m.peerForKey(p.skKey, node)
+	if err != nil {
+		return nil, p.skKey, err
+	}
+	p.notePeerGen(p.skKey, gen)
+	p.fcCache = fc
+	return fc, p.skKey, nil
+}
+
+// peerFor returns an established primary connection to a node and its
 // generation, starting a redial cycle and waiting for it (bounded by
 // DialTimeout) when the peer is down.
 func (m *Module) peerFor(node string) (*frameConn, uint64, error) {
+	return m.peerForKey(node, node)
+}
+
+func (m *Module) peerForKey(key, node string) (*frameConn, uint64, error) {
 	if m.host == nil {
 		return nil, 0, fmt.Errorf("transport: no network; cannot reach node %q", node)
 	}
-	p := m.getOrCreatePeer(node)
+	p := m.getOrCreatePeer(key, node)
 	if p == nil {
 		return nil, 0, ErrClosed
 	}
@@ -1118,6 +1249,7 @@ func (p *path) tryBind(candidate core.Profile, srcType core.DataType) {
 		if core.Compatible(srcType, port.Type) {
 			p.mu.Lock()
 			p.bound[candidate.ID] = core.PortRef{Translator: candidate.ID, Port: port.Name}
+			p.dstSnap = nil
 			p.mu.Unlock()
 			return
 		}
@@ -1141,6 +1273,7 @@ func (m *Module) addPath(p *path) (PathID, error) {
 		return "", ErrClosed
 	}
 	m.nextPath++
+	p.stripe = m.nextPath
 	p.id = PathID(m.node + "#" + strconv.FormatUint(m.nextPath, 10))
 	// Resolve metric handles before the path is visible to PathStats.
 	p.met = m.newPathMetrics(p.id)
@@ -1159,8 +1292,16 @@ func (m *Module) addPath(p *path) (PathID, error) {
 }
 
 // newPathMetrics resolves a path's registry series. The path label keeps
-// one registry usable across many concurrent paths and nodes.
+// one registry usable across many concurrent paths and nodes. Under
+// DisablePathMetrics every path shares the one aggregate set instead.
 func (m *Module) newPathMetrics(id PathID) pathMetrics {
+	if m.sharedPathMet != nil {
+		return *m.sharedPathMet
+	}
+	return m.newPathMetricsFor(id)
+}
+
+func (m *Module) newPathMetricsFor(id PathID) pathMetrics {
 	reg := m.opts.Obs
 	labels := obs.Labels{"node": m.node, "path": string(id)}
 	return pathMetrics{
@@ -1178,6 +1319,9 @@ func (m *Module) newPathMetrics(id PathID) pathMetrics {
 // removePathMetrics drops a removed path's series so long-lived nodes
 // don't accumulate unbounded per-path cardinality.
 func (m *Module) removePathMetrics(id PathID) {
+	if m.sharedPathMet != nil {
+		return // aggregate series outlive individual paths
+	}
 	reg := m.opts.Obs
 	labels := obs.Labels{"node": m.node, "path": string(id)}
 	for _, name := range []string{
@@ -1233,17 +1377,21 @@ func (m *Module) removeLocalPath(id PathID) error {
 }
 
 // Emit implements core.Sink: translator emissions enter the translation
-// buffers of every path rooted at the emitting port.
+// buffers of every path rooted at the emitting port. Ownership of the
+// payload transfers to the transport (core.Sink contract), so fan-out
+// shares one payload across paths instead of deep-copying per path —
+// translators and local deliveries treat payloads as immutable, which
+// OwnershipTracked verifies on the inbound side.
 func (m *Module) Emit(src core.PortRef, msg core.Message) {
 	m.mu.Lock()
 	paths := append([]*path(nil), m.bySrc[src]...)
 	m.mu.Unlock()
+	msg.Source = src
+	if msg.Time.IsZero() {
+		msg.Time = time.Now()
+	}
 	for _, p := range paths {
-		out := msg.Clone()
-		out.Source = src
-		if out.Time.IsZero() {
-			out.Time = time.Now()
-		}
+		out := msg
 		p.mu.Lock()
 		p.seq++
 		out.Seq = p.seq
@@ -1257,6 +1405,7 @@ func (m *Module) Emit(src core.PortRef, msg core.Message) {
 // pathWorker drains one path's translation buffer, applying QoS and
 // delivering to all bound destinations.
 func (m *Module) pathWorker(p *path) {
+	var tick uint64
 	for {
 		msg, err := p.buf.Pop(m.ctx)
 		if err != nil {
@@ -1290,7 +1439,16 @@ func (m *Module) pathWorker(p *path) {
 			}
 		}
 		for _, dst := range dsts {
-			start := time.Now()
+			// Latency is sampled 1-in-8 (first delivery always): the
+			// histograms feed metrics, whose quantiles survive sampling,
+			// and the two clock reads per message otherwise show up in
+			// hot-path CPU profiles.
+			sample := tick&7 == 0
+			tick++
+			var start time.Time
+			if sample {
+				start = time.Now()
+			}
 			if err := m.deliverWithRetry(p, dst, msg); err != nil {
 				p.met.errors.Inc()
 				p.met.dropped.Inc()
@@ -1305,11 +1463,13 @@ func (m *Module) pathWorker(p *path) {
 				}
 				continue
 			}
-			elapsed := time.Since(start)
 			p.met.delivered.Inc()
 			p.met.bytes.Add(uint64(len(msg.Payload)))
-			p.met.latency.ObserveDuration(elapsed)
-			m.latency.ObserveDuration(elapsed)
+			if sample {
+				elapsed := time.Since(start)
+				p.met.latency.ObserveDuration(elapsed)
+				m.latency.ObserveDuration(elapsed)
+			}
 		}
 	}
 }
@@ -1395,37 +1555,38 @@ func (m *Module) deliver(p *path, dst core.PortRef, msg core.Message) error {
 		f.header.Route = route
 		f.header.TTL = m.opts.RelayTTL
 		f.header.RelayID = m.relayID.Add(1)
-		fc, gen, err := m.peerFor(first)
+		fc, key, err := m.pathConn(p, first)
 		if err != nil {
 			return err
 		}
-		p.notePeerGen(first, gen)
 		if err := fc.write(f); err != nil {
-			m.dropPeer(first, fc)
+			p.fcCache = nil
+			m.dropPeer(key, fc)
 			return err
 		}
 		return nil
 	}
-	fc, gen, err := m.peerFor(node)
+	fc, key, err := m.pathConn(p, node)
 	if err != nil {
 		return err
 	}
-	p.notePeerGen(node, gen)
 	if err := fc.write(deliverFrame(m.node, dst, msg)); err != nil {
 		// A failed write may have left a partial frame on the stream,
 		// desynchronizing the peer; discard the connection so the redial
 		// cycle replaces it cleanly.
-		m.dropPeer(node, fc)
+		p.fcCache = nil
+		m.dropPeer(key, fc)
 		return err
 	}
 	return nil
 }
 
-// dropPeer detaches a (possibly corrupted) connection from its peer if
-// it is still the current one, kicking off a redial cycle.
-func (m *Module) dropPeer(node string, fc *frameConn) {
+// dropPeer detaches a (possibly corrupted) connection from the peer
+// stored under key if it is still the current one, kicking off a
+// redial cycle.
+func (m *Module) dropPeer(key string, fc *frameConn) {
 	m.mu.Lock()
-	p, ok := m.peers[node]
+	p, ok := m.peers[key]
 	m.mu.Unlock()
 	if !ok {
 		fc.close()
@@ -1446,10 +1607,10 @@ func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) (err error)
 		return fmt.Errorf("%w: %q", directory.ErrNotFound, dst.Translator)
 	}
 	// A lazy deadline context: every delivery gets the DeliverTimeout
-	// bound, but the runtime timer behind it is only armed if the
-	// handler actually blocks on Done(). Fast handlers — the hot path —
-	// never touch the timer subsystem at all.
-	lc := lazyTimeoutCtx{parent: m.ctx, deadline: time.Now().Add(m.opts.DeliverTimeout)}
+	// bound, but the clock is only read and the runtime timer only armed
+	// if the handler actually observes the deadline. Fast handlers — the
+	// hot path — never touch the clock or timer subsystem at all.
+	lc := lazyTimeoutCtx{parent: m.ctx, timeout: m.opts.DeliverTimeout}
 	defer lc.release()
 	// A panicking translator handler becomes a per-delivery error: one
 	// buggy device handler cannot take down the delivery worker (or, for
@@ -1463,19 +1624,31 @@ func (m *Module) deliverLocalErr(dst core.PortRef, msg core.Message) (err error)
 	return tr.Deliver(&lc, dst.Port, msg)
 }
 
-// lazyTimeoutCtx is a context.Context with a fixed deadline that defers
-// creating the underlying timer-backed context until Done() (or a
-// post-expiry Err()) is first observed. release() cancels the timer if
-// one was armed; afterwards the context reports Canceled, matching the
-// WithTimeout+defer-cancel idiom it replaces.
+// lazyTimeoutCtx is a context.Context with a timeout that defers both
+// reading the clock and creating the underlying timer-backed context
+// until a deadline-dependent method — Done(), Deadline(), or a
+// could-be-expired Err() — is first observed. Fast handlers (the hot
+// path) never touch the clock or the timer subsystem at all. release()
+// cancels the timer if one was armed; afterwards the context reports
+// Canceled, matching the WithTimeout+defer-cancel idiom it replaces.
 type lazyTimeoutCtx struct {
-	parent   context.Context
-	deadline time.Time
+	parent  context.Context
+	timeout time.Duration
 
 	mu       sync.Mutex
+	deadline time.Time
 	ctx      context.Context
 	cancel   context.CancelFunc
 	released bool
+}
+
+// deadlineLocked pins the deadline to timeout-from-first-observation.
+// Caller holds c.mu.
+func (c *lazyTimeoutCtx) deadlineLocked() time.Time {
+	if c.deadline.IsZero() {
+		c.deadline = time.Now().Add(c.timeout)
+	}
+	return c.deadline
 }
 
 func (c *lazyTimeoutCtx) materialize() context.Context {
@@ -1487,7 +1660,7 @@ func (c *lazyTimeoutCtx) materialize() context.Context {
 			cancel()
 			c.ctx = ctx
 		} else {
-			c.ctx, c.cancel = context.WithDeadline(c.parent, c.deadline)
+			c.ctx, c.cancel = context.WithDeadline(c.parent, c.deadlineLocked())
 		}
 	}
 	return c.ctx
@@ -1503,7 +1676,11 @@ func (c *lazyTimeoutCtx) release() {
 	}
 }
 
-func (c *lazyTimeoutCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *lazyTimeoutCtx) Deadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deadlineLocked(), true
+}
 
 func (c *lazyTimeoutCtx) Done() <-chan struct{} { return c.materialize().Done() }
 
@@ -1513,6 +1690,10 @@ func (c *lazyTimeoutCtx) Err() error {
 	}
 	c.mu.Lock()
 	ctx, released := c.ctx, c.released
+	deadline := c.deadline
+	if ctx == nil && !released {
+		deadline = c.deadlineLocked()
+	}
 	c.mu.Unlock()
 	if ctx != nil {
 		return ctx.Err()
@@ -1520,7 +1701,7 @@ func (c *lazyTimeoutCtx) Err() error {
 	if released {
 		return context.Canceled
 	}
-	if !time.Now().Before(c.deadline) {
+	if !time.Now().Before(deadline) {
 		return context.DeadlineExceeded
 	}
 	return nil
@@ -1533,11 +1714,19 @@ func (c *lazyTimeoutCtx) Value(key any) any { return c.parent.Value(key) }
 type dirListener struct{ m *Module }
 
 var _ directory.NodeListener = dirListener{}
+var _ directory.BatchListener = dirListener{}
 
 func (l dirListener) TranslatorMapped(p core.Profile)         { l.m.onMapped(p) }
 func (l dirListener) TranslatorUnmapped(id core.TranslatorID) { l.m.onUnmapped(id) }
 func (l dirListener) NodeUp(string)                           {}
 func (l dirListener) NodeDown(node string)                    { l.m.onNodeDown(node) }
+
+// Batched notifications (one advert mapping or dropping many
+// translators at once): one path-table scan per batch instead of one
+// per translator — the per-event scans turn quadratic when a sync
+// carries thousands of profiles into a node holding thousands of paths.
+func (l dirListener) TranslatorsMapped(ps []core.Profile)         { l.m.onMappedBatch(ps) }
+func (l dirListener) TranslatorsUnmapped(ids []core.TranslatorID) { l.m.onUnmappedBatch(ids) }
 
 // onMapped re-evaluates dynamic paths when a translator appears, and
 // clears the degraded flag of static paths whose destination returned.
@@ -1569,6 +1758,47 @@ func (m *Module) onMapped(p core.Profile) {
 		pt.mu.Unlock()
 		if was {
 			m.trace.Event("path_recovered", m.node, string(pt.id)+": destination "+string(p.ID)+" mapped again")
+		}
+	}
+}
+
+// onMappedBatch is onMapped over one advert's worth of profiles with a
+// single path-table scan.
+func (m *Module) onMappedBatch(ps []core.Profile) {
+	if len(ps) == 0 {
+		return
+	}
+	mapped := make(map[core.TranslatorID]*core.Profile, len(ps))
+	for i := range ps {
+		mapped[ps[i].ID] = &ps[i]
+	}
+	m.mu.Lock()
+	dynamic := make([]*path, 0, len(m.paths))
+	var static []*path
+	for _, pt := range m.paths {
+		switch {
+		case pt.query != nil:
+			dynamic = append(dynamic, pt)
+		case pt.static != nil && mapped[pt.static.Translator] != nil:
+			static = append(static, pt)
+		}
+	}
+	m.mu.Unlock()
+	for _, pt := range dynamic {
+		for i := range ps {
+			if m.matchCache.Matches(*pt.query, ps[i]) {
+				pt.tryBind(ps[i], pt.srcType)
+				m.noteRebound(pt)
+			}
+		}
+	}
+	for _, pt := range static {
+		pt.mu.Lock()
+		was := pt.degraded
+		pt.degraded = false
+		pt.mu.Unlock()
+		if was {
+			m.trace.Event("path_recovered", m.node, string(pt.id)+": destination "+string(pt.static.Translator)+" mapped again")
 		}
 	}
 }
@@ -1608,6 +1838,50 @@ func (m *Module) onUnmapped(id core.TranslatorID) {
 	}
 	for _, pt := range dynamic {
 		m.failDestination(pt, id)
+	}
+}
+
+// onUnmappedBatch is onUnmapped over one advert's worth of departures
+// with a single path-table scan and one cache sweep.
+func (m *Module) onUnmappedBatch(ids []core.TranslatorID) {
+	if len(ids) == 0 {
+		return
+	}
+	gone := make(map[core.TranslatorID]bool, len(ids))
+	for _, id := range ids {
+		m.matchCache.Invalidate(id)
+		gone[id] = true
+	}
+	m.mu.Lock()
+	var srcDead, dynamic, static []*path
+	for _, pt := range m.paths {
+		switch {
+		case gone[pt.src.Translator]:
+			srcDead = append(srcDead, pt)
+		case pt.query != nil:
+			dynamic = append(dynamic, pt)
+		case pt.static != nil && gone[pt.static.Translator]:
+			static = append(static, pt)
+		}
+	}
+	m.mu.Unlock()
+	for _, pt := range srcDead {
+		m.trace.Event("path_source_lost", m.node, string(pt.id)+": source "+string(pt.src.Translator)+" unmapped")
+		m.removeLocalPath(pt.id) //nolint:errcheck
+	}
+	for _, pt := range static {
+		pt.mu.Lock()
+		was := pt.degraded
+		pt.degraded = true
+		pt.mu.Unlock()
+		if !was {
+			m.trace.Event("path_degraded", m.node, string(pt.id)+": destination "+string(pt.static.Translator)+" lost")
+		}
+	}
+	for _, pt := range dynamic {
+		for _, id := range ids {
+			m.failDestination(pt, id)
+		}
 	}
 }
 
@@ -1663,6 +1937,7 @@ func (m *Module) failDestination(pt *path, id core.TranslatorID) {
 		return
 	}
 	delete(pt.bound, id)
+	pt.dstSnap = nil
 	if len(pt.bound) == 0 && pt.lostAt.IsZero() {
 		pt.lostAt = time.Now()
 	}

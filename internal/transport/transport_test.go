@@ -89,6 +89,9 @@ func newCollector(node, local string, typ core.DataType) *collector {
 		ch: make(chan core.Message, 256),
 	}
 	c.MustHandle("in", func(_ context.Context, msg core.Message) error {
+		// Retained past Deliver: the tracked zero-copy contract requires
+		// copying out of the delivery buffer first.
+		msg = msg.Clone()
 		c.mu.Lock()
 		c.msgs = append(c.msgs, msg)
 		c.mu.Unlock()

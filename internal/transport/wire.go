@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -229,51 +230,59 @@ func encodeDeliverHeader(buf []byte, h *frameHeader) []byte {
 	return buf
 }
 
+// errBadDeliverHeader is the shared malformed-header error. A single
+// package-level value: decode runs per inbound frame, and allocating a
+// fresh fmt.Errorf on every (successful) call showed up in heap
+// profiles of the delivery hot path.
+var errBadDeliverHeader = errors.New("transport: bad deliver header")
+
+// readHdrStr reads one uvarint-length-prefixed string from data,
+// returning the string, the remaining bytes, and ok. A plain function
+// (not a closure) so decodeDeliverHeader stays allocation-free and its
+// caller's frame can live on the stack.
+func readHdrStr(data []byte) (string, []byte, bool) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || uint64(len(data)-sz) < n {
+		return "", data, false
+	}
+	return string(data[sz : sz+int(n)]), data[sz+int(n):], true
+}
+
 // decodeDeliverHeader parses the binary deliver header. data is a
 // pooled buffer; every string is copied out by the string conversions.
 func decodeDeliverHeader(data []byte, h *frameHeader) error {
-	bad := fmt.Errorf("transport: bad deliver header")
-	str := func() (string, bool) {
-		n, sz := binary.Uvarint(data)
-		if sz <= 0 || uint64(len(data)-sz) < n {
-			return "", false
-		}
-		s := string(data[sz : sz+int(n)])
-		data = data[sz+int(n):]
-		return s, true
-	}
 	var ok bool
-	if h.From, ok = str(); !ok {
-		return bad
+	if h.From, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
 	var s string
-	if s, ok = str(); !ok {
-		return bad
+	if s, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
 	h.Dst.Translator = core.TranslatorID(s)
-	if h.Dst.Port, ok = str(); !ok {
-		return bad
+	if h.Dst.Port, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
-	if s, ok = str(); !ok {
-		return bad
+	if s, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
 	h.Src.Translator = core.TranslatorID(s)
-	if h.Src.Port, ok = str(); !ok {
-		return bad
+	if h.Src.Port, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
-	if s, ok = str(); !ok {
-		return bad
+	if s, data, ok = readHdrStr(data); !ok {
+		return errBadDeliverHeader
 	}
 	h.MsgType = core.DataType(s)
 	seq, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return bad
+		return errBadDeliverHeader
 	}
 	data = data[sz:]
 	h.Seq = seq
 	sent, sz := binary.Varint(data)
 	if sz <= 0 {
-		return bad
+		return errBadDeliverHeader
 	}
 	data = data[sz:]
 	if sent != 0 {
@@ -281,19 +290,18 @@ func decodeDeliverHeader(data []byte, h *frameHeader) error {
 	}
 	count, sz := binary.Uvarint(data)
 	if sz <= 0 || count > uint64(len(data)-sz) {
-		return bad
+		return errBadDeliverHeader
 	}
 	data = data[sz:]
 	if count > 0 {
 		h.Headers = make(map[string]string, count)
 		for i := uint64(0); i < count; i++ {
-			k, ok := str()
-			if !ok {
-				return bad
+			var k, v string
+			if k, data, ok = readHdrStr(data); !ok {
+				return errBadDeliverHeader
 			}
-			v, ok := str()
-			if !ok {
-				return bad
+			if v, data, ok = readHdrStr(data); !ok {
+				return errBadDeliverHeader
 			}
 			h.Headers[k] = v
 		}
@@ -303,34 +311,34 @@ func decodeDeliverHeader(data []byte, h *frameHeader) error {
 	if len(data) != 0 {
 		hops, sz := binary.Uvarint(data)
 		if sz <= 0 || hops > uint64(len(data)-sz) {
-			return bad
+			return errBadDeliverHeader
 		}
 		data = data[sz:]
 		if hops > 0 {
 			h.Route = make([]string, 0, hops)
 			for i := uint64(0); i < hops; i++ {
-				hop, ok := str()
-				if !ok {
-					return bad
+				var hop string
+				if hop, data, ok = readHdrStr(data); !ok {
+					return errBadDeliverHeader
 				}
 				h.Route = append(h.Route, hop)
 			}
 		}
 		ttl, sz := binary.Uvarint(data)
 		if sz <= 0 {
-			return bad
+			return errBadDeliverHeader
 		}
 		data = data[sz:]
 		h.TTL = int(ttl)
 		rid, sz := binary.Uvarint(data)
 		if sz <= 0 {
-			return bad
+			return errBadDeliverHeader
 		}
 		data = data[sz:]
 		h.RelayID = rid
 	}
 	if len(data) != 0 {
-		return bad
+		return errBadDeliverHeader
 	}
 	h.Type = frameDeliver
 	return nil
@@ -472,8 +480,16 @@ func readFrameFrom(r io.Reader, met *connMetrics) (frame, error) {
 	var err error
 	if binaryHdr {
 		err = decodeDeliverHeader(hdr, &f.header)
-	} else if err = json.Unmarshal(hdr, &f.header); err != nil {
-		err = fmt.Errorf("transport: bad frame header: %w", err)
+	} else {
+		// Decode into a separate variable: passing &f.header to
+		// json.Unmarshal (an interface) would force every frame — binary
+		// path included — onto the heap.
+		var jh frameHeader
+		if err = json.Unmarshal(hdr, &jh); err != nil {
+			err = fmt.Errorf("transport: bad frame header: %w", err)
+		} else {
+			f.header = jh
+		}
 	}
 	putBuf(hdr)
 	if err != nil {

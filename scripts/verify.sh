@@ -21,9 +21,12 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/
+go test -race ./internal/core/ ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/ ./internal/load/
 go test -race $short_flag -run 'TestSoakChurnAndFaults' ./internal/integration/
 go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/integration/
+# Sharded-dispatch soak: exactly-once, in-order delivery across striped
+# write connections while translators churn and links flap.
+go test -race $short_flag -run 'TestShardedDispatchExactlyOnce' ./internal/transport/ -count=1
 
 # Fuzz smoke: 5 seconds per wire-facing target. Patterns are anchored —
 # -fuzz must match exactly one target per invocation.
@@ -42,7 +45,7 @@ go build -o "$tmpdir/benchgate" ./cmd/benchgate
 # experiments must stay within 3x of the committed baselines (loose on
 # purpose — it catches structural regressions, not scheduler noise).
 (cd "$tmpdir" && ./benchharness -exp fig11 -msgs 400 -json >/dev/null)
-(cd "$tmpdir" && ./benchharness -exp hotpath -msgs 8000 -json >/dev/null)
+(cd "$tmpdir" && ./benchharness -exp hotpath -msgs 20000 -json >/dev/null)
 "$tmpdir/benchgate" BENCH_fig11.json "$tmpdir/BENCH_fig11.json"
 "$tmpdir/benchgate" BENCH_hotpath.json "$tmpdir/BENCH_hotpath.json"
 
@@ -54,4 +57,11 @@ go build -o "$tmpdir/benchgate" ./cmd/benchgate
 # 100000x50 row, which only the full regeneration run reproduces.
 (cd "$tmpdir" && ./benchharness -exp dirscale -window 300ms -mesh 1000x10 -json >/dev/null)
 "$tmpdir/benchgate" -allow-missing BENCH_dirscale.json "$tmpdir/BENCH_dirscale.json"
+
+# Open-loop load gate: a 5-second 1000-binding smoke at the committed
+# offered rate must keep AchievedPerSec within 3x of the committed
+# baseline row. -allow-missing skips the committed 100000-binding row,
+# which only the full regeneration run reproduces.
+(cd "$tmpdir" && ./benchharness -exp load -bindings 1000 -rate 10000 -loaddur 5s -json >/dev/null)
+"$tmpdir/benchgate" -allow-missing BENCH_load.json "$tmpdir/BENCH_load.json"
 rm -rf "$tmpdir"
