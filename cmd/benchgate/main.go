@@ -116,21 +116,29 @@ type gatedMetric struct {
 var gatedFields = []struct {
 	name        string
 	lowerBetter bool
+	// gateZero gates the field even when the baseline is zero: for
+	// counters whose committed value is a hard "none" (dropped messages
+	// during a hot config apply), any positive fresh value is a
+	// regression — the usual v > 0 presence filter would silently skip
+	// the one value that matters.
+	gateZero bool
 }{
-	{"MeasuredMbps", false},
-	{"LookupsPerSec", false},
-	{"AchievedPerSec", false},
-	{"AdvertBytesPerSec", true},
-	{"IntegratedAdvertBytes", true},
-	{"PerNodeAdvertBytesPerSec", true},
-	{"ZoneJoinSeconds", true},
+	{"MeasuredMbps", false, false},
+	{"LookupsPerSec", false, false},
+	{"AchievedPerSec", false, false},
+	{"AdvertBytesPerSec", true, false},
+	{"IntegratedAdvertBytes", true, false},
+	{"PerNodeAdvertBytesPerSec", true, false},
+	{"ZoneJoinSeconds", true, false},
+	{"RestartToFirstDeliveryMillis", true, false},
+	{"ConfigApplyDroppedMsgs", true, true},
 }
 
 // rowMetrics extracts every gateable metric present in the row.
 func rowMetrics(row map[string]any) []gatedMetric {
 	var out []gatedMetric
 	for _, f := range gatedFields {
-		if v, ok := row[f.name].(float64); ok && v > 0 {
+		if v, ok := row[f.name].(float64); ok && (v > 0 || f.gateZero) {
 			out = append(out, gatedMetric{field: f.name, value: v, lowerBetter: f.lowerBetter})
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath, dirscale, load")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, sec52, fig11, table1, qos, hotpath, dirscale, load, restart")
 	iters := flag.Int("iters", 10, "mapping iterations per device type (fig10) / actions (sec52)")
 	msgs := flag.Int("msgs", 0, "messages per transport test (fig11); 0 = defaults")
 	pops := flag.String("pops", "", "comma-separated population points for dirscale (default 100,1000,10000)")
@@ -38,8 +39,22 @@ func main() {
 	rate := flag.Float64("rate", 2000, "offered msgs/sec for the load experiment")
 	loadDur := flag.Duration("loaddur", 5*time.Second, "emission window for the load experiment")
 	churn := flag.Float64("churn", 0, "injected sink flaps/sec for the load experiment")
+	entries := flag.Int("entries", 10000, "directory population for the restart experiment")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	popList, err := parsePops(*pops)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchharness: -pops: %v\n", err)
@@ -81,7 +96,7 @@ func main() {
 			}
 		}
 	}
-	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true, "dirscale": true, "load": true}
+	known := map[string]bool{"all": true, "fig10": true, "sec52": true, "fig11": true, "table1": true, "qos": true, "hotpath": true, "dirscale": true, "load": true, "restart": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -95,6 +110,34 @@ func main() {
 	run("qos", func() error { return printQoS(writeJSON) })
 	run("dirscale", func() error { return printDirScale(popList, meshList, *window, writeJSON) })
 	run("load", func() error { return printLoad(*bindings, *rate, *loadDur, *churn, writeJSON) })
+	run("restart", func() error { return printRestart(*entries, writeJSON) })
+}
+
+func printRestart(entries int, writeJSON jsonWriter) error {
+	fmt.Printf("== Restart chaos: warm restart from the durability log vs cold rediscovery (N=%d, 10 Mbps bus) ==\n", entries)
+	logf := func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+	row, err := bench.RunRestart(entries, logf)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "test\tentries\tpeers\tcold join ms\trestart ms\twarm/cold\treplayed\tepoch\tcfg applies\tcfg sent\tcfg delivered\tcfg dropped")
+	fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.3f\t%d\t%d\t%d\t%d\t%d\t%.0f\n",
+		row.Test, row.Entries, row.PeerNodes, row.ColdJoinMillis,
+		row.RestartToFirstDeliveryMillis, row.WarmColdRatio,
+		row.ReplayedRemotes, row.RestartEpoch, row.ConfigApplies,
+		row.ConfigApplySent, row.ConfigApplyDelivered, row.ConfigApplyDroppedMsgs)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON("restart", []bench.RestartRow{row}); err != nil {
+		return err
+	}
+	fmt.Println("shape check: a warm restart replays the population from the local log instead of")
+	fmt.Println("pulling it back over the wire, so restart-to-first-delivery must sit well under")
+	fmt.Println("the cold-join time; hot-reload config applies on a loaded path must drop nothing.")
+	fmt.Println()
+	return nil
 }
 
 func printLoad(bindings string, rate float64, dur time.Duration, churn float64, writeJSON jsonWriter) error {

@@ -14,6 +14,7 @@
 //	list                          show pads and wires
 //	stats                         show metrics and recent trace events
 //	health                        show mapper, lease, and path states
+//	persist                       show durability log and replay state
 //	wire padN#port padM#port      draw a cable between two ports
 //	wire padN#port accepting <mime> [physical]
 //	                              draw a template cable (dynamic binding)

@@ -34,6 +34,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/netemu"
 	"repro/internal/obs"
+	"repro/internal/qos"
+	"repro/internal/wal"
 )
 
 // Group is the multicast group used for advertisement exchange.
@@ -129,7 +131,7 @@ type BatchListener interface {
 // advertTypes lists every advert type this directory can emit; metric
 // series for all of them are registered up front so exposition is
 // complete before the first broadcast.
-var advertTypes = []string{"announce", "heartbeat", "add", "remove", "sync", "sync_req", "bye"}
+var advertTypes = []string{"announce", "heartbeat", "add", "remove", "sync", "sync_req", "bye", "restarting"}
 
 // advert is the wire format of a directory announcement.
 type advert struct {
@@ -143,6 +145,11 @@ type advert struct {
 	//   "sync"      full local state, reconcile semantics (entries of the
 	//               sender missing from the advert are dropped)
 	//   "bye"       node leaving
+	//   "restarting" node shutting down cleanly with intent to return:
+	//               receivers extend its lease to the advertised restart
+	//               grace instead of dropping entries on the bye/lapse
+	//               path. A node that never returns lapses at the end of
+	//               the grace like any crash.
 	Type string `json:"type"`
 	// Node is the announcing runtime.
 	Node string `json:"node"`
@@ -191,6 +198,11 @@ type advert struct {
 	// Via accumulates the relaying nodes, origin-side first. Receivers
 	// reverse it into a next-hop route toward the origin.
 	Via []string `json:"via,omitempty"`
+	// Epoch is the sender's restart epoch: zero for nodes without durable
+	// state, bumped once per warm restart otherwise. Receivers observing
+	// a bump know the peer restarted cleanly (its warm state carried the
+	// version vector across, so digests stay comparable).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Options configures a Directory.
@@ -234,6 +246,15 @@ type Options struct {
 	// RelayTTL bounds advert relay hops; zero selects DefaultRelayTTL.
 	// It must exceed the mesh diameter for full advert coverage.
 	RelayTTL int
+	// WAL is an open durability log the directory replays at construction
+	// (warm restart: local profiles, remote population, version vector)
+	// and journals its state changes to. nil runs without persistence.
+	// The directory does not close the log; its opener does, after Close.
+	WAL *wal.Log
+	// Lease tunes liveness-lease derivation, including the restart grace
+	// peers grant on a clean "restarting" advert. A non-zero ExpiryFactor
+	// (the legacy field) overrides Lease.ExpiryFactor.
+	Lease qos.LeasePolicy
 }
 
 // Validate checks the option set's remap and ACL rules. New panics on
@@ -251,8 +272,11 @@ func (o Options) withDefaults() Options {
 	if o.AnnounceInterval <= 0 {
 		o.AnnounceInterval = DefaultAnnounceInterval
 	}
-	if o.ExpiryFactor <= 0 {
-		o.ExpiryFactor = DefaultExpiryFactor
+	o.Lease = o.Lease.WithDefaults()
+	if o.ExpiryFactor > 0 {
+		o.Lease.ExpiryFactor = o.ExpiryFactor
+	} else {
+		o.ExpiryFactor = o.Lease.ExpiryFactor
 	}
 	if o.CoalesceWindow <= 0 {
 		o.CoalesceWindow = DefaultCoalesceWindow
@@ -312,10 +336,21 @@ type nodeState struct {
 	lease    time.Duration
 	// version is the node's last claimed state version.
 	version uint64
-	// lastSyncReq rate-limits divergence-triggered sync requests.
+	// lastSyncReq and syncReqWait rate-limit divergence-triggered sync
+	// requests with exponential backoff. A bulk sync can take many
+	// announce intervals to cross a slow wire and integrate; re-requesting
+	// every interval while one is in flight makes the sender broadcast
+	// another full sync per request — the amplification behind resync
+	// storms on large populations. The wait starts at one announce
+	// interval, doubles with every request (capped), and resets when a
+	// sync from the node actually arrives.
 	lastSyncReq time.Time
+	syncReqWait time.Duration
 	// lastBootstrap rate-limits zone bootstraps served to this node.
 	lastBootstrap time.Time
+	// epoch is the node's last claimed restart epoch (zero: no durable
+	// state); a bump marks a clean warm restart.
+	epoch uint64
 }
 
 // dirMetrics bundles the directory's metric handles, resolved once at
@@ -401,6 +436,10 @@ type Directory struct {
 	// nodeFP digests each remote node's entries as we hold them, compared
 	// against the node's claimed Fp to detect divergence.
 	nodeFP map[string]uint64
+	// owners counts remote+shadow entries per owning node, so the expiry
+	// tick can judge staleness over the handful of owner nodes instead of
+	// sweeping the whole population (O(nodes) per tick, not O(entries)).
+	owners map[string]int
 	// pendingAdds names local translators registered since the last
 	// broadcast, flushed as one coalesced "add" delta.
 	pendingAdds map[core.TranslatorID]struct{}
@@ -419,9 +458,21 @@ type Directory struct {
 	// defaults to the node name.
 	zones map[string]string
 
-	// remap and acl are the boundary engines (nil: identity / allow all).
-	remap *remapper
-	acl   *aclFilter
+	// wal is the durability log (nil: no persistence); epoch this
+	// incarnation's restart counter, written once in New before any
+	// concurrency. replayed records what the warm restart recovered;
+	// lastSnapGen/lastSnapTime drive the compaction policy (under d.mu).
+	wal          *wal.Log
+	epoch        uint64
+	replayed     ReplayStats
+	lastSnapGen  uint64
+	lastSnapTime time.Time
+
+	// remap and acl are the boundary engines (a nil load: identity /
+	// allow all). Atomic pointers so SetBoundary can hot-swap whole rule
+	// sets while advert ingress keeps reading them lock-free.
+	remap atomic.Pointer[remapper]
+	acl   atomic.Pointer[aclFilter]
 	// interest is this node's own interest state; ownSum/ownSumFP cache
 	// its compiled summary.
 	interest interestSet
@@ -520,9 +571,8 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 		remote:      make(map[core.TranslatorID]remoteEntry),
 		nodes:       make(map[string]*nodeState),
 		nodeFP:      make(map[string]uint64),
+		owners:      make(map[string]int),
 		pendingAdds: make(map[core.TranslatorID]struct{}),
-		remap:       remap,
-		acl:         acl,
 		interest:    newInterestSet(),
 		peerSum:     make(map[string]uint64),
 		ifp:         make(map[uint64]*peerIfp),
@@ -532,6 +582,8 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 		routes:      make(map[string]*routeEntry),
 		zones:       make(map[string]string),
 	}
+	d.remap.Store(remap)
+	d.acl.Store(acl)
 	// Wall-clock seed: a restarted incarnation must start its sequence
 	// numbers above its predecessor's or peers' duplicate windows would
 	// silence it.
@@ -554,6 +606,14 @@ func New(node string, host *netemu.Host, opts Options) *Directory {
 			cacheMisses.Inc()
 		}
 	}
+	if opts.WAL != nil {
+		// Replay happens here, synchronously, before Start can spawn the
+		// receive loop: the warm population is fully imported before the
+		// first advert (or sync) is processed, so startup anti-entropy
+		// always reconciles against complete state.
+		d.wal = opts.WAL
+		d.replayWAL()
+	}
 	return d
 }
 
@@ -566,6 +626,14 @@ func (d *Directory) Node() string { return d.node }
 // lease returns the liveness lease this node advertises.
 func (d *Directory) lease() time.Duration {
 	return time.Duration(d.opts.ExpiryFactor) * d.opts.AnnounceInterval
+}
+
+// restartGrace returns how long peers are asked to hold this node's
+// entries across a clean restart — also how long this node gives its own
+// mappers to re-claim warm entries. It fits under clampLease's 10x-lease
+// bound, so receivers apply it through the ordinary touchNode path.
+func (d *Directory) restartGrace() time.Duration {
+	return d.opts.Lease.RestartGrace(d.opts.AnnounceInterval)
 }
 
 // clampLease bounds a peer-claimed lease: a malformed or hostile advert
@@ -589,16 +657,27 @@ func (d *Directory) clampLease(leaseMillis int64) time.Duration {
 // directories.
 func (d *Directory) Start() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return fmt.Errorf("directory: %w", netemu.ErrClosed)
+	}
+	warm := 0
+	if d.wal != nil && !d.started {
+		for _, e := range d.local {
+			if e.translator == nil {
+				warm++
+			}
+		}
 	}
 	if d.started || d.host == nil {
 		d.started = true
+		d.mu.Unlock()
+		d.scheduleWarmDrop(warm)
 		return nil
 	}
 	group, err := d.host.JoinGroup(Group)
 	if err != nil {
+		d.mu.Unlock()
 		return fmt.Errorf("directory: join group: %w", err)
 	}
 	d.group = group
@@ -614,17 +693,47 @@ func (d *Directory) Start() error {
 		defer d.wg.Done()
 		d.announceLoop(ctx)
 	}()
+	d.mu.Unlock()
+	d.scheduleWarmDrop(warm)
 	return nil
+}
+
+// scheduleWarmDrop arms the unclaimed-warm-entry sweep: recovered local
+// profiles whose mapper has not re-registered them by the end of the
+// restart grace are genuinely gone and must be withdrawn.
+func (d *Directory) scheduleWarmDrop(warm int) {
+	if warm == 0 {
+		return
+	}
+	d.afterFunc(d.restartGrace(), d.dropUnclaimedWarm)
 }
 
 // Close stops advertisement exchange, sends a bye, and clears state.
 // After Close, AddLocal and RemoveLocal fail with ErrClosed and no
 // further adverts are emitted.
-func (d *Directory) Close() error {
+func (d *Directory) Close() error { return d.close(false) }
+
+// CloseForRestart is Close with intent to return: instead of a bye — which
+// makes peers drop this node's entries immediately — it broadcasts a
+// "restarting" advert asking them to hold the entries for the restart
+// grace. Combined with the snapshot both close paths take, the successor
+// incarnation (constructed over the same WAL) rejoins with a warm
+// population and peers that never stopped serving its profiles.
+func (d *Directory) CloseForRestart() error { return d.close(true) }
+
+func (d *Directory) close(restart bool) error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil
+	}
+	if d.wal != nil {
+		// Final snapshot under the same lock acquisition that flips
+		// closed: nothing can mutate between the persisted state and the
+		// state peers last heard about.
+		if err := d.snapshotLocked(); err != nil {
+			d.opts.Logger.Warn("directory: close snapshot", "err", err)
+		}
 	}
 	d.closed = true
 	group := d.group
@@ -644,12 +753,19 @@ func (d *Directory) Close() error {
 	}
 	if group != nil {
 		// Sent directly rather than via send(), which refuses once the
-		// directory is closed: the bye is the one advert that must still
-		// go out, and it must be the last — sendOn serializes emission
-		// under sendMu and re-checks closed there, so a delta or sync
-		// that raced past its own closed check can no longer broadcast
-		// after this.
-		d.sendOn(group, advert{Type: "bye", Node: d.node, Zone: d.zone})
+		// directory is closed: the farewell is the one advert that must
+		// still go out, and it must be the last — sendOn serializes
+		// emission under sendMu and re-checks closed there, so a delta or
+		// sync that raced past its own closed check can no longer
+		// broadcast after this.
+		farewell := advert{Type: "bye", Node: d.node, Zone: d.zone}
+		if restart {
+			farewell = advert{
+				Type: "restarting", Node: d.node, Zone: d.zone,
+				LeaseMillis: int64(d.restartGrace() / time.Millisecond),
+			}
+		}
+		d.sendOn(group, farewell)
 	}
 	if cancel != nil {
 		cancel()
@@ -706,11 +822,32 @@ func (d *Directory) AddLocal(tr core.Translator) error {
 		d.mu.Unlock()
 		return fmt.Errorf("directory: %w", netemu.ErrClosed)
 	}
-	if _, dup := d.local[sealed.ID]; dup {
-		d.mu.Unlock()
-		return fmt.Errorf("directory: translator %q already registered", sealed.ID)
+	if prev, dup := d.local[sealed.ID]; dup {
+		if prev.translator != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("directory: translator %q already registered", sealed.ID)
+		}
+		// Re-claiming a warm entry recovered from the log. Identical
+		// profile: attach the live translator silently — no version bump,
+		// no advert, no re-notify; peers held the entry across the restart
+		// and listeners learned it at replay. A changed profile falls
+		// through as an update: the old fingerprint is folded out and the
+		// registration proceeds like a fresh add (merge semantics on the
+		// wire update peers in place).
+		if prev.fp == fp {
+			prev.translator = tr
+			d.local[sealed.ID] = prev
+			d.mu.Unlock()
+			d.trace.Event("translator_reclaimed", d.node, string(sealed.ID))
+			return nil
+		}
+		d.version++
+		d.localFP ^= prev.fp
+		d.xorIfpsLocked(prev.profile, prev.fp)
+		d.appendWAL(recLocalRemove, persistRemove{ID: sealed.ID})
 	}
 	d.local[sealed.ID] = localEntry{profile: sealed, translator: tr, fp: fp}
+	d.appendWAL(recLocalAdd, persistLocal{Profile: sealed, Fp: fp})
 	d.version++
 	d.localFP ^= fp
 	d.xorIfpsLocked(sealed, fp)
@@ -742,6 +879,7 @@ func (d *Directory) RemoveLocal(id core.TranslatorID) (core.Translator, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(d.local, id)
+	d.appendWAL(recLocalRemove, persistRemove{ID: id})
 	// If the add was still waiting in the coalesce window, peers never
 	// learned the id: suppress the remove advert entirely instead of
 	// broadcasting a no-op they would have to reconcile against. The
@@ -909,12 +1047,14 @@ func (d *Directory) flushDelta() {
 	})
 }
 
-// Local resolves a locally hosted translator.
+// Local resolves a locally hosted translator. A warm entry recovered
+// from the log but not yet re-claimed by its mapper resolves false: the
+// profile is visible, but there is no live translator to deliver to yet.
 func (d *Directory) Local(id core.TranslatorID) (core.Translator, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	e, ok := d.local[id]
-	if !ok {
+	if !ok || e.translator == nil {
 		return nil, false
 	}
 	return e.translator, true
@@ -988,15 +1128,47 @@ func (d *Directory) Nodes() []string {
 // MapID translates a wire translator ID into the local namespace under
 // the directory's Remap rules (identity without rules).
 func (d *Directory) MapID(id core.TranslatorID) core.TranslatorID {
-	return d.remap.mapID(id)
+	return d.remap.Load().mapID(id)
 }
 
 // WireID translates a local (possibly remapped) translator ID back to
 // its wire form — what the owning node knows the translator as. The
 // transport crosses the boundary with it when binding through a
-// remapped name.
+// remapped name. The stored entry's recorded wire identity is
+// authoritative and consulted first: it is what the owner actually
+// announced, so already-bound paths keep addressing correctly even
+// while remap rules are being swapped out underneath them by a hot
+// config apply.
 func (d *Directory) WireID(id core.TranslatorID) core.TranslatorID {
-	return d.remap.wireID(id)
+	d.mu.RLock()
+	e, ok := d.remote[id]
+	d.mu.RUnlock()
+	if ok && e.wireID != "" {
+		return e.wireID
+	}
+	return d.remap.Load().wireID(id)
+}
+
+// SetBoundary replaces the remap and ACL rule sets at runtime — the
+// hot-reload path for boundary configuration. Invalid rules are rejected
+// with no change applied. Entries already integrated keep their stored
+// wire identity (see WireID), so bound paths through previously remapped
+// names survive the swap; new rules govern ingress from the next advert
+// on, and a boundary now denied converges through the usual sync and
+// lease machinery rather than an immediate purge.
+func (d *Directory) SetBoundary(remapRules []RemapRule, aclRules []ACLRule) error {
+	rm, err := newRemapper(remapRules)
+	if err != nil {
+		return err
+	}
+	af, err := newACLFilter(aclRules)
+	if err != nil {
+		return err
+	}
+	d.remap.Store(rm)
+	d.acl.Store(af)
+	d.trace.Event("boundary_updated", d.node, "")
+	return nil
 }
 
 // InterestSummary returns the node's current compiled interest summary.
@@ -1048,7 +1220,7 @@ func (d *Directory) RegisterIDInterest(id core.TranslatorID) func() {
 	if !d.opts.Interest {
 		return func() {} // see RegisterInterest
 	}
-	wire := d.remap.wireID(id)
+	wire := d.remap.Load().wireID(id)
 	d.mu.Lock()
 	changed := d.interest.addID(wire)
 	d.mu.Unlock()
@@ -1089,6 +1261,7 @@ func (d *Directory) applyInterestChange() {
 			if !d.ownSum.Matches(wp) {
 				delete(d.remote, id)
 				d.xorNodeFP(e.profile.Node, e.fp)
+				d.ownerDrop(e.profile.Node)
 				dropped = append(dropped, id)
 			}
 		}
@@ -1096,6 +1269,7 @@ func (d *Directory) applyInterestChange() {
 			if !d.ownSum.Matches(e.profile) {
 				delete(d.shadow, id)
 				d.xorNodeFP(e.node, e.fp)
+				d.ownerDrop(e.node)
 			}
 		}
 		if len(dropped) > 0 {
@@ -1272,6 +1446,9 @@ func (d *Directory) send(a advert) {
 // refuses.
 func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
 	a.Seq = d.advertSeq.Add(1)
+	if a.Epoch == 0 {
+		a.Epoch = d.epoch // written once in New, before any concurrency
+	}
 	if d.opts.Relay && a.TTL == 0 {
 		a.TTL = d.opts.RelayTTL
 	}
@@ -1285,8 +1462,9 @@ func (d *Directory) sendOn(group *netemu.GroupConn, a advert) {
 	d.mu.RLock()
 	closed := d.closed
 	d.mu.RUnlock()
-	// Only Close sends a bye, and it does so with closed already set.
-	if closed && a.Type != "bye" {
+	// Only the close paths send a farewell (bye or restarting), and they
+	// do so with closed already set.
+	if closed && a.Type != "bye" && a.Type != "restarting" {
 		return
 	}
 	d.met.sent[a.Type].Inc()
@@ -1309,6 +1487,7 @@ func (d *Directory) announceLoop(ctx context.Context) {
 			d.sendHeartbeat()
 			d.expireNodes()
 			d.expireStale()
+			d.maybeSnapshot()
 		}
 	}
 }
@@ -1321,6 +1500,16 @@ func (d *Directory) receiveLoop() {
 		}
 		if dg.From == d.host.Name() {
 			continue // our own announcement
+		}
+		// A closing directory drains its inbox without integrating: the
+		// snapshot is already cut, and decoding a backlog of bulk syncs
+		// here would stall Close behind megabytes of work it is about to
+		// throw away.
+		d.mu.RLock()
+		closed := d.closed
+		d.mu.RUnlock()
+		if closed {
+			continue
 		}
 		d.met.received.Inc()
 		var a advert
@@ -1357,7 +1546,7 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 	}
 	// Boundary ACL: a node every rule denies is rejected before it can
 	// touch liveness state — no nodeState, no lease, no sync churn.
-	if d.acl.nodeDenied(a.Node) {
+	if d.acl.Load().nodeDenied(a.Node) {
 		d.met.aclDenied.Inc()
 		return
 	}
@@ -1389,11 +1578,16 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 		d.touchNode(a.Node, 0)
 		for _, id := range a.Removed {
 			d.dropShadow(id)
-			d.dropRemote(d.remap.mapID(id))
+			d.dropRemote(d.remap.Load().mapID(id))
 		}
 		d.noteNodeState(a, a.Version != 0 || a.Fp != 0)
 	case "sync":
 		d.touchNode(a.Node, a.LeaseMillis)
+		// The sync we asked for (or one another peer provoked) arrived:
+		// whatever backoff accumulated while it crossed the wire is void.
+		// If the reconcile below still leaves us diverged, the very next
+		// versioned advert may re-request at the base interval.
+		d.resetSyncBackoff(a.Node)
 		kept := d.reconcile(a)
 		d.countIntegrated(payloadBytes, kept, len(a.Profiles))
 		d.noteNodeState(a, true)
@@ -1407,9 +1601,20 @@ func (d *Directory) handleAdvertSized(a advert, payloadBytes int) {
 		}
 	case "bye":
 		d.dropNode(a.Node, "translator_unmapped")
+	case "restarting":
+		// Clean restart announced: extend the node's lease to its restart
+		// grace and keep every entry. If the node returns in time, its
+		// announce renews the ordinary lease (and its bumped epoch marks
+		// the restart); if it never does, the grace lapses into the same
+		// expiry path a crash takes.
+		d.touchNode(a.Node, a.LeaseMillis)
+		d.trace.Event("node_restarting", d.node, a.Node)
 	default:
 		d.met.malformed.Inc()
 		d.opts.Logger.Warn("directory: unknown advert type", "type", a.Type)
+	}
+	if a.Epoch != 0 {
+		d.noteEpoch(a.Node, a.Epoch)
 	}
 	if a.Type == "announce" && len(a.Via) == 0 {
 		// A direct announce is a neighbor joining (or rejoining) our
@@ -1529,7 +1734,7 @@ func (d *Directory) ingest(p core.Profile, zone string) (sealed core.Profile, no
 		d.met.ingressFiltered.Inc()
 		return core.Profile{}, false, false
 	}
-	if !d.acl.allows(p.Node, p.ID) {
+	if !d.acl.Load().allows(p.Node, p.ID) {
 		d.met.aclDenied.Inc()
 		d.shadowDenied(p, zone)
 		return core.Profile{}, false, false
@@ -1565,9 +1770,11 @@ func (d *Directory) shadowDenied(p core.Profile, zone string) {
 	prev, known := d.shadow[p.ID]
 	if known {
 		d.xorNodeFP(prev.node, prev.fp)
+		d.ownerDrop(prev.node)
 	}
 	d.shadow[p.ID] = shadowEntry{node: p.Node, zone: zone, fp: fp, seen: time.Now(), profile: sealed}
 	d.xorNodeFP(p.Node, fp)
+	d.ownerAdd(p.Node)
 }
 
 // dropShadow forgets an ACL-denied entry (wire ID) on an explicit
@@ -1578,6 +1785,7 @@ func (d *Directory) dropShadow(id core.TranslatorID) {
 	if e, ok := d.shadow[id]; ok {
 		delete(d.shadow, id)
 		d.xorNodeFP(e.node, e.fp)
+		d.ownerDrop(e.node)
 	}
 }
 
@@ -1631,6 +1839,7 @@ func (d *Directory) reconcile(a advert) int {
 		if e.profile.Node == a.Node && e.zone == scope && !present[e.wireID] {
 			delete(d.remote, id)
 			d.xorNodeFP(a.Node, e.fp)
+			d.ownerDrop(e.profile.Node)
 			dropped = append(dropped, id)
 		}
 	}
@@ -1639,6 +1848,7 @@ func (d *Directory) reconcile(a advert) int {
 		if e.node == a.Node && e.zone == scope && !present[id] {
 			delete(d.shadow, id)
 			d.xorNodeFP(a.Node, e.fp)
+			d.ownerDrop(e.node)
 		}
 	}
 	var listeners []Listener
@@ -1699,9 +1909,29 @@ func (d *Directory) noteNodeState(a advert, versioned bool) {
 	}
 	diverged := comparable && d.nodeFP[a.Node] != claim
 	var req bool
-	if diverged && time.Since(st.lastSyncReq) >= d.opts.AnnounceInterval {
-		st.lastSyncReq = time.Now()
-		req = true
+	if diverged {
+		wait := st.syncReqWait
+		if wait <= 0 {
+			wait = d.opts.AnnounceInterval
+		}
+		if time.Since(st.lastSyncReq) >= wait {
+			st.lastSyncReq = time.Now()
+			// Back off before the next request: a large sync can take far
+			// longer than an announce interval to arrive, and every
+			// repeated request while it is in flight provokes another
+			// full broadcast sync. The cap keeps a genuinely lost sync
+			// recoverable within a lease.
+			if next := wait * 2; next > maxSyncReqBackoff*d.opts.AnnounceInterval {
+				st.syncReqWait = maxSyncReqBackoff * d.opts.AnnounceInterval
+			} else {
+				st.syncReqWait = next
+			}
+			req = true
+		}
+	} else if comparable {
+		// Digests agree: the node is converged, so the next divergence is
+		// a fresh event and deserves a prompt first request.
+		st.syncReqWait = 0
 	}
 	zone := a.Zone
 	if zone == "" {
@@ -1713,6 +1943,55 @@ func (d *Directory) noteNodeState(a advert, versioned bool) {
 		// The request names the diverged zone — the one the advert whose
 		// digest disagreed was speaking for.
 		d.send(advert{Type: "sync_req", Node: d.node, Target: a.Node, Zone: zone})
+	}
+}
+
+// maxSyncReqBackoff caps the sync_req backoff at this many announce
+// intervals, so a sync lost on the wire is re-requested well within a
+// default lease.
+const maxSyncReqBackoff = 32
+
+// resetSyncBackoff clears a node's sync_req backoff when a sync from it
+// arrives — the in-flight transfer the backoff was waiting out is over.
+func (d *Directory) resetSyncBackoff(node string) {
+	d.mu.Lock()
+	if st, known := d.nodes[node]; known {
+		st.syncReqWait = 0
+	}
+	d.mu.Unlock()
+}
+
+// noteEpoch records a peer's claimed restart epoch, tracing the warm
+// restarts it completes (an epoch bump on a node whose entries we kept
+// across its restarting grace).
+func (d *Directory) noteEpoch(node string, epoch uint64) {
+	d.mu.Lock()
+	st, known := d.nodes[node]
+	if !known || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	prev := st.epoch
+	st.epoch = epoch
+	d.mu.Unlock()
+	if prev != 0 && epoch > prev {
+		d.trace.Event("node_restarted", d.node, node)
+	}
+}
+
+// ownerAdd / ownerDrop maintain the per-node entry count consulted by
+// the expiry tick. Every d.remote / d.shadow insertion must ownerAdd
+// the entry's owning node and every deletion must ownerDrop it, always
+// under d.mu — the invariant is checked by TestOwnerIndexConsistent.
+func (d *Directory) ownerAdd(node string) {
+	d.owners[node]++
+}
+
+func (d *Directory) ownerDrop(node string) {
+	if n := d.owners[node] - 1; n <= 0 {
+		delete(d.owners, node)
+	} else {
+		d.owners[node] = n
 	}
 }
 
@@ -1757,7 +2036,7 @@ func (d *Directory) integrate(p core.Profile, zone string) (core.Profile, bool) 
 	// the sender's own digest.
 	fp := sealed.Fingerprint()
 	wireID := sealed.ID
-	sealed.ID = d.remap.mapID(wireID)
+	sealed.ID = d.remap.Load().mapID(wireID)
 	d.mu.Lock()
 	prev, known := d.remote[sealed.ID]
 	// A re-announced profile with a changed shape (ports added or
@@ -1769,8 +2048,10 @@ func (d *Directory) integrate(p core.Profile, zone string) (core.Profile, bool) 
 		// The previous entry may even claim a different owning node;
 		// digests track the stored profile's claim, not the advert's.
 		d.xorNodeFP(prev.profile.Node, prev.fp)
+		d.ownerDrop(prev.profile.Node)
 	}
 	d.xorNodeFP(sealed.Node, fp)
+	d.ownerAdd(sealed.Node)
 	if !known || changed {
 		d.gen.Add(1)
 	}
@@ -1794,6 +2075,7 @@ func (d *Directory) dropRemote(id core.TranslatorID) {
 	if known {
 		delete(d.remote, id)
 		d.xorNodeFP(e.profile.Node, e.fp)
+		d.ownerDrop(e.profile.Node)
 		d.gen.Add(1)
 	}
 	listeners := append([]Listener(nil), d.listeners...)
@@ -1871,6 +2153,8 @@ func (d *Directory) dropNode(node string, entryTrace string) int {
 			delete(d.shadow, id)
 		}
 	}
+	// Every remote and shadow entry of the node is gone.
+	delete(d.owners, node)
 	if sumFP, ok := d.peerSum[node]; ok {
 		delete(d.peerSum, node)
 		d.releaseIfpLocked(sumFP)
@@ -1935,28 +2219,61 @@ func (d *Directory) expireNodes() {
 // time as the backstop for entries whose claimed node never announced
 // itself.
 func (d *Directory) expireStale() {
-	cutoff := time.Now().Add(-d.lease())
+	now := time.Now()
 	d.mu.Lock()
+	// Judge staleness per owning node before touching any entry: d.owners
+	// and d.nodes are O(nodes) while d.remote is O(population), and this
+	// runs on every announce tick. A node that announced within its lease
+	// holds all of its entries fresh (staleAt takes the max of the entry's
+	// seen time and the node's lastSeen), so the per-entry sweep below only
+	// happens while some owner is silent past its lease or missing from the
+	// liveness table — never on the steady-state tick of a healthy mesh.
+	sweep := make(map[string]bool)
+	for node := range d.owners {
+		lease := d.lease()
+		if st, ok := d.nodes[node]; ok {
+			if st.lease > lease {
+				lease = st.lease
+			}
+			if st.lastSeen.Add(lease).After(now) {
+				continue
+			}
+		}
+		sweep[node] = true
+	}
+	if len(sweep) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	// staleAt returns the moment an entry of the given node goes stale:
+	// its own lease when the node granted one (a restarting node's grace
+	// must hold its entries, not just its nodeState), our TTL otherwise.
+	staleAt := func(node string, seen time.Time) time.Time {
+		lease := d.lease()
+		if st, ok := d.nodes[node]; ok {
+			if st.lastSeen.After(seen) {
+				seen = st.lastSeen
+			}
+			if st.lease > lease {
+				lease = st.lease
+			}
+		}
+		return seen.Add(lease)
+	}
 	var dropped []core.TranslatorID
 	for id, e := range d.remote {
-		seen := e.seen
-		if st, ok := d.nodes[e.profile.Node]; ok && st.lastSeen.After(seen) {
-			seen = st.lastSeen
-		}
-		if seen.Before(cutoff) {
+		if sweep[e.profile.Node] && staleAt(e.profile.Node, e.seen).Before(now) {
 			dropped = append(dropped, id)
 			delete(d.remote, id)
 			d.xorNodeFP(e.profile.Node, e.fp)
+			d.ownerDrop(e.profile.Node)
 		}
 	}
 	for id, e := range d.shadow {
-		seen := e.seen
-		if st, ok := d.nodes[e.node]; ok && st.lastSeen.After(seen) {
-			seen = st.lastSeen
-		}
-		if seen.Before(cutoff) {
+		if sweep[e.node] && staleAt(e.node, e.seen).Before(now) {
 			delete(d.shadow, id)
 			d.xorNodeFP(e.node, e.fp)
+			d.ownerDrop(e.node)
 		}
 	}
 	if len(dropped) > 0 {

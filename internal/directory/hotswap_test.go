@@ -1,0 +1,84 @@
+package directory
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+// TestSetBoundaryPreservesBoundWireIdentity: swapping remap rules at
+// runtime must not break identities already integrated — WireID keeps
+// answering with the stored wire form for existing entries, while new
+// ingress is governed by the new rule set.
+func TestSetBoundaryPreservesBoundWireIdentity(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2 := net.MustAddHost("h1"), net.MustAddHost("h2")
+	d1 := New("h1", h1, fastOpts())
+	opts2 := fastOpts()
+	opts2.Remap = []RemapRule{{Node: "h1", Mount: "kitchen"}}
+	d2 := New("h2", h2, opts2)
+	defer d1.Close()
+	defer d2.Close()
+	d1.Start()
+	d2.Start()
+
+	if err := d1.AddLocal(testTranslator(t, "h1", "stove")); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool { _, r := d2.Size(); return r == 1 })
+
+	wire := core.MakeTranslatorID("h1", "umiddle", "stove")
+	local := d2.MapID(wire)
+	if !strings.HasPrefix(string(local), "kitchen/") {
+		t.Fatalf("MapID(%s) = %s, want kitchen/ prefix", wire, local)
+	}
+	if back := d2.WireID(local); back != wire {
+		t.Fatalf("WireID(%s) = %s before swap, want %s", local, back, wire)
+	}
+
+	// Drop the remap rules entirely. The stove entry was integrated
+	// under the kitchen/ name; a path bound to it must keep resolving
+	// and keep dialing the real wire identity.
+	if err := d2.SetBoundary(nil, nil); err != nil {
+		t.Fatalf("SetBoundary: %v", err)
+	}
+	if back := d2.WireID(local); back != wire {
+		t.Fatalf("WireID(%s) = %s after swap, want stored wire identity %s", local, back, wire)
+	}
+	if _, err := d2.Resolve(local); err != nil {
+		t.Fatalf("Resolve(%s) after swap: %v", local, err)
+	}
+
+	// New ingress follows the new (empty) rules: a fresh profile from h1
+	// integrates under its wire ID, not under kitchen/.
+	if err := d1.AddLocal(testTranslator(t, "h1", "oven")); err != nil {
+		t.Fatalf("AddLocal: %v", err)
+	}
+	ovenWire := core.MakeTranslatorID("h1", "umiddle", "oven")
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := d2.Resolve(ovenWire)
+		return err == nil
+	})
+	if _, err := d2.Resolve(core.TranslatorID("kitchen/umiddle/oven")); err == nil {
+		t.Fatal("post-swap ingress still remapped under the old mount")
+	}
+
+	// Invalid rule sets are rejected atomically: the error surfaces and
+	// neither rule table changes.
+	if err := d2.SetBoundary([]RemapRule{{Node: "", Mount: "x"}}, nil); err == nil {
+		t.Fatal("SetBoundary accepted a remap rule with an empty node")
+	}
+	if err := d2.SetBoundary(nil, []ACLRule{{Action: "maybe"}}); err == nil {
+		t.Fatal("SetBoundary accepted an ACL rule with a bogus action")
+	}
+	if _, err := d2.Resolve(ovenWire); err != nil {
+		t.Fatalf("rejected SetBoundary disturbed state: %v", err)
+	}
+	if back := d2.WireID(local); back != wire {
+		t.Fatalf("rejected SetBoundary disturbed stored wire identity: %s", back)
+	}
+}

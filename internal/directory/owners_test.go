@@ -1,0 +1,78 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netemu"
+)
+
+// recountOwners recomputes the per-node entry counts from scratch and
+// compares them with the maintained index.
+func recountOwners(t *testing.T, d *Directory) {
+	t.Helper()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	want := make(map[string]int)
+	for _, e := range d.remote {
+		want[e.profile.Node]++
+	}
+	for _, e := range d.shadow {
+		want[e.node]++
+	}
+	if len(want) != len(d.owners) {
+		t.Fatalf("owner index diverged: have %v, want %v", d.owners, want)
+	}
+	for node, n := range want {
+		if d.owners[node] != n {
+			t.Fatalf("owner index diverged for %q: have %d, want %d (index %v)", node, d.owners[node], n, want)
+		}
+	}
+}
+
+// TestOwnerIndexConsistent churns a directory through the integrate,
+// remove, and lease-lapse paths and checks the per-node entry count —
+// which gates the expiry tick's O(population) sweep — always matches a
+// recount of the remote and shadow maps.
+func TestOwnerIndexConsistent(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	h1, h2, h3 := net.MustAddHost("h1"), net.MustAddHost("h2"), net.MustAddHost("h3")
+	d1 := New("h1", h1, fastOpts())
+	d2 := New("h2", h2, fastOpts())
+	d3 := New("h3", h3, fastOpts())
+	defer d1.Close()
+	defer d2.Close()
+	defer d3.Close()
+	d1.Start()
+	d2.Start()
+	d3.Start()
+
+	tr1a := testTranslator(t, "h1", "a")
+	tr1b := testTranslator(t, "h1", "b")
+	tr2a := testTranslator(t, "h2", "a")
+	d1.AddLocal(tr1a)
+	d1.AddLocal(tr1b)
+	d2.AddLocal(tr2a)
+	waitFor(t, 2*time.Second, func() bool { _, r := d3.Size(); return r == 3 })
+	recountOwners(t, d3)
+	recountOwners(t, d1)
+
+	// Graceful remove propagates a delta; the index follows the delete.
+	d1.RemoveLocal(tr1b.Profile().ID)
+	waitFor(t, 2*time.Second, func() bool { _, r := d3.Size(); return r == 2 })
+	recountOwners(t, d3)
+
+	// Crash h2: the lease lapses, dropNode sweeps its entries, and the
+	// whole owner key disappears.
+	if _, err := net.CrashNode("h2"); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { _, r := d3.Size(); return r == 1 })
+	recountOwners(t, d3)
+	d3.mu.Lock()
+	if _, ok := d3.owners["h2"]; ok {
+		t.Fatalf("owner index still holds crashed node h2: %v", d3.owners)
+	}
+	d3.mu.Unlock()
+}

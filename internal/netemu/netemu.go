@@ -129,6 +129,9 @@ type Network struct {
 	spinWin     time.Duration // read-pacing spin window; <0 disables
 	closed      bool
 	rng         *splitMix64
+	// disks models per-host non-volatile storage; entries survive
+	// CrashNode/RestartNode and Network.Close (see Disk).
+	disks map[string]*Disk
 	// groupDrops counts datagrams discarded because a member's group
 	// inbox was full — the silent UDP-like loss point load harnesses
 	// must check instead of letting it skew latency tails.

@@ -336,6 +336,40 @@ func (b *Board) RenderHealth() string {
 	return sb.String()
 }
 
+// RenderPersist reports the node's durability state: the log's size and
+// fsync cadence, what the last warm restart replayed, and the restart
+// epoch. A node running without a durability log says so.
+func (b *Board) RenderPersist() string {
+	dir := b.rt.Directory()
+	stats, ok := dir.PersistStats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "uMiddle persistence — node %s\n", b.rt.Node())
+	if !ok {
+		fmt.Fprintln(&sb, "  no durability log (cold restarts rediscover)")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  log: %s\n", stats.Name)
+	fmt.Fprintf(&sb, "    size=%dB records=%d appended=%d rewrites=%d\n",
+		stats.SizeBytes, stats.Records, stats.AppendedRecords, stats.Rewrites)
+	last := "never"
+	if !stats.LastSync.IsZero() {
+		last = time.Since(stats.LastSync).Round(time.Millisecond).String() + " ago"
+	}
+	fmt.Fprintf(&sb, "    syncs=%d last-fsync=%s\n", stats.Syncs, last)
+	if stats.TornBytes > 0 {
+		fmt.Fprintf(&sb, "    torn tail truncated: %dB\n", stats.TornBytes)
+	}
+	fmt.Fprintf(&sb, "  epoch: %d\n", dir.Epoch())
+	r := dir.ReplayedState()
+	if r.Locals == 0 && r.Remotes == 0 && r.Nodes == 0 {
+		fmt.Fprintln(&sb, "  replay: cold start (nothing replayed)")
+	} else {
+		fmt.Fprintf(&sb, "  replay: %d locals, %d remotes, %d node leases (%dB in %d records)\n",
+			r.Locals, r.Remotes, r.Nodes, stats.ReplayBytes, stats.ReplayRecords)
+	}
+	return sb.String()
+}
+
 // labelSuffix renders the non-node labels compactly ("{path=h1#1}").
 func labelSuffix(labels map[string]string) string {
 	keys := make([]string, 0, len(labels))
@@ -386,6 +420,7 @@ func shortType(t string) string {
 //	list                          show the board
 //	stats                         show metrics and recent trace events
 //	health                        show mapper, lease, and path states
+//	persist                       show durability log and replay state
 //	wire <pad#port> <pad#port>    draw a cable
 //	wire <pad#port> accepting <type> [physical]
 //	                              draw a template cable
@@ -403,6 +438,8 @@ func (b *Board) Exec(line string) (string, error) {
 		return b.RenderMetrics(), nil
 	case "health":
 		return b.RenderHealth(), nil
+	case "persist":
+		return b.RenderPersist(), nil
 	case "wire":
 		switch {
 		case len(fields) == 3:

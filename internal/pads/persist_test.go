@@ -1,0 +1,64 @@
+package pads
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/netemu"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+func TestExecPersistWithoutLog(t *testing.T) {
+	rt := newTestRuntime(t)
+	board := NewBoard(rt)
+	out, err := board.Exec("persist")
+	if err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	if !strings.Contains(out, "no durability log") {
+		t.Fatalf("persist without WAL:\n%s", out)
+	}
+}
+
+func TestExecPersistRendersLogState(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	host := net.MustAddHost("p1")
+	l, err := wal.OpenFile(net.Disk("p1").Open("dir.wal"), "p1:dir.wal")
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer l.Close()
+	rt, err := runtime.New(runtime.Config{
+		Node:      "p1",
+		Host:      host,
+		Directory: directory.Options{AnnounceInterval: 20 * time.Millisecond, WAL: l},
+		Transport: transport.Options{DeliverTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("runtime.New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	addService(t, rt, "svc-a")
+	board := NewBoard(rt)
+	out, err := board.Exec("persist")
+	if err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	for _, want := range []string{"p1:dir.wal", "epoch: 1", "records=", "last-fsync="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("persist output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "cold start") {
+		t.Fatalf("fresh log should report a cold start:\n%s", out)
+	}
+}

@@ -1,0 +1,56 @@
+package qos
+
+import "time"
+
+// Liveness-lease defaults. The expiry factor matches what the directory
+// has always advertised; the restart-grace factor is new with durable
+// restart: long enough to cover a replay-and-rejoin, short enough that a
+// "clean restart" that never comes back still gets cleaned up.
+const (
+	DefaultLeaseExpiryFactor  = 4
+	DefaultRestartGraceFactor = 3
+)
+
+// LeasePolicy governs how liveness leases are derived from the announce
+// cadence, and how much extra slack a peer grants a node that announced
+// a clean restart (as opposed to crashing silently).
+//
+// A node's ordinary lease is ExpiryFactor x the announce interval —
+// miss that many announcements and peers declare the node down and drop
+// its entries. A node that says "restarting" instead asks peers to hold
+// its entries for RestartGraceFactor x that lease: a warm restart
+// replays its durable log and re-announces within the grace, so peers
+// keep serving its (still valid) profiles across the blink; a node that
+// never returns lapses at the end of the grace like any crash.
+type LeasePolicy struct {
+	// ExpiryFactor is the ordinary lease in announce intervals
+	// (default DefaultLeaseExpiryFactor).
+	ExpiryFactor int
+	// RestartGraceFactor is the clean-restart grace in ordinary leases
+	// (default DefaultRestartGraceFactor).
+	RestartGraceFactor int
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (p LeasePolicy) WithDefaults() LeasePolicy {
+	if p.ExpiryFactor <= 0 {
+		p.ExpiryFactor = DefaultLeaseExpiryFactor
+	}
+	if p.RestartGraceFactor <= 0 {
+		p.RestartGraceFactor = DefaultRestartGraceFactor
+	}
+	return p
+}
+
+// Lease returns the ordinary liveness lease for an announce cadence.
+func (p LeasePolicy) Lease(announce time.Duration) time.Duration {
+	p = p.WithDefaults()
+	return time.Duration(p.ExpiryFactor) * announce
+}
+
+// RestartGrace returns how long a peer should keep a cleanly-restarting
+// node's entries before treating the restart as a crash.
+func (p LeasePolicy) RestartGrace(announce time.Duration) time.Duration {
+	p = p.WithDefaults()
+	return time.Duration(p.RestartGraceFactor) * p.Lease(announce)
+}

@@ -1,0 +1,34 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeasePolicyDefaults(t *testing.T) {
+	var p LeasePolicy
+	if got := p.Lease(time.Second); got != 4*time.Second {
+		t.Fatalf("default Lease = %v, want 4s", got)
+	}
+	if got := p.RestartGrace(time.Second); got != 12*time.Second {
+		t.Fatalf("default RestartGrace = %v, want 12s", got)
+	}
+	d := p.WithDefaults()
+	if d.ExpiryFactor != DefaultLeaseExpiryFactor || d.RestartGraceFactor != DefaultRestartGraceFactor {
+		t.Fatalf("WithDefaults = %+v", d)
+	}
+}
+
+func TestLeasePolicyOverrides(t *testing.T) {
+	p := LeasePolicy{ExpiryFactor: 2, RestartGraceFactor: 5}
+	if got := p.Lease(100 * time.Millisecond); got != 200*time.Millisecond {
+		t.Fatalf("Lease = %v", got)
+	}
+	if got := p.RestartGrace(100 * time.Millisecond); got != time.Second {
+		t.Fatalf("RestartGrace = %v", got)
+	}
+	// WithDefaults must not clobber explicit values.
+	if d := p.WithDefaults(); d != p {
+		t.Fatalf("WithDefaults changed explicit policy: %+v", d)
+	}
+}

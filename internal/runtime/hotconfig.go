@@ -1,0 +1,280 @@
+// Hot-reload configuration: a JSON document describing the runtime's
+// tunable subset — mapper enablement, transport retry policies, boundary
+// (remap/ACL) rules, and interest registrations — applied as deltas to a
+// live node without dropping bound paths. The document is declarative:
+// each present section replaces that section's state; absent sections are
+// left untouched.
+
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/qos"
+)
+
+// HotRetry is a JSON-friendly retry policy: delays in milliseconds, zero
+// fields filled from qos defaults at apply time.
+type HotRetry struct {
+	MaxAttempts     int     `json:"maxAttempts,omitempty"`
+	BaseDelayMillis int64   `json:"baseDelayMillis,omitempty"`
+	MaxDelayMillis  int64   `json:"maxDelayMillis,omitempty"`
+	Multiplier      float64 `json:"multiplier,omitempty"`
+	NoJitter        bool    `json:"noJitter,omitempty"`
+}
+
+func (h *HotRetry) validate(section string) error {
+	if h == nil {
+		return nil
+	}
+	if h.MaxAttempts < 0 || h.BaseDelayMillis < 0 || h.MaxDelayMillis < 0 || h.Multiplier < 0 {
+		return fmt.Errorf("runtime: %s policy has negative fields", section)
+	}
+	return nil
+}
+
+func (h *HotRetry) policy() qos.RetryPolicy {
+	return qos.RetryPolicy{
+		MaxAttempts: h.MaxAttempts,
+		BaseDelay:   time.Duration(h.BaseDelayMillis) * time.Millisecond,
+		MaxDelay:    time.Duration(h.MaxDelayMillis) * time.Millisecond,
+		Multiplier:  h.Multiplier,
+		NoJitter:    h.NoJitter,
+	}.WithDefaults()
+}
+
+// BoundaryConfig is the hot-reloadable boundary rule set. Present but
+// empty sections clear the corresponding rules.
+type BoundaryConfig struct {
+	Remap []directory.RemapRule `json:"remap,omitempty"`
+	ACL   []directory.ACLRule   `json:"acl,omitempty"`
+}
+
+// HotConfig is the hot-reloadable runtime configuration. A nil section
+// pointer (or nil Mappers/Interests) means "leave unchanged"; a present
+// section is applied as a delta against the runtime's current state.
+type HotConfig struct {
+	// Mappers toggles supervised mappers by platform name. Disabling
+	// closes the incarnation and unmaps its translators; re-enabling
+	// mints a fresh incarnation from the mapper's factory.
+	Mappers map[string]bool `json:"mappers,omitempty"`
+	// Retry replaces the transport delivery retry policy. In-flight
+	// delivery cycles finish under the old policy; bound paths are
+	// never dropped.
+	Retry *HotRetry `json:"retry,omitempty"`
+	// Redial replaces the transport redial (reconnect) policy.
+	Redial *HotRetry `json:"redial,omitempty"`
+	// Boundary replaces the directory's remap and ACL rule sets.
+	// Already-integrated entries keep their stored wire identity, so
+	// bound paths survive the swap.
+	Boundary *BoundaryConfig `json:"boundary,omitempty"`
+	// Interests declares the node's registered interest queries. The
+	// delta is computed against previously config-applied interests:
+	// new queries are registered, vanished ones cancelled. Interests
+	// registered through the API (dynamic paths) are never touched.
+	// JSON `[]` clears all config-applied interests; absent leaves
+	// them unchanged.
+	Interests []core.Query `json:"interests"`
+
+	// interestsSet distinguishes `"interests": []` (clear) from an
+	// absent key (leave unchanged) after parsing.
+	interestsSet bool
+}
+
+// ParseHotConfig parses and validates a hot-reload config document.
+// Unknown fields are rejected — a typoed key must fail loudly, not
+// silently leave the old value in force.
+func ParseHotConfig(b []byte) (*HotConfig, error) {
+	// Probe for key presence so `"interests": []` clears registrations
+	// while an absent key leaves them alone.
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("runtime: parse hot config: %w", err)
+	}
+	var hc HotConfig
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hc); err != nil {
+		return nil, fmt.Errorf("runtime: parse hot config: %w", err)
+	}
+	_, hc.interestsSet = probe["interests"]
+	if err := hc.Validate(); err != nil {
+		return nil, err
+	}
+	return &hc, nil
+}
+
+// Validate checks the document's sections without touching a runtime.
+func (hc *HotConfig) Validate() error {
+	if err := hc.Retry.validate("retry"); err != nil {
+		return err
+	}
+	if err := hc.Redial.validate("redial"); err != nil {
+		return err
+	}
+	if hc.Boundary != nil {
+		opts := directory.Options{Remap: hc.Boundary.Remap, ACL: hc.Boundary.ACL}
+		if err := opts.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyConfig applies a hot-reload document to the live runtime. The
+// document is validated in full before any section is applied; mapper
+// toggles referencing unknown platforms fail the whole apply. Bound
+// paths survive every section: retry swaps only govern later delivery
+// cycles, boundary swaps keep stored wire identities, and interest
+// deltas only add or cancel config-owned registrations.
+func (r *Runtime) ApplyConfig(hc *HotConfig) error {
+	if hc == nil {
+		return fmt.Errorf("runtime: nil hot config")
+	}
+	if err := hc.Validate(); err != nil {
+		r.metConfigErrors.Inc()
+		return err
+	}
+	// Resolve mapper toggles up front so a typoed platform rejects the
+	// document before any other section lands.
+	platforms := make([]string, 0, len(hc.Mappers))
+	for platform := range hc.Mappers {
+		if r.findSup(platform) == nil {
+			r.metConfigErrors.Inc()
+			return fmt.Errorf("runtime: hot config toggles unknown mapper %q", platform)
+		}
+		platforms = append(platforms, platform)
+	}
+	sort.Strings(platforms)
+
+	if hc.Boundary != nil {
+		if err := r.dir.SetBoundary(hc.Boundary.Remap, hc.Boundary.ACL); err != nil {
+			r.metConfigErrors.Inc()
+			return err
+		}
+	}
+	if hc.Retry != nil || hc.Redial != nil {
+		retry, redial := r.mod.RetryPolicies()
+		if hc.Retry != nil {
+			retry = hc.Retry.policy()
+		}
+		if hc.Redial != nil {
+			redial = hc.Redial.policy()
+		}
+		r.mod.SetRetryPolicies(retry, redial)
+	}
+	var firstErr error
+	for _, platform := range platforms {
+		if err := r.SetMapperEnabled(platform, hc.Mappers[platform]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if hc.interestsSet {
+		r.applyInterests(hc.Interests)
+	}
+	if firstErr != nil {
+		r.metConfigErrors.Inc()
+		return firstErr
+	}
+	r.metConfigApplies.Inc()
+	r.trace.Event("config_apply", r.node, "")
+	return nil
+}
+
+// applyInterests reconciles config-owned interest registrations against
+// the declared set: register the new, cancel the vanished.
+func (r *Runtime) applyInterests(want []core.Query) {
+	keyOf := func(q core.Query) string {
+		b, _ := json.Marshal(q)
+		return string(b)
+	}
+	wanted := make(map[string]core.Query, len(want))
+	for _, q := range want {
+		wanted[keyOf(q)] = q
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, cancel := range r.hotInterests {
+		if _, keep := wanted[key]; !keep {
+			cancel()
+			delete(r.hotInterests, key)
+		}
+	}
+	for key, q := range wanted {
+		if _, have := r.hotInterests[key]; !have {
+			r.hotInterests[key] = r.dir.RegisterInterest(q)
+		}
+	}
+}
+
+// findSup returns the supervised entry for a platform, or nil.
+func (r *Runtime) findSup(platform string) *supEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.sup {
+		if e.platform == platform {
+			return e
+		}
+	}
+	return nil
+}
+
+// WatchConfig loads, validates, and applies the hot-reload document at
+// path, then polls it every interval (poll <= 0 selects one second)
+// until the runtime closes, re-applying whenever the content changes. A
+// document that fails to parse or apply mid-watch is logged, counted on
+// umiddle_config_errors_total, and skipped — the previous configuration
+// stays in force; the watcher keeps going.
+func (r *Runtime) WatchConfig(path string, poll time.Duration) error {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	last, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("runtime: read hot config: %w", err)
+	}
+	hc, err := ParseHotConfig(last)
+	if err != nil {
+		return err
+	}
+	if err := r.ApplyConfig(hc); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: closed")
+	}
+	r.supWG.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.supWG.Done()
+		for r.sleepOrDone(poll) {
+			b, err := os.ReadFile(path)
+			if err != nil || bytes.Equal(b, last) {
+				// Unreadable snapshots happen mid-rewrite with non-atomic
+				// editors; treat like an unchanged file and retry next tick.
+				continue
+			}
+			last = b
+			hc, err := ParseHotConfig(b)
+			if err == nil {
+				err = r.ApplyConfig(hc)
+			}
+			if err != nil {
+				r.log.Warn("runtime: hot config rejected", "path", path, "err", err)
+				r.trace.Event("config_error", r.node, err.Error())
+				continue
+			}
+			r.log.Info("runtime: hot config applied", "path", path)
+		}
+	}()
+	return nil
+}

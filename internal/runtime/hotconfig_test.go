@@ -1,0 +1,216 @@
+package runtime
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/mapper"
+)
+
+func TestParseHotConfigValidation(t *testing.T) {
+	if _, err := ParseHotConfig([]byte(`{"typo": true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseHotConfig([]byte(`{"boundary": {"remap": [{"node": "", "mount": "x"}]}}`)); err == nil {
+		t.Error("invalid remap rule accepted")
+	}
+	if _, err := ParseHotConfig([]byte(`{"retry": {"maxAttempts": -1}}`)); err == nil {
+		t.Error("negative retry accepted")
+	}
+	hc, err := ParseHotConfig([]byte(`{"interests": []}`))
+	if err != nil {
+		t.Fatalf("empty interests: %v", err)
+	}
+	if !hc.interestsSet {
+		t.Error("explicit empty interests not marked as set")
+	}
+	hc, err = ParseHotConfig([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("empty doc: %v", err)
+	}
+	if hc.interestsSet {
+		t.Error("absent interests marked as set")
+	}
+}
+
+func TestSetMapperEnabledToggle(t *testing.T) {
+	rt, err := New(Config{Node: "h1", MapperRetry: fastMapperRetry()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	trigger := make(chan struct{})
+	if err := rt.AddMapperFunc("fake", func() (mapper.Mapper, error) {
+		return &shapeMapper{platform: "fake", style: "poll", trigger: trigger}, nil
+	}); err != nil {
+		t.Fatalf("AddMapperFunc: %v", err)
+	}
+	devID := core.MakeTranslatorID("h1", "umiddle", "fake-dev")
+	if _, err := rt.Directory().Resolve(devID); err != nil {
+		t.Fatalf("imported translator unresolvable: %v", err)
+	}
+
+	// Disable: the incarnation closes and its translators vanish from
+	// the directory like a clean removal.
+	if err := rt.SetMapperEnabled("fake", false); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	if _, err := rt.Directory().Resolve(devID); err == nil {
+		t.Fatal("disabled mapper's translator still announced")
+	}
+	if h, _ := mapperHealth(rt, "fake"); h.State != "disabled" {
+		t.Fatalf("state after disable = %q", h.State)
+	}
+	if !traceHas(rt, "mapper_disabled") {
+		t.Fatal("no mapper_disabled trace event")
+	}
+	// Disabling twice is a no-op; a panic from a straggler goroutine of
+	// the dead incarnation must not revive it.
+	if err := rt.SetMapperEnabled("fake", false); err != nil {
+		t.Fatalf("double disable: %v", err)
+	}
+
+	// Re-enable mints a fresh incarnation from the factory.
+	if err := rt.SetMapperEnabled("fake", true); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if _, err := rt.Directory().Resolve(devID); err != nil {
+		t.Fatalf("re-enabled mapper's translator unresolvable: %v", err)
+	}
+	if h, _ := mapperHealth(rt, "fake"); h.State != "running" {
+		t.Fatalf("state after enable = %q", h.State)
+	}
+	if err := rt.SetMapperEnabled("fake", true); err != nil {
+		t.Fatalf("double enable: %v", err)
+	}
+
+	// Value-added mappers have no factory: disable works, enable fails.
+	byValue := &shapeMapper{platform: "byvalue", style: "poll", trigger: make(chan struct{})}
+	if err := rt.AddMapper(byValue); err != nil {
+		t.Fatalf("AddMapper: %v", err)
+	}
+	if err := rt.SetMapperEnabled("byvalue", false); err != nil {
+		t.Fatalf("disable by-value: %v", err)
+	}
+	if err := rt.SetMapperEnabled("byvalue", true); err == nil {
+		t.Fatal("re-enable without a factory accepted")
+	}
+	if err := rt.SetMapperEnabled("nosuch", false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestApplyConfigDeltas(t *testing.T) {
+	rt, err := New(Config{Node: "h1", Directory: directory.Options{Interest: true}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	hc, err := ParseHotConfig([]byte(`{
+		"retry": {"maxAttempts": 9, "baseDelayMillis": 15},
+		"boundary": {"acl": [{"action": "deny", "node": "evil"}]},
+		"interests": [{"platform": "upnp"}, {"platform": "motes"}]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseHotConfig: %v", err)
+	}
+	if err := rt.ApplyConfig(hc); err != nil {
+		t.Fatalf("ApplyConfig: %v", err)
+	}
+	retry, redial := rt.Transport().RetryPolicies()
+	if retry.MaxAttempts != 9 || retry.BaseDelay != 15*time.Millisecond {
+		t.Fatalf("retry after apply = %+v", retry)
+	}
+	if redial.MaxAttempts == 9 {
+		t.Fatal("absent redial section replaced the redial policy")
+	}
+	if rt.metConfigApplies.Value() != 1 {
+		t.Fatalf("applies counter = %d", rt.metConfigApplies.Value())
+	}
+	if !traceHas(rt, "config_apply") {
+		t.Fatal("no config_apply trace event")
+	}
+	rt.mu.Lock()
+	interests := len(rt.hotInterests)
+	rt.mu.Unlock()
+	if interests != 2 {
+		t.Fatalf("hot interests = %d, want 2", interests)
+	}
+
+	// Delta: one interest dropped, one kept; absent sections untouched.
+	hc, _ = ParseHotConfig([]byte(`{"interests": [{"platform": "upnp"}]}`))
+	if err := rt.ApplyConfig(hc); err != nil {
+		t.Fatalf("ApplyConfig delta: %v", err)
+	}
+	rt.mu.Lock()
+	interests = len(rt.hotInterests)
+	rt.mu.Unlock()
+	if interests != 1 {
+		t.Fatalf("hot interests after delta = %d, want 1", interests)
+	}
+	if retry2, _ := rt.Transport().RetryPolicies(); retry2.MaxAttempts != 9 {
+		t.Fatal("absent retry section reset the policy")
+	}
+
+	// A document toggling an unknown mapper rejects before any section
+	// lands.
+	hc, _ = ParseHotConfig([]byte(`{"mappers": {"ghost": false}, "retry": {"maxAttempts": 2}}`))
+	if err := rt.ApplyConfig(hc); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown mapper toggle: %v", err)
+	}
+	if retry3, _ := rt.Transport().RetryPolicies(); retry3.MaxAttempts != 9 {
+		t.Fatal("rejected document still applied its retry section")
+	}
+	if rt.metConfigErrors.Value() == 0 {
+		t.Fatal("errors counter not incremented")
+	}
+}
+
+func TestWatchConfigAppliesOnChange(t *testing.T) {
+	rt := newStandalone(t)
+	path := filepath.Join(t.TempDir(), "umiddle.json")
+	if err := os.WriteFile(path, []byte(`{"retry": {"maxAttempts": 5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WatchConfig(path, 5*time.Millisecond); err != nil {
+		t.Fatalf("WatchConfig: %v", err)
+	}
+	if retry, _ := rt.Transport().RetryPolicies(); retry.MaxAttempts != 5 {
+		t.Fatalf("initial apply missed: %+v", retry)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"retry": {"maxAttempts": 6}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "changed config applied", func() bool {
+		retry, _ := rt.Transport().RetryPolicies()
+		return retry.MaxAttempts == 6
+	})
+
+	// A broken rewrite is rejected and the previous config stays live.
+	if err := os.WriteFile(path, []byte(`{"retry": {"maxAttempts": -3}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "config_error trace", func() bool { return traceHas(rt, "config_error") })
+	if retry, _ := rt.Transport().RetryPolicies(); retry.MaxAttempts != 6 {
+		t.Fatalf("broken config clobbered the live policy: %+v", retry)
+	}
+
+	// WatchConfig on a missing file fails up front.
+	if err := rt.WatchConfig(filepath.Join(t.TempDir(), "nope.json"), time.Millisecond); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}

@@ -62,17 +62,20 @@ type Runtime struct {
 	trace  *obs.Trace
 	mretry qos.RetryPolicy
 
-	metPanics   *obs.Counter
-	metRestarts *obs.Counter
+	metPanics        *obs.Counter
+	metRestarts      *obs.Counter
+	metConfigApplies *obs.Counter
+	metConfigErrors  *obs.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	supWG  sync.WaitGroup
 
-	mu      sync.Mutex
-	sup     []*supEntry
-	started bool
-	closed  bool
+	mu           sync.Mutex
+	sup          []*supEntry
+	hotInterests map[string]func()
+	started      bool
+	closed       bool
 }
 
 var _ mapper.Importer = (*Runtime)(nil)
@@ -117,27 +120,32 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Transport.Obs = registry
 	}
 	registry.Describe("umiddle_mapper_map_latency_seconds", "Native discovery to translator-mapped latency.")
-	registry.Describe("umiddle_supervisor_mapper_state", "Supervised mapper state (0 running, 1 restarting, 2 degraded).")
+	registry.Describe("umiddle_supervisor_mapper_state", "Supervised mapper state (0 running, 1 restarting, 2 degraded, 3 disabled).")
 	registry.Describe("umiddle_supervisor_panics_total", "Mapper panics recovered by the supervisor.")
 	registry.Describe("umiddle_supervisor_restarts_total", "Successful supervised mapper restarts.")
+	registry.Describe("umiddle_config_applies_total", "Hot-reload config documents applied.")
+	registry.Describe("umiddle_config_errors_total", "Hot-reload config documents rejected.")
 	dir := directory.New(cfg.Node, cfg.Host, cfg.Directory)
 	mod := transport.New(cfg.Node, cfg.Host, dir, cfg.Transport)
 	ctx, cancel := context.WithCancel(context.Background())
 	nl := obs.Labels{"node": cfg.Node}
 	return &Runtime{
-		node:        cfg.Node,
-		host:        cfg.Host,
-		reg:         reg,
-		dir:         dir,
-		mod:         mod,
-		log:         logger,
-		obs:         registry,
-		trace:       registry.Trace(),
-		mretry:      cfg.MapperRetry.WithDefaults(),
-		metPanics:   registry.Counter("umiddle_supervisor_panics_total", nl),
-		metRestarts: registry.Counter("umiddle_supervisor_restarts_total", nl),
-		ctx:         ctx,
-		cancel:      cancel,
+		node:             cfg.Node,
+		host:             cfg.Host,
+		reg:              reg,
+		dir:              dir,
+		mod:              mod,
+		log:              logger,
+		obs:              registry,
+		trace:            registry.Trace(),
+		mretry:           cfg.MapperRetry.WithDefaults(),
+		metPanics:        registry.Counter("umiddle_supervisor_panics_total", nl),
+		metRestarts:      registry.Counter("umiddle_supervisor_restarts_total", nl),
+		metConfigApplies: registry.Counter("umiddle_config_applies_total", nl),
+		metConfigErrors:  registry.Counter("umiddle_config_errors_total", nl),
+		hotInterests:     make(map[string]func()),
+		ctx:              ctx,
+		cancel:           cancel,
 	}, nil
 }
 
@@ -162,7 +170,16 @@ func (r *Runtime) Start() error {
 }
 
 // Close shuts down mappers, transport, and directory, in that order.
-func (r *Runtime) Close() error {
+func (r *Runtime) Close() error { return r.close(false) }
+
+// CloseForRestart shuts the node down for a planned restart: mappers and
+// transport close as usual, but the directory snapshots its durable log
+// and says farewell with a "restarting" advert, so peers grant the
+// restart grace instead of letting the lease lapse. Meaningful only when
+// the directory was built over a WAL; without one it degrades to Close.
+func (r *Runtime) CloseForRestart() error { return r.close(true) }
+
+func (r *Runtime) close(restart bool) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -194,7 +211,11 @@ func (r *Runtime) Close() error {
 	if err := r.mod.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := r.dir.Close(); err != nil && firstErr == nil {
+	dirClose := r.dir.Close
+	if restart {
+		dirClose = r.dir.CloseForRestart
+	}
+	if err := dirClose(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

@@ -18,12 +18,15 @@ type MapperState int
 
 // Supervised mapper states. A mapper is Running while its current
 // incarnation is healthy, Restarting while the supervisor is replacing a
-// panicked incarnation under backoff, and Degraded — terminally — once
-// the restart budget is spent (or when no factory exists to restart it).
+// panicked incarnation under backoff, Degraded — terminally — once the
+// restart budget is spent (or when no factory exists to restart it), and
+// Disabled when turned off administratively (hot config); a disabled
+// mapper with a factory can be re-enabled.
 const (
 	MapperRunning MapperState = iota
 	MapperRestarting
 	MapperDegraded
+	MapperDisabled
 )
 
 // String renders the state for traces, gauges, and the pads health view.
@@ -35,6 +38,8 @@ func (s MapperState) String() string {
 		return "restarting"
 	case MapperDegraded:
 		return "degraded"
+	case MapperDisabled:
+		return "disabled"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -83,6 +88,7 @@ type supEntry struct {
 	mu         sync.Mutex
 	cur        mapper.Mapper
 	state      MapperState
+	disabled   bool
 	restarting bool
 	restarts   uint64
 	panics     uint64
@@ -170,9 +176,10 @@ func (r *Runtime) mapperPanicked(e *supEntry, recovered any) {
 	e.lastErr = detail
 	spawn := false
 	switch {
-	case e.restarting || e.state == MapperDegraded:
-		// A restart is already in flight (or the budget is spent);
-		// just record the panic.
+	case e.restarting || e.disabled || e.state == MapperDegraded:
+		// A restart is already in flight, the budget is spent, or the
+		// mapper was turned off (a straggler goroutine of a closed
+		// incarnation can still panic); just record it.
 	case e.factory == nil:
 		// Added by value: no way to mint a replacement. The incarnation
 		// keeps whatever goroutines survived, but the node reports it.
@@ -209,11 +216,7 @@ func (r *Runtime) restartMapper(e *supEntry) {
 	if time.Since(e.healthyAt) >= r.mretry.MaxDelay {
 		e.attempt = 0
 	}
-	imported := make([]core.TranslatorID, 0, len(e.imported))
-	for id := range e.imported {
-		imported = append(imported, id)
-	}
-	clear(e.imported)
+	imported := drainImportedLocked(e)
 	e.mu.Unlock()
 
 	if old != nil {
@@ -221,15 +224,17 @@ func (r *Runtime) restartMapper(e *supEntry) {
 			r.log.Warn("runtime: close panicked mapper", "platform", e.platform, "err", err)
 		}
 	}
-	sort.Slice(imported, func(i, j int) bool { return imported[i] < imported[j] })
-	for _, id := range imported {
-		// Already-gone translators are fine; the point is that no corpse
-		// from the dead incarnation stays announced.
-		r.RemoveTranslator(id) //nolint:errcheck
-	}
+	r.removeImported(imported)
 
 	for {
 		e.mu.Lock()
+		if e.disabled {
+			// Turned off while the restart was in flight: the disable
+			// already tore the mapper down; stop trying to revive it.
+			e.restarting = false
+			e.mu.Unlock()
+			return
+		}
 		e.attempt++
 		attempt := e.attempt
 		e.mu.Unlock()
@@ -259,6 +264,18 @@ func (r *Runtime) restartMapper(e *supEntry) {
 				return
 			}
 			e.mu.Lock()
+			if e.disabled {
+				// Disabled between the factory call and here: this
+				// incarnation may already have imported translators
+				// (recorded after disable's teardown), so unmap them too.
+				e.restarting = false
+				stray := drainImportedLocked(e)
+				e.mu.Unlock()
+				r.mu.Unlock()
+				m.Close() //nolint:errcheck
+				r.removeImported(stray)
+				return
+			}
 			e.cur = m
 			e.restarting = false
 			e.restarts++
@@ -286,6 +303,124 @@ func (r *Runtime) abandonRestart(e *supEntry) {
 	e.restarting = false
 	e.setState(MapperDegraded)
 	e.mu.Unlock()
+}
+
+// drainImportedLocked empties the entry's imported-translator record and
+// returns the IDs sorted; callers hold e.mu.
+func drainImportedLocked(e *supEntry) []core.TranslatorID {
+	imported := make([]core.TranslatorID, 0, len(e.imported))
+	for id := range e.imported {
+		imported = append(imported, id)
+	}
+	clear(e.imported)
+	sort.Slice(imported, func(i, j int) bool { return imported[i] < imported[j] })
+	return imported
+}
+
+// removeImported unmaps a dead incarnation's translators. Already-gone
+// translators are fine; the point is that no corpse stays announced.
+func (r *Runtime) removeImported(ids []core.TranslatorID) {
+	for _, id := range ids {
+		r.RemoveTranslator(id) //nolint:errcheck
+	}
+}
+
+// SetMapperEnabled toggles a supervised mapper administratively — the
+// hot-config path. Disabling closes the current incarnation and unmaps
+// everything it imported (its translators vanish from the directory like
+// any clean removal); bound paths through them degrade through the usual
+// transport machinery rather than dropping messages silently. Re-enabling
+// mints a fresh incarnation from the mapper's factory; mappers added by
+// value (AddMapper) cannot come back and stay disabled with an error.
+// Toggling to the current state is a no-op.
+func (r *Runtime) SetMapperEnabled(platform string, enabled bool) error {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return fmt.Errorf("runtime: closed")
+	}
+	e := r.findSup(platform)
+	if e == nil {
+		return fmt.Errorf("runtime: no supervised %q mapper", platform)
+	}
+	if enabled {
+		return r.enableMapper(e)
+	}
+	r.disableMapper(e)
+	return nil
+}
+
+func (r *Runtime) disableMapper(e *supEntry) {
+	e.mu.Lock()
+	if e.disabled {
+		e.mu.Unlock()
+		return
+	}
+	e.disabled = true
+	old := e.cur
+	e.cur = nil
+	imported := drainImportedLocked(e)
+	e.setState(MapperDisabled)
+	e.mu.Unlock()
+
+	if old != nil {
+		if err := old.Close(); err != nil {
+			r.log.Warn("runtime: close disabled mapper", "platform", e.platform, "err", err)
+		}
+	}
+	r.removeImported(imported)
+	r.trace.Event("mapper_disabled", r.node, e.platform)
+	r.log.Info("runtime: mapper disabled", "platform", e.platform)
+}
+
+func (r *Runtime) enableMapper(e *supEntry) error {
+	e.mu.Lock()
+	if !e.disabled {
+		e.mu.Unlock()
+		return nil
+	}
+	if e.factory == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("runtime: %s mapper was added by value; no factory to re-enable it", e.platform)
+	}
+	e.mu.Unlock()
+
+	m, err := e.factory()
+	if err == nil {
+		err = r.startSupervised(m, e)
+	}
+	if err != nil {
+		e.mu.Lock()
+		e.lastErr = err.Error()
+		e.mu.Unlock()
+		return fmt.Errorf("runtime: re-enable %s mapper: %w", e.platform, err)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		m.Close() //nolint:errcheck
+		return fmt.Errorf("runtime: closed")
+	}
+	e.mu.Lock()
+	if !e.disabled {
+		// A concurrent enable won the race; don't install a second
+		// incarnation over its shoulder.
+		e.mu.Unlock()
+		r.mu.Unlock()
+		m.Close() //nolint:errcheck
+		return nil
+	}
+	e.disabled = false
+	e.cur = m
+	e.attempt = 0
+	e.healthyAt = time.Now()
+	e.setState(MapperRunning)
+	e.mu.Unlock()
+	r.mu.Unlock()
+	r.trace.Event("mapper_enabled", r.node, e.platform)
+	r.log.Info("runtime: mapper enabled", "platform", e.platform)
+	return nil
 }
 
 // startSupervised starts a mapper incarnation with panic recovery around

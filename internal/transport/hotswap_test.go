@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/qos"
+)
+
+// TestSetRetryPoliciesMidStream: swapping retry policies while a bound
+// path is streaming must not drop a single message — in-flight delivery
+// cycles finish under whatever policy they loaded, later cycles pick up
+// the new one, and the accessor reflects the swap.
+func TestSetRetryPoliciesMidStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := newNodeOpts(t, nil, "h1", Options{DeliverTimeout: 2 * time.Second, Retry: fastRetry(), Obs: reg})
+	src := producer("h1", "camera", "image/jpeg")
+	dst := newCollector("h1", "tv", "image/jpeg")
+	n.register(t, src)
+	n.register(t, dst)
+
+	id, err := n.mod.Connect(portRef(src, "out"), portRef(dst, "in"))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		src.Emit("out", core.NewMessage("image/jpeg", []byte(fmt.Sprintf("frame-%d", i))))
+		if i == total/2 {
+			slow := qos.RetryPolicy{MaxAttempts: 7, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Multiplier: 2, NoJitter: true}
+			n.mod.SetRetryPolicies(slow, slow)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for dst.count() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d messages across the policy swap", dst.count(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stats, _ := n.mod.PathStats(id); stats.Dropped != 0 {
+		t.Fatalf("policy swap dropped %d messages on a bound path", stats.Dropped)
+	}
+
+	retry, redial := n.mod.RetryPolicies()
+	if retry.MaxAttempts != 7 || redial.MaxAttempts != 7 {
+		t.Fatalf("RetryPolicies after swap = %+v / %+v, want MaxAttempts 7", retry, redial)
+	}
+	if !traceKinds(reg)["retry_policies_updated"] {
+		t.Fatal("no retry_policies_updated trace event")
+	}
+
+	// Zero-value fields are filled by WithDefaults on the way in, so a
+	// partial policy can't zero out the cadence.
+	n.mod.SetRetryPolicies(qos.RetryPolicy{MaxAttempts: 2}, qos.RetryPolicy{})
+	retry, redial = n.mod.RetryPolicies()
+	if retry.MaxAttempts != 2 || retry.BaseDelay == 0 || redial.MaxAttempts == 0 {
+		t.Fatalf("partial policy not defaulted: %+v / %+v", retry, redial)
+	}
+}

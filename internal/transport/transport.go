@@ -415,6 +415,11 @@ type Module struct {
 	paths    map[PathID]*path
 	bySrc    map[core.PortRef][]*path
 	pending  map[uint64]chan frame
+	// policies holds the live retry/redial policies. They start as
+	// Options.Retry/Redial and can be replaced atomically at runtime
+	// (SetRetryPolicies, the hot-reload path) without touching any bound
+	// path: delivery and redial loops load the pointer per cycle.
+	policies atomic.Pointer[retryPolicies]
 	// relaySeen holds one duplicate-suppression window per origin whose
 	// frames we forward (guarded by mu like the other maps).
 	relaySeen map[string]*relayWindow
@@ -426,6 +431,32 @@ type Module struct {
 }
 
 var _ core.Sink = (*Module)(nil)
+
+// retryPolicies bundles the two backoff policies so a hot reload swaps
+// both in one atomic pointer store.
+type retryPolicies struct {
+	Retry  qos.RetryPolicy
+	Redial qos.RetryPolicy
+}
+
+// RetryPolicies returns the policies currently in force.
+func (m *Module) RetryPolicies() (retry, redial qos.RetryPolicy) {
+	p := m.policies.Load()
+	return p.Retry, p.Redial
+}
+
+// SetRetryPolicies replaces the delivery-retry and peer-redial policies
+// at runtime. In-flight retry and redial cycles finish under the policy
+// they started with; the next cycle picks up the new one. Bound paths,
+// connections, and queued messages are untouched — this is the
+// hot-reload contract: tuning backoff must never drop a path.
+func (m *Module) SetRetryPolicies(retry, redial qos.RetryPolicy) {
+	m.policies.Store(&retryPolicies{
+		Retry:  retry.WithDefaults(),
+		Redial: redial.WithDefaults(),
+	})
+	m.trace.Event("retry_policies_updated", m.node, "")
+}
 
 // New creates a transport module. host may be nil for a standalone
 // single-node module (local paths only).
@@ -448,6 +479,7 @@ func New(node string, host *netemu.Host, dir *directory.Directory, opts Options)
 	// Seed relay ids from the clock so a restarted node's ids land above
 	// anything its previous incarnation left in peer dedup windows.
 	m.relayID.Store(uint64(time.Now().UnixNano()))
+	m.policies.Store(&retryPolicies{Retry: m.opts.Retry, Redial: m.opts.Redial})
 	reg := m.opts.Obs
 	reg.Describe("umiddle_transport_delivery_latency_seconds", "End-to-end delivery latency per message destination.")
 	reg.Describe("umiddle_transport_delivery_queue_depth", "Inbound deliveries dispatched off read loops but not yet handed to a translator.")
@@ -901,7 +933,7 @@ func (m *Module) dialPeer(node string) (*frameConn, error) {
 // subsequent drop superseded it), this cycle abandons quietly.
 func (m *Module) redialLoop(p *peer, myReady chan struct{}) {
 	defer m.wg.Done()
-	policy := m.opts.Redial
+	policy := m.policies.Load().Redial
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if err := m.ctx.Err(); err != nil {
@@ -1480,7 +1512,7 @@ func (m *Module) pathWorker(p *path) {
 // message for this destination and moves on, so a permanently dead
 // destination cannot stall the others on the path.
 func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) error {
-	policy := m.opts.Retry
+	policy := m.policies.Load().Retry
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -1518,7 +1550,7 @@ func (m *Module) deliverWithRetry(p *path, dst core.PortRef, msg core.Message) e
 // dynamic path to rebind, returning the destinations found (nil if the
 // budget lapses first).
 func (m *Module) awaitFailover(p *path) []core.PortRef {
-	policy := m.opts.Retry
+	policy := m.policies.Load().Retry
 	for attempt := 1; attempt < policy.MaxAttempts; attempt++ {
 		if !sleepCtx(m.ctx, policy.Delay(attempt)) {
 			return nil

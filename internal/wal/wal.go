@@ -1,0 +1,458 @@
+// Package wal implements the append-only, checksummed local log that
+// backs uMiddle's durable state (ROADMAP item 5): directory snapshots,
+// sealed profiles, and the anti-entropy version vector are persisted as
+// typed records so a restarting node rejoins with a warm population
+// instead of rediscovering the world. The package is deliberately
+// stdlib-only — no external database — and deliberately dumb: it knows
+// framing, checksums, torn-tail recovery, and compaction; what the
+// records mean is the caller's business (see internal/directory's
+// persistence layer).
+//
+// On-disk format:
+//
+//	header:  8 bytes  "UMWAL01\n"
+//	record:  4 bytes  payload length (little endian)
+//	         1 byte   record type (caller-defined, non-zero)
+//	         N bytes  payload
+//	         4 bytes  CRC32 (IEEE) over type byte + payload
+//
+// Recovery contract: Open replays records front to back and stops
+// cleanly at the first invalid one — a truncated tail (the process died
+// mid-write), a bit-flipped length, type, payload, or checksum — and
+// truncates the file back to the last valid record boundary. A torn or
+// corrupted tail therefore costs the records after the damage, never an
+// error for the whole log. FuzzWALReplay holds this under arbitrary
+// corruption.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// magic identifies a wal file and its format version.
+const magic = "UMWAL01\n"
+
+// MaxRecordBytes bounds one record's payload. A length word beyond it is
+// treated as corruption (replay stops there), and Append refuses to
+// write such a record. 1 GiB comfortably holds a 1M-entry directory
+// snapshot while keeping a flipped high bit from looking like a plea to
+// allocate the address space.
+const MaxRecordBytes = 1 << 30
+
+// frameOverhead is the per-record framing cost: length + type + CRC.
+const frameOverhead = 4 + 1 + 4
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// File is the storage a Log runs on. *os.File satisfies it; so does
+// netemu's in-memory per-node disk, which is how chaos tests carry
+// persisted state across an emulated crash/restart without touching the
+// real filesystem.
+type File interface {
+	io.ReadWriteSeeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// Record is one typed entry of the log.
+type Record struct {
+	// Type is the caller-defined record kind (non-zero).
+	Type byte
+	// Payload is the record body. Replayed records own their payload.
+	Payload []byte
+}
+
+// Stats is a point-in-time snapshot of a log's accounting, rendered by
+// the pads `persist` command.
+type Stats struct {
+	// Name is the path (or debug name) the log was opened with.
+	Name string
+	// SizeBytes is the current file size, header included.
+	SizeBytes int64
+	// Records counts the records currently in the file (replayed at
+	// open + appended − compacted away).
+	Records int
+	// AppendedRecords / AppendedBytes count Append traffic since open.
+	AppendedRecords uint64
+	AppendedBytes   uint64
+	// ReplayRecords / ReplayBytes describe what Open recovered.
+	ReplayRecords int
+	ReplayBytes   int64
+	// TornBytes is how much invalid tail Open truncated away.
+	TornBytes int64
+	// Rewrites counts compactions.
+	Rewrites uint64
+	// Syncs counts explicit Sync calls; LastSync is the most recent
+	// (zero when never synced).
+	Syncs    uint64
+	LastSync time.Time
+}
+
+// Log is an append-only checksummed record log. All methods are safe
+// for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	f        File
+	name     string
+	path     string // non-empty when we own an os file opened by path
+	off      int64  // end of valid data == next append offset
+	records  int
+	replayed []Record
+	closed   bool
+
+	appendedRecords uint64
+	appendedBytes   uint64
+	replayRecords   int
+	replayBytes     int64
+	tornBytes       int64
+	rewrites        uint64
+	syncs           uint64
+	lastSync        time.Time
+}
+
+// Open opens (creating if absent) the log file at path and replays it,
+// truncating any torn tail. The recovered records are available from
+// Replayed until DropReplay releases them.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l, err := open(f, path)
+	if err != nil {
+		f.Close() //nolint:errcheck
+		return nil, err
+	}
+	l.path = path
+	return l, nil
+}
+
+// OpenFile opens a log over caller-provided storage (an emulated disk, a
+// temp file) and replays it, truncating any torn tail. name labels the
+// log in Stats. The Log owns f from here on: Close closes it.
+func OpenFile(f File, name string) (*Log, error) {
+	return open(f, name)
+}
+
+func open(f File, name string) (*Log, error) {
+	l := &Log{f: f, name: name}
+	if err := l.replay(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// replay validates the header, scans records until the first invalid
+// byte, and truncates the file back to the last valid record boundary.
+func (l *Log) replay() error {
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+	}
+	if size == 0 {
+		// Fresh log: write the header.
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+		}
+		if _, err := l.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("wal: %s: write header: %w", l.name, err)
+		}
+		l.off = int64(len(magic))
+		return nil
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(l.f, data); err != nil {
+		return fmt.Errorf("wal: %s: read: %w", l.name, err)
+	}
+	if size < int64(len(magic)) || string(data[:len(magic)]) != magic {
+		// Not a wal file (or a header torn mid-write on first create):
+		// refuse rather than silently destroy whatever it is — unless it
+		// is a strict prefix of the magic, which only a torn first write
+		// produces.
+		if size < int64(len(magic)) && string(data) == magic[:size] {
+			if err := l.reset(); err != nil {
+				return err
+			}
+			l.tornBytes = size
+			return nil
+		}
+		return fmt.Errorf("wal: %s: not a wal file (bad header)", l.name)
+	}
+	off := int64(len(magic))
+	for {
+		rec, next, ok := parseRecord(data, off)
+		if !ok {
+			break
+		}
+		l.replayed = append(l.replayed, rec)
+		off = next
+	}
+	l.records = len(l.replayed)
+	l.replayRecords = len(l.replayed)
+	l.replayBytes = off - int64(len(magic))
+	if off < size {
+		// Torn or corrupt tail: drop it so appends extend a valid log.
+		l.tornBytes = size - off
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: %s: truncate torn tail: %w", l.name, err)
+		}
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+	}
+	l.off = off
+	return nil
+}
+
+// parseRecord decodes one record at off. ok is false when the bytes from
+// off do not form a complete, checksum-valid record — the replay
+// stopping condition.
+func parseRecord(data []byte, off int64) (rec Record, next int64, ok bool) {
+	if off+frameOverhead > int64(len(data)) {
+		return Record{}, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off:]))
+	if n > MaxRecordBytes {
+		return Record{}, 0, false
+	}
+	end := off + frameOverhead + n
+	if end > int64(len(data)) {
+		return Record{}, 0, false
+	}
+	typ := data[off+4]
+	if typ == 0 {
+		return Record{}, 0, false
+	}
+	payload := data[off+5 : off+5+n]
+	sum := binary.LittleEndian.Uint32(data[off+5+n:])
+	if crc32.ChecksumIEEE(data[off+4:off+5+n]) != sum {
+		return Record{}, 0, false
+	}
+	// Copy: replayed records must stay valid after the scan buffer dies.
+	return Record{Type: typ, Payload: append([]byte(nil), payload...)}, end, true
+}
+
+// reset rewrites the file to an empty log (header only).
+func (l *Log) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: %s: truncate: %w", l.name, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+	}
+	if _, err := l.f.Write([]byte(magic)); err != nil {
+		return fmt.Errorf("wal: %s: write header: %w", l.name, err)
+	}
+	l.off = int64(len(magic))
+	l.records = 0
+	return nil
+}
+
+// Replayed returns the records recovered at open, in log order. The
+// slice is owned by the log until DropReplay; callers must not mutate.
+func (l *Log) Replayed() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed
+}
+
+// DropReplay releases the replayed records once the caller has imported
+// them — at 100k-entry populations they are the dominant allocation.
+func (l *Log) DropReplay() {
+	l.mu.Lock()
+	l.replayed = nil
+	l.mu.Unlock()
+}
+
+// Append writes one record. The write is buffered by the OS; call Sync
+// to force it to stable storage. A record lost to a crash between
+// Append and Sync is exactly what replay's torn-tail recovery absorbs.
+func (l *Log) Append(typ byte, payload []byte) error {
+	if typ == 0 {
+		return fmt.Errorf("wal: record type must be non-zero")
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record payload %d bytes exceeds max %d", len(payload), MaxRecordBytes)
+	}
+	buf := frameRecord(typ, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: %s: append: %w", l.name, err)
+	}
+	l.off += int64(len(buf))
+	l.records++
+	l.appendedRecords++
+	l.appendedBytes += uint64(len(buf))
+	return nil
+}
+
+// frameRecord encodes one record: length, type, payload, CRC.
+func frameRecord(typ byte, payload []byte) []byte {
+	buf := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	sum := crc32.ChecksumIEEE(buf[4 : 5+len(payload)])
+	binary.LittleEndian.PutUint32(buf[5+len(payload):], sum)
+	return buf
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: sync: %w", l.name, err)
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Rewrite compacts the log down to exactly the given records (typically
+// one fresh snapshot plus a small prologue), discarding everything
+// before. For a path-opened log the rewrite is atomic: the records are
+// written and fsynced to a temp file which then renames over the
+// original, so a crash mid-compaction leaves the old log intact. For
+// caller-provided Files (no path to rename over) the rewrite is
+// truncate-and-write; the emulated-disk use cases that take that route
+// do not model torn compactions.
+func (l *Log) Rewrite(records []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.path != "" {
+		if err := l.rewriteAtomic(records); err != nil {
+			return err
+		}
+	} else {
+		if err := l.reset(); err != nil {
+			return err
+		}
+		for _, rec := range records {
+			buf := frameRecord(rec.Type, rec.Payload)
+			if _, err := l.f.Write(buf); err != nil {
+				return fmt.Errorf("wal: %s: rewrite: %w", l.name, err)
+			}
+			l.off += int64(len(buf))
+		}
+		l.records = len(records)
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %s: sync: %w", l.name, err)
+		}
+	}
+	l.rewrites++
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// rewriteAtomic is the temp-file-and-rename compaction path. Caller
+// holds l.mu.
+func (l *Log) rewriteAtomic(records []Record) error {
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %s: compact: %w", l.name, err)
+	}
+	cleanup := func() {
+		tmp.Close()        //nolint:errcheck
+		os.Remove(tmpPath) //nolint:errcheck
+	}
+	off := int64(len(magic))
+	if _, err := tmp.Write([]byte(magic)); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: %s: compact write: %w", l.name, err)
+	}
+	for _, rec := range records {
+		buf := frameRecord(rec.Type, rec.Payload)
+		if _, err := tmp.Write(buf); err != nil {
+			cleanup()
+			return fmt.Errorf("wal: %s: compact write: %w", l.name, err)
+		}
+		off += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: %s: compact sync: %w", l.name, err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: %s: compact rename: %w", l.name, err)
+	}
+	old := l.f
+	l.f = tmp
+	old.Close() //nolint:errcheck
+	if _, err := tmp.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.name, err)
+	}
+	l.off = off
+	l.records = len(records)
+	return nil
+}
+
+// Size returns the current log size in bytes, header included.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Stats returns the log's accounting snapshot.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Name:            l.name,
+		SizeBytes:       l.off,
+		Records:         l.records,
+		AppendedRecords: l.appendedRecords,
+		AppendedBytes:   l.appendedBytes,
+		ReplayRecords:   l.replayRecords,
+		ReplayBytes:     l.replayBytes,
+		TornBytes:       l.tornBytes,
+		Rewrites:        l.rewrites,
+		Syncs:           l.syncs,
+		LastSync:        l.lastSync,
+	}
+}
+
+// Close syncs and closes the underlying file. Further operations fail
+// with ErrClosed; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %s: close: %w", l.name, err)
+	}
+	return nil
+}

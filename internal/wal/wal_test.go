@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, path
+}
+
+func TestRoundTrip(t *testing.T) {
+	l, path := openTemp(t)
+	recs := []Record{
+		{Type: 1, Payload: []byte(`{"epoch":1}`)},
+		{Type: 2, Payload: []byte("hello")},
+		{Type: 3, Payload: nil},
+		{Type: 2, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, r := range recs {
+		if err := l.Append(r.Type, r.Payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := l2.Replayed()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		if got[i].Type != r.Type || !bytes.Equal(got[i].Payload, r.Payload) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], r)
+		}
+	}
+	st := l2.Stats()
+	if st.ReplayRecords != len(recs) || st.TornBytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.Append(1, []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, []byte("also-keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append half a record frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(data)
+	torn := append(data, frameRecord(3, []byte("torn-away"))[:7]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	got := l2.Replayed()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if st := l2.Stats(); st.TornBytes != 7 {
+		t.Fatalf("TornBytes = %d, want 7", st.TornBytes)
+	}
+	// The file must be truncated so appends extend a valid log.
+	if err := l2.Append(4, []byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := l3.Replayed(); len(got) != 3 || string(got[2].Payload) != "after-recovery" {
+		t.Fatalf("after recovery replay: %v", got)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() <= int64(full) {
+		t.Fatalf("file not extended past pre-tear size: %v %v", fi, err)
+	}
+}
+
+func TestBitFlipStopsReplayCleanly(t *testing.T) {
+	l, path := openTemp(t)
+	payloads := []string{"first", "second", "third"}
+	for i, p := range payloads {
+		if err := l.Append(byte(i+1), []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the second record's payload: replay must keep
+	// the first record and stop before the damage.
+	secondStart := len(magic) + frameOverhead + len("first")
+	data[secondStart+5] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen over bit flip: %v", err)
+	}
+	defer l2.Close()
+	got := l2.Replayed()
+	if len(got) != 1 || string(got[0].Payload) != "first" {
+		t.Fatalf("replay after bit flip: %v", got)
+	}
+	if st := l2.Stats(); st.TornBytes == 0 {
+		t.Fatalf("expected torn bytes accounted, got %+v", st)
+	}
+}
+
+func TestNotAWalFileRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notwal")
+	if err := os.WriteFile(path, []byte("definitely not a wal header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-wal file")
+	}
+}
+
+func TestTornHeaderReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	if err := os.WriteFile(path, []byte(magic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open over torn header: %v", err)
+	}
+	defer l.Close()
+	if len(l.Replayed()) != 0 {
+		t.Fatal("torn header yielded records")
+	}
+	if err := l.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	l, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		if err := l.Append(1, bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Size()
+	if err := l.Rewrite([]Record{{Type: 9, Payload: []byte("snapshot")}}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if l.Size() >= before {
+		t.Fatalf("rewrite did not shrink: %d -> %d", before, l.Size())
+	}
+	// Appends after a rewrite extend the compacted log.
+	if err := l.Append(2, []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Replayed()
+	if len(got) != 2 || got[0].Type != 9 || string(got[1].Payload) != "delta" {
+		t.Fatalf("replay after rewrite: %v", got)
+	}
+	if st := l2.Stats(); st.TornBytes != 0 {
+		t.Fatalf("compacted log has torn bytes: %+v", st)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := openTemp(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("x")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestZeroTypeRefused(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if err := l.Append(0, []byte("x")); err == nil {
+		t.Fatal("zero record type accepted")
+	}
+}

@@ -21,7 +21,7 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/core/ ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/ ./internal/load/
+go test -race ./internal/core/ ./internal/obs/ ./internal/transport/ ./internal/directory/ ./internal/netemu/ ./internal/runtime/ ./internal/qos/ ./internal/load/ ./internal/wal/
 go test -race $short_flag -run 'TestSoakChurnAndFaults' ./internal/integration/
 go test -race $short_flag -run 'TestCrashRestartChaosAllMappers' ./internal/integration/
 # Sharded-dispatch soak: exactly-once, in-order delivery across striped
@@ -34,6 +34,7 @@ go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 5
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzFrameRead$' -fuzztime 5s
 go test ./internal/directory/ -run '^$' -fuzz '^FuzzHandleAdvert$' -fuzztime 5s
 go test ./internal/directory/ -run '^$' -fuzz '^FuzzInterestSummary$' -fuzztime 5s
+go test ./internal/wal/ -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s
 
 # Benchharness smoke: one mapping iteration, JSON row dump must appear.
 tmpdir="$(mktemp -d)"
@@ -64,4 +65,12 @@ go build -o "$tmpdir/benchgate" ./cmd/benchgate
 # which only the full regeneration run reproduces.
 (cd "$tmpdir" && ./benchharness -exp load -bindings 1000 -rate 10000 -loaddur 5s -json >/dev/null)
 "$tmpdir/benchgate" -allow-missing BENCH_load.json "$tmpdir/BENCH_load.json"
+
+# Restart-chaos gate: a 2000-entry smoke of the durability experiment —
+# cold join over the 10 Mbps bus, six hot-config applies on a loaded
+# path (zero drops enforced by the harness row), then a warm restart
+# from the log. -allow-missing skips the committed 100000-entry row,
+# which only the full regeneration run reproduces.
+(cd "$tmpdir" && ./benchharness -exp restart -entries 2000 -json >/dev/null)
+"$tmpdir/benchgate" -allow-missing BENCH_restart.json "$tmpdir/BENCH_restart.json"
 rm -rf "$tmpdir"

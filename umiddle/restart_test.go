@@ -1,0 +1,121 @@
+package umiddle
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netemu"
+)
+
+// stableService builds a translator with a fixed ID so a restarted
+// incarnation reclaims the warm directory entry (NewService salts names
+// with a process-wide sequence, which would defeat the re-claim).
+func stableService(node, local string, got *atomic.Int64) *core.Base {
+	base := core.MustBase(core.Profile{
+		ID:       core.MakeTranslatorID(node, "umiddle", local),
+		Name:     local,
+		Platform: "umiddle",
+		Node:     node,
+		Shape: core.MustShape(
+			core.Port{Name: "in", Kind: core.Digital, Direction: core.Input, Type: "text/plain"},
+		),
+	})
+	base.MustHandle("in", func(_ context.Context, _ core.Message) error {
+		if got != nil {
+			got.Add(1)
+		}
+		return nil
+	})
+	return base
+}
+
+// TestFacadeWarmRestart drives the whole durability loop through the
+// public API: persist, restart the node (host crash included), rejoin
+// warm, reclaim the translator, and deliver over a freshly bound path —
+// while the peer never sees the population flap.
+func TestFacadeWarmRestart(t *testing.T) {
+	net := netemu.NewNetwork(netemu.Unlimited())
+	defer net.Close()
+	cfg := RuntimeConfig{
+		Node:             "h1",
+		Network:          net,
+		AnnounceInterval: 20 * time.Millisecond,
+		PersistPath:      "dir.wal",
+	}
+	rtA, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	rtB, err := NewRuntime(RuntimeConfig{Node: "h2", Network: net, AnnounceInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewRuntime h2: %v", err)
+	}
+	defer rtB.Close()
+
+	var got atomic.Int64
+	if err := rtA.Register(stableService("h1", "sink", &got)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := rtB.WaitFor(Query{Node: "h1"}, 1, 5*time.Second); err != nil {
+		t.Fatalf("peer never saw h1's service: %v", err)
+	}
+	if epoch := rtA.RestartEpoch(); epoch != 1 {
+		t.Fatalf("fresh-log epoch = %d, want 1", epoch)
+	}
+	if _, ok := rtA.PersistStats(); !ok {
+		t.Fatal("PersistStats reports no log despite PersistPath")
+	}
+	if _, ok := rtB.PersistStats(); ok {
+		t.Fatal("PersistStats reports a log on the non-persistent node")
+	}
+
+	// Planned restart: farewell, host teardown, rebuild from the disk.
+	if err := rtA.CloseForRestart(); err != nil {
+		t.Fatalf("CloseForRestart: %v", err)
+	}
+	if _, err := net.CrashNode("h1"); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	rtA2, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime after restart: %v", err)
+	}
+	defer rtA2.Close()
+
+	if epoch := rtA2.RestartEpoch(); epoch != 2 {
+		t.Fatalf("post-restart epoch = %d, want 2", epoch)
+	}
+	if r := rtA2.ReplayedState(); r.Locals != 1 {
+		t.Fatalf("replayed locals = %d, want 1", r.Locals)
+	}
+	// The peer held the entry across the grace — no rediscovery gap.
+	if len(rtB.Lookup(Query{Node: "h1"})) != 1 {
+		t.Fatal("peer dropped h1's entry across a clean restart")
+	}
+
+	// The reclaimed translator serves a freshly bound path end to end.
+	if err := rtA2.Register(stableService("h1", "sink", &got)); err != nil {
+		t.Fatalf("re-register after restart: %v", err)
+	}
+	src, err := rtB.NewService("probe", core.MustShape(
+		core.Port{Name: "out", Kind: core.Digital, Direction: core.Output, Type: "text/plain"},
+	), nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	dst := PortRef{Translator: core.MakeTranslatorID("h1", "umiddle", "sink"), Port: "in"}
+	if _, err := rtB.Connect(src.Port("out"), dst); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src.Emit("out", NewMessage("text/plain", []byte("hello-after-restart")))
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery to the restarted node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/transport"
 	"repro/internal/usdl"
+	"repro/internal/wal"
 )
 
 // Re-exported model types: the intermediary semantic space.
@@ -121,7 +122,28 @@ type (
 	// TraceEvent is one entry of the event-trace ring (translator
 	// mapped/unmapped, path connect/disconnect, redial, drop, expiry).
 	TraceEvent = obs.Event
+	// HotConfig is the hot-reloadable runtime configuration document:
+	// mapper enablement, transport retry policies, boundary rules, and
+	// interest registrations, applied as deltas without dropping bound
+	// paths (DESIGN.md §14).
+	HotConfig = runtime.HotConfig
+	// HotRetry is a HotConfig retry policy (delays in milliseconds).
+	HotRetry = runtime.HotRetry
+	// BoundaryConfig is a HotConfig remap/ACL rule section.
+	BoundaryConfig = runtime.BoundaryConfig
+	// LeasePolicy tunes liveness-lease derivation, including the grace
+	// peers grant a cleanly restarting node (DESIGN.md §14).
+	LeasePolicy = qos.LeasePolicy
+	// WALStats reports the durability log's size, record counts, replay
+	// and torn-tail statistics, and fsync cadence.
+	WALStats = wal.Stats
+	// ReplayStats summarizes a warm restart: the restart epoch and how
+	// many locals, remotes, and node leases the log rebuilt.
+	ReplayStats = directory.ReplayStats
 )
+
+// ParseHotConfig parses and validates a hot-reload config document.
+var ParseHotConfig = runtime.ParseHotConfig
 
 // NewObsRegistry creates an empty metrics registry, typically passed to
 // several RuntimeConfigs so one /metrics endpoint covers all nodes.
@@ -248,12 +270,30 @@ type RuntimeConfig struct {
 	// node on several links automatically relays directory adverts and
 	// forwards deliver frames between its segments.
 	Links []string
+	// PersistPath names a durability log on the node's emulated disk
+	// (netemu per-host non-volatile storage). When set, the directory
+	// journals its state and replays it at construction: after
+	// CloseForRestart and a RestartNode, the node rejoins warm — local
+	// profiles resolvable, remote population and version vector intact —
+	// instead of rediscovering from scratch. Empty disables persistence.
+	PersistPath string
+	// Lease tunes liveness-lease derivation, including the restart
+	// grace peers grant on a clean "restarting" farewell (zero fields
+	// take defaults).
+	Lease LeasePolicy
+	// ConfigPath names a hot-reload JSON document on the local
+	// filesystem; when set it is applied at startup and watched for
+	// changes (see HotConfig). Empty disables watching.
+	ConfigPath string
+	// ConfigPoll is the watch interval for ConfigPath (0 = 1s).
+	ConfigPoll time.Duration
 }
 
 // Runtime is one uMiddle node.
 type Runtime struct {
 	rt   *runtime.Runtime
 	host *netemu.Host
+	wal  *wal.Log
 }
 
 // NewRuntime creates and starts a runtime node.
@@ -277,6 +317,16 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	// A node on several segments is a bridge: it relays adverts (and
 	// forwards routed deliver frames) between them.
 	relay := len(cfg.Network.HostLinks(cfg.Node)) > 1
+	var dlog *wal.Log
+	if cfg.PersistPath != "" {
+		f := cfg.Network.Disk(cfg.Node).Open(cfg.PersistPath)
+		var err error
+		dlog, err = wal.OpenFile(f, cfg.Node+":"+cfg.PersistPath)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("umiddle: open durability log: %w", err)
+		}
+	}
 	rt, err := runtime.New(runtime.Config{
 		Node: cfg.Node,
 		Host: host,
@@ -287,6 +337,8 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			ACL:              cfg.ACL,
 			Zone:             cfg.Zone,
 			Relay:            relay,
+			WAL:              dlog,
+			Lease:            cfg.Lease,
 		},
 		Transport:   cfg.Transport,
 		Logger:      cfg.Logger,
@@ -294,16 +346,81 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		MapperRetry: cfg.MapperRetry,
 	})
 	if err != nil {
+		if dlog != nil {
+			dlog.Close()
+		}
 		return nil, err
 	}
 	if err := rt.Start(); err != nil {
+		rt.Close() //nolint:errcheck
+		if dlog != nil {
+			dlog.Close()
+		}
 		return nil, err
 	}
-	return &Runtime{rt: rt, host: host}, nil
+	r := &Runtime{rt: rt, host: host, wal: dlog}
+	if cfg.ConfigPath != "" {
+		if err := rt.WatchConfig(cfg.ConfigPath, cfg.ConfigPoll); err != nil {
+			r.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // Close shuts the node down.
-func (r *Runtime) Close() error { return r.rt.Close() }
+func (r *Runtime) Close() error { return r.closeWith(r.rt.Close) }
+
+// CloseForRestart shuts the node down for a planned restart: the
+// directory snapshots its durability log and bids peers a "restarting"
+// farewell, so they hold its entries under the restart grace instead of
+// expiring them. Pair with netemu's RestartNode and a NewRuntime over
+// the same PersistPath to rejoin warm in milliseconds.
+func (r *Runtime) CloseForRestart() error { return r.closeWith(r.rt.CloseForRestart) }
+
+func (r *Runtime) closeWith(fn func() error) error {
+	err := fn()
+	if r.wal != nil {
+		if werr := r.wal.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// RestartEpoch returns the directory's restart epoch: 0 without durable
+// state, 1 on a fresh log, incremented by each warm replay. Peers use
+// epoch bumps to tell a returned restart from a reordered advert.
+func (r *Runtime) RestartEpoch() uint64 { return r.rt.Directory().Epoch() }
+
+// ReplayedState summarizes what the durability log rebuilt at startup;
+// zero values mean a cold start.
+func (r *Runtime) ReplayedState() ReplayStats { return r.rt.Directory().ReplayedState() }
+
+// PersistStats reports the durability log's size, record counts, and
+// fsync cadence; ok is false when the node runs without persistence.
+func (r *Runtime) PersistStats() (stats WALStats, ok bool) {
+	return r.rt.Directory().PersistStats()
+}
+
+// ApplyConfig applies a hot-reload document to the live node — the
+// programmatic twin of ConfigPath. Bound paths survive every section.
+func (r *Runtime) ApplyConfig(hc *HotConfig) error { return r.rt.ApplyConfig(hc) }
+
+// SetMapperEnabled toggles a supervised mapper administratively.
+// Disabling closes the incarnation and unmaps its translators;
+// re-enabling mints a fresh one from the mapper's factory.
+func (r *Runtime) SetMapperEnabled(platform string, enabled bool) error {
+	return r.rt.SetMapperEnabled(platform, enabled)
+}
+
+// SetBoundary replaces the directory's remap and ACL rule sets at
+// runtime. Already-integrated entries keep their stored wire identity,
+// so bound paths survive the swap; invalid rules are rejected with no
+// change.
+func (r *Runtime) SetBoundary(remap []RemapRule, acl []ACLRule) error {
+	return r.rt.Directory().SetBoundary(remap, acl)
+}
 
 // Node returns the node name.
 func (r *Runtime) Node() string { return r.rt.Node() }
